@@ -1,0 +1,68 @@
+//===- bench/ablation_simplify.cpp - Simplification ablation (E6) -----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E6: the Remark after Lemma 3 says abduced obligations are
+/// simplified with respect to I "to avoid unnecessary queries". This
+/// ablation measures query sizes with and without that SAS'10-style
+/// simplification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Abduction.h"
+#include "core/ErrorDiagnoser.h"
+#include "smt/FormulaOps.h"
+#include "study/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::study;
+
+int main() {
+  std::printf("query-simplification ablation (Remark after Lemma 3)\n\n");
+  std::printf("%-22s | %28s | %28s\n", "", "with simplification",
+              "without simplification");
+  std::printf("%-22s | %12s %15s | %12s %15s\n", "benchmark", "Gamma atoms",
+              "Upsilon atoms", "Gamma atoms", "Upsilon atoms");
+  std::printf("--------------------------------------------------------------"
+              "--------------------\n");
+  size_t TotalWith = 0, TotalWithout = 0;
+  for (const BenchmarkInfo &B : benchmarkSuite()) {
+    ErrorDiagnoser D;
+    std::string Err;
+    if (!D.loadFile(benchmarkPath(B), &Err)) {
+      std::fprintf(stderr, "cannot load %s: %s\n", B.Name.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    const analysis::AnalysisResult &AR = D.analysis();
+    size_t Atoms[2][2] = {{0, 0}, {0, 0}};
+    for (int Simplify = 0; Simplify < 2; ++Simplify) {
+      Abducer Abd(D.solver(), /*SimplifyModuloI=*/Simplify == 0);
+      AbductionResult G =
+          Abd.proofObligation(AR.Invariants, AR.SuccessCondition);
+      AbductionResult U =
+          Abd.failureWitness(AR.Invariants, AR.SuccessCondition);
+      Atoms[Simplify][0] = G.Found ? smt::atomCount(G.Fml) : 0;
+      Atoms[Simplify][1] = U.Found ? smt::atomCount(U.Fml) : 0;
+    }
+    std::printf("%-22s | %12zu %15zu | %12zu %15zu\n", B.Name.c_str(),
+                Atoms[0][0], Atoms[0][1], Atoms[1][0], Atoms[1][1]);
+    TotalWith += Atoms[0][0] + Atoms[0][1];
+    TotalWithout += Atoms[1][0] + Atoms[1][1];
+  }
+  std::printf("--------------------------------------------------------------"
+              "--------------------\n");
+  std::printf("total query atoms: %zu with vs %zu without simplification "
+              "(%.1fx reduction)\n",
+              TotalWith, TotalWithout,
+              TotalWith ? static_cast<double>(TotalWithout) /
+                              static_cast<double>(TotalWith)
+                        : 0.0);
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/fig7_user_study.cpp - Regenerates Figure 7 ---------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E1 + E3 (DESIGN.md): regenerates the paper's Figure 7 table
+/// and the Section 6 Welch t-tests from the simulated user study. The
+/// "new technique" arm runs the real Figure 6 diagnosis engine against
+/// noisy simulated humans whose ground truth is exhaustive concrete
+/// execution; the human-model constants are calibrated to the paper's
+/// aggregate statistics (see EXPERIMENTS.md).
+///
+/// Usage: fig7_user_study [--seed N] [--respondents N] [--no-paper-rows]
+///                        [--csv]
+///
+//===----------------------------------------------------------------------===//
+
+#include "study/StudyRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace abdiag::study;
+
+int main(int Argc, char **Argv) {
+  StudyConfig Config;
+  bool PaperRows = true;
+  bool Csv = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc)
+      Config.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--respondents") && I + 1 < Argc)
+      Config.RespondentsPerArm = std::atoi(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--no-paper-rows"))
+      PaperRows = false;
+    else if (!std::strcmp(Argv[I], "--csv"))
+      Csv = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seed N] [--respondents N] "
+                   "[--no-paper-rows] [--csv]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+
+  StudyResult R = runStudy(Config);
+  if (Csv) {
+    std::printf("%s", formatFigure7Csv(R).c_str());
+    return 0;
+  }
+  std::printf("%s", formatFigure7(R, PaperRows).c_str());
+
+  // The Section 6 side claims.
+  double MaxCompute = 0;
+  int MinQ = 1 << 20, MaxQ = 0, NoisyMaxQ = 0;
+  for (const ProblemResult &P : R.Problems) {
+    MaxCompute = std::max(MaxCompute, P.ComputeSeconds);
+    MinQ = std::min(MinQ, P.NoiselessQueries);
+    MaxQ = std::max(MaxQ, P.NoiselessQueries);
+    NoisyMaxQ = std::max(NoisyMaxQ, P.MaxQueries);
+  }
+  std::printf("\n  Queries per benchmark (sound answers): %d to %d"
+              " (paper: one to three)\n",
+              MinQ, MaxQ);
+  std::printf("  Worst case with noisy answers: up to %d queries\n",
+              NoisyMaxQ);
+  std::printf("  Max query-computation time: %.4f s (paper: below 0.1 s)\n",
+              MaxCompute);
+  return 0;
+}

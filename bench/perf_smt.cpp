@@ -1,0 +1,161 @@
+//===- bench/perf_smt.cpp - SMT substrate microbenchmarks (E7) --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark performance suite for the SMT substrate: formula
+/// construction, SAT solving, LIA conjunctions, full DPLL(T) queries, and
+/// Cooper quantifier elimination. An interactive tool must answer in
+/// milliseconds; these benchmarks keep that budget measurable.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+#include "smt/LiaSolver.h"
+#include "smt/Sat.h"
+#include "smt/Solver.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Random NNF formula over NumVars variables (same distribution as the
+/// differential tests).
+const Formula *randomFormula(FormulaManager &M, Rng &R,
+                             const std::vector<VarId> &Vars, int Depth) {
+  if (Depth == 0 || R.chance(0.4)) {
+    LinearExpr E = LinearExpr::constant(R.range(-6, 6));
+    for (VarId V : Vars)
+      if (R.chance(0.7))
+        E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+    switch (R.range(0, 3)) {
+    case 0:
+      return M.mkAtom(AtomRel::Le, E);
+    case 1:
+      return M.mkAtom(AtomRel::Eq, E);
+    case 2:
+      return M.mkAtom(AtomRel::Ne, E);
+    default:
+      return M.mkAtom(AtomRel::Div, E, R.range(2, 4));
+    }
+  }
+  std::vector<const Formula *> Kids;
+  for (int I = 0, N = static_cast<int>(R.range(2, 3)); I < N; ++I)
+    Kids.push_back(randomFormula(M, R, Vars, Depth - 1));
+  return R.chance(0.5) ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+}
+
+void BM_FormulaConstruction(benchmark::State &State) {
+  for (auto _ : State) {
+    FormulaManager M;
+    Rng R(42);
+    std::vector<VarId> Vars;
+    for (int I = 0; I < 4; ++I)
+      Vars.push_back(M.vars().create("v" + std::to_string(I),
+                                     VarKind::Input));
+    for (int I = 0; I < 50; ++I)
+      benchmark::DoNotOptimize(randomFormula(M, R, Vars, 2));
+  }
+}
+BENCHMARK(BM_FormulaConstruction);
+
+void BM_SatRandom3Sat(benchmark::State &State) {
+  int NumVars = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    Rng R(7);
+    sat::SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    for (int I = 0; I < static_cast<int>(NumVars * 4.2); ++I) {
+      std::vector<sat::Lit> C;
+      for (int K = 0; K < 3; ++K)
+        C.push_back(sat::mkLit(
+            static_cast<sat::BVar>(R.range(0, NumVars - 1)), R.chance(0.5)));
+      S.addClause(C);
+    }
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_LiaConjunction(benchmark::State &State) {
+  int NumVars = static_cast<int>(State.range(0));
+  VarTable VT;
+  std::vector<VarId> Vars;
+  for (int I = 0; I < NumVars; ++I)
+    Vars.push_back(VT.create("x" + std::to_string(I), VarKind::Input));
+  Rng R(13);
+  std::vector<LinearExpr> Rows;
+  for (int I = 0; I < 2 * NumVars; ++I) {
+    LinearExpr E = LinearExpr::constant(R.range(-10, 10));
+    for (VarId V : Vars)
+      E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+    Rows.push_back(E);
+  }
+  for (auto _ : State) {
+    Model Mo;
+    benchmark::DoNotOptimize(solveLiaConjunction(Rows, &Mo));
+  }
+}
+BENCHMARK(BM_LiaConjunction)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_SolverIsSat(benchmark::State &State) {
+  FormulaManager M;
+  Solver S(M);
+  Rng R(99);
+  std::vector<VarId> Vars;
+  for (int I = 0; I < 4; ++I)
+    Vars.push_back(M.vars().create("v" + std::to_string(I), VarKind::Input));
+  std::vector<const Formula *> Fs;
+  for (int I = 0; I < 32; ++I)
+    Fs.push_back(randomFormula(M, R, Vars, 2));
+  for (auto _ : State) {
+    for (const Formula *F : Fs)
+      benchmark::DoNotOptimize(S.isSat(F));
+  }
+}
+BENCHMARK(BM_SolverIsSat);
+
+void BM_CooperEliminateOne(benchmark::State &State) {
+  FormulaManager M;
+  Rng R(55);
+  std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
+                             M.vars().create("y", VarKind::Input),
+                             M.vars().create("z", VarKind::Input)};
+  std::vector<const Formula *> Fs;
+  for (int I = 0; I < 16; ++I)
+    Fs.push_back(randomFormula(M, R, Vars, 2));
+  for (auto _ : State) {
+    for (const Formula *F : Fs)
+      benchmark::DoNotOptimize(eliminateExists(M, F, Vars[0]));
+  }
+}
+BENCHMARK(BM_CooperEliminateOne);
+
+void BM_CooperForallTwo(benchmark::State &State) {
+  FormulaManager M;
+  Rng R(56);
+  std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
+                             M.vars().create("y", VarKind::Input),
+                             M.vars().create("z", VarKind::Input)};
+  std::vector<const Formula *> Fs;
+  for (int I = 0; I < 8; ++I)
+    Fs.push_back(randomFormula(M, R, Vars, 1));
+  std::vector<VarId> Elim = {Vars[0], Vars[1]};
+  for (auto _ : State) {
+    for (const Formula *F : Fs)
+      benchmark::DoNotOptimize(eliminateForall(M, F, Elim));
+  }
+}
+BENCHMARK(BM_CooperForallTwo);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+//===- examples/batch_triage.cpp - Automatic triage of a report queue -------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CI-style scenario: a verifier produced potential-error reports for a
+/// directory of programs; triage them all automatically. The Section 8
+/// future-work idea in action -- the exhaustive concrete-execution oracle
+/// answers the queries instead of a human, so reports decidable within the
+/// explored input box never reach a person.
+///
+/// Usage: batch_triage <file.adg>... (defaults to the 11-problem suite)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorDiagnoser.h"
+#include "lang/AstPrinter.h"
+#include "study/Benchmarks.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+struct TriageRow {
+  std::string Name;
+  std::string Verdict;
+  size_t Queries = 0;
+  size_t Loc = 0;
+};
+
+TriageRow triageOne(const std::string &Path, const std::string &Name) {
+  TriageRow Row;
+  Row.Name = Name;
+  ErrorDiagnoser Diagnoser;
+  std::string Error;
+  if (!Diagnoser.loadFile(Path, &Error)) {
+    Row.Verdict = "load error: " + Error;
+    return Row;
+  }
+  Row.Loc = lang::programLoc(Diagnoser.program());
+  if (Diagnoser.dischargedByAnalysis()) {
+    Row.Verdict = "false alarm (analysis alone)";
+    return Row;
+  }
+  if (Diagnoser.validatedByAnalysis()) {
+    Row.Verdict = "REAL BUG (analysis alone)";
+    return Row;
+  }
+  auto Oracle = Diagnoser.makeConcreteOracle();
+  DiagnosisResult R = Diagnoser.diagnose(*Oracle);
+  Row.Queries = R.Transcript.size();
+  switch (R.Outcome) {
+  case DiagnosisOutcome::Discharged:
+    Row.Verdict = "false alarm";
+    break;
+  case DiagnosisOutcome::Validated:
+    Row.Verdict = "REAL BUG";
+    break;
+  case DiagnosisOutcome::Inconclusive:
+    Row.Verdict = "needs human review";
+    break;
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::pair<std::string, std::string>> Files;
+  if (Argc > 1) {
+    for (int I = 1; I < Argc; ++I)
+      Files.emplace_back(Argv[I], Argv[I]);
+  } else {
+    for (const study::BenchmarkInfo &B : study::benchmarkSuite())
+      Files.emplace_back(study::benchmarkPath(B), B.Name);
+  }
+
+  std::printf("%-24s %5s  %8s  %s\n", "program", "LOC", "queries", "verdict");
+  std::printf("%-24s %5s  %8s  %s\n", "-------", "---", "-------", "-------");
+  size_t Bugs = 0, FalseAlarms = 0, Unresolved = 0;
+  for (const auto &[Path, Name] : Files) {
+    TriageRow Row = triageOne(Path, Name);
+    std::printf("%-24s %5zu  %8zu  %s\n", Row.Name.c_str(), Row.Loc,
+                Row.Queries, Row.Verdict.c_str());
+    if (Row.Verdict.find("BUG") != std::string::npos)
+      ++Bugs;
+    else if (Row.Verdict.find("false alarm") != std::string::npos)
+      ++FalseAlarms;
+    else
+      ++Unresolved;
+  }
+  std::printf("\n%zu real bug(s), %zu false alarm(s), %zu unresolved\n", Bugs,
+              FalseAlarms, Unresolved);
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- examples/interactive_diagnosis.cpp - Ask a real human ----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tool the paper's study participants used, in miniature: load a
+/// program from a file, and when the analysis cannot decide the report,
+/// pose the computed queries on stdin ("y" / "n" / "?") until the report is
+/// classified.
+///
+/// Usage: interactive_diagnosis <program.adg>
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorDiagnoser.h"
+#include "lang/AstPrinter.h"
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+/// Oracle that asks the person at the terminal.
+class StdinOracle : public Oracle {
+public:
+  explicit StdinOracle(const analysis::AnalysisResult &AR,
+                       const smt::VarTable &VT)
+      : AR(AR), VT(VT) {}
+
+  Answer isInvariant(const smt::Formula *F) override {
+    std::printf("\nQUERY: does  %s  hold in EVERY execution?\n",
+                smt::toString(F, VT).c_str());
+    return prompt(F);
+  }
+
+  Answer isPossible(const smt::Formula *F,
+                    const smt::Formula *Given) override {
+    std::printf("\nQUERY: can  %s  hold in SOME execution",
+                smt::toString(F, VT).c_str());
+    if (!Given->isTrue())
+      std::printf("\n       in which  %s  holds",
+                  smt::toString(Given, VT).c_str());
+    std::printf("?\n");
+    return prompt(F);
+  }
+
+private:
+  const analysis::AnalysisResult &AR;
+  const smt::VarTable &VT;
+
+  Answer prompt(const smt::Formula *F) {
+    for (smt::VarId V : smt::freeVars(F)) {
+      auto It = AR.Origins.find(V);
+      if (It != AR.Origins.end())
+        std::printf("       (%s is %s)\n", VT.name(V).c_str(),
+                    It->second.Text.c_str());
+    }
+    while (true) {
+      std::printf("  [y]es / [n]o / [?] don't know > ");
+      std::fflush(stdout);
+      char Buf[64];
+      if (!std::fgets(Buf, sizeof(Buf), stdin))
+        return Answer::Unknown;
+      switch (Buf[0]) {
+      case 'y':
+      case 'Y':
+        return Answer::Yes;
+      case 'n':
+      case 'N':
+        return Answer::No;
+      case '?':
+        return Answer::Unknown;
+      default:
+        std::printf("  please answer y, n or ?\n");
+      }
+    }
+  }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: %s <program.adg>\n", Argv[0]);
+    return 2;
+  }
+  ErrorDiagnoser Diagnoser;
+  std::string Error;
+  if (!Diagnoser.loadFile(Argv[1], &Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", lang::programToString(Diagnoser.program()).c_str());
+  std::printf("The static analysis reports a POTENTIAL assertion failure.\n");
+
+  if (Diagnoser.dischargedByAnalysis()) {
+    std::printf("...but the analysis discharges it by itself: FALSE ALARM\n");
+    return 0;
+  }
+  if (Diagnoser.validatedByAnalysis()) {
+    std::printf("...and the analysis proves it: REAL BUG\n");
+    return 0;
+  }
+
+  StdinOracle Oracle(Diagnoser.analysis(), Diagnoser.manager().vars());
+  DiagnosisResult R = Diagnoser.diagnose(Oracle);
+  switch (R.Outcome) {
+  case DiagnosisOutcome::Discharged:
+    std::printf("\n==> FALSE ALARM: with your answers, the assertion is "
+                "proven safe.\n");
+    break;
+  case DiagnosisOutcome::Validated:
+    std::printf("\n==> REAL BUG: with your answers, a failing execution is "
+                "certain.\n");
+    break;
+  case DiagnosisOutcome::Inconclusive:
+    std::printf("\n==> Inconclusive: the report could not be classified "
+                "with the given answers.\n");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,496 @@
+//===- analysis/IntervalAnnotator.cpp - Loop annotation inference -----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IntervalAnnotator.h"
+
+#include "support/Casting.h"
+#include "support/CheckedArith.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace abdiag;
+using namespace abdiag::analysis;
+using namespace abdiag::lang;
+
+//===----------------------------------------------------------------------===//
+// Interval arithmetic
+//===----------------------------------------------------------------------===//
+
+Interval Interval::join(const Interval &O) const {
+  if (Bottom)
+    return O;
+  if (O.Bottom)
+    return *this;
+  Interval R;
+  if (Lo && O.Lo)
+    R.Lo = std::min(*Lo, *O.Lo);
+  if (Hi && O.Hi)
+    R.Hi = std::max(*Hi, *O.Hi);
+  return R;
+}
+
+Interval Interval::widen(const Interval &Next) const {
+  if (Bottom)
+    return Next;
+  if (Next.Bottom)
+    return *this;
+  Interval R;
+  if (Lo && Next.Lo && *Next.Lo >= *Lo)
+    R.Lo = Lo; // stable or shrinking from below: keep
+  if (Hi && Next.Hi && *Next.Hi <= *Hi)
+    R.Hi = Hi;
+  return R;
+}
+
+Interval Interval::add(const Interval &O) const {
+  if (Bottom || O.Bottom)
+    return bottom();
+  Interval R;
+  if (Lo && O.Lo)
+    R.Lo = checkedAdd(*Lo, *O.Lo);
+  if (Hi && O.Hi)
+    R.Hi = checkedAdd(*Hi, *O.Hi);
+  return R;
+}
+
+Interval Interval::sub(const Interval &O) const {
+  if (Bottom || O.Bottom)
+    return bottom();
+  Interval R;
+  if (Lo && O.Hi)
+    R.Lo = checkedSub(*Lo, *O.Hi);
+  if (Hi && O.Lo)
+    R.Hi = checkedSub(*Hi, *O.Lo);
+  return R;
+}
+
+Interval Interval::mul(const Interval &O) const {
+  if (Bottom || O.Bottom)
+    return bottom();
+  if (Lo && Hi && O.Lo && O.Hi) {
+    int64_t P1 = checkedMul(*Lo, *O.Lo), P2 = checkedMul(*Lo, *O.Hi);
+    int64_t P3 = checkedMul(*Hi, *O.Lo), P4 = checkedMul(*Hi, *O.Hi);
+    Interval R;
+    R.Lo = std::min(std::min(P1, P2), std::min(P3, P4));
+    R.Hi = std::max(std::max(P1, P2), std::max(P3, P4));
+    return R;
+  }
+  // Partially unbounded: retain non-negativity when both sides are >= 0.
+  if (Lo && *Lo >= 0 && O.Lo && *O.Lo >= 0) {
+    Interval R;
+    R.Lo = checkedMul(*Lo, *O.Lo);
+    return R;
+  }
+  return top();
+}
+
+Interval Interval::clamp(std::optional<int64_t> NewLo,
+                         std::optional<int64_t> NewHi) const {
+  if (Bottom)
+    return bottom();
+  Interval R = *this;
+  if (NewLo && (!R.Lo || *NewLo > *R.Lo))
+    R.Lo = NewLo;
+  if (NewHi && (!R.Hi || *NewHi < *R.Hi))
+    R.Hi = NewHi;
+  if (R.Lo && R.Hi && *R.Lo > *R.Hi)
+    return bottom();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Abstract interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using State = std::map<std::string, Interval>;
+
+/// Inferred facts for one loop, used to build the annotation.
+struct LoopFacts {
+  std::map<std::string, Interval> ExitBounds; // modified vars only
+};
+
+State joinStates(const State &A, const State &B) {
+  State R;
+  for (const auto &[V, I] : A) {
+    auto It = B.find(V);
+    R[V] = It == B.end() ? I : I.join(It->second);
+  }
+  return R;
+}
+
+bool statesEqual(const State &A, const State &B) { return A == B; }
+
+class IntervalInterp {
+  std::map<uint32_t, LoopFacts> &Facts;
+
+public:
+  explicit IntervalInterp(std::map<uint32_t, LoopFacts> &Facts)
+      : Facts(Facts) {}
+
+  Interval evalExpr(const Expr *E, const State &S) {
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      auto It = S.find(cast<VarRefExpr>(E)->name());
+      return It == S.end() ? Interval::top() : It->second;
+    }
+    case ExprKind::IntLit:
+      return Interval::constant(cast<IntLitExpr>(E)->value());
+    case ExprKind::Havoc:
+      return Interval::top();
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      Interval L = evalExpr(B->lhs(), S);
+      Interval R = evalExpr(B->rhs(), S);
+      switch (B->op()) {
+      case BinOp::Add:
+        return L.add(R);
+      case BinOp::Sub:
+        return L.sub(R);
+      case BinOp::Mul:
+        return L.mul(R);
+      }
+      break;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return Interval::top();
+  }
+
+  /// Refines \p S assuming predicate \p P holds (best effort, sound).
+  /// Only comparisons with a variable on one side are used; disjunctions
+  /// refine to the join of both branches.
+  State refine(const Pred *P, State S) {
+    switch (P->kind()) {
+    case PredKind::BoolLit:
+      return S; // 'false' could give bottom; keeping S stays sound
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(P);
+      if (L->isAnd())
+        return refine(L->rhs(), refine(L->lhs(), std::move(S)));
+      return joinStates(refine(L->lhs(), S), refine(L->rhs(), S));
+    }
+    case PredKind::Not:
+      return refineNeg(cast<NotPred>(P)->sub(), std::move(S));
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(P);
+      refineCompare(C->op(), C->lhs(), C->rhs(), S);
+      return S;
+    }
+    }
+    assert(false && "unhandled predicate kind");
+    return S;
+  }
+
+  /// Refines \p S assuming !P holds.
+  State refineNeg(const Pred *P, State S) {
+    switch (P->kind()) {
+    case PredKind::BoolLit:
+      return S;
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(P);
+      // !(a && b) == !a || !b; !(a || b) == !a && !b.
+      if (L->isAnd())
+        return joinStates(refineNeg(L->lhs(), S), refineNeg(L->rhs(), S));
+      return refineNeg(L->rhs(), refineNeg(L->lhs(), std::move(S)));
+    }
+    case PredKind::Not:
+      return refine(cast<NotPred>(P)->sub(), std::move(S));
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(P);
+      refineCompare(negateCmp(C->op()), C->lhs(), C->rhs(), S);
+      return S;
+    }
+    }
+    assert(false && "unhandled predicate kind");
+    return S;
+  }
+
+  State exec(const Stmt *St, State S) {
+    switch (St->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(St);
+      S[A->var()] = evalExpr(A->value(), S);
+      return S;
+    }
+    case StmtKind::Skip:
+      return S;
+    case StmtKind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(St)->stmts())
+        S = exec(Sub, std::move(S));
+      return S;
+    case StmtKind::Assume:
+      return refine(cast<AssumeStmt>(St)->cond(), std::move(S));
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(St);
+      State ThenS = exec(I->thenStmt(), refine(I->cond(), S));
+      State ElseS = refineNeg(I->cond(), S);
+      if (I->elseStmt())
+        ElseS = exec(I->elseStmt(), std::move(ElseS));
+      return joinStates(ThenS, ElseS);
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(St);
+      // Fixpoint with widening after a few descending iterations.
+      State Inv = S;
+      for (int Iter = 0;; ++Iter) {
+        State BodyOut = exec(W->body(), refine(W->cond(), Inv));
+        State Next = joinStates(Inv, BodyOut);
+        if (Iter >= 3)
+          for (auto &[V, I] : Next)
+            I = Inv.at(V).widen(I);
+        if (statesEqual(Next, Inv))
+          break;
+        Inv = std::move(Next);
+      }
+      State Exit = refineNeg(W->cond(), Inv);
+      std::set<std::string> Modified;
+      collectModified(W->body(), Modified);
+      LoopFacts &F = Facts[W->loopId()];
+      for (const std::string &V : Modified)
+        if (Exit.count(V))
+          F.ExitBounds[V] = Exit.at(V);
+      return Exit;
+    }
+    }
+    assert(false && "unhandled statement kind");
+    return S;
+  }
+
+private:
+  static CmpOp negateCmp(CmpOp Op) {
+    switch (Op) {
+    case CmpOp::Lt:
+      return CmpOp::Ge;
+    case CmpOp::Gt:
+      return CmpOp::Le;
+    case CmpOp::Le:
+      return CmpOp::Gt;
+    case CmpOp::Ge:
+      return CmpOp::Lt;
+    case CmpOp::Eq:
+      return CmpOp::Ne;
+    case CmpOp::Ne:
+      return CmpOp::Eq;
+    }
+    assert(false && "unhandled comparison");
+    return CmpOp::Eq;
+  }
+
+  static void collectModified(const Stmt *S, std::set<std::string> &Out) {
+    switch (S->kind()) {
+    case StmtKind::Assign:
+      Out.insert(cast<AssignStmt>(S)->var());
+      return;
+    case StmtKind::Skip:
+    case StmtKind::Assume:
+      return;
+    case StmtKind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        collectModified(Sub, Out);
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      collectModified(I->thenStmt(), Out);
+      if (I->elseStmt())
+        collectModified(I->elseStmt(), Out);
+      return;
+    }
+    case StmtKind::While:
+      collectModified(cast<WhileStmt>(S)->body(), Out);
+      return;
+    }
+  }
+
+  /// Refines variable bounds for `lhs op rhs` where one side is a variable
+  /// and the other evaluates to a (half-)bounded interval.
+  void refineCompare(CmpOp Op, const Expr *Lhs, const Expr *Rhs, State &S) {
+    auto Apply = [&](const std::string &Var, CmpOp O, const Interval &Other) {
+      Interval &I = S[Var];
+      switch (O) {
+      case CmpOp::Lt:
+        if (Other.Hi)
+          I = I.clamp(std::nullopt, checkedSub(*Other.Hi, 1));
+        break;
+      case CmpOp::Le:
+        if (Other.Hi)
+          I = I.clamp(std::nullopt, *Other.Hi);
+        break;
+      case CmpOp::Gt:
+        if (Other.Lo)
+          I = I.clamp(checkedAdd(*Other.Lo, 1), std::nullopt);
+        break;
+      case CmpOp::Ge:
+        if (Other.Lo)
+          I = I.clamp(*Other.Lo, std::nullopt);
+        break;
+      case CmpOp::Eq:
+        I = I.clamp(Other.Lo, Other.Hi);
+        break;
+      case CmpOp::Ne:
+        break; // no interval refinement
+      }
+    };
+    auto Flip = [](CmpOp O) {
+      switch (O) {
+      case CmpOp::Lt:
+        return CmpOp::Gt;
+      case CmpOp::Gt:
+        return CmpOp::Lt;
+      case CmpOp::Le:
+        return CmpOp::Ge;
+      case CmpOp::Ge:
+        return CmpOp::Le;
+      default:
+        return O;
+      }
+    };
+    if (const auto *V = dyn_cast<VarRefExpr>(Lhs))
+      Apply(V->name(), Op, evalExpr(Rhs, S));
+    if (const auto *V = dyn_cast<VarRefExpr>(Rhs))
+      Apply(V->name(), Flip(Op), evalExpr(Lhs, S));
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Annotation rebuilding
+//===----------------------------------------------------------------------===//
+
+/// Deep copy of the AST into a fresh arena, attaching inferred annotations
+/// to loops that lack one.
+class Rebuilder {
+  AstArena &Arena;
+  const std::map<uint32_t, LoopFacts> &Facts;
+
+public:
+  Rebuilder(AstArena &Arena, const std::map<uint32_t, LoopFacts> &Facts)
+      : Arena(Arena), Facts(Facts) {}
+
+  const Expr *copy(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::VarRef:
+      return Arena.make<VarRefExpr>(cast<VarRefExpr>(E)->name());
+    case ExprKind::IntLit:
+      return Arena.make<IntLitExpr>(cast<IntLitExpr>(E)->value());
+    case ExprKind::Havoc:
+      return Arena.make<HavocExpr>(cast<HavocExpr>(E)->siteId());
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return Arena.make<BinaryExpr>(B->op(), copy(B->lhs()), copy(B->rhs()));
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  const Pred *copy(const Pred *P) {
+    switch (P->kind()) {
+    case PredKind::BoolLit:
+      return Arena.make<BoolLitPred>(cast<BoolLitPred>(P)->value());
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(P);
+      return Arena.make<ComparePred>(C->op(), copy(C->lhs()), copy(C->rhs()));
+    }
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(P);
+      return Arena.make<LogicalPred>(L->isAnd(), copy(L->lhs()),
+                                     copy(L->rhs()));
+    }
+    case PredKind::Not:
+      return Arena.make<NotPred>(copy(cast<NotPred>(P)->sub()));
+    }
+    assert(false && "unhandled predicate kind");
+    return nullptr;
+  }
+
+  const Stmt *copy(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      return Arena.make<AssignStmt>(A->var(), copy(A->value()));
+    }
+    case StmtKind::Skip:
+      return Arena.make<SkipStmt>();
+    case StmtKind::Block: {
+      std::vector<const Stmt *> Stmts;
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        Stmts.push_back(copy(Sub));
+      return Arena.make<BlockStmt>(std::move(Stmts));
+    }
+    case StmtKind::Assume:
+      return Arena.make<AssumeStmt>(copy(cast<AssumeStmt>(S)->cond()));
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return Arena.make<IfStmt>(copy(I->cond()), copy(I->thenStmt()),
+                                I->elseStmt() ? copy(I->elseStmt()) : nullptr);
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      const Pred *Annot = W->annot() ? copy(W->annot()) : inferred(W);
+      return Arena.make<WhileStmt>(W->loopId(), copy(W->cond()),
+                                   copy(W->body()), Annot);
+    }
+    }
+    assert(false && "unhandled statement kind");
+    return nullptr;
+  }
+
+private:
+  /// Builds the inferred annotation: negated loop condition plus interval
+  /// bounds for modified variables.
+  const Pred *inferred(const WhileStmt *W) {
+    const Pred *Annot = Arena.make<NotPred>(copy(W->cond()));
+    auto It = Facts.find(W->loopId());
+    if (It == Facts.end())
+      return Annot;
+    for (const auto &[Var, I] : It->second.ExitBounds) {
+      if (I.Bottom)
+        continue; // loop never exits normally; keep just !cond
+      if (I.Lo) {
+        const Pred *C = Arena.make<ComparePred>(
+            CmpOp::Ge, Arena.make<VarRefExpr>(Var),
+            Arena.make<IntLitExpr>(*I.Lo));
+        Annot = Arena.make<LogicalPred>(/*IsAnd=*/true, Annot, C);
+      }
+      if (I.Hi) {
+        const Pred *C = Arena.make<ComparePred>(
+            CmpOp::Le, Arena.make<VarRefExpr>(Var),
+            Arena.make<IntLitExpr>(*I.Hi));
+        Annot = Arena.make<LogicalPred>(/*IsAnd=*/true, Annot, C);
+      }
+    }
+    return Annot;
+  }
+};
+
+} // namespace
+
+Program abdiag::analysis::annotateLoops(const Program &Prog) {
+  // Phase 1: interval analysis collects per-loop exit bounds.
+  std::map<uint32_t, LoopFacts> Facts;
+  IntervalInterp Interp(Facts);
+  State Init;
+  for (const std::string &P : Prog.Params)
+    Init[P] = Interval::top();
+  for (const std::string &L : Prog.Locals)
+    Init[L] = Interval::constant(0);
+  Interp.exec(Prog.Body, std::move(Init));
+
+  // Phase 2: rebuild the AST with inferred annotations.
+  Program Out;
+  Out.Name = Prog.Name;
+  Out.Params = Prog.Params;
+  Out.Locals = Prog.Locals;
+  Out.NumLoops = Prog.NumLoops;
+  Out.NumHavocs = Prog.NumHavocs;
+  Rebuilder RB(*Out.Arena, Facts);
+  Out.Body = RB.copy(Prog.Body);
+  Out.Check = RB.copy(Prog.Check);
+  return Out;
+}

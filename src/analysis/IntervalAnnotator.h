@@ -1,0 +1,75 @@
+//===- analysis/IntervalAnnotator.h - Loop annotation inference -*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper assumes loop postconditions `@p'` are "obtained from any
+/// automatic sound static analysis technique, such as abstract
+/// interpretation". This module is that analysis: a classic interval
+/// abstract interpreter with widening. For every un-annotated loop it
+/// infers a sound postcondition consisting of
+///   * interval bounds for each loop-modified variable, and
+///   * the negated loop condition (which always holds on normal exit),
+/// and returns a copy of the program with those annotations attached.
+/// Existing (hand-written) annotations are preserved untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_ANALYSIS_INTERVALANNOTATOR_H
+#define ABDIAG_ANALYSIS_INTERVALANNOTATOR_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace abdiag::analysis {
+
+/// A (possibly unbounded) integer interval. An empty optional means
+/// unbounded on that side; an interval with Lo > Hi is bottom.
+struct Interval {
+  std::optional<int64_t> Lo;
+  std::optional<int64_t> Hi;
+  bool Bottom = false;
+
+  static Interval top() { return Interval(); }
+  static Interval bottom() {
+    Interval I;
+    I.Bottom = true;
+    return I;
+  }
+  static Interval constant(int64_t C) {
+    Interval I;
+    I.Lo = I.Hi = C;
+    return I;
+  }
+
+  bool isTop() const { return !Bottom && !Lo && !Hi; }
+  bool contains(int64_t V) const {
+    return !Bottom && (!Lo || *Lo <= V) && (!Hi || V <= *Hi);
+  }
+
+  Interval join(const Interval &O) const;
+  /// Standard widening: bounds that grew become unbounded.
+  Interval widen(const Interval &Next) const;
+  Interval add(const Interval &O) const;
+  Interval sub(const Interval &O) const;
+  Interval mul(const Interval &O) const;
+  /// Intersects with [NewLo, NewHi]; either side may be absent.
+  Interval clamp(std::optional<int64_t> NewLo, std::optional<int64_t> NewHi) const;
+
+  bool operator==(const Interval &O) const {
+    return Bottom == O.Bottom && Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+/// Runs the interval analysis and returns an annotated copy of \p Prog:
+/// every loop without a user annotation receives an inferred `@p'`.
+lang::Program annotateLoops(const lang::Program &Prog);
+
+} // namespace abdiag::analysis
+
+#endif // ABDIAG_ANALYSIS_INTERVALANNOTATOR_H

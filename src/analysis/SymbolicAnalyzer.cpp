@@ -1,0 +1,351 @@
+//===- analysis/SymbolicAnalyzer.cpp - Section 3 symbolic analysis ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SymbolicAnalyzer.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace abdiag;
+using namespace abdiag::analysis;
+using namespace abdiag::smt;
+using namespace abdiag::lang;
+
+namespace {
+
+/// A symbolic value set theta = {(pi, phi)}.
+using ValueSet = std::vector<std::pair<LinearExpr, const Formula *>>;
+
+/// Collects the variables assigned anywhere inside \p S (including nested
+/// loops), i.e. the "modified in s" set of the loop rule in Figure 5.
+void collectAssigned(const Stmt *S, std::set<std::string> &Out) {
+  switch (S->kind()) {
+  case StmtKind::Assign:
+    Out.insert(cast<AssignStmt>(S)->var());
+    return;
+  case StmtKind::Skip:
+  case StmtKind::Assume:
+    return;
+  case StmtKind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      collectAssigned(Sub, Out);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectAssigned(I->thenStmt(), Out);
+    if (I->elseStmt())
+      collectAssigned(I->elseStmt(), Out);
+    return;
+  }
+  case StmtKind::While:
+    collectAssigned(cast<WhileStmt>(S)->body(), Out);
+    return;
+  }
+  assert(false && "unhandled statement kind");
+}
+
+class Analyzer {
+  FormulaManager &M;
+  Solver &Slv;
+  const AnalyzerOptions &Opts;
+  AnalysisResult Res;
+  std::map<std::string, ValueSet> Store;
+  const Formula *I; // threaded invariant
+  std::vector<const Formula *> SideConditions; // globally valid facts
+  std::map<std::pair<LinearExpr, LinearExpr>, VarId> NonLinearMemo;
+
+public:
+  Analyzer(Solver &Slv, const AnalyzerOptions &Opts)
+      : M(Slv.manager()), Slv(Slv), Opts(Opts), I(M.getTrue()) {}
+
+  AnalysisResult run(const Program &Prog) {
+    for (const std::string &P : Prog.Params) {
+      VarId V = M.vars().getOrCreate(P, VarKind::Input);
+      Res.InputVars[P] = V;
+      VarOrigin O;
+      O.K = VarOrigin::Kind::Input;
+      O.ProgVar = P;
+      O.Text = "input " + P;
+      Res.Origins[V] = O;
+      Store[P] = {{LinearExpr::variable(V), M.getTrue()}};
+    }
+    for (const std::string &L : Prog.Locals)
+      Store[L] = {{LinearExpr::constant(0), M.getTrue()}};
+    exec(Prog.Body);
+    Res.SuccessCondition = evalPred(Prog.Check);
+    std::vector<const Formula *> Parts{I};
+    Parts.insert(Parts.end(), SideConditions.begin(), SideConditions.end());
+    Res.Invariants = M.mkAnd(std::move(Parts));
+    return std::move(Res);
+  }
+
+private:
+  /// Merges entries with identical symbolic value (or-ing their guards),
+  /// drops false guards, and optionally prunes unsatisfiable ones.
+  void normalize(ValueSet &VS) {
+    std::map<LinearExpr, std::vector<const Formula *>> ByValue;
+    for (auto &[Pi, Phi] : VS) {
+      if (Phi->isFalse())
+        continue;
+      ByValue[Pi].push_back(Phi);
+    }
+    VS.clear();
+    for (auto &[Pi, Phis] : ByValue) {
+      const Formula *Guard = M.mkOr(std::move(Phis));
+      if (Guard->isFalse())
+        continue;
+      if (Opts.PruneInfeasibleGuards && ByValue.size() > 4 &&
+          !Slv.isSat(Guard))
+        continue;
+      VS.emplace_back(Pi, Guard);
+    }
+  }
+
+  VarId freshAbstraction(const std::string &Name, VarOrigin O) {
+    VarId V = M.vars().getOrCreate(Name, VarKind::Abstraction);
+    Res.Origins[V] = std::move(O);
+    return V;
+  }
+
+  ValueSet evalExpr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      auto It = Store.find(cast<VarRefExpr>(E)->name());
+      assert(It != Store.end() && "undeclared variable survived parsing");
+      return It->second;
+    }
+    case ExprKind::IntLit:
+      return {{LinearExpr::constant(cast<IntLitExpr>(E)->value()),
+               M.getTrue()}};
+    case ExprKind::Havoc: {
+      const auto *H = cast<HavocExpr>(E);
+      auto It = Res.HavocVars.find(H->siteId());
+      VarId V;
+      if (It != Res.HavocVars.end()) {
+        V = It->second;
+      } else {
+        VarOrigin O;
+        O.K = VarOrigin::Kind::Havoc;
+        O.Site = H->siteId();
+        O.Text = "the result of the unknown call #" +
+                 std::to_string(H->siteId() + 1);
+        V = freshAbstraction("havoc@" + std::to_string(H->siteId()),
+                             std::move(O));
+        Res.HavocVars[H->siteId()] = V;
+      }
+      return {{LinearExpr::variable(V), M.getTrue()}};
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      ValueSet L = evalExpr(B->lhs());
+      ValueSet R = evalExpr(B->rhs());
+      ValueSet Out;
+      for (const auto &[Pi1, Phi1] : L)
+        for (const auto &[Pi2, Phi2] : R) {
+          const Formula *Guard = M.mkAnd(Phi1, Phi2);
+          if (Guard->isFalse())
+            continue;
+          Out.emplace_back(combine(B->op(), Pi1, Pi2), Guard);
+        }
+      normalize(Out);
+      return Out;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return {};
+  }
+
+  /// Combines two symbolic values; non-linear products become abstraction
+  /// variables with a >= 0 side condition for syntactic squares.
+  LinearExpr combine(BinOp Op, const LinearExpr &A, const LinearExpr &B) {
+    switch (Op) {
+    case BinOp::Add:
+      return A.add(B);
+    case BinOp::Sub:
+      return A.sub(B);
+    case BinOp::Mul:
+      if (A.isConstant())
+        return B.scaled(A.constant());
+      if (B.isConstant())
+        return A.scaled(B.constant());
+      return LinearExpr::variable(nonLinearVar(A, B));
+    }
+    assert(false && "unhandled binary operator");
+    return LinearExpr();
+  }
+
+  VarId nonLinearVar(const LinearExpr &A, const LinearExpr &B) {
+    std::pair<LinearExpr, LinearExpr> Key =
+        B < A ? std::make_pair(B, A) : std::make_pair(A, B);
+    auto It = NonLinearMemo.find(Key);
+    if (It != NonLinearMemo.end())
+      return It->second;
+    VarOrigin O;
+    O.K = VarOrigin::Kind::NonLinear;
+    O.Factor1 = Key.first;
+    O.Factor2 = Key.second;
+    O.Text = "the value of the non-linear product (" +
+             Key.first.str(M.vars()) + ") * (" + Key.second.str(M.vars()) +
+             ")";
+    VarId V = freshAbstraction(
+        "mul@" + std::to_string(NonLinearMemo.size() + 1), std::move(O));
+    // A syntactic square is never negative (the alpha_{n*n} >= 0 fact the
+    // paper's introduction uses).
+    bool IsSquare = Key.first == Key.second;
+    NonLinearMemo.emplace(std::move(Key), V);
+    if (IsSquare)
+      SideConditions.push_back(
+          M.mkGe(LinearExpr::variable(V), LinearExpr::constant(0)));
+    return V;
+  }
+
+  const Formula *evalPred(const Pred *P) {
+    switch (P->kind()) {
+    case PredKind::BoolLit:
+      return M.getBool(cast<BoolLitPred>(P)->value());
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(P);
+      ValueSet L = evalExpr(C->lhs());
+      ValueSet R = evalExpr(C->rhs());
+      std::vector<const Formula *> Cases;
+      for (const auto &[Pi1, Phi1] : L)
+        for (const auto &[Pi2, Phi2] : R) {
+          const Formula *Cmp = nullptr;
+          switch (C->op()) {
+          case CmpOp::Lt:
+            Cmp = M.mkLt(Pi1, Pi2);
+            break;
+          case CmpOp::Gt:
+            Cmp = M.mkGt(Pi1, Pi2);
+            break;
+          case CmpOp::Le:
+            Cmp = M.mkLe(Pi1, Pi2);
+            break;
+          case CmpOp::Ge:
+            Cmp = M.mkGe(Pi1, Pi2);
+            break;
+          case CmpOp::Eq:
+            Cmp = M.mkEq(Pi1, Pi2);
+            break;
+          case CmpOp::Ne:
+            Cmp = M.mkNe(Pi1, Pi2);
+            break;
+          }
+          Cases.push_back(M.mkAnd({Cmp, Phi1, Phi2}));
+        }
+      return M.mkOr(std::move(Cases));
+    }
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(P);
+      const Formula *A = evalPred(L->lhs());
+      const Formula *B = evalPred(L->rhs());
+      return L->isAnd() ? M.mkAnd(A, B) : M.mkOr(A, B);
+    }
+    case PredKind::Not:
+      return M.mkNot(evalPred(cast<NotPred>(P)->sub()));
+    }
+    assert(false && "unhandled predicate kind");
+    return M.getFalse();
+  }
+
+  void exec(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      Store[A->var()] = evalExpr(A->value());
+      return;
+    }
+    case StmtKind::Skip:
+      return;
+    case StmtKind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        exec(Sub);
+      return;
+    case StmtKind::Assume:
+      I = M.mkAnd(I, evalPred(cast<AssumeStmt>(S)->cond()));
+      return;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      const Formula *Cond = evalPred(If->cond());
+      // Run each branch from the current store with a fresh invariant
+      // accumulator; recombine per the Figure 5 if-rule.
+      std::map<std::string, ValueSet> SavedStore = Store;
+      const Formula *SavedI = I;
+
+      I = M.getTrue();
+      exec(If->thenStmt());
+      std::map<std::string, ValueSet> ThenStore = std::move(Store);
+      const Formula *ThenI = I;
+
+      Store = std::move(SavedStore);
+      I = M.getTrue();
+      if (If->elseStmt())
+        exec(If->elseStmt());
+      const Formula *ElseI = I;
+
+      // S' = (S_then && cond) ⊔ (S_else && !cond).
+      const Formula *NotCond = M.mkNot(Cond);
+      std::map<std::string, ValueSet> Joined;
+      for (auto &[Var, ElseVS] : Store) {
+        ValueSet Merged;
+        for (const auto &[Pi, Phi] : ThenStore.at(Var))
+          Merged.emplace_back(Pi, M.mkAnd(Phi, Cond));
+        for (const auto &[Pi, Phi] : ElseVS)
+          Merged.emplace_back(Pi, M.mkAnd(Phi, NotCond));
+        normalize(Merged);
+        Joined[Var] = std::move(Merged);
+      }
+      Store = std::move(Joined);
+      I = M.mkAnd({SavedI, M.mkImplies(Cond, ThenI),
+                   M.mkImplies(NotCond, ElseI)});
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      std::set<std::string> Modified;
+      collectAssigned(W->body(), Modified);
+      for (const std::string &V : Modified) {
+        VarOrigin O;
+        O.K = VarOrigin::Kind::LoopExit;
+        O.ProgVar = V;
+        O.LoopId = W->loopId();
+        O.Text = "the value of " + V + " after loop " +
+                 std::to_string(W->loopId() + 1);
+        VarId A = freshAbstraction(
+            V + "@loop" + std::to_string(W->loopId() + 1), std::move(O));
+        Res.LoopExitVars[{W->loopId(), V}] = A;
+        Store[V] = {{LinearExpr::variable(A), M.getTrue()}};
+      }
+      if (W->annot())
+        I = M.mkAnd(I, evalPred(W->annot()));
+      if (Opts.AssumeLoopExitCondition)
+        I = M.mkAnd(I, M.mkNot(evalPred(W->cond())));
+      return;
+    }
+    }
+    assert(false && "unhandled statement kind");
+  }
+};
+
+} // namespace
+
+AnalysisResult abdiag::analysis::analyzeProgram(const Program &Prog,
+                                                Solver &S,
+                                                const AnalyzerOptions &Opts) {
+  Analyzer A(S, Opts);
+  return A.run(Prog);
+}
+
+std::string abdiag::analysis::describeVar(const AnalysisResult &R,
+                                          const VarTable &VT, VarId V) {
+  auto It = R.Origins.find(V);
+  if (It != R.Origins.end())
+    return It->second.Text;
+  return VT.name(V);
+}

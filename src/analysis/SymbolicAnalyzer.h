@@ -1,0 +1,97 @@
+//===- analysis/SymbolicAnalyzer.h - Section 3 symbolic analysis -*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static analysis of Section 3: exact symbolic value propagation on
+/// loop-free code with every source of imprecision named by an abstraction
+/// variable.
+///
+/// Values of program variables are *symbolic value sets*
+/// theta = {(pi_1, phi_1), ..., (pi_k, phi_k)}: the variable has symbolic
+/// value pi_i under path constraint phi_i (Figure 2 of the paper). The
+/// transformers of Figure 5 propagate stores of value sets; loops bind
+/// modified variables to fresh abstraction variables alpha_v^rho and
+/// evaluate the @p' annotation in that store to constrain them; assume()
+/// statements contribute invariants directly; non-linear products and
+/// havoc() results get their own abstraction variables (with the side
+/// condition alpha >= 0 for syntactic squares, as in the paper's alpha_{n*n}
+/// example).
+///
+/// The result is the pair (I, phi) of Lemmas 1/2: known invariants over the
+/// analysis variables and the success condition of the check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_ANALYSIS_SYMBOLICANALYZER_H
+#define ABDIAG_ANALYSIS_SYMBOLICANALYZER_H
+
+#include "lang/Ast.h"
+#include "smt/Formula.h"
+#include "smt/Solver.h"
+
+#include <map>
+#include <string>
+
+namespace abdiag::analysis {
+
+/// Where an analysis variable came from; used to render queries in terms of
+/// program entities (Section 4.4: "translate analysis variables into program
+/// expressions").
+struct VarOrigin {
+  enum class Kind {
+    Input,     ///< nu: value of a program input
+    LoopExit,  ///< alpha_v^rho: value of variable v after loop rho
+    Havoc,     ///< alpha for an un-analyzed library call result
+    NonLinear  ///< alpha for a non-linear product pi1 * pi2
+  };
+  Kind K = Kind::Input;
+  std::string ProgVar;  ///< input name, or the variable v for LoopExit
+  uint32_t LoopId = 0;  ///< for LoopExit
+  uint32_t Site = 0;    ///< for Havoc
+  /// For NonLinear: the two factor expressions (over analysis variables).
+  smt::LinearExpr Factor1, Factor2;
+  /// Human-readable description, e.g. "the value of j after loop 1".
+  std::string Text;
+};
+
+/// Analysis output: the invariants I, the success condition phi, and the
+/// mapping from analysis variables back to the program.
+struct AnalysisResult {
+  const smt::Formula *Invariants = nullptr;       ///< I
+  const smt::Formula *SuccessCondition = nullptr; ///< phi
+  std::map<std::string, smt::VarId> InputVars;    ///< param -> nu
+  /// (loop id, variable) -> alpha_v^rho for variables modified in the loop.
+  std::map<std::pair<uint32_t, std::string>, smt::VarId> LoopExitVars;
+  /// havoc site id -> alpha.
+  std::map<uint32_t, smt::VarId> HavocVars;
+  std::map<smt::VarId, VarOrigin> Origins;
+};
+
+/// Knobs for the analysis.
+struct AnalyzerOptions {
+  /// Conjoin the negated loop condition (over the post-loop store) to I.
+  /// The paper leaves exit conditions to the @p' annotation; the automatic
+  /// annotation pass uses this instead. Off by default for paper fidelity.
+  bool AssumeLoopExitCondition = false;
+  /// Prune value-set entries whose guard is unsatisfiable (needs a solver;
+  /// keeps value sets small on branchy code). On by default.
+  bool PruneInfeasibleGuards = true;
+};
+
+/// Runs the analysis. The FormulaManager inside \p S receives all analysis
+/// variables; variable names are derived from program entities (inputs keep
+/// their name; alpha variables get names like "j@loop1").
+AnalysisResult analyzeProgram(const lang::Program &Prog, smt::Solver &S,
+                              const AnalyzerOptions &Opts = AnalyzerOptions());
+
+/// Renders \p V for query text using its origin ("input n",
+/// "the value of j after loop 1", ...).
+std::string describeVar(const AnalysisResult &R, const smt::VarTable &VT,
+                        smt::VarId V);
+
+} // namespace abdiag::analysis
+
+#endif // ABDIAG_ANALYSIS_SYMBOLICANALYZER_H

@@ -1,0 +1,151 @@
+//===- core/Abduction.cpp - Weakest minimum abduction ------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Abduction.h"
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+#include "smt/Simplify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+int64_t Abducer::varCost(const VarTable &VT, VarId V, AbductionMode Mode,
+                         int64_t NumVars, CostModel Model) {
+  int64_t Expensive = NumVars > 0 ? NumVars : 1;
+  if (VT.kind(V) == VarKind::Aux) {
+    // Aux variables are internal; make them prohibitively expensive so the
+    // search never prefers them (they should not occur in targets anyway).
+    return Expensive * 16 + 16;
+  }
+  if (Model == CostModel::Uniform)
+    return 1;
+  bool IsAbstraction = VT.kind(V) == VarKind::Abstraction;
+  if (Model == CostModel::Swapped)
+    IsAbstraction = !IsAbstraction;
+  // Definition 2 / Definition 9.
+  if (Mode == AbductionMode::ProofObligation)
+    return IsAbstraction ? 1 : Expensive;
+  return IsAbstraction ? Expensive : 1;
+}
+
+int64_t Abducer::formulaCost(const Formula *F, AbductionMode Mode,
+                             int64_t NumVars) const {
+  int64_t C = 0;
+  for (VarId V : freeVars(F))
+    C += varCost(S.manager().vars(), V, Mode, NumVars, Model);
+  return C;
+}
+
+AbductionResult Abducer::abduce(
+    const Formula *I, const Formula *Target, AbductionMode Mode,
+    const std::vector<const Formula *> &ConsistWith) {
+  FormulaManager &M = S.manager();
+  AbductionResult Res;
+
+  // |Vars(phi) ∪ Vars(I)| drives the expensive tier of the cost function.
+  // Target is I => phi (or I => ¬phi), so its variables are exactly that
+  // union (variables simplified away cannot appear in any abduction).
+  std::set<VarId> AllVars = freeVars(Target);
+  collectFreeVars(I, AllVars);
+  int64_t NumVars = static_cast<int64_t>(AllVars.size());
+
+  CostFn Cost = [this, Mode, NumVars](VarId V) {
+    return varCost(S.manager().vars(), V, Mode, NumVars, Model);
+  };
+  Res.Msa = findMsa(S, Target, ConsistWith, Cost);
+  if (!Res.Msa.Found)
+    return Res;
+
+  // Lemma 3/5: Gamma = QE(forall V-bar. Target), simplified modulo I.
+  // Among all minimum-cost candidates, apply Definition 3(2): drop any
+  // candidate strictly stronger than another, then prefer the smallest.
+  std::set<VarId> TargetVars = freeVars(Target);
+  std::vector<const Formula *> Candidates;
+  for (const MsaCandidate &Cand : Res.Msa.Candidates) {
+    std::set<VarId> Keep(Cand.Vars.begin(), Cand.Vars.end());
+    std::vector<VarId> Eliminate;
+    for (VarId V : TargetVars)
+      if (!Keep.count(V))
+        Eliminate.push_back(V);
+    const Formula *Gamma = eliminateForall(M, Target, Eliminate);
+    if (SimplifyModuloI)
+      Gamma = simplifyModulo(S, Gamma, I);
+    // The definition requires SAT(Gamma ∧ I); guaranteed by consistency of
+    // the assignment, but re-check defensively (simplification preserves
+    // equivalence modulo I, so this should never fire).
+    if (!S.isSat(M.mkAnd(Gamma, I)))
+      continue;
+    Candidates.push_back(Gamma);
+  }
+  if (Candidates.empty())
+    return Res;
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
+  Candidates.erase(std::unique(Candidates.begin(), Candidates.end()),
+                   Candidates.end());
+
+  // Remove candidates strictly stronger than another candidate.
+  std::vector<const Formula *> Weakest;
+  for (const Formula *A : Candidates) {
+    bool StrictlyStronger = false;
+    for (const Formula *B : Candidates) {
+      if (A == B)
+        continue;
+      if (S.entails(A, B) && !S.entails(B, A)) {
+        StrictlyStronger = true;
+        break;
+      }
+    }
+    if (!StrictlyStronger)
+      Weakest.push_back(A);
+  }
+  assert(!Weakest.empty() && "strict implication is acyclic");
+
+  // Prefer the syntactically smallest (fewest atoms, then lowest id).
+  const Formula *Best = Weakest.front();
+  for (const Formula *F : Weakest)
+    if (atomCount(F) < atomCount(Best) ||
+        (atomCount(F) == atomCount(Best) && F->id() < Best->id()))
+      Best = F;
+
+  Res.Found = true;
+  Res.Fml = Best;
+  Res.Cost = formulaCost(Best, Mode, NumVars);
+  return Res;
+}
+
+AbductionResult Abducer::proofObligation(
+    const Formula *I, const Formula *Phi,
+    const std::vector<const Formula *> &Witnesses,
+    const std::vector<const Formula *> &PotentialWitnesses) {
+  FormulaManager &M = S.manager();
+  const Formula *Target = M.mkImplies(I, Phi);
+  // Consistency: with I itself, and with every (potential) witness in the
+  // context of I -- we must not ask about facts violating a known witness.
+  std::vector<const Formula *> Consist{I};
+  for (const Formula *W : Witnesses)
+    Consist.push_back(M.mkAnd(I, W));
+  for (const Formula *W : PotentialWitnesses)
+    Consist.push_back(M.mkAnd(I, W));
+  return abduce(I, Target, AbductionMode::ProofObligation, Consist);
+}
+
+AbductionResult Abducer::failureWitness(
+    const Formula *I, const Formula *Phi,
+    const std::vector<const Formula *> &PotentialInvariants) {
+  FormulaManager &M = S.manager();
+  const Formula *Target = M.mkImplies(I, M.mkNot(Phi));
+  std::vector<const Formula *> Consist{I};
+  for (const Formula *P : PotentialInvariants)
+    Consist.push_back(M.mkAnd(I, P));
+  return abduce(I, Target, AbductionMode::FailureWitness, Consist);
+}

@@ -1,0 +1,103 @@
+//===- core/Abduction.h - Weakest minimum abduction -------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central contribution (Section 4): computing *weakest minimum
+/// proof obligations* (Definition 3) and *weakest minimum failure witnesses*
+/// (Definition 10) by abductive inference.
+///
+///   proof obligation Gamma:  Gamma ∧ I |= phi   and  SAT(Gamma ∧ I)
+///   failure witness  Upsilon: Upsilon ∧ I |= ¬phi and  SAT(Upsilon ∧ I)
+///
+/// Both are computed per Lemmas 3/5: find a minimum satisfying assignment of
+/// I => phi (resp. I => ¬phi) consistent with I (and, for obligations, with
+/// every known witness), then eliminate the unassigned variables
+/// universally and simplify modulo I. Costs follow Definitions 2/9:
+///
+///   Pi_p(alpha) = 1,  Pi_p(nu) = |Vars(phi) ∪ Vars(I)|   (obligations)
+///   Pi_w(nu)    = 1,  Pi_w(alpha) = |Vars(phi) ∪ Vars(I)| (witnesses)
+///
+/// so obligations prefer constraining sources of imprecision over the
+/// program's environment, and witnesses prefer the opposite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_ABDUCTION_H
+#define ABDIAG_CORE_ABDUCTION_H
+
+#include "core/Msa.h"
+
+namespace abdiag::core {
+
+/// A computed obligation or witness.
+struct AbductionResult {
+  bool Found = false;
+  const smt::Formula *Fml = nullptr; ///< Gamma or Upsilon, simplified
+  int64_t Cost = 0;                  ///< cost of Fml under the mode's Pi
+  MsaResult Msa;                     ///< the underlying assignment(s)
+};
+
+/// Which cost function (Definition 2 vs Definition 9) applies.
+enum class AbductionMode : uint8_t { ProofObligation, FailureWitness };
+
+/// Cost-model variants, for the E5 ablation (DESIGN.md):
+///  * Paper: Definitions 2/9 (obligations prefer abstraction variables,
+///    witnesses prefer inputs);
+///  * Uniform: every variable costs 1 (no strategy bias);
+///  * Swapped: the definitions with the tiers exchanged (obligations prefer
+///    inputs, witnesses prefer abstraction variables).
+enum class CostModel : uint8_t { Paper, Uniform, Swapped };
+
+/// Computes weakest minimum proof obligations and failure witnesses.
+class Abducer {
+  smt::Solver &S;
+  bool SimplifyModuloI;
+  CostModel Model;
+
+public:
+  explicit Abducer(smt::Solver &S, bool SimplifyModuloI = true,
+                   CostModel Model = CostModel::Paper)
+      : S(S), SimplifyModuloI(SimplifyModuloI), Model(Model) {}
+
+  /// Per-variable cost (Definitions 2/9 under CostModel::Paper); \p NumVars
+  /// is |Vars(phi) ∪ Vars(I)|. Aux variables never appear in queries but
+  /// get a prohibitive cost for safety.
+  static int64_t varCost(const smt::VarTable &VT, smt::VarId V,
+                         AbductionMode Mode, int64_t NumVars,
+                         CostModel Model = CostModel::Paper);
+
+  /// Weakest minimum proof obligation for (I, phi), consistent with I and
+  /// with each witness in \p Witnesses and each potential witness in
+  /// \p PotentialWitnesses (Section 5).
+  AbductionResult
+  proofObligation(const smt::Formula *I, const smt::Formula *Phi,
+                  const std::vector<const smt::Formula *> &Witnesses = {},
+                  const std::vector<const smt::Formula *> &PotentialWitnesses =
+                      {});
+
+  /// Weakest minimum failure witness for (I, phi), consistent with I and
+  /// with each potential invariant in \p PotentialInvariants (Section 5).
+  AbductionResult
+  failureWitness(const smt::Formula *I, const smt::Formula *Phi,
+                 const std::vector<const smt::Formula *> &PotentialInvariants =
+                     {});
+
+  /// Cost of an arbitrary formula under a mode's Pi (used to re-evaluate
+  /// simplified obligations and to compare Gamma vs Upsilon in Figure 6).
+  int64_t formulaCost(const smt::Formula *F, AbductionMode Mode,
+                      int64_t NumVars) const;
+
+  smt::Solver &solver() { return S; }
+
+private:
+  AbductionResult abduce(const smt::Formula *I, const smt::Formula *Target,
+                         AbductionMode Mode,
+                         const std::vector<const smt::Formula *> &ConsistWith);
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_ABDUCTION_H

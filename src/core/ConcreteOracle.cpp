@@ -1,0 +1,198 @@
+//===- core/ConcreteOracle.cpp - Exhaustive concrete-execution oracle --------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConcreteOracle.h"
+
+#include "lang/Interp.h"
+#include "smt/FormulaOps.h"
+
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::analysis;
+using namespace abdiag::smt;
+using namespace abdiag::lang;
+
+namespace {
+
+/// Resolves the concrete value of an analysis variable in one run,
+/// recursing through non-linear product factors.
+class RunResolver {
+  const AnalysisResult &AR;
+  const RunResult &Run;
+  const std::vector<int64_t> &Inputs;
+  const std::vector<std::string> &Params;
+  const std::vector<int64_t> &HavocVals;
+
+public:
+  RunResolver(const AnalysisResult &AR, const RunResult &Run,
+              const std::vector<int64_t> &Inputs,
+              const std::vector<std::string> &Params,
+              const std::vector<int64_t> &HavocVals)
+      : AR(AR), Run(Run), Inputs(Inputs), Params(Params),
+        HavocVals(HavocVals) {}
+
+  std::optional<int64_t> valueOf(VarId V) const {
+    auto It = AR.Origins.find(V);
+    if (It == AR.Origins.end())
+      return std::nullopt; // aux variable: never defined in runs
+    const VarOrigin &O = It->second;
+    switch (O.K) {
+    case VarOrigin::Kind::Input:
+      for (size_t I = 0; I < Params.size(); ++I)
+        if (Params[I] == O.ProgVar)
+          return Inputs[I];
+      return std::nullopt;
+    case VarOrigin::Kind::LoopExit: {
+      auto LIt = Run.LoopExitValues.find(O.LoopId);
+      if (LIt == Run.LoopExitValues.end())
+        return std::nullopt; // loop never exited in this run
+      auto VIt = LIt->second.find(O.ProgVar);
+      if (VIt == LIt->second.end())
+        return std::nullopt;
+      return VIt->second;
+    }
+    case VarOrigin::Kind::Havoc:
+      if (O.Site < HavocVals.size())
+        return HavocVals[O.Site];
+      return std::nullopt;
+    case VarOrigin::Kind::NonLinear: {
+      std::optional<int64_t> F1 = valueOfExpr(O.Factor1);
+      std::optional<int64_t> F2 = valueOfExpr(O.Factor2);
+      if (!F1 || !F2)
+        return std::nullopt;
+      return checkedMul(*F1, *F2);
+    }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<int64_t> valueOfExpr(const LinearExpr &E) const {
+    int64_t Acc = E.constant();
+    for (const auto &[V, C] : E.terms()) {
+      std::optional<int64_t> Val = valueOf(V);
+      if (!Val)
+        return std::nullopt;
+      Acc = checkedAdd(Acc, checkedMul(C, *Val));
+    }
+    return Acc;
+  }
+};
+
+} // namespace
+
+ConcreteOracle::ConcreteOracle(const Program &Prog, const AnalysisResult &AR,
+                               ConcreteOracleConfig Config) {
+  // Determine the largest variable id we must track.
+  for (const auto &[V, O] : AR.Origins) {
+    (void)O;
+    NumVarSlots = std::max(NumVarSlots, static_cast<size_t>(V) + 1);
+  }
+
+  // Shrink the input box so the total number of runs stays below the cap.
+  size_t NumParams = Prog.Params.size();
+  size_t NumHavocCombos = 1;
+  size_t HavocSites = Prog.NumHavocs;
+  for (size_t I = 0; I < HavocSites; ++I)
+    NumHavocCombos *= Config.HavocValues.size();
+  int64_t Bound = Config.InputBound;
+  auto TotalRuns = [&](int64_t B) {
+    double Runs = static_cast<double>(NumHavocCombos);
+    for (size_t I = 0; I < NumParams; ++I)
+      Runs *= static_cast<double>(2 * B + 1);
+    return Runs;
+  };
+  while (Bound > 2 && TotalRuns(Bound) > static_cast<double>(Config.MaxRuns))
+    --Bound;
+
+  // Enumerate havoc combinations x input tuples.
+  std::vector<int64_t> HavocVals(HavocSites, 0);
+  std::vector<size_t> HavocIdx(HavocSites, 0);
+  while (true) {
+    for (size_t I = 0; I < HavocSites; ++I)
+      HavocVals[I] = Config.HavocValues[HavocIdx[I]];
+    auto HavocFn = [&](uint32_t Site, uint64_t) -> int64_t {
+      return Site < HavocVals.size() ? HavocVals[Site] : 0;
+    };
+
+    std::vector<int64_t> Inputs(NumParams, -Bound);
+    while (true) {
+      RunResult R = runProgram(Prog, Inputs, Config.Fuel, HavocFn);
+      if (R.Status == RunStatus::CheckPassed ||
+          R.Status == RunStatus::CheckFailed) {
+        RunValues RV;
+        RV.CheckPassed = R.Status == RunStatus::CheckPassed;
+        AnyFailing = AnyFailing || !RV.CheckPassed;
+        RV.Values.assign(NumVarSlots, std::nullopt);
+        RunResolver Resolver(AR, R, Inputs, Prog.Params, HavocVals);
+        for (const auto &[V, O] : AR.Origins) {
+          (void)O;
+          RV.Values[V] = Resolver.valueOf(V);
+        }
+        Runs.push_back(std::move(RV));
+      }
+      // Odometer over inputs; wrapping (or having no parameters) means all
+      // input tuples for this havoc combination are done.
+      size_t I = 0;
+      while (I < NumParams && ++Inputs[I] > Bound) {
+        Inputs[I] = -Bound;
+        ++I;
+      }
+      if (I == NumParams)
+        break;
+    }
+    // Odometer over havoc combinations.
+    size_t I = 0;
+    while (I < HavocSites && ++HavocIdx[I] == Config.HavocValues.size()) {
+      HavocIdx[I] = 0;
+      ++I;
+    }
+    if (I == HavocSites)
+      break;
+  }
+}
+
+std::optional<bool> ConcreteOracle::evalIn(const Formula *F,
+                                           const RunValues &Run) const {
+  // All variables must be defined in this run.
+  for (VarId V : freeVars(F))
+    if (V >= Run.Values.size() || !Run.Values[V])
+      return std::nullopt;
+  return evaluate(F, [&](VarId V) { return *Run.Values[V]; });
+}
+
+Oracle::Answer ConcreteOracle::isInvariant(const Formula *F) {
+  bool AnyDefined = false;
+  for (const RunValues &Run : Runs) {
+    std::optional<bool> V = evalIn(F, Run);
+    if (!V)
+      continue;
+    AnyDefined = true;
+    if (!*V)
+      return Answer::No; // sound: a concrete violating execution
+  }
+  if (!AnyDefined)
+    return Answer::Unknown;
+  return Answer::Yes; // exhaustive within bounds
+}
+
+Oracle::Answer ConcreteOracle::isPossible(const Formula *F,
+                                          const Formula *Given) {
+  bool AnyDefined = false;
+  for (const RunValues &Run : Runs) {
+    std::optional<bool> FV = evalIn(F, Run);
+    std::optional<bool> GV = evalIn(Given, Run);
+    if (!FV || !GV)
+      continue;
+    AnyDefined = true;
+    if (*FV && *GV)
+      return Answer::Yes; // sound: a concrete execution
+  }
+  if (!AnyDefined)
+    return Answer::Unknown;
+  return Answer::No; // exhaustive within bounds
+}

@@ -1,0 +1,87 @@
+//===- core/ConcreteOracle.h - Exhaustive concrete-execution oracle -*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A machine oracle that answers invariant/witness queries by exhaustively
+/// executing the program over a box of input (and havoc) values with the
+/// concrete interpreter, recording for each completed run the concrete
+/// values of every analysis variable:
+///
+///   nu          -> the input value
+///   alpha_v^rho -> the interpreter's recorded value of v when loop rho
+///                  last exited
+///   alpha_havoc -> the havoc value supplied for that site
+///   alpha_mul   -> factor1 * factor2 evaluated recursively in the run
+///
+/// "Yes" answers to witness queries and "no" answers to invariant queries
+/// are sound (backed by a concrete execution). "Yes" to an invariant and
+/// "no" to a witness are exhaustive *within the bounds* -- precisely the
+/// kind of evidence a careful human gathers, and the Section 8 future-work
+/// idea of deciding witness queries with dynamic analysis. Queries whose
+/// variables are defined in no completed run answer Unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_CONCRETEORACLE_H
+#define ABDIAG_CORE_CONCRETEORACLE_H
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "core/Oracle.h"
+#include "lang/Ast.h"
+
+#include <optional>
+#include <vector>
+
+namespace abdiag::core {
+
+/// Bounds for the exhaustive exploration.
+struct ConcreteOracleConfig {
+  /// Inputs range over [-InputBound, InputBound]; shrunk automatically when
+  /// the program has many parameters so the run count stays manageable.
+  int64_t InputBound = 8;
+  /// Candidate values supplied to havoc() sites.
+  std::vector<int64_t> HavocValues = {-7, -1, 0, 1, 3, 10};
+  /// Loop-iteration fuel per run.
+  uint64_t Fuel = 20000;
+  /// Hard cap on the total number of runs.
+  size_t MaxRuns = 2000000;
+};
+
+/// The oracle; precomputes all runs at construction.
+class ConcreteOracle : public Oracle {
+public:
+  ConcreteOracle(const lang::Program &Prog,
+                 const analysis::AnalysisResult &AR,
+                 ConcreteOracleConfig Config = ConcreteOracleConfig());
+
+  Answer isInvariant(const smt::Formula *F) override;
+  Answer isPossible(const smt::Formula *F, const smt::Formula *Given) override;
+
+  /// Ground-truth helper: did any completed run fail its check? (Used to
+  /// certify benchmark classifications.)
+  bool anyFailingRun() const { return AnyFailing; }
+  bool anyCompletedRun() const { return !Runs.empty(); }
+  size_t numRuns() const { return Runs.size(); }
+
+private:
+  /// Values of analysis variables in one completed run; absent entries mean
+  /// the variable's program point was not reached.
+  struct RunValues {
+    std::vector<std::optional<int64_t>> Values; // indexed by VarId
+    bool CheckPassed = false;
+  };
+
+  std::vector<RunValues> Runs;
+  size_t NumVarSlots = 0;
+  bool AnyFailing = false;
+
+  /// Evaluates \p F in \p Run; nullopt when some variable is undefined.
+  std::optional<bool> evalIn(const smt::Formula *F, const RunValues &Run) const;
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_CONCRETEORACLE_H

@@ -1,0 +1,283 @@
+//===- core/Diagnosis.cpp - The Figure 6 diagnosis loop ----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Diagnosis.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+Oracle::~Oracle() = default;
+
+Oracle::Answer ScriptedOracle::next() {
+  if (Script.empty()) {
+    std::fprintf(stderr, "abdiag: fatal: scripted oracle ran out of answers\n");
+    std::abort();
+  }
+  Answer A = Script.front();
+  Script.pop_front();
+  return A;
+}
+
+std::string DiagnosisEngine::renderFormula(const Formula *F) const {
+  return toString(F, S.manager().vars());
+}
+
+Oracle::Answer DiagnosisEngine::askRawInvariant(const Formula *F) {
+  auto Cached = InvariantCache.find(F);
+  if (Cached != InvariantCache.end())
+    return Cached->second;
+  if (QueriesLeft-- <= 0)
+    return Oracle::Answer::Unknown;
+  QueryRecord R;
+  R.K = QueryRecord::Kind::Invariant;
+  R.Fml = F;
+  R.Text = "Does \"" + renderFormula(F) + "\" hold in every execution?";
+  R.Ans = User->isInvariant(F);
+  Out->Transcript.push_back(R);
+  InvariantCache.emplace(F, R.Ans);
+  return R.Ans;
+}
+
+Oracle::Answer DiagnosisEngine::askRawPossible(const Formula *F,
+                                               const Formula *Given) {
+  auto Cached = PossibleCache.find({F, Given});
+  if (Cached != PossibleCache.end())
+    return Cached->second;
+  if (QueriesLeft-- <= 0)
+    return Oracle::Answer::Unknown;
+  QueryRecord R;
+  R.K = QueryRecord::Kind::Possible;
+  R.Fml = F;
+  R.Given = Given;
+  R.Text = "Can \"" + renderFormula(F) + "\" hold in some execution";
+  if (!Given->isTrue())
+    R.Text += " in which \"" + renderFormula(Given) + "\" holds";
+  R.Text += "?";
+  R.Ans = User->isPossible(F, Given);
+  Out->Transcript.push_back(R);
+  PossibleCache.emplace(std::make_pair(F, Given), R.Ans);
+  return R.Ans;
+}
+
+void DiagnosisEngine::learnInvariant(const Formula *F) {
+  Invariants = S.manager().mkAnd(Invariants, F);
+}
+
+void DiagnosisEngine::learnWitness(const Formula *F) {
+  Witnesses.push_back(F);
+}
+
+Oracle::Answer DiagnosisEngine::askInvariant(const Formula *F) {
+  if (!Config.DecomposeQueries)
+    return askRawInvariant(F);
+  std::vector<std::vector<const Formula *>> Cnf;
+  if (!toCnf(S.manager(), F, Cnf) || Cnf.empty())
+    return askRawInvariant(F);
+  // Each clause must independently be an invariant.
+  bool SawUnknown = false;
+  for (const auto &Clause : Cnf) {
+    Oracle::Answer A = askClauseInvariant(Clause);
+    if (A == Oracle::Answer::No)
+      return Oracle::Answer::No;
+    if (A == Oracle::Answer::Unknown)
+      SawUnknown = true;
+  }
+  return SawUnknown ? Oracle::Answer::Unknown : Oracle::Answer::Yes;
+}
+
+Oracle::Answer DiagnosisEngine::askClauseInvariant(
+    const std::vector<const Formula *> &Clause) {
+  FormulaManager &M = S.manager();
+  if (Clause.size() == 1) {
+    Oracle::Answer A = askRawInvariant(Clause.front());
+    if (A == Oracle::Answer::Yes && Config.LearnFromSubqueries)
+      learnInvariant(Clause.front());
+    return A;
+  }
+  // Disjunctive clause: humans find disjunctions hard (Section 4.4). First
+  // try each disjunct as an invariant on its own, which often succeeds.
+  bool SawUnknown = false;
+  for (const Formula *L : Clause) {
+    Oracle::Answer A = askRawInvariant(L);
+    if (A == Oracle::Answer::Yes) {
+      if (Config.LearnFromSubqueries)
+        learnInvariant(L);
+      return Oracle::Answer::Yes;
+    }
+    if (A == Oracle::Answer::Unknown)
+      SawUnknown = true;
+    if (QueriesLeft <= 0)
+      return Oracle::Answer::Unknown;
+  }
+  // Truly disjunctive invariant: C is an invariant iff the conjunction of
+  // the negated disjuncts is not a witness.
+  std::vector<const Formula *> NegCube;
+  NegCube.reserve(Clause.size());
+  for (const Formula *L : Clause)
+    NegCube.push_back(M.mkNot(L));
+  Oracle::Answer W = askCubeWitness(NegCube);
+  if (W == Oracle::Answer::Yes) {
+    if (Config.LearnFromSubqueries)
+      learnWitness(M.mkAnd(NegCube));
+    return Oracle::Answer::No;
+  }
+  if (W == Oracle::Answer::No) {
+    if (Config.LearnFromSubqueries)
+      learnInvariant(M.mkOr(std::vector<const Formula *>(Clause)));
+    return Oracle::Answer::Yes;
+  }
+  return SawUnknown ? Oracle::Answer::Unknown : Oracle::Answer::Unknown;
+}
+
+Oracle::Answer DiagnosisEngine::askWitness(const Formula *F) {
+  if (!Config.DecomposeQueries) {
+    // A witness query without decomposition is a single possibility query.
+    return askRawPossible(F, S.manager().getTrue());
+  }
+  std::vector<std::vector<const Formula *>> Dnf;
+  if (!toDnf(S.manager(), F, Dnf) || Dnf.empty())
+    return askRawPossible(F, S.manager().getTrue());
+  // Some cube possible => the witness holds in some execution.
+  bool SawUnknown = false;
+  for (const auto &Cube : Dnf) {
+    Oracle::Answer A = askCubeWitness(Cube);
+    if (A == Oracle::Answer::Yes)
+      return Oracle::Answer::Yes;
+    if (A == Oracle::Answer::Unknown)
+      SawUnknown = true;
+  }
+  return SawUnknown ? Oracle::Answer::Unknown : Oracle::Answer::No;
+}
+
+Oracle::Answer DiagnosisEngine::askCubeWitness(
+    const std::vector<const Formula *> &Cube) {
+  FormulaManager &M = S.manager();
+  // Sequential conditional queries: is m1 possible? is m2 possible in an
+  // execution where m1 holds? ... (Section 4.4).
+  const Formula *Ctx = M.getTrue();
+  for (const Formula *Lit : Cube) {
+    Oracle::Answer A = askRawPossible(Lit, Ctx);
+    if (A == Oracle::Answer::No) {
+      // No execution satisfies Ctx ∧ Lit: that negation is an invariant.
+      if (Config.LearnFromSubqueries)
+        learnInvariant(M.mkNot(M.mkAnd(Ctx, Lit)));
+      return Oracle::Answer::No;
+    }
+    if (A == Oracle::Answer::Unknown)
+      return Oracle::Answer::Unknown;
+    Ctx = M.mkAnd(Ctx, Lit);
+  }
+  if (Config.LearnFromSubqueries && !Ctx->isTrue())
+    learnWitness(Ctx);
+  return Oracle::Answer::Yes;
+}
+
+DiagnosisResult DiagnosisEngine::run(const Formula *I, const Formula *Phi,
+                                     Oracle &O) {
+  FormulaManager &M = S.manager();
+  DiagnosisResult Result;
+  Out = &Result;
+  User = &O;
+  Invariants = I;
+  Witnesses.clear();
+  PotentialInvariants.clear();
+  PotentialWitnesses.clear();
+  InvariantCache.clear();
+  PossibleCache.clear();
+  QueriesLeft = Config.MaxQueries;
+
+  Abducer Abd(S, Config.SimplifyQueries, Config.Costs);
+
+  for (int Iter = 0; Iter < Config.MaxIterations; ++Iter) {
+    Result.Iterations = Iter + 1;
+    // Lines 3-4 of Figure 6: decided already?
+    if (S.isValid(M.mkImplies(Invariants, Phi))) {
+      Result.Outcome = DiagnosisOutcome::Discharged;
+      Result.DecidedWithoutQueries = Result.Transcript.empty();
+      break;
+    }
+    bool ValidatedByWitness = false;
+    for (const Formula *W : Witnesses)
+      if (!S.isSat(M.mkAnd({Invariants, W, Phi}))) {
+        ValidatedByWitness = true;
+        break;
+      }
+    if (ValidatedByWitness ||
+        S.isValid(M.mkImplies(Invariants, M.mkNot(Phi)))) {
+      Result.Outcome = DiagnosisOutcome::Validated;
+      Result.DecidedWithoutQueries = Result.Transcript.empty();
+      break;
+    }
+    if (QueriesLeft <= 0)
+      break;
+
+    // Lines 5-8: compute the two abductions.
+    AbductionResult Gamma =
+        Abd.proofObligation(Invariants, Phi, Witnesses, PotentialWitnesses);
+    AbductionResult Upsilon =
+        Abd.failureWitness(Invariants, Phi, PotentialInvariants);
+    if (!Gamma.Found && !Upsilon.Found)
+      break;
+
+    // Line 9: ask the cheaper query first.
+    bool TryDischarge =
+        Gamma.Found && (!Upsilon.Found || Gamma.Cost <= Upsilon.Cost);
+    if (TryDischarge) {
+      Oracle::Answer A = askInvariant(Gamma.Fml);
+      if (A == Oracle::Answer::Yes) {
+        learnInvariant(Gamma.Fml);
+        Result.Outcome = DiagnosisOutcome::Discharged;
+        break;
+      }
+      if (A == Oracle::Answer::No) {
+        learnWitness(M.mkNot(Gamma.Fml)); // line 12
+      } else {
+        PotentialInvariants.push_back(Gamma.Fml); // Section 5
+        PotentialWitnesses.push_back(M.mkNot(Gamma.Fml));
+      }
+    } else {
+      Oracle::Answer A = askWitness(Upsilon.Fml);
+      if (A == Oracle::Answer::Yes) {
+        Result.Outcome = DiagnosisOutcome::Validated;
+        break;
+      }
+      if (A == Oracle::Answer::No) {
+        learnInvariant(M.mkNot(Upsilon.Fml)); // line 17
+      } else {
+        PotentialWitnesses.push_back(Upsilon.Fml); // Section 5
+        PotentialInvariants.push_back(M.mkNot(Upsilon.Fml));
+      }
+    }
+  }
+
+  // Facts learned on the last iteration may decide the report even after
+  // the loop exits.
+  if (Result.Outcome == DiagnosisOutcome::Inconclusive) {
+    if (S.isValid(M.mkImplies(Invariants, Phi))) {
+      Result.Outcome = DiagnosisOutcome::Discharged;
+    } else {
+      bool Validated = S.isValid(M.mkImplies(Invariants, M.mkNot(Phi)));
+      for (const Formula *W : Witnesses)
+        if (!Validated && !S.isSat(M.mkAnd({Invariants, W, Phi})))
+          Validated = true;
+      if (Validated)
+        Result.Outcome = DiagnosisOutcome::Validated;
+    }
+  }
+
+  Result.FinalInvariants = Invariants;
+  Out = nullptr;
+  User = nullptr;
+  return Result;
+}

@@ -1,0 +1,130 @@
+//===- core/Diagnosis.h - The Figure 6 diagnosis loop -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full query-guided error diagnosis algorithm (Figure 6 of the paper)
+/// with the Section 4.4 query decomposition and the Section 5 handling of
+/// "I don't know" answers:
+///
+///  1. If I |= phi, the report is discharged (false alarm); if some learned
+///     witness contradicts phi under I, it is validated (real bug).
+///  2. Otherwise compute a weakest minimum proof obligation Gamma and
+///     failure witness Upsilon, and ask the cheaper one.
+///  3. "Yes" to Gamma discharges; "no" learns the witness ¬Gamma. "Yes" to
+///     Upsilon validates; "no" learns the invariant ¬Upsilon. Unknown
+///     answers populate the potential-invariant/potential-witness sets that
+///     constrain later abductions.
+///  4. Queries with boolean structure are decomposed: invariant queries per
+///     CNF clause (disjunctive clauses first try each disjunct, then flip
+///     into a conjunctive witness query), witness queries per DNF cube
+///     (conjunctive cubes become chains of conditional possibility
+///     queries). Facts learned from subqueries are integrated even when the
+///     enclosing query fails (the optimization at the end of Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_DIAGNOSIS_H
+#define ABDIAG_CORE_DIAGNOSIS_H
+
+#include "core/Abduction.h"
+#include "core/Oracle.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace abdiag::core {
+
+/// Final classification of an error report.
+enum class DiagnosisOutcome : uint8_t {
+  Discharged,   ///< proven false alarm
+  Validated,    ///< proven real bug
+  Inconclusive  ///< ran out of iterations / answerable queries
+};
+
+/// One user interaction, for transcripts and metrics.
+struct QueryRecord {
+  enum class Kind : uint8_t { Invariant, Possible };
+  Kind K = Kind::Invariant;
+  const smt::Formula *Fml = nullptr;
+  const smt::Formula *Given = nullptr; ///< context for Possible queries
+  Oracle::Answer Ans = Oracle::Answer::Unknown;
+  std::string Text; ///< rendered question
+};
+
+/// Diagnosis engine configuration.
+struct DiagnosisConfig {
+  /// Maximum Figure 6 iterations before giving up.
+  int MaxIterations = 16;
+  /// Maximum individual oracle interactions.
+  int MaxQueries = 64;
+  /// Section 4.4 decomposition of boolean structure into subqueries.
+  bool DecomposeQueries = true;
+  /// Integrate facts learned from subqueries (Section 4.4 optimization).
+  bool LearnFromSubqueries = true;
+  /// Simplify abduced formulas modulo I (Remark after Lemma 3).
+  bool SimplifyQueries = true;
+  /// Cost model for abduction (E5 ablation; Paper = Definitions 2/9).
+  CostModel Costs = CostModel::Paper;
+};
+
+/// Result of a diagnosis run.
+struct DiagnosisResult {
+  DiagnosisOutcome Outcome = DiagnosisOutcome::Inconclusive;
+  std::vector<QueryRecord> Transcript;
+  int Iterations = 0;
+  /// Invariants at the end (I plus learned facts).
+  const smt::Formula *FinalInvariants = nullptr;
+  /// True when the initial analysis already decided the report (no queries).
+  bool DecidedWithoutQueries = false;
+};
+
+/// Runs query-guided diagnosis for the analysis output (I, phi).
+class DiagnosisEngine {
+public:
+  DiagnosisEngine(smt::Solver &S, DiagnosisConfig Config = DiagnosisConfig())
+      : S(S), Config(std::move(Config)) {}
+
+  DiagnosisResult run(const smt::Formula *I, const smt::Formula *Phi,
+                      Oracle &O);
+
+private:
+  smt::Solver &S;
+  DiagnosisConfig Config;
+
+  // Per-run state.
+  std::vector<const smt::Formula *> Witnesses;
+  std::vector<const smt::Formula *> PotentialInvariants;
+  std::vector<const smt::Formula *> PotentialWitnesses;
+  const smt::Formula *Invariants = nullptr;
+  DiagnosisResult *Out = nullptr;
+  Oracle *User = nullptr;
+  int QueriesLeft = 0;
+  /// Answer caches: the engine never asks the user the same question twice
+  /// (replayed answers do not appear in the transcript or cost time).
+  std::map<const smt::Formula *, Oracle::Answer> InvariantCache;
+  std::map<std::pair<const smt::Formula *, const smt::Formula *>,
+           Oracle::Answer>
+      PossibleCache;
+
+  Oracle::Answer askRawInvariant(const smt::Formula *F);
+  Oracle::Answer askRawPossible(const smt::Formula *F,
+                                const smt::Formula *Given);
+
+  Oracle::Answer askInvariant(const smt::Formula *F);
+  Oracle::Answer askClauseInvariant(const std::vector<const smt::Formula *> &C);
+  Oracle::Answer askWitness(const smt::Formula *F);
+  Oracle::Answer askCubeWitness(const std::vector<const smt::Formula *> &Cube);
+
+  void learnInvariant(const smt::Formula *F);
+  void learnWitness(const smt::Formula *F);
+
+  std::string renderFormula(const smt::Formula *F) const;
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_DIAGNOSIS_H

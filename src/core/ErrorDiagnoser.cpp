@@ -1,0 +1,76 @@
+//===- core/ErrorDiagnoser.cpp - Public end-to-end API -----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorDiagnoser.h"
+
+#include "analysis/IntervalAnnotator.h"
+#include "lang/Parser.h"
+
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+ErrorDiagnoser::ErrorDiagnoser() : ErrorDiagnoser(Options()) {}
+
+ErrorDiagnoser::ErrorDiagnoser(Options Opts) : Opts(std::move(Opts)), S(M) {}
+
+ErrorDiagnoser::~ErrorDiagnoser() = default;
+
+bool ErrorDiagnoser::loadSource(std::string_view Source, std::string *Error) {
+  lang::ParseResult P = lang::parseProgram(Source);
+  if (!P.ok()) {
+    if (Error)
+      *Error = P.Error;
+    return false;
+  }
+  Prog = std::move(*P.Prog);
+  if (Opts.AutoAnnotate)
+    Prog = analysis::annotateLoops(Prog);
+  Analysis = analysis::analyzeProgram(Prog, S, Opts.Analyzer);
+  Loaded = true;
+  return true;
+}
+
+bool ErrorDiagnoser::loadFile(const std::string &Path, std::string *Error) {
+  lang::ParseResult P = lang::parseProgramFile(Path);
+  if (!P.ok()) {
+    if (Error)
+      *Error = P.Error;
+    return false;
+  }
+  Prog = std::move(*P.Prog);
+  if (Opts.AutoAnnotate)
+    Prog = analysis::annotateLoops(Prog);
+  Analysis = analysis::analyzeProgram(Prog, S, Opts.Analyzer);
+  Loaded = true;
+  return true;
+}
+
+bool ErrorDiagnoser::dischargedByAnalysis() {
+  assert(Loaded && "no program loaded");
+  return S.isValid(
+      M.mkImplies(Analysis.Invariants, Analysis.SuccessCondition));
+}
+
+bool ErrorDiagnoser::validatedByAnalysis() {
+  assert(Loaded && "no program loaded");
+  return S.isValid(M.mkImplies(Analysis.Invariants,
+                               M.mkNot(Analysis.SuccessCondition)));
+}
+
+DiagnosisResult ErrorDiagnoser::diagnose(Oracle &O) {
+  assert(Loaded && "no program loaded");
+  DiagnosisEngine Engine(S, Opts.Diagnosis);
+  return Engine.run(Analysis.Invariants, Analysis.SuccessCondition, O);
+}
+
+std::unique_ptr<ConcreteOracle>
+ErrorDiagnoser::makeConcreteOracle(ConcreteOracleConfig Config) {
+  assert(Loaded && "no program loaded");
+  return std::make_unique<ConcreteOracle>(Prog, Analysis, std::move(Config));
+}

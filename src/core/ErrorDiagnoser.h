@@ -1,0 +1,90 @@
+//===- core/ErrorDiagnoser.h - Public end-to-end API ------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one-stop public API of the library: load a program, run the
+/// annotation and symbolic analysis pipeline, and diagnose the potential
+/// error report with an oracle.
+///
+/// \code
+///   abdiag::core::ErrorDiagnoser D;
+///   std::string Err;
+///   if (!D.loadFile("prog.adg", &Err)) { ... }
+///   auto Oracle = D.makeConcreteOracle();
+///   abdiag::core::DiagnosisResult R = D.diagnose(*Oracle);
+///   // R.Outcome is Discharged (false alarm) or Validated (real bug).
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_ERRORDIAGNOSER_H
+#define ABDIAG_CORE_ERRORDIAGNOSER_H
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "core/ConcreteOracle.h"
+#include "core/Diagnosis.h"
+
+#include <memory>
+#include <string_view>
+
+namespace abdiag::core {
+
+/// End-to-end driver: parse -> annotate loops -> symbolic analysis ->
+/// query-guided diagnosis.
+class ErrorDiagnoser {
+public:
+  struct Options {
+    /// Infer @p' annotations for un-annotated loops with the interval
+    /// abstract interpreter.
+    bool AutoAnnotate = true;
+    analysis::AnalyzerOptions Analyzer;
+    DiagnosisConfig Diagnosis;
+  };
+
+  ErrorDiagnoser();
+  explicit ErrorDiagnoser(Options Opts);
+  ~ErrorDiagnoser();
+  ErrorDiagnoser(const ErrorDiagnoser &) = delete;
+  ErrorDiagnoser &operator=(const ErrorDiagnoser &) = delete;
+
+  /// Parses and analyzes \p Source; on failure returns false and fills
+  /// \p Error. Replaces any previously loaded program.
+  bool loadSource(std::string_view Source, std::string *Error);
+  bool loadFile(const std::string &Path, std::string *Error);
+
+  /// The loaded (and possibly auto-annotated) program.
+  const lang::Program &program() const { return Prog; }
+
+  /// The (I, phi) analysis result with variable origin metadata.
+  const analysis::AnalysisResult &analysis() const { return Analysis; }
+
+  /// True if the analysis alone discharges the report (Lemma 1).
+  bool dischargedByAnalysis();
+  /// True if the analysis alone validates the report (Lemma 2).
+  bool validatedByAnalysis();
+
+  /// Runs the Figure 6 diagnosis loop against \p O.
+  DiagnosisResult diagnose(Oracle &O);
+
+  /// Builds the exhaustive concrete-execution oracle for this program.
+  std::unique_ptr<ConcreteOracle>
+  makeConcreteOracle(ConcreteOracleConfig Config = ConcreteOracleConfig());
+
+  smt::Solver &solver() { return S; }
+  smt::FormulaManager &manager() { return M; }
+
+private:
+  Options Opts;
+  smt::FormulaManager M;
+  smt::Solver S;
+  lang::Program Prog;
+  analysis::AnalysisResult Analysis;
+  bool Loaded = false;
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_ERRORDIAGNOSER_H

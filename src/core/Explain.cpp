@@ -1,0 +1,81 @@
+//===- core/Explain.cpp - Human-readable diagnosis explanations --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Explain.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <set>
+#include <sstream>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+std::string abdiag::core::explainDiagnosis(const DiagnosisResult &R,
+                                           const analysis::AnalysisResult &AR,
+                                           const smt::VarTable &VT) {
+  std::ostringstream OS;
+  switch (R.Outcome) {
+  case DiagnosisOutcome::Discharged:
+    OS << "Verdict: FALSE ALARM — the assertion is proven to hold in every "
+          "execution.\n";
+    break;
+  case DiagnosisOutcome::Validated:
+    OS << "Verdict: REAL BUG — some execution is certain to violate the "
+          "assertion.\n";
+    break;
+  case DiagnosisOutcome::Inconclusive:
+    OS << "Verdict: INCONCLUSIVE — the report could not be classified with "
+          "the answers given.\n";
+    break;
+  }
+
+  if (R.DecidedWithoutQueries) {
+    OS << "The analysis facts alone decide the report (Lemma "
+       << (R.Outcome == DiagnosisOutcome::Discharged ? "1" : "2")
+       << "); no user interaction was needed.\n";
+  } else if (!R.Transcript.empty()) {
+    OS << "Resolved after " << R.Transcript.size() << " question"
+       << (R.Transcript.size() == 1 ? "" : "s") << ":\n";
+    for (size_t I = 0; I < R.Transcript.size(); ++I) {
+      const QueryRecord &Q = R.Transcript[I];
+      const char *Ans = Q.Ans == Oracle::Answer::Yes   ? "yes"
+                        : Q.Ans == Oracle::Answer::No  ? "no"
+                                                       : "don't know";
+      OS << "  " << (I + 1) << ". " << Q.Text << "  ->  " << Ans << "\n";
+    }
+    // What each terminal answer established.
+    const QueryRecord &Last = R.Transcript.back();
+    if (R.Outcome == DiagnosisOutcome::Discharged) {
+      OS << "Together with the analysis invariants, the confirmed facts "
+            "entail the assertion.\n";
+    } else if (R.Outcome == DiagnosisOutcome::Validated) {
+      if (Last.K == QueryRecord::Kind::Possible &&
+          Last.Ans == Oracle::Answer::Yes)
+        OS << "The confirmed execution is incompatible with the assertion "
+              "under the analysis invariants.\n";
+      else
+        OS << "The denied invariant yields a witness execution that "
+              "contradicts the assertion.\n";
+    }
+  }
+
+  // Legend for every analysis variable mentioned in the transcript.
+  std::set<smt::VarId> Mentioned;
+  for (const QueryRecord &Q : R.Transcript) {
+    smt::collectFreeVars(Q.Fml, Mentioned);
+    if (Q.Given)
+      smt::collectFreeVars(Q.Given, Mentioned);
+  }
+  if (!Mentioned.empty()) {
+    OS << "where:\n";
+    for (smt::VarId V : Mentioned)
+      OS << "  " << VT.name(V) << " = " << analysis::describeVar(AR, VT, V)
+         << "\n";
+  }
+  return OS.str();
+}

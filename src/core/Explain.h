@@ -1,0 +1,35 @@
+//===- core/Explain.h - Human-readable diagnosis explanations ---*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a diagnosis result as a short natural-language justification:
+/// which facts the user confirmed, which witnesses were established, and
+/// why they decide the report. This is the "making static reasoning
+/// transparent to users" goal of the paper's related-work discussion,
+/// applied to our own output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_EXPLAIN_H
+#define ABDIAG_CORE_EXPLAIN_H
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "core/Diagnosis.h"
+
+#include <string>
+
+namespace abdiag::core {
+
+/// Builds a multi-line explanation of \p R for the analysis output \p AR.
+/// Includes the verdict, the question/answer trail, and a variable legend
+/// mapping analysis variables back to program entities.
+std::string explainDiagnosis(const DiagnosisResult &R,
+                             const analysis::AnalysisResult &AR,
+                             const smt::VarTable &VT);
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_EXPLAIN_H

@@ -1,0 +1,148 @@
+//===- core/Msa.cpp - Minimum satisfying assignments -------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Msa.h"
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <set>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+namespace {
+
+/// A subset of the target's variables represented as a bitmask over the
+/// (sorted) variable list, ordered by cost for the best-first search.
+struct SearchNode {
+  int64_t Cost;
+  uint64_t Mask;
+  bool operator>(const SearchNode &O) const {
+    if (Cost != O.Cost)
+      return Cost > O.Cost;
+    return Mask > O.Mask; // deterministic tie-break
+  }
+};
+
+} // namespace
+
+MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
+                                const std::vector<const Formula *> &ConsistWith,
+                                const CostFn &Cost, const MsaOptions &Opts) {
+  FormulaManager &M = S.manager();
+  MsaResult Res;
+
+  std::set<VarId> FvSet = freeVars(Target);
+  std::vector<VarId> Fv(FvSet.begin(), FvSet.end());
+  assert(Fv.size() <= 64 && "MSA search limited to 64 target variables");
+
+  // Rename the non-shared variables of each consistency condition apart so
+  // "individually satisfiable with sigma" becomes one joint SAT query.
+  // Variables of Target stay; everything else gets a per-condition copy.
+  std::vector<const Formula *> RenamedConds;
+  for (size_t I = 0; I < ConsistWith.size(); ++I) {
+    const Formula *C = ConsistWith[I];
+    std::unordered_map<VarId, LinearExpr> Renaming;
+    for (VarId V : freeVars(C)) {
+      if (FvSet.count(V))
+        continue;
+      VarId Copy = M.vars().getOrCreate(
+          M.vars().name(V) + "#c" + std::to_string(I), VarKind::Aux);
+      Renaming.emplace(V, LinearExpr::variable(Copy));
+    }
+    RenamedConds.push_back(substitute(M, C, Renaming));
+  }
+
+  // But note: variables of Target that are *not* in the candidate subset V
+  // are universally eliminated from Target, yet a consistency condition may
+  // still mention them -- those occurrences are existential per condition
+  // and must also be renamed. We handle this per subset below by renaming
+  // the complement; to keep it cheap we precompute, for each condition, its
+  // formula with every Target variable still intact and rename lazily.
+
+  auto TestSubset = [&](uint64_t Mask, MsaCandidate &Out) -> bool {
+    std::vector<VarId> Complement, Chosen;
+    for (size_t I = 0; I < Fv.size(); ++I) {
+      if (Mask & (1ULL << I))
+        Chosen.push_back(Fv[I]);
+      else
+        Complement.push_back(Fv[I]);
+    }
+    const Formula *Psi = eliminateForall(M, Target, Complement);
+    if (Psi->isFalse())
+      return false;
+    // Rename complement variables inside the consistency conditions (they
+    // are existential per condition).
+    std::vector<const Formula *> Conj{Psi};
+    for (size_t I = 0; I < RenamedConds.size(); ++I) {
+      std::unordered_map<VarId, LinearExpr> Renaming;
+      for (VarId V : Complement) {
+        if (!containsVar(RenamedConds[I], V))
+          continue;
+        VarId Copy = M.vars().getOrCreate(M.vars().name(V) + "#c" +
+                                              std::to_string(I) + "e",
+                                          VarKind::Aux);
+        Renaming.emplace(V, LinearExpr::variable(Copy));
+      }
+      Conj.push_back(substitute(M, RenamedConds[I], Renaming));
+    }
+    Model Mo;
+    if (!S.isSat(M.mkAnd(std::move(Conj)), &Mo))
+      return false;
+    Out.Vars = Chosen;
+    for (VarId V : Chosen)
+      Out.Assignment[V] = Mo.count(V) ? Mo.at(V) : 0;
+    return true;
+  };
+
+  auto MaskCost = [&](uint64_t Mask) {
+    int64_t C = 0;
+    for (size_t I = 0; I < Fv.size(); ++I)
+      if (Mask & (1ULL << I))
+        C += Cost(Fv[I]);
+    return C;
+  };
+
+  // Best-first search over the subset lattice. Children extend a mask only
+  // with variables beyond its highest set bit, so each subset is visited
+  // exactly once.
+  std::priority_queue<SearchNode, std::vector<SearchNode>, std::greater<>>
+      Queue;
+  Queue.push({0, 0});
+  size_t Tested = 0;
+  while (!Queue.empty() && Tested < Opts.MaxSubsets) {
+    SearchNode N = Queue.top();
+    Queue.pop();
+    if (Res.Found && N.Cost > Res.Cost)
+      break; // all minimum-cost subsets enumerated
+    ++Tested;
+    MsaCandidate Cand;
+    Cand.Cost = N.Cost;
+    if (TestSubset(N.Mask, Cand)) {
+      if (!Res.Found) {
+        Res.Found = true;
+        Res.Cost = N.Cost;
+      }
+      if (Res.Candidates.size() < Opts.MaxCandidates)
+        Res.Candidates.push_back(std::move(Cand));
+      continue; // supersets cost more; no need to expand
+    }
+    size_t Start = 0;
+    if (N.Mask != 0)
+      Start = 64 - static_cast<size_t>(__builtin_clzll(N.Mask));
+    for (size_t I = Start; I < Fv.size(); ++I) {
+      uint64_t Child = N.Mask | (1ULL << I);
+      Queue.push({MaskCost(Child), Child});
+    }
+  }
+  return Res;
+}

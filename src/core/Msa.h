@@ -1,0 +1,76 @@
+//===- core/Msa.h - Minimum satisfying assignments --------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimum satisfying assignments (Definitions 4-6 of the paper; algorithm
+/// in the spirit of "Minimum Satisfying Assignments for SMT", Dillig,
+/// Dillig, McMillan, Aiken, CAV 2012).
+///
+/// A partial assignment sigma *satisfies* phi if sigma(phi) is valid (true
+/// for every value of the unassigned variables); its cost is the sum of the
+/// per-variable costs of the assigned variables. Because the cost depends
+/// only on the *set* of assigned variables, the search enumerates variable
+/// subsets V in order of increasing cost and accepts the first V for which
+///
+///     QE(forall (X \ V). phi)  ∧  (renamed consistency side conditions)
+///
+/// is satisfiable; the model restricted to V is the assignment. Consistency
+/// side conditions implement Definition 6 plus the witness-set and
+/// potential-invariant requirements of Sections 4.3/5: each condition C must
+/// be individually satisfiable together with sigma, which is encoded by
+/// renaming the non-V variables of each C apart and conjoining.
+///
+/// All minimum-cost subsets are reported so the abduction layer can apply
+/// the "weakest" tie-break of Definitions 3/10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_MSA_H
+#define ABDIAG_CORE_MSA_H
+
+#include "smt/Formula.h"
+#include "smt/Solver.h"
+
+#include <functional>
+#include <vector>
+
+namespace abdiag::core {
+
+/// Per-variable cost function (Definitions 2 and 9 instantiate this).
+using CostFn = std::function<int64_t(smt::VarId)>;
+
+/// One minimum satisfying assignment candidate.
+struct MsaCandidate {
+  std::vector<smt::VarId> Vars; ///< assigned variable set, sorted
+  smt::Model Assignment;        ///< values for exactly those variables
+  int64_t Cost = 0;
+};
+
+/// Result of the MSA search: all distinct minimum-cost variable subsets
+/// admitting a consistent satisfying assignment.
+struct MsaResult {
+  bool Found = false;
+  int64_t Cost = 0;
+  std::vector<MsaCandidate> Candidates;
+};
+
+/// Limits for the subset search.
+struct MsaOptions {
+  /// Maximum number of variable subsets to test before giving up.
+  size_t MaxSubsets = 4096;
+  /// Collect at most this many minimum-cost candidates.
+  size_t MaxCandidates = 8;
+};
+
+/// Finds minimum satisfying assignments of \p Target consistent with every
+/// formula in \p ConsistWith (each one individually, Definition 6).
+MsaResult findMsa(smt::Solver &S, const smt::Formula *Target,
+                  const std::vector<const smt::Formula *> &ConsistWith,
+                  const CostFn &Cost, const MsaOptions &Opts = MsaOptions());
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_MSA_H

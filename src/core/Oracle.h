@@ -1,0 +1,89 @@
+//===- core/Oracle.h - Query-answering oracles ------------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The oracle abstraction: whoever answers the diagnosis engine's queries.
+/// In the paper this is a human programmer; in this library it can also be
+/// a scripted answer list (tests), an exhaustive concrete-execution oracle
+/// (machine stand-in, see core/ConcreteOracle.h), a simulated noisy human
+/// (user study), or an interactive stdin session (examples).
+///
+/// Semantics (Definitions 7 and 11):
+///  * isInvariant(F): Yes means F holds in ALL executions; No means at
+///    least one execution violates F.
+///  * isPossible(F, Given): Yes means SOME execution satisfies F (and
+///    Given); No means no execution satisfies F together with Given.
+/// Unknown is the Section 5 "I don't know".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_ORACLE_H
+#define ABDIAG_CORE_ORACLE_H
+
+#include "smt/Formula.h"
+
+#include <deque>
+#include <functional>
+
+namespace abdiag::core {
+
+/// Interface for answering invariant and witness queries.
+class Oracle {
+public:
+  enum class Answer : uint8_t { Yes, No, Unknown };
+
+  virtual ~Oracle();
+
+  /// Does \p F hold in every execution?
+  virtual Answer isInvariant(const smt::Formula *F) = 0;
+
+  /// Can \p F hold in some execution in which \p Given also holds?
+  /// \p Given may be the True formula.
+  virtual Answer isPossible(const smt::Formula *F,
+                            const smt::Formula *Given) = 0;
+};
+
+/// Replays a fixed sequence of answers (for tests). Aborts if exhausted.
+class ScriptedOracle : public Oracle {
+  std::deque<Answer> Script;
+
+public:
+  explicit ScriptedOracle(std::deque<Answer> Script)
+      : Script(std::move(Script)) {}
+
+  Answer isInvariant(const smt::Formula *) override { return next(); }
+  Answer isPossible(const smt::Formula *, const smt::Formula *) override {
+    return next();
+  }
+  bool exhausted() const { return Script.empty(); }
+
+private:
+  Answer next();
+};
+
+/// Delegates to callables; convenient for ad-hoc oracles.
+class FunctionOracle : public Oracle {
+public:
+  using InvFn = std::function<Answer(const smt::Formula *)>;
+  using PosFn =
+      std::function<Answer(const smt::Formula *, const smt::Formula *)>;
+
+  FunctionOracle(InvFn Inv, PosFn Pos)
+      : Inv(std::move(Inv)), Pos(std::move(Pos)) {}
+
+  Answer isInvariant(const smt::Formula *F) override { return Inv(F); }
+  Answer isPossible(const smt::Formula *F, const smt::Formula *G) override {
+    return Pos(F, G);
+  }
+
+private:
+  InvFn Inv;
+  PosFn Pos;
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_ORACLE_H

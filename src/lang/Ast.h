@@ -1,0 +1,312 @@
+//===- lang/Ast.h - AST for the paper's mini-language -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax for the Section 2 language of the paper:
+///
+///   Program    P ::= lambda a⃗. (let v⃗ in (s; check(p)))
+///   Statement  s ::= v = e | skip | s1; s2 | if (p) s1 else s2
+///                  | while^rho (p) { s } [@ p']
+///   Expression e ::= v | c | e1 + e2 | e1 - e2 | e1 * e2
+///   Predicate  p ::= e1 ⊘ e2 | p1 && p2 | p1 || p2 | !p
+///
+/// with three pragmatic extensions used by the benchmarks (all of which the
+/// paper's implementation section mentions for real C code):
+///   * `assume(p)` records environment facts (e.g. unsigned inputs,
+///     argc/argv relationships) as invariants;
+///   * `havoc()` is an expression with an unknown value, modeling calls to
+///     un-analyzed library functions — each occurrence becomes an
+///     abstraction variable;
+///   * general multiplication `e1 * e2`; when both sides are non-constant
+///     the symbolic analysis models the result with an abstraction variable
+///     (the alpha_{n*n} of the paper's introduction).
+///
+/// Nodes are arena-allocated and immutable after construction; kind
+/// discriminators with `classof` enable isa<>/dyn_cast<>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_AST_H
+#define ABDIAG_LANG_AST_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace abdiag::lang {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t { VarRef, IntLit, Binary, Havoc };
+enum class BinOp : uint8_t { Add, Sub, Mul };
+
+/// Base class of expressions.
+class Expr {
+  ExprKind Kind;
+
+protected:
+  explicit Expr(ExprKind K) : Kind(K) {}
+
+public:
+  virtual ~Expr() = default;
+  ExprKind kind() const { return Kind; }
+};
+
+/// Reference to a program variable (input or local).
+class VarRefExpr : public Expr {
+  std::string Name;
+
+public:
+  explicit VarRefExpr(std::string Name)
+      : Expr(ExprKind::VarRef), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+};
+
+/// Integer constant.
+class IntLitExpr : public Expr {
+  int64_t Value;
+
+public:
+  explicit IntLitExpr(int64_t Value) : Expr(ExprKind::IntLit), Value(Value) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+};
+
+/// Binary arithmetic.
+class BinaryExpr : public Expr {
+  BinOp Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+
+public:
+  BinaryExpr(BinOp Op, const Expr *Lhs, const Expr *Rhs)
+      : Expr(ExprKind::Binary), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  BinOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+};
+
+/// An unknown value (un-analyzed library call result). Each syntactic
+/// occurrence carries a unique id used to name its abstraction variable.
+class HavocExpr : public Expr {
+  uint32_t SiteId;
+
+public:
+  explicit HavocExpr(uint32_t SiteId) : Expr(ExprKind::Havoc), SiteId(SiteId) {}
+  uint32_t siteId() const { return SiteId; }
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Havoc; }
+};
+
+//===----------------------------------------------------------------------===//
+// Predicates
+//===----------------------------------------------------------------------===//
+
+enum class PredKind : uint8_t { Compare, Logical, Not, BoolLit };
+enum class CmpOp : uint8_t { Lt, Gt, Le, Ge, Eq, Ne };
+
+/// Base class of predicates.
+class Pred {
+  PredKind Kind;
+
+protected:
+  explicit Pred(PredKind K) : Kind(K) {}
+
+public:
+  virtual ~Pred() = default;
+  PredKind kind() const { return Kind; }
+};
+
+/// Comparison between two integer expressions.
+class ComparePred : public Pred {
+  CmpOp Op;
+  const Expr *Lhs;
+  const Expr *Rhs;
+
+public:
+  ComparePred(CmpOp Op, const Expr *Lhs, const Expr *Rhs)
+      : Pred(PredKind::Compare), Op(Op), Lhs(Lhs), Rhs(Rhs) {}
+  CmpOp op() const { return Op; }
+  const Expr *lhs() const { return Lhs; }
+  const Expr *rhs() const { return Rhs; }
+  static bool classof(const Pred *P) { return P->kind() == PredKind::Compare; }
+};
+
+/// Conjunction or disjunction.
+class LogicalPred : public Pred {
+  bool IsAnd;
+  const Pred *Lhs;
+  const Pred *Rhs;
+
+public:
+  LogicalPred(bool IsAnd, const Pred *Lhs, const Pred *Rhs)
+      : Pred(PredKind::Logical), IsAnd(IsAnd), Lhs(Lhs), Rhs(Rhs) {}
+  bool isAnd() const { return IsAnd; }
+  const Pred *lhs() const { return Lhs; }
+  const Pred *rhs() const { return Rhs; }
+  static bool classof(const Pred *P) { return P->kind() == PredKind::Logical; }
+};
+
+/// Negation.
+class NotPred : public Pred {
+  const Pred *Sub;
+
+public:
+  explicit NotPred(const Pred *Sub) : Pred(PredKind::Not), Sub(Sub) {}
+  const Pred *sub() const { return Sub; }
+  static bool classof(const Pred *P) { return P->kind() == PredKind::Not; }
+};
+
+/// Boolean literal (true/false).
+class BoolLitPred : public Pred {
+  bool Value;
+
+public:
+  explicit BoolLitPred(bool Value) : Pred(PredKind::BoolLit), Value(Value) {}
+  bool value() const { return Value; }
+  static bool classof(const Pred *P) { return P->kind() == PredKind::BoolLit; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t { Assign, Skip, Block, If, While, Assume };
+
+/// Base class of statements.
+class Stmt {
+  StmtKind Kind;
+
+protected:
+  explicit Stmt(StmtKind K) : Kind(K) {}
+
+public:
+  virtual ~Stmt() = default;
+  StmtKind kind() const { return Kind; }
+};
+
+/// Assignment v = e.
+class AssignStmt : public Stmt {
+  std::string Var;
+  const Expr *Value;
+
+public:
+  AssignStmt(std::string Var, const Expr *Value)
+      : Stmt(StmtKind::Assign), Var(std::move(Var)), Value(Value) {}
+  const std::string &var() const { return Var; }
+  const Expr *value() const { return Value; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+};
+
+/// No-op.
+class SkipStmt : public Stmt {
+public:
+  SkipStmt() : Stmt(StmtKind::Skip) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Skip; }
+};
+
+/// Statement sequence.
+class BlockStmt : public Stmt {
+  std::vector<const Stmt *> Stmts;
+
+public:
+  explicit BlockStmt(std::vector<const Stmt *> Stmts)
+      : Stmt(StmtKind::Block), Stmts(std::move(Stmts)) {}
+  const std::vector<const Stmt *> &stmts() const { return Stmts; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+};
+
+/// Conditional.
+class IfStmt : public Stmt {
+  const Pred *Cond;
+  const Stmt *Then;
+  const Stmt *Else; // may be null
+
+public:
+  IfStmt(const Pred *Cond, const Stmt *Then, const Stmt *Else)
+      : Stmt(StmtKind::If), Cond(Cond), Then(Then), Else(Else) {}
+  const Pred *cond() const { return Cond; }
+  const Stmt *thenStmt() const { return Then; }
+  const Stmt *elseStmt() const { return Else; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+};
+
+/// While loop with unique id `rho` and optional postcondition annotation
+/// `@ [p']` obtained from an external sound static analysis.
+class WhileStmt : public Stmt {
+  uint32_t LoopId;
+  const Pred *Cond;
+  const Stmt *Body;
+  const Pred *Annot; // may be null
+
+public:
+  WhileStmt(uint32_t LoopId, const Pred *Cond, const Stmt *Body,
+            const Pred *Annot)
+      : Stmt(StmtKind::While), LoopId(LoopId), Cond(Cond), Body(Body),
+        Annot(Annot) {}
+  uint32_t loopId() const { return LoopId; }
+  const Pred *cond() const { return Cond; }
+  const Stmt *body() const { return Body; }
+  const Pred *annot() const { return Annot; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+};
+
+/// Environment assumption; executions violating it are discarded.
+class AssumeStmt : public Stmt {
+  const Pred *Cond;
+
+public:
+  explicit AssumeStmt(const Pred *Cond)
+      : Stmt(StmtKind::Assume), Cond(Cond) {}
+  const Pred *cond() const { return Cond; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assume; }
+};
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+/// Owns every AST node of one program.
+class AstArena {
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Pred>> Preds;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+
+public:
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    auto Node = std::make_unique<T>(std::forward<Args>(As)...);
+    const T *P = Node.get();
+    if constexpr (std::is_base_of_v<Expr, T>)
+      Exprs.push_back(std::move(Node));
+    else if constexpr (std::is_base_of_v<Pred, T>)
+      Preds.push_back(std::move(Node));
+    else
+      Stmts.push_back(std::move(Node));
+    return P;
+  }
+};
+
+/// A parsed program: inputs a⃗, locals v⃗ (zero-initialized), body, check.
+struct Program {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Locals;
+  const Stmt *Body = nullptr;
+  const Pred *Check = nullptr;
+  uint32_t NumLoops = 0;
+  uint32_t NumHavocs = 0;
+  std::shared_ptr<AstArena> Arena = std::make_shared<AstArena>();
+};
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_AST_H

@@ -1,0 +1,177 @@
+//===- lang/AstPrinter.cpp - Pretty printer for programs --------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+
+#include "support/Casting.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+int precedence(const Expr *E) {
+  if (const auto *B = dyn_cast<BinaryExpr>(E))
+    return B->op() == BinOp::Mul ? 2 : 1;
+  return 3;
+}
+
+std::string renderExpr(const Expr *E, int ParentPrec) {
+  switch (E->kind()) {
+  case ExprKind::VarRef:
+    return cast<VarRefExpr>(E)->name();
+  case ExprKind::IntLit:
+    return std::to_string(cast<IntLitExpr>(E)->value());
+  case ExprKind::Havoc:
+    return "havoc()";
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    int Prec = precedence(E);
+    const char *Op = B->op() == BinOp::Add   ? " + "
+                     : B->op() == BinOp::Sub ? " - "
+                                             : " * ";
+    // Right child of - needs parens at equal precedence (left associative).
+    std::string S = renderExpr(B->lhs(), Prec) + Op +
+                    renderExpr(B->rhs(), Prec + 1);
+    if (Prec < ParentPrec)
+      return "(" + S + ")";
+    return S;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return "";
+}
+
+std::string renderPred(const Pred *P, bool Parenthesize) {
+  switch (P->kind()) {
+  case PredKind::BoolLit:
+    return cast<BoolLitPred>(P)->value() ? "true" : "false";
+  case PredKind::Compare: {
+    const auto *C = cast<ComparePred>(P);
+    const char *Op = nullptr;
+    switch (C->op()) {
+    case CmpOp::Lt:
+      Op = " < ";
+      break;
+    case CmpOp::Gt:
+      Op = " > ";
+      break;
+    case CmpOp::Le:
+      Op = " <= ";
+      break;
+    case CmpOp::Ge:
+      Op = " >= ";
+      break;
+    case CmpOp::Eq:
+      Op = " == ";
+      break;
+    case CmpOp::Ne:
+      Op = " != ";
+      break;
+    }
+    return renderExpr(C->lhs(), 0) + Op + renderExpr(C->rhs(), 0);
+  }
+  case PredKind::Logical: {
+    const auto *L = cast<LogicalPred>(P);
+    std::string S = renderPred(L->lhs(), true) +
+                    (L->isAnd() ? " && " : " || ") +
+                    renderPred(L->rhs(), true);
+    return Parenthesize ? "(" + S + ")" : S;
+  }
+  case PredKind::Not: {
+    const Pred *Sub = cast<NotPred>(P)->sub();
+    if (isa<BoolLitPred>(Sub))
+      return "!" + renderPred(Sub, true);
+    return "!(" + renderPred(Sub, false) + ")";
+  }
+  }
+  assert(false && "unhandled predicate kind");
+  return "";
+}
+
+void renderStmt(std::ostringstream &OS, const Stmt *S, int Indent) {
+  std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+  switch (S->kind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    OS << Pad << A->var() << " = " << renderExpr(A->value(), 0) << ";\n";
+    return;
+  }
+  case StmtKind::Skip:
+    OS << Pad << "skip;\n";
+    return;
+  case StmtKind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      renderStmt(OS, Sub, Indent);
+    return;
+  case StmtKind::Assume:
+    OS << Pad << "assume(" << renderPred(cast<AssumeStmt>(S)->cond(), false)
+       << ");\n";
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    OS << Pad << "if (" << renderPred(I->cond(), false) << ") {\n";
+    renderStmt(OS, I->thenStmt(), Indent + 1);
+    if (I->elseStmt()) {
+      OS << Pad << "} else {\n";
+      renderStmt(OS, I->elseStmt(), Indent + 1);
+    }
+    OS << Pad << "}\n";
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    OS << Pad << "while (" << renderPred(W->cond(), false) << ") {\n";
+    renderStmt(OS, W->body(), Indent + 1);
+    OS << Pad << "}";
+    if (W->annot())
+      OS << " @ [" << renderPred(W->annot(), false) << "]";
+    OS << "\n";
+    return;
+  }
+  }
+  assert(false && "unhandled statement kind");
+}
+
+} // namespace
+
+std::string abdiag::lang::exprToString(const Expr *E) {
+  return renderExpr(E, 0);
+}
+
+std::string abdiag::lang::predToString(const Pred *P) {
+  return renderPred(P, false);
+}
+
+std::string abdiag::lang::programToString(const Program &Prog) {
+  std::ostringstream OS;
+  OS << "program " << Prog.Name << "(" << join(Prog.Params, ", ") << ") {\n";
+  if (!Prog.Locals.empty())
+    OS << "  var " << join(Prog.Locals, ", ") << ";\n";
+  renderStmt(OS, Prog.Body, 1);
+  OS << "  check(" << renderPred(Prog.Check, false) << ");\n}\n";
+  return OS.str();
+}
+
+size_t abdiag::lang::programLoc(const Program &Prog) {
+  std::string Text = programToString(Prog);
+  size_t Lines = 0;
+  bool NonBlank = false;
+  for (char C : Text) {
+    if (C == '\n') {
+      if (NonBlank)
+        ++Lines;
+      NonBlank = false;
+    } else if (!std::isspace(static_cast<unsigned char>(C))) {
+      NonBlank = true;
+    }
+  }
+  return Lines;
+}

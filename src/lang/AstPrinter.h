@@ -1,0 +1,31 @@
+//===- lang/AstPrinter.h - Pretty printer for programs ----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_ASTPRINTER_H
+#define ABDIAG_LANG_ASTPRINTER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+
+namespace abdiag::lang {
+
+/// Renders \p E in concrete syntax.
+std::string exprToString(const Expr *E);
+
+/// Renders \p P in concrete syntax.
+std::string predToString(const Pred *P);
+
+/// Renders the whole program in parseable concrete syntax.
+std::string programToString(const Program &Prog);
+
+/// Number of non-blank source lines of the printed program; used as the LOC
+/// metric in the user-study tables (Figure 7 reports per-problem LOC).
+size_t programLoc(const Program &Prog);
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_ASTPRINTER_H

@@ -1,0 +1,183 @@
+//===- lang/Interp.cpp - Concrete interpreter -------------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Interp.h"
+
+#include "support/Casting.h"
+#include "support/CheckedArith.h"
+
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+struct Machine {
+  std::map<std::string, int64_t> Store;
+  std::map<uint32_t, std::map<std::string, int64_t>> LoopExits;
+  std::map<uint32_t, uint64_t> HavocHits;
+  const std::function<int64_t(uint32_t, uint64_t)> &Havoc;
+  uint64_t Fuel;
+  RunStatus Abort = RunStatus::CheckPassed; // sticky non-normal status
+  bool Aborted = false;
+
+  explicit Machine(const std::function<int64_t(uint32_t, uint64_t)> &Havoc,
+                   uint64_t Fuel)
+      : Havoc(Havoc), Fuel(Fuel) {}
+
+  void abort(RunStatus S) {
+    if (!Aborted) {
+      Aborted = true;
+      Abort = S;
+    }
+  }
+
+  int64_t evalExpr(const Expr *E) {
+    if (Aborted)
+      return 0;
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      auto It = Store.find(cast<VarRefExpr>(E)->name());
+      assert(It != Store.end() && "parser guarantees declared variables");
+      return It->second;
+    }
+    case ExprKind::IntLit:
+      return cast<IntLitExpr>(E)->value();
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      int64_t L = evalExpr(B->lhs());
+      int64_t R = evalExpr(B->rhs());
+      switch (B->op()) {
+      case BinOp::Add:
+        return checkedAdd(L, R);
+      case BinOp::Sub:
+        return checkedSub(L, R);
+      case BinOp::Mul:
+        return checkedMul(L, R);
+      }
+      break;
+    }
+    case ExprKind::Havoc: {
+      const auto *H = cast<HavocExpr>(E);
+      uint64_t Hit = HavocHits[H->siteId()]++;
+      return Havoc ? Havoc(H->siteId(), Hit) : 0;
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return 0;
+  }
+
+  bool evalPred(const Pred *P) {
+    if (Aborted)
+      return false;
+    switch (P->kind()) {
+    case PredKind::BoolLit:
+      return cast<BoolLitPred>(P)->value();
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(P);
+      int64_t L = evalExpr(C->lhs());
+      int64_t R = evalExpr(C->rhs());
+      switch (C->op()) {
+      case CmpOp::Lt:
+        return L < R;
+      case CmpOp::Gt:
+        return L > R;
+      case CmpOp::Le:
+        return L <= R;
+      case CmpOp::Ge:
+        return L >= R;
+      case CmpOp::Eq:
+        return L == R;
+      case CmpOp::Ne:
+        return L != R;
+      }
+      break;
+    }
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(P);
+      if (L->isAnd())
+        return evalPred(L->lhs()) && evalPred(L->rhs());
+      return evalPred(L->lhs()) || evalPred(L->rhs());
+    }
+    case PredKind::Not:
+      return !evalPred(cast<NotPred>(P)->sub());
+    }
+    assert(false && "unhandled predicate kind");
+    return false;
+  }
+
+  void exec(const Stmt *S) {
+    if (Aborted)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      int64_t V = evalExpr(A->value());
+      if (!Aborted)
+        Store[A->var()] = V;
+      return;
+    }
+    case StmtKind::Skip:
+      return;
+    case StmtKind::Block:
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        exec(Sub);
+      return;
+    case StmtKind::Assume:
+      if (!evalPred(cast<AssumeStmt>(S)->cond()))
+        abort(RunStatus::AssumeViolated);
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      if (evalPred(I->cond()))
+        exec(I->thenStmt());
+      else if (I->elseStmt())
+        exec(I->elseStmt());
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      while (!Aborted && evalPred(W->cond())) {
+        if (Fuel == 0) {
+          abort(RunStatus::OutOfFuel);
+          return;
+        }
+        --Fuel;
+        exec(W->body());
+      }
+      if (!Aborted)
+        LoopExits[W->loopId()] = Store;
+      return;
+    }
+    }
+    assert(false && "unhandled statement kind");
+  }
+};
+
+} // namespace
+
+RunResult abdiag::lang::runProgram(
+    const Program &Prog, const std::vector<int64_t> &Inputs, uint64_t Fuel,
+    const std::function<int64_t(uint32_t, uint64_t)> &Havoc) {
+  assert(Inputs.size() == Prog.Params.size() && "wrong number of inputs");
+  Machine Mc(Havoc, Fuel);
+  for (size_t I = 0; I < Prog.Params.size(); ++I)
+    Mc.Store[Prog.Params[I]] = Inputs[I];
+  for (const std::string &L : Prog.Locals)
+    Mc.Store[L] = 0;
+  Mc.exec(Prog.Body);
+  RunResult R;
+  if (Mc.Aborted) {
+    R.Status = Mc.Abort;
+  } else {
+    bool Ok = Mc.evalPred(Prog.Check);
+    R.Status = Ok ? RunStatus::CheckPassed : RunStatus::CheckFailed;
+  }
+  R.FinalStore = std::move(Mc.Store);
+  R.LoopExitValues = std::move(Mc.LoopExits);
+  return R;
+}

@@ -1,0 +1,57 @@
+//===- lang/Interp.h - Concrete interpreter ---------------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Big-step concrete interpreter implementing the operational semantics of
+/// Figure 1. Used as ground truth in tests (symbolic analysis vs. concrete
+/// runs), by oracles that sample executions, and to certify the ground-truth
+/// classification of the benchmark programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_INTERP_H
+#define ABDIAG_LANG_INTERP_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace abdiag::lang {
+
+/// Outcome of one concrete execution.
+enum class RunStatus : uint8_t {
+  CheckPassed,     ///< program evaluated to true
+  CheckFailed,     ///< program evaluated to false (a buggy execution)
+  AssumeViolated,  ///< an assume() failed: the execution is discarded
+  OutOfFuel        ///< loop iterations exceeded the fuel budget
+};
+
+/// A finished execution: status plus the final store (for oracles that need
+/// values of variables at specific points, see `LoopExitValues`).
+struct RunResult {
+  RunStatus Status = RunStatus::OutOfFuel;
+  std::map<std::string, int64_t> FinalStore;
+  /// For each loop id, the values of all variables when the loop last
+  /// exited (i.e. the concrete counterpart of the alpha variables).
+  std::map<uint32_t, std::map<std::string, int64_t>> LoopExitValues;
+};
+
+/// Runs \p Prog on the given input values (one per parameter, in order).
+/// \p Fuel bounds the total number of loop iterations across the run.
+/// \p Havoc supplies values for havoc() sites (called with the site id and
+/// the number of times that site has been hit so far); defaults to 0.
+RunResult
+runProgram(const Program &Prog, const std::vector<int64_t> &Inputs,
+           uint64_t Fuel = 100000,
+           const std::function<int64_t(uint32_t, uint64_t)> &Havoc = {});
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_INTERP_H

@@ -1,0 +1,248 @@
+//===- lang/Lexer.cpp - Tokenizer for the mini-language ---------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace abdiag::lang;
+
+std::vector<Token> abdiag::lang::tokenize(std::string_view Src) {
+  static const std::unordered_map<std::string_view, TokKind> Keywords = {
+      {"program", TokKind::KwProgram}, {"var", TokKind::KwVar},
+      {"function", TokKind::KwFunction}, {"return", TokKind::KwReturn},
+      {"skip", TokKind::KwSkip},       {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"check", TokKind::KwCheck},     {"assume", TokKind::KwAssume},
+      {"havoc", TokKind::KwHavoc},     {"true", TokKind::KwTrue},
+      {"false", TokKind::KwFalse}};
+
+  std::vector<Token> Toks;
+  uint32_t Line = 1, Col = 1;
+  size_t I = 0;
+  auto Push = [&](TokKind K, std::string Text, int64_t Num = 0) {
+    Toks.push_back({K, std::move(Text), Num, Line,
+                    Col - static_cast<uint32_t>(Toks.empty() ? 0 : 0)});
+  };
+  while (I < Src.size()) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Col;
+      ++I;
+      continue;
+    }
+    // Line comments: // ... or # ...
+    if (C == '#' || (C == '/' && I + 1 < Src.size() && Src[I + 1] == '/')) {
+      while (I < Src.size() && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    uint32_t StartCol = Col;
+    auto Emit = [&](TokKind K, size_t Len, int64_t Num = 0) {
+      Toks.push_back({K, std::string(Src.substr(I, Len)), Num, Line, StartCol});
+      I += Len;
+      Col += static_cast<uint32_t>(Len);
+    };
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t J = I;
+      // '$' may appear inside (not start) identifiers: the parser uses it
+      // for inlined-call renaming, and printed programs must re-parse.
+      while (J < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[J])) ||
+              Src[J] == '_' || Src[J] == '$'))
+        ++J;
+      std::string_view Word = Src.substr(I, J - I);
+      auto It = Keywords.find(Word);
+      Emit(It == Keywords.end() ? TokKind::Ident : It->second, J - I);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      int64_t Value = 0;
+      while (J < Src.size() && std::isdigit(static_cast<unsigned char>(Src[J]))) {
+        Value = Value * 10 + (Src[J] - '0');
+        ++J;
+      }
+      Emit(TokKind::Number, J - I, Value);
+      continue;
+    }
+    auto Two = [&](char Next) {
+      return I + 1 < Src.size() && Src[I + 1] == Next;
+    };
+    switch (C) {
+    case '(':
+      Emit(TokKind::LParen, 1);
+      continue;
+    case ')':
+      Emit(TokKind::RParen, 1);
+      continue;
+    case '{':
+      Emit(TokKind::LBrace, 1);
+      continue;
+    case '}':
+      Emit(TokKind::RBrace, 1);
+      continue;
+    case '[':
+      Emit(TokKind::LBracket, 1);
+      continue;
+    case ']':
+      Emit(TokKind::RBracket, 1);
+      continue;
+    case ',':
+      Emit(TokKind::Comma, 1);
+      continue;
+    case ';':
+      Emit(TokKind::Semi, 1);
+      continue;
+    case '@':
+      Emit(TokKind::At, 1);
+      continue;
+    case '+':
+      Emit(TokKind::Plus, 1);
+      continue;
+    case '-':
+      Emit(TokKind::Minus, 1);
+      continue;
+    case '*':
+      Emit(TokKind::Star, 1);
+      continue;
+    case '=':
+      if (Two('='))
+        Emit(TokKind::EqEq, 2);
+      else
+        Emit(TokKind::Assign, 1);
+      continue;
+    case '<':
+      if (Two('='))
+        Emit(TokKind::Le, 2);
+      else
+        Emit(TokKind::Lt, 1);
+      continue;
+    case '>':
+      if (Two('='))
+        Emit(TokKind::Ge, 2);
+      else
+        Emit(TokKind::Gt, 1);
+      continue;
+    case '!':
+      if (Two('='))
+        Emit(TokKind::NotEq, 2);
+      else
+        Emit(TokKind::Bang, 1);
+      continue;
+    case '&':
+      if (Two('&')) {
+        Emit(TokKind::AndAnd, 2);
+        continue;
+      }
+      Emit(TokKind::Error, 1);
+      continue;
+    case '|':
+      if (Two('|')) {
+        Emit(TokKind::OrOr, 2);
+        continue;
+      }
+      Emit(TokKind::Error, 1);
+      continue;
+    default:
+      Emit(TokKind::Error, 1);
+      continue;
+    }
+  }
+  Push(TokKind::Eof, "");
+  return Toks;
+}
+
+std::string abdiag::lang::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::Number:
+    return "number";
+  case TokKind::KwProgram:
+    return "'program'";
+  case TokKind::KwFunction:
+    return "'function'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwVar:
+    return "'var'";
+  case TokKind::KwSkip:
+    return "'skip'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwCheck:
+    return "'check'";
+  case TokKind::KwAssume:
+    return "'assume'";
+  case TokKind::KwHavoc:
+    return "'havoc'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::At:
+    return "'@'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Ge:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::AndAnd:
+    return "'&&'";
+  case TokKind::OrOr:
+    return "'||'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Error:
+    return "invalid character";
+  }
+  return "?";
+}

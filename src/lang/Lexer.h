@@ -1,0 +1,79 @@
+//===- lang/Lexer.h - Tokenizer for the mini-language -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_LEXER_H
+#define ABDIAG_LANG_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abdiag::lang {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwProgram,
+  KwFunction,
+  KwReturn,
+  KwVar,
+  KwSkip,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwCheck,
+  KwAssume,
+  KwHavoc,
+  KwTrue,
+  KwFalse,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  At,
+  Assign, // =
+  Plus,
+  Minus,
+  Star,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AndAnd,
+  OrOr,
+  Bang,
+  Error
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int64_t Number = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+/// Tokenizes \p Source. Lexical errors become Error tokens carrying the
+/// offending text; the parser reports them with position information.
+/// Line comments start with `//` or `#`.
+std::vector<Token> tokenize(std::string_view Source);
+
+/// Human-readable token kind name (for diagnostics).
+std::string tokKindName(TokKind K);
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_LEXER_H

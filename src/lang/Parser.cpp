@@ -1,0 +1,605 @@
+//===- lang/Parser.cpp - Recursive-descent parser ---------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Besides the Section 2 core, the parser supports non-recursive function
+// definitions:
+//
+//   function add(a, b) { var r; r = a + b; return r; }
+//   program main(x) { var y; y = add(x, 1); check(y > x); }
+//
+// Calls may appear as the right-hand side of an assignment and are inlined
+// at parse time: parameters and locals are renamed apart (with '$', which
+// cannot start a user identifier), loop and havoc sites get fresh ids per
+// call site, and the call becomes a block ending in an assignment of the
+// renamed return expression. The paper treats interprocedural analysis as
+// orthogonal (Section 2) and its implementation handles calls via
+// summaries; inlining preserves the semantics for non-recursive programs
+// while requiring no changes downstream. Functions must be defined before
+// use, which also rules out (direct and mutual) recursion.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+/// A parsed function body, kept for inlining.
+struct FunctionDecl {
+  std::vector<std::string> Params;
+  std::vector<std::string> Locals;
+  std::vector<const Stmt *> Body;
+  const Expr *Ret = nullptr;
+};
+
+class Parser {
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  Program P;
+  std::string Error;
+  std::set<std::string> Declared; // current scope (function or program)
+  std::map<std::string, FunctionDecl> Functions;
+  uint32_t InlineCounter = 0;
+  /// Inside a function body, loop/havoc ids come from scratch counters:
+  /// real ids are allocated per inlined copy, so the template's own ids
+  /// must not leak into the program's counters.
+  bool InFunction = false;
+  uint32_t ScratchLoops = 0, ScratchHavocs = 0;
+
+public:
+  explicit Parser(std::string_view Src) : Toks(tokenize(Src)) {}
+
+  ParseResult run() {
+    bool SawProgram = false;
+    while (!failed() && !at(TokKind::Eof)) {
+      if (at(TokKind::KwFunction)) {
+        parseFunction();
+      } else if (at(TokKind::KwProgram)) {
+        if (SawProgram) {
+          fail("only one program per file");
+          break;
+        }
+        SawProgram = true;
+        parseProgramDecl();
+      } else {
+        fail("expected 'function' or 'program'");
+        break;
+      }
+    }
+    if (!failed() && !SawProgram)
+      fail("no program definition found");
+    ParseResult R;
+    if (Error.empty())
+      R.Prog = std::move(P);
+    R.Error = std::move(Error);
+    return R;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &peek(size_t N = 1) const {
+    return Toks[std::min(Pos + N, Toks.size() - 1)];
+  }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool failed() const { return !Error.empty(); }
+
+  void fail(const std::string &Msg) {
+    if (!Error.empty())
+      return;
+    std::ostringstream OS;
+    OS << "parse error at line " << cur().Line << ", column " << cur().Col
+       << ": " << Msg << " (found " << tokKindName(cur().Kind) << ")";
+    Error = OS.str();
+  }
+
+  Token eat(TokKind K, const char *What) {
+    if (failed())
+      return cur();
+    if (!at(K)) {
+      fail(std::string("expected ") + tokKindName(K) + " " + What);
+      return cur();
+    }
+    return Toks[Pos++];
+  }
+
+  bool accept(TokKind K) {
+    if (!failed() && at(K)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    return P.Arena->make<T>(std::forward<Args>(As)...);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Declarations
+  //===--------------------------------------------------------------------===//
+
+  void parseHeader(std::vector<std::string> &Params) {
+    eat(TokKind::LParen, "before parameter list");
+    if (!at(TokKind::RParen)) {
+      do {
+        Token T = eat(TokKind::Ident, "as a parameter name");
+        if (failed())
+          return;
+        if (!Declared.insert(T.Text).second) {
+          fail("duplicate parameter '" + T.Text + "'");
+          return;
+        }
+        Params.push_back(T.Text);
+      } while (accept(TokKind::Comma));
+    }
+    eat(TokKind::RParen, "after parameter list");
+    eat(TokKind::LBrace, "to open the body");
+  }
+
+  void parseVarDecls(std::vector<std::string> &Locals) {
+    while (accept(TokKind::KwVar)) {
+      do {
+        Token T = eat(TokKind::Ident, "as a variable name");
+        if (failed())
+          return;
+        if (!Declared.insert(T.Text).second) {
+          fail("duplicate declaration of '" + T.Text + "'");
+          return;
+        }
+        Locals.push_back(T.Text);
+      } while (accept(TokKind::Comma));
+      eat(TokKind::Semi, "after variable declaration");
+    }
+  }
+
+  void parseFunction() {
+    eat(TokKind::KwFunction, "to start a function");
+    Token Name = eat(TokKind::Ident, "as the function name");
+    if (Functions.count(Name.Text)) {
+      fail("duplicate function '" + Name.Text + "'");
+      return;
+    }
+    Declared.clear();
+    InFunction = true;
+    FunctionDecl F;
+    parseHeader(F.Params);
+    parseVarDecls(F.Locals);
+    while (!failed() && !at(TokKind::KwReturn) && !at(TokKind::Eof))
+      F.Body.push_back(parseStmt());
+    eat(TokKind::KwReturn, "(every function ends with one return)");
+    F.Ret = parseExpr();
+    eat(TokKind::Semi, "after return expression");
+    eat(TokKind::RBrace, "to close the function body");
+    InFunction = false;
+    if (!failed())
+      Functions.emplace(Name.Text, std::move(F));
+  }
+
+  void parseProgramDecl() {
+    eat(TokKind::KwProgram, "to start the program");
+    P.Name = eat(TokKind::Ident, "as the program name").Text;
+    Declared.clear();
+    parseHeader(P.Params);
+    parseVarDecls(P.Locals);
+    std::vector<const Stmt *> Body;
+    while (!failed() && !at(TokKind::KwCheck) && !at(TokKind::Eof))
+      Body.push_back(parseStmt());
+    P.Body = make<BlockStmt>(std::move(Body));
+    eat(TokKind::KwCheck, "(every program ends with one check)");
+    eat(TokKind::LParen, "after 'check'");
+    P.Check = parsePred();
+    eat(TokKind::RParen, "after check predicate");
+    eat(TokKind::Semi, "after check statement");
+    eat(TokKind::RBrace, "to close the program body");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  const Stmt *parseStmt() {
+    if (failed())
+      return make<SkipStmt>();
+    switch (cur().Kind) {
+    case TokKind::KwSkip: {
+      ++Pos;
+      eat(TokKind::Semi, "after 'skip'");
+      return make<SkipStmt>();
+    }
+    case TokKind::KwAssume: {
+      ++Pos;
+      eat(TokKind::LParen, "after 'assume'");
+      const Pred *C = parsePred();
+      eat(TokKind::RParen, "after assume predicate");
+      eat(TokKind::Semi, "after assume statement");
+      return make<AssumeStmt>(C);
+    }
+    case TokKind::KwIf: {
+      ++Pos;
+      eat(TokKind::LParen, "after 'if'");
+      const Pred *C = parsePred();
+      eat(TokKind::RParen, "after if condition");
+      const Stmt *Then = parseBlock();
+      const Stmt *Else = nullptr;
+      if (accept(TokKind::KwElse))
+        Else = at(TokKind::KwIf) ? parseStmt() : parseBlock();
+      return make<IfStmt>(C, Then, Else);
+    }
+    case TokKind::KwWhile: {
+      ++Pos;
+      uint32_t LoopId = InFunction ? ScratchLoops++ : P.NumLoops++;
+      eat(TokKind::LParen, "after 'while'");
+      const Pred *C = parsePred();
+      eat(TokKind::RParen, "after while condition");
+      const Stmt *Body = parseBlock();
+      const Pred *Annot = nullptr;
+      if (accept(TokKind::At)) {
+        eat(TokKind::LBracket, "after '@' (annotation syntax is @ [pred])");
+        Annot = parsePred();
+        eat(TokKind::RBracket, "to close the loop annotation");
+      }
+      return make<WhileStmt>(LoopId, C, Body, Annot);
+    }
+    case TokKind::Ident: {
+      Token Name = cur();
+      ++Pos;
+      if (!Declared.count(Name.Text)) {
+        fail("assignment to undeclared variable '" + Name.Text + "'");
+        return make<SkipStmt>();
+      }
+      eat(TokKind::Assign, "in assignment");
+      // Function call as the full right-hand side?
+      if (at(TokKind::Ident) && peek().Kind == TokKind::LParen &&
+          Functions.count(cur().Text))
+        return parseCallAssign(Name.Text);
+      const Expr *E = parseExpr();
+      eat(TokKind::Semi, "after assignment");
+      return make<AssignStmt>(Name.Text, E);
+    }
+    default:
+      fail("expected a statement");
+      return make<SkipStmt>();
+    }
+  }
+
+  const Stmt *parseBlock() {
+    eat(TokKind::LBrace, "to open a block");
+    std::vector<const Stmt *> Stmts;
+    while (!failed() && !at(TokKind::RBrace) && !at(TokKind::Eof))
+      Stmts.push_back(parseStmt());
+    eat(TokKind::RBrace, "to close a block");
+    return make<BlockStmt>(std::move(Stmts));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Call inlining
+  //===--------------------------------------------------------------------===//
+
+  /// Parses `f(e1, ..., ek);` after `target =` and inlines the body.
+  const Stmt *parseCallAssign(const std::string &Target) {
+    Token Name = eat(TokKind::Ident, "as the callee");
+    const FunctionDecl &F = Functions.at(Name.Text);
+    eat(TokKind::LParen, "after callee name");
+    std::vector<const Expr *> Args;
+    if (!at(TokKind::RParen)) {
+      do {
+        Args.push_back(parseExpr());
+      } while (accept(TokKind::Comma));
+    }
+    eat(TokKind::RParen, "after call arguments");
+    eat(TokKind::Semi,
+        "after call (calls must be the entire right-hand side)");
+    if (failed())
+      return make<SkipStmt>();
+    if (Args.size() != F.Params.size()) {
+      fail("call to '" + Name.Text + "' with " + std::to_string(Args.size()) +
+           " argument(s), expected " + std::to_string(F.Params.size()));
+      return make<SkipStmt>();
+    }
+
+    // Rename callee variables apart: f$<n>$v ('$' cannot start a user
+    // identifier, so no collisions).
+    uint32_t Instance = ++InlineCounter;
+    std::map<std::string, std::string> Rename;
+    auto Renamed = [&](const std::string &V) {
+      return Name.Text + "$" + std::to_string(Instance) + "$" + V;
+    };
+    std::vector<const Stmt *> Stmts;
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      Rename[F.Params[I]] = Renamed(F.Params[I]);
+      P.Locals.push_back(Rename[F.Params[I]]);
+      Stmts.push_back(make<AssignStmt>(Rename[F.Params[I]], Args[I]));
+    }
+    for (const std::string &L : F.Locals) {
+      Rename[L] = Renamed(L);
+      P.Locals.push_back(Rename[L]);
+      // Locals start at zero in the callee as well.
+      Stmts.push_back(make<AssignStmt>(Rename[L], make<IntLitExpr>(0)));
+    }
+    for (const Stmt *S : F.Body)
+      Stmts.push_back(cloneStmt(S, Rename));
+    Stmts.push_back(make<AssignStmt>(Target, cloneExpr(F.Ret, Rename)));
+    return make<BlockStmt>(std::move(Stmts));
+  }
+
+  const Expr *cloneExpr(const Expr *E,
+                        const std::map<std::string, std::string> &Rename) {
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      const auto &Name = cast<VarRefExpr>(E)->name();
+      auto It = Rename.find(Name);
+      return make<VarRefExpr>(It == Rename.end() ? Name : It->second);
+    }
+    case ExprKind::IntLit:
+      return make<IntLitExpr>(cast<IntLitExpr>(E)->value());
+    case ExprKind::Havoc:
+      // Each inlined copy is a fresh unknown-call site.
+      return make<HavocExpr>(P.NumHavocs++);
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return make<BinaryExpr>(B->op(), cloneExpr(B->lhs(), Rename),
+                              cloneExpr(B->rhs(), Rename));
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  const Pred *clonePred(const Pred *Pd,
+                        const std::map<std::string, std::string> &Rename) {
+    switch (Pd->kind()) {
+    case PredKind::BoolLit:
+      return make<BoolLitPred>(cast<BoolLitPred>(Pd)->value());
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(Pd);
+      return make<ComparePred>(C->op(), cloneExpr(C->lhs(), Rename),
+                               cloneExpr(C->rhs(), Rename));
+    }
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(Pd);
+      return make<LogicalPred>(L->isAnd(), clonePred(L->lhs(), Rename),
+                               clonePred(L->rhs(), Rename));
+    }
+    case PredKind::Not:
+      return make<NotPred>(clonePred(cast<NotPred>(Pd)->sub(), Rename));
+    }
+    assert(false && "unhandled predicate kind");
+    return nullptr;
+  }
+
+  const Stmt *cloneStmt(const Stmt *S,
+                        const std::map<std::string, std::string> &Rename) {
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      auto It = Rename.find(A->var());
+      return make<AssignStmt>(It == Rename.end() ? A->var() : It->second,
+                              cloneExpr(A->value(), Rename));
+    }
+    case StmtKind::Skip:
+      return make<SkipStmt>();
+    case StmtKind::Assume:
+      return make<AssumeStmt>(clonePred(cast<AssumeStmt>(S)->cond(), Rename));
+    case StmtKind::Block: {
+      std::vector<const Stmt *> Stmts;
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        Stmts.push_back(cloneStmt(Sub, Rename));
+      return make<BlockStmt>(std::move(Stmts));
+    }
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return make<IfStmt>(clonePred(I->cond(), Rename),
+                          cloneStmt(I->thenStmt(), Rename),
+                          I->elseStmt() ? cloneStmt(I->elseStmt(), Rename)
+                                        : nullptr);
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      // Every inlined copy is a fresh loop: fresh id, and the annotation is
+      // cloned with the same renaming.
+      return make<WhileStmt>(P.NumLoops++, clonePred(W->cond(), Rename),
+                             cloneStmt(W->body(), Rename),
+                             W->annot() ? clonePred(W->annot(), Rename)
+                                        : nullptr);
+    }
+    }
+    assert(false && "unhandled statement kind");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Predicates and expressions
+  //===--------------------------------------------------------------------===//
+
+  const Pred *parsePred() { return parseOr(); }
+
+  const Pred *parseOr() {
+    const Pred *L = parseAnd();
+    while (accept(TokKind::OrOr))
+      L = make<LogicalPred>(/*IsAnd=*/false, L, parseAnd());
+    return L;
+  }
+
+  const Pred *parseAnd() {
+    const Pred *L = parsePredUnary();
+    while (accept(TokKind::AndAnd))
+      L = make<LogicalPred>(/*IsAnd=*/true, L, parsePredUnary());
+    return L;
+  }
+
+  const Pred *parsePredUnary() {
+    if (accept(TokKind::Bang))
+      return make<NotPred>(parsePredUnary());
+    if (accept(TokKind::KwTrue))
+      return make<BoolLitPred>(true);
+    if (accept(TokKind::KwFalse))
+      return make<BoolLitPred>(false);
+    // A '(' is ambiguous: parenthesized predicate or parenthesized
+    // arithmetic expression starting a comparison. Try predicate first by
+    // backtracking on failure.
+    if (at(TokKind::LParen)) {
+      size_t Save = Pos;
+      std::string SavedError = Error;
+      ++Pos; // consume '('
+      const Pred *Inner = parsePred();
+      if (!failed() && at(TokKind::RParen) && !isCompareAhead()) {
+        ++Pos;
+        return Inner;
+      }
+      // Backtrack: treat as comparison whose LHS starts with '('.
+      Pos = Save;
+      Error = SavedError;
+    }
+    return parseCompare();
+  }
+
+  /// After a parsed "(pred)" prefix, a comparison operator would mean the
+  /// parenthesis was actually arithmetic: `(x + 1) < y`.
+  bool isCompareAhead() const {
+    switch (peek().Kind) {
+    case TokKind::Lt:
+    case TokKind::Gt:
+    case TokKind::Le:
+    case TokKind::Ge:
+    case TokKind::EqEq:
+    case TokKind::NotEq:
+    case TokKind::Plus:
+    case TokKind::Minus:
+    case TokKind::Star:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  const Pred *parseCompare() {
+    const Expr *L = parseExpr();
+    CmpOp Op;
+    switch (cur().Kind) {
+    case TokKind::Lt:
+      Op = CmpOp::Lt;
+      break;
+    case TokKind::Gt:
+      Op = CmpOp::Gt;
+      break;
+    case TokKind::Le:
+      Op = CmpOp::Le;
+      break;
+    case TokKind::Ge:
+      Op = CmpOp::Ge;
+      break;
+    case TokKind::EqEq:
+      Op = CmpOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = CmpOp::Ne;
+      break;
+    default:
+      fail("expected a comparison operator");
+      return make<BoolLitPred>(false);
+    }
+    ++Pos;
+    const Expr *R = parseExpr();
+    return make<ComparePred>(Op, L, R);
+  }
+
+  const Expr *parseExpr() {
+    const Expr *L = parseTerm();
+    while (!failed() && (at(TokKind::Plus) || at(TokKind::Minus))) {
+      BinOp Op = at(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+      ++Pos;
+      L = make<BinaryExpr>(Op, L, parseTerm());
+    }
+    return L;
+  }
+
+  const Expr *parseTerm() {
+    const Expr *L = parseUnary();
+    while (!failed() && at(TokKind::Star)) {
+      ++Pos;
+      L = make<BinaryExpr>(BinOp::Mul, L, parseUnary());
+    }
+    return L;
+  }
+
+  const Expr *parseUnary() {
+    if (accept(TokKind::Minus))
+      return make<BinaryExpr>(BinOp::Sub, make<IntLitExpr>(0), parseUnary());
+    return parsePrimary();
+  }
+
+  const Expr *parsePrimary() {
+    if (failed())
+      return make<IntLitExpr>(0);
+    switch (cur().Kind) {
+    case TokKind::Number: {
+      int64_t V = cur().Number;
+      ++Pos;
+      return make<IntLitExpr>(V);
+    }
+    case TokKind::Ident: {
+      Token T = cur();
+      if (peek().Kind == TokKind::LParen && Functions.count(T.Text)) {
+        fail("calls are only allowed as the right-hand side of an "
+             "assignment: v = " +
+             T.Text + "(...)");
+        return make<IntLitExpr>(0);
+      }
+      ++Pos;
+      if (!Declared.count(T.Text)) {
+        fail("use of undeclared variable '" + T.Text + "'");
+        return make<IntLitExpr>(0);
+      }
+      return make<VarRefExpr>(T.Text);
+    }
+    case TokKind::KwHavoc: {
+      ++Pos;
+      eat(TokKind::LParen, "after 'havoc'");
+      eat(TokKind::RParen, "after 'havoc('");
+      return make<HavocExpr>(InFunction ? ScratchHavocs++ : P.NumHavocs++);
+    }
+    case TokKind::LParen: {
+      ++Pos;
+      const Expr *E = parseExpr();
+      eat(TokKind::RParen, "to close parenthesized expression");
+      return E;
+    }
+    default:
+      fail("expected an expression");
+      return make<IntLitExpr>(0);
+    }
+  }
+};
+
+} // namespace
+
+ParseResult abdiag::lang::parseProgram(std::string_view Source) {
+  Parser P(Source);
+  return P.run();
+}
+
+ParseResult abdiag::lang::parseProgramFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    ParseResult R;
+    R.Error = "cannot open file '" + Path + "'";
+    return R;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseProgram(SS.str());
+}

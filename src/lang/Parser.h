@@ -1,0 +1,46 @@
+//===- lang/Parser.h - Recursive-descent parser -----------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_PARSER_H
+#define ABDIAG_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace abdiag::lang {
+
+/// Result of a parse: either a program or an error message with position.
+struct ParseResult {
+  std::optional<Program> Prog;
+  std::string Error; // empty on success
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Parses the concrete syntax:
+///
+///   file    := (function | program)*        (exactly one program)
+///   function:= 'function' NAME '(' params ')' '{'
+///                ('var' idents ';')* stmt* 'return' expr ';' '}'
+///   program := 'program' NAME '(' params ')' '{'
+///                ('var' idents ';')* stmt* 'check' '(' pred ')' ';' '}'
+///
+/// Statements: `v = e;`, `v = f(args);` (call, inlined at parse time),
+/// `skip;`, `assume(p);`, `if (p) block [else block]`,
+/// `while (p) block ['@' '[' p' ']']`. Undeclared variables, duplicate
+/// declarations, recursive/undefined calls and a missing final check are
+/// parse errors.
+ParseResult parseProgram(std::string_view Source);
+
+/// Convenience: parse from a file on disk.
+ParseResult parseProgramFile(const std::string &Path);
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_PARSER_H

@@ -1,0 +1,526 @@
+//===- smt/Cooper.cpp - Cooper's quantifier elimination ---------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Elimination of ∃x from an NNF formula F over atoms E<=0, E=0, E!=0, d|E,
+// d∤E proceeds in the textbook way:
+//
+//  1. Equality/disequality atoms mentioning x are lowered to Le atoms
+//     (E=0 -> E<=0 ∧ -E<=0; E!=0 -> E+1<=0 ∨ -E+1<=0).
+//  2. Let L be the lcm of |coefficient of x| over all atoms. Each atom is
+//     scaled so the coefficient becomes ±L, and y = L*x is introduced with
+//     the side constraint L | y. Scaled atoms are kept in a private tree
+//     (not re-interned) because the manager's canonicalization would undo
+//     the scaling.
+//  3. With unit coefficients on y, atoms split into upper bounds y <= a,
+//     lower bounds y >= b, and divisibility constraints. For
+//     delta = lcm(L, divisors), the classic equivalence (non-strict-bound
+//     variant) is
+//
+//       ∃y.F  <=>  ⋁_{j=1..delta} F_{-inf}[y:=j]
+//                  ∨ ⋁_{b∈B} ⋁_{j=0..delta-1} F[y := b + j]
+//
+//     where F_{-inf} replaces upper-bound atoms by true and lower-bound
+//     atoms by false. The dual form with F_{+inf} and upper bounds a - j is
+//     used when it produces fewer disjuncts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Cooper.h"
+
+#include "smt/FormulaOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// A formula tree in which atoms mentioning the eliminated variable are held
+/// in scaled form (coefficient of y is +1 or -1) outside the manager.
+struct XTree {
+  enum class Kind { Plain, XAtom, And, Or } K;
+  const Formula *Plain = nullptr; // Kind::Plain
+  // Kind::XAtom: Rel(YSign * y + Rest) or divisibility with Divisor.
+  AtomRel Rel = AtomRel::Le;
+  int YSign = 0;
+  LinearExpr Rest;
+  int64_t Divisor = 0;
+  std::vector<XTree> Kids; // And/Or
+};
+
+/// Rewrites Eq/Ne atoms that mention \p X into Le form so the main
+/// elimination only sees Le/Div/NDiv atoms on X.
+const Formula *lowerEqNeOn(FormulaManager &M, const Formula *F, VarId X) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Atom: {
+    if (!F->expr().contains(X))
+      return F;
+    const LinearExpr &E = F->expr();
+    if (F->rel() == AtomRel::Eq)
+      return M.mkAnd(M.mkAtom(AtomRel::Le, E),
+                     M.mkAtom(AtomRel::Le, E.negated()));
+    if (F->rel() == AtomRel::Ne)
+      return M.mkOr(M.mkAtom(AtomRel::Le, E.addConst(1)),
+                    M.mkAtom(AtomRel::Le, E.negated().addConst(1)));
+    return F;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<const Formula *> Kids;
+    Kids.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Kids.push_back(lowerEqNeOn(M, K, X));
+    return F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return F;
+}
+
+/// Least common multiple of |coeff(X)| over all atoms of \p F containing X.
+int64_t coeffLcm(const Formula *F, VarId X) {
+  int64_t L = 1;
+  for (const Formula *A : collectAtoms(F)) {
+    int64_t C = A->expr().coeff(X);
+    if (C != 0)
+      L = lcm64(L, C);
+  }
+  return L;
+}
+
+/// Builds the scaled tree for eliminating X (as y = L*x).
+XTree buildTree(const Formula *F, VarId X, int64_t L) {
+  XTree T;
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    T.K = XTree::Kind::Plain;
+    T.Plain = F;
+    return T;
+  case FormulaKind::Atom: {
+    int64_t C = F->expr().coeff(X);
+    if (C == 0) {
+      T.K = XTree::Kind::Plain;
+      T.Plain = F;
+      return T;
+    }
+    assert((F->rel() == AtomRel::Le || F->rel() == AtomRel::Div ||
+            F->rel() == AtomRel::NDiv) &&
+           "Eq/Ne on X must be lowered before scaling");
+    int64_t K = L / (C < 0 ? -C : C);
+    assert(K >= 1);
+    T.K = XTree::Kind::XAtom;
+    T.Rel = F->rel();
+    T.YSign = C < 0 ? -1 : 1;
+    // Rest = K*(E - C*x): scale everything except the x term.
+    T.Rest = F->expr().substituted(X, LinearExpr::constant(0)).scaled(K);
+    T.Divisor = F->divisor() != 0 ? checkedMul(F->divisor(), K) : 0;
+    return T;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    T.K = F->isAnd() ? XTree::Kind::And : XTree::Kind::Or;
+    T.Kids.reserve(F->kids().size());
+    for (const Formula *Kid : F->kids())
+      T.Kids.push_back(buildTree(Kid, X, L));
+    return T;
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return T;
+}
+
+/// Collects lower-bound terms (B), upper-bound terms (A), and the lcm of
+/// divisors over all XAtoms.
+void collectBounds(const XTree &T, std::vector<LinearExpr> &Lower,
+                   std::vector<LinearExpr> &Upper, int64_t &Delta) {
+  switch (T.K) {
+  case XTree::Kind::Plain:
+    return;
+  case XTree::Kind::XAtom:
+    if (T.Rel == AtomRel::Le) {
+      // y + Rest <= 0  ->  y <= -Rest  (upper);  -y + Rest <= 0 -> y >= Rest.
+      if (T.YSign > 0)
+        Upper.push_back(T.Rest.negated());
+      else
+        Lower.push_back(T.Rest);
+    } else {
+      Delta = lcm64(Delta, T.Divisor);
+    }
+    return;
+  case XTree::Kind::And:
+  case XTree::Kind::Or:
+    for (const XTree &K : T.Kids)
+      collectBounds(K, Lower, Upper, Delta);
+    return;
+  }
+}
+
+enum class InfMode { None, MinusInf, PlusInf };
+
+/// Substitutes y := Val into the tree and rebuilds a managed formula.
+/// In MinusInf (PlusInf) mode, Le atoms are replaced by their limit truth
+/// value and only divisibility atoms receive the substitution.
+const Formula *substTree(FormulaManager &M, const XTree &T,
+                         const LinearExpr &Val, InfMode Mode) {
+  switch (T.K) {
+  case XTree::Kind::Plain:
+    return T.Plain;
+  case XTree::Kind::XAtom: {
+    if (T.Rel == AtomRel::Le && Mode != InfMode::None) {
+      // As y -> -inf: y <= a is true, y >= b is false; dually for +inf.
+      bool IsUpper = T.YSign > 0;
+      bool Truth = (Mode == InfMode::MinusInf) == IsUpper;
+      return M.getBool(Truth);
+    }
+    LinearExpr E = Val.scaled(T.YSign).add(T.Rest);
+    return M.mkAtom(T.Rel, std::move(E), T.Divisor);
+  }
+  case XTree::Kind::And:
+  case XTree::Kind::Or: {
+    std::vector<const Formula *> Kids;
+    Kids.reserve(T.Kids.size());
+    for (const XTree &K : T.Kids)
+      Kids.push_back(substTree(M, K, Val, Mode));
+    return T.K == XTree::Kind::And ? M.mkAnd(std::move(Kids))
+                                   : M.mkOr(std::move(Kids));
+  }
+  }
+  assert(false && "unhandled tree kind");
+  return M.getFalse();
+}
+
+} // namespace
+
+const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
+                                            const Formula *F, VarId X) {
+  F = lowerEqNeOn(M, F, X);
+  if (!containsVar(F, X))
+    return F;
+
+  int64_t L = coeffLcm(F, X);
+  XTree T = buildTree(F, X, L);
+  // Side constraint from y = L*x: L | y. Represent as an XAtom conjunct.
+  if (L > 1) {
+    XTree Root;
+    Root.K = XTree::Kind::And;
+    XTree DivAtom;
+    DivAtom.K = XTree::Kind::XAtom;
+    DivAtom.Rel = AtomRel::Div;
+    DivAtom.YSign = 1;
+    DivAtom.Rest = LinearExpr::constant(0);
+    DivAtom.Divisor = L;
+    Root.Kids.push_back(std::move(T));
+    Root.Kids.push_back(std::move(DivAtom));
+    T = std::move(Root);
+  }
+
+  std::vector<LinearExpr> Lower, Upper;
+  int64_t Delta = L;
+  collectBounds(T, Lower, Upper, Delta);
+
+  std::vector<const Formula *> Disjuncts;
+  bool UseLower = Lower.size() <= Upper.size();
+  // The ±infinity residues: j = 1..delta.
+  for (int64_t J = 1; J <= Delta; ++J)
+    Disjuncts.push_back(substTree(M, T, LinearExpr::constant(J),
+                                  UseLower ? InfMode::MinusInf
+                                           : InfMode::PlusInf));
+  // Boundary points: b + j (resp. a - j) for j = 0..delta-1.
+  const std::vector<LinearExpr> &Bounds = UseLower ? Lower : Upper;
+  for (const LinearExpr &Bnd : Bounds)
+    for (int64_t J = 0; J < Delta; ++J) {
+      LinearExpr Val = UseLower ? Bnd.addConst(J) : Bnd.addConst(-J);
+      Disjuncts.push_back(substTree(M, T, Val, InfMode::None));
+    }
+  return M.mkOr(std::move(Disjuncts));
+}
+
+const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
+                                            const Formula *F,
+                                            const std::vector<VarId> &Xs) {
+  // Heuristic: eliminate variables with fewer occurrences first to keep
+  // intermediate formulas small.
+  std::vector<VarId> Order(Xs.begin(), Xs.end());
+  std::sort(Order.begin(), Order.end());
+  Order.erase(std::unique(Order.begin(), Order.end()), Order.end());
+  while (!Order.empty()) {
+    size_t BestIdx = 0;
+    size_t BestCount = SIZE_MAX;
+    for (size_t I = 0; I < Order.size(); ++I) {
+      size_t Count = 0;
+      for (const Formula *A : collectAtoms(F))
+        if (A->expr().contains(Order[I]))
+          ++Count;
+      if (Count < BestCount) {
+        BestCount = Count;
+        BestIdx = I;
+      }
+    }
+    F = eliminateExists(M, F, Order[BestIdx]);
+    Order.erase(Order.begin() + BestIdx);
+  }
+  return F;
+}
+
+const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
+                                            const Formula *F, VarId X) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), X));
+}
+
+const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
+                                            const Formula *F,
+                                            const std::vector<VarId> &Xs) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), Xs));
+}
+
+namespace {
+
+/// Solves a univariate (or ground) Presburger formula exactly by evaluating
+/// it at a complete set of candidate points. Returns true and sets \p Out on
+/// success.
+bool solveUnivariate(const Formula *F, VarId X, int64_t &Out) {
+  // Ground formulas: any value works iff the formula is true.
+  if (!containsVar(F, X)) {
+    Out = 0;
+    return evaluate(F, [](VarId) { return int64_t(0); });
+  }
+  std::set<int64_t> Thresholds;
+  int64_t Delta = 1;
+  for (const Formula *A : collectAtoms(F)) {
+    int64_t C = A->expr().coeff(X);
+    if (C == 0)
+      continue;
+    assert(A->expr().numTerms() == 1 && "formula is not univariate");
+    int64_t R = A->expr().constant();
+    switch (A->rel()) {
+    case AtomRel::Le:
+      // C*x + R <= 0: boundary at x = floor(-R/C) or ceil(-R/C).
+      Thresholds.insert(C > 0 ? floorDiv(-R, C) : ceilDiv(-R, C));
+      break;
+    case AtomRel::Eq:
+    case AtomRel::Ne:
+      if (R % C == 0)
+        Thresholds.insert(-R / C);
+      break;
+    case AtomRel::Div:
+    case AtomRel::NDiv:
+      Delta = lcm64(Delta, A->divisor());
+      break;
+    }
+  }
+  // Truth of comparison atoms is constant between consecutive thresholds and
+  // divisibility atoms have period Delta, so candidates within Delta of each
+  // threshold (plus a window around 0 for the threshold-free case) suffice.
+  std::set<int64_t> Candidates;
+  auto AddWindow = [&](int64_t Center) {
+    for (int64_t J = -Delta - 1; J <= Delta + 1; ++J)
+      Candidates.insert(checkedAdd(Center, J));
+  };
+  AddWindow(0);
+  for (int64_t T : Thresholds)
+    AddWindow(T);
+  for (int64_t C : Candidates)
+    if (evaluate(F, [&](VarId V) {
+          assert(V == X && "formula is not univariate");
+          (void)V;
+          return C;
+        })) {
+      Out = C;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+bool abdiag::smt::findModelByQe(FormulaManager &M, const Formula *F,
+                                std::unordered_map<VarId, int64_t> &Model) {
+  std::set<VarId> VarsSet = freeVars(F);
+  std::vector<VarId> Vars(VarsSet.begin(), VarsSet.end());
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    VarId X = Vars[I];
+    std::vector<VarId> Others(Vars.begin() + I + 1, Vars.end());
+    const Formula *Uni = eliminateExists(M, F, Others);
+    int64_t Val = 0;
+    if (!solveUnivariate(Uni, X, Val))
+      return false;
+    Model[X] = Val;
+    F = substitute(M, F, X, LinearExpr::constant(Val));
+  }
+  return evaluate(F, [](VarId) { return int64_t(0); });
+}
+
+//===----------------------------------------------------------------------===//
+// Complete conjunction solver (theory-solver fallback)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A scaled atom over y = L*x: Rel(YSign * y + Rest), divisor for Div/NDiv.
+struct ScaledAtom {
+  AtomRel Rel;
+  int YSign;
+  LinearExpr Rest;
+  int64_t Divisor;
+};
+
+/// Evaluates \p E under \p Model, pinning unassigned variables to 0 so later
+/// evaluations stay consistent.
+int64_t evalAndPin(const LinearExpr &E,
+                   std::unordered_map<VarId, int64_t> &Model) {
+  E.forEachVar([&](VarId V) { Model.emplace(V, 0); });
+  return E.evaluate([&](VarId V) { return Model.at(V); });
+}
+
+bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
+                  std::unordered_map<VarId, int64_t> &Model, int &Budget) {
+  if (--Budget < 0) {
+    std::fprintf(stderr,
+                 "abdiag: fatal: conjunction solver budget exhausted\n");
+    std::abort();
+  }
+  // Filter constants; collect variable occurrences.
+  std::vector<const Formula *> Work;
+  std::unordered_map<VarId, size_t> Occurrences;
+  for (const Formula *A : Atoms) {
+    if (A->isFalse())
+      return false;
+    if (A->isTrue())
+      continue;
+    assert(A->isAtom() && "conjunction solver expects atoms");
+    assert((A->rel() == AtomRel::Le || A->rel() == AtomRel::Div ||
+            A->rel() == AtomRel::NDiv) &&
+           "Eq/Ne must be lowered before the conjunction solver");
+    Work.push_back(A);
+    A->expr().forEachVar([&](VarId V) { ++Occurrences[V]; });
+  }
+  if (Work.empty())
+    return true;
+
+  // Pick the variable with the fewest occurrences.
+  VarId X = Occurrences.begin()->first;
+  size_t BestCount = SIZE_MAX;
+  for (const auto &[V, N] : Occurrences)
+    if (N < BestCount || (N == BestCount && V < X)) {
+      X = V;
+      BestCount = N;
+    }
+
+  // Split into x-atoms (scaled to unit coefficient on y = L*x) and others.
+  int64_t L = 1;
+  for (const Formula *A : Work) {
+    int64_t C = A->expr().coeff(X);
+    if (C != 0)
+      L = lcm64(L, C);
+  }
+  std::vector<ScaledAtom> XAtoms;
+  std::vector<const Formula *> Others;
+  for (const Formula *A : Work) {
+    int64_t C = A->expr().coeff(X);
+    if (C == 0) {
+      Others.push_back(A);
+      continue;
+    }
+    int64_t K = L / (C < 0 ? -C : C);
+    ScaledAtom SA;
+    SA.Rel = A->rel();
+    SA.YSign = C < 0 ? -1 : 1;
+    SA.Rest = A->expr().substituted(X, LinearExpr::constant(0)).scaled(K);
+    SA.Divisor = A->divisor() != 0 ? checkedMul(A->divisor(), K) : 0;
+    XAtoms.push_back(std::move(SA));
+  }
+  if (L > 1) {
+    // y = L*x requires L | y.
+    ScaledAtom SA;
+    SA.Rel = AtomRel::Div;
+    SA.YSign = 1;
+    SA.Rest = LinearExpr::constant(0);
+    SA.Divisor = L;
+    XAtoms.push_back(std::move(SA));
+  }
+
+  int64_t Delta = L;
+  std::vector<const ScaledAtom *> Lowers, Uppers, Divs;
+  for (const ScaledAtom &SA : XAtoms) {
+    if (SA.Rel == AtomRel::Le) {
+      (SA.YSign < 0 ? Lowers : Uppers).push_back(&SA);
+    } else {
+      Delta = lcm64(Delta, SA.Divisor);
+      Divs.push_back(&SA);
+    }
+  }
+
+  auto SubstAll = [&](const LinearExpr &Val, bool DropLe) {
+    std::vector<const Formula *> Sub = Others;
+    for (const ScaledAtom &SA : XAtoms) {
+      if (DropLe && SA.Rel == AtomRel::Le)
+        continue;
+      LinearExpr E = Val.scaled(SA.YSign).add(SA.Rest);
+      Sub.push_back(M.mkAtom(SA.Rel, std::move(E), SA.Divisor));
+    }
+    return Sub;
+  };
+
+  auto FinishWithY = [&](int64_t YVal) {
+    assert(floorMod(YVal, L) == 0 && "y must be divisible by L");
+    Model[X] = YVal / L;
+    return true;
+  };
+
+  if (!Lowers.empty() &&
+      (Uppers.empty() || Lowers.size() <= Uppers.size())) {
+    // Every solution has y in [b, b + Delta) for some lower bound b
+    // (a smaller y - Delta would still satisfy all constraints otherwise,
+    // descending below some lower bound eventually).
+    for (const ScaledAtom *B : Lowers) {
+      LinearExpr Bound = B->Rest; // y >= Rest
+      for (int64_t J = 0; J < Delta; ++J) {
+        if (solveConjRec(M, SubstAll(Bound.addConst(J), /*DropLe=*/false),
+                         Model, Budget))
+          return FinishWithY(checkedAdd(evalAndPin(Bound, Model), J));
+      }
+    }
+    return false;
+  }
+  if (!Uppers.empty()) {
+    // Dual: y in (a - Delta, a] for some upper bound a = -Rest.
+    for (const ScaledAtom *A : Uppers) {
+      LinearExpr Bound = A->Rest.negated(); // y <= -Rest
+      for (int64_t J = 0; J < Delta; ++J) {
+        if (solveConjRec(M, SubstAll(Bound.addConst(-J), /*DropLe=*/false),
+                         Model, Budget))
+          return FinishWithY(checkedSub(evalAndPin(Bound, Model), J));
+      }
+    }
+    return false;
+  }
+  // Only divisibility constraints mention y; since every divisor divides
+  // Delta, substituting any representative of the residue class is exact.
+  for (int64_t J = 0; J < Delta; ++J) {
+    if (solveConjRec(M, SubstAll(LinearExpr::constant(J), /*DropLe=*/true),
+                     Model, Budget))
+      return FinishWithY(J);
+  }
+  return false;
+}
+
+} // namespace
+
+bool abdiag::smt::solveAtomConjunction(
+    FormulaManager &M, const std::vector<const Formula *> &Atoms,
+    std::unordered_map<VarId, int64_t> &Model) {
+  int Budget = 2000000;
+  return solveConjRec(M, Atoms, Model, Budget);
+}

@@ -1,0 +1,75 @@
+//===- smt/Cooper.h - Cooper's quantifier elimination -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier elimination for Presburger arithmetic (linear integer
+/// arithmetic with divisibility) using Cooper's algorithm. This is the
+/// engine behind the paper's Lemmas 3 and 5: weakest minimum proof
+/// obligations and failure witnesses are obtained by eliminating the
+/// universally quantified non-MSA variables from `I => phi`.
+///
+/// Also provides a complete, QE-based model finder for quantifier-free
+/// formulas, used (a) as the completeness fallback of the branch-and-bound
+/// LIA solver and (b) as an independent test oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_COOPER_H
+#define ABDIAG_SMT_COOPER_H
+
+#include "smt/Formula.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace abdiag::smt {
+
+/// Computes a quantifier-free equivalent of `exists X. F`.
+const Formula *eliminateExists(FormulaManager &M, const Formula *F, VarId X);
+
+/// Eliminates every variable in \p Xs existentially (in a heuristic order).
+const Formula *eliminateExists(FormulaManager &M, const Formula *F,
+                               const std::vector<VarId> &Xs);
+
+/// Computes a quantifier-free equivalent of `forall X. F` (as ¬∃X.¬F).
+const Formula *eliminateForall(FormulaManager &M, const Formula *F, VarId X);
+
+/// Eliminates every variable in \p Xs universally.
+const Formula *eliminateForall(FormulaManager &M, const Formula *F,
+                               const std::vector<VarId> &Xs);
+
+/// Complete satisfiability + model finding for a quantifier-free formula,
+/// by QE to univariate formulas and candidate-point enumeration. Complete
+/// for full Presburger arithmetic but exponential; intended as a test
+/// oracle, not the main solving path (coefficients snowball across
+/// eliminations on larger systems).
+///
+/// \returns true and fills \p Model (for every free variable of \p F) if
+/// satisfiable; false otherwise.
+bool findModelByQe(FormulaManager &M, const Formula *F,
+                   std::unordered_map<VarId, int64_t> &Model);
+
+/// Complete decision procedure + model finder for *conjunctions* of
+/// Le / Div / NDiv atoms (the exact shape the DPLL(T) theory solver needs
+/// when branch-and-bound exhausts its budget).
+///
+/// Works by Cooper-style elimination specialized to conjunctions: pick a
+/// variable, enumerate its boundary substitutions y := b + j (or the
+/// unbounded-side residues), and recurse on the substituted conjunction.
+/// Unlike formula-level QE this never materializes the disjunction, so
+/// memory stays linear in the recursion depth, and a model is recovered on
+/// the way back up.
+///
+/// \p Atoms may contain True (ignored) and False (immediately unsat) nodes.
+/// Eq/Ne atoms are rejected (lower them first). Returns true and fills
+/// \p Model for every variable occurring in \p Atoms when satisfiable.
+bool solveAtomConjunction(FormulaManager &M,
+                          const std::vector<const Formula *> &Atoms,
+                          std::unordered_map<VarId, int64_t> &Model);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_COOPER_H

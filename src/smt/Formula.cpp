@@ -1,0 +1,247 @@
+//===- smt/Formula.cpp - Hash-consed LIA formulas --------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Formula.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+size_t Formula::hash() const {
+  size_t H = std::hash<uint8_t>()(static_cast<uint8_t>(Kind));
+  if (Kind == FormulaKind::Atom) {
+    hashCombine(H, std::hash<uint8_t>()(static_cast<uint8_t>(Rel)));
+    hashCombine(H, std::hash<int64_t>()(Divisor));
+    hashCombine(H, Expr.hash());
+  }
+  for (const Formula *K : Kids)
+    hashCombine(H, std::hash<uint32_t>()(K->id()));
+  return H;
+}
+
+bool Formula::sameStructure(const Formula &O) const {
+  if (Kind != O.Kind)
+    return false;
+  if (Kind == FormulaKind::Atom)
+    return Rel == O.Rel && Divisor == O.Divisor && Expr == O.Expr;
+  return Kids == O.Kids;
+}
+
+FormulaManager::FormulaManager() {
+  TrueNode = intern(Formula(FormulaKind::True));
+  FalseNode = intern(Formula(FormulaKind::False));
+}
+
+const Formula *FormulaManager::intern(Formula &&N) {
+  size_t H = N.hash();
+  auto &Bucket = Buckets[H];
+  for (const Formula *Existing : Bucket)
+    if (Existing->sameStructure(N))
+      return Existing;
+  N.Id = static_cast<uint32_t>(Nodes.size());
+  Nodes.push_back(std::move(N));
+  const Formula *P = &Nodes.back();
+  Bucket.push_back(P);
+  return P;
+}
+
+const Formula *FormulaManager::mkAtom(AtomRel Rel, LinearExpr E,
+                                      int64_t Divisor) {
+  switch (Rel) {
+  case AtomRel::Le: {
+    if (E.isConstant())
+      return getBool(E.constant() <= 0);
+    // Integer tightening: sum(a_i x_i) + c <= 0 with g = gcd(a_i) is
+    // equivalent to sum(a_i/g x_i) <= floor(-c/g).
+    int64_t G = E.coeffGcd();
+    if (G > 1) {
+      LinearExpr Tight;
+      for (const auto &T : E.terms())
+        Tight = Tight.add(LinearExpr::variable(T.first, T.second / G));
+      Tight = Tight.addConst(checkedNeg(floorDiv(checkedNeg(E.constant()), G)));
+      E = Tight;
+    }
+    break;
+  }
+  case AtomRel::Eq:
+  case AtomRel::Ne: {
+    if (E.isConstant())
+      return getBool(Rel == AtomRel::Eq ? E.constant() == 0
+                                        : E.constant() != 0);
+    int64_t G = E.coeffGcd();
+    if (E.constant() % G != 0)
+      return getBool(Rel == AtomRel::Ne);
+    if (G > 1)
+      E = [&] {
+        LinearExpr R = LinearExpr::constant(E.constant() / G);
+        for (const auto &T : E.terms())
+          R = R.add(LinearExpr::variable(T.first, T.second / G));
+        return R;
+      }();
+    if (E.terms().front().second < 0)
+      E = E.negated();
+    break;
+  }
+  case AtomRel::Div:
+  case AtomRel::NDiv: {
+    assert(Divisor >= 1 && "divisibility atom needs a positive divisor");
+    if (Divisor == 1)
+      return getBool(Rel == AtomRel::Div);
+    // Reduce coefficients and the constant modulo the divisor.
+    LinearExpr R = LinearExpr::constant(floorMod(E.constant(), Divisor));
+    for (const auto &T : E.terms())
+      R = R.add(LinearExpr::variable(T.first, floorMod(T.second, Divisor)));
+    E = R;
+    if (E.isConstant())
+      return getBool((E.constant() % Divisor == 0) == (Rel == AtomRel::Div));
+    // d | g*E' with g dividing everything reduces to (d/g) | E'.
+    int64_t G = gcd64(E.coeffGcd(), gcd64(E.constant(), Divisor));
+    if (G > 1) {
+      LinearExpr S = LinearExpr::constant(E.constant() / G);
+      for (const auto &T : E.terms())
+        S = S.add(LinearExpr::variable(T.first, T.second / G));
+      E = S;
+      Divisor /= G;
+      if (Divisor == 1)
+        return getBool(Rel == AtomRel::Div);
+    }
+    break;
+  }
+  }
+  Formula N(FormulaKind::Atom);
+  N.Rel = Rel;
+  N.Expr = std::move(E);
+  N.Divisor = (Rel == AtomRel::Div || Rel == AtomRel::NDiv) ? Divisor : 0;
+  return intern(std::move(N));
+}
+
+const Formula *FormulaManager::mkLe(const LinearExpr &A, const LinearExpr &B) {
+  return mkAtom(AtomRel::Le, A.sub(B));
+}
+const Formula *FormulaManager::mkLt(const LinearExpr &A, const LinearExpr &B) {
+  return mkAtom(AtomRel::Le, A.sub(B).addConst(1)); // A < B iff A - B + 1 <= 0
+}
+const Formula *FormulaManager::mkGe(const LinearExpr &A, const LinearExpr &B) {
+  return mkLe(B, A);
+}
+const Formula *FormulaManager::mkGt(const LinearExpr &A, const LinearExpr &B) {
+  return mkLt(B, A);
+}
+const Formula *FormulaManager::mkEq(const LinearExpr &A, const LinearExpr &B) {
+  return mkAtom(AtomRel::Eq, A.sub(B));
+}
+const Formula *FormulaManager::mkNe(const LinearExpr &A, const LinearExpr &B) {
+  return mkAtom(AtomRel::Ne, A.sub(B));
+}
+const Formula *FormulaManager::mkDiv(int64_t D, const LinearExpr &E) {
+  return mkAtom(AtomRel::Div, E, D);
+}
+
+namespace {
+/// Flattens \p Fs into \p Out, inlining children of nested nodes of the same
+/// \p Kind. Returns false if a dominating constant (False in And, True in Or)
+/// was found.
+bool flattenInto(FormulaKind Kind, const std::vector<const Formula *> &Fs,
+                 std::vector<const Formula *> &Out) {
+  for (const Formula *F : Fs) {
+    if (Kind == FormulaKind::And ? F->isTrue() : F->isFalse())
+      continue;
+    if (Kind == FormulaKind::And ? F->isFalse() : F->isTrue())
+      return false;
+    if (F->kind() == Kind) {
+      // Children of an interned node are already flat.
+      Out.insert(Out.end(), F->kids().begin(), F->kids().end());
+      continue;
+    }
+    Out.push_back(F);
+  }
+  return true;
+}
+} // namespace
+
+const Formula *FormulaManager::mkAnd(std::vector<const Formula *> Fs) {
+  std::vector<const Formula *> Kids;
+  if (!flattenInto(FormulaKind::And, Fs, Kids))
+    return FalseNode;
+  std::sort(Kids.begin(), Kids.end(),
+            [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
+  Kids.erase(std::unique(Kids.begin(), Kids.end()), Kids.end());
+  // Complementary atoms (a and ¬a) make the conjunction false.
+  for (const Formula *K : Kids)
+    if (K->isAtom() &&
+        std::binary_search(Kids.begin(), Kids.end(), mkNot(K),
+                           [](const Formula *A, const Formula *B) {
+                             return A->id() < B->id();
+                           }))
+      return FalseNode;
+  if (Kids.empty())
+    return TrueNode;
+  if (Kids.size() == 1)
+    return Kids.front();
+  Formula N(FormulaKind::And);
+  N.Kids = std::move(Kids);
+  return intern(std::move(N));
+}
+
+const Formula *FormulaManager::mkOr(std::vector<const Formula *> Fs) {
+  std::vector<const Formula *> Kids;
+  if (!flattenInto(FormulaKind::Or, Fs, Kids))
+    return TrueNode;
+  std::sort(Kids.begin(), Kids.end(),
+            [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
+  Kids.erase(std::unique(Kids.begin(), Kids.end()), Kids.end());
+  for (const Formula *K : Kids)
+    if (K->isAtom() &&
+        std::binary_search(Kids.begin(), Kids.end(), mkNot(K),
+                           [](const Formula *A, const Formula *B) {
+                             return A->id() < B->id();
+                           }))
+      return TrueNode;
+  if (Kids.empty())
+    return FalseNode;
+  if (Kids.size() == 1)
+    return Kids.front();
+  Formula N(FormulaKind::Or);
+  N.Kids = std::move(Kids);
+  return intern(std::move(N));
+}
+
+const Formula *FormulaManager::mkNot(const Formula *F) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return FalseNode;
+  case FormulaKind::False:
+    return TrueNode;
+  case FormulaKind::Atom:
+    switch (F->rel()) {
+    case AtomRel::Le: // ¬(E <= 0) iff 1 - E <= 0
+      return mkAtom(AtomRel::Le, F->expr().negated().addConst(1));
+    case AtomRel::Eq:
+      return mkAtom(AtomRel::Ne, F->expr());
+    case AtomRel::Ne:
+      return mkAtom(AtomRel::Eq, F->expr());
+    case AtomRel::Div:
+      return mkAtom(AtomRel::NDiv, F->expr(), F->divisor());
+    case AtomRel::NDiv:
+      return mkAtom(AtomRel::Div, F->expr(), F->divisor());
+    }
+    break;
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<const Formula *> Negs;
+    Negs.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Negs.push_back(mkNot(K));
+    return F->isAnd() ? mkOr(std::move(Negs)) : mkAnd(std::move(Negs));
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return FalseNode;
+}

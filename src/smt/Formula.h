@@ -1,0 +1,144 @@
+//===- smt/Formula.h - Hash-consed LIA formulas -----------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable, hash-consed formulas over linear integer arithmetic. Atoms are
+/// canonical constraints of the form
+///
+///   E <= 0        (Le)         E == 0  (Eq)        E != 0  (Ne)
+///   d | E         (Div)        d ∤ E   (NDiv)
+///
+/// where E is a LinearExpr and d >= 2. Divisibility atoms exist because
+/// Cooper's quantifier-elimination algorithm introduces them; the solver
+/// lowers them before deciding satisfiability.
+///
+/// Atoms are closed under negation (¬(E<=0) == (1-E<=0), ¬Eq == Ne,
+/// ¬Div == NDiv), so smart constructors keep every formula in negation
+/// normal form: the only node kinds are True, False, Atom, And, Or.
+/// Construction performs local simplification (flattening, unit absorption,
+/// duplicate and complementary-literal elimination) and constant atoms fold
+/// to True/False, so many trivial tautologies never materialize.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_FORMULA_H
+#define ABDIAG_SMT_FORMULA_H
+
+#include "smt/LinearExpr.h"
+#include "smt/Var.h"
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace abdiag::smt {
+
+class FormulaManager;
+
+/// Node discriminator; formulas are in NNF so there is no Not node.
+enum class FormulaKind : uint8_t { True, False, Atom, And, Or };
+
+/// Relation of an atomic constraint over its LinearExpr.
+enum class AtomRel : uint8_t { Le, Eq, Ne, Div, NDiv };
+
+/// An immutable formula DAG node. Nodes are created and owned exclusively by
+/// a FormulaManager and are unique up to structure, so pointer equality is
+/// structural equality.
+class Formula {
+  friend class FormulaManager;
+
+  FormulaKind Kind;
+  AtomRel Rel = AtomRel::Le;       // valid when Kind == Atom
+  int64_t Divisor = 0;             // valid when Rel is Div/NDiv
+  uint32_t Id = 0;                 // creation index; deterministic order
+  LinearExpr Expr;                 // valid when Kind == Atom
+  std::vector<const Formula *> Kids; // valid when Kind is And/Or
+
+  explicit Formula(FormulaKind K) : Kind(K) {}
+
+public:
+  FormulaKind kind() const { return Kind; }
+  uint32_t id() const { return Id; }
+
+  bool isTrue() const { return Kind == FormulaKind::True; }
+  bool isFalse() const { return Kind == FormulaKind::False; }
+  bool isAtom() const { return Kind == FormulaKind::Atom; }
+  bool isAnd() const { return Kind == FormulaKind::And; }
+  bool isOr() const { return Kind == FormulaKind::Or; }
+
+  AtomRel rel() const { return Rel; }
+  int64_t divisor() const { return Divisor; }
+  const LinearExpr &expr() const { return Expr; }
+  const std::vector<const Formula *> &kids() const { return Kids; }
+
+  size_t hash() const;
+  bool sameStructure(const Formula &O) const;
+};
+
+/// Owns and uniques Formula nodes and the variable table.
+///
+/// All formula construction goes through the mk* smart constructors, which
+/// canonicalize and hash-cons. Formulas from different managers must never
+/// be mixed.
+class FormulaManager {
+  VarTable Vars;
+  std::deque<Formula> Nodes;
+  std::unordered_map<size_t, std::vector<const Formula *>> Buckets;
+  const Formula *TrueNode;
+  const Formula *FalseNode;
+
+  const Formula *intern(Formula &&N);
+
+public:
+  FormulaManager();
+  FormulaManager(const FormulaManager &) = delete;
+  FormulaManager &operator=(const FormulaManager &) = delete;
+
+  VarTable &vars() { return Vars; }
+  const VarTable &vars() const { return Vars; }
+  size_t numNodes() const { return Nodes.size(); }
+
+  const Formula *getTrue() const { return TrueNode; }
+  const Formula *getFalse() const { return FalseNode; }
+  const Formula *getBool(bool B) const { return B ? TrueNode : FalseNode; }
+
+  /// Creates a canonical atom `Rel(E)`; folds constant atoms to True/False.
+  /// \p Divisor is required (>= 1) for Div/NDiv and ignored otherwise.
+  const Formula *mkAtom(AtomRel Rel, LinearExpr E, int64_t Divisor = 0);
+
+  // Comparison sugar over linear expressions.
+  const Formula *mkLe(const LinearExpr &A, const LinearExpr &B);
+  const Formula *mkLt(const LinearExpr &A, const LinearExpr &B);
+  const Formula *mkGe(const LinearExpr &A, const LinearExpr &B);
+  const Formula *mkGt(const LinearExpr &A, const LinearExpr &B);
+  const Formula *mkEq(const LinearExpr &A, const LinearExpr &B);
+  const Formula *mkNe(const LinearExpr &A, const LinearExpr &B);
+  /// d | E  (divisibility; d >= 1).
+  const Formula *mkDiv(int64_t D, const LinearExpr &E);
+
+  const Formula *mkAnd(std::vector<const Formula *> Fs);
+  const Formula *mkOr(std::vector<const Formula *> Fs);
+  const Formula *mkAnd(const Formula *A, const Formula *B) {
+    return mkAnd(std::vector<const Formula *>{A, B});
+  }
+  const Formula *mkOr(const Formula *A, const Formula *B) {
+    return mkOr(std::vector<const Formula *>{A, B});
+  }
+
+  /// Negation; pushes to NNF immediately (atoms negate to atoms).
+  const Formula *mkNot(const Formula *F);
+  const Formula *mkImplies(const Formula *A, const Formula *B) {
+    return mkOr(mkNot(A), B);
+  }
+  const Formula *mkIff(const Formula *A, const Formula *B) {
+    return mkAnd(mkImplies(A, B), mkImplies(B, A));
+  }
+};
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_FORMULA_H

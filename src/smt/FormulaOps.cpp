@@ -1,0 +1,246 @@
+//===- smt/FormulaOps.cpp - Structural operations on formulas -------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/FormulaOps.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+void abdiag::smt::collectFreeVars(const Formula *F, std::set<VarId> &Out) {
+  if (F->isAtom()) {
+    F->expr().forEachVar([&](VarId V) { Out.insert(V); });
+    return;
+  }
+  for (const Formula *K : F->kids())
+    collectFreeVars(K, Out);
+}
+
+std::set<VarId> abdiag::smt::freeVars(const Formula *F) {
+  std::set<VarId> Out;
+  collectFreeVars(F, Out);
+  return Out;
+}
+
+namespace {
+void collectAtomsImpl(const Formula *F, std::set<const Formula *> &Seen,
+                      std::vector<const Formula *> &Out) {
+  if (F->isAtom()) {
+    if (Seen.insert(F).second)
+      Out.push_back(F);
+    return;
+  }
+  for (const Formula *K : F->kids())
+    collectAtomsImpl(K, Seen, Out);
+}
+} // namespace
+
+std::vector<const Formula *> abdiag::smt::collectAtoms(const Formula *F) {
+  std::set<const Formula *> Seen;
+  std::vector<const Formula *> Out;
+  collectAtomsImpl(F, Seen, Out);
+  std::sort(Out.begin(), Out.end(),
+            [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
+  return Out;
+}
+
+bool abdiag::smt::containsVar(const Formula *F, VarId V) {
+  if (F->isAtom())
+    return F->expr().contains(V);
+  for (const Formula *K : F->kids())
+    if (containsVar(K, V))
+      return true;
+  return false;
+}
+
+const Formula *
+abdiag::smt::substitute(FormulaManager &M, const Formula *F,
+                        const std::unordered_map<VarId, LinearExpr> &Map) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Atom: {
+    LinearExpr E = F->expr();
+    for (const auto &[V, Repl] : Map)
+      E = E.substituted(V, Repl);
+    return M.mkAtom(F->rel(), std::move(E), F->divisor());
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<const Formula *> Kids;
+    Kids.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Kids.push_back(substitute(M, K, Map));
+    return F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return F;
+}
+
+const Formula *abdiag::smt::substitute(FormulaManager &M, const Formula *F,
+                                       VarId V, const LinearExpr &Repl) {
+  std::unordered_map<VarId, LinearExpr> Map;
+  Map.emplace(V, Repl);
+  return substitute(M, F, Map);
+}
+
+bool abdiag::smt::evaluate(const Formula *F,
+                           const std::function<int64_t(VarId)> &Value) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return true;
+  case FormulaKind::False:
+    return false;
+  case FormulaKind::Atom: {
+    int64_t E = F->expr().evaluate(Value);
+    switch (F->rel()) {
+    case AtomRel::Le:
+      return E <= 0;
+    case AtomRel::Eq:
+      return E == 0;
+    case AtomRel::Ne:
+      return E != 0;
+    case AtomRel::Div:
+      return floorMod(E, F->divisor()) == 0;
+    case AtomRel::NDiv:
+      return floorMod(E, F->divisor()) != 0;
+    }
+    break;
+  }
+  case FormulaKind::And:
+    for (const Formula *K : F->kids())
+      if (!evaluate(K, Value))
+        return false;
+    return true;
+  case FormulaKind::Or:
+    for (const Formula *K : F->kids())
+      if (evaluate(K, Value))
+        return true;
+    return false;
+  }
+  assert(false && "unhandled formula kind");
+  return false;
+}
+
+size_t abdiag::smt::atomCount(const Formula *F) {
+  if (F->isAtom())
+    return 1;
+  size_t N = 0;
+  for (const Formula *K : F->kids())
+    N += atomCount(K);
+  return N;
+}
+
+namespace {
+
+/// Shared engine for CNF/DNF by distribution. For CNF, a "group" is a clause
+/// (set of atoms read disjunctively); And concatenates groups and Or takes
+/// the cross product. DNF is the exact dual.
+bool normalForm(const Formula *F, bool Cnf,
+                std::vector<std::vector<const Formula *>> &Out, size_t Max) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False: {
+    bool NeutralConst = Cnf ? F->isTrue() : F->isFalse();
+    if (NeutralConst) {
+      Out.clear(); // no groups: empty CNF is true / empty DNF is false
+    } else {
+      Out.clear();
+      Out.push_back({}); // one empty group: empty clause/cube
+    }
+    return true;
+  }
+  case FormulaKind::Atom:
+    Out.clear();
+    Out.push_back({F});
+    return true;
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    bool Concat = Cnf == F->isAnd();
+    std::vector<std::vector<const Formula *>> Acc;
+    bool First = true;
+    for (const Formula *K : F->kids()) {
+      std::vector<std::vector<const Formula *>> Sub;
+      if (!normalForm(K, Cnf, Sub, Max))
+        return false;
+      if (Concat) {
+        Acc.insert(Acc.end(), Sub.begin(), Sub.end());
+      } else if (First) {
+        Acc = std::move(Sub);
+      } else {
+        std::vector<std::vector<const Formula *>> Cross;
+        if (Acc.size() * Sub.size() > Max)
+          return false;
+        for (const auto &A : Acc)
+          for (const auto &B : Sub) {
+            std::vector<const Formula *> Merged = A;
+            Merged.insert(Merged.end(), B.begin(), B.end());
+            Cross.push_back(std::move(Merged));
+          }
+        Acc = std::move(Cross);
+      }
+      First = false;
+      if (Acc.size() > Max)
+        return false;
+    }
+    Out = std::move(Acc);
+    return true;
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return false;
+}
+
+/// Deduplicates atoms within each group and drops groups subsumed by
+/// constant simplification (a clause containing complementary atoms is true;
+/// a cube containing complementary atoms is false).
+void tidyGroups(FormulaManager &M,
+                std::vector<std::vector<const Formula *>> &Groups) {
+  std::vector<std::vector<const Formula *>> Kept;
+  for (auto &G : Groups) {
+    std::sort(G.begin(), G.end(),
+              [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
+    G.erase(std::unique(G.begin(), G.end()), G.end());
+    bool Degenerate = false;
+    for (const Formula *A : G)
+      if (std::binary_search(G.begin(), G.end(), M.mkNot(A),
+                             [](const Formula *X, const Formula *Y) {
+                               return X->id() < Y->id();
+                             })) {
+        Degenerate = true;
+        break;
+      }
+    // A degenerate clause is trivially true (drop it from the CNF); a
+    // degenerate cube is trivially false (drop it from the DNF).
+    if (!Degenerate)
+      Kept.push_back(std::move(G));
+  }
+  Groups = std::move(Kept);
+}
+
+} // namespace
+
+bool abdiag::smt::toCnf(FormulaManager &M, const Formula *F,
+                        std::vector<std::vector<const Formula *>> &Out,
+                        size_t MaxClauses) {
+  if (!normalForm(F, /*Cnf=*/true, Out, MaxClauses))
+    return false;
+  tidyGroups(M, Out);
+  return true;
+}
+
+bool abdiag::smt::toDnf(FormulaManager &M, const Formula *F,
+                        std::vector<std::vector<const Formula *>> &Out,
+                        size_t MaxCubes) {
+  if (!normalForm(F, /*Cnf=*/false, Out, MaxCubes))
+    return false;
+  tidyGroups(M, Out);
+  return true;
+}

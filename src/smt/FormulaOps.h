@@ -1,0 +1,70 @@
+//===- smt/FormulaOps.h - Structural operations on formulas -----*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural (solver-free) operations on formulas: free-variable and atom
+/// collection, substitution, ground evaluation, size metrics, and the
+/// CNF/DNF conversions used by query decomposition (Section 4.4 of the
+/// paper). CNF/DNF use distribution, which can blow up exponentially; they
+/// are only applied to the small query formulas produced by abduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_FORMULAOPS_H
+#define ABDIAG_SMT_FORMULAOPS_H
+
+#include "smt/Formula.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+namespace abdiag::smt {
+
+/// Sorted set of the variables occurring in \p F.
+std::set<VarId> freeVars(const Formula *F);
+
+/// Appends the free variables of \p F into \p Out.
+void collectFreeVars(const Formula *F, std::set<VarId> &Out);
+
+/// All distinct atom nodes occurring in \p F, in deterministic (id) order.
+std::vector<const Formula *> collectAtoms(const Formula *F);
+
+/// True iff variable \p V occurs in \p F.
+bool containsVar(const Formula *F, VarId V);
+
+/// Replaces every variable in the domain of \p Map by its linear expression,
+/// rebuilding (and re-canonicalizing) the formula in \p M.
+const Formula *substitute(FormulaManager &M, const Formula *F,
+                          const std::unordered_map<VarId, LinearExpr> &Map);
+
+/// Substitutes a single variable.
+const Formula *substitute(FormulaManager &M, const Formula *F, VarId V,
+                          const LinearExpr &Repl);
+
+/// Evaluates \p F under the total assignment \p Value; every variable of F
+/// must be defined by \p Value.
+bool evaluate(const Formula *F, const std::function<int64_t(VarId)> &Value);
+
+/// Number of atom occurrences in \p F (tree count, not DAG count).
+size_t atomCount(const Formula *F);
+
+/// Conjunctive normal form as a list of clauses (each clause a list of atom
+/// formulas, representing their disjunction). \p MaxClauses bounds blowup;
+/// returns false (leaving \p Out unspecified) if the bound is exceeded.
+bool toCnf(FormulaManager &M, const Formula *F,
+           std::vector<std::vector<const Formula *>> &Out,
+           size_t MaxClauses = 4096);
+
+/// Disjunctive normal form as a list of cubes (each cube a list of atom
+/// formulas, representing their conjunction).
+bool toDnf(FormulaManager &M, const Formula *F,
+           std::vector<std::vector<const Formula *>> &Out,
+           size_t MaxCubes = 4096);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_FORMULAOPS_H

@@ -1,0 +1,389 @@
+//===- smt/FormulaParser.cpp - Text syntax for formulas ----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/FormulaParser.h"
+
+#include <cassert>
+#include <cctype>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+enum class Tok : uint8_t {
+  End,
+  Int,
+  Ident,
+  AndAnd,
+  OrOr,
+  Bang,
+  LParen,
+  RParen,
+  Plus,
+  Minus,
+  Star,
+  Pipe,
+  Eq,   // '=' or '=='
+  Ne,   // '!='
+  Le,
+  Ge,
+  Lt,
+  Gt,
+  Error
+};
+
+struct Token {
+  Tok Kind;
+  int64_t Value = 0;
+  std::string Text;
+  size_t Pos = 0;
+};
+
+std::vector<Token> lex(std::string_view Src) {
+  std::vector<Token> Out;
+  size_t I = 0;
+  auto IsIdentStart = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+  };
+  auto IsIdentChar = [&](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+           C == '@' || C == '.';
+  };
+  while (I < Src.size()) {
+    char C = Src[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    size_t Start = I;
+    auto Two = [&](char Next) {
+      return I + 1 < Src.size() && Src[I + 1] == Next;
+    };
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (I < Src.size() && std::isdigit(static_cast<unsigned char>(Src[I])))
+        V = V * 10 + (Src[I++] - '0');
+      Out.push_back({Tok::Int, V, "", Start});
+      continue;
+    }
+    if (IsIdentStart(C)) {
+      size_t J = I;
+      while (J < Src.size() && IsIdentChar(Src[J]))
+        ++J;
+      std::string Name(Src.substr(I, J - I));
+      I = J;
+      if (Name == "true" || Name == "false") {
+        // Handled by the parser via the Text field.
+      }
+      Out.push_back({Tok::Ident, 0, std::move(Name), Start});
+      continue;
+    }
+    switch (C) {
+    case '&':
+      if (Two('&')) {
+        Out.push_back({Tok::AndAnd, 0, "", Start});
+        I += 2;
+        continue;
+      }
+      break;
+    case '|':
+      if (Two('|')) {
+        Out.push_back({Tok::OrOr, 0, "", Start});
+        I += 2;
+      } else {
+        Out.push_back({Tok::Pipe, 0, "", Start});
+        ++I;
+      }
+      continue;
+    case '!':
+      if (Two('=')) {
+        Out.push_back({Tok::Ne, 0, "", Start});
+        I += 2;
+      } else {
+        Out.push_back({Tok::Bang, 0, "", Start});
+        ++I;
+      }
+      continue;
+    case '=':
+      Out.push_back({Tok::Eq, 0, "", Start});
+      I += Two('=') ? 2 : 1;
+      continue;
+    case '<':
+      if (Two('=')) {
+        Out.push_back({Tok::Le, 0, "", Start});
+        I += 2;
+      } else {
+        Out.push_back({Tok::Lt, 0, "", Start});
+        ++I;
+      }
+      continue;
+    case '>':
+      if (Two('=')) {
+        Out.push_back({Tok::Ge, 0, "", Start});
+        I += 2;
+      } else {
+        Out.push_back({Tok::Gt, 0, "", Start});
+        ++I;
+      }
+      continue;
+    case '(':
+      Out.push_back({Tok::LParen, 0, "", Start});
+      ++I;
+      continue;
+    case ')':
+      Out.push_back({Tok::RParen, 0, "", Start});
+      ++I;
+      continue;
+    case '+':
+      Out.push_back({Tok::Plus, 0, "", Start});
+      ++I;
+      continue;
+    case '-':
+      Out.push_back({Tok::Minus, 0, "", Start});
+      ++I;
+      continue;
+    case '*':
+      Out.push_back({Tok::Star, 0, "", Start});
+      ++I;
+      continue;
+    default:
+      break;
+    }
+    Out.push_back({Tok::Error, 0, std::string(1, C), Start});
+    ++I;
+  }
+  Out.push_back({Tok::End, 0, "", Src.size()});
+  return Out;
+}
+
+class Parser {
+  FormulaManager &M;
+  FormulaParseOptions Opts;
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  std::string Error;
+
+public:
+  Parser(FormulaManager &M, std::string_view Src,
+         const FormulaParseOptions &Opts)
+      : M(M), Opts(Opts), Toks(lex(Src)) {}
+
+  FormulaParseResult run() {
+    const Formula *F = parseDisj();
+    if (Error.empty() && !at(Tok::End))
+      fail("unexpected trailing input");
+    FormulaParseResult R;
+    if (Error.empty())
+      R.F = F;
+    R.Error = Error;
+    return R;
+  }
+
+private:
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(Tok K) const { return cur().Kind == K; }
+  bool accept(Tok K) {
+    if (Error.empty() && at(K)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = "formula parse error at offset " + std::to_string(cur().Pos) +
+              ": " + Msg;
+  }
+
+  const Formula *parseDisj() {
+    std::vector<const Formula *> Kids{parseConj()};
+    while (accept(Tok::OrOr))
+      Kids.push_back(parseConj());
+    return Kids.size() == 1 ? Kids.front() : M.mkOr(std::move(Kids));
+  }
+
+  const Formula *parseConj() {
+    std::vector<const Formula *> Kids{parseUnary()};
+    while (accept(Tok::AndAnd))
+      Kids.push_back(parseUnary());
+    return Kids.size() == 1 ? Kids.front() : M.mkAnd(std::move(Kids));
+  }
+
+  const Formula *parseUnary() {
+    if (!Error.empty())
+      return M.getFalse();
+    if (accept(Tok::Bang))
+      return M.mkNot(parseUnary());
+    if (at(Tok::Ident) && cur().Text == "true") {
+      ++Pos;
+      return M.getTrue();
+    }
+    if (at(Tok::Ident) && cur().Text == "false") {
+      ++Pos;
+      return M.getFalse();
+    }
+    // Divisibility: INT '|' '(' linexpr ')'.
+    if (at(Tok::Int) && Pos + 1 < Toks.size() &&
+        Toks[Pos + 1].Kind == Tok::Pipe) {
+      int64_t D = cur().Value;
+      Pos += 2;
+      if (!accept(Tok::LParen)) {
+        fail("expected '(' after divisibility bar");
+        return M.getFalse();
+      }
+      LinearExpr E = parseLinExpr();
+      if (!accept(Tok::RParen)) {
+        fail("expected ')' after divisibility expression");
+        return M.getFalse();
+      }
+      if (D < 1) {
+        fail("divisor must be positive");
+        return M.getFalse();
+      }
+      return M.mkDiv(D, E);
+    }
+    // '(' is ambiguous: parenthesized formula or parenthesized arithmetic
+    // starting a comparison. Try the formula reading and backtrack if a
+    // comparison or arithmetic operator follows.
+    if (at(Tok::LParen)) {
+      size_t Save = Pos;
+      std::string SavedError = Error;
+      ++Pos;
+      const Formula *Inner = parseDisj();
+      if (Error.empty() && at(Tok::RParen) && !arithmeticFollows()) {
+        ++Pos;
+        return Inner;
+      }
+      Pos = Save;
+      Error = SavedError;
+    }
+    return parseCompare();
+  }
+
+  /// After "(...)" parsed as a formula, these tokens mean it was really an
+  /// arithmetic group.
+  bool arithmeticFollows() const {
+    if (Pos + 1 >= Toks.size())
+      return false;
+    switch (Toks[Pos + 1].Kind) {
+    case Tok::Eq:
+    case Tok::Ne:
+    case Tok::Le:
+    case Tok::Ge:
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Plus:
+    case Tok::Minus:
+    case Tok::Star:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  const Formula *parseCompare() {
+    LinearExpr L = parseLinExpr();
+    AtomRel Rel;
+    bool Flip = false;
+    int64_t Offset = 0;
+    switch (cur().Kind) {
+    case Tok::Le:
+      Rel = AtomRel::Le;
+      break;
+    case Tok::Ge:
+      Rel = AtomRel::Le;
+      Flip = true;
+      break;
+    case Tok::Lt: // a < b  iff  a - b + 1 <= 0
+      Rel = AtomRel::Le;
+      Offset = 1;
+      break;
+    case Tok::Gt:
+      Rel = AtomRel::Le;
+      Flip = true;
+      Offset = 1;
+      break;
+    case Tok::Eq:
+      Rel = AtomRel::Eq;
+      break;
+    case Tok::Ne:
+      Rel = AtomRel::Ne;
+      break;
+    default:
+      fail("expected a comparison operator");
+      return M.getFalse();
+    }
+    ++Pos;
+    LinearExpr R = parseLinExpr();
+    LinearExpr E = Flip ? R.sub(L) : L.sub(R);
+    return M.mkAtom(Rel, E.addConst(Offset));
+  }
+
+  LinearExpr parseLinExpr() {
+    LinearExpr E;
+    bool Negate = accept(Tok::Minus);
+    E = parseTerm().scaled(Negate ? -1 : 1);
+    while (Error.empty() && (at(Tok::Plus) || at(Tok::Minus))) {
+      bool Minus = at(Tok::Minus);
+      ++Pos;
+      E = E.add(parseTerm().scaled(Minus ? -1 : 1));
+    }
+    return E;
+  }
+
+  LinearExpr parseTerm() {
+    if (at(Tok::Int)) {
+      int64_t C = cur().Value;
+      ++Pos;
+      if (accept(Tok::Star)) {
+        if (!at(Tok::Ident)) {
+          fail("expected a variable after '*'");
+          return LinearExpr();
+        }
+        return LinearExpr::variable(resolveVar(), C);
+      }
+      // Grouped arithmetic after a coefficient is not supported; keep the
+      // grammar linear: INT, INT*VAR, or VAR.
+      return LinearExpr::constant(C);
+    }
+    if (at(Tok::Ident))
+      return LinearExpr::variable(resolveVar());
+    if (at(Tok::LParen)) {
+      ++Pos;
+      LinearExpr E = parseLinExpr();
+      if (!accept(Tok::RParen))
+        fail("expected ')' in expression");
+      return E;
+    }
+    fail("expected a term");
+    return LinearExpr();
+  }
+
+  VarId resolveVar() {
+    assert(at(Tok::Ident));
+    std::string Name = cur().Text;
+    ++Pos;
+    VarId V = M.vars().lookup(Name);
+    if (V != ~0u)
+      return V;
+    if (!Opts.CreateUnknownVars) {
+      fail("unknown variable '" + Name + "'");
+      return 0;
+    }
+    return M.vars().create(Name, Opts.NewVarKind);
+  }
+};
+
+} // namespace
+
+FormulaParseResult abdiag::smt::parseFormula(FormulaManager &M,
+                                             std::string_view Text,
+                                             const FormulaParseOptions &Opts) {
+  Parser P(M, Text, Opts);
+  return P.run();
+}

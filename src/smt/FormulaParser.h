@@ -1,0 +1,60 @@
+//===- smt/FormulaParser.h - Text syntax for formulas -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the human-readable formula syntax emitted by smt/Printer.h, so
+/// users can write invariants and queries as text:
+///
+///   formula := disj
+///   disj    := conj ("||" conj)*
+///   conj    := unary ("&&" unary)*
+///   unary   := "!" unary | "true" | "false" | "(" formula ")"
+///            | INT "|" "(" linexpr ")"          (divisibility)
+///            | linexpr (= | == | != | <= | >= | < | >) linexpr
+///   linexpr := ["-"] term (("+" | "-") term)*
+///   term    := INT | INT "*" VAR | VAR
+///
+/// Variable names may contain letters, digits, '_', '@' and '.', matching
+/// the names the analysis generates (e.g. "j@loop1"). Unknown variables are
+/// created with a configurable kind (or rejected).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_FORMULAPARSER_H
+#define ABDIAG_SMT_FORMULAPARSER_H
+
+#include "smt/Formula.h"
+
+#include <string>
+#include <string_view>
+
+namespace abdiag::smt {
+
+/// Result of parsing a formula string.
+struct FormulaParseResult {
+  const Formula *F = nullptr;
+  std::string Error; ///< empty on success
+
+  bool ok() const { return F != nullptr; }
+};
+
+/// Options controlling variable resolution.
+struct FormulaParseOptions {
+  /// Create variables not present in the manager's table (otherwise their
+  /// use is an error).
+  bool CreateUnknownVars = true;
+  /// Kind assigned to newly created variables.
+  VarKind NewVarKind = VarKind::Input;
+};
+
+/// Parses \p Text into a formula of \p M.
+FormulaParseResult parseFormula(FormulaManager &M, std::string_view Text,
+                                const FormulaParseOptions &Opts =
+                                    FormulaParseOptions());
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_FORMULAPARSER_H

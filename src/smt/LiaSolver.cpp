@@ -1,0 +1,254 @@
+//===- smt/LiaSolver.cpp - Linear integer arithmetic conjunctions ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LiaSolver.h"
+
+#include "support/Rational.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// General simplex for conjunctions of `sum a_i x_i <= b` over the
+/// rationals. Every constraint becomes a slack variable with an upper bound;
+/// structural variables are unbounded. Bland's rule guarantees termination.
+class Simplex {
+  // Internal variable indices: [0, NumStruct) structural, then slacks.
+  size_t NumVars = 0;
+  std::vector<std::optional<Rational>> Upper; // per internal var
+  std::vector<Rational> Beta;                 // current assignment
+  std::vector<int32_t> RowOf;                 // var -> row index or -1
+  // Row r: BasicVar[r] = sum Coef[r][v] * v over nonbasic vars v.
+  std::vector<uint32_t> BasicVar;
+  std::vector<std::vector<Rational>> Coef; // dense over all internal vars
+
+public:
+  /// \p RowExprs are the linear parts (over dense structural indices) and
+  /// \p Bounds the corresponding upper bounds: row_i <= Bounds[i].
+  Simplex(size_t NumStruct,
+          const std::vector<std::vector<std::pair<uint32_t, int64_t>>> &RowExprs,
+          const std::vector<int64_t> &Bounds) {
+    NumVars = NumStruct + RowExprs.size();
+    Upper.resize(NumVars);
+    Beta.assign(NumVars, Rational(0));
+    RowOf.assign(NumVars, -1);
+    for (size_t R = 0; R < RowExprs.size(); ++R) {
+      uint32_t Slack = static_cast<uint32_t>(NumStruct + R);
+      Upper[Slack] = Rational(Bounds[R]);
+      RowOf[Slack] = static_cast<int32_t>(BasicVar.size());
+      BasicVar.push_back(Slack);
+      std::vector<Rational> Row(NumVars, Rational(0));
+      for (const auto &[V, C] : RowExprs[R])
+        Row[V] = Rational(C);
+      Coef.push_back(std::move(Row));
+    }
+  }
+
+  /// Runs the feasibility check; returns true iff the relaxation is SAT.
+  /// Sets \p PivotLimitHit if the pivot cap was reached (treated as a
+  /// resource limit by the caller rather than an answer).
+  bool check(bool &PivotLimitHit) {
+    int Pivots = 0;
+    while (true) {
+      if (++Pivots > 20000) {
+        PivotLimitHit = true;
+        return false;
+      }
+      // Bland: smallest violated basic variable.
+      uint32_t Bad = UINT32_MAX;
+      for (size_t R = 0; R < BasicVar.size(); ++R) {
+        uint32_t B = BasicVar[R];
+        if (Upper[B] && Beta[B] > *Upper[B] && B < Bad)
+          Bad = B;
+      }
+      if (Bad == UINT32_MAX)
+        return true;
+      int32_t R = RowOf[Bad];
+      // Find the smallest suitable nonbasic variable to decrease Beta[Bad].
+      uint32_t Pivot = UINT32_MAX;
+      for (uint32_t V = 0; V < NumVars; ++V) {
+        if (RowOf[V] != -1 || Coef[R][V].isZero())
+          continue;
+        bool CanDecrease = true; // no lower bounds in this tableau
+        bool CanIncrease = !Upper[V] || Beta[V] < *Upper[V];
+        int S = Coef[R][V].sign();
+        if ((S > 0 && CanDecrease) || (S < 0 && CanIncrease)) {
+          Pivot = V;
+          break;
+        }
+      }
+      if (Pivot == UINT32_MAX)
+        return false; // no way to repair: infeasible
+      pivotAndUpdate(Bad, Pivot, *Upper[Bad]);
+    }
+  }
+
+  Rational value(uint32_t V) const { return Beta[V]; }
+
+private:
+  /// Makes basic \p B take value \p Target by moving nonbasic \p NB, then
+  /// swaps their roles (textbook pivotAndUpdate).
+  void pivotAndUpdate(uint32_t B, uint32_t NB, Rational Target) {
+    int32_t R = RowOf[B];
+    Rational A = Coef[R][NB];
+    assert(!A.isZero() && "pivot on zero coefficient");
+    Rational Theta = (Target - Beta[B]) / A;
+    Beta[B] = Target;
+    Beta[NB] = Beta[NB] + Theta;
+    for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
+      if (static_cast<int32_t>(R2) == R)
+        continue;
+      if (!Coef[R2][NB].isZero())
+        Beta[BasicVar[R2]] = Beta[BasicVar[R2]] + Coef[R2][NB] * Theta;
+    }
+    // Pivot: express NB from row R, substitute into other rows.
+    // Row R: B = A*NB + rest  =>  NB = (1/A)*B - rest/A.
+    std::vector<Rational> NewRow(NumVars, Rational(0));
+    Rational InvA = Rational(1) / A;
+    for (uint32_t V = 0; V < NumVars; ++V) {
+      if (V == NB)
+        continue;
+      if (!Coef[R][V].isZero())
+        NewRow[V] = -(Coef[R][V] * InvA);
+    }
+    NewRow[B] = InvA;
+    Coef[R] = NewRow;
+    RowOf[NB] = R;
+    RowOf[B] = -1;
+    BasicVar[R] = NB;
+    for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
+      if (static_cast<int32_t>(R2) == R)
+        continue;
+      Rational C = Coef[R2][NB];
+      if (C.isZero())
+        continue;
+      Coef[R2][NB] = Rational(0);
+      for (uint32_t V = 0; V < NumVars; ++V)
+        if (!NewRow[V].isZero())
+          Coef[R2][V] = Coef[R2][V] + C * NewRow[V];
+    }
+  }
+};
+
+/// Canonicalizes rows into dense (var, coeff) form with tightened integer
+/// bounds. Returns false if a row is trivially infeasible.
+struct Problem {
+  std::vector<VarId> Vars; // dense index -> VarId
+  std::unordered_map<VarId, uint32_t> Index;
+  std::vector<std::vector<std::pair<uint32_t, int64_t>>> RowExprs;
+  std::vector<int64_t> Bounds;
+
+  bool addRow(const LinearExpr &E) {
+    if (E.isConstant())
+      return E.constant() <= 0;
+    int64_t G = E.coeffGcd();
+    std::vector<std::pair<uint32_t, int64_t>> Terms;
+    for (const auto &[V, C] : E.terms()) {
+      auto It = Index.find(V);
+      uint32_t Idx;
+      if (It == Index.end()) {
+        Idx = static_cast<uint32_t>(Vars.size());
+        Index.emplace(V, Idx);
+        Vars.push_back(V);
+      } else {
+        Idx = It->second;
+      }
+      Terms.emplace_back(Idx, C / G);
+    }
+    // sum a_i x_i <= -c tightens to sum (a_i/g) x_i <= floor(-c/g).
+    Bounds.push_back(floorDiv(checkedNeg(E.constant()), G));
+    RowExprs.push_back(std::move(Terms));
+    return true;
+  }
+};
+
+LiaStatus solveRec(Problem &P, std::unordered_map<VarId, int64_t> *Model,
+                   int &Budget, int Depth) {
+  if (--Budget < 0 || Depth < 0)
+    return LiaStatus::ResourceLimit;
+  Simplex S(P.Vars.size(), P.RowExprs, P.Bounds);
+  bool PivotLimitHit = false;
+  if (!S.check(PivotLimitHit))
+    return PivotLimitHit ? LiaStatus::ResourceLimit : LiaStatus::Unsat;
+  // Fast path: rounding the rational point often yields an integer model.
+  {
+    std::vector<int64_t> Rounded(P.Vars.size());
+    for (uint32_t V = 0; V < P.Vars.size(); ++V)
+      Rounded[V] = S.value(V).floor();
+    bool AllRowsOk = true;
+    for (size_t R = 0; R < P.RowExprs.size() && AllRowsOk; ++R) {
+      int64_t Val = 0;
+      for (const auto &[V, C] : P.RowExprs[R])
+        Val = checkedAdd(Val, checkedMul(C, Rounded[V]));
+      AllRowsOk = Val <= P.Bounds[R];
+    }
+    if (AllRowsOk) {
+      if (Model)
+        for (uint32_t V = 0; V < P.Vars.size(); ++V)
+          (*Model)[P.Vars[V]] = Rounded[V];
+      return LiaStatus::Sat;
+    }
+  }
+  // Find a fractional structural variable.
+  uint32_t Frac = UINT32_MAX;
+  for (uint32_t V = 0; V < P.Vars.size(); ++V)
+    if (!S.value(V).isInteger()) {
+      Frac = V;
+      break;
+    }
+  if (Frac == UINT32_MAX) {
+    if (Model)
+      for (uint32_t V = 0; V < P.Vars.size(); ++V)
+        (*Model)[P.Vars[V]] = S.value(V).floor();
+    return LiaStatus::Sat;
+  }
+  int64_t Floor = S.value(Frac).floor();
+  // Branch x <= floor(v): append a row, recurse, undo.
+  P.RowExprs.push_back({{Frac, 1}});
+  P.Bounds.push_back(Floor);
+  LiaStatus Left = solveRec(P, Model, Budget, Depth - 1);
+  P.RowExprs.pop_back();
+  P.Bounds.pop_back();
+  if (Left != LiaStatus::Unsat)
+    return Left;
+  // Branch x >= floor(v)+1, i.e. -x <= -(floor+1).
+  P.RowExprs.push_back({{Frac, -1}});
+  P.Bounds.push_back(checkedNeg(checkedAdd(Floor, 1)));
+  LiaStatus Right = solveRec(P, Model, Budget, Depth - 1);
+  P.RowExprs.pop_back();
+  P.Bounds.pop_back();
+  return Right;
+}
+
+} // namespace
+
+LiaStatus abdiag::smt::solveLiaConjunction(
+    const std::vector<LinearExpr> &Rows,
+    std::unordered_map<VarId, int64_t> *Model, const LiaConfig &Config) {
+  Problem P;
+  for (const LinearExpr &E : Rows)
+    if (!P.addRow(E))
+      return LiaStatus::Unsat;
+  int Budget = Config.MaxBranchNodes;
+  LiaStatus R = solveRec(P, Model, Budget, Config.MaxDepth);
+  if (R == LiaStatus::Sat && Model) {
+    // Variables mentioned nowhere keep value 0 (they are unconstrained);
+    // ensure every requested variable has an entry.
+    for (const LinearExpr &E : Rows)
+      E.forEachVar([&](VarId V) {
+        if (!Model->count(V))
+          (*Model)[V] = 0;
+      });
+  }
+  return R;
+}

@@ -1,0 +1,58 @@
+//===- smt/LiaSolver.h - Linear integer arithmetic conjunctions -*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides conjunctions of linear integer constraints `E <= 0`. The solver
+/// combines:
+///
+///  1. GCD/bound tightening per row (sum a_i x_i <= b tightens to
+///     sum (a_i/g) x_i <= floor(b/g)), which also catches classic
+///     divisibility infeasibilities such as 2x - 2y = 1;
+///  2. a Dutertre–de Moura style general simplex over exact rationals for
+///     the relaxation, with Bland's rule for termination; and
+///  3. branch-and-bound on fractional structural variables for integrality.
+///
+/// Branch-and-bound alone is not complete for LIA, so the search carries a
+/// node budget; when exhausted the caller (smt::Solver) falls back to the
+/// complete Cooper-based model finder. In practice the formulas produced by
+/// the analyses in this project are decided well within the budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_LIASOLVER_H
+#define ABDIAG_SMT_LIASOLVER_H
+
+#include "smt/LinearExpr.h"
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace abdiag::smt {
+
+/// Outcome of an LIA conjunction query.
+enum class LiaStatus : uint8_t { Sat, Unsat, ResourceLimit };
+
+/// Configuration knobs for the branch-and-bound search.
+struct LiaConfig {
+  /// Total branch-and-bound nodes across the whole query. Kept small:
+  /// feasibility-only branch-and-bound can drift on unbounded systems, and
+  /// the caller has a complete (Cooper) fallback.
+  int MaxBranchNodes = 600;
+  /// Maximum branching depth (rows added on one DFS path).
+  int MaxDepth = 24;
+};
+
+/// Decides the conjunction of `Rows[i] <= 0` over the integers.
+/// On Sat, \p Model (if non-null) receives integer values for every variable
+/// occurring in \p Rows.
+LiaStatus solveLiaConjunction(const std::vector<LinearExpr> &Rows,
+                              std::unordered_map<VarId, int64_t> *Model,
+                              const LiaConfig &Config = LiaConfig());
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_LIASOLVER_H

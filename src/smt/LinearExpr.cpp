@@ -1,0 +1,148 @@
+//===- smt/LinearExpr.cpp - Linear integer expressions --------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LinearExpr.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+LinearExpr LinearExpr::constant(int64_t C) {
+  LinearExpr E;
+  E.Const = C;
+  return E;
+}
+
+LinearExpr LinearExpr::variable(VarId V, int64_t Coeff) {
+  LinearExpr E;
+  if (Coeff != 0)
+    E.Terms.emplace_back(V, Coeff);
+  return E;
+}
+
+int64_t LinearExpr::coeff(VarId V) const {
+  auto It = std::lower_bound(
+      Terms.begin(), Terms.end(), V,
+      [](const std::pair<VarId, int64_t> &T, VarId Id) { return T.first < Id; });
+  if (It != Terms.end() && It->first == V)
+    return It->second;
+  return 0;
+}
+
+LinearExpr LinearExpr::add(const LinearExpr &O) const {
+  LinearExpr R;
+  R.Const = checkedAdd(Const, O.Const);
+  R.Terms.reserve(Terms.size() + O.Terms.size());
+  size_t I = 0, J = 0;
+  while (I < Terms.size() || J < O.Terms.size()) {
+    if (J == O.Terms.size() ||
+        (I < Terms.size() && Terms[I].first < O.Terms[J].first)) {
+      R.Terms.push_back(Terms[I++]);
+    } else if (I == Terms.size() || O.Terms[J].first < Terms[I].first) {
+      R.Terms.push_back(O.Terms[J++]);
+    } else {
+      int64_t C = checkedAdd(Terms[I].second, O.Terms[J].second);
+      if (C != 0)
+        R.Terms.emplace_back(Terms[I].first, C);
+      ++I;
+      ++J;
+    }
+  }
+  return R;
+}
+
+LinearExpr LinearExpr::sub(const LinearExpr &O) const {
+  return add(O.negated());
+}
+
+LinearExpr LinearExpr::scaled(int64_t K) const {
+  LinearExpr R;
+  if (K == 0)
+    return R;
+  R.Const = checkedMul(Const, K);
+  R.Terms.reserve(Terms.size());
+  for (const auto &T : Terms)
+    R.Terms.emplace_back(T.first, checkedMul(T.second, K));
+  return R;
+}
+
+LinearExpr LinearExpr::addConst(int64_t K) const {
+  LinearExpr R = *this;
+  R.Const = checkedAdd(R.Const, K);
+  return R;
+}
+
+LinearExpr LinearExpr::substituted(VarId V, const LinearExpr &Repl) const {
+  int64_t C = coeff(V);
+  if (C == 0)
+    return *this;
+  LinearExpr WithoutV;
+  WithoutV.Const = Const;
+  for (const auto &T : Terms)
+    if (T.first != V)
+      WithoutV.Terms.push_back(T);
+  return WithoutV.add(Repl.scaled(C));
+}
+
+int64_t LinearExpr::coeffGcd() const {
+  int64_t G = 0;
+  for (const auto &T : Terms)
+    G = gcd64(G, T.second);
+  return G;
+}
+
+int64_t LinearExpr::evaluate(const std::function<int64_t(VarId)> &Value) const {
+  int64_t R = Const;
+  for (const auto &T : Terms)
+    R = checkedAdd(R, checkedMul(T.second, Value(T.first)));
+  return R;
+}
+
+bool LinearExpr::operator<(const LinearExpr &O) const {
+  if (Const != O.Const)
+    return Const < O.Const;
+  return Terms < O.Terms;
+}
+
+size_t LinearExpr::hash() const {
+  size_t H = std::hash<int64_t>()(Const);
+  for (const auto &T : Terms) {
+    hashCombine(H, std::hash<uint32_t>()(T.first));
+    hashCombine(H, std::hash<int64_t>()(T.second));
+  }
+  return H;
+}
+
+std::string LinearExpr::str(const VarTable &VT) const {
+  if (Terms.empty())
+    return std::to_string(Const);
+  std::string Out;
+  bool First = true;
+  for (const auto &T : Terms) {
+    int64_t C = T.second;
+    if (First) {
+      if (C == -1)
+        Out += "-";
+      else if (C != 1)
+        Out += std::to_string(C) + "*";
+    } else {
+      Out += C < 0 ? " - " : " + ";
+      int64_t A = C < 0 ? -C : C;
+      if (A != 1)
+        Out += std::to_string(A) + "*";
+    }
+    Out += VT.name(T.first);
+    First = false;
+  }
+  if (Const > 0)
+    Out += " + " + std::to_string(Const);
+  else if (Const < 0)
+    Out += " - " + std::to_string(-Const);
+  return Out;
+}

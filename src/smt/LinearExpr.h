@@ -1,0 +1,98 @@
+//===- smt/LinearExpr.h - Linear integer expressions ------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical linear expressions `c0 + c1*x1 + ... + cn*xn` over int64
+/// coefficients. Terms are kept sorted by variable id with no zero
+/// coefficients, so structural equality is semantic equality. These are the
+/// symbolic expressions π of Section 3 restricted to their canonical form,
+/// and the left-hand sides of all atoms in the SMT layer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_LINEAREXPR_H
+#define ABDIAG_SMT_LINEAREXPR_H
+
+#include "smt/Var.h"
+#include "support/CheckedArith.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace abdiag::smt {
+
+/// Immutable-by-convention canonical linear expression.
+class LinearExpr {
+  /// (variable, coefficient) pairs, sorted by VarId, coefficients non-zero.
+  std::vector<std::pair<VarId, int64_t>> Terms;
+  int64_t Const = 0;
+
+public:
+  LinearExpr() = default;
+
+  /// The constant expression \p C.
+  static LinearExpr constant(int64_t C);
+  /// The expression Coeff * V.
+  static LinearExpr variable(VarId V, int64_t Coeff = 1);
+
+  int64_t constant() const { return Const; }
+  const std::vector<std::pair<VarId, int64_t>> &terms() const { return Terms; }
+  bool isConstant() const { return Terms.empty(); }
+  size_t numTerms() const { return Terms.size(); }
+
+  /// Coefficient of \p V (0 if absent).
+  int64_t coeff(VarId V) const;
+  bool contains(VarId V) const { return coeff(V) != 0; }
+
+  LinearExpr add(const LinearExpr &O) const;
+  LinearExpr sub(const LinearExpr &O) const;
+  LinearExpr scaled(int64_t K) const;
+  LinearExpr negated() const { return scaled(-1); }
+  LinearExpr addConst(int64_t K) const;
+
+  /// Replaces \p V by \p Repl (the coefficient of V multiplies into Repl).
+  LinearExpr substituted(VarId V, const LinearExpr &Repl) const;
+
+  /// GCD of the variable coefficients; 0 when the expression is constant.
+  int64_t coeffGcd() const;
+
+  /// Evaluates under a total assignment provided by \p Value.
+  int64_t evaluate(const std::function<int64_t(VarId)> &Value) const;
+
+  void forEachVar(const std::function<void(VarId)> &Fn) const {
+    for (const auto &T : Terms)
+      Fn(T.first);
+  }
+
+  bool operator==(const LinearExpr &O) const {
+    return Const == O.Const && Terms == O.Terms;
+  }
+  bool operator!=(const LinearExpr &O) const { return !(*this == O); }
+
+  /// Deterministic total order (for canonical child ordering).
+  bool operator<(const LinearExpr &O) const;
+
+  size_t hash() const;
+
+  /// Renders e.g. "2*x - y + 3" using names from \p VT.
+  std::string str(const VarTable &VT) const;
+};
+
+inline LinearExpr operator+(const LinearExpr &A, const LinearExpr &B) {
+  return A.add(B);
+}
+inline LinearExpr operator-(const LinearExpr &A, const LinearExpr &B) {
+  return A.sub(B);
+}
+inline LinearExpr operator*(int64_t K, const LinearExpr &A) {
+  return A.scaled(K);
+}
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_LINEAREXPR_H

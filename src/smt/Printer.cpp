@@ -1,0 +1,159 @@
+//===- smt/Printer.cpp - Formula rendering ---------------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Printer.h"
+
+#include "smt/FormulaOps.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Splits E into (Pos, Neg) with E = Pos - Neg, both having non-negative
+/// coefficients, so "E <= 0" renders as "Pos <= Neg".
+void splitSides(const LinearExpr &E, LinearExpr &Pos, LinearExpr &Neg) {
+  Pos = LinearExpr();
+  Neg = LinearExpr();
+  for (const auto &T : E.terms()) {
+    if (T.second > 0)
+      Pos = Pos.add(LinearExpr::variable(T.first, T.second));
+    else
+      Neg = Neg.add(LinearExpr::variable(T.first, -T.second));
+  }
+  if (E.constant() > 0)
+    Pos = Pos.addConst(E.constant());
+  else if (E.constant() < 0)
+    Neg = Neg.addConst(-E.constant());
+}
+
+std::string renderAtom(const Formula *F, const VarTable &VT) {
+  assert(F->isAtom());
+  const LinearExpr &E = F->expr();
+  switch (F->rel()) {
+  case AtomRel::Le:
+  case AtomRel::Eq:
+  case AtomRel::Ne: {
+    LinearExpr Pos, Neg;
+    splitSides(E, Pos, Neg);
+    const char *Op = F->rel() == AtomRel::Le   ? " <= "
+                     : F->rel() == AtomRel::Eq ? " = "
+                                               : " != ";
+    return Pos.str(VT) + Op + Neg.str(VT);
+  }
+  case AtomRel::Div:
+    return std::to_string(F->divisor()) + " | (" + E.str(VT) + ")";
+  case AtomRel::NDiv:
+    return "!(" + std::to_string(F->divisor()) + " | (" + E.str(VT) + "))";
+  }
+  assert(false && "unhandled atom relation");
+  return "";
+}
+
+std::string render(const Formula *F, const VarTable &VT, bool TopLevel) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return "true";
+  case FormulaKind::False:
+    return "false";
+  case FormulaKind::Atom:
+    return renderAtom(F, VT);
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<std::string> Parts;
+    Parts.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Parts.push_back(render(K, VT, /*TopLevel=*/false));
+    std::string Body = join(Parts, F->isAnd() ? " && " : " || ");
+    return TopLevel ? Body : "(" + Body + ")";
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return "";
+}
+
+std::string smtExpr(const LinearExpr &E, const VarTable &VT) {
+  std::vector<std::string> Parts;
+  if (E.constant() != 0 || E.terms().empty()) {
+    int64_t C = E.constant();
+    Parts.push_back(C < 0 ? "(- " + std::to_string(-C) + ")"
+                          : std::to_string(C));
+  }
+  for (const auto &T : E.terms()) {
+    std::string V = VT.name(T.first);
+    // SMT-LIB symbols cannot contain '*' etc.; wrap in |...| quoting.
+    V = "|" + V + "|";
+    int64_t C = T.second;
+    if (C == 1)
+      Parts.push_back(V);
+    else if (C == -1)
+      Parts.push_back("(- " + V + ")");
+    else if (C < 0)
+      Parts.push_back("(* (- " + std::to_string(-C) + ") " + V + ")");
+    else
+      Parts.push_back("(* " + std::to_string(C) + " " + V + ")");
+  }
+  if (Parts.size() == 1)
+    return Parts.front();
+  return "(+ " + join(Parts, " ") + ")";
+}
+
+std::string smtFormula(const Formula *F, const VarTable &VT) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return "true";
+  case FormulaKind::False:
+    return "false";
+  case FormulaKind::Atom: {
+    std::string E = smtExpr(F->expr(), VT);
+    switch (F->rel()) {
+    case AtomRel::Le:
+      return "(<= " + E + " 0)";
+    case AtomRel::Eq:
+      return "(= " + E + " 0)";
+    case AtomRel::Ne:
+      return "(not (= " + E + " 0))";
+    case AtomRel::Div:
+      return "(= (mod " + E + " " + std::to_string(F->divisor()) + ") 0)";
+    case AtomRel::NDiv:
+      return "(not (= (mod " + E + " " + std::to_string(F->divisor()) +
+             ") 0))";
+    }
+    break;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<std::string> Parts;
+    for (const Formula *K : F->kids())
+      Parts.push_back(smtFormula(K, VT));
+    return std::string("(") + (F->isAnd() ? "and " : "or ") + join(Parts, " ") +
+           ")";
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return "";
+}
+
+} // namespace
+
+std::string abdiag::smt::toString(const Formula *F, const VarTable &VT) {
+  return render(F, VT, /*TopLevel=*/true);
+}
+
+std::string abdiag::smt::atomToString(const Formula *F, const VarTable &VT) {
+  return renderAtom(F, VT);
+}
+
+std::string abdiag::smt::toSmtLib(const Formula *F, const VarTable &VT) {
+  std::string Out = "(set-logic ALL)\n";
+  for (VarId V : freeVars(F))
+    Out += "(declare-const |" + VT.name(V) + "| Int)\n";
+  Out += "(assert " + smtFormula(F, VT) + ")\n(check-sat)\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- smt/Printer.h - Formula rendering ------------------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders formulas in a human-readable infix syntax (used for queries shown
+/// to users) and in SMT-LIB2 (used for debugging and for cross-checking
+/// against external solvers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_PRINTER_H
+#define ABDIAG_SMT_PRINTER_H
+
+#include "smt/Formula.h"
+
+#include <string>
+
+namespace abdiag::smt {
+
+/// Infix rendering, e.g. "(x + 1 <= 0 && (y = 0 || 3 | x + y))".
+std::string toString(const Formula *F, const VarTable &VT);
+
+/// Renders a single atom with the relation on a readable side, e.g.
+/// "x >= 2" instead of "-x + 2 <= 0". Falls back to canonical form for
+/// multi-variable atoms.
+std::string atomToString(const Formula *F, const VarTable &VT);
+
+/// Full SMT-LIB2 script: declarations, one assert, check-sat.
+std::string toSmtLib(const Formula *F, const VarTable &VT);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_PRINTER_H

@@ -1,0 +1,301 @@
+//===- smt/Sat.cpp - CDCL propositional SAT solver --------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace abdiag::sat;
+
+uint64_t abdiag::sat::lubySequence(uint64_t I) {
+  // Sequence (1-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  assert(I >= 1 && "Luby sequence is 1-based");
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size != I) {
+    Size = (Size - 1) / 2;
+    --Seq;
+    I = ((I - 1) % Size) + 1;
+  }
+  return 1ULL << Seq;
+}
+
+BVar SatSolver::newVar() {
+  BVar V = static_cast<BVar>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Levels.push_back(0);
+  Reasons.push_back(-1);
+  Activity.push_back(0.0);
+  SavedPhase.push_back(false);
+  Seen.push_back(false);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+LBool SatSolver::valueLit(Lit L) const {
+  LBool V = Assigns[litVar(L)];
+  if (V == LBool::Undef)
+    return LBool::Undef;
+  bool B = (V == LBool::True) != litNeg(L);
+  return B ? LBool::True : LBool::False;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  if (UnsatAtLevel0)
+    return false;
+  // Incremental use: clauses may arrive after a Sat answer; undo the search.
+  backtrack(0);
+  // Root-level simplification: drop false literals, detect satisfied/taut.
+  std::sort(Lits.begin(), Lits.end());
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  std::vector<Lit> Keep;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    if (I + 1 < Lits.size() && Lits[I + 1] == litNot(Lits[I]))
+      return true; // tautology
+    LBool V = valueLit(Lits[I]);
+    if (V == LBool::True)
+      return true; // already satisfied
+    if (V == LBool::Undef)
+      Keep.push_back(Lits[I]);
+  }
+  if (Keep.empty()) {
+    UnsatAtLevel0 = true;
+    return false;
+  }
+  if (Keep.size() == 1) {
+    enqueue(Keep[0], -1);
+    if (propagate() != -1) {
+      UnsatAtLevel0 = true;
+      return false;
+    }
+    return true;
+  }
+  Clauses.push_back({std::move(Keep)});
+  attachClause(static_cast<uint32_t>(Clauses.size() - 1));
+  return true;
+}
+
+void SatSolver::attachClause(uint32_t Idx) {
+  const Clause &C = Clauses[Idx];
+  assert(C.Lits.size() >= 2 && "watched clause must be binary or longer");
+  Watches[litNot(C.Lits[0])].push_back({Idx, C.Lits[1]});
+  Watches[litNot(C.Lits[1])].push_back({Idx, C.Lits[0]});
+}
+
+void SatSolver::enqueue(Lit L, int32_t Reason) {
+  assert(valueLit(L) == LBool::Undef && "enqueue of assigned literal");
+  BVar V = litVar(L);
+  Assigns[V] = litNeg(L) ? LBool::False : LBool::True;
+  Levels[V] = level();
+  Reasons[V] = Reason;
+  Trail.push_back(L);
+}
+
+int32_t SatSolver::propagate() {
+  while (PropHead < Trail.size()) {
+    Lit P = Trail[PropHead++]; // P became true; scan watches of ¬P's list
+    std::vector<Watcher> &WList = Watches[P];
+    size_t Out = 0;
+    for (size_t In = 0; In < WList.size(); ++In) {
+      Watcher W = WList[In];
+      if (valueLit(W.Blocker) == LBool::True) {
+        WList[Out++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.ClauseIdx];
+      // Ensure the false literal (¬P) is at position 1.
+      Lit NotP = litNot(P);
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP && "watch invariant broken");
+      if (valueLit(C.Lits[0]) == LBool::True) {
+        WList[Out++] = {W.ClauseIdx, C.Lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Moved = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (valueLit(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[litNot(C.Lits[1])].push_back({W.ClauseIdx, C.Lits[0]});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Clause is unit or conflicting.
+      WList[Out++] = W;
+      if (valueLit(C.Lits[0]) == LBool::False) {
+        // Conflict: copy back remaining watchers and report.
+        for (size_t K = In + 1; K < WList.size(); ++K)
+          WList[Out++] = WList[K];
+        WList.resize(Out);
+        PropHead = Trail.size();
+        return static_cast<int32_t>(W.ClauseIdx);
+      }
+      enqueue(C.Lits[0], static_cast<int32_t>(W.ClauseIdx));
+    }
+    WList.resize(Out);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(BVar V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void SatSolver::decayActivity() { ActivityInc *= (1.0 / 0.95); }
+
+void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
+                        uint32_t &BackLevel) {
+  Learnt.clear();
+  Learnt.push_back(0); // slot for the asserting literal
+  uint32_t Counter = 0;
+  Lit P = 0;
+  bool HaveP = false;
+  size_t TrailIdx = Trail.size();
+  int32_t Reason = ConflictIdx;
+
+  do {
+    assert(Reason != -1 && "no reason during conflict analysis");
+    const Clause &C = Clauses[Reason];
+    // When resolving on a reason clause, C.Lits[0] is the implied literal
+    // itself and is skipped; for the initial conflict all literals count.
+    for (size_t I = HaveP ? 1 : 0; I < C.Lits.size(); ++I) {
+      Lit L = C.Lits[I];
+      BVar V = litVar(L);
+      if (Seen[V] || Levels[V] == 0)
+        continue;
+      Seen[V] = true;
+      bumpVar(V);
+      if (Levels[V] == level())
+        ++Counter;
+      else
+        Learnt.push_back(L);
+    }
+    // Select next literal to resolve: last assigned seen variable.
+    do {
+      --TrailIdx;
+    } while (!Seen[litVar(Trail[TrailIdx])]);
+    P = litNot(Trail[TrailIdx]);
+    HaveP = true;
+    Seen[litVar(P)] = false;
+    Reason = Reasons[litVar(P)];
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = P;
+
+  // Compute backjump level = second-highest level in the learnt clause.
+  BackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < Learnt.size(); ++I) {
+    uint32_t Lv = Levels[litVar(Learnt[I])];
+    if (Lv > BackLevel) {
+      BackLevel = Lv;
+      MaxIdx = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+  for (size_t I = 1; I < Learnt.size(); ++I)
+    Seen[litVar(Learnt[I])] = false;
+}
+
+void SatSolver::backtrack(uint32_t ToLevel) {
+  if (level() <= ToLevel)
+    return;
+  uint32_t Limit = TrailLims[ToLevel];
+  for (size_t I = Trail.size(); I > Limit; --I) {
+    BVar V = litVar(Trail[I - 1]);
+    SavedPhase[V] = Assigns[V] == LBool::True;
+    Assigns[V] = LBool::Undef;
+    Reasons[V] = -1;
+  }
+  Trail.resize(Limit);
+  TrailLims.resize(ToLevel);
+  PropHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  BVar Best = 0;
+  double BestAct = -1.0;
+  bool Found = false;
+  for (BVar V = 0; V < Assigns.size(); ++V) {
+    if (Assigns[V] != LBool::Undef)
+      continue;
+    if (!Found || Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+      Found = true;
+    }
+  }
+  if (!Found)
+    return UINT32_MAX;
+  return mkLit(Best, !SavedPhase[Best]);
+}
+
+SatSolver::Result SatSolver::solve() {
+  if (UnsatAtLevel0)
+    return Result::Unsat;
+  backtrack(0);
+  if (propagate() != -1) {
+    UnsatAtLevel0 = true;
+    return Result::Unsat;
+  }
+
+  uint64_t RestartIdx = 1;
+  uint64_t ConflictBudget = lubySequence(RestartIdx) * 64;
+  uint64_t ConflictsHere = 0;
+
+  while (true) {
+    int32_t Confl = propagate();
+    if (Confl != -1) {
+      ++Conflicts;
+      ++ConflictsHere;
+      if (level() == 0) {
+        UnsatAtLevel0 = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learnt;
+      uint32_t BackLevel = 0;
+      analyze(Confl, Learnt, BackLevel);
+      backtrack(BackLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], -1);
+      } else {
+        Clauses.push_back({Learnt});
+        attachClause(static_cast<uint32_t>(Clauses.size() - 1));
+        enqueue(Learnt[0], static_cast<int32_t>(Clauses.size() - 1));
+      }
+      decayActivity();
+      continue;
+    }
+    if (ConflictsHere >= ConflictBudget) {
+      // Restart.
+      ConflictsHere = 0;
+      ConflictBudget = lubySequence(++RestartIdx) * 64;
+      backtrack(0);
+      continue;
+    }
+    Lit Next = pickBranchLit();
+    if (Next == UINT32_MAX)
+      return Result::Sat; // all variables assigned
+    ++Decisions;
+    TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
+    enqueue(Next, -1);
+  }
+}

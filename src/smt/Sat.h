@@ -1,0 +1,109 @@
+//===- smt/Sat.h - CDCL propositional SAT solver ----------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver used as the boolean engine
+/// of the lazy DPLL(T) SMT loop. Features: two-watched-literal propagation,
+/// first-UIP conflict analysis with non-chronological backjumping, EVSIDS
+/// branching, phase saving, and Luby restarts. The solver supports
+/// incremental clause addition between solve() calls (used for theory
+/// conflict clauses), but not assumptions or clause deletion -- the formulas
+/// in this project are small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_SAT_H
+#define ABDIAG_SMT_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace abdiag::sat {
+
+/// Boolean variable index.
+using BVar = uint32_t;
+
+/// Literal encoding: variable * 2 + (1 if negated).
+using Lit = uint32_t;
+
+inline Lit mkLit(BVar V, bool Neg = false) { return V * 2 + (Neg ? 1 : 0); }
+inline BVar litVar(Lit L) { return L >> 1; }
+inline bool litNeg(Lit L) { return L & 1; }
+inline Lit litNot(Lit L) { return L ^ 1; }
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// The CDCL solver.
+class SatSolver {
+public:
+  enum class Result { Sat, Unsat };
+
+  /// Allocates a fresh variable and returns its index.
+  BVar newVar();
+
+  /// Adds a clause (disjunction of \p Lits). Returns false if the clause
+  /// makes the formula trivially unsatisfiable (empty after simplification
+  /// at level 0).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Solves the current clause set.
+  Result solve();
+
+  /// Value of \p V in the satisfying assignment (valid after Sat).
+  LBool value(BVar V) const { return Assigns[V]; }
+
+  size_t numVars() const { return Assigns.size(); }
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+  };
+  struct Watcher {
+    uint32_t ClauseIdx;
+    Lit Blocker;
+  };
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by literal
+  std::vector<LBool> Assigns;                // indexed by variable
+  std::vector<uint32_t> Levels;              // decision level per variable
+  std::vector<int32_t> Reasons;              // clause idx or -1, per variable
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLims; // trail size at each decision level
+  size_t PropHead = 0;
+
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<bool> SavedPhase;
+  std::vector<bool> Seen; // scratch for conflict analysis
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  bool UnsatAtLevel0 = false;
+
+  uint32_t level() const { return static_cast<uint32_t>(TrailLims.size()); }
+  LBool valueLit(Lit L) const;
+  void enqueue(Lit L, int32_t Reason);
+  int32_t propagate(); // returns conflicting clause idx or -1
+  void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
+               uint32_t &BackLevel);
+  void backtrack(uint32_t ToLevel);
+  void bumpVar(BVar V);
+  void decayActivity();
+  Lit pickBranchLit();
+  void attachClause(uint32_t Idx);
+};
+
+/// Luby restart sequence value for index \p I (1-based).
+uint64_t lubySequence(uint64_t I);
+
+} // namespace abdiag::sat
+
+#endif // ABDIAG_SMT_SAT_H

@@ -1,0 +1,100 @@
+//===- smt/Simplify.cpp - Semantic formula simplification -------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplify.h"
+
+#include "smt/FormulaOps.h"
+
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Upper bound on formula size for the (solver-heavy) semantic pass; larger
+/// formulas are returned after structural simplification only.
+constexpr size_t MaxSemanticAtoms = 600;
+
+const Formula *simp(Solver &S, const Formula *F, const Formula *Ctx) {
+  FormulaManager &M = S.manager();
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    return F;
+  case FormulaKind::Atom:
+    if (S.entails(Ctx, F))
+      return M.getTrue();
+    if (S.entails(Ctx, M.mkNot(F)))
+      return M.getFalse();
+    return F;
+  case FormulaKind::And: {
+    std::vector<const Formula *> Kids(F->kids().begin(), F->kids().end());
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      // Context for kid I: the critical constraint plus the other conjuncts
+      // (in their current, possibly simplified form).
+      std::vector<const Formula *> Others{Ctx};
+      for (size_t J = 0; J < Kids.size(); ++J)
+        if (J != I)
+          Others.push_back(Kids[J]);
+      const Formula *KidCtx = M.mkAnd(std::move(Others));
+      if (S.entails(KidCtx, Kids[I])) {
+        Kids[I] = M.getTrue(); // redundant conjunct
+        continue;
+      }
+      Kids[I] = simp(S, Kids[I], KidCtx);
+    }
+    return M.mkAnd(std::move(Kids));
+  }
+  case FormulaKind::Or: {
+    std::vector<const Formula *> Kids(F->kids().begin(), F->kids().end());
+    for (size_t I = 0; I < Kids.size(); ++I) {
+      // A disjunct inconsistent with the context contributes nothing.
+      if (!S.isSat(M.mkAnd(Ctx, Kids[I]))) {
+        Kids[I] = M.getFalse();
+        continue;
+      }
+      // Context for kid I assumes the other disjuncts are false.
+      std::vector<const Formula *> Others{Ctx};
+      for (size_t J = 0; J < Kids.size(); ++J)
+        if (J != I)
+          Others.push_back(M.mkNot(Kids[J]));
+      const Formula *KidCtx = M.mkAnd(std::move(Others));
+      if (S.entails(KidCtx, Kids[I]))
+        return M.getTrue(); // the whole disjunction holds under Ctx
+      Kids[I] = simp(S, Kids[I], KidCtx);
+    }
+    return M.mkOr(std::move(Kids));
+  }
+  }
+  assert(false && "unhandled formula kind");
+  return F;
+}
+
+} // namespace
+
+const Formula *abdiag::smt::simplifyModulo(Solver &S, const Formula *F,
+                                           const Formula *Critical) {
+  if (atomCount(F) > MaxSemanticAtoms)
+    return F;
+  // Under an unsatisfiable critical constraint every formula is equivalent;
+  // leave the input unchanged rather than collapsing it arbitrarily.
+  if (!S.isSat(Critical))
+    return F;
+  // Iterate to a fixpoint; each pass only shrinks the formula, so this
+  // terminates quickly.
+  for (int Round = 0; Round < 8; ++Round) {
+    const Formula *Next = simp(S, F, Critical);
+    if (Next == F)
+      break;
+    F = Next;
+  }
+  return F;
+}
+
+const Formula *abdiag::smt::simplify(Solver &S, const Formula *F) {
+  return simplifyModulo(S, F, S.manager().getTrue());
+}

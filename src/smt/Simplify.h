@@ -1,0 +1,42 @@
+//===- smt/Simplify.h - Semantic formula simplification ---------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simplification of a formula modulo a *critical constraint*, in the style
+/// of "Small Formulas for Large Programs: On-line Constraint Simplification
+/// in Scalable Static Analysis" (Dillig, Dillig, Aiken; SAS 2010), which the
+/// paper's Remark after Lemma 3 invokes: abduced obligations may contain
+/// conjuncts already implied by the known invariants I, and those are
+/// removed by simplifying with I as the critical constraint.
+///
+/// The simplifier performs recursive redundancy elimination:
+///   * a conjunct implied by (critical ∧ remaining conjuncts) is dropped;
+///   * a disjunct inconsistent with the critical constraint is dropped;
+///   * leaves implied / refuted by the context fold to true / false;
+/// and runs to a fixpoint. Each step is an SMT validity check, so the result
+/// is equivalent to the input under the critical constraint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_SIMPLIFY_H
+#define ABDIAG_SMT_SIMPLIFY_H
+
+#include "smt/Formula.h"
+#include "smt/Solver.h"
+
+namespace abdiag::smt {
+
+/// Returns a formula F' with `Critical |= (F <=> F')` that is no larger than
+/// \p F (measured in atoms) and usually much smaller.
+const Formula *simplifyModulo(Solver &S, const Formula *F,
+                              const Formula *Critical);
+
+/// Simplification with a trivially true critical constraint.
+const Formula *simplify(Solver &S, const Formula *F);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_SIMPLIFY_H

@@ -1,0 +1,394 @@
+//===- smt/Solver.cpp - Lazy DPLL(T) SMT solver for LIA ---------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+#include "smt/LiaSolver.h"
+#include "smt/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+const Formula *Solver::lowerForSolver(
+    const Formula *F,
+    std::unordered_map<const Formula *, const Formula *> &Memo) {
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  const Formula *R = F;
+  switch (F->kind()) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+    break;
+  case FormulaKind::Atom: {
+    const LinearExpr &E = F->expr();
+    switch (F->rel()) {
+    case AtomRel::Le:
+    case AtomRel::Div:
+    case AtomRel::NDiv:
+      // Handled natively by the theory solver.
+      break;
+    case AtomRel::Eq:
+      R = M.mkAnd(M.mkAtom(AtomRel::Le, E),
+                  M.mkAtom(AtomRel::Le, E.negated()));
+      break;
+    case AtomRel::Ne:
+      R = M.mkOr(M.mkAtom(AtomRel::Le, E.addConst(1)),
+                 M.mkAtom(AtomRel::Le, E.negated().addConst(1)));
+      break;
+    }
+    break;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    std::vector<const Formula *> Kids;
+    Kids.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Kids.push_back(lowerForSolver(K, Memo));
+    R = F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+    break;
+  }
+  }
+  Memo.emplace(F, R);
+  return R;
+}
+
+namespace {
+
+/// A positive theory literal: one of E <= 0, d | E, d ∤ E.
+struct TheoryLit {
+  AtomRel Rel;
+  LinearExpr Expr;
+  int64_t Divisor = 0; // for Div/NDiv
+};
+
+/// Builds the positive theory literal asserted by assigning \p AtomNode the
+/// boolean value \p Value.
+TheoryLit literalFor(const Formula *AtomNode, bool Value) {
+  TheoryLit L;
+  if (AtomNode->rel() == AtomRel::Le) {
+    L.Rel = AtomRel::Le;
+    // ¬(E <= 0)  <=>  1 - E <= 0.
+    L.Expr = Value ? AtomNode->expr()
+                   : AtomNode->expr().negated().addConst(1);
+    return L;
+  }
+  assert((AtomNode->rel() == AtomRel::Div ||
+          AtomNode->rel() == AtomRel::NDiv) &&
+         "Eq/Ne atoms must be lowered before theory extraction");
+  bool IsDiv = (AtomNode->rel() == AtomRel::Div) == Value;
+  L.Rel = IsDiv ? AtomRel::Div : AtomRel::NDiv;
+  L.Expr = AtomNode->expr();
+  L.Divisor = AtomNode->divisor();
+  return L;
+}
+
+/// Decides a conjunction of theory literals over the integers.
+///
+/// Divisibility literals are handled by residue enumeration: with
+/// delta = lcm of all moduli and Vd the variables occurring in divisibility
+/// expressions, every model assigns each v in Vd some residue mod delta.
+/// For each residue vector consistent with the divisibility literals, the
+/// substitution v := delta * k_v + r_v turns the remaining Le rows into a
+/// pure linear system, decided by simplex + branch-and-bound (with the
+/// complete Cooper model finder as a budget fallback). Complete because the
+/// residue vectors partition all models.
+class TheoryChecker {
+  FormulaManager &M;
+  Solver::Stats &S;
+  /// Cached quotient variable per (substituted variable): reused across
+  /// checks to keep the variable table from growing per query.
+  std::unordered_map<VarId, VarId> &QuotientVars;
+
+public:
+  TheoryChecker(FormulaManager &M, Solver::Stats &S,
+                std::unordered_map<VarId, VarId> &QuotientVars)
+      : M(M), S(S), QuotientVars(QuotientVars) {}
+
+  bool check(const std::vector<TheoryLit> &Lits, Model *Out) {
+    ++S.TheoryChecks;
+    std::vector<LinearExpr> Rows;
+    std::vector<const TheoryLit *> Divs;
+    for (const TheoryLit &L : Lits) {
+      if (L.Rel == AtomRel::Le)
+        Rows.push_back(L.Expr);
+      else
+        Divs.push_back(&L);
+    }
+    if (Divs.empty())
+      return checkRows(Rows, Out);
+
+    // Residue enumeration setup.
+    int64_t Delta = 1;
+    std::set<VarId> VdSet;
+    for (const TheoryLit *D : Divs) {
+      Delta = lcm64(Delta, D->Divisor);
+      D->Expr.forEachVar([&](VarId V) { VdSet.insert(V); });
+    }
+    std::vector<VarId> Vd(VdSet.begin(), VdSet.end());
+    // Combinatorial guard; beyond this, fall back to the complete finder.
+    double Combos = 1;
+    for (size_t I = 0; I < Vd.size(); ++I)
+      Combos *= static_cast<double>(Delta);
+    if (Combos > 50000)
+      return cooperFallback(Lits, Out);
+
+    std::vector<int64_t> Residues(Vd.size(), 0);
+    while (true) {
+      if (residuesSatisfyDivs(Divs, Vd, Residues) &&
+          checkWithResidues(Rows, Vd, Residues, Delta, Out))
+        return true;
+      // Odometer step.
+      size_t I = 0;
+      while (I < Vd.size() && ++Residues[I] == Delta) {
+        Residues[I] = 0;
+        ++I;
+      }
+      if (I == Vd.size())
+        return false;
+    }
+  }
+
+private:
+  bool checkRows(const std::vector<LinearExpr> &Rows, Model *Out) {
+    Model Local;
+    LiaStatus St = solveLiaConjunction(Rows, &Local);
+    if (St == LiaStatus::ResourceLimit) {
+      ++S.CooperFallbacks;
+      std::vector<const Formula *> Atoms;
+      Atoms.reserve(Rows.size());
+      for (const LinearExpr &E : Rows)
+        Atoms.push_back(M.mkAtom(AtomRel::Le, E));
+      Local.clear();
+      if (!solveAtomConjunction(M, Atoms, Local))
+        return false;
+    } else if (St == LiaStatus::Unsat) {
+      return false;
+    }
+    if (Out)
+      *Out = std::move(Local);
+    return true;
+  }
+
+  static bool residuesSatisfyDivs(const std::vector<const TheoryLit *> &Divs,
+                                  const std::vector<VarId> &Vd,
+                                  const std::vector<int64_t> &Residues) {
+    for (const TheoryLit *D : Divs) {
+      int64_t Val = D->Expr.constant();
+      for (const auto &[V, C] : D->Expr.terms()) {
+        size_t Idx = static_cast<size_t>(
+            std::lower_bound(Vd.begin(), Vd.end(), V) - Vd.begin());
+        Val = checkedAdd(Val, checkedMul(C, Residues[Idx]));
+      }
+      bool Divides = floorMod(Val, D->Divisor) == 0;
+      if (Divides != (D->Rel == AtomRel::Div))
+        return false;
+    }
+    return true;
+  }
+
+  bool checkWithResidues(const std::vector<LinearExpr> &Rows,
+                         const std::vector<VarId> &Vd,
+                         const std::vector<int64_t> &Residues, int64_t Delta,
+                         Model *Out) {
+    // Substitute v := Delta * k_v + r_v in all Le rows.
+    std::vector<LinearExpr> Sub = Rows;
+    for (size_t I = 0; I < Vd.size(); ++I) {
+      auto QIt = QuotientVars.find(Vd[I]);
+      if (QIt == QuotientVars.end())
+        QIt = QuotientVars
+                  .emplace(Vd[I], M.vars().freshAux(
+                                      "quot_" + M.vars().name(Vd[I])))
+                  .first;
+      LinearExpr Repl =
+          LinearExpr::variable(QIt->second, Delta).addConst(Residues[I]);
+      for (LinearExpr &Row : Sub)
+        Row = Row.substituted(Vd[I], Repl);
+    }
+    Model Local;
+    if (!checkRows(Sub, &Local))
+      return false;
+    if (Out) {
+      *Out = Local;
+      for (size_t I = 0; I < Vd.size(); ++I) {
+        VarId K = QuotientVars.at(Vd[I]);
+        int64_t KV = Local.count(K) ? Local.at(K) : 0;
+        (*Out)[Vd[I]] = checkedAdd(checkedMul(Delta, KV), Residues[I]);
+      }
+    }
+    return true;
+  }
+
+  /// Complete fallback: hand the whole conjunction to the DFS Cooper solver.
+  bool cooperFallback(const std::vector<TheoryLit> &Lits, Model *Out) {
+    ++S.CooperFallbacks;
+    std::vector<const Formula *> Atoms;
+    Atoms.reserve(Lits.size());
+    for (const TheoryLit &L : Lits)
+      Atoms.push_back(M.mkAtom(L.Rel, L.Expr, L.Divisor));
+    Model Local;
+    if (!solveAtomConjunction(M, Atoms, Local))
+      return false;
+    if (Out)
+      *Out = std::move(Local);
+    return true;
+  }
+};
+
+} // namespace
+
+bool Solver::isSat(const Formula *F, Model *Out) {
+  ++S.Queries;
+  if (Out)
+    Out->clear();
+  if (F->isTrue())
+    return true;
+  if (F->isFalse())
+    return false;
+
+  std::unordered_map<const Formula *, const Formula *> Memo;
+  const Formula *Low = lowerForSolver(F, Memo);
+  if (Low->isTrue())
+    return true;
+  if (Low->isFalse())
+    return false;
+
+  std::unordered_map<VarId, VarId> QuotientVars;
+  TheoryChecker Theory(M, S, QuotientVars);
+
+  auto FillModel = [&](const Model &Candidate) {
+    if (!Out)
+      return;
+    for (VarId V : freeVars(F)) {
+      auto MIt = Candidate.find(V);
+      (*Out)[V] = MIt == Candidate.end() ? 0 : MIt->second;
+    }
+  };
+
+  // Fast path: a pure conjunction of atoms needs no boolean search.
+  bool PureConj =
+      Low->isAtom() ||
+      (Low->isAnd() && std::all_of(Low->kids().begin(), Low->kids().end(),
+                                   [](const Formula *K) { return K->isAtom(); }));
+  if (PureConj) {
+    std::vector<TheoryLit> Lits;
+    auto AddAtom = [&](const Formula *A) {
+      Lits.push_back(literalFor(A, /*Value=*/true));
+    };
+    if (Low->isAtom()) {
+      AddAtom(Low);
+    } else {
+      for (const Formula *K : Low->kids())
+        AddAtom(K);
+    }
+    Model Candidate;
+    if (!Theory.check(Lits, &Candidate))
+      return false;
+    FillModel(Candidate);
+    return true;
+  }
+
+  // Tseitin encoding. Every distinct atom gets a boolean variable; every
+  // And/Or node gets a definition variable.
+  sat::SatSolver Sat;
+  std::unordered_map<const Formula *, sat::BVar> AtomVar;
+  std::unordered_map<const Formula *, sat::Lit> NodeLit;
+
+  std::function<sat::Lit(const Formula *)> Encode =
+      [&](const Formula *N) -> sat::Lit {
+    auto It = NodeLit.find(N);
+    if (It != NodeLit.end())
+      return It->second;
+    sat::Lit L;
+    if (N->isAtom()) {
+      auto AIt = AtomVar.find(N);
+      sat::BVar V = AIt == AtomVar.end() ? Sat.newVar() : AIt->second;
+      if (AIt == AtomVar.end())
+        AtomVar.emplace(N, V);
+      L = sat::mkLit(V);
+    } else {
+      assert((N->isAnd() || N->isOr()) && "constants folded earlier");
+      std::vector<sat::Lit> KidLits;
+      KidLits.reserve(N->kids().size());
+      for (const Formula *K : N->kids())
+        KidLits.push_back(Encode(K));
+      sat::BVar V = Sat.newVar();
+      L = sat::mkLit(V);
+      if (N->isAnd()) {
+        // V <-> AND kids: (¬V ∨ k_i) for all i; (V ∨ ¬k_1 ∨ ... ∨ ¬k_n).
+        std::vector<sat::Lit> Big{L};
+        for (sat::Lit KL : KidLits) {
+          Sat.addClause({sat::litNot(L), KL});
+          Big.push_back(sat::litNot(KL));
+        }
+        Sat.addClause(std::move(Big));
+      } else {
+        std::vector<sat::Lit> Big{sat::litNot(L)};
+        for (sat::Lit KL : KidLits) {
+          Sat.addClause({L, sat::litNot(KL)});
+          Big.push_back(KL);
+        }
+        Sat.addClause(std::move(Big));
+      }
+    }
+    NodeLit.emplace(N, L);
+    return L;
+  };
+
+  sat::Lit Root = Encode(Low);
+  Sat.addClause({Root});
+
+  while (true) {
+    if (Sat.solve() == sat::SatSolver::Result::Unsat)
+      return false;
+    // Gather asserted theory literals from the boolean model.
+    std::vector<TheoryLit> Lits;
+    std::vector<sat::Lit> LitOrigins;
+    for (const auto &[AtomNode, BV] : AtomVar) {
+      sat::LBool Val = Sat.value(BV);
+      assert(Val != sat::LBool::Undef && "full model expected");
+      bool B = Val == sat::LBool::True;
+      Lits.push_back(literalFor(AtomNode, B));
+      LitOrigins.push_back(sat::mkLit(BV, /*Neg=*/!B));
+    }
+    Model Candidate;
+    if (Theory.check(Lits, &Candidate)) {
+      FillModel(Candidate);
+      return true;
+    }
+    // Theory conflict: minimize by deletion, then block.
+    ++S.TheoryConflicts;
+    std::vector<size_t> Core(Lits.size());
+    for (size_t I = 0; I < Core.size(); ++I)
+      Core[I] = I;
+    for (size_t I = 0; I < Core.size();) {
+      std::vector<TheoryLit> SubLits;
+      SubLits.reserve(Core.size() - 1);
+      for (size_t K = 0; K < Core.size(); ++K)
+        if (K != I)
+          SubLits.push_back(Lits[Core[K]]);
+      if (!Theory.check(SubLits, nullptr))
+        Core.erase(Core.begin() + I);
+      else
+        ++I;
+    }
+    std::vector<sat::Lit> Block;
+    Block.reserve(Core.size());
+    for (size_t I : Core)
+      Block.push_back(sat::litNot(LitOrigins[I]));
+    if (!Sat.addClause(std::move(Block)))
+      return false;
+  }
+}

@@ -1,0 +1,82 @@
+//===- smt/Solver.h - Lazy DPLL(T) SMT solver for LIA -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT entry point used by everything above the formula layer. Decides
+/// satisfiability, validity, entailment and equivalence of quantifier-free
+/// LIA formulas and produces integer models.
+///
+/// Architecture (lazy SMT): the formula is lowered to Le-only atoms
+/// (equalities, disequalities and divisibility atoms are rewritten, the
+/// latter two with fresh auxiliary variables), Tseitin-encoded into the CDCL
+/// SAT solver, and full boolean models are checked against the LIA theory
+/// solver; minimized theory conflicts are fed back as blocking clauses. When
+/// branch-and-bound hits its node budget, the complete Cooper-based model
+/// finder decides the conjunction, so the overall procedure is complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_SOLVER_H
+#define ABDIAG_SMT_SOLVER_H
+
+#include "smt/Formula.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace abdiag::smt {
+
+/// An integer model; variables absent from the map are unconstrained and
+/// may be read as 0.
+using Model = std::unordered_map<VarId, int64_t>;
+
+/// Quantifier-free LIA decision procedures over one FormulaManager.
+///
+/// The solver is stateless between queries apart from statistics, so a
+/// single instance can serve many heterogeneous queries.
+class Solver {
+public:
+  struct Stats {
+    uint64_t Queries = 0;          ///< top-level isSat calls
+    uint64_t TheoryChecks = 0;     ///< LIA conjunction checks
+    uint64_t TheoryConflicts = 0;  ///< blocking clauses learned
+    uint64_t CooperFallbacks = 0;  ///< budget-exhausted conjunctions
+  };
+
+  explicit Solver(FormulaManager &M) : M(M) {}
+
+  /// True iff \p F has an integer model; fills \p Out (if non-null) with
+  /// values for every free variable of F.
+  bool isSat(const Formula *F, Model *Out = nullptr);
+
+  /// True iff \p F holds under every assignment.
+  bool isValid(const Formula *F) { return !isSat(M.mkNot(F)); }
+
+  /// True iff every model of \p A satisfies \p B.
+  bool entails(const Formula *A, const Formula *B) {
+    return !isSat(M.mkAnd(A, M.mkNot(B)));
+  }
+
+  /// True iff \p A and \p B have the same models.
+  bool equivalent(const Formula *A, const Formula *B) {
+    return entails(A, B) && entails(B, A);
+  }
+
+  FormulaManager &manager() { return M; }
+  const Stats &stats() const { return S; }
+
+private:
+  FormulaManager &M;
+  Stats S;
+
+  const Formula *lowerForSolver(const Formula *F,
+                                std::unordered_map<const Formula *,
+                                                   const Formula *> &Memo);
+};
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_SOLVER_H

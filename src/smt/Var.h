@@ -1,0 +1,83 @@
+//===- smt/Var.h - Analysis variables ---------------------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer variables appearing in formulas. Following the paper, a variable
+/// is either an *input variable* (ν, the unknown value of a program input),
+/// an *abstraction variable* (α, a named source of analysis imprecision such
+/// as the value of a variable after a loop), or an auxiliary variable
+/// introduced internally (Tseitin/divisibility lowering, Cooper's algorithm).
+/// The kind drives the cost functions of Definitions 2 and 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_VAR_H
+#define ABDIAG_SMT_VAR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace abdiag::smt {
+
+/// Dense index of a variable within its VarTable.
+using VarId = uint32_t;
+
+/// Role of a variable; see Definitions 2 and 9 in the paper.
+enum class VarKind : uint8_t {
+  Input,       ///< ν: unknown program input.
+  Abstraction, ///< α: unknown value due to analysis imprecision.
+  Aux          ///< internal helper variable (never user-visible).
+};
+
+/// Registry of all variables used by one FormulaManager.
+class VarTable {
+  struct Info {
+    std::string Name;
+    VarKind Kind;
+  };
+  std::vector<Info> Vars;
+  std::unordered_map<std::string, VarId> ByName;
+
+public:
+  /// Creates a new variable; \p Name must be unique within the table.
+  VarId create(const std::string &Name, VarKind Kind) {
+    assert(!ByName.count(Name) && "duplicate variable name");
+    VarId Id = static_cast<VarId>(Vars.size());
+    Vars.push_back({Name, Kind});
+    ByName.emplace(Name, Id);
+    return Id;
+  }
+
+  /// Returns the variable named \p Name, creating it if needed.
+  VarId getOrCreate(const std::string &Name, VarKind Kind) {
+    auto It = ByName.find(Name);
+    if (It != ByName.end())
+      return It->second;
+    return create(Name, Kind);
+  }
+
+  /// Returns the id of \p Name, or ~0u if absent.
+  VarId lookup(const std::string &Name) const {
+    auto It = ByName.find(Name);
+    return It == ByName.end() ? ~0u : It->second;
+  }
+
+  const std::string &name(VarId V) const { return Vars.at(V).Name; }
+  VarKind kind(VarId V) const { return Vars.at(V).Kind; }
+  size_t size() const { return Vars.size(); }
+
+  /// Creates a fresh Aux variable with a unique generated name.
+  VarId freshAux(const std::string &Prefix) {
+    return create(Prefix + "!" + std::to_string(Vars.size()), VarKind::Aux);
+  }
+};
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_VAR_H

@@ -1,0 +1,90 @@
+//===- smt/Z3Bridge.cpp - Differential-testing bridge to Z3 -----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Z3Bridge.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include <z3++.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+z3::expr exprToZ3(z3::context &C,
+                  std::unordered_map<VarId, z3::expr> &VarMap,
+                  const VarTable &VT, const LinearExpr &E) {
+  z3::expr Sum = C.int_val(static_cast<int64_t>(E.constant()));
+  for (const auto &[V, Coef] : E.terms()) {
+    auto It = VarMap.find(V);
+    if (It == VarMap.end())
+      It = VarMap.emplace(V, C.int_const(VT.name(V).c_str())).first;
+    Sum = Sum + C.int_val(Coef) * It->second;
+  }
+  return Sum;
+}
+
+z3::expr formulaToZ3(z3::context &C,
+                     std::unordered_map<VarId, z3::expr> &VarMap,
+                     const VarTable &VT, const Formula *F) {
+  switch (F->kind()) {
+  case FormulaKind::True:
+    return C.bool_val(true);
+  case FormulaKind::False:
+    return C.bool_val(false);
+  case FormulaKind::Atom: {
+    z3::expr E = exprToZ3(C, VarMap, VT, F->expr());
+    switch (F->rel()) {
+    case AtomRel::Le:
+      return E <= 0;
+    case AtomRel::Eq:
+      return E == 0;
+    case AtomRel::Ne:
+      return E != 0;
+    case AtomRel::Div:
+      return z3::mod(E, C.int_val(F->divisor())) == 0;
+    case AtomRel::NDiv:
+      return z3::mod(E, C.int_val(F->divisor())) != 0;
+    }
+    break;
+  }
+  case FormulaKind::And:
+  case FormulaKind::Or: {
+    z3::expr_vector Kids(C);
+    for (const Formula *K : F->kids())
+      Kids.push_back(formulaToZ3(C, VarMap, VT, K));
+    return F->isAnd() ? z3::mk_and(Kids) : z3::mk_or(Kids);
+  }
+  }
+  std::abort();
+}
+
+} // namespace
+
+bool abdiag::smt::z3IsSat(const Formula *F, const VarTable &VT) {
+  z3::context C;
+  std::unordered_map<VarId, z3::expr> VarMap;
+  z3::solver Solver(C);
+  Solver.add(formulaToZ3(C, VarMap, VT, F));
+  switch (Solver.check()) {
+  case z3::sat:
+    return true;
+  case z3::unsat:
+    return false;
+  case z3::unknown:
+    std::fprintf(stderr, "abdiag: fatal: z3 returned unknown\n");
+    std::abort();
+  }
+  std::abort();
+}
+
+bool abdiag::smt::z3IsValid(FormulaManager &M, const Formula *F) {
+  return !z3IsSat(M.mkNot(F), M.vars());
+}

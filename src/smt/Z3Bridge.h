@@ -1,0 +1,31 @@
+//===- smt/Z3Bridge.h - Differential-testing bridge to Z3 -------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates abdiag formulas to Z3 and asks Z3 for satisfiability. Used
+/// exclusively by the test suite to differentially validate our own SMT
+/// stack (solver, quantifier elimination, MSA); the library itself never
+/// depends on Z3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_Z3BRIDGE_H
+#define ABDIAG_SMT_Z3BRIDGE_H
+
+#include "smt/Formula.h"
+
+namespace abdiag::smt {
+
+/// Checks satisfiability of \p F with Z3. Aborts if Z3 answers "unknown"
+/// (does not happen for quantifier-free LIA).
+bool z3IsSat(const Formula *F, const VarTable &VT);
+
+/// Checks validity of \p F with Z3.
+bool z3IsValid(FormulaManager &M, const Formula *F);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_Z3BRIDGE_H

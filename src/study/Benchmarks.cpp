@@ -1,0 +1,61 @@
+//===- study/Benchmarks.cpp - The 11-problem study corpus --------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Benchmarks.h"
+
+#include <cstdlib>
+
+using namespace abdiag::study;
+
+#ifndef ABDIAG_BENCHMARK_DIR
+#define ABDIAG_BENCHMARK_DIR "benchmarks"
+#endif
+
+const std::vector<BenchmarkInfo> &abdiag::study::benchmarkSuite() {
+  // Figure 7 rows: LOC, manual %correct/%wrong/%?/time, new %c/%w/%?/time.
+  static const std::vector<BenchmarkInfo> Suite = {
+      {"p01_sum_scale", "p01_sum_scale.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/false, "imprecise loop invariant + non-linear arithmetic",
+       {88, 43.5, 34.8, 21.7, 297, 92.3, 3.9, 3.9, 57}},
+      {"p02_seq_format", "p02_seq_format.adg", /*Synthetic=*/false,
+       /*IsRealBug=*/false, "imprecise loop invariant (lost accumulators)",
+       {352, 30.8, 50.0, 19.2, 269, 87.0, 8.7, 4.4, 40}},
+      {"p03_quadratic", "p03_quadratic.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/false, "non-linear arithmetic",
+       {66, 46.2, 38.5, 15.4, 266, 79.2, 20.8, 0.0, 58}},
+      {"p04_copy_overflow", "p04_copy_overflow.adg", /*Synthetic=*/false,
+       /*IsRealBug=*/true, "off-by-one loop bound",
+       {278, 37.5, 45.8, 16.7, 265, 92.3, 7.7, 0.0, 53}},
+      {"p05_config_retry", "p05_config_retry.adg", /*Synthetic=*/false,
+       /*IsRealBug=*/false, "missing library annotation + weak invariant",
+       {363, 32.0, 48.0, 20.0, 289, 100.0, 0.0, 0.0, 46}},
+      {"p06_chroot_optind", "p06_chroot_optind.adg", /*Synthetic=*/false,
+       /*IsRealBug=*/false, "getopt-style option loop (optind correlation)",
+       {173, 25.0, 54.2, 20.8, 339, 92.0, 8.0, 0.0, 54}},
+      {"p07_rotate_negative", "p07_rotate_negative.adg", /*Synthetic=*/false,
+       /*IsRealBug=*/true, "unhandled negative input in normalization loop",
+       {326, 40.0, 56.0, 4.0, 233, 79.2, 8.3, 12.5, 55}},
+      {"p08_parity_pad", "p08_parity_pad.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/false, "lost counter/accumulator correlation",
+       {97, 16.7, 70.8, 12.5, 271, 92.0, 8.0, 0.0, 58}},
+      {"p09_area_perimeter", "p09_area_perimeter.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/true, "non-linear arithmetic hides a boundary case",
+       {116, 25.0, 58.3, 16.7, 308, 92.0, 4.0, 4.0, 62}},
+      {"p10_sensor_offset", "p10_sensor_offset.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/true, "unconstrained library return value",
+       {72, 24.0, 60.0, 16.0, 455, 95.8, 4.2, 0.0, 68}},
+      {"p11_search_boundary", "p11_search_boundary.adg", /*Synthetic=*/true,
+       /*IsRealBug=*/true, "off-by-one search loop misses last element",
+       {118, 41.7, 45.8, 12.5, 235, 84.0, 16.0, 0.0, 50}},
+  };
+  return Suite;
+}
+
+std::string abdiag::study::benchmarkPath(const BenchmarkInfo &B) {
+  const char *Dir = std::getenv("ABDIAG_BENCHMARK_DIR");
+  std::string Base = Dir ? Dir : ABDIAG_BENCHMARK_DIR;
+  return Base + "/" + B.File;
+}

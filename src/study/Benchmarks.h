@@ -1,0 +1,52 @@
+//===- study/Benchmarks.h - The 11-problem study corpus ---------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of the 11 benchmark problems mirroring Figure 7 of the paper:
+/// same classification split (6 false alarms, 5 real bugs), same kind split
+/// (5 "real"-flavored, 6 synthetic), and the same diversity of report
+/// causes (imprecise loop invariants, missing library annotations,
+/// non-linear arithmetic, environment facts). The paper's published
+/// per-problem numbers are embedded so the regenerated table can be printed
+/// side by side with the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_STUDY_BENCHMARKS_H
+#define ABDIAG_STUDY_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+namespace abdiag::study {
+
+/// Per-problem numbers from Figure 7 of the paper.
+struct PaperRow {
+  int Loc;
+  double ManualCorrect, ManualWrong, ManualUnknown, ManualTime;
+  double NewCorrect, NewWrong, NewUnknown, NewTime;
+};
+
+/// One benchmark problem.
+struct BenchmarkInfo {
+  std::string Name;    ///< registry key, also the file stem
+  std::string File;    ///< .adg file name under the benchmark directory
+  bool Synthetic;      ///< Figure 7 "Kind" column
+  bool IsRealBug;      ///< Figure 7 "Classification" column
+  std::string Cause;   ///< why the analysis reports a potential error
+  PaperRow Paper;      ///< the original Figure 7 row
+};
+
+/// All 11 problems, in Figure 7 order.
+const std::vector<BenchmarkInfo> &benchmarkSuite();
+
+/// Absolute path of a benchmark file (uses the build-time benchmark
+/// directory unless ABDIAG_BENCHMARK_DIR is set in the environment).
+std::string benchmarkPath(const BenchmarkInfo &B);
+
+} // namespace abdiag::study
+
+#endif // ABDIAG_STUDY_BENCHMARKS_H

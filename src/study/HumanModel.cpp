@@ -1,0 +1,63 @@
+//===- study/HumanModel.cpp - Simulated study participants -------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/HumanModel.h"
+
+#include "smt/FormulaOps.h"
+
+#include <algorithm>
+
+using namespace abdiag;
+using namespace abdiag::study;
+using namespace abdiag::core;
+
+Oracle::Answer SimulatedHumanOracle::corrupt(Answer TruthAnswer,
+                                             const smt::Formula *F) {
+  ++Queries;
+  size_t NumVars = smt::freeVars(F).size();
+  QuerySeconds +=
+      (Params.SecondsPerQuery +
+       Params.SecondsPerQueryVar * static_cast<double>(NumVars)) *
+      (1.0 + Rand.gaussian(0, Params.TimeJitter));
+
+  if (Rand.chance(Params.UnknownRate) || TruthAnswer == Answer::Unknown)
+    return Answer::Unknown;
+  double ErrorRate =
+      Params.BaseErrorRate +
+      Params.ErrorPerExtraVar * static_cast<double>(NumVars > 0 ? NumVars - 1
+                                                                : 0);
+  if (Rand.chance(std::min(0.5, ErrorRate)))
+    return TruthAnswer == Answer::Yes ? Answer::No : Answer::Yes;
+  return TruthAnswer;
+}
+
+Oracle::Answer SimulatedHumanOracle::isInvariant(const smt::Formula *F) {
+  return corrupt(Truth.isInvariant(F), F);
+}
+
+Oracle::Answer SimulatedHumanOracle::isPossible(const smt::Formula *F,
+                                                const smt::Formula *Given) {
+  return corrupt(Truth.isPossible(F, Given), F);
+}
+
+ManualClassification
+abdiag::study::drawManualClassification(Rng &Rand, double Difficulty,
+                                        const ManualModelParams &Params) {
+  Difficulty = std::clamp(Difficulty, 0.0, 1.0);
+  double PCorrect = Params.CorrectAtEasiest - Params.CorrectSlope * Difficulty;
+  double PUnknown = Params.UnknownAtEasiest + Params.UnknownSlope * Difficulty;
+  ManualClassification C;
+  double U = Rand.uniform();
+  if (U < PCorrect)
+    C.V = ManualClassification::Verdict::Correct;
+  else if (U < PCorrect + PUnknown)
+    C.V = ManualClassification::Verdict::Unknown;
+  else
+    C.V = ManualClassification::Verdict::Wrong;
+  double Base = Params.SecondsAtEasiest + Params.SecondsSlope * Difficulty;
+  C.Seconds = std::max(60.0, Base * (1.0 + Rand.gaussian(0, Params.TimeJitter)));
+  return C;
+}

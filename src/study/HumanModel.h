@@ -1,0 +1,107 @@
+//===- study/HumanModel.h - Simulated study participants --------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated respondents for the Figure 7 user study. The original study
+/// measured 49 professional programmers; those humans cannot be re-run, so
+/// this module provides two *mechanistic* response models whose free
+/// constants are calibrated against the paper's aggregate statistics (see
+/// EXPERIMENTS.md for the calibration notes):
+///
+///  * SimulatedHumanOracle answers the diagnosis engine's queries by
+///    consulting a ground-truth oracle and corrupting the answer with a
+///    probability that grows with query size -- small queries (the point of
+///    the paper) are answered nearly perfectly. Classification accuracy of
+///    the "new technique" arm then *emerges* from running the real Figure 6
+///    engine against these noisy answers.
+///
+///  * ManualClassification draws a whole-program classification whose
+///    accuracy and latency degrade with problem difficulty (LOC and the
+///    size of the analysis facts involved), reproducing the near-chance
+///    accuracy the paper observed for manual triage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_STUDY_HUMANMODEL_H
+#define ABDIAG_STUDY_HUMANMODEL_H
+
+#include "core/Oracle.h"
+#include "support/Rng.h"
+
+namespace abdiag::study {
+
+/// Constants of the assisted-arm response model.
+struct AssistedModelParams {
+  /// Probability of answering a 1-variable query incorrectly.
+  double BaseErrorRate = 0.025;
+  /// Additional error probability per extra variable in the query.
+  double ErrorPerExtraVar = 0.02;
+  /// Probability of "I don't know".
+  double UnknownRate = 0.02;
+  /// Seconds of fixed overhead (reading the report and the first query).
+  double BaseSeconds = 26;
+  /// Seconds per query, plus per-variable reading time.
+  double SecondsPerQuery = 11;
+  double SecondsPerQueryVar = 3;
+  /// Relative lognormal-ish jitter on times.
+  double TimeJitter = 0.18;
+};
+
+/// Oracle that corrupts a ground-truth oracle's answers like a careful but
+/// fallible human. Also accumulates the simulated time spent answering.
+class SimulatedHumanOracle : public core::Oracle {
+public:
+  SimulatedHumanOracle(core::Oracle &Truth, Rng Rand,
+                       AssistedModelParams Params = AssistedModelParams())
+      : Truth(Truth), Rand(Rand), Params(Params) {}
+
+  Answer isInvariant(const smt::Formula *F) override;
+  Answer isPossible(const smt::Formula *F, const smt::Formula *Given) override;
+
+  /// Simulated seconds spent on the queries answered so far (excluding the
+  /// fixed per-session overhead).
+  double querySeconds() const { return QuerySeconds; }
+  int queriesAnswered() const { return Queries; }
+
+private:
+  core::Oracle &Truth;
+  Rng Rand;
+  AssistedModelParams Params;
+  double QuerySeconds = 0;
+  int Queries = 0;
+
+  Answer corrupt(Answer TruthAnswer, const smt::Formula *F);
+};
+
+/// Constants of the manual-arm response model.
+struct ManualModelParams {
+  /// Accuracy for the easiest problem; decreases with difficulty.
+  double CorrectAtEasiest = 0.47;
+  /// Accuracy drop from easiest to hardest problem.
+  double CorrectSlope = 0.24;
+  /// "I don't know" rate at the easiest / added toward the hardest.
+  double UnknownAtEasiest = 0.13;
+  double UnknownSlope = 0.07;
+  /// Seconds at easiest / added toward hardest, with jitter.
+  double SecondsAtEasiest = 215;
+  double SecondsSlope = 150;
+  double TimeJitter = 0.2;
+};
+
+/// One simulated manual classification.
+struct ManualClassification {
+  enum class Verdict : uint8_t { Correct, Wrong, Unknown } V;
+  double Seconds;
+};
+
+/// Draws a manual classification for a problem of normalized difficulty
+/// \p Difficulty in [0, 1].
+ManualClassification drawManualClassification(Rng &Rand, double Difficulty,
+                                              const ManualModelParams &Params);
+
+} // namespace abdiag::study
+
+#endif // ABDIAG_STUDY_HUMANMODEL_H

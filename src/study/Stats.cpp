@@ -1,0 +1,125 @@
+//===- study/Stats.cpp - Statistics for the user study -----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Stats.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace abdiag::study;
+
+double abdiag::study::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double S = 0;
+  for (double X : Xs)
+    S += X;
+  return S / static_cast<double>(Xs.size());
+}
+
+double abdiag::study::sampleVariance(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0;
+  double M = mean(Xs);
+  double S = 0;
+  for (double X : Xs)
+    S += (X - M) * (X - M);
+  return S / static_cast<double>(Xs.size() - 1);
+}
+
+namespace {
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (Lentz's algorithm; see Numerical Recipes betacf).
+double betaContinuedFraction(double A, double B, double X) {
+  constexpr int MaxIter = 300;
+  constexpr double Eps = 3e-14;
+  constexpr double FpMin = 1e-300;
+
+  double Qab = A + B, Qap = A + 1, Qam = A - 1;
+  double C = 1, D = 1 - Qab * X / Qap;
+  if (std::fabs(D) < FpMin)
+    D = FpMin;
+  D = 1 / D;
+  double H = D;
+  for (int M = 1; M <= MaxIter; ++M) {
+    int M2 = 2 * M;
+    double Aa = M * (B - M) * X / ((Qam + M2) * (A + M2));
+    D = 1 + Aa * D;
+    if (std::fabs(D) < FpMin)
+      D = FpMin;
+    C = 1 + Aa / C;
+    if (std::fabs(C) < FpMin)
+      C = FpMin;
+    D = 1 / D;
+    H *= D * C;
+    Aa = -(A + M) * (Qab + M) * X / ((A + M2) * (Qap + M2));
+    D = 1 + Aa * D;
+    if (std::fabs(D) < FpMin)
+      D = FpMin;
+    C = 1 + Aa / C;
+    if (std::fabs(C) < FpMin)
+      C = FpMin;
+    D = 1 / D;
+    double Del = D * C;
+    H *= Del;
+    if (std::fabs(Del - 1.0) < Eps)
+      break;
+  }
+  return H;
+}
+
+} // namespace
+
+double abdiag::study::regularizedIncompleteBeta(double A, double B, double X) {
+  if (X <= 0)
+    return 0;
+  if (X >= 1)
+    return 1;
+  double LnBeta = std::lgamma(A + B) - std::lgamma(A) - std::lgamma(B) +
+                  A * std::log(X) + B * std::log(1 - X);
+  double Front = std::exp(LnBeta);
+  // Use the symmetry relation for faster convergence.
+  if (X < (A + 1) / (A + B + 2))
+    return Front * betaContinuedFraction(A, B, X) / A;
+  return 1 - Front * betaContinuedFraction(B, A, 1 - X) / B;
+}
+
+double abdiag::study::studentTCdf(double T, double Nu) {
+  if (Nu <= 0)
+    return 0.5;
+  double X = Nu / (Nu + T * T);
+  double P = 0.5 * regularizedIncompleteBeta(Nu / 2, 0.5, X);
+  return T >= 0 ? 1 - P : P;
+}
+
+TTestResult abdiag::study::welchTTest(const std::vector<double> &A,
+                                      const std::vector<double> &B) {
+  TTestResult R;
+  if (A.size() < 2 || B.size() < 2)
+    return R;
+  double Ma = mean(A), Mb = mean(B);
+  double Va = sampleVariance(A), Vb = sampleVariance(B);
+  double Na = static_cast<double>(A.size()), Nb = static_cast<double>(B.size());
+  double SeA = Va / Na, SeB = Vb / Nb;
+  double Se = SeA + SeB;
+  if (Se <= 0) {
+    // Identical constant samples: no evidence of difference.
+    R.T = 0;
+    R.DegreesOfFreedom = Na + Nb - 2;
+    R.PValue = Ma == Mb ? 1.0 : 0.0;
+    return R;
+  }
+  R.T = (Ma - Mb) / std::sqrt(Se);
+  R.DegreesOfFreedom =
+      Se * Se / (SeA * SeA / (Na - 1) + SeB * SeB / (Nb - 1));
+  // Two-tailed p-value via the direct tail formula
+  // p = I_{nu/(nu+t^2)}(nu/2, 1/2), which stays accurate for extreme t
+  // (no 1 - CDF cancellation).
+  double Nu = R.DegreesOfFreedom;
+  R.PValue = regularizedIncompleteBeta(Nu / 2, 0.5, Nu / (Nu + R.T * R.T));
+  return R;
+}

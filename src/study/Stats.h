@@ -1,0 +1,48 @@
+//===- study/Stats.h - Statistics for the user study ------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistics the paper reports: means, and Welch's two-tailed t-test
+/// ("assuming potentially unequal variance", Section 6) with p-values
+/// computed through the regularized incomplete beta function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_STUDY_STATS_H
+#define ABDIAG_STUDY_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace abdiag::study {
+
+/// Sample mean; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+double sampleVariance(const std::vector<double> &Xs);
+
+/// Result of Welch's t-test.
+struct TTestResult {
+  double T = 0;                ///< test statistic
+  double DegreesOfFreedom = 0; ///< Welch-Satterthwaite approximation
+  double PValue = 1;           ///< two-tailed
+};
+
+/// Welch's two-sample t-test (unequal variances), two-tailed.
+TTestResult welchTTest(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction,
+/// Numerical-Recipes style); exposed for testing.
+double regularizedIncompleteBeta(double A, double B, double X);
+
+/// CDF of Student's t distribution with \p Nu degrees of freedom.
+double studentTCdf(double T, double Nu);
+
+} // namespace abdiag::study
+
+#endif // ABDIAG_STUDY_STATS_H

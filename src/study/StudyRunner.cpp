@@ -1,0 +1,307 @@
+//===- study/StudyRunner.cpp - Figure 7 regeneration -------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/StudyRunner.h"
+
+#include "core/ErrorDiagnoser.h"
+#include "lang/AstPrinter.h"
+#include "smt/FormulaOps.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace abdiag;
+using namespace abdiag::study;
+using namespace abdiag::core;
+
+namespace {
+
+/// Difficulty proxy for the manual model: printed LOC plus the size of the
+/// analysis facts the human would have to reconstruct.
+double difficultyScore(size_t Loc, size_t Atoms) {
+  return static_cast<double>(Loc) + 2.0 * static_cast<double>(Atoms);
+}
+
+struct LoadedProblem {
+  ErrorDiagnoser Diagnoser;
+  std::unique_ptr<ConcreteOracle> Truth;
+  size_t Loc = 0;
+  double Difficulty = 0; // raw; normalized later
+};
+
+} // namespace
+
+StudyResult abdiag::study::runStudy(const StudyConfig &Config) {
+  const std::vector<BenchmarkInfo> &Suite = benchmarkSuite();
+  StudyResult Out;
+  Rng Root(Config.Seed);
+
+  // Load all problems first (difficulty normalization needs the full set).
+  std::vector<std::unique_ptr<LoadedProblem>> Loaded;
+  for (const BenchmarkInfo &B : Suite) {
+    auto L = std::make_unique<LoadedProblem>();
+    std::string Err;
+    if (!L->Diagnoser.loadFile(benchmarkPath(B), &Err)) {
+      std::fprintf(stderr, "abdiag: fatal: cannot load benchmark %s: %s\n",
+                   B.Name.c_str(), Err.c_str());
+      std::abort();
+    }
+    L->Loc = lang::programLoc(L->Diagnoser.program());
+    const analysis::AnalysisResult &AR = L->Diagnoser.analysis();
+    L->Difficulty = difficultyScore(
+        L->Loc, smt::atomCount(AR.SuccessCondition) +
+                    smt::atomCount(AR.Invariants));
+    L->Truth = L->Diagnoser.makeConcreteOracle();
+    if (Config.VerifyGroundTruth &&
+        L->Truth->anyFailingRun() != B.IsRealBug) {
+      std::fprintf(stderr,
+                   "abdiag: fatal: benchmark %s ground truth mismatch\n",
+                   B.Name.c_str());
+      std::abort();
+    }
+    Loaded.push_back(std::move(L));
+  }
+  double DMin = 1e18, DMax = -1e18;
+  for (const auto &L : Loaded) {
+    DMin = std::min(DMin, L->Difficulty);
+    DMax = std::max(DMax, L->Difficulty);
+  }
+  double DSpan = std::max(1.0, DMax - DMin);
+
+  std::vector<double> AllManualCorrect, AllAssistedCorrect;
+  std::vector<double> AllManualSeconds, AllAssistedSeconds;
+
+  for (size_t PI = 0; PI < Suite.size(); ++PI) {
+    const BenchmarkInfo &B = Suite[PI];
+    LoadedProblem &L = *Loaded[PI];
+    ProblemResult PR;
+    PR.Info = B;
+    PR.OurLoc = L.Loc;
+    double Difficulty = (L.Difficulty - DMin) / DSpan;
+    Rng ProblemRng = Root.fork(PI + 1);
+
+    // Query-computation cost: one noiseless diagnosis with the exact
+    // oracle, timed (the paper's "below 0.1s" claim).
+    {
+      auto T0 = std::chrono::steady_clock::now();
+      DiagnosisResult R = L.Diagnoser.diagnose(*L.Truth);
+      auto T1 = std::chrono::steady_clock::now();
+      PR.ComputeSeconds =
+          std::chrono::duration<double>(T1 - T0).count();
+      PR.NoiselessQueries = static_cast<int>(R.Transcript.size());
+      PR.MinQueries = PR.MaxQueries = PR.NoiselessQueries;
+    }
+
+    // Manual arm.
+    for (int R = 0; R < Config.RespondentsPerArm; ++R) {
+      Rng Rand = ProblemRng.fork(1000 + static_cast<uint64_t>(R));
+      ManualClassification C =
+          drawManualClassification(Rand, Difficulty, Config.Manual);
+      switch (C.V) {
+      case ManualClassification::Verdict::Correct:
+        PR.Manual.PctCorrect += 1;
+        PR.ManualCorrect.push_back(1);
+        break;
+      case ManualClassification::Verdict::Wrong:
+        PR.Manual.PctWrong += 1;
+        PR.ManualCorrect.push_back(0);
+        break;
+      case ManualClassification::Verdict::Unknown:
+        PR.Manual.PctUnknown += 1;
+        PR.ManualCorrect.push_back(0);
+        break;
+      }
+      PR.Manual.AvgSeconds += C.Seconds;
+      PR.ManualSeconds.push_back(C.Seconds);
+    }
+
+    // Assisted arm: run the real engine against the noisy human.
+    for (int R = 0; R < Config.RespondentsPerArm; ++R) {
+      Rng Rand = ProblemRng.fork(2000 + static_cast<uint64_t>(R));
+      SimulatedHumanOracle Human(*L.Truth, Rand.fork(7), Config.Assisted);
+      DiagnosisResult DR = L.Diagnoser.diagnose(Human);
+      PR.MinQueries =
+          std::min(PR.MinQueries, static_cast<int>(DR.Transcript.size()));
+      PR.MaxQueries =
+          std::max(PR.MaxQueries, static_cast<int>(DR.Transcript.size()));
+      bool Correct = false, Unknown = false;
+      switch (DR.Outcome) {
+      case DiagnosisOutcome::Discharged:
+        Correct = !B.IsRealBug;
+        break;
+      case DiagnosisOutcome::Validated:
+        Correct = B.IsRealBug;
+        break;
+      case DiagnosisOutcome::Inconclusive:
+        Unknown = true;
+        break;
+      }
+      if (Unknown) {
+        PR.Assisted.PctUnknown += 1;
+        PR.AssistedCorrect.push_back(0);
+      } else if (Correct) {
+        PR.Assisted.PctCorrect += 1;
+        PR.AssistedCorrect.push_back(1);
+      } else {
+        PR.Assisted.PctWrong += 1;
+        PR.AssistedCorrect.push_back(0);
+      }
+      double Seconds =
+          (Config.Assisted.BaseSeconds + Human.querySeconds()) *
+          (1.0 + Rand.gaussian(0, 0.05));
+      PR.Assisted.AvgSeconds += Seconds;
+      PR.AssistedSeconds.push_back(Seconds);
+    }
+
+    double N = static_cast<double>(Config.RespondentsPerArm);
+    for (ArmStats *A : {&PR.Manual, &PR.Assisted}) {
+      A->PctCorrect = 100.0 * A->PctCorrect / N;
+      A->PctWrong = 100.0 * A->PctWrong / N;
+      A->PctUnknown = 100.0 * A->PctUnknown / N;
+      A->AvgSeconds /= N;
+    }
+
+    AllManualCorrect.insert(AllManualCorrect.end(), PR.ManualCorrect.begin(),
+                            PR.ManualCorrect.end());
+    AllAssistedCorrect.insert(AllAssistedCorrect.end(),
+                              PR.AssistedCorrect.begin(),
+                              PR.AssistedCorrect.end());
+    AllManualSeconds.insert(AllManualSeconds.end(), PR.ManualSeconds.begin(),
+                            PR.ManualSeconds.end());
+    AllAssistedSeconds.insert(AllAssistedSeconds.end(),
+                              PR.AssistedSeconds.begin(),
+                              PR.AssistedSeconds.end());
+    Out.Problems.push_back(std::move(PR));
+  }
+
+  // Averages and t-tests.
+  size_t NP = Out.Problems.size();
+  for (const ProblemResult &PR : Out.Problems) {
+    Out.ManualAvg.PctCorrect += PR.Manual.PctCorrect;
+    Out.ManualAvg.PctWrong += PR.Manual.PctWrong;
+    Out.ManualAvg.PctUnknown += PR.Manual.PctUnknown;
+    Out.ManualAvg.AvgSeconds += PR.Manual.AvgSeconds;
+    Out.AssistedAvg.PctCorrect += PR.Assisted.PctCorrect;
+    Out.AssistedAvg.PctWrong += PR.Assisted.PctWrong;
+    Out.AssistedAvg.PctUnknown += PR.Assisted.PctUnknown;
+    Out.AssistedAvg.AvgSeconds += PR.Assisted.AvgSeconds;
+    Out.AvgLoc += static_cast<double>(PR.OurLoc);
+  }
+  for (ArmStats *A : {&Out.ManualAvg, &Out.AssistedAvg}) {
+    A->PctCorrect /= static_cast<double>(NP);
+    A->PctWrong /= static_cast<double>(NP);
+    A->PctUnknown /= static_cast<double>(NP);
+    A->AvgSeconds /= static_cast<double>(NP);
+  }
+  Out.AvgLoc /= static_cast<double>(NP);
+  Out.AccuracyTest = welchTTest(AllManualCorrect, AllAssistedCorrect);
+  Out.TimeTest = welchTTest(AllManualSeconds, AllAssistedSeconds);
+  std::vector<double> MC, AC, MT, AT;
+  for (const ProblemResult &PR : Out.Problems) {
+    MC.push_back(PR.Manual.PctCorrect);
+    AC.push_back(PR.Assisted.PctCorrect);
+    MT.push_back(PR.Manual.AvgSeconds);
+    AT.push_back(PR.Assisted.AvgSeconds);
+  }
+  Out.AccuracyTestPerProblem = welchTTest(MC, AC);
+  Out.TimeTestPerProblem = welchTTest(MT, AT);
+  return Out;
+}
+
+std::string abdiag::study::formatFigure7(const StudyResult &R,
+                                         bool IncludePaperRows) {
+  std::ostringstream OS;
+  char Buf[256];
+  OS << "Figure 7: results from the (simulated) user study\n";
+  OS << "                        |      Manual classification        |"
+        "          New technique\n";
+  OS << "  problem        LOC cls| %corr  %wrong  %?     time        |"
+        " %corr  %wrong  %?     time   #q\n";
+  OS << "  ----------------------------------------------------------"
+        "--------------------------------\n";
+  for (size_t I = 0; I < R.Problems.size(); ++I) {
+    const ProblemResult &P = R.Problems[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "  %-14s %4zu %-3s| %5.1f  %5.1f  %5.1f  %5.0f s     | "
+                  "%5.1f  %5.1f  %5.1f  %4.0f s  %d-%d\n",
+                  P.Info.Name.c_str(), P.OurLoc,
+                  P.Info.IsRealBug ? "bug" : "fa", P.Manual.PctCorrect,
+                  P.Manual.PctWrong, P.Manual.PctUnknown,
+                  P.Manual.AvgSeconds, P.Assisted.PctCorrect,
+                  P.Assisted.PctWrong, P.Assisted.PctUnknown,
+                  P.Assisted.AvgSeconds, P.MinQueries, P.MaxQueries);
+    OS << Buf;
+    if (IncludePaperRows) {
+      const PaperRow &PR = P.Info.Paper;
+      std::snprintf(Buf, sizeof(Buf),
+                    "   (paper)       %4d    | %5.1f  %5.1f  %5.1f  %5.0f s"
+                    "     | %5.1f  %5.1f  %5.1f  %4.0f s\n",
+                    PR.Loc, PR.ManualCorrect, PR.ManualWrong,
+                    PR.ManualUnknown, PR.ManualTime, PR.NewCorrect,
+                    PR.NewWrong, PR.NewUnknown, PR.NewTime);
+      OS << Buf;
+    }
+  }
+  OS << "  ----------------------------------------------------------"
+        "--------------------------------\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  Average        %4.0f    | %5.1f  %5.1f  %5.1f  %5.0f s"
+                "     | %5.1f  %5.1f  %5.1f  %4.0f s\n",
+                R.AvgLoc, R.ManualAvg.PctCorrect, R.ManualAvg.PctWrong,
+                R.ManualAvg.PctUnknown, R.ManualAvg.AvgSeconds,
+                R.AssistedAvg.PctCorrect, R.AssistedAvg.PctWrong,
+                R.AssistedAvg.PctUnknown, R.AssistedAvg.AvgSeconds);
+  OS << Buf;
+  OS << "  (paper average)  186    |  32.9   51.1   16.0    293 s     |"
+        "  89.6    7.3    2.3    55 s\n\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  Welch t-test, accuracy (per problem):     t = %6.2f, "
+                "df = %5.1f, p = %.3g (paper: p = 5e-8)\n",
+                R.AccuracyTestPerProblem.T,
+                R.AccuracyTestPerProblem.DegreesOfFreedom,
+                R.AccuracyTestPerProblem.PValue);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  Welch t-test, time (per participant):     t = %6.2f, "
+                "df = %5.1f, p = %.3g (paper: p = 1.2e-28)\n",
+                R.TimeTest.T, R.TimeTest.DegreesOfFreedom, R.TimeTest.PValue);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  Welch t-test, accuracy (per participant): t = %6.2f, "
+                "df = %5.1f, p = %.3g\n",
+                R.AccuracyTest.T, R.AccuracyTest.DegreesOfFreedom,
+                R.AccuracyTest.PValue);
+  OS << Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  Welch t-test, time (per problem):         t = %6.2f, "
+                "df = %5.1f, p = %.3g\n",
+                R.TimeTestPerProblem.T, R.TimeTestPerProblem.DegreesOfFreedom,
+                R.TimeTestPerProblem.PValue);
+  OS << Buf;
+  return OS.str();
+}
+
+std::string abdiag::study::formatFigure7Csv(const StudyResult &R) {
+  std::ostringstream OS;
+  OS << "problem,loc,classification,kind,"
+        "manual_correct,manual_wrong,manual_unknown,manual_seconds,"
+        "new_correct,new_wrong,new_unknown,new_seconds,"
+        "queries_noiseless,compute_seconds\n";
+  for (const ProblemResult &P : R.Problems) {
+    OS << P.Info.Name << ',' << P.OurLoc << ','
+       << (P.Info.IsRealBug ? "bug" : "false-alarm") << ','
+       << (P.Info.Synthetic ? "synthetic" : "real") << ','
+       << P.Manual.PctCorrect << ',' << P.Manual.PctWrong << ','
+       << P.Manual.PctUnknown << ',' << P.Manual.AvgSeconds << ','
+       << P.Assisted.PctCorrect << ',' << P.Assisted.PctWrong << ','
+       << P.Assisted.PctUnknown << ',' << P.Assisted.AvgSeconds << ','
+       << P.NoiselessQueries << ',' << P.ComputeSeconds << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,92 @@
+//===- study/StudyRunner.h - Figure 7 regeneration --------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full user-study simulation (experiment E1/E3 in DESIGN.md):
+/// for each of the 11 benchmark problems, simulate one respondent pool
+/// classifying the error report manually and another using the Figure 6
+/// query loop (the real engine, answered by the noisy simulated human whose
+/// ground truth is the exhaustive concrete-execution oracle), then compute
+/// the Figure 7 columns and the Section 6 Welch t-tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_STUDY_STUDYRUNNER_H
+#define ABDIAG_STUDY_STUDYRUNNER_H
+
+#include "study/Benchmarks.h"
+#include "study/HumanModel.h"
+#include "study/Stats.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abdiag::study {
+
+/// Aggregated per-arm results for one problem (one Figure 7 half-row).
+struct ArmStats {
+  double PctCorrect = 0;
+  double PctWrong = 0;
+  double PctUnknown = 0;
+  double AvgSeconds = 0;
+};
+
+/// Result for one problem (one Figure 7 row).
+struct ProblemResult {
+  BenchmarkInfo Info;
+  size_t OurLoc = 0;
+  ArmStats Manual;
+  ArmStats Assisted;
+  int MinQueries = 0, MaxQueries = 0;
+  /// Queries asked in one noiseless run with the sound oracle (the paper's
+  /// "one to three questions" claim refers to this).
+  int NoiselessQueries = 0;
+  /// Wall-clock seconds of query computation (analysis + all abductions)
+  /// for one noiseless diagnosis run -- the paper's "< 0.1s" claim.
+  double ComputeSeconds = 0;
+  /// Raw per-respondent samples, for the t-tests.
+  std::vector<double> ManualCorrect, AssistedCorrect;
+  std::vector<double> ManualSeconds, AssistedSeconds;
+};
+
+/// Whole-study result.
+struct StudyResult {
+  std::vector<ProblemResult> Problems;
+  ArmStats ManualAvg, AssistedAvg;
+  double AvgLoc = 0;
+  TTestResult AccuracyTest; ///< per-participant manual vs assisted accuracy
+  TTestResult TimeTest;     ///< per-participant manual vs assisted seconds
+  /// Per-problem variants (11 rows per arm), closer to the magnitudes the
+  /// paper reports.
+  TTestResult AccuracyTestPerProblem;
+  TTestResult TimeTestPerProblem;
+};
+
+/// Study configuration.
+struct StudyConfig {
+  uint64_t Seed = 2012;
+  int RespondentsPerArm = 24; // paper: ~24 per problem per arm
+  AssistedModelParams Assisted;
+  ManualModelParams Manual;
+  /// Abort (with a message) if a benchmark's ground truth disagrees with
+  /// its declared classification; on by default.
+  bool VerifyGroundTruth = true;
+};
+
+/// Runs the simulation over the whole benchmark suite.
+StudyResult runStudy(const StudyConfig &Config = StudyConfig());
+
+/// Renders the Figure 7 table (plus the original paper numbers) as text.
+std::string formatFigure7(const StudyResult &R, bool IncludePaperRows = true);
+
+/// Renders the per-problem results as CSV (one row per problem, both arms),
+/// for plotting.
+std::string formatFigure7Csv(const StudyResult &R);
+
+} // namespace abdiag::study
+
+#endif // ABDIAG_STUDY_STUDYRUNNER_H

@@ -1,0 +1,53 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast --------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines the isa<>, cast<>, and dyn_cast<> templates used for opt-in,
+/// kind-discriminator based RTTI throughout the project, mirroring the LLVM
+/// casting idiom. A class participates by providing a static
+/// `classof(const Base *)` predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_CASTING_H
+#define ABDIAG_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace abdiag {
+
+/// Returns true if \p Val is an instance of the target type \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer!");
+  return To::classof(Val);
+}
+
+/// Casts \p Val to type \p To, asserting that the dynamic kind matches.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type!");
+  return static_cast<const To *>(Val);
+}
+
+/// Casts \p Val to type \p To (mutable overload).
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type!");
+  return static_cast<To *>(Val);
+}
+
+/// Returns \p Val cast to \p To, or nullptr if the kind does not match.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Returns \p Val cast to \p To, or nullptr (mutable overload).
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_CASTING_H

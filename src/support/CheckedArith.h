@@ -1,0 +1,103 @@
+//===- support/CheckedArith.h - Overflow-checked 64-bit math ----*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-checked arithmetic on int64_t. Linear-arithmetic manipulation
+/// (Cooper's algorithm in particular) multiplies coefficients by LCMs, so all
+/// coefficient arithmetic in the project funnels through these helpers. On
+/// overflow the process aborts with a diagnostic; the formula sizes produced
+/// by the analyses in this project keep coefficients far below the limit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_CHECKEDARITH_H
+#define ABDIAG_SUPPORT_CHECKEDARITH_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace abdiag {
+
+[[noreturn]] inline void overflowAbort(const char *Op) {
+  std::fprintf(stderr, "abdiag: fatal: 64-bit overflow in %s\n", Op);
+  std::abort();
+}
+
+/// Returns \p A + \p B, aborting on signed overflow.
+inline int64_t checkedAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    overflowAbort("add");
+  return R;
+}
+
+/// Returns \p A - \p B, aborting on signed overflow.
+inline int64_t checkedSub(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_sub_overflow(A, B, &R))
+    overflowAbort("sub");
+  return R;
+}
+
+/// Returns \p A * \p B, aborting on signed overflow.
+inline int64_t checkedMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    overflowAbort("mul");
+  return R;
+}
+
+/// Returns -\p A, aborting on overflow (INT64_MIN).
+inline int64_t checkedNeg(int64_t A) { return checkedSub(0, A); }
+
+/// Greatest common divisor of |A| and |B|; gcd(0, 0) == 0.
+inline int64_t gcd64(int64_t A, int64_t B) {
+  if (A < 0)
+    A = checkedNeg(A);
+  if (B < 0)
+    B = checkedNeg(B);
+  while (B != 0) {
+    int64_t T = A % B;
+    A = B;
+    B = T;
+  }
+  return A;
+}
+
+/// Least common multiple of |A| and |B|; both must be non-zero.
+inline int64_t lcm64(int64_t A, int64_t B) {
+  int64_t G = gcd64(A, B);
+  return checkedMul(A < 0 ? -A : A, (B < 0 ? -B : B) / G);
+}
+
+/// Floor division (rounds toward negative infinity), unlike C's truncation.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceiling division (rounds toward positive infinity).
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B, R = A % B;
+  if (R != 0 && ((R < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Mathematical modulus: result always in [0, |B|).
+inline int64_t floorMod(int64_t A, int64_t B) {
+  int64_t R = A % B;
+  if (R != 0 && ((R < 0) != (B < 0)))
+    R += B;
+  return R;
+}
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_CHECKEDARITH_H

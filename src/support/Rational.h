@@ -1,0 +1,131 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exact rational number over int64_t with __int128 intermediates,
+/// used by the simplex-based linear arithmetic solver. Strict inequalities
+/// never reach the solver (x < c is canonicalized to x <= c-1 over the
+/// integers), so plain rationals suffice -- no delta extension needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_RATIONAL_H
+#define ABDIAG_SUPPORT_RATIONAL_H
+
+#include "support/CheckedArith.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace abdiag {
+
+/// Exact rational number with canonical representation (Den > 0, reduced).
+class Rational {
+  int64_t Num = 0;
+  int64_t Den = 1;
+
+  static int64_t narrow(__int128 V, const char *Op) {
+    if (V > INT64_MAX || V < INT64_MIN)
+      overflowAbort(Op);
+    return static_cast<int64_t>(V);
+  }
+
+  void normalize() {
+    assert(Den != 0 && "rational with zero denominator");
+    if (Den < 0) {
+      Num = checkedNeg(Num);
+      Den = checkedNeg(Den);
+    }
+    int64_t G = gcd64(Num, Den);
+    if (G > 1) {
+      Num /= G;
+      Den /= G;
+    }
+  }
+
+public:
+  Rational() = default;
+  Rational(int64_t N) : Num(N) {}
+  Rational(int64_t N, int64_t D) : Num(N), Den(D) { normalize(); }
+
+  int64_t num() const { return Num; }
+  int64_t den() const { return Den; }
+  bool isInteger() const { return Den == 1; }
+  bool isZero() const { return Num == 0; }
+  int sign() const { return Num > 0 ? 1 : (Num < 0 ? -1 : 0); }
+
+  /// Largest integer <= this value.
+  int64_t floor() const { return floorDiv(Num, Den); }
+  /// Smallest integer >= this value.
+  int64_t ceil() const { return ceilDiv(Num, Den); }
+
+  Rational operator+(const Rational &O) const {
+    __int128 N = (__int128)Num * O.Den + (__int128)O.Num * Den;
+    __int128 D = (__int128)Den * O.Den;
+    return make(N, D, "rat add");
+  }
+  Rational operator-(const Rational &O) const {
+    __int128 N = (__int128)Num * O.Den - (__int128)O.Num * Den;
+    __int128 D = (__int128)Den * O.Den;
+    return make(N, D, "rat sub");
+  }
+  Rational operator*(const Rational &O) const {
+    __int128 N = (__int128)Num * O.Num;
+    __int128 D = (__int128)Den * O.Den;
+    return make(N, D, "rat mul");
+  }
+  Rational operator/(const Rational &O) const {
+    assert(!O.isZero() && "rational division by zero");
+    __int128 N = (__int128)Num * O.Den;
+    __int128 D = (__int128)Den * O.Num;
+    return make(N, D, "rat div");
+  }
+  Rational operator-() const { return Rational(checkedNeg(Num), Den); }
+
+  bool operator==(const Rational &O) const {
+    return Num == O.Num && Den == O.Den;
+  }
+  bool operator!=(const Rational &O) const { return !(*this == O); }
+  bool operator<(const Rational &O) const {
+    return (__int128)Num * O.Den < (__int128)O.Num * Den;
+  }
+  bool operator<=(const Rational &O) const {
+    return (__int128)Num * O.Den <= (__int128)O.Num * Den;
+  }
+  bool operator>(const Rational &O) const { return O < *this; }
+  bool operator>=(const Rational &O) const { return O <= *this; }
+
+  std::string str() const {
+    if (Den == 1)
+      return std::to_string(Num);
+    return std::to_string(Num) + "/" + std::to_string(Den);
+  }
+
+private:
+  static Rational make(__int128 N, __int128 D, const char *Op) {
+    // Reduce in 128 bits first so in-range results never spuriously overflow.
+    __int128 A = N < 0 ? -N : N, B = D < 0 ? -D : D;
+    while (B != 0) {
+      __int128 T = A % B;
+      A = B;
+      B = T;
+    }
+    if (A > 1) {
+      N /= A;
+      D /= A;
+    }
+    Rational R;
+    R.Num = narrow(N, Op);
+    R.Den = narrow(D, Op);
+    R.normalize();
+    return R;
+  }
+};
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_RATIONAL_H

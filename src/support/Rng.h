@@ -1,0 +1,68 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, reproducible PRNG (SplitMix64) used by property tests, the
+/// user-study simulation, and randomized workload generators. We deliberately
+/// avoid std::mt19937 default seeding so results are identical across
+/// platforms and runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_RNG_H
+#define ABDIAG_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace abdiag {
+
+/// SplitMix64 generator; passes BigCrush for our purposes and needs only a
+/// 64-bit state, so forking independent streams is trivial.
+class Rng {
+  uint64_t State;
+
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli trial with success probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Approximately normal variate via sum of uniforms (Irwin-Hall, 12 terms).
+  double gaussian(double Mean, double Stddev) {
+    double S = 0;
+    for (int I = 0; I < 12; ++I)
+      S += uniform();
+    return Mean + (S - 6.0) * Stddev;
+  }
+
+  /// Derives an independent stream for a labeled sub-experiment.
+  Rng fork(uint64_t Label) {
+    return Rng(next() ^ (Label * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_RNG_H

@@ -1,0 +1,35 @@
+//===- support/StringUtils.h - Small string helpers -------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_STRINGUTILS_H
+#define ABDIAG_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abdiag {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+inline std::string join(const std::vector<std::string> &Parts,
+                        std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+/// Combines a hash value into a running seed (boost::hash_combine style).
+inline void hashCombine(size_t &Seed, size_t V) {
+  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_STRINGUTILS_H

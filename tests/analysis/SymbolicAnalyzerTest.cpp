@@ -1,0 +1,252 @@
+//===- tests/analysis/SymbolicAnalyzerTest.cpp - Section 3 analysis tests ---===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SymbolicAnalyzer.h"
+
+#include "lang/Interp.h"
+#include "lang/Parser.h"
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::analysis;
+using namespace abdiag::lang;
+using namespace abdiag::smt;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+class AnalyzerTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+};
+
+TEST_F(AnalyzerTest, LoopFreeProgramIsExact) {
+  // For loop-free programs the analysis is exact: the success condition,
+  // evaluated on concrete inputs, must agree with the interpreter.
+  Program P = parse(R"(
+program p(a, b) {
+  var c;
+  c = a + 2 * b;
+  if (c > 10) { c = c - 1; } else { c = c + 1; }
+  check(c != 11);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  ASSERT_TRUE(R.Invariants->isTrue());
+  VarId A = R.InputVars.at("a"), B = R.InputVars.at("b");
+  for (int64_t VA = -5; VA <= 15; ++VA)
+    for (int64_t VB = -5; VB <= 5; ++VB) {
+      bool Sym = evaluate(R.SuccessCondition, [&](VarId V) {
+        return V == A ? VA : (V == B ? VB : 0);
+      });
+      bool Conc = runProgram(P, {VA, VB}).Status == RunStatus::CheckPassed;
+      ASSERT_EQ(Sym, Conc) << "a=" << VA << " b=" << VB;
+    }
+}
+
+TEST_F(AnalyzerTest, AssumeBecomesInvariant) {
+  Program P = parse("program p(n) { assume(n >= 0); check(n > -1); }");
+  AnalysisResult R = analyzeProgram(P, S);
+  VarId N = R.InputVars.at("n");
+  const Formula *Expect = M.mkGe(LinearExpr::variable(N), LinearExpr::constant(0));
+  EXPECT_TRUE(S.equivalent(R.Invariants, Expect));
+  // And the report is discharged by Lemma 1.
+  EXPECT_TRUE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+}
+
+TEST_F(AnalyzerTest, LoopBindsModifiedVarsToAbstractions) {
+  Program P = parse(R"(
+program p(n) {
+  var i, k;
+  k = 7;
+  while (i < n) { i = i + 1; }
+  check(i + k > 0);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  // i is loop-modified: gets an abstraction variable; k is untouched.
+  ASSERT_TRUE(R.LoopExitVars.count({0, "i"}));
+  EXPECT_FALSE(R.LoopExitVars.count({0, "k"}));
+  VarId Ai = R.LoopExitVars.at({0, "i"});
+  EXPECT_EQ(M.vars().kind(Ai), VarKind::Abstraction);
+  EXPECT_TRUE(containsVar(R.SuccessCondition, Ai));
+}
+
+TEST_F(AnalyzerTest, AnnotationConstrainsAbstractions) {
+  Program P = parse(R"(
+program p(n) {
+  var i;
+  while (i < n) { i = i + 1; } @ [i >= 0 && i >= n]
+  check(i >= n);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  // Lemma 1 applies: I |= phi.
+  EXPECT_TRUE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+}
+
+TEST_F(AnalyzerTest, NonLinearProductGetsAbstractionWithSquareFact) {
+  Program P = parse(R"(
+program p(n) {
+  var k;
+  k = n * n;
+  check(k >= 0);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  // The square fact alpha_{n*n} >= 0 is exactly what discharges the check.
+  EXPECT_TRUE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+}
+
+TEST_F(AnalyzerTest, NonLinearProductOfDistinctVarsUnconstrained) {
+  Program P = parse(R"(
+program p(a, b) {
+  var k;
+  k = a * b;
+  check(k >= 0);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  EXPECT_FALSE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+  EXPECT_FALSE(
+      S.isValid(M.mkImplies(R.Invariants, M.mkNot(R.SuccessCondition))));
+}
+
+TEST_F(AnalyzerTest, HavocIntroducesAbstraction) {
+  Program P = parse(
+      "program p() { var x; x = havoc(); check(x > 0); }");
+  AnalysisResult R = analyzeProgram(P, S);
+  ASSERT_EQ(R.HavocVars.size(), 1u);
+  VarId H = R.HavocVars.begin()->second;
+  EXPECT_EQ(M.vars().kind(H), VarKind::Abstraction);
+  EXPECT_FALSE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+}
+
+TEST_F(AnalyzerTest, PathSensitivityThroughJoin) {
+  // The classic pattern requiring path-sensitive reasoning: the same
+  // condition guards the definition and the use.
+  Program P = parse(R"(
+program p(a) {
+  var x, y;
+  if (a > 0) { x = 1; } else { x = 0 - 1; }
+  if (a > 0) { y = x; } else { y = 0 - x; }
+  check(y == 1);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  EXPECT_TRUE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)))
+      << toString(R.SuccessCondition, M.vars());
+}
+
+TEST_F(AnalyzerTest, DefiniteBugDetectedByLemma2) {
+  Program P = parse("program p(a) { var x; x = a - a; check(x > 0); }");
+  AnalysisResult R = analyzeProgram(P, S);
+  EXPECT_TRUE(
+      S.isValid(M.mkImplies(R.Invariants, M.mkNot(R.SuccessCondition))));
+}
+
+/// Paper Example 1: the exact program from Section 3 with its annotation.
+const char *Example1 = R"(
+program example1(a1, a2) {
+  var k, i, j, z;
+  if (a2 > 0) { k = a2; } else { k = 1; }
+  while (i < a2 + 1) {
+    i = i + 1;
+    j = j + i;
+  } @ [i > -1 && i > a2]
+  if (a1 > 0) { z = k + i + j; } else { z = 2 * a2 + 1; }
+  check(z > 2 * a2);
+}
+)";
+
+TEST_F(AnalyzerTest, PaperExample1NeitherDischargedNorValidated) {
+  Program P = parse(Example1);
+  AnalysisResult R = analyzeProgram(P, S);
+  // I = alpha_i >= 0 ∧ alpha_i > a2 (paper: nu_2).
+  VarId Ai = R.LoopExitVars.at({0, "i"});
+  VarId A2 = R.InputVars.at("a2");
+  const Formula *ExpectI =
+      M.mkAnd(M.mkGe(LinearExpr::variable(Ai), LinearExpr::constant(0)),
+              M.mkGt(LinearExpr::variable(Ai), LinearExpr::variable(A2)));
+  EXPECT_TRUE(S.equivalent(R.Invariants, ExpectI))
+      << toString(R.Invariants, M.vars());
+  // Neither Lemma applies (the paper's point).
+  EXPECT_FALSE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
+  EXPECT_FALSE(
+      S.isValid(M.mkImplies(R.Invariants, M.mkNot(R.SuccessCondition))));
+}
+
+// Property: for loop-free randomly generated programs, the success
+// condition evaluated on inputs equals the concrete run outcome.
+TEST_F(AnalyzerTest, PropertyLoopFreeAgreesWithInterpreter) {
+  Rng R(5150);
+  for (int Round = 0; Round < 40; ++Round) {
+    // Build a small random straight-line/if program as source text.
+    std::string Src = "program rnd(a, b) {\n  var x, y;\n";
+    auto RandExpr = [&]() {
+      std::string E = std::to_string(R.range(-3, 3));
+      const char *Vars[] = {"a", "b", "x", "y"};
+      for (const char *V : Vars)
+        if (R.chance(0.5))
+          E += std::string(" + ") + std::to_string(R.range(-2, 2)) + " * " + V;
+      return E;
+    };
+    for (int I = 0; I < 4; ++I) {
+      const char *Target = R.chance(0.5) ? "x" : "y";
+      if (R.chance(0.3)) {
+        Src += std::string("  if (") + RandExpr() + " > " + RandExpr() +
+               ") { " + Target + " = " + RandExpr() + "; } else { " + Target +
+               " = " + RandExpr() + "; }\n";
+      } else {
+        Src += std::string("  ") + Target + " = " + RandExpr() + ";\n";
+      }
+    }
+    Src += "  check(x + y >= a - b);\n}\n";
+    ParseResult PR = parseProgram(Src);
+    ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
+
+    FormulaManager LocalM;
+    Solver LocalS(LocalM);
+    AnalysisResult AR = analyzeProgram(*PR.Prog, LocalS);
+    VarId A = AR.InputVars.at("a"), B = AR.InputVars.at("b");
+    for (int64_t VA = -4; VA <= 4; VA += 2)
+      for (int64_t VB = -4; VB <= 4; VB += 2) {
+        bool Sym = evaluate(AR.SuccessCondition, [&](VarId V) {
+          return V == A ? VA : (V == B ? VB : 0);
+        });
+        bool Conc =
+            runProgram(*PR.Prog, {VA, VB}).Status == RunStatus::CheckPassed;
+        ASSERT_EQ(Sym, Conc) << Src << "a=" << VA << " b=" << VB;
+      }
+  }
+}
+
+TEST_F(AnalyzerTest, DescribeVarRendering) {
+  Program P = parse(R"(
+program p(n) {
+  var i;
+  while (i < n) { i = i + 1; }
+  check(i >= 0);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  VarId N = R.InputVars.at("n");
+  VarId Ai = R.LoopExitVars.at({0, "i"});
+  EXPECT_EQ(describeVar(R, M.vars(), N), "input n");
+  EXPECT_EQ(describeVar(R, M.vars(), Ai), "the value of i after loop 1");
+}
+
+} // namespace

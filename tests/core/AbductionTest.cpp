@@ -1,0 +1,310 @@
+//===- tests/core/AbductionTest.cpp - Weakest minimum abduction tests -------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the paper's core definitions, including the exact expected results
+/// for the Section 1.1 running example (Gamma ≡ alpha_j >= n and
+/// Upsilon ≡ ¬flag ∧ alpha_i + alpha_j < 0) and Example 2
+/// (Gamma ≡ alpha_j >= 0).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Abduction.h"
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "lang/Parser.h"
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+namespace {
+
+class AbductionTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  Abducer Abd{S};
+
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+
+  /// Checks the defining properties of a proof obligation (Definition 1).
+  void expectObligation(const AbductionResult &R, const Formula *I,
+                        const Formula *Phi) {
+    ASSERT_TRUE(R.Found);
+    EXPECT_TRUE(S.isValid(M.mkImplies(M.mkAnd(R.Fml, I), Phi)))
+        << toString(R.Fml, M.vars());
+    EXPECT_TRUE(S.isSat(M.mkAnd(R.Fml, I)));
+  }
+
+  /// Checks the defining properties of a failure witness (Definition 8).
+  void expectWitness(const AbductionResult &R, const Formula *I,
+                     const Formula *Phi) {
+    ASSERT_TRUE(R.Found);
+    EXPECT_TRUE(S.isValid(M.mkImplies(M.mkAnd(R.Fml, I), M.mkNot(Phi))))
+        << toString(R.Fml, M.vars());
+    EXPECT_TRUE(S.isSat(M.mkAnd(R.Fml, I)));
+  }
+};
+
+TEST_F(AbductionTest, SimpleObligation) {
+  // I: alpha >= 0. phi: alpha + n > 0. Obligation should involve n only if
+  // unavoidable; here alpha >= 0 gives phi when n >= 1... the cheapest
+  // abduction constrains alpha (cost 1) if possible: alpha + n > 0 cannot
+  // follow from alpha alone (n unbounded below), so n must appear.
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr A = LinearExpr::variable(Alpha), Nv = LinearExpr::variable(N);
+  const Formula *I = M.mkGe(A, c(0));
+  const Formula *Phi = M.mkGt(A.add(Nv), c(0));
+  AbductionResult R = Abd.proofObligation(I, Phi);
+  expectObligation(R, I, Phi);
+  EXPECT_TRUE(freeVars(R.Fml).count(N));
+}
+
+TEST_F(AbductionTest, ObligationPrefersAbstractionVariables) {
+  // Both "alpha >= 5" and "n >= 5" would discharge phi; Definition 2 makes
+  // the abstraction-variable query cheaper.
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr A = LinearExpr::variable(Alpha), Nv = LinearExpr::variable(N);
+  const Formula *I = M.getTrue();
+  const Formula *Phi = M.mkOr(M.mkGe(A, c(5)), M.mkGe(Nv, c(5)));
+  AbductionResult R = Abd.proofObligation(I, Phi);
+  ASSERT_TRUE(R.Found);
+  std::set<VarId> Fv = freeVars(R.Fml);
+  EXPECT_TRUE(Fv.count(Alpha));
+  EXPECT_FALSE(Fv.count(N)) << toString(R.Fml, M.vars());
+}
+
+TEST_F(AbductionTest, WitnessPrefersInputVariables) {
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr A = LinearExpr::variable(Alpha), Nv = LinearExpr::variable(N);
+  const Formula *I = M.getTrue();
+  // phi fails when alpha <= 4 or n <= 4; the witness should constrain n.
+  const Formula *Phi = M.mkAnd(M.mkGe(A, c(5)), M.mkGe(Nv, c(5)));
+  AbductionResult R = Abd.failureWitness(I, Phi);
+  expectWitness(R, I, Phi);
+  std::set<VarId> Fv = freeVars(R.Fml);
+  EXPECT_TRUE(Fv.count(N));
+  EXPECT_FALSE(Fv.count(Alpha)) << toString(R.Fml, M.vars());
+}
+
+TEST_F(AbductionTest, TrivialWhenAlreadyValid) {
+  // I |= phi: the empty MSA yields Gamma == true (no query needed; the
+  // engine checks Lemma 1 first, but the abduction is still well-defined).
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  LinearExpr A = LinearExpr::variable(Alpha);
+  const Formula *I = M.mkGe(A, c(5));
+  const Formula *Phi = M.mkGe(A, c(0));
+  AbductionResult R = Abd.proofObligation(I, Phi);
+  ASSERT_TRUE(R.Found);
+  EXPECT_TRUE(R.Fml->isTrue());
+  EXPECT_EQ(R.Cost, 0);
+}
+
+TEST_F(AbductionTest, NoObligationWhenPhiContradictsI) {
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  LinearExpr A = LinearExpr::variable(Alpha);
+  const Formula *I = M.mkGe(A, c(5));
+  const Formula *Phi = M.mkLe(A, c(0)); // unreachable under I
+  AbductionResult R = Abd.proofObligation(I, Phi);
+  EXPECT_FALSE(R.Found) << "SAT(Gamma ∧ I) is impossible";
+}
+
+TEST_F(AbductionTest, WitnessConsistencyBlocksKnownInvariants) {
+  // Section 5: potential invariants constrain witness abduction.
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr Nv = LinearExpr::variable(N);
+  const Formula *I = M.getTrue();
+  const Formula *Phi = M.mkGe(Nv, c(0));
+  // Without constraints the witness is n < 0.
+  AbductionResult R1 = Abd.failureWitness(I, Phi);
+  expectWitness(R1, I, Phi);
+  // Claiming "n >= 0" is a potential invariant leaves no consistent witness.
+  AbductionResult R2 = Abd.failureWitness(I, Phi, {M.mkGe(Nv, c(0))});
+  EXPECT_FALSE(R2.Found);
+}
+
+TEST_F(AbductionTest, ObligationConsistentWithWitnesses) {
+  // A known witness "n < 0 possible" must not be contradicted: the
+  // obligation cannot be the (otherwise cheapest) "n >= 0".
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr A = LinearExpr::variable(Alpha), Nv = LinearExpr::variable(N);
+  const Formula *I = M.getTrue();
+  const Formula *Phi = M.mkOr(M.mkGe(Nv, c(0)), M.mkGe(A.add(Nv), c(0)));
+  const Formula *W = M.mkLt(Nv, c(0));
+  AbductionResult R = Abd.proofObligation(I, Phi, {W});
+  ASSERT_TRUE(R.Found);
+  // Gamma ∧ I ∧ W must stay satisfiable.
+  EXPECT_TRUE(S.isSat(M.mkAnd({R.Fml, I, W})))
+      << toString(R.Fml, M.vars());
+  expectObligation(R, I, Phi);
+}
+
+//===----------------------------------------------------------------------===//
+// Paper fidelity: the running example of Section 1.1 and Example 2.
+//===----------------------------------------------------------------------===//
+
+const char *IntroSource = R"(
+program intro(flag, n) {
+  var k, i, j, z;
+  assume(n >= 0);
+  k = 1;
+  if (flag != 0) { k = n * n; }
+  i = 0;
+  j = 0;
+  while (i <= n) {
+    i = i + 1;
+    j = j + i;
+  } @ [i >= 0 && i > n]
+  z = k + i + j;
+  check(z > 2 * n);
+}
+)";
+
+class IntroExampleTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  Abducer Abd{S};
+  lang::Program Prog;
+  analysis::AnalysisResult AR;
+
+  void SetUp() override {
+    lang::ParseResult P = lang::parseProgram(IntroSource);
+    ASSERT_TRUE(P.ok()) << P.Error;
+    Prog = std::move(*P.Prog);
+    AR = analysis::analyzeProgram(Prog, S);
+  }
+
+  LinearExpr var(VarId V) { return LinearExpr::variable(V); }
+};
+
+TEST_F(IntroExampleTest, NeitherLemmaApplies) {
+  EXPECT_FALSE(S.isValid(M.mkImplies(AR.Invariants, AR.SuccessCondition)));
+  EXPECT_FALSE(
+      S.isValid(M.mkImplies(AR.Invariants, M.mkNot(AR.SuccessCondition))));
+}
+
+TEST_F(IntroExampleTest, InvariantsMatchPaper) {
+  // I = alpha_{n*n} >= 0 ∧ alpha_i >= 0 ∧ alpha_i > n ∧ n >= 0.
+  VarId Ai = AR.LoopExitVars.at({0, "i"});
+  VarId N = AR.InputVars.at("n");
+  ASSERT_EQ(AR.Origins.size(), 5u); // flag, n, alpha_i, alpha_j, alpha_nn
+  // Find the non-linear abstraction.
+  VarId Ann = 0;
+  bool FoundAnn = false;
+  for (const auto &[V, O] : AR.Origins)
+    if (O.K == analysis::VarOrigin::Kind::NonLinear) {
+      Ann = V;
+      FoundAnn = true;
+    }
+  ASSERT_TRUE(FoundAnn);
+  const Formula *Expect = M.mkAnd(
+      {M.mkGe(var(Ann), LinearExpr::constant(0)),
+       M.mkGe(var(Ai), LinearExpr::constant(0)), M.mkGt(var(Ai), var(N)),
+       M.mkGe(var(N), LinearExpr::constant(0))});
+  EXPECT_TRUE(S.equivalent(AR.Invariants, Expect))
+      << toString(AR.Invariants, M.vars());
+}
+
+TEST_F(IntroExampleTest, ProofObligationPropertiesAndCost) {
+  // The paper's narrative gives Gamma = alpha_j >= n (cost 1 + |Vars| = 6
+  // under Definition 2). Our engine finds the abstraction-only obligation
+  // alpha_j >= alpha_i - 1 (cost 2), which is *more* minimal under the
+  // paper's own cost function -- see EXPERIMENTS.md (E4 deviation). Verify
+  // the defining properties, the minimality bound, and that the paper's
+  // query follows from ours under I.
+  VarId Ai = AR.LoopExitVars.at({0, "i"});
+  VarId Aj = AR.LoopExitVars.at({0, "j"});
+  VarId N = AR.InputVars.at("n");
+  AbductionResult Gamma =
+      Abd.proofObligation(AR.Invariants, AR.SuccessCondition);
+  ASSERT_TRUE(Gamma.Found);
+  // Definition 1: Gamma ∧ I |= phi and SAT(Gamma ∧ I).
+  EXPECT_TRUE(S.isValid(
+      M.mkImplies(M.mkAnd(Gamma.Fml, AR.Invariants), AR.SuccessCondition)));
+  EXPECT_TRUE(S.isSat(M.mkAnd(Gamma.Fml, AR.Invariants)));
+  // Strictly cheaper than the paper's alpha_j >= n under Definition 2.
+  EXPECT_EQ(Gamma.Cost, 2);
+  EXPECT_EQ(freeVars(Gamma.Fml), (std::set<VarId>{Ai, Aj}));
+  // Our obligation entails the paper's under I (both discharge the error).
+  const Formula *PaperGamma = M.mkGe(var(Aj), var(N));
+  EXPECT_TRUE(S.isValid(M.mkImplies(M.mkAnd(Gamma.Fml, AR.Invariants),
+                                    PaperGamma)));
+  // The paper's query is itself a valid proof obligation in our framework.
+  EXPECT_TRUE(S.isValid(M.mkImplies(M.mkAnd(PaperGamma, AR.Invariants),
+                                    AR.SuccessCondition)));
+}
+
+TEST_F(IntroExampleTest, FailureWitnessIsNotFlagAndNegativeSum) {
+  VarId Ai = AR.LoopExitVars.at({0, "i"});
+  VarId Aj = AR.LoopExitVars.at({0, "j"});
+  VarId Flag = AR.InputVars.at("flag");
+  AbductionResult Upsilon =
+      Abd.failureWitness(AR.Invariants, AR.SuccessCondition);
+  ASSERT_TRUE(Upsilon.Found);
+  // The paper's weakest minimum failure witness:
+  // ¬flag ∧ alpha_i + alpha_j < 0.
+  const Formula *Expect =
+      M.mkAnd(M.mkEq(var(Flag), LinearExpr::constant(0)),
+              M.mkLt(var(Ai).add(var(Aj)), LinearExpr::constant(0)));
+  EXPECT_TRUE(S.isValid(
+      M.mkImplies(AR.Invariants, M.mkIff(Upsilon.Fml, Expect))))
+      << "got: " << toString(Upsilon.Fml, M.vars());
+}
+
+TEST_F(IntroExampleTest, ObligationCheaperThanWitness) {
+  // The paper's engine decides discharging is more promising: the proof
+  // obligation is cheaper than the failure witness.
+  AbductionResult Gamma =
+      Abd.proofObligation(AR.Invariants, AR.SuccessCondition);
+  AbductionResult Upsilon =
+      Abd.failureWitness(AR.Invariants, AR.SuccessCondition);
+  ASSERT_TRUE(Gamma.Found);
+  ASSERT_TRUE(Upsilon.Found);
+  EXPECT_LE(Gamma.Cost, Upsilon.Cost);
+}
+
+/// Example 1/2 of the paper: a1/a2 variant where Gamma ≡ alpha_j >= 0.
+const char *Example1Source = R"(
+program example1(a1, a2) {
+  var k, i, j, z;
+  if (a2 > 0) { k = a2; } else { k = 1; }
+  while (i < a2 + 1) {
+    i = i + 1;
+    j = j + i;
+  } @ [i > -1 && i > a2]
+  if (a1 > 0) { z = k + i + j; } else { z = 2 * a2 + 1; }
+  check(z > 2 * a2);
+}
+)";
+
+TEST_F(AbductionTest, PaperExample2ObligationIsAlphaJGeZero) {
+  lang::ParseResult P = lang::parseProgram(Example1Source);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  analysis::AnalysisResult AR = analysis::analyzeProgram(*P.Prog, S);
+  AbductionResult Gamma =
+      Abd.proofObligation(AR.Invariants, AR.SuccessCondition);
+  ASSERT_TRUE(Gamma.Found);
+  VarId Aj = AR.LoopExitVars.at({0, "j"});
+  const Formula *Expect =
+      M.mkGe(LinearExpr::variable(Aj), LinearExpr::constant(0));
+  // Example 2: "after simplification, yields alpha_j >= 0".
+  EXPECT_TRUE(S.isValid(
+      M.mkImplies(AR.Invariants, M.mkIff(Gamma.Fml, Expect))))
+      << "got: " << toString(Gamma.Fml, M.vars());
+  EXPECT_EQ(freeVars(Gamma.Fml), std::set<VarId>{Aj});
+}
+
+} // namespace

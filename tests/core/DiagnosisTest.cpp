@@ -1,0 +1,264 @@
+//===- tests/core/DiagnosisTest.cpp - Figure 6 engine tests -----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Diagnosis.h"
+
+#include "core/ErrorDiagnoser.h"
+#include "smt/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::smt;
+
+namespace {
+
+using Ans = Oracle::Answer;
+
+class DiagnosisTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
+  VarId Beta = M.vars().create("beta", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+
+  LinearExpr a() { return LinearExpr::variable(Alpha); }
+  LinearExpr b() { return LinearExpr::variable(Beta); }
+  LinearExpr n() { return LinearExpr::variable(N); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+
+  DiagnosisResult run(const Formula *I, const Formula *Phi, Oracle &O) {
+    DiagnosisEngine E(S);
+    return E.run(I, Phi, O);
+  }
+};
+
+TEST_F(DiagnosisTest, DischargedWithoutQueriesWhenLemma1Applies) {
+  ScriptedOracle O({});
+  DiagnosisResult R = run(M.mkGe(a(), c(5)), M.mkGe(a(), c(0)), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Discharged);
+  EXPECT_TRUE(R.DecidedWithoutQueries);
+  EXPECT_TRUE(R.Transcript.empty());
+}
+
+TEST_F(DiagnosisTest, ValidatedWithoutQueriesWhenLemma2Applies) {
+  ScriptedOracle O({});
+  DiagnosisResult R = run(M.mkGe(a(), c(5)), M.mkLe(a(), c(0)), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Validated);
+  EXPECT_TRUE(R.DecidedWithoutQueries);
+}
+
+TEST_F(DiagnosisTest, YesToObligationDischarges) {
+  // I = true, phi = alpha >= 0: the obligation is alpha >= 0 itself.
+  ScriptedOracle O({Ans::Yes});
+  DiagnosisResult R = run(M.getTrue(), M.mkGe(a(), c(0)), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Discharged);
+  ASSERT_EQ(R.Transcript.size(), 1u);
+  EXPECT_EQ(R.Transcript[0].K, QueryRecord::Kind::Invariant);
+}
+
+TEST_F(DiagnosisTest, NoThenWitnessValidates) {
+  // phi = alpha >= 0 with no invariants. "No" to the obligation teaches
+  // the engine the witness alpha < 0, which contradicts phi -> Validated
+  // (Figure 6 line 4 on the next iteration).
+  ScriptedOracle O({Ans::No});
+  DiagnosisResult R = run(M.getTrue(), M.mkGe(a(), c(0)), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Validated);
+}
+
+TEST_F(DiagnosisTest, WitnessQueryYesValidates) {
+  // phi = (n >= 0 && alpha >= 0): the obligation needs both variables
+  // (cost 1 + |Vars| per Definition 2) while the witness "n < 0 possible"
+  // needs only the cheap input (Definition 9), so the engine asks the
+  // witness first; "yes" validates.
+  ScriptedOracle O({Ans::Yes});
+  DiagnosisResult R =
+      run(M.getTrue(), M.mkAnd(M.mkGe(n(), c(0)), M.mkGe(a(), c(0))), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Validated);
+  ASSERT_GE(R.Transcript.size(), 1u);
+  EXPECT_EQ(R.Transcript[0].K, QueryRecord::Kind::Possible);
+}
+
+TEST_F(DiagnosisTest, WitnessQueryNoLearnsInvariantAndDischarges) {
+  // "No executions with n < 0" teaches n >= 0; the remaining obligation is
+  // "alpha >= 0", answered yes -> discharged.
+  ScriptedOracle O({Ans::No, Ans::Yes});
+  DiagnosisResult R =
+      run(M.getTrue(), M.mkAnd(M.mkGe(n(), c(0)), M.mkGe(a(), c(0))), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Discharged);
+  ASSERT_EQ(R.Transcript.size(), 2u);
+  EXPECT_EQ(R.Transcript[0].K, QueryRecord::Kind::Possible);
+  EXPECT_EQ(R.Transcript[1].K, QueryRecord::Kind::Invariant);
+}
+
+TEST_F(DiagnosisTest, UnknownFallsBackToDifferentQuery) {
+  // First query unknown; Section 5's potential sets must steer the engine
+  // to a different query next, and the run still concludes.
+  ScriptedOracle O({Ans::Unknown, Ans::Yes});
+  DiagnosisResult R =
+      run(M.getTrue(), M.mkAnd(M.mkGe(n(), c(0)), M.mkGe(a(), c(0))), O);
+  EXPECT_NE(R.Outcome, DiagnosisOutcome::Inconclusive);
+  ASSERT_EQ(R.Transcript.size(), 2u);
+  EXPECT_NE(R.Transcript[0].Fml, R.Transcript[1].Fml)
+      << "second query must differ after an unknown answer";
+}
+
+TEST_F(DiagnosisTest, MultiRoundLearning) {
+  // phi = (alpha >= 0 && beta >= 0). Expect per-clause decomposition into
+  // two invariant subqueries; yes to both discharges.
+  ScriptedOracle O({Ans::Yes, Ans::Yes});
+  DiagnosisResult R =
+      run(M.getTrue(), M.mkAnd(M.mkGe(a(), c(0)), M.mkGe(b(), c(0))), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Discharged);
+  EXPECT_EQ(R.Transcript.size(), 2u);
+}
+
+TEST_F(DiagnosisTest, SubqueryLearningSurvivesFailedQuery) {
+  // First clause invariant yes, second no: the engine learns clause 1 as
+  // an invariant and the violation of clause 2 as a witness; with
+  // phi = alpha >= 0 && beta >= 0 the witness beta < 0 then validates.
+  ScriptedOracle O({Ans::Yes, Ans::No});
+  DiagnosisResult R =
+      run(M.getTrue(), M.mkAnd(M.mkGe(a(), c(0)), M.mkGe(b(), c(0))), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Validated);
+}
+
+TEST_F(DiagnosisTest, ConjunctiveWitnessAskedSequentially) {
+  // phi = n1 >= 0 || n2 >= 0 with an unrelated invariant on alpha to keep
+  // |Vars| = 3: the obligation would cost an input at price 3, while the
+  // witness conjunction n1 < 0 && n2 < 0 costs 2, so the witness is asked
+  // first, decomposed into two conditional possibility queries.
+  VarId N2 = M.vars().create("n2", VarKind::Input);
+  LinearExpr N2v = LinearExpr::variable(N2);
+  const Formula *I = M.mkGe(a(), c(0));
+  ScriptedOracle O({Ans::Yes, Ans::Yes});
+  DiagnosisResult R =
+      run(I, M.mkOr(M.mkGe(n(), c(0)), M.mkGe(N2v, c(0))), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Validated);
+  ASSERT_EQ(R.Transcript.size(), 2u);
+  EXPECT_EQ(R.Transcript[0].K, QueryRecord::Kind::Possible);
+  EXPECT_EQ(R.Transcript[1].K, QueryRecord::Kind::Possible);
+  EXPECT_FALSE(R.Transcript[1].Given->isTrue())
+      << "second conjunct asked under the context of the first";
+}
+
+TEST_F(DiagnosisTest, InconclusiveWhenAllUnknown) {
+  std::deque<Ans> Lots(64, Ans::Unknown);
+  ScriptedOracle O(std::move(Lots));
+  DiagnosisResult R = run(M.getTrue(), M.mkGe(a(), n()), O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Inconclusive);
+}
+
+TEST_F(DiagnosisTest, TranscriptTextIsRendered) {
+  ScriptedOracle O({Ans::Yes});
+  DiagnosisResult R = run(M.getTrue(), M.mkGe(a(), c(0)), O);
+  ASSERT_FALSE(R.Transcript.empty());
+  EXPECT_NE(R.Transcript[0].Text.find("every execution"), std::string::npos);
+  EXPECT_NE(R.Transcript[0].Text.find("alpha"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: ErrorDiagnoser + ConcreteOracle classify real programs.
+//===----------------------------------------------------------------------===//
+
+struct EndToEndCase {
+  const char *Name;
+  const char *Source;
+  bool IsRealBug;
+};
+
+const EndToEndCase Cases[] = {
+    {"false_alarm_loop_sum",
+     R"(program p(n) {
+          var i, j;
+          assume(n >= 0);
+          i = 0; j = 0;
+          while (i <= n) { i = i + 1; j = j + i; } @ [i >= 0 && i > n]
+          check(j >= n);
+        })",
+     false},
+    {"real_bug_offset",
+     R"(program p(n) {
+          var i;
+          assume(n >= 0);
+          i = 0;
+          while (i < n) { i = i + 1; } @ [i >= 0 && i >= n]
+          check(i > n);
+        })",
+     true}, // fails when n == 0 (i == 0 == n)
+    {"false_alarm_square",
+     R"(program p(n) {
+          var k;
+          k = n * n;
+          check(k + 1 > 0);
+        })",
+     false},
+    {"real_bug_havoc",
+     R"(program p() {
+          var x;
+          x = havoc();
+          check(x != 10);
+        })",
+     true},
+};
+
+TEST(EndToEndDiagnosisTest, ConcreteOracleClassifiesCorrectly) {
+  for (const EndToEndCase &C : Cases) {
+    ErrorDiagnoser D;
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(C.Source, &Err)) << C.Name << ": " << Err;
+    auto O = D.makeConcreteOracle();
+    DiagnosisResult R = D.diagnose(*O);
+    DiagnosisOutcome Expect =
+        C.IsRealBug ? DiagnosisOutcome::Validated : DiagnosisOutcome::Discharged;
+    EXPECT_EQ(R.Outcome, Expect) << C.Name;
+  }
+}
+
+TEST(EndToEndDiagnosisTest, IntroExampleDischargedWithOneQuery) {
+  const char *Intro = R"(
+program intro(flag, n) {
+  var k, i, j, z;
+  assume(n >= 0);
+  k = 1;
+  if (flag != 0) { k = n * n; }
+  i = 0;
+  j = 0;
+  while (i <= n) {
+    i = i + 1;
+    j = j + i;
+  } @ [i >= 0 && i > n]
+  z = k + i + j;
+  check(z > 2 * n);
+}
+)";
+  ErrorDiagnoser::Options Opts;
+  Opts.AutoAnnotate = false; // the paper's annotation is already present
+  ErrorDiagnoser D(Opts);
+  std::string Err;
+  ASSERT_TRUE(D.loadSource(Intro, &Err)) << Err;
+  EXPECT_FALSE(D.dischargedByAnalysis());
+  EXPECT_FALSE(D.validatedByAnalysis());
+  auto O = D.makeConcreteOracle();
+  DiagnosisResult R = D.diagnose(*O);
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Discharged);
+  // The paper: one simple query ("is j >= n after the loop?") suffices.
+  EXPECT_EQ(R.Transcript.size(), 1u);
+}
+
+TEST(EndToEndDiagnosisTest, GroundTruthMatchesInterpreterExhaustively) {
+  for (const EndToEndCase &C : Cases) {
+    ErrorDiagnoser D;
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(C.Source, &Err)) << C.Name;
+    auto O = D.makeConcreteOracle();
+    EXPECT_EQ(O->anyFailingRun(), C.IsRealBug) << C.Name;
+  }
+}
+
+} // namespace

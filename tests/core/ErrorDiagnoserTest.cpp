@@ -1,0 +1,135 @@
+//===- tests/core/ErrorDiagnoserTest.cpp - Public API tests -----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorDiagnoser.h"
+
+#include "lang/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+const char *SafeLoop = R"(
+program p(n) {
+  var i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  check(i >= 0);
+}
+)";
+
+TEST(ErrorDiagnoserTest, ParseErrorsReported) {
+  ErrorDiagnoser D;
+  std::string Err;
+  EXPECT_FALSE(D.loadSource("program broken(", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ErrorDiagnoserTest, MissingFileReported) {
+  ErrorDiagnoser D;
+  std::string Err;
+  EXPECT_FALSE(D.loadFile("/nonexistent/path.adg", &Err));
+  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+}
+
+TEST(ErrorDiagnoserTest, AutoAnnotationToggle) {
+  // With auto-annotation the interval analysis adds the loop exit facts,
+  // discharging the check; without, the report stays open.
+  {
+    ErrorDiagnoser D; // AutoAnnotate defaults to true
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
+    EXPECT_TRUE(D.dischargedByAnalysis());
+    std::string Printed = lang::programToString(D.program());
+    EXPECT_NE(Printed.find("@ ["), std::string::npos);
+  }
+  {
+    ErrorDiagnoser::Options Opts;
+    Opts.AutoAnnotate = false;
+    ErrorDiagnoser D(Opts);
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
+    EXPECT_FALSE(D.dischargedByAnalysis());
+  }
+}
+
+TEST(ErrorDiagnoserTest, ReloadReplacesProgram) {
+  ErrorDiagnoser D;
+  std::string Err;
+  ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
+  ASSERT_TRUE(
+      D.loadSource("program q(a) { check(a == a); }", &Err))
+      << Err;
+  EXPECT_EQ(D.program().Name, "q");
+  EXPECT_TRUE(D.dischargedByAnalysis());
+}
+
+TEST(ErrorDiagnoserTest, LoadFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "abdiag_test_prog.adg";
+  {
+    std::ofstream Out(Path);
+    Out << SafeLoop;
+  }
+  ErrorDiagnoser D;
+  std::string Err;
+  ASSERT_TRUE(D.loadFile(Path, &Err)) << Err;
+  EXPECT_EQ(D.program().Name, "p");
+  std::remove(Path.c_str());
+}
+
+TEST(ErrorDiagnoserTest, DiagnoseIsRepeatable) {
+  // Engine state must not leak between diagnose() calls.
+  ErrorDiagnoser::Options Opts;
+  Opts.AutoAnnotate = false;
+  ErrorDiagnoser D(Opts);
+  std::string Err;
+  ASSERT_TRUE(D.loadSource(R"(
+program p(n) {
+  var i;
+  assume(n >= 0);
+  i = 0;
+  while (i < n) { i = i + 1; } @ [i >= 0]
+  check(i >= 0);
+}
+)",
+                           &Err))
+      << Err;
+  auto O = D.makeConcreteOracle();
+  DiagnosisResult R1 = D.diagnose(*O);
+  DiagnosisResult R2 = D.diagnose(*O);
+  EXPECT_EQ(R1.Outcome, R2.Outcome);
+  EXPECT_EQ(R1.Transcript.size(), R2.Transcript.size());
+}
+
+TEST(ErrorDiagnoserTest, MaxQueriesBudgetRespected) {
+  ErrorDiagnoser::Options Opts;
+  Opts.Diagnosis.MaxQueries = 1;
+  ErrorDiagnoser D(Opts);
+  std::string Err;
+  // Needs two facts; with a one-query budget the run ends inconclusive (a
+  // lone "yes" to one clause cannot decide the report).
+  ASSERT_TRUE(D.loadSource(R"(
+program p() {
+  var x, y;
+  x = havoc();
+  y = havoc();
+  check(x > 0 && y > 0);
+}
+)",
+                           &Err))
+      << Err;
+  ScriptedOracle O({Oracle::Answer::No});
+  DiagnosisResult R = D.diagnose(O);
+  EXPECT_LE(R.Transcript.size(), 1u);
+}
+
+} // namespace

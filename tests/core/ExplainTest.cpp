@@ -1,0 +1,78 @@
+//===- tests/core/ExplainTest.cpp - Explanation rendering tests -------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Explain.h"
+
+#include "core/ErrorDiagnoser.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+std::string diagnoseAndExplain(const char *Src,
+                               DiagnosisOutcome *OutOutcome = nullptr) {
+  ErrorDiagnoser::Options Opts;
+  Opts.AutoAnnotate = false;
+  ErrorDiagnoser D(Opts);
+  std::string Err;
+  EXPECT_TRUE(D.loadSource(Src, &Err)) << Err;
+  auto O = D.makeConcreteOracle();
+  DiagnosisResult R = D.diagnose(*O);
+  if (OutOutcome)
+    *OutOutcome = R.Outcome;
+  return explainDiagnosis(R, D.analysis(), D.manager().vars());
+}
+
+TEST(ExplainTest, FalseAlarmExplanation) {
+  std::string E = diagnoseAndExplain(R"(
+program p(n) {
+  var i;
+  assume(n >= 0);
+  i = 0;
+  while (i < n) { i = i + 1; } @ [i >= 0]
+  check(i >= 0);
+}
+)");
+  EXPECT_NE(E.find("FALSE ALARM"), std::string::npos) << E;
+  EXPECT_NE(E.find("no user interaction"), std::string::npos) << E;
+}
+
+TEST(ExplainTest, RealBugExplanationListsQuestions) {
+  DiagnosisOutcome Outcome;
+  std::string E = diagnoseAndExplain(R"(
+program p() {
+  var x;
+  x = havoc();
+  check(x != 10);
+}
+)",
+                                     &Outcome);
+  ASSERT_EQ(Outcome, DiagnosisOutcome::Validated);
+  EXPECT_NE(E.find("REAL BUG"), std::string::npos) << E;
+  EXPECT_NE(E.find("1."), std::string::npos) << E;
+  EXPECT_NE(E.find("where:"), std::string::npos) << E;
+  EXPECT_NE(E.find("unknown call"), std::string::npos)
+      << "legend should describe the havoc variable: " << E;
+}
+
+TEST(ExplainTest, QueryTrailNumbersAllQuestions) {
+  std::string E = diagnoseAndExplain(R"(
+program p(n) {
+  var i, j;
+  assume(n >= 0);
+  i = 0; j = 0;
+  while (i <= n) { i = i + 1; j = j + i; } @ [i >= 0 && i > n]
+  check(j >= n);
+}
+)");
+  EXPECT_NE(E.find("Resolved after"), std::string::npos) << E;
+  EXPECT_NE(E.find("->  yes"), std::string::npos) << E;
+}
+
+} // namespace

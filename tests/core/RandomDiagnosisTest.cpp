@@ -1,0 +1,143 @@
+//===- tests/core/RandomDiagnosisTest.cpp - End-to-end soundness property ---===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-pipeline soundness property: for randomly generated programs
+/// (auto-annotated by the interval analysis, diagnosed with the exhaustive
+/// concrete-execution oracle), the verdict must never contradict the ground
+/// truth observed by running the interpreter over the same input box:
+///
+///   * Discharged  => no completed run fails its check;
+///   * Validated   => some completed run fails its check.
+///
+/// This exercises parser, annotator, symbolic analysis, SMT stack, MSA,
+/// abduction, query decomposition and the oracle together on inputs nobody
+/// hand-picked.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorDiagnoser.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+/// Random program with loops, branches, assumes, havoc and products.
+std::string randomProgram(Rng &R) {
+  std::string Src = "program rnd(a, b) {\n  var x, y, z;\n";
+  auto Expr = [&]() {
+    const char *Vars[] = {"a", "b", "x", "y", "z"};
+    std::string E = std::to_string(R.range(-6, 6));
+    for (const char *V : Vars)
+      if (R.chance(0.35))
+        E += std::string(" + ") + std::to_string(R.range(-2, 2)) + " * " + V;
+    return E;
+  };
+  if (R.chance(0.6))
+    Src += "  assume(a >= " + std::to_string(R.range(-2, 2)) + ");\n";
+  int N = static_cast<int>(R.range(2, 6));
+  for (int I = 0; I < N; ++I) {
+    const char *T = R.chance(0.5) ? "x" : (R.chance(0.5) ? "y" : "z");
+    switch (R.range(0, 4)) {
+    case 0:
+      Src += std::string("  ") + T + " = " + Expr() + ";\n";
+      break;
+    case 1:
+      Src += std::string("  if (") + Expr() + " > " + Expr() + ") { " + T +
+             " = " + Expr() + "; } else { " + T + " = " + Expr() + "; }\n";
+      break;
+    case 2: {
+      // A bounded counting loop (always terminates).
+      std::string Bound = std::to_string(R.range(1, 6));
+      Src += std::string("  ") + T + " = 0;\n";
+      Src += std::string("  while (") + T + " < " + Bound + ") { " + T +
+             " = " + T + " + 1; }\n";
+      break;
+    }
+    case 3:
+      Src += std::string("  ") + T + " = havoc();\n";
+      break;
+    default:
+      Src += std::string("  ") + T + " = " + (R.chance(0.5) ? "a" : "b") +
+             " * " + (R.chance(0.5) ? "a" : "b") + ";\n";
+      break;
+    }
+  }
+  Src += std::string("  check(") + Expr() +
+         (R.chance(0.5) ? " >= " : " != ") + Expr() + ");\n}\n";
+  return Src;
+}
+
+TEST(RandomDiagnosisTest, VerdictNeverContradictsGroundTruth) {
+  Rng R(20260704);
+  int Discharged = 0, Validated = 0, Inconclusive = 0;
+  for (int Round = 0; Round < 60; ++Round) {
+    std::string Src = randomProgram(R);
+    ErrorDiagnoser D;
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(Src, &Err)) << Err << "\n" << Src;
+    ConcreteOracleConfig Config;
+    Config.InputBound = 5; // keep 60 programs fast
+    auto Oracle = D.makeConcreteOracle(Config);
+    if (!Oracle->anyCompletedRun())
+      continue; // assume() filtered everything out
+    bool GroundTruthBug = Oracle->anyFailingRun();
+    DiagnosisResult Res = D.diagnose(*Oracle);
+    switch (Res.Outcome) {
+    case DiagnosisOutcome::Discharged:
+      ++Discharged;
+      EXPECT_FALSE(GroundTruthBug)
+          << "discharged a failing program (round " << Round << "):\n"
+          << Src;
+      break;
+    case DiagnosisOutcome::Validated:
+      ++Validated;
+      EXPECT_TRUE(GroundTruthBug)
+          << "validated a safe program (round " << Round << "):\n"
+          << Src;
+      break;
+    case DiagnosisOutcome::Inconclusive:
+      ++Inconclusive;
+      break;
+    }
+  }
+  // The pipeline should decide the overwhelming majority of these.
+  EXPECT_GT(Discharged + Validated, 40)
+      << "discharged=" << Discharged << " validated=" << Validated
+      << " inconclusive=" << Inconclusive;
+  EXPECT_GT(Discharged, 5);
+  EXPECT_GT(Validated, 5);
+}
+
+TEST(RandomDiagnosisTest, LemmasSoundOnRandomPrograms) {
+  // When the analysis alone decides (Lemmas 1/2), concrete runs must agree
+  // even before any oracle is involved.
+  Rng R(777777);
+  for (int Round = 0; Round < 60; ++Round) {
+    std::string Src = randomProgram(R);
+    ErrorDiagnoser D;
+    std::string Err;
+    ASSERT_TRUE(D.loadSource(Src, &Err)) << Err << "\n" << Src;
+    ConcreteOracleConfig Config;
+    Config.InputBound = 5;
+    auto Oracle = D.makeConcreteOracle(Config);
+    if (!Oracle->anyCompletedRun())
+      continue;
+    if (D.dischargedByAnalysis()) {
+      EXPECT_FALSE(Oracle->anyFailingRun()) << Src;
+    }
+    if (D.validatedByAnalysis()) {
+      EXPECT_TRUE(Oracle->anyFailingRun()) << Src;
+    }
+  }
+}
+
+} // namespace

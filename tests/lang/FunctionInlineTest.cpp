@@ -1,0 +1,229 @@
+//===- tests/lang/FunctionInlineTest.cpp - Function inlining tests ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Interp.h"
+#include "lang/Parser.h"
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "core/ErrorDiagnoser.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+TEST(FunctionInlineTest, SimpleCall) {
+  Program P = parse(R"(
+function add(a, b) {
+  var r;
+  r = a + b;
+  return r;
+}
+program main(x) {
+  var y;
+  y = add(x, 1);
+  check(y == x + 1);
+}
+)");
+  for (int64_t X = -5; X <= 5; ++X)
+    EXPECT_EQ(runProgram(P, {X}).Status, RunStatus::CheckPassed) << X;
+}
+
+TEST(FunctionInlineTest, MultipleCallSitesAreIndependent) {
+  Program P = parse(R"(
+function square(v) {
+  var r;
+  r = v * v;
+  return r;
+}
+program main(x) {
+  var a, b;
+  a = square(x);
+  b = square(x + 1);
+  check(a + b >= 0 || a + b < 0);
+}
+)");
+  // Two inlined copies: their locals must not collide.
+  RunResult R = runProgram(P, {3});
+  EXPECT_EQ(R.Status, RunStatus::CheckPassed);
+  EXPECT_EQ(R.FinalStore.at("a"), 9);
+  EXPECT_EQ(R.FinalStore.at("b"), 16);
+}
+
+TEST(FunctionInlineTest, CalleeLocalsResetPerCall) {
+  // The accumulator local starts at 0 in every call.
+  Program P = parse(R"(
+function count_up(n) {
+  var i, acc;
+  i = 0;
+  acc = 0;
+  while (i < n) {
+    i = i + 1;
+    acc = acc + 1;
+  }
+  return acc;
+}
+program main(x) {
+  var a, b;
+  assume(x >= 0);
+  assume(x <= 10);
+  a = count_up(x);
+  b = count_up(x);
+  check(a == b);
+}
+)");
+  for (int64_t X = 0; X <= 10; ++X)
+    EXPECT_EQ(runProgram(P, {X}).Status, RunStatus::CheckPassed) << X;
+}
+
+TEST(FunctionInlineTest, LoopsGetFreshIdsPerInline) {
+  Program P = parse(R"(
+function spin(n) {
+  var i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  return i;
+}
+program main(x) {
+  var a, b;
+  assume(x >= 0);
+  a = spin(x);
+  b = spin(x + 1);
+  check(b == a + 1);
+}
+)");
+  EXPECT_EQ(P.NumLoops, 2u) << "each inline gets its own loop";
+  RunResult R = runProgram(P, {4});
+  EXPECT_EQ(R.Status, RunStatus::CheckPassed);
+  // Both loop-exit records exist.
+  EXPECT_EQ(R.LoopExitValues.size(), 2u);
+}
+
+TEST(FunctionInlineTest, HavocSitesFreshPerInline) {
+  Program P = parse(R"(
+function read() {
+  var r;
+  r = havoc();
+  return r;
+}
+program main() {
+  var a, b;
+  a = read();
+  b = read();
+  check(a == b || a != b);
+}
+)");
+  EXPECT_EQ(P.NumHavocs, 2u);
+  // Different sites can produce different values.
+  auto Havoc = [](uint32_t Site, uint64_t) -> int64_t { return Site; };
+  RunResult R = runProgram(P, {}, 1000, Havoc);
+  EXPECT_NE(R.FinalStore.at("a"), R.FinalStore.at("b"));
+}
+
+TEST(FunctionInlineTest, NestedCallsThroughDefinitionOrder) {
+  Program P = parse(R"(
+function twice(v) {
+  var r;
+  r = 2 * v;
+  return r;
+}
+function quad(v) {
+  var t, r;
+  t = twice(v);
+  r = twice(t);
+  return r;
+}
+program main(x) {
+  var y;
+  y = quad(x);
+  check(y == 4 * x);
+}
+)");
+  for (int64_t X = -3; X <= 3; ++X)
+    EXPECT_EQ(runProgram(P, {X}).Status, RunStatus::CheckPassed) << X;
+}
+
+TEST(FunctionInlineTest, RecursionRejected) {
+  ParseResult R = parseProgram(R"(
+function f(n) {
+  var r;
+  r = f(n - 1);
+  return r;
+}
+program main(x) { var y; y = f(x); check(y >= 0); }
+)");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(FunctionInlineTest, ArityMismatchRejected) {
+  ParseResult R = parseProgram(R"(
+function f(a, b) { var r; r = a + b; return r; }
+program main(x) { var y; y = f(x); check(y >= 0); }
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("argument"), std::string::npos);
+}
+
+TEST(FunctionInlineTest, CallInsideExpressionRejected) {
+  ParseResult R = parseProgram(R"(
+function f(a) { var r; r = a; return r; }
+program main(x) { var y; y = f(x) + 1; check(y >= 0); }
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("right-hand side"), std::string::npos);
+}
+
+TEST(FunctionInlineTest, InlinedProgramRoundTripsThroughPrinter) {
+  Program P = parse(R"(
+function add(a, b) { var r; r = a + b; return r; }
+program main(x) { var y; y = add(x, 1); check(y > x); }
+)");
+  std::string Printed = programToString(P);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(Printed, programToString(*R2.Prog));
+}
+
+TEST(FunctionInlineTest, DiagnosisWorksAcrossCalls) {
+  // End to end: a false alarm whose resolution needs a fact about a loop
+  // inside a callee.
+  const char *Src = R"(
+function sum_to(n) {
+  var i, s;
+  i = 0;
+  s = 0;
+  while (i < n) {
+    i = i + 1;
+    s = s + i;
+  } @ [i >= 0 && i >= n]
+  return s;
+}
+program main(n) {
+  var total;
+  assume(n >= 1);
+  total = sum_to(n);
+  check(total >= n);
+}
+)";
+  core::ErrorDiagnoser D;
+  std::string Err;
+  ASSERT_TRUE(D.loadSource(Src, &Err)) << Err;
+  EXPECT_FALSE(D.dischargedByAnalysis());
+  auto O = D.makeConcreteOracle();
+  core::DiagnosisResult R = D.diagnose(*O);
+  EXPECT_EQ(R.Outcome, core::DiagnosisOutcome::Discharged);
+}
+
+} // namespace

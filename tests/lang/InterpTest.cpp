@@ -1,0 +1,160 @@
+//===- tests/lang/InterpTest.cpp - Concrete interpreter tests ---------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Interp.h"
+
+#include "lang/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(*R.Prog);
+}
+
+TEST(InterpTest, StraightLineArithmetic) {
+  Program P = parse(
+      "program p(a, b) { var c; c = a * 2 + b - 3; check(c == a + a + b - 3); }");
+  for (int64_t A = -3; A <= 3; ++A)
+    for (int64_t B = -3; B <= 3; ++B)
+      EXPECT_EQ(runProgram(P, {A, B}).Status, RunStatus::CheckPassed);
+}
+
+TEST(InterpTest, LocalsStartAtZero) {
+  Program P = parse("program p() { var x; check(x == 0); }");
+  EXPECT_EQ(runProgram(P, {}).Status, RunStatus::CheckPassed);
+}
+
+TEST(InterpTest, IfElseBranches) {
+  Program P = parse(R"(
+program p(a) {
+  var r;
+  if (a > 0) { r = 1; } else { r = 2; }
+  check(r == 1 || r == 2);
+}
+)");
+  EXPECT_EQ(runProgram(P, {5}).Status, RunStatus::CheckPassed);
+  EXPECT_EQ(runProgram(P, {-5}).Status, RunStatus::CheckPassed);
+  EXPECT_EQ(runProgram(P, {5}).FinalStore.at("r"), 1);
+  EXPECT_EQ(runProgram(P, {-5}).FinalStore.at("r"), 2);
+}
+
+TEST(InterpTest, WhileLoopSum) {
+  // Sum 1..n.
+  Program P = parse(R"(
+program p(n) {
+  var i, s;
+  i = 0;
+  s = 0;
+  while (i < n) {
+    i = i + 1;
+    s = s + i;
+  }
+  check(2 * s == n * (n + 1) || n < 0);
+}
+)");
+  for (int64_t N = -2; N <= 10; ++N)
+    EXPECT_EQ(runProgram(P, {N}).Status, RunStatus::CheckPassed) << N;
+}
+
+TEST(InterpTest, LoopExitValuesRecorded) {
+  Program P = parse(R"(
+program p(n) {
+  var i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  i = 99;
+  check(i == 99);
+}
+)");
+  RunResult R = runProgram(P, {5});
+  ASSERT_EQ(R.Status, RunStatus::CheckPassed);
+  // The alpha value of i after loop 0 is 5, even though i is 99 at the end.
+  ASSERT_TRUE(R.LoopExitValues.count(0));
+  EXPECT_EQ(R.LoopExitValues.at(0).at("i"), 5);
+  EXPECT_EQ(R.FinalStore.at("i"), 99);
+}
+
+TEST(InterpTest, CheckFailureDetected) {
+  Program P = parse("program p(a) { check(a != 3); }");
+  EXPECT_EQ(runProgram(P, {3}).Status, RunStatus::CheckFailed);
+  EXPECT_EQ(runProgram(P, {4}).Status, RunStatus::CheckPassed);
+}
+
+TEST(InterpTest, AssumeDiscardsExecutions) {
+  Program P = parse("program p(a) { assume(a > 0); check(a > -1); }");
+  EXPECT_EQ(runProgram(P, {-5}).Status, RunStatus::AssumeViolated);
+  EXPECT_EQ(runProgram(P, {5}).Status, RunStatus::CheckPassed);
+}
+
+TEST(InterpTest, FuelExhaustion) {
+  Program P = parse(R"(
+program p() {
+  var i;
+  while (0 < 1) { i = i + 1; }
+  check(i == 0);
+}
+)");
+  EXPECT_EQ(runProgram(P, {}, /*Fuel=*/100).Status, RunStatus::OutOfFuel);
+}
+
+TEST(InterpTest, HavocCallback) {
+  Program P = parse(
+      "program p() { var x, y; x = havoc(); y = havoc(); check(x < y); }");
+  auto Havoc = [](uint32_t Site, uint64_t) -> int64_t {
+    return Site == 0 ? 1 : 2;
+  };
+  EXPECT_EQ(runProgram(P, {}, 1000, Havoc).Status, RunStatus::CheckPassed);
+  auto Havoc2 = [](uint32_t, uint64_t) -> int64_t { return 7; };
+  EXPECT_EQ(runProgram(P, {}, 1000, Havoc2).Status, RunStatus::CheckFailed);
+}
+
+TEST(InterpTest, ShortCircuitSemanticsMatchCpp) {
+  // a != 0 && 10 / a ... division is not in the language; emulate with
+  // nested comparisons. This test pins down && / || evaluation as boolean.
+  Program P = parse(R"(
+program p(a) {
+  var r;
+  if (a > 0 && a < 10) { r = 1; } else { r = 0; }
+  if (a < 0 || a > 100) { r = r + 2; }
+  check(r >= 0 && r <= 3);
+}
+)");
+  for (int64_t A : {-50, 0, 5, 50, 150})
+    EXPECT_EQ(runProgram(P, {A}).Status, RunStatus::CheckPassed) << A;
+}
+
+TEST(InterpTest, NestedLoops) {
+  Program P = parse(R"(
+program p(n) {
+  var i, j, c;
+  assume(n >= 0);
+  assume(n <= 8);
+  i = 0;
+  c = 0;
+  while (i < n) {
+    j = 0;
+    while (j < n) {
+      j = j + 1;
+      c = c + 1;
+    }
+    i = i + 1;
+  }
+  check(c == n * n);
+}
+)");
+  for (int64_t N = 0; N <= 8; ++N)
+    EXPECT_EQ(runProgram(P, {N}).Status, RunStatus::CheckPassed) << N;
+}
+
+} // namespace

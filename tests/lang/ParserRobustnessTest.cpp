@@ -1,0 +1,124 @@
+//===- tests/lang/ParserRobustnessTest.cpp - Fuzz-ish parser tests ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Robustness properties: the parsers must never crash -- every input
+/// either parses or yields a diagnostic -- and printing a parsed program is
+/// a fixpoint (print . parse . print == print).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lang/AstPrinter.h"
+#include "lang/Parser.h"
+#include "smt/FormulaParser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+TEST(ParserRobustnessTest, RandomTokenSoupNeverCrashes) {
+  const char *Pieces[] = {"program", "function", "p",     "(",  ")",  "{",
+                          "}",       "var",      "x",     ";",  "=",  "+",
+                          "-",       "*",        "while", "if", "@",  "[",
+                          "]",       "check",    "1",     "<",  "&&", "!",
+                          "havoc",   "return",   ",",     "assume"};
+  Rng R(321);
+  for (int Round = 0; Round < 500; ++Round) {
+    std::string Src;
+    int Len = static_cast<int>(R.range(1, 60));
+    for (int I = 0; I < Len; ++I) {
+      Src += Pieces[R.range(0, static_cast<int64_t>(std::size(Pieces)) - 1)];
+      Src += ' ';
+    }
+    ParseResult P = parseProgram(Src);
+    if (!P.ok()) {
+      EXPECT_FALSE(P.Error.empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomBytesNeverCrash) {
+  Rng R(99);
+  for (int Round = 0; Round < 300; ++Round) {
+    std::string Src;
+    int Len = static_cast<int>(R.range(0, 200));
+    for (int I = 0; I < Len; ++I)
+      Src += static_cast<char>(R.range(1, 127));
+    ParseResult P = parseProgram(Src);
+    if (!P.ok()) {
+      EXPECT_FALSE(P.Error.empty());
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, FormulaParserRandomBytesNeverCrash) {
+  Rng R(7);
+  smt::FormulaManager M;
+  for (int Round = 0; Round < 300; ++Round) {
+    std::string Src;
+    int Len = static_cast<int>(R.range(0, 80));
+    for (int I = 0; I < Len; ++I)
+      Src += static_cast<char>(R.range(32, 126));
+    smt::FormulaParseResult P = smt::parseFormula(M, Src);
+    if (!P.ok()) {
+      EXPECT_FALSE(P.Error.empty());
+    }
+  }
+}
+
+/// Random well-formed program generator (straight-line + ifs + loops).
+std::string randomProgram(Rng &R) {
+  std::string Src = "program rnd(a, b) {\n  var x, y;\n";
+  auto Expr = [&]() {
+    const char *Vars[] = {"a", "b", "x", "y"};
+    std::string E = std::to_string(R.range(-9, 9));
+    for (const char *V : Vars)
+      if (R.chance(0.4))
+        E += std::string(" + ") + std::to_string(R.range(-3, 3)) + " * " + V;
+    return E;
+  };
+  int N = static_cast<int>(R.range(1, 6));
+  for (int I = 0; I < N; ++I) {
+    const char *T = R.chance(0.5) ? "x" : "y";
+    switch (R.range(0, 3)) {
+    case 0:
+      Src += std::string("  ") + T + " = " + Expr() + ";\n";
+      break;
+    case 1:
+      Src += std::string("  if (") + Expr() + " > " + Expr() + ") { " + T +
+             " = " + Expr() + "; } else { skip; }\n";
+      break;
+    case 2:
+      Src += std::string("  while (") + T + " < " + std::to_string(R.range(0, 5)) +
+             ") { " + T + " = " + T + " + 1; }\n";
+      break;
+    default:
+      Src += std::string("  assume(") + Expr() + " <= " + Expr() + ");\n";
+      break;
+    }
+  }
+  Src += "  check(x + y >= a - b);\n}\n";
+  return Src;
+}
+
+TEST(ParserRobustnessTest, PropertyPrintIsFixpoint) {
+  Rng R(1234);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::string Src = randomProgram(R);
+    ParseResult P1 = parseProgram(Src);
+    ASSERT_TRUE(P1.ok()) << P1.Error << "\n" << Src;
+    std::string Printed1 = programToString(*P1.Prog);
+    ParseResult P2 = parseProgram(Printed1);
+    ASSERT_TRUE(P2.ok()) << P2.Error << "\n" << Printed1;
+    EXPECT_EQ(Printed1, programToString(*P2.Prog)) << "round " << Round;
+  }
+}
+
+} // namespace

@@ -1,0 +1,175 @@
+//===- tests/lang/ParserTest.cpp - Lexer and parser unit tests --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/AstPrinter.h"
+#include "lang/Lexer.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto Toks = tokenize("program foo(x) { x = x + 41; }");
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwProgram);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "foo");
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto Toks = tokenize("<= >= == != && || < > = !");
+  std::vector<TokKind> Kinds;
+  for (const auto &T : Toks)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expect = {
+      TokKind::Le,     TokKind::Ge,   TokKind::EqEq, TokKind::NotEq,
+      TokKind::AndAnd, TokKind::OrOr, TokKind::Lt,   TokKind::Gt,
+      TokKind::Assign, TokKind::Bang, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expect);
+}
+
+TEST(LexerTest, CommentsAndPositions) {
+  auto Toks = tokenize("x // comment\n# another\ny");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "x");
+  EXPECT_EQ(Toks[1].Text, "y");
+  EXPECT_EQ(Toks[1].Line, 3u);
+}
+
+TEST(LexerTest, NumbersAndInvalidChars) {
+  auto Toks = tokenize("12345 $");
+  EXPECT_EQ(Toks[0].Kind, TokKind::Number);
+  EXPECT_EQ(Toks[0].Number, 12345);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Error);
+}
+
+const char *Intro = R"(
+program intro(flag, n) {
+  var k, i, j, z;
+  assume(n >= 0);
+  k = 1;
+  if (flag != 0) { k = n * n; }
+  i = 0;
+  j = 0;
+  while (i <= n) {
+    i = i + 1;
+    j = j + i;
+  } @ [i >= 0 && i > n]
+  z = k + i + j;
+  check(z > 2 * n);
+}
+)";
+
+TEST(ParserTest, ParsesIntroExample) {
+  ParseResult R = parseProgram(Intro);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.Name, "intro");
+  EXPECT_EQ(P.Params, (std::vector<std::string>{"flag", "n"}));
+  EXPECT_EQ(P.Locals, (std::vector<std::string>{"k", "i", "j", "z"}));
+  EXPECT_EQ(P.NumLoops, 1u);
+  ASSERT_NE(P.Check, nullptr);
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  ParseResult R1 = parseProgram(Intro);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  std::string Printed = programToString(*R1.Prog);
+  ParseResult R2 = parseProgram(Printed);
+  ASSERT_TRUE(R2.ok()) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(Printed, programToString(*R2.Prog)) << "printer not idempotent";
+}
+
+TEST(ParserTest, LoopAnnotationAttached) {
+  ParseResult R = parseProgram(Intro);
+  ASSERT_TRUE(R.ok());
+  const auto *Body = cast<BlockStmt>(R.Prog->Body);
+  const WhileStmt *Loop = nullptr;
+  for (const Stmt *S : Body->stmts())
+    if (const auto *W = dyn_cast<WhileStmt>(S))
+      Loop = W;
+  ASSERT_NE(Loop, nullptr);
+  ASSERT_NE(Loop->annot(), nullptr);
+  EXPECT_EQ(predToString(Loop->annot()), "i >= 0 && i > n");
+}
+
+TEST(ParserTest, UndeclaredVariableRejected) {
+  ParseResult R = parseProgram("program p(a) { b = 1; check(a > 0); }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("undeclared"), std::string::npos);
+}
+
+TEST(ParserTest, DuplicateDeclarationRejected) {
+  ParseResult R =
+      parseProgram("program p(a) { var a; check(a > 0); }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("duplicate"), std::string::npos);
+}
+
+TEST(ParserTest, MissingCheckRejected) {
+  ParseResult R = parseProgram("program p(a) { a = 1; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  ParseResult R = parseProgram("program p(a) {\n  a = ;\n check(a>0); }");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("line 2"), std::string::npos) << R.Error;
+}
+
+TEST(ParserTest, ParenthesizedPredicatesAndExpressions) {
+  // Both uses of parentheses: grouping a predicate and grouping arithmetic.
+  ParseResult R = parseProgram(
+      "program p(a, b) { var c; c = (a + b) * 2; "
+      "if ((a > 0 && b > 0) || (a + 1) < b) { c = 0; } check(c >= 0); }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(ParserTest, UnaryMinusAndPrecedence) {
+  ParseResult R = parseProgram(
+      "program p(a) { var c; c = -a + 2 * a - 1; check(c == a - 1); }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // 2 * a binds tighter than +.
+  std::string S = programToString(*R.Prog);
+  EXPECT_NE(S.find("2 * a"), std::string::npos);
+}
+
+TEST(ParserTest, HavocSitesNumbered) {
+  ParseResult R = parseProgram(
+      "program p() { var x, y; x = havoc(); y = havoc(); check(x == y); }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Prog->NumHavocs, 2u);
+}
+
+TEST(ParserTest, ElseIfChains) {
+  ParseResult R = parseProgram(R"(
+program p(a) {
+  var r;
+  if (a > 10) { r = 2; }
+  else if (a > 5) { r = 1; }
+  else { r = 0; }
+  check(r >= 0);
+}
+)");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(ParserTest, ProgramLocCountsNonBlankLines) {
+  ParseResult R = parseProgram(Intro);
+  ASSERT_TRUE(R.ok());
+  size_t Loc = programLoc(*R.Prog);
+  EXPECT_GE(Loc, 12u);
+  EXPECT_LE(Loc, 20u);
+}
+
+} // namespace

@@ -1,0 +1,315 @@
+//===- tests/smt/CooperTest.cpp - Quantifier elimination tests --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Cooper.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class CooperTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+  VarId Z = M.vars().create("z", VarKind::Input);
+
+  LinearExpr x(int64_t C = 1) { return LinearExpr::variable(X, C); }
+  LinearExpr y(int64_t C = 1) { return LinearExpr::variable(Y, C); }
+  LinearExpr z(int64_t C = 1) { return LinearExpr::variable(Z, C); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+};
+
+TEST_F(CooperTest, ExistsOfFreeFormulaIsIdentity) {
+  const Formula *F = M.mkLe(y(), c(3));
+  EXPECT_EQ(eliminateExists(M, F, X), F);
+}
+
+TEST_F(CooperTest, ExistsUnboundedIsTrue) {
+  // ∃x. x <= y is always true.
+  const Formula *R = eliminateExists(M, M.mkLe(x(), y()), X);
+  EXPECT_TRUE(S.isValid(R));
+  EXPECT_FALSE(containsVar(R, X));
+}
+
+TEST_F(CooperTest, ExistsBetweenBounds) {
+  // ∃x. y <= x && x <= z  <=>  y <= z.
+  const Formula *F = M.mkAnd(M.mkLe(y(), x()), M.mkLe(x(), z()));
+  const Formula *R = eliminateExists(M, F, X);
+  EXPECT_FALSE(containsVar(R, X));
+  EXPECT_TRUE(S.equivalent(R, M.mkLe(y(), z())));
+}
+
+TEST_F(CooperTest, ExistsEmptyInterval) {
+  // ∃x. y < x && x < y+1 is false over integers.
+  const Formula *F = M.mkAnd(M.mkLt(y(), x()), M.mkLt(x(), y().addConst(1)));
+  const Formula *R = eliminateExists(M, F, X);
+  EXPECT_FALSE(S.isSat(R));
+}
+
+TEST_F(CooperTest, ExistsWithCoefficient) {
+  // ∃x. 2x = y  <=>  2 | y.
+  const Formula *R = eliminateExists(M, M.mkEq(x(2), y()), X);
+  EXPECT_FALSE(containsVar(R, X));
+  EXPECT_TRUE(S.equivalent(R, M.mkDiv(2, y())));
+}
+
+TEST_F(CooperTest, ExistsWithDivisibility) {
+  // ∃x. (3 | x) && y <= x && x <= y + 2: always true (some multiple of 3
+  // lies in any window of length 3).
+  const Formula *F = M.mkAnd(
+      {M.mkDiv(3, x()), M.mkLe(y(), x()), M.mkLe(x(), y().addConst(2))});
+  const Formula *R = eliminateExists(M, F, X);
+  EXPECT_TRUE(S.isValid(R));
+}
+
+TEST_F(CooperTest, ExistsWithDivisibilityTightWindow) {
+  // ∃x. (3 | x) && y <= x && x <= y + 1: holds iff y or y+1 is divisible
+  // by 3, i.e. not (3 | y + 2).
+  const Formula *F = M.mkAnd(
+      {M.mkDiv(3, x()), M.mkLe(y(), x()), M.mkLe(x(), y().addConst(1))});
+  const Formula *R = eliminateExists(M, F, X);
+  EXPECT_TRUE(
+      S.equivalent(R, M.mkAtom(AtomRel::NDiv, y().addConst(2), 3)));
+}
+
+TEST_F(CooperTest, ForallUnsatisfiableBound) {
+  // ∀x. x <= y is false (x unbounded above).
+  const Formula *R = eliminateForall(M, M.mkLe(x(), y()), X);
+  EXPECT_FALSE(S.isSat(R));
+}
+
+TEST_F(CooperTest, ForallOfDisjunctionCaseSplit) {
+  // ∀x. (x <= y || x >= y + 1) is true.
+  const Formula *F = M.mkOr(M.mkLe(x(), y()), M.mkGe(x(), y().addConst(1)));
+  EXPECT_TRUE(S.isValid(eliminateForall(M, F, X)));
+  // ∀x. (x <= y || x >= y + 2) is false.
+  const Formula *G = M.mkOr(M.mkLe(x(), y()), M.mkGe(x(), y().addConst(2)));
+  EXPECT_FALSE(S.isSat(eliminateForall(M, G, X)));
+}
+
+TEST_F(CooperTest, ForallImplicationWeakestCondition) {
+  // ∀x. (x >= y => x >= z)  <=>  z <= y.
+  const Formula *F = M.mkImplies(M.mkGe(x(), y()), M.mkGe(x(), z()));
+  const Formula *R = eliminateForall(M, F, X);
+  EXPECT_TRUE(S.equivalent(R, M.mkLe(z(), y())));
+}
+
+TEST_F(CooperTest, MultiVariableElimination) {
+  // ∃x,y. x <= z && z <= x + 0 && y = x  (forces nothing on z) == true.
+  const Formula *F = M.mkAnd(
+      {M.mkLe(x(), z()), M.mkLe(z(), x()), M.mkEq(y(), x())});
+  const Formula *R = eliminateExists(M, F, std::vector<VarId>{X, Y});
+  EXPECT_TRUE(S.isValid(R));
+}
+
+TEST_F(CooperTest, EliminationPreservesEquisatisfiability) {
+  // ∃x. 4x >= z && 3x <= y  <=>  exists integer x in [ceil(z/4), floor(y/3)].
+  const Formula *F = M.mkAnd(M.mkGe(x(4), z()), M.mkLe(x(3), y()));
+  const Formula *R = eliminateExists(M, F, X);
+  EXPECT_FALSE(containsVar(R, X));
+  // Spot check semantics on a grid by substituting z and y values.
+  for (int64_t VZ = -8; VZ <= 8; VZ += 2)
+    for (int64_t VY = -8; VY <= 8; VY += 2) {
+      bool Expected = false;
+      for (int64_t VX = -10; VX <= 10 && !Expected; ++VX)
+        Expected = 4 * VX >= VZ && 3 * VX <= VY;
+      bool Got = evaluate(R, [&](VarId V) { return V == Z ? VZ : VY; });
+      EXPECT_EQ(Got, Expected) << "z=" << VZ << " y=" << VY;
+    }
+}
+
+TEST_F(CooperTest, ModelFinderBasics) {
+  std::unordered_map<VarId, int64_t> Model;
+  const Formula *F = M.mkAnd({M.mkGe(x(), c(3)), M.mkLe(x(), c(3)),
+                              M.mkEq(y(), x().scaled(2))});
+  ASSERT_TRUE(findModelByQe(M, F, Model));
+  EXPECT_EQ(Model.at(X), 3);
+  EXPECT_EQ(Model.at(Y), 6);
+}
+
+TEST_F(CooperTest, ModelFinderUnsat) {
+  std::unordered_map<VarId, int64_t> Model;
+  const Formula *F = M.mkAnd(M.mkGe(x(), c(3)), M.mkLe(x(), c(2)));
+  EXPECT_FALSE(findModelByQe(M, F, Model));
+}
+
+TEST_F(CooperTest, ModelFinderParity) {
+  std::unordered_map<VarId, int64_t> Model;
+  // 2x = 2y + 1 is the classic branch-and-bound diverger.
+  const Formula *F = M.mkEq(x(2), y(2).addConst(1));
+  EXPECT_FALSE(findModelByQe(M, F, Model));
+}
+
+TEST_F(CooperTest, ModelFinderDivisibility) {
+  std::unordered_map<VarId, int64_t> Model;
+  const Formula *F = M.mkAnd({M.mkDiv(7, x()), M.mkGe(x(), c(15)),
+                              M.mkLe(x(), c(30)), M.mkNe(x(), c(21))});
+  ASSERT_TRUE(findModelByQe(M, F, Model));
+  EXPECT_EQ(Model.at(X), 28);
+}
+
+// Property: ∃x.F computed by QE agrees with a bounded existential check,
+// for random F whose other variable is boxed.
+TEST_F(CooperTest, PropertyQeAgreesWithEnumeration) {
+  Rng R(555);
+  for (int Round = 0; Round < 120; ++Round) {
+    std::vector<const Formula *> Parts;
+    int N = static_cast<int>(R.range(1, 3));
+    for (int I = 0; I < N; ++I) {
+      LinearExpr E = x(R.range(-3, 3)).add(y(R.range(-2, 2)))
+                         .addConst(R.range(-4, 4));
+      if (R.chance(0.25))
+        Parts.push_back(M.mkAtom(AtomRel::Div, E, R.range(2, 3)));
+      else
+        Parts.push_back(M.mkAtom(AtomRel::Le, E));
+    }
+    const Formula *Core =
+        R.chance(0.5) ? M.mkAnd(Parts) : M.mkOr(Parts);
+    // Keep x bounded so enumeration is sound: the formula constrains x
+    // within [-12, 12] via explicit bounds.
+    const Formula *F =
+        M.mkAnd({Core, M.mkGe(x(), c(-12)), M.mkLe(x(), c(12))});
+    const Formula *R1 = eliminateExists(M, F, X);
+    ASSERT_FALSE(containsVar(R1, X));
+    for (int64_t VY = -6; VY <= 6; VY += 3) {
+      bool Expected = false;
+      for (int64_t VX = -12; VX <= 12 && !Expected; ++VX)
+        Expected =
+            evaluate(F, [&](VarId V) { return V == X ? VX : VY; });
+      bool Got = evaluate(R1, [&](VarId V) {
+        EXPECT_EQ(V, Y);
+        (void)V;
+        return VY;
+      });
+      ASSERT_EQ(Got, Expected) << "round " << Round << " y=" << VY;
+    }
+  }
+}
+
+} // namespace
+
+namespace {
+
+// Direct tests for the conjunction-specialized complete solver (the theory
+// solver's fallback when branch-and-bound exhausts its budget).
+class ConjunctionSolverTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  VarId X = M.vars().create("cx", VarKind::Input);
+  VarId Y = M.vars().create("cy", VarKind::Input);
+  VarId Z = M.vars().create("cz", VarKind::Input);
+
+  LinearExpr x(int64_t C = 1) { return LinearExpr::variable(X, C); }
+  LinearExpr y(int64_t C = 1) { return LinearExpr::variable(Y, C); }
+  LinearExpr z(int64_t C = 1) { return LinearExpr::variable(Z, C); }
+
+  bool solve(std::vector<const Formula *> Atoms,
+             std::unordered_map<VarId, int64_t> *Out = nullptr) {
+    std::unordered_map<VarId, int64_t> Model;
+    bool R = solveAtomConjunction(M, Atoms, Model);
+    if (R) {
+      // Any returned model must satisfy every atom (defaulting missing
+      // variables to 0).
+      for (const Formula *A : Atoms)
+        EXPECT_TRUE(evaluate(A, [&](VarId V) {
+          auto It = Model.find(V);
+          return It == Model.end() ? int64_t(0) : It->second;
+        }));
+    }
+    if (Out)
+      *Out = Model;
+    return R;
+  }
+};
+
+TEST_F(ConjunctionSolverTest, EmptyAndConstants) {
+  EXPECT_TRUE(solve({}));
+  EXPECT_TRUE(solve({M.getTrue()}));
+  EXPECT_FALSE(solve({M.getFalse()}));
+}
+
+TEST_F(ConjunctionSolverTest, BoundedBox) {
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkAtom(AtomRel::Le, x().addConst(-7)),
+                     M.mkAtom(AtomRel::Le, x(-1).addConst(5))},
+                    &Model));
+  EXPECT_GE(Model.at(X), 5);
+  EXPECT_LE(Model.at(X), 7);
+}
+
+TEST_F(ConjunctionSolverTest, InfeasibleBounds) {
+  EXPECT_FALSE(solve({M.mkAtom(AtomRel::Le, x().addConst(-2)),
+                      M.mkAtom(AtomRel::Le, x(-1).addConst(3))}));
+}
+
+TEST_F(ConjunctionSolverTest, DivisibilityChain) {
+  // 6 | x, 10 | x, 20 <= x <= 40 forces x = 30.
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkDiv(6, x()), M.mkDiv(10, x()),
+                     M.mkAtom(AtomRel::Le, x(-1).addConst(20)),
+                     M.mkAtom(AtomRel::Le, x().addConst(-40))},
+                    &Model));
+  EXPECT_EQ(Model.at(X), 30);
+}
+
+TEST_F(ConjunctionSolverTest, NonDivisibility) {
+  // 2 ∤ x with 4 <= x <= 5 forces x = 5.
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkAtom(AtomRel::NDiv, x(), 2),
+                     M.mkAtom(AtomRel::Le, x(-1).addConst(4)),
+                     M.mkAtom(AtomRel::Le, x().addConst(-5))},
+                    &Model));
+  EXPECT_EQ(Model.at(X), 5);
+}
+
+TEST_F(ConjunctionSolverTest, ResidueConflict) {
+  // x ≡ 0 (mod 3) and x ≡ 1 (mod 3) is unsatisfiable: 3 | x and 3 | (x-1).
+  EXPECT_FALSE(solve({M.mkDiv(3, x()), M.mkDiv(3, x().addConst(-1))}));
+}
+
+TEST_F(ConjunctionSolverTest, UnboundedWithDivisors) {
+  // Only divisibility constraints: solvable via the residue-only case.
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkDiv(4, x().add(y()))}, &Model));
+}
+
+TEST_F(ConjunctionSolverTest, CoefficientScaling) {
+  // 3x = 2y + 1 (as two Le atoms) with 0 <= y <= 10: x odd multiples.
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkAtom(AtomRel::Le, x(3).sub(y(2)).addConst(-1)),
+                     M.mkAtom(AtomRel::Le, x(-3).add(y(2)).addConst(1)),
+                     M.mkAtom(AtomRel::Le, y(-1)),
+                     M.mkAtom(AtomRel::Le, y().addConst(-10))},
+                    &Model));
+  EXPECT_EQ(3 * Model.at(X), 2 * Model.at(Y) + 1);
+}
+
+TEST_F(ConjunctionSolverTest, ParityDiverger) {
+  // 2x = 2y + 1: the classic branch-and-bound diverger must be rejected.
+  EXPECT_FALSE(solve({M.mkAtom(AtomRel::Le, x(2).sub(y(2)).addConst(-1)),
+                      M.mkAtom(AtomRel::Le, x(-2).add(y(2)).addConst(1))}));
+}
+
+TEST_F(ConjunctionSolverTest, ThreeVariableSystem) {
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_TRUE(solve({M.mkAtom(AtomRel::Le, x().add(y()).add(z()).addConst(-6)),
+                     M.mkAtom(AtomRel::Le,
+                              x(-1).sub(y()).sub(z()).addConst(6)),
+                     M.mkDiv(2, x()), M.mkDiv(3, y()),
+                     M.mkAtom(AtomRel::Le, z(-1).addConst(1))},
+                    &Model));
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+//===- tests/smt/FormulaParserTest.cpp - Formula text syntax tests ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/FormulaParser.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+#include "smt/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class FormulaParserTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+
+  const Formula *parse(const char *Text) {
+    FormulaParseResult R = parseFormula(M, Text);
+    EXPECT_TRUE(R.ok()) << Text << ": " << R.Error;
+    return R.F;
+  }
+};
+
+TEST_F(FormulaParserTest, Constants) {
+  EXPECT_TRUE(parse("true")->isTrue());
+  EXPECT_TRUE(parse("false")->isFalse());
+  EXPECT_TRUE(parse("1 <= 2")->isTrue());
+  EXPECT_TRUE(parse("2 <= 1")->isFalse());
+}
+
+TEST_F(FormulaParserTest, SimpleComparisons) {
+  EXPECT_EQ(parse("x <= 3"), M.mkLe(LinearExpr::variable(X),
+                                    LinearExpr::constant(3)));
+  EXPECT_EQ(parse("x < 3"), M.mkLt(LinearExpr::variable(X),
+                                   LinearExpr::constant(3)));
+  EXPECT_EQ(parse("x >= y"), M.mkGe(LinearExpr::variable(X),
+                                    LinearExpr::variable(Y)));
+  EXPECT_EQ(parse("x = 0"), parse("x == 0"));
+  EXPECT_EQ(parse("x != y"), M.mkNe(LinearExpr::variable(X),
+                                    LinearExpr::variable(Y)));
+}
+
+TEST_F(FormulaParserTest, LinearExpressions) {
+  // 2*x - y + 3 <= 0.
+  const Formula *F = parse("2*x - y + 3 <= 0");
+  ASSERT_TRUE(F->isAtom());
+  EXPECT_EQ(F->expr().coeff(X), 2);
+  EXPECT_EQ(F->expr().coeff(Y), -1);
+  EXPECT_EQ(F->expr().constant(), 3);
+  // Leading minus and parenthesized arithmetic.
+  EXPECT_EQ(parse("-x <= 5"), M.mkGe(LinearExpr::variable(X),
+                                     LinearExpr::constant(-5)));
+  EXPECT_EQ(parse("(x + 1) <= y"), parse("x + 1 <= y"));
+}
+
+TEST_F(FormulaParserTest, BooleanStructure) {
+  const Formula *F = parse("x <= 0 && (y >= 1 || x != y)");
+  EXPECT_TRUE(F->isAnd());
+  const Formula *G = parse("!(x <= 0)");
+  EXPECT_EQ(G, M.mkGe(LinearExpr::variable(X), LinearExpr::constant(1)));
+}
+
+TEST_F(FormulaParserTest, Divisibility) {
+  EXPECT_EQ(parse("3 | (x + 1)"),
+            M.mkDiv(3, LinearExpr::variable(X).addConst(1)));
+  EXPECT_EQ(parse("!(3 | (x))"),
+            M.mkAtom(AtomRel::NDiv, LinearExpr::variable(X), 3));
+}
+
+TEST_F(FormulaParserTest, UnknownVariablePolicies) {
+  FormulaParseOptions NoCreate;
+  NoCreate.CreateUnknownVars = false;
+  FormulaParseResult R = parseFormula(M, "zz <= 0", NoCreate);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unknown variable"), std::string::npos);
+
+  FormulaParseOptions Create;
+  Create.NewVarKind = VarKind::Abstraction;
+  FormulaParseResult R2 = parseFormula(M, "alpha_new <= 0", Create);
+  ASSERT_TRUE(R2.ok());
+  EXPECT_EQ(M.vars().kind(M.vars().lookup("alpha_new")),
+            VarKind::Abstraction);
+}
+
+TEST_F(FormulaParserTest, Errors) {
+  EXPECT_FALSE(parseFormula(M, "x +").ok());
+  EXPECT_FALSE(parseFormula(M, "x <= 1 extra").ok());
+  EXPECT_FALSE(parseFormula(M, "x $ 1").ok());
+  EXPECT_FALSE(parseFormula(M, "0 | (x)").ok());
+  EXPECT_FALSE(parseFormula(M, "").ok());
+}
+
+TEST_F(FormulaParserTest, AnalysisStyleNames) {
+  const Formula *F = parse("j@loop1 >= n2 && mul@1 >= 0");
+  EXPECT_TRUE(F->isAnd());
+  EXPECT_NE(M.vars().lookup("j@loop1"), ~0u);
+}
+
+// Property: printing and re-parsing any random formula yields an equivalent
+// formula (round trip through the human-readable syntax).
+TEST_F(FormulaParserTest, PropertyPrintParseRoundTrip) {
+  Rng R(777);
+  std::vector<VarId> Vars = {X, Y, M.vars().create("z", VarKind::Abstraction)};
+  for (int Round = 0; Round < 200; ++Round) {
+    // Random NNF formula (same shape as the differential tests).
+    std::function<const Formula *(int)> Rand = [&](int Depth) -> const Formula * {
+      if (Depth == 0 || R.chance(0.4)) {
+        LinearExpr E = LinearExpr::constant(R.range(-6, 6));
+        for (VarId V : Vars)
+          if (R.chance(0.6))
+            E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+        switch (R.range(0, 3)) {
+        case 0:
+          return M.mkAtom(AtomRel::Le, E);
+        case 1:
+          return M.mkAtom(AtomRel::Eq, E);
+        case 2:
+          return M.mkAtom(AtomRel::Ne, E);
+        default:
+          return M.mkAtom(AtomRel::Div, E, R.range(2, 4));
+        }
+      }
+      std::vector<const Formula *> Kids;
+      for (int I = 0, N = static_cast<int>(R.range(2, 3)); I < N; ++I)
+        Kids.push_back(Rand(Depth - 1));
+      return R.chance(0.5) ? M.mkAnd(std::move(Kids))
+                           : M.mkOr(std::move(Kids));
+    };
+    const Formula *F = Rand(2);
+    std::string Text = toString(F, M.vars());
+    FormulaParseResult P = parseFormula(M, Text);
+    ASSERT_TRUE(P.ok()) << "round " << Round << ": " << Text << "\n"
+                        << P.Error;
+    // Canonicalization makes most round trips pointer-identical; all must
+    // at least be logically equivalent.
+    EXPECT_TRUE(S.equivalent(F, P.F))
+        << "round " << Round << ": " << Text << " reparsed as "
+        << toString(P.F, M.vars());
+  }
+}
+
+} // namespace

@@ -1,0 +1,201 @@
+//===- tests/smt/FormulaTest.cpp - Formula construction unit tests ---------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Formula.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class FormulaTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+
+  LinearExpr x() { return LinearExpr::variable(X); }
+  LinearExpr y() { return LinearExpr::variable(Y); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+};
+
+TEST_F(FormulaTest, HashConsingSharesNodes) {
+  const Formula *A = M.mkLe(x(), c(5));
+  const Formula *B = M.mkLe(x(), c(5));
+  EXPECT_EQ(A, B);
+  const Formula *C1 = M.mkAnd(A, M.mkLe(y(), c(0)));
+  const Formula *C2 = M.mkAnd(M.mkLe(y(), c(0)), B);
+  EXPECT_EQ(C1, C2) << "And children are canonically ordered";
+}
+
+TEST_F(FormulaTest, ConstantAtomsFold) {
+  EXPECT_TRUE(M.mkLe(c(1), c(2))->isTrue());
+  EXPECT_TRUE(M.mkLe(c(3), c(2))->isFalse());
+  EXPECT_TRUE(M.mkEq(c(2), c(2))->isTrue());
+  EXPECT_TRUE(M.mkNe(c(2), c(2))->isFalse());
+  EXPECT_TRUE(M.mkDiv(3, c(9))->isTrue());
+  EXPECT_TRUE(M.mkDiv(3, c(10))->isFalse());
+  EXPECT_TRUE(M.mkDiv(1, x())->isTrue());
+}
+
+TEST_F(FormulaTest, GcdTighteningOnLe) {
+  // 2x <= 5 tightens to x <= 2.
+  const Formula *A = M.mkLe(x().scaled(2), c(5));
+  const Formula *B = M.mkLe(x(), c(2));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(FormulaTest, GcdInfeasibleEquality) {
+  // 2x = 5 is false over the integers.
+  EXPECT_TRUE(M.mkEq(x().scaled(2), c(5))->isFalse());
+  EXPECT_TRUE(M.mkNe(x().scaled(2), c(5))->isTrue());
+}
+
+TEST_F(FormulaTest, EqualitySignNormalized) {
+  EXPECT_EQ(M.mkEq(x(), y()), M.mkEq(y(), x()));
+}
+
+TEST_F(FormulaTest, AndOrUnitRules) {
+  const Formula *A = M.mkLe(x(), c(0));
+  EXPECT_EQ(M.mkAnd(A, M.getTrue()), A);
+  EXPECT_TRUE(M.mkAnd(A, M.getFalse())->isFalse());
+  EXPECT_EQ(M.mkOr(A, M.getFalse()), A);
+  EXPECT_TRUE(M.mkOr(A, M.getTrue())->isTrue());
+  EXPECT_EQ(M.mkAnd(A, A), A);
+}
+
+TEST_F(FormulaTest, ComplementaryLiterals) {
+  const Formula *A = M.mkLe(x(), c(0));
+  EXPECT_TRUE(M.mkAnd(A, M.mkNot(A))->isFalse());
+  EXPECT_TRUE(M.mkOr(A, M.mkNot(A))->isTrue());
+}
+
+TEST_F(FormulaTest, FlatteningNestedSameKind) {
+  const Formula *A = M.mkLe(x(), c(0));
+  const Formula *B = M.mkLe(y(), c(0));
+  const Formula *C1 = M.mkLe(x(), c(-3));
+  const Formula *Nested = M.mkAnd(A, M.mkAnd(B, C1));
+  EXPECT_EQ(Nested->kids().size(), 3u);
+}
+
+TEST_F(FormulaTest, NegationIsInvolutive) {
+  const Formula *A = M.mkLe(x(), c(3));
+  EXPECT_EQ(M.mkNot(M.mkNot(A)), A);
+  const Formula *Complex =
+      M.mkOr(M.mkAnd(A, M.mkEq(y(), c(0))), M.mkDiv(3, x()));
+  EXPECT_EQ(M.mkNot(M.mkNot(Complex)), Complex);
+}
+
+TEST_F(FormulaTest, NegationOfAtoms) {
+  // ¬(x <= 3) == x >= 4.
+  EXPECT_EQ(M.mkNot(M.mkLe(x(), c(3))), M.mkGe(x(), c(4)));
+  EXPECT_EQ(M.mkNot(M.mkEq(x(), c(3))), M.mkNe(x(), c(3)));
+  EXPECT_EQ(M.mkNot(M.mkDiv(4, x())), M.mkAtom(AtomRel::NDiv, x(), 4));
+}
+
+TEST_F(FormulaTest, LtIsLePlusOne) {
+  EXPECT_EQ(M.mkLt(x(), c(4)), M.mkLe(x(), c(3)));
+  EXPECT_EQ(M.mkGt(x(), c(4)), M.mkGe(x(), c(5)));
+}
+
+TEST_F(FormulaTest, ImpliesAndIff) {
+  const Formula *A = M.mkLe(x(), c(0));
+  EXPECT_TRUE(M.mkImplies(M.getFalse(), A)->isTrue());
+  EXPECT_EQ(M.mkImplies(M.getTrue(), A), A);
+  EXPECT_TRUE(M.mkIff(A, A)->isTrue());
+}
+
+TEST_F(FormulaTest, DivisibilityModReduction) {
+  // 3 | (4x + 7) == 3 | (x + 1).
+  const Formula *A = M.mkDiv(3, x().scaled(4).addConst(7));
+  const Formula *B = M.mkDiv(3, x().addConst(1));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(FormulaTest, DivisibilityCommonFactorReduction) {
+  // 6 | 2x reduces to 3 | x.
+  EXPECT_EQ(M.mkDiv(6, x().scaled(2)), M.mkDiv(3, x()));
+}
+
+TEST_F(FormulaTest, FreeVarsAndAtoms) {
+  const Formula *F =
+      M.mkOr(M.mkAnd(M.mkLe(x(), c(0)), M.mkEq(y(), c(2))), M.mkDiv(5, x()));
+  std::set<VarId> FV = freeVars(F);
+  EXPECT_EQ(FV, (std::set<VarId>{X, Y}));
+  EXPECT_EQ(collectAtoms(F).size(), 3u);
+  EXPECT_EQ(atomCount(F), 3u);
+}
+
+TEST_F(FormulaTest, SubstituteRebuildsAndFolds) {
+  const Formula *F = M.mkAnd(M.mkLe(x(), c(3)), M.mkLe(y(), x()));
+  const Formula *G = substitute(M, F, X, c(2));
+  // x <= 3 folds to true; remaining: y <= 2.
+  EXPECT_EQ(G, M.mkLe(y(), c(2)));
+}
+
+TEST_F(FormulaTest, EvaluateGround) {
+  const Formula *F = M.mkAnd(M.mkLe(x(), c(3)), M.mkNe(y(), c(0)));
+  auto V1 = [&](VarId V) -> int64_t { return V == X ? 2 : 1; };
+  auto V2 = [&](VarId V) -> int64_t { return V == X ? 2 : 0; };
+  EXPECT_TRUE(evaluate(F, V1));
+  EXPECT_FALSE(evaluate(F, V2));
+}
+
+TEST_F(FormulaTest, CnfDnfRoundTripSemantics) {
+  const Formula *F = M.mkOr(M.mkAnd(M.mkLe(x(), c(0)), M.mkLe(y(), c(0))),
+                            M.mkGe(x(), c(5)));
+  std::vector<std::vector<const Formula *>> Cnf, Dnf;
+  ASSERT_TRUE(toCnf(M, F, Cnf));
+  ASSERT_TRUE(toDnf(M, F, Dnf));
+  EXPECT_EQ(Dnf.size(), 2u);
+  EXPECT_EQ(Cnf.size(), 2u);
+  // Check CNF/DNF agree with F on a grid of points.
+  for (int64_t VX = -2; VX <= 6; ++VX)
+    for (int64_t VY = -2; VY <= 2; ++VY) {
+      auto Val = [&](VarId V) -> int64_t { return V == X ? VX : VY; };
+      bool Expected = evaluate(F, Val);
+      bool CnfVal = true;
+      for (const auto &Clause : Cnf) {
+        bool Any = false;
+        for (const Formula *A : Clause)
+          Any = Any || evaluate(A, Val);
+        CnfVal = CnfVal && Any;
+      }
+      bool DnfVal = false;
+      for (const auto &Cube : Dnf) {
+        bool All = true;
+        for (const Formula *A : Cube)
+          All = All && evaluate(A, Val);
+        DnfVal = DnfVal || All;
+      }
+      EXPECT_EQ(CnfVal, Expected) << "x=" << VX << " y=" << VY;
+      EXPECT_EQ(DnfVal, Expected) << "x=" << VX << " y=" << VY;
+    }
+}
+
+TEST_F(FormulaTest, PrinterRendering) {
+  const Formula *F = M.mkAnd(M.mkLe(x(), c(3)), M.mkGe(y(), c(1)));
+  std::string Str = toString(F, M.vars());
+  EXPECT_NE(Str.find("&&"), std::string::npos);
+  EXPECT_EQ(toString(M.getTrue(), M.vars()), "true");
+  // Atom rendering puts the constant on the readable side.
+  EXPECT_EQ(atomToString(M.mkLe(x(), c(3)), M.vars()), "x <= 3");
+  EXPECT_EQ(atomToString(M.mkGe(x(), c(3)), M.vars()), "3 <= x");
+}
+
+TEST_F(FormulaTest, SmtLibOutputContainsDeclarations) {
+  const Formula *F = M.mkLe(x(), y());
+  std::string S = toSmtLib(F, M.vars());
+  EXPECT_NE(S.find("declare-const"), std::string::npos);
+  EXPECT_NE(S.find("check-sat"), std::string::npos);
+}
+
+} // namespace

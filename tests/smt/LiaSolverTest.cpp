@@ -1,0 +1,168 @@
+//===- tests/smt/LiaSolverTest.cpp - LIA conjunction solver tests ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LiaSolver.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class LiaTest : public ::testing::Test {
+protected:
+  VarTable VT;
+  VarId X = VT.create("x", VarKind::Input);
+  VarId Y = VT.create("y", VarKind::Input);
+  VarId Z = VT.create("z", VarKind::Input);
+
+  LinearExpr x(int64_t C = 1) { return LinearExpr::variable(X, C); }
+  LinearExpr y(int64_t C = 1) { return LinearExpr::variable(Y, C); }
+  LinearExpr z(int64_t C = 1) { return LinearExpr::variable(Z, C); }
+
+  /// Checks that the model (if Sat) satisfies all rows.
+  void expectSat(const std::vector<LinearExpr> &Rows) {
+    std::unordered_map<VarId, int64_t> Model;
+    ASSERT_EQ(solveLiaConjunction(Rows, &Model), LiaStatus::Sat);
+    for (const LinearExpr &E : Rows) {
+      int64_t V = E.evaluate([&](VarId Id) { return Model.at(Id); });
+      EXPECT_LE(V, 0) << "row violated: " << E.str(VT);
+    }
+  }
+};
+
+TEST_F(LiaTest, EmptyConjunctionIsSat) {
+  expectSat({});
+}
+
+TEST_F(LiaTest, TrivialConstantRows) {
+  EXPECT_EQ(solveLiaConjunction({LinearExpr::constant(-1)}, nullptr),
+            LiaStatus::Sat);
+  EXPECT_EQ(solveLiaConjunction({LinearExpr::constant(1)}, nullptr),
+            LiaStatus::Unsat);
+}
+
+TEST_F(LiaTest, SimpleBounds) {
+  // 3 <= x <= 7.
+  expectSat({LinearExpr::constant(3).sub(x()), x().addConst(-7)});
+}
+
+TEST_F(LiaTest, ContradictoryBounds) {
+  // x <= 2 and x >= 5.
+  EXPECT_EQ(solveLiaConjunction(
+                {x().addConst(-2), LinearExpr::constant(5).sub(x())}, nullptr),
+            LiaStatus::Unsat);
+}
+
+TEST_F(LiaTest, IntegerGapUnsat) {
+  // 0 < 2x < 2 has no integer solution (x would be 1/2):
+  // rows: 1 - 2x <= 0 and 2x - 1 <= 0.
+  EXPECT_EQ(solveLiaConjunction(
+                {LinearExpr::constant(1).sub(x(2)), x(2).addConst(-1)},
+                nullptr),
+            LiaStatus::Unsat);
+}
+
+TEST_F(LiaTest, GcdCatchesParityConflict) {
+  // 2x - 2y = 1: rows 2x-2y-1<=0 and -2x+2y+1<=0.
+  EXPECT_EQ(solveLiaConjunction({x(2).sub(y(2)).addConst(-1),
+                                 y(2).sub(x(2)).addConst(1)},
+                                nullptr),
+            LiaStatus::Unsat);
+}
+
+TEST_F(LiaTest, EqualityViaTwoRows) {
+  // x + y = 10, x - y = 4 -> x = 7, y = 3.
+  std::vector<LinearExpr> Rows = {
+      x().add(y()).addConst(-10), x().negated().sub(y()).addConst(10),
+      x().sub(y()).addConst(-4), y().sub(x()).addConst(4)};
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_EQ(solveLiaConjunction(Rows, &Model), LiaStatus::Sat);
+  EXPECT_EQ(Model.at(X), 7);
+  EXPECT_EQ(Model.at(Y), 3);
+}
+
+TEST_F(LiaTest, ThreeVarFeasible) {
+  // x + y + z >= 10, x <= 2, y <= 3  =>  z >= 5.
+  std::vector<LinearExpr> Rows = {
+      LinearExpr::constant(10).sub(x()).sub(y()).sub(z()), x().addConst(-2),
+      y().addConst(-3)};
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_EQ(solveLiaConjunction(Rows, &Model), LiaStatus::Sat);
+  EXPECT_GE(Model.at(Z), 5);
+}
+
+TEST_F(LiaTest, BranchingRequired) {
+  // 2x + 3y = 7 with 0 <= x,y <= 5: solutions (2,1). Encoded as 4 rows plus
+  // bounds; the LP relaxation is fractional at some vertices.
+  std::vector<LinearExpr> Rows = {
+      x(2).add(y(3)).addConst(-7), x(-2).sub(y(3)).addConst(7),
+      x(-1),          // x >= 0
+      y(-1),          // y >= 0
+      x().addConst(-5), y().addConst(-5)};
+  std::unordered_map<VarId, int64_t> Model;
+  ASSERT_EQ(solveLiaConjunction(Rows, &Model), LiaStatus::Sat);
+  EXPECT_EQ(2 * Model.at(X) + 3 * Model.at(Y), 7);
+}
+
+TEST_F(LiaTest, UnconstrainedVariableGetsValue) {
+  std::unordered_map<VarId, int64_t> Model;
+  // Row mentions x only via zero after simplification? Use y free: x <= 0.
+  ASSERT_EQ(solveLiaConjunction({x()}, &Model), LiaStatus::Sat);
+  EXPECT_TRUE(Model.count(X));
+}
+
+/// Brute-force reference over a small box.
+bool bruteForce(const std::vector<LinearExpr> &Rows, int64_t Lo, int64_t Hi,
+                VarId X) {
+  for (int64_t VX = Lo; VX <= Hi; ++VX)
+    for (int64_t VY = Lo; VY <= Hi; ++VY) {
+      bool Ok = true;
+      for (const LinearExpr &E : Rows) {
+        int64_t V = E.evaluate([&](VarId Id) { return Id == X ? VX : VY; });
+        if (V > 0) {
+          Ok = false;
+          break;
+        }
+      }
+      if (Ok)
+        return true;
+    }
+  return false;
+}
+
+// Property: agreement with brute force on random bounded 2-var systems.
+TEST_F(LiaTest, PropertyRandomSystemsAgainstBruteForce) {
+  Rng R(99);
+  for (int Round = 0; Round < 400; ++Round) {
+    std::vector<LinearExpr> Rows;
+    // Box -6..6 to make brute force exact w.r.t. the solver's search space.
+    Rows.push_back(x().addConst(-6));
+    Rows.push_back(x(-1).addConst(-6));
+    Rows.push_back(y().addConst(-6));
+    Rows.push_back(y(-1).addConst(-6));
+    int N = static_cast<int>(R.range(1, 4));
+    for (int I = 0; I < N; ++I) {
+      LinearExpr E = x(R.range(-4, 4)).add(y(R.range(-4, 4)))
+                         .addConst(R.range(-8, 8));
+      Rows.push_back(E);
+    }
+    bool Expected = bruteForce(Rows, -6, 6, X);
+    std::unordered_map<VarId, int64_t> Model;
+    LiaStatus St = solveLiaConjunction(Rows, &Model);
+    ASSERT_NE(St, LiaStatus::ResourceLimit) << "round " << Round;
+    EXPECT_EQ(St == LiaStatus::Sat, Expected) << "round " << Round;
+    if (St == LiaStatus::Sat) {
+      for (const LinearExpr &E : Rows)
+        EXPECT_LE(E.evaluate([&](VarId Id) { return Model.at(Id); }), 0);
+    }
+  }
+}
+
+} // namespace

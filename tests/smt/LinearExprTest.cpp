@@ -1,0 +1,175 @@
+//===- tests/smt/LinearExprTest.cpp - LinearExpr unit tests ----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LinearExpr.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class LinearExprTest : public ::testing::Test {
+protected:
+  VarTable VT;
+  VarId X = VT.create("x", VarKind::Input);
+  VarId Y = VT.create("y", VarKind::Input);
+  VarId Z = VT.create("z", VarKind::Abstraction);
+};
+
+TEST_F(LinearExprTest, ConstantBasics) {
+  LinearExpr C = LinearExpr::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.constant(), 7);
+  EXPECT_EQ(C.numTerms(), 0u);
+}
+
+TEST_F(LinearExprTest, VariableBasics) {
+  LinearExpr E = LinearExpr::variable(X, 3);
+  EXPECT_FALSE(E.isConstant());
+  EXPECT_EQ(E.coeff(X), 3);
+  EXPECT_EQ(E.coeff(Y), 0);
+}
+
+TEST_F(LinearExprTest, ZeroCoefficientVariableIsConstant) {
+  LinearExpr E = LinearExpr::variable(X, 0);
+  EXPECT_TRUE(E.isConstant());
+}
+
+TEST_F(LinearExprTest, AdditionMergesTerms) {
+  LinearExpr A = LinearExpr::variable(X, 2).add(LinearExpr::constant(1));
+  LinearExpr B = LinearExpr::variable(X, 3).add(LinearExpr::variable(Y, -1));
+  LinearExpr S = A.add(B);
+  EXPECT_EQ(S.coeff(X), 5);
+  EXPECT_EQ(S.coeff(Y), -1);
+  EXPECT_EQ(S.constant(), 1);
+}
+
+TEST_F(LinearExprTest, AdditionCancelsToConstant) {
+  LinearExpr A = LinearExpr::variable(X, 2);
+  LinearExpr B = LinearExpr::variable(X, -2).add(LinearExpr::constant(5));
+  LinearExpr S = A.add(B);
+  EXPECT_TRUE(S.isConstant());
+  EXPECT_EQ(S.constant(), 5);
+}
+
+TEST_F(LinearExprTest, SubtractionIsAddOfNegation) {
+  LinearExpr A = LinearExpr::variable(X, 4).add(LinearExpr::constant(-2));
+  LinearExpr D = A.sub(A);
+  EXPECT_TRUE(D.isConstant());
+  EXPECT_EQ(D.constant(), 0);
+}
+
+TEST_F(LinearExprTest, ScalingByZeroGivesZero) {
+  LinearExpr A = LinearExpr::variable(X, 4).add(LinearExpr::constant(3));
+  LinearExpr Z0 = A.scaled(0);
+  EXPECT_TRUE(Z0.isConstant());
+  EXPECT_EQ(Z0.constant(), 0);
+}
+
+TEST_F(LinearExprTest, SubstitutionReplacesVariable) {
+  // 2x + y + 1 with x := 3z - 1 becomes 6z + y - 1.
+  LinearExpr E = LinearExpr::variable(X, 2)
+                     .add(LinearExpr::variable(Y))
+                     .addConst(1);
+  LinearExpr Repl = LinearExpr::variable(Z, 3).addConst(-1);
+  LinearExpr R = E.substituted(X, Repl);
+  EXPECT_EQ(R.coeff(Z), 6);
+  EXPECT_EQ(R.coeff(Y), 1);
+  EXPECT_EQ(R.coeff(X), 0);
+  EXPECT_EQ(R.constant(), -1);
+}
+
+TEST_F(LinearExprTest, SubstitutionOfAbsentVariableIsIdentity) {
+  LinearExpr E = LinearExpr::variable(Y, 2);
+  LinearExpr R = E.substituted(X, LinearExpr::constant(100));
+  EXPECT_EQ(R, E);
+}
+
+TEST_F(LinearExprTest, CoeffGcd) {
+  LinearExpr E = LinearExpr::variable(X, 6).add(LinearExpr::variable(Y, -9));
+  EXPECT_EQ(E.coeffGcd(), 3);
+  EXPECT_EQ(LinearExpr::constant(5).coeffGcd(), 0);
+}
+
+TEST_F(LinearExprTest, Evaluate) {
+  LinearExpr E = LinearExpr::variable(X, 2)
+                     .add(LinearExpr::variable(Y, -3))
+                     .addConst(4);
+  auto Val = [&](VarId V) -> int64_t { return V == X ? 5 : 2; };
+  EXPECT_EQ(E.evaluate(Val), 2 * 5 - 3 * 2 + 4);
+}
+
+TEST_F(LinearExprTest, EqualityAndHashAgree) {
+  LinearExpr A = LinearExpr::variable(X, 2).addConst(1);
+  LinearExpr B = LinearExpr::variable(X).scaled(2).addConst(1);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST_F(LinearExprTest, StrRendering) {
+  LinearExpr E = LinearExpr::variable(X, 2)
+                     .add(LinearExpr::variable(Y, -1))
+                     .addConst(3);
+  EXPECT_EQ(E.str(VT), "2*x - y + 3");
+  EXPECT_EQ(LinearExpr::constant(-4).str(VT), "-4");
+  EXPECT_EQ(LinearExpr::variable(X, -1).str(VT), "-x");
+}
+
+// Property: (A + B) - B == A for random expressions.
+TEST_F(LinearExprTest, PropertyAddSubRoundTrip) {
+  Rng R(42);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    LinearExpr A = LinearExpr::constant(R.range(-50, 50));
+    LinearExpr B = LinearExpr::constant(R.range(-50, 50));
+    for (VarId V : {X, Y, Z}) {
+      A = A.add(LinearExpr::variable(V, R.range(-10, 10)));
+      B = B.add(LinearExpr::variable(V, R.range(-10, 10)));
+    }
+    EXPECT_EQ(A.add(B).sub(B), A);
+  }
+}
+
+// Property: evaluation is linear: eval(A + B) == eval(A) + eval(B).
+TEST_F(LinearExprTest, PropertyEvaluationLinear) {
+  Rng R(7);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    LinearExpr A = LinearExpr::constant(R.range(-50, 50));
+    LinearExpr B = LinearExpr::constant(R.range(-50, 50));
+    for (VarId V : {X, Y, Z}) {
+      A = A.add(LinearExpr::variable(V, R.range(-10, 10)));
+      B = B.add(LinearExpr::variable(V, R.range(-10, 10)));
+    }
+    int64_t VX = R.range(-20, 20), VY = R.range(-20, 20), VZ = R.range(-20, 20);
+    auto Val = [&](VarId V) -> int64_t {
+      return V == X ? VX : (V == Y ? VY : VZ);
+    };
+    EXPECT_EQ(A.add(B).evaluate(Val), A.evaluate(Val) + B.evaluate(Val));
+  }
+}
+
+TEST(CheckedArithTest, FloorCeilDiv) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(ceilDiv(7, 2), 4);
+  EXPECT_EQ(ceilDiv(-7, 2), -3);
+  EXPECT_EQ(floorMod(-7, 3), 2);
+  EXPECT_EQ(floorMod(7, 3), 1);
+}
+
+TEST(CheckedArithTest, GcdLcm) {
+  EXPECT_EQ(gcd64(12, -18), 6);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(gcd64(0, 0), 0);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/smt/SatTest.cpp - CDCL SAT solver unit tests -------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::sat;
+
+namespace {
+
+TEST(SatTest, EmptyFormulaIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatTest, SingleUnit) {
+  SatSolver S;
+  BVar A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(A), LBool::True);
+}
+
+TEST(SatTest, ContradictoryUnits) {
+  SatSolver S;
+  BVar A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A)}));
+  EXPECT_FALSE(S.addClause({mkLit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, TautologyClausesIgnored) {
+  SatSolver S;
+  BVar A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A), mkLit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatTest, SimpleImplicationChain) {
+  SatSolver S;
+  BVar A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A)}));
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B)}));
+  ASSERT_TRUE(S.addClause({mkLit(B, true), mkLit(C)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(C), LBool::True);
+}
+
+TEST(SatTest, PigeonHole3Into2IsUnsat) {
+  // Pigeon i in hole j: var P[i][j]; each pigeon somewhere; no two share.
+  SatSolver S;
+  BVar P[3][2];
+  for (auto &Row : P)
+    for (BVar &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(S.addClause({mkLit(P[I][0]), mkLit(P[I][1])}));
+  for (int J = 0; J < 2; ++J)
+    for (int I1 = 0; I1 < 3; ++I1)
+      for (int I2 = I1 + 1; I2 < 3; ++I2)
+        S.addClause({mkLit(P[I1][J], true), mkLit(P[I2][J], true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, IncrementalClauseAdditionAfterSolve) {
+  SatSolver S;
+  BVar A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A), mkLit(B)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  ASSERT_TRUE(S.addClause({mkLit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(B), LBool::True);
+  // B is forced at the root level, so adding ¬B reports immediate
+  // unsatisfiability through the return value.
+  EXPECT_FALSE(S.addClause({mkLit(B, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, LubySequence) {
+  std::vector<uint64_t> Expect = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (size_t I = 0; I < Expect.size(); ++I)
+    EXPECT_EQ(lubySequence(I + 1), Expect[I]) << "index " << I + 1;
+}
+
+/// Reference brute-force SAT check for differential testing.
+bool bruteForceSat(unsigned NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool Ok = true;
+    for (const auto &C : Clauses) {
+      bool Any = false;
+      for (Lit L : C) {
+        bool Val = (Mask >> litVar(L)) & 1;
+        if (litNeg(L) ? !Val : Val)
+          Any = true;
+      }
+      if (!Any) {
+        Ok = false;
+        break;
+      }
+    }
+    if (Ok)
+      return true;
+  }
+  return false;
+}
+
+// Property: CDCL agrees with brute force on random 3-SAT near the phase
+// transition, and Sat answers come with genuine models.
+TEST(SatTest, PropertyRandom3SatAgainstBruteForce) {
+  Rng R(123);
+  for (int Round = 0; Round < 300; ++Round) {
+    unsigned NumVars = 4 + static_cast<unsigned>(R.range(0, 6));
+    unsigned NumClauses = static_cast<unsigned>(NumVars * 4.3);
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (unsigned I = 0; I < NumVars; ++I)
+      S.newVar();
+    bool TriviallyUnsat = false;
+    for (unsigned I = 0; I < NumClauses; ++I) {
+      std::vector<Lit> C;
+      for (int K = 0; K < 3; ++K)
+        C.push_back(mkLit(static_cast<BVar>(R.range(0, NumVars - 1)),
+                          R.chance(0.5)));
+      Clauses.push_back(C);
+      if (!S.addClause(C))
+        TriviallyUnsat = true;
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    if (TriviallyUnsat) {
+      EXPECT_FALSE(Expected);
+      continue;
+    }
+    bool Got = S.solve() == SatSolver::Result::Sat;
+    ASSERT_EQ(Got, Expected) << "round " << Round;
+    if (Got) {
+      // Verify the model satisfies every clause.
+      for (const auto &C : Clauses) {
+        bool Any = false;
+        for (Lit L : C) {
+          LBool V = S.value(litVar(L));
+          if ((V == LBool::True) != litNeg(L))
+            Any = true;
+        }
+        EXPECT_TRUE(Any) << "model violates a clause in round " << Round;
+      }
+    }
+  }
+}
+
+} // namespace

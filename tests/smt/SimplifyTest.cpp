@@ -1,0 +1,105 @@
+//===- tests/smt/SimplifyTest.cpp - Context simplification tests ------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Simplify.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+
+  LinearExpr x(int64_t C = 1) { return LinearExpr::variable(X, C); }
+  LinearExpr y(int64_t C = 1) { return LinearExpr::variable(Y, C); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+};
+
+TEST_F(SimplifyTest, DropsConjunctImpliedByCritical) {
+  // Under critical x >= 5, the conjunct x >= 3 in (x >= 3 && y <= 0) is
+  // redundant.
+  const Formula *F = M.mkAnd(M.mkGe(x(), c(3)), M.mkLe(y(), c(0)));
+  const Formula *R = simplifyModulo(S, F, M.mkGe(x(), c(5)));
+  EXPECT_EQ(R, M.mkLe(y(), c(0)));
+}
+
+TEST_F(SimplifyTest, DropsConjunctImpliedByOtherConjunct) {
+  const Formula *F = M.mkAnd(M.mkGe(x(), c(5)), M.mkGe(x(), c(3)));
+  const Formula *R = simplify(S, F);
+  EXPECT_EQ(R, M.mkGe(x(), c(5)));
+}
+
+TEST_F(SimplifyTest, DropsDisjunctInconsistentWithCritical) {
+  // Under critical x >= 5, the disjunct x <= 0 can never fire.
+  const Formula *F = M.mkOr(M.mkLe(x(), c(0)), M.mkLe(y(), c(0)));
+  const Formula *R = simplifyModulo(S, F, M.mkGe(x(), c(5)));
+  EXPECT_EQ(R, M.mkLe(y(), c(0)));
+}
+
+TEST_F(SimplifyTest, WholeDisjunctionImpliedBecomesTrue) {
+  // Under critical true, (x <= 5 || x >= 6) is valid.
+  const Formula *F = M.mkOr(M.mkLe(x(), c(5)), M.mkGe(x(), c(6)));
+  EXPECT_TRUE(simplify(S, F)->isTrue());
+}
+
+TEST_F(SimplifyTest, ContradictoryFormulaUnderCriticalKept) {
+  // Simplification must preserve equivalence modulo the critical constraint:
+  // under x >= 5 the atom x <= 0 is equivalent to false.
+  const Formula *R = simplifyModulo(S, M.mkLe(x(), c(0)), M.mkGe(x(), c(5)));
+  EXPECT_TRUE(R->isFalse());
+}
+
+TEST_F(SimplifyTest, UnsatCriticalLeavesFormulaAlone) {
+  const Formula *F = M.mkLe(x(), c(0));
+  const Formula *Bad = M.mkAnd(M.mkGe(x(), c(1)), M.mkLe(x(), c(0)));
+  EXPECT_EQ(simplifyModulo(S, F, Bad), F);
+}
+
+TEST_F(SimplifyTest, NestedRedundancy) {
+  // (x >= 0 && (x >= -5 || y = 3)) simplifies to x >= 0: the inner
+  // disjunction is implied by x >= 0.
+  const Formula *F = M.mkAnd(
+      M.mkGe(x(), c(0)), M.mkOr(M.mkGe(x(), c(-5)), M.mkEq(y(), c(3))));
+  EXPECT_EQ(simplify(S, F), M.mkGe(x(), c(0)));
+}
+
+TEST_F(SimplifyTest, EquivalencePreservedModuloCritical) {
+  // Whatever the simplifier does, Critical |= (F <=> F').
+  const Formula *Critical = M.mkAnd(M.mkGe(x(), c(0)), M.mkLe(y(), x()));
+  const Formula *F = M.mkOr(M.mkAnd(M.mkGe(x(), c(-2)), M.mkLe(y(), c(100))),
+                            M.mkAnd(M.mkLe(x(), c(-1)), M.mkGe(y(), c(5))));
+  const Formula *R = simplifyModulo(S, F, Critical);
+  EXPECT_TRUE(S.isValid(M.mkImplies(Critical, M.mkIff(F, R))));
+  EXPECT_LE(atomCount(R), atomCount(F));
+}
+
+TEST_F(SimplifyTest, PaperRemarkExample) {
+  // Remark after Lemma 3: with I = (alpha_i >= 0 && alpha_i > n), a raw
+  // obligation like (alpha_j >= 0 && alpha_j >= n) should shed the part
+  // implied by I and the rest stays.
+  VarId Aj = M.vars().create("alpha_j", VarKind::Abstraction);
+  VarId Ai = M.vars().create("alpha_i", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr AjE = LinearExpr::variable(Aj), AiE = LinearExpr::variable(Ai),
+             NE = LinearExpr::variable(N);
+  const Formula *I =
+      M.mkAnd({M.mkGe(AiE, c(0)), M.mkGt(AiE, NE), M.mkGe(NE, c(0))});
+  const Formula *Raw = M.mkAnd(M.mkGe(AjE, NE), M.mkGt(AiE, NE));
+  const Formula *R = simplifyModulo(S, Raw, I);
+  EXPECT_EQ(R, M.mkGe(AjE, NE));
+}
+
+} // namespace

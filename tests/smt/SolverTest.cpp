@@ -1,0 +1,205 @@
+//===- tests/smt/SolverTest.cpp - DPLL(T) SMT solver tests ------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "smt/FormulaOps.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+class SolverTest : public ::testing::Test {
+protected:
+  FormulaManager M;
+  Solver S{M};
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+  VarId Z = M.vars().create("z", VarKind::Abstraction);
+
+  LinearExpr x(int64_t C = 1) { return LinearExpr::variable(X, C); }
+  LinearExpr y(int64_t C = 1) { return LinearExpr::variable(Y, C); }
+  LinearExpr z(int64_t C = 1) { return LinearExpr::variable(Z, C); }
+  LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
+
+  void expectSatWithModel(const Formula *F) {
+    Model Mo;
+    ASSERT_TRUE(S.isSat(F, &Mo));
+    EXPECT_TRUE(evaluate(F, [&](VarId V) {
+      auto It = Mo.find(V);
+      return It == Mo.end() ? int64_t(0) : It->second;
+    })) << "model does not satisfy formula";
+  }
+};
+
+TEST_F(SolverTest, Constants) {
+  EXPECT_TRUE(S.isSat(M.getTrue()));
+  EXPECT_FALSE(S.isSat(M.getFalse()));
+  EXPECT_TRUE(S.isValid(M.getTrue()));
+  EXPECT_FALSE(S.isValid(M.getFalse()));
+}
+
+TEST_F(SolverTest, SingleAtom) {
+  expectSatWithModel(M.mkLe(x(), c(3)));
+  EXPECT_FALSE(S.isValid(M.mkLe(x(), c(3))));
+}
+
+TEST_F(SolverTest, ConjunctionFastPath) {
+  expectSatWithModel(M.mkAnd(M.mkGe(x(), c(2)), M.mkLe(x(), c(2))));
+  EXPECT_FALSE(S.isSat(M.mkAnd(M.mkGe(x(), c(3)), M.mkLe(x(), c(2)))));
+}
+
+TEST_F(SolverTest, DisjunctionNeedsBooleanSearch) {
+  const Formula *F = M.mkOr(M.mkAnd(M.mkGe(x(), c(5)), M.mkLe(x(), c(4))),
+                            M.mkEq(y(), c(7)));
+  Model Mo;
+  ASSERT_TRUE(S.isSat(F, &Mo));
+  EXPECT_EQ(Mo.at(Y), 7);
+}
+
+TEST_F(SolverTest, UnsatAcrossDisjunction) {
+  // (x<=0 || x>=10) && x=5 is unsat.
+  const Formula *F = M.mkAnd(M.mkOr(M.mkLe(x(), c(0)), M.mkGe(x(), c(10))),
+                             M.mkEq(x(), c(5)));
+  EXPECT_FALSE(S.isSat(F));
+}
+
+TEST_F(SolverTest, EqualityLowering) {
+  expectSatWithModel(M.mkEq(x().add(y()), c(10)));
+  EXPECT_FALSE(S.isSat(M.mkAnd(M.mkEq(x(), c(1)), M.mkEq(x(), c(2)))));
+}
+
+TEST_F(SolverTest, DisequalityLowering) {
+  // x != x is unsat; x != y is sat.
+  EXPECT_FALSE(S.isSat(M.mkNe(x(), x())));
+  expectSatWithModel(M.mkNe(x(), y()));
+}
+
+TEST_F(SolverTest, DivisibilitySat) {
+  // 3 | x and x in [4, 6] forces x = 6.
+  const Formula *F = M.mkAnd(
+      {M.mkDiv(3, x()), M.mkGe(x(), c(4)), M.mkLe(x(), c(6))});
+  Model Mo;
+  ASSERT_TRUE(S.isSat(F, &Mo));
+  EXPECT_EQ(Mo.at(X), 6);
+}
+
+TEST_F(SolverTest, DivisibilityUnsat) {
+  // 2 | x and 2 ∤ x.
+  const Formula *F =
+      M.mkAnd(M.mkDiv(2, x()), M.mkAtom(AtomRel::NDiv, x(), 2));
+  EXPECT_FALSE(S.isSat(F));
+}
+
+TEST_F(SolverTest, NonDivisibilityModelIsCorrect) {
+  const Formula *F = M.mkAnd({M.mkAtom(AtomRel::NDiv, x(), 5),
+                              M.mkGe(x(), c(10)), M.mkLe(x(), c(11))});
+  Model Mo;
+  ASSERT_TRUE(S.isSat(F, &Mo));
+  EXPECT_EQ(Mo.at(X), 11);
+}
+
+TEST_F(SolverTest, EntailmentBasics) {
+  EXPECT_TRUE(S.entails(M.mkGe(x(), c(5)), M.mkGe(x(), c(3))));
+  EXPECT_FALSE(S.entails(M.mkGe(x(), c(3)), M.mkGe(x(), c(5))));
+  EXPECT_TRUE(S.entails(M.getFalse(), M.mkLe(x(), c(0))));
+}
+
+TEST_F(SolverTest, EquivalenceOfRewrites) {
+  // x < 5 is equivalent to x <= 4 over the integers.
+  EXPECT_TRUE(S.equivalent(M.mkLt(x(), c(5)), M.mkLe(x(), c(4))));
+  // De Morgan round trip.
+  const Formula *F = M.mkOr(M.mkLe(x(), c(0)), M.mkGe(y(), c(3)));
+  EXPECT_TRUE(S.equivalent(F, M.mkNot(M.mkNot(F))));
+}
+
+TEST_F(SolverTest, ValidityOfCaseSplit) {
+  // (x <= 5) || (x >= 6) is valid over the integers.
+  EXPECT_TRUE(S.isValid(M.mkOr(M.mkLe(x(), c(5)), M.mkGe(x(), c(6)))));
+  // (x <= 5) || (x >= 7) is not.
+  EXPECT_FALSE(S.isValid(M.mkOr(M.mkLe(x(), c(5)), M.mkGe(x(), c(7)))));
+}
+
+TEST_F(SolverTest, PaperIntroStyleEntailment) {
+  // I = (a >= 0 && i >= 0 && i > n && n >= 0), phi includes 1+i+j > 2n.
+  // The entailment I |= phi fails but I && j >= n |= (1 + i + j > 2n) when
+  // i > n: 1 + i + j > 1 + n + n > 2n. Check with z as j.
+  VarId I = M.vars().create("i", VarKind::Abstraction);
+  VarId N = M.vars().create("n", VarKind::Input);
+  LinearExpr Iv = LinearExpr::variable(I), Nv = LinearExpr::variable(N);
+  const Formula *Inv = M.mkAnd(
+      {M.mkGe(Iv, c(0)), M.mkGt(Iv, Nv), M.mkGe(Nv, c(0))});
+  const Formula *Phi = M.mkGt(Iv.add(z()).addConst(1), Nv.scaled(2));
+  EXPECT_FALSE(S.entails(Inv, Phi));
+  EXPECT_TRUE(S.entails(M.mkAnd(Inv, M.mkGe(z(), Nv)), Phi));
+}
+
+TEST_F(SolverTest, ThreeVariableMix) {
+  const Formula *F = M.mkAnd({M.mkEq(x().add(y()).add(z()), c(9)),
+                              M.mkOr(M.mkLe(x(), c(0)), M.mkGe(z(), c(5))),
+                              M.mkGe(y(), c(100))});
+  expectSatWithModel(F);
+}
+
+// Property: random formulas — solver agrees with brute force over a box,
+// restricted to formulas whose variables are boxed (so brute force is exact).
+TEST_F(SolverTest, PropertyRandomFormulasAgainstBruteForce) {
+  Rng R(2024);
+  for (int Round = 0; Round < 150; ++Round) {
+    // Random formula over x, y with small coefficients.
+    std::vector<const Formula *> Atoms;
+    int NumAtoms = static_cast<int>(R.range(2, 5));
+    for (int I = 0; I < NumAtoms; ++I) {
+      LinearExpr E = x(R.range(-3, 3)).add(y(R.range(-3, 3)))
+                         .addConst(R.range(-5, 5));
+      switch (R.range(0, 3)) {
+      case 0:
+        Atoms.push_back(M.mkAtom(AtomRel::Le, E));
+        break;
+      case 1:
+        Atoms.push_back(M.mkAtom(AtomRel::Eq, E));
+        break;
+      case 2:
+        Atoms.push_back(M.mkAtom(AtomRel::Ne, E));
+        break;
+      default:
+        Atoms.push_back(M.mkAtom(AtomRel::Div, E, R.range(2, 4)));
+        break;
+      }
+    }
+    // Random and/or tree plus a bounding box.
+    const Formula *Core = R.chance(0.5)
+                              ? M.mkOr(M.mkAnd(Atoms[0], Atoms[1]),
+                                       Atoms[static_cast<size_t>(
+                                           R.range(0, NumAtoms - 1))])
+                              : M.mkAnd(M.mkOr(Atoms[0], Atoms[1]),
+                                        Atoms[static_cast<size_t>(
+                                            R.range(0, NumAtoms - 1))]);
+    const Formula *Box =
+        M.mkAnd({M.mkGe(x(), c(-5)), M.mkLe(x(), c(5)), M.mkGe(y(), c(-5)),
+                 M.mkLe(y(), c(5))});
+    const Formula *F = M.mkAnd(Core, Box);
+    bool Expected = false;
+    for (int64_t VX = -5; VX <= 5 && !Expected; ++VX)
+      for (int64_t VY = -5; VY <= 5 && !Expected; ++VY)
+        Expected = evaluate(F, [&](VarId V) { return V == X ? VX : VY; });
+    Model Mo;
+    bool Got = S.isSat(F, &Mo);
+    ASSERT_EQ(Got, Expected) << "round " << Round;
+    if (Got) {
+      EXPECT_TRUE(evaluate(F, [&](VarId V) {
+        auto It = Mo.find(V);
+        return It == Mo.end() ? int64_t(0) : It->second;
+      }));
+    }
+  }
+}
+
+} // namespace

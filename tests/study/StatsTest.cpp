@@ -1,0 +1,97 @@
+//===- tests/study/StatsTest.cpp - Statistics unit tests --------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Stats.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace abdiag;
+using namespace abdiag::study;
+
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  std::vector<double> Xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(Xs), 5.0);
+  EXPECT_NEAR(sampleVariance(Xs), 4.571428571, 1e-6);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({3.0}), 0.0);
+}
+
+TEST(StatsTest, IncompleteBetaKnownValues) {
+  // I_x(1, 1) = x.
+  EXPECT_NEAR(regularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-9);
+  // I_x(2, 2) = x^2 (3 - 2x).
+  EXPECT_NEAR(regularizedIncompleteBeta(2, 2, 0.4), 0.16 * (3 - 0.8), 1e-9);
+  // Boundary behavior.
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(StatsTest, StudentTCdfAgainstTables) {
+  // nu = 10: P(T <= 1.812) ~= 0.95 (one-tailed critical value).
+  EXPECT_NEAR(studentTCdf(1.812, 10), 0.95, 2e-3);
+  // nu = 1 (Cauchy): P(T <= 1) = 0.75.
+  EXPECT_NEAR(studentTCdf(1.0, 1), 0.75, 1e-6);
+  // Symmetry.
+  EXPECT_NEAR(studentTCdf(-1.3, 7) + studentTCdf(1.3, 7), 1.0, 1e-9);
+}
+
+TEST(StatsTest, WelchIdenticalSamplesGiveHighP) {
+  std::vector<double> A = {1, 2, 3, 4, 5};
+  TTestResult R = welchTTest(A, A);
+  EXPECT_NEAR(R.T, 0.0, 1e-12);
+  EXPECT_GT(R.PValue, 0.99);
+}
+
+TEST(StatsTest, WelchSeparatedSamplesGiveLowP) {
+  std::vector<double> A, B;
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    A.push_back(R.gaussian(0, 1));
+    B.push_back(R.gaussian(5, 1));
+  }
+  TTestResult T = welchTTest(A, B);
+  EXPECT_LT(T.PValue, 1e-10);
+  EXPECT_LT(T.T, 0);
+}
+
+TEST(StatsTest, WelchKnownExample) {
+  // Classic worked example (unequal variances).
+  std::vector<double> A = {27.5, 21.0, 19.0, 23.6, 17.0, 17.9,
+                           16.9, 20.1, 21.9, 22.6, 23.1, 19.6};
+  std::vector<double> B = {27.1, 22.0, 20.8, 23.4, 23.4, 23.5,
+                           25.8, 22.0, 24.8, 20.2, 21.9, 22.1};
+  TTestResult T = welchTTest(A, B);
+  EXPECT_NEAR(T.T, -2.0, 0.15);
+  EXPECT_GT(T.PValue, 0.01);
+  EXPECT_LT(T.PValue, 0.12);
+}
+
+TEST(StatsTest, PValueFalsePositiveRateIsCalibrated) {
+  // Under the null hypothesis, p-values should be roughly uniform: the
+  // fraction below 0.05 should be near 5%.
+  Rng R(99);
+  int Below = 0;
+  const int Trials = 400;
+  for (int T = 0; T < Trials; ++T) {
+    std::vector<double> A, B;
+    for (int I = 0; I < 20; ++I) {
+      A.push_back(R.gaussian(0, 1));
+      B.push_back(R.gaussian(0, 1));
+    }
+    if (welchTTest(A, B).PValue < 0.05)
+      ++Below;
+  }
+  EXPECT_GT(Below, 4);
+  EXPECT_LT(Below, 45);
+}
+
+} // namespace

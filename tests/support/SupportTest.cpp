@@ -1,0 +1,157 @@
+//===- tests/support/SupportTest.cpp - Support utilities tests --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Rational.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace abdiag;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Kind::B; }
+};
+
+TEST(CastingTest, IsaCastDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), &A);
+  const Base *CB = &A;
+  EXPECT_TRUE(isa<DerivedA>(CB));
+  EXPECT_EQ(cast<DerivedA>(CB), &A);
+}
+
+//===----------------------------------------------------------------------===//
+// Rational
+//===----------------------------------------------------------------------===//
+
+TEST(RationalTest, CanonicalForm) {
+  Rational R(6, -4);
+  EXPECT_EQ(R.num(), -3);
+  EXPECT_EQ(R.den(), 2);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_TRUE(Rational(8, 2).isInteger());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half(1, 2), Third(1, 3);
+  EXPECT_EQ(Half + Third, Rational(5, 6));
+  EXPECT_EQ(Half - Third, Rational(1, 6));
+  EXPECT_EQ(Half * Third, Rational(1, 6));
+  EXPECT_EQ(Half / Third, Rational(3, 2));
+  EXPECT_EQ(-Half, Rational(-1, 2));
+}
+
+TEST(RationalTest, ComparisonsAndRounding) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(1, 2).sign(), 1);
+  EXPECT_EQ(Rational(-1, 2).sign(), -1);
+  EXPECT_EQ(Rational(0).sign(), 0);
+}
+
+TEST(RationalTest, LargeIntermediatesReduced) {
+  // (10^9 / (10^9+1)) * ((10^9+1) / 10^9) == 1 requires 128-bit
+  // intermediates with in-flight reduction.
+  Rational A(1000000000, 1000000001), B(1000000001, 1000000000);
+  EXPECT_EQ(A * B, Rational(1));
+}
+
+TEST(RationalTest, StringRendering) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(-3, 6).str(), "-1/2");
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  Rng A2(42);
+  EXPECT_NE(A2.next(), C.next());
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-3, 9);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 9);
+  }
+}
+
+TEST(RngTest, UniformMeanAndChanceRate) {
+  Rng R(11);
+  double Sum = 0;
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    Sum += R.uniform();
+    Hits += R.chance(0.25);
+  }
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+  EXPECT_NEAR(Hits / double(N), 0.25, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(23);
+  double Sum = 0, SumSq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double X = R.gaussian(10, 2);
+    Sum += X;
+    SumSq += X * X;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 10.0, 0.1);
+  EXPECT_NEAR(Var, 4.0, 0.3);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng R(5);
+  Rng A = R.fork(1), B = R.fork(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+} // namespace
