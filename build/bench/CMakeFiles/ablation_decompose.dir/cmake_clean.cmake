@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decompose.dir/ablation_decompose.cpp.o"
+  "CMakeFiles/ablation_decompose.dir/ablation_decompose.cpp.o.d"
+  "ablation_decompose"
+  "ablation_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_underapprox.dir/ablation_underapprox.cpp.o"
+  "CMakeFiles/ablation_underapprox.dir/ablation_underapprox.cpp.o.d"
+  "ablation_underapprox"
+  "ablation_underapprox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_underapprox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

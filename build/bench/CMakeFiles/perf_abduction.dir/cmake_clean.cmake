@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_abduction.dir/perf_abduction.cpp.o"
+  "CMakeFiles/perf_abduction.dir/perf_abduction.cpp.o.d"
+  "perf_abduction"
+  "perf_abduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_abduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

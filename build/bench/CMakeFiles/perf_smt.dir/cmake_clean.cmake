@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_smt.dir/perf_smt.cpp.o"
+  "CMakeFiles/perf_smt.dir/perf_smt.cpp.o.d"
+  "perf_smt"
+  "perf_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

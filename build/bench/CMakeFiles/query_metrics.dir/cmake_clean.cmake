@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_metrics.dir/query_metrics.cpp.o"
+  "CMakeFiles/query_metrics.dir/query_metrics.cpp.o.d"
+  "query_metrics"
+  "query_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/batch_triage.cpp" "examples/CMakeFiles/batch_triage.dir/batch_triage.cpp.o" "gcc" "examples/CMakeFiles/batch_triage.dir/batch_triage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/abdiag_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abdiag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/abdiag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/abdiag_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/abdiag_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_triage.dir/batch_triage.cpp.o"
+  "CMakeFiles/batch_triage.dir/batch_triage.cpp.o.d"
+  "batch_triage"
+  "batch_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

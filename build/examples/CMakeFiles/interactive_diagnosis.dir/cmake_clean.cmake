@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_diagnosis.dir/interactive_diagnosis.cpp.o"
+  "CMakeFiles/interactive_diagnosis.dir/interactive_diagnosis.cpp.o.d"
+  "interactive_diagnosis"
+  "interactive_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/paper_walkthrough.cpp" "examples/CMakeFiles/paper_walkthrough.dir/paper_walkthrough.cpp.o" "gcc" "examples/CMakeFiles/paper_walkthrough.dir/paper_walkthrough.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abdiag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/abdiag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/abdiag_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/abdiag_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

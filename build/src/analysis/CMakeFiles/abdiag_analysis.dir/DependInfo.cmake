@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/IntervalAnnotator.cpp" "src/analysis/CMakeFiles/abdiag_analysis.dir/IntervalAnnotator.cpp.o" "gcc" "src/analysis/CMakeFiles/abdiag_analysis.dir/IntervalAnnotator.cpp.o.d"
+  "/root/repo/src/analysis/SymbolicAnalyzer.cpp" "src/analysis/CMakeFiles/abdiag_analysis.dir/SymbolicAnalyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/abdiag_analysis.dir/SymbolicAnalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/abdiag_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/abdiag_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

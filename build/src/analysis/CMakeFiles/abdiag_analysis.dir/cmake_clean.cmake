@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_analysis.dir/IntervalAnnotator.cpp.o"
+  "CMakeFiles/abdiag_analysis.dir/IntervalAnnotator.cpp.o.d"
+  "CMakeFiles/abdiag_analysis.dir/SymbolicAnalyzer.cpp.o"
+  "CMakeFiles/abdiag_analysis.dir/SymbolicAnalyzer.cpp.o.d"
+  "libabdiag_analysis.a"
+  "libabdiag_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Abduction.cpp" "src/core/CMakeFiles/abdiag_core.dir/Abduction.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/Abduction.cpp.o.d"
+  "/root/repo/src/core/ConcreteOracle.cpp" "src/core/CMakeFiles/abdiag_core.dir/ConcreteOracle.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/ConcreteOracle.cpp.o.d"
+  "/root/repo/src/core/Diagnosis.cpp" "src/core/CMakeFiles/abdiag_core.dir/Diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/Diagnosis.cpp.o.d"
+  "/root/repo/src/core/ErrorDiagnoser.cpp" "src/core/CMakeFiles/abdiag_core.dir/ErrorDiagnoser.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/ErrorDiagnoser.cpp.o.d"
+  "/root/repo/src/core/Explain.cpp" "src/core/CMakeFiles/abdiag_core.dir/Explain.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/Explain.cpp.o.d"
+  "/root/repo/src/core/Msa.cpp" "src/core/CMakeFiles/abdiag_core.dir/Msa.cpp.o" "gcc" "src/core/CMakeFiles/abdiag_core.dir/Msa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/abdiag_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/abdiag_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/abdiag_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_core.dir/Abduction.cpp.o"
+  "CMakeFiles/abdiag_core.dir/Abduction.cpp.o.d"
+  "CMakeFiles/abdiag_core.dir/ConcreteOracle.cpp.o"
+  "CMakeFiles/abdiag_core.dir/ConcreteOracle.cpp.o.d"
+  "CMakeFiles/abdiag_core.dir/Diagnosis.cpp.o"
+  "CMakeFiles/abdiag_core.dir/Diagnosis.cpp.o.d"
+  "CMakeFiles/abdiag_core.dir/ErrorDiagnoser.cpp.o"
+  "CMakeFiles/abdiag_core.dir/ErrorDiagnoser.cpp.o.d"
+  "CMakeFiles/abdiag_core.dir/Explain.cpp.o"
+  "CMakeFiles/abdiag_core.dir/Explain.cpp.o.d"
+  "CMakeFiles/abdiag_core.dir/Msa.cpp.o"
+  "CMakeFiles/abdiag_core.dir/Msa.cpp.o.d"
+  "libabdiag_core.a"
+  "libabdiag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_lang.dir/AstPrinter.cpp.o"
+  "CMakeFiles/abdiag_lang.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/abdiag_lang.dir/Interp.cpp.o"
+  "CMakeFiles/abdiag_lang.dir/Interp.cpp.o.d"
+  "CMakeFiles/abdiag_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/abdiag_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/abdiag_lang.dir/Parser.cpp.o"
+  "CMakeFiles/abdiag_lang.dir/Parser.cpp.o.d"
+  "libabdiag_lang.a"
+  "libabdiag_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/Cooper.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Cooper.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Cooper.cpp.o.d"
+  "/root/repo/src/smt/Formula.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Formula.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Formula.cpp.o.d"
+  "/root/repo/src/smt/FormulaOps.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/FormulaOps.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/FormulaOps.cpp.o.d"
+  "/root/repo/src/smt/FormulaParser.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/FormulaParser.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/FormulaParser.cpp.o.d"
+  "/root/repo/src/smt/LiaSolver.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/LiaSolver.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/LiaSolver.cpp.o.d"
+  "/root/repo/src/smt/LinearExpr.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/LinearExpr.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/LinearExpr.cpp.o.d"
+  "/root/repo/src/smt/Printer.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Printer.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Printer.cpp.o.d"
+  "/root/repo/src/smt/Sat.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Sat.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Sat.cpp.o.d"
+  "/root/repo/src/smt/Simplify.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Simplify.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Simplify.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/smt/CMakeFiles/abdiag_smt.dir/Solver.cpp.o" "gcc" "src/smt/CMakeFiles/abdiag_smt.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

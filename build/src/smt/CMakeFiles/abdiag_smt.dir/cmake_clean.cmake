@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_smt.dir/Cooper.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Cooper.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/Formula.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Formula.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/FormulaOps.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/FormulaOps.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/FormulaParser.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/FormulaParser.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/LiaSolver.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/LiaSolver.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/LinearExpr.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/LinearExpr.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/Printer.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Printer.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/Sat.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Sat.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/Simplify.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Simplify.cpp.o.d"
+  "CMakeFiles/abdiag_smt.dir/Solver.cpp.o"
+  "CMakeFiles/abdiag_smt.dir/Solver.cpp.o.d"
+  "libabdiag_smt.a"
+  "libabdiag_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_z3bridge.dir/Z3Bridge.cpp.o"
+  "CMakeFiles/abdiag_z3bridge.dir/Z3Bridge.cpp.o.d"
+  "libabdiag_z3bridge.a"
+  "libabdiag_z3bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_z3bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abdiag_z3bridge.
+# This may be replaced when dependencies are built.

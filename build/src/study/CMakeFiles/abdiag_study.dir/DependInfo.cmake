@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/Benchmarks.cpp" "src/study/CMakeFiles/abdiag_study.dir/Benchmarks.cpp.o" "gcc" "src/study/CMakeFiles/abdiag_study.dir/Benchmarks.cpp.o.d"
+  "/root/repo/src/study/HumanModel.cpp" "src/study/CMakeFiles/abdiag_study.dir/HumanModel.cpp.o" "gcc" "src/study/CMakeFiles/abdiag_study.dir/HumanModel.cpp.o.d"
+  "/root/repo/src/study/Stats.cpp" "src/study/CMakeFiles/abdiag_study.dir/Stats.cpp.o" "gcc" "src/study/CMakeFiles/abdiag_study.dir/Stats.cpp.o.d"
+  "/root/repo/src/study/StudyRunner.cpp" "src/study/CMakeFiles/abdiag_study.dir/StudyRunner.cpp.o" "gcc" "src/study/CMakeFiles/abdiag_study.dir/StudyRunner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abdiag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/abdiag_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/abdiag_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/abdiag_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abdiag_study.dir/Benchmarks.cpp.o"
+  "CMakeFiles/abdiag_study.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/abdiag_study.dir/HumanModel.cpp.o"
+  "CMakeFiles/abdiag_study.dir/HumanModel.cpp.o.d"
+  "CMakeFiles/abdiag_study.dir/Stats.cpp.o"
+  "CMakeFiles/abdiag_study.dir/Stats.cpp.o.d"
+  "CMakeFiles/abdiag_study.dir/StudyRunner.cpp.o"
+  "CMakeFiles/abdiag_study.dir/StudyRunner.cpp.o.d"
+  "libabdiag_study.a"
+  "libabdiag_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abdiag_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

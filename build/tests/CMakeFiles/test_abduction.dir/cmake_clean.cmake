@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abduction.dir/core/AbductionTest.cpp.o"
+  "CMakeFiles/test_abduction.dir/core/AbductionTest.cpp.o.d"
+  "test_abduction"
+  "test_abduction.pdb"
+  "test_abduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

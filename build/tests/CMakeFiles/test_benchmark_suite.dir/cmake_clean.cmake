@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchmark_suite.dir/study/BenchmarkSuiteTest.cpp.o"
+  "CMakeFiles/test_benchmark_suite.dir/study/BenchmarkSuiteTest.cpp.o.d"
+  "test_benchmark_suite"
+  "test_benchmark_suite.pdb"
+  "test_benchmark_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchmark_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

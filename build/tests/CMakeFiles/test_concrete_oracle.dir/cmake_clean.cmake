@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concrete_oracle.dir/core/ConcreteOracleTest.cpp.o"
+  "CMakeFiles/test_concrete_oracle.dir/core/ConcreteOracleTest.cpp.o.d"
+  "test_concrete_oracle"
+  "test_concrete_oracle.pdb"
+  "test_concrete_oracle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concrete_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cooper.dir/smt/CooperTest.cpp.o"
+  "CMakeFiles/test_cooper.dir/smt/CooperTest.cpp.o.d"
+  "test_cooper"
+  "test_cooper.pdb"
+  "test_cooper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cooper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cooper.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diagnosis.dir/core/DiagnosisTest.cpp.o"
+  "CMakeFiles/test_diagnosis.dir/core/DiagnosisTest.cpp.o.d"
+  "test_diagnosis"
+  "test_diagnosis.pdb"
+  "test_diagnosis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_diagnoser.dir/core/ErrorDiagnoserTest.cpp.o"
+  "CMakeFiles/test_error_diagnoser.dir/core/ErrorDiagnoserTest.cpp.o.d"
+  "test_error_diagnoser"
+  "test_error_diagnoser.pdb"
+  "test_error_diagnoser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_diagnoser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

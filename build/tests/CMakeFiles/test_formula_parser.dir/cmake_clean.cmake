@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formula_parser.dir/smt/FormulaParserTest.cpp.o"
+  "CMakeFiles/test_formula_parser.dir/smt/FormulaParserTest.cpp.o.d"
+  "test_formula_parser"
+  "test_formula_parser.pdb"
+  "test_formula_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formula_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_function_inline.dir/lang/FunctionInlineTest.cpp.o"
+  "CMakeFiles/test_function_inline.dir/lang/FunctionInlineTest.cpp.o.d"
+  "test_function_inline"
+  "test_function_inline.pdb"
+  "test_function_inline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_function_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_annotator.dir/analysis/IntervalAnnotatorTest.cpp.o"
+  "CMakeFiles/test_interval_annotator.dir/analysis/IntervalAnnotatorTest.cpp.o.d"
+  "test_interval_annotator"
+  "test_interval_annotator.pdb"
+  "test_interval_annotator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_annotator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_expr.dir/smt/LinearExprTest.cpp.o"
+  "CMakeFiles/test_linear_expr.dir/smt/LinearExprTest.cpp.o.d"
+  "test_linear_expr"
+  "test_linear_expr.pdb"
+  "test_linear_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

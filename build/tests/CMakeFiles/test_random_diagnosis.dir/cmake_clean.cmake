@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_diagnosis.dir/core/RandomDiagnosisTest.cpp.o"
+  "CMakeFiles/test_random_diagnosis.dir/core/RandomDiagnosisTest.cpp.o.d"
+  "test_random_diagnosis"
+  "test_random_diagnosis.pdb"
+  "test_random_diagnosis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

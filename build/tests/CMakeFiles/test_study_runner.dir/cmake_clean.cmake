@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study_runner.dir/study/StudyRunnerTest.cpp.o"
+  "CMakeFiles/test_study_runner.dir/study/StudyRunnerTest.cpp.o.d"
+  "test_study_runner"
+  "test_study_runner.pdb"
+  "test_study_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

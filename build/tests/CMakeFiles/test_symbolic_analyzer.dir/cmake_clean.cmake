@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbolic_analyzer.dir/analysis/SymbolicAnalyzerTest.cpp.o"
+  "CMakeFiles/test_symbolic_analyzer.dir/analysis/SymbolicAnalyzerTest.cpp.o.d"
+  "test_symbolic_analyzer"
+  "test_symbolic_analyzer.pdb"
+  "test_symbolic_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbolic_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_linear_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_formula[1]_include.cmake")
+include("/root/repo/build/tests/test_formula_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_lia[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_cooper[1]_include.cmake")
+include("/root/repo/build/tests/test_simplify[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_function_inline[1]_include.cmake")
+include("/root/repo/build/tests/test_symbolic_analyzer[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_annotator[1]_include.cmake")
+include("/root/repo/build/tests/test_msa[1]_include.cmake")
+include("/root/repo/build/tests/test_abduction[1]_include.cmake")
+include("/root/repo/build/tests/test_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_benchmark_suite[1]_include.cmake")
+include("/root/repo/build/tests/test_study_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_concrete_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_error_diagnoser[1]_include.cmake")
+include("/root/repo/build/tests/test_explain[1]_include.cmake")
+include("/root/repo/build/tests/test_random_diagnosis[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_robustness[1]_include.cmake")
