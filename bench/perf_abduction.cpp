@@ -73,6 +73,100 @@ void BM_AbduceObligationAndWitness(benchmark::State &State) {
 }
 BENCHMARK(BM_AbduceObligationAndWitness);
 
+/// The MSA/abduction hot path (obligation + witness for the intro program),
+/// incremental vs fresh. "Incremental" is the deployed configuration:
+/// verdict cache on and the subset search running through one
+/// Solver::Session. "Fresh" replays the pre-session behaviour: no cache,
+/// a from-scratch solver query per candidate subset.
+void AbduceIntro(benchmark::State &State, bool Incremental) {
+  lang::ParseResult P = lang::parseProgram(IntroSource);
+  for (auto _ : State) {
+    smt::FormulaManager M;
+    smt::Solver S(M);
+    S.setCaching(Incremental);
+    analysis::AnalysisResult AR = analysis::analyzeProgram(*P.Prog, S);
+    Abducer Abd(S);
+    MsaOptions Opts;
+    Opts.Incremental = Incremental;
+    Abd.setMsaOptions(Opts);
+    benchmark::DoNotOptimize(
+        Abd.proofObligation(AR.Invariants, AR.SuccessCondition));
+    benchmark::DoNotOptimize(
+        Abd.failureWitness(AR.Invariants, AR.SuccessCondition));
+  }
+}
+void BM_AbduceIntroIncremental(benchmark::State &State) {
+  AbduceIntro(State, /*Incremental=*/true);
+}
+void BM_AbduceIntroFresh(benchmark::State &State) {
+  AbduceIntro(State, /*Incremental=*/false);
+}
+BENCHMARK(BM_AbduceIntroIncremental);
+BENCHMARK(BM_AbduceIntroFresh);
+
+/// Full Figure 6 diagnosis runs, incremental vs fresh, over the paper
+/// benchmark programs. Each iteration rebuilds the diagnoser (cold caches),
+/// so the measured speedup comes from reuse *within* one diagnosis run --
+/// the latency a user of the interactive tool actually experiences.
+void DiagnoseSuiteProgram(benchmark::State &State, size_t Index,
+                          bool Incremental) {
+  const BenchmarkInfo &B = benchmarkSuite()[Index];
+  State.SetLabel(B.Name);
+  for (auto _ : State) {
+    State.PauseTiming();
+    ErrorDiagnoser::Options Opts;
+    Opts.Diagnosis.IncrementalMsa = Incremental;
+    ErrorDiagnoser D(Opts);
+    std::string Err;
+    if (!D.loadFile(benchmarkPath(B), &Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    D.solver().setCaching(Incremental);
+    auto Oracle = D.makeConcreteOracle();
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(D.diagnose(*Oracle));
+  }
+}
+void BM_DiagnoseSuiteIncremental(benchmark::State &State) {
+  DiagnoseSuiteProgram(State, static_cast<size_t>(State.range(0)),
+                       /*Incremental=*/true);
+}
+void BM_DiagnoseSuiteFresh(benchmark::State &State) {
+  DiagnoseSuiteProgram(State, static_cast<size_t>(State.range(0)),
+                       /*Incremental=*/false);
+}
+BENCHMARK(BM_DiagnoseSuiteIncremental)->Arg(0)->Arg(2)->Arg(4);
+BENCHMARK(BM_DiagnoseSuiteFresh)->Arg(0)->Arg(2)->Arg(4);
+
+/// Intro-program diagnosis, incremental vs fresh (same protocol as the
+/// suite variant; the intro program is the paper's running example).
+void DiagnoseIntro(benchmark::State &State, bool Incremental) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    ErrorDiagnoser::Options Opts;
+    Opts.Diagnosis.IncrementalMsa = Incremental;
+    ErrorDiagnoser D(Opts);
+    std::string Err;
+    if (!D.loadSource(IntroSource, &Err)) {
+      State.SkipWithError(Err.c_str());
+      return;
+    }
+    D.solver().setCaching(Incremental);
+    auto Oracle = D.makeConcreteOracle();
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(D.diagnose(*Oracle));
+  }
+}
+void BM_DiagnoseIntroIncremental(benchmark::State &State) {
+  DiagnoseIntro(State, /*Incremental=*/true);
+}
+void BM_DiagnoseIntroFresh(benchmark::State &State) {
+  DiagnoseIntro(State, /*Incremental=*/false);
+}
+BENCHMARK(BM_DiagnoseIntroIncremental);
+BENCHMARK(BM_DiagnoseIntroFresh);
+
 void BM_FullDiagnosisPerBenchmark(benchmark::State &State) {
   const BenchmarkInfo &B =
       benchmarkSuite()[static_cast<size_t>(State.range(0))];

@@ -52,6 +52,26 @@ const Formula *randomFormula(FormulaManager &M, Rng &R,
   return R.chance(0.5) ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
 }
 
+/// Like randomFormula but with Le/Ne atoms only. Used where the benchmark
+/// should measure boolean search and encoding reuse: random Eq/Div mixes
+/// occasionally produce conjunctions whose divisibility theory checks dwarf
+/// everything else being measured.
+const Formula *randomEasyFormula(FormulaManager &M, Rng &R,
+                                 const std::vector<VarId> &Vars, int Depth) {
+  if (Depth == 0 || R.chance(0.4)) {
+    LinearExpr E = LinearExpr::constant(R.range(-6, 6));
+    for (VarId V : Vars)
+      if (R.chance(0.7))
+        E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+    return R.chance(0.5) ? M.mkAtom(AtomRel::Le, E)
+                         : M.mkAtom(AtomRel::Ne, E);
+  }
+  std::vector<const Formula *> Kids;
+  for (int I = 0, N = static_cast<int>(R.range(2, 3)); I < N; ++I)
+    Kids.push_back(randomEasyFormula(M, R, Vars, Depth - 1));
+  return R.chance(0.5) ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+}
+
 void BM_FormulaConstruction(benchmark::State &State) {
   for (auto _ : State) {
     FormulaManager M;
@@ -106,6 +126,60 @@ void BM_LiaConjunction(benchmark::State &State) {
 }
 BENCHMARK(BM_LiaConjunction)->Arg(3)->Arg(6)->Arg(10);
 
+/// Incremental vs fresh: answer a batch of assumption queries over one
+/// clause set. The incremental solver keeps learned clauses between calls;
+/// the fresh variant rebuilds the solver for every query (the pre-session
+/// behaviour of the SMT layer).
+void SatQueryBatch(benchmark::State &State, bool Incremental) {
+  int NumVars = 60;
+  Rng Setup(7);
+  std::vector<std::vector<sat::Lit>> Clauses;
+  for (int I = 0; I < static_cast<int>(NumVars * 4.0); ++I) {
+    std::vector<sat::Lit> C;
+    for (int K = 0; K < 3; ++K)
+      C.push_back(sat::mkLit(
+          static_cast<sat::BVar>(Setup.range(0, NumVars - 1)),
+          Setup.chance(0.5)));
+    Clauses.push_back(std::move(C));
+  }
+  for (auto _ : State) {
+    Rng R(99);
+    sat::SatSolver Inc;
+    if (Incremental) {
+      for (int I = 0; I < NumVars; ++I)
+        Inc.newVar();
+      for (const auto &C : Clauses)
+        Inc.addClause(C);
+    }
+    for (int Query = 0; Query < 24; ++Query) {
+      std::vector<sat::Lit> Assumps;
+      for (int I = 0; I < 6; ++I)
+        Assumps.push_back(sat::mkLit(
+            static_cast<sat::BVar>(R.range(0, NumVars - 1)), R.chance(0.5)));
+      if (Incremental) {
+        benchmark::DoNotOptimize(Inc.solve(Assumps));
+      } else {
+        sat::SatSolver S;
+        for (int I = 0; I < NumVars; ++I)
+          S.newVar();
+        for (const auto &C : Clauses)
+          S.addClause(C);
+        for (sat::Lit A : Assumps)
+          S.addClause({A});
+        benchmark::DoNotOptimize(S.solve());
+      }
+    }
+  }
+}
+void BM_SatQueryBatchIncremental(benchmark::State &State) {
+  SatQueryBatch(State, /*Incremental=*/true);
+}
+void BM_SatQueryBatchFresh(benchmark::State &State) {
+  SatQueryBatch(State, /*Incremental=*/false);
+}
+BENCHMARK(BM_SatQueryBatchIncremental);
+BENCHMARK(BM_SatQueryBatchFresh);
+
 void BM_SolverIsSat(benchmark::State &State) {
   FormulaManager M;
   Solver S(M);
@@ -122,6 +196,72 @@ void BM_SolverIsSat(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SolverIsSat);
+
+/// A repetitive query mix (every formula asked several times, as the
+/// diagnosis loop does), answered with and without the verdict cache.
+void SolverRepeatedQueries(benchmark::State &State, bool Caching) {
+  FormulaManager M;
+  Rng R(123);
+  std::vector<VarId> Vars;
+  for (int I = 0; I < 4; ++I)
+    Vars.push_back(M.vars().create("v" + std::to_string(I), VarKind::Input));
+  std::vector<const Formula *> Fs;
+  for (int I = 0; I < 12; ++I)
+    Fs.push_back(randomFormula(M, R, Vars, 2));
+  for (auto _ : State) {
+    Solver S(M);
+    S.setCaching(Caching);
+    for (int Rep = 0; Rep < 8; ++Rep)
+      for (const Formula *F : Fs)
+        benchmark::DoNotOptimize(S.isSat(F));
+  }
+}
+void BM_SolverRepeatedQueriesCached(benchmark::State &State) {
+  SolverRepeatedQueries(State, /*Caching=*/true);
+}
+void BM_SolverRepeatedQueriesFresh(benchmark::State &State) {
+  SolverRepeatedQueries(State, /*Caching=*/false);
+}
+BENCHMARK(BM_SolverRepeatedQueriesCached);
+BENCHMARK(BM_SolverRepeatedQueriesFresh);
+
+/// Session-based conjunction checks with shared conjuncts vs one-shot
+/// isSat over the conjunction (the MSA subset-search query shape). The pool
+/// is kept shallow (3 vars, depth 1) so the benchmark measures encoding and
+/// search reuse rather than individual theory-check hardness.
+void SolverConjunctionChecks(benchmark::State &State, bool Incremental) {
+  FormulaManager M;
+  Rng R(321);
+  std::vector<VarId> Vars;
+  for (int I = 0; I < 3; ++I)
+    Vars.push_back(M.vars().create("w" + std::to_string(I), VarKind::Input));
+  std::vector<const Formula *> Pool;
+  for (int I = 0; I < 10; ++I)
+    Pool.push_back(randomEasyFormula(M, R, Vars, 1));
+  for (auto _ : State) {
+    Solver S(M);
+    S.setCaching(false);
+    Solver::Session Sess(S);
+    Rng Q(555);
+    for (int Query = 0; Query < 48; ++Query) {
+      std::vector<const Formula *> Conj;
+      for (int I = 0, N = static_cast<int>(Q.range(2, 4)); I < N; ++I)
+        Conj.push_back(Pool[Q.range(0, Pool.size() - 1)]);
+      if (Incremental)
+        benchmark::DoNotOptimize(Sess.check(Conj));
+      else
+        benchmark::DoNotOptimize(S.isSat(M.mkAnd(std::move(Conj))));
+    }
+  }
+}
+void BM_SessionConjunctionsIncremental(benchmark::State &State) {
+  SolverConjunctionChecks(State, /*Incremental=*/true);
+}
+void BM_SessionConjunctionsFresh(benchmark::State &State) {
+  SolverConjunctionChecks(State, /*Incremental=*/false);
+}
+BENCHMARK(BM_SessionConjunctionsIncremental);
+BENCHMARK(BM_SessionConjunctionsFresh);
 
 void BM_CooperEliminateOne(benchmark::State &State) {
   FormulaManager M;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark performance suites and records the results as
+# JSON, so the perf trajectory of the repo is captured run over run.
+#
+# Usage: bench/run_bench.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build directory containing bench/ binaries (default: build)
+#   OUT_DIR    where BENCH_smt.json / BENCH_abduction.json land (default: repo root)
+#
+# Equivalent cmake driver: `cmake --build BUILD_DIR --target bench-json`.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_DIR="${2:-$REPO_ROOT}"
+
+for BIN in perf_smt perf_abduction; do
+  if [[ ! -x "$BUILD_DIR/bench/$BIN" ]]; then
+    echo "error: $BUILD_DIR/bench/$BIN not built (run: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$OUT_DIR"
+
+"$BUILD_DIR/bench/perf_smt" \
+  --benchmark_out="$OUT_DIR/BENCH_smt.json" \
+  --benchmark_out_format=json
+"$BUILD_DIR/bench/perf_abduction" \
+  --benchmark_out="$OUT_DIR/BENCH_abduction.json" \
+  --benchmark_out_format=json
+
+echo "wrote $OUT_DIR/BENCH_smt.json and $OUT_DIR/BENCH_abduction.json"

@@ -11,7 +11,9 @@
 /// answers the queries instead of a human, so reports decidable within the
 /// explored input box never reach a person.
 ///
-/// Usage: batch_triage <file.adg>... (defaults to the 11-problem suite)
+/// Usage: batch_triage [--stats] <file.adg>...
+/// (defaults to the 11-problem suite; --stats additionally reports the
+/// solver's query/theory/cache counters per program and in aggregate)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +22,8 @@
 #include "study/Benchmarks.h"
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,7 @@ struct TriageRow {
   std::string Verdict;
   size_t Queries = 0;
   size_t Loc = 0;
+  smt::Solver::Stats Solver;
 };
 
 TriageRow triageOne(const std::string &Path, const std::string &Name) {
@@ -47,15 +52,18 @@ TriageRow triageOne(const std::string &Path, const std::string &Name) {
   Row.Loc = lang::programLoc(Diagnoser.program());
   if (Diagnoser.dischargedByAnalysis()) {
     Row.Verdict = "false alarm (analysis alone)";
+    Row.Solver = Diagnoser.solver().stats();
     return Row;
   }
   if (Diagnoser.validatedByAnalysis()) {
     Row.Verdict = "REAL BUG (analysis alone)";
+    Row.Solver = Diagnoser.solver().stats();
     return Row;
   }
   auto Oracle = Diagnoser.makeConcreteOracle();
   DiagnosisResult R = Diagnoser.diagnose(*Oracle);
   Row.Queries = R.Transcript.size();
+  Row.Solver = Diagnoser.solver().stats();
   switch (R.Outcome) {
   case DiagnosisOutcome::Discharged:
     Row.Verdict = "false alarm";
@@ -70,14 +78,31 @@ TriageRow triageOne(const std::string &Path, const std::string &Name) {
   return Row;
 }
 
+void accumulate(smt::Solver::Stats &Total, const smt::Solver::Stats &S) {
+  Total.Queries += S.Queries;
+  Total.TheoryChecks += S.TheoryChecks;
+  Total.TheoryConflicts += S.TheoryConflicts;
+  Total.CooperFallbacks += S.CooperFallbacks;
+  Total.CacheHits += S.CacheHits;
+  Total.CacheMisses += S.CacheMisses;
+  Total.SessionChecks += S.SessionChecks;
+  Total.CoreSkips += S.CoreSkips;
+  Total.QeCacheHits += S.QeCacheHits;
+  Total.QeCacheMisses += S.QeCacheMisses;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  bool ShowStats = false;
   std::vector<std::pair<std::string, std::string>> Files;
-  if (Argc > 1) {
-    for (int I = 1; I < Argc; ++I)
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stats") == 0)
+      ShowStats = true;
+    else
       Files.emplace_back(Argv[I], Argv[I]);
-  } else {
+  }
+  if (Files.empty()) {
     for (const study::BenchmarkInfo &B : study::benchmarkSuite())
       Files.emplace_back(study::benchmarkPath(B), B.Name);
   }
@@ -85,10 +110,26 @@ int main(int Argc, char **Argv) {
   std::printf("%-24s %5s  %8s  %s\n", "program", "LOC", "queries", "verdict");
   std::printf("%-24s %5s  %8s  %s\n", "-------", "---", "-------", "-------");
   size_t Bugs = 0, FalseAlarms = 0, Unresolved = 0;
+  smt::Solver::Stats Total;
   for (const auto &[Path, Name] : Files) {
     TriageRow Row = triageOne(Path, Name);
     std::printf("%-24s %5zu  %8zu  %s\n", Row.Name.c_str(), Row.Loc,
                 Row.Queries, Row.Verdict.c_str());
+    if (ShowStats)
+      std::printf("  solver: queries=%llu theory=%llu conflicts=%llu "
+                  "cooper=%llu cache=%llu/%llu session=%llu coreskips=%llu "
+                  "qe=%llu/%llu\n",
+                  (unsigned long long)Row.Solver.Queries,
+                  (unsigned long long)Row.Solver.TheoryChecks,
+                  (unsigned long long)Row.Solver.TheoryConflicts,
+                  (unsigned long long)Row.Solver.CooperFallbacks,
+                  (unsigned long long)Row.Solver.CacheHits,
+                  (unsigned long long)Row.Solver.CacheMisses,
+                  (unsigned long long)Row.Solver.SessionChecks,
+                  (unsigned long long)Row.Solver.CoreSkips,
+                  (unsigned long long)Row.Solver.QeCacheHits,
+                  (unsigned long long)Row.Solver.QeCacheMisses);
+    accumulate(Total, Row.Solver);
     if (Row.Verdict.find("BUG") != std::string::npos)
       ++Bugs;
     else if (Row.Verdict.find("false alarm") != std::string::npos)
@@ -98,5 +139,9 @@ int main(int Argc, char **Argv) {
   }
   std::printf("\n%zu real bug(s), %zu false alarm(s), %zu unresolved\n", Bugs,
               FalseAlarms, Unresolved);
+  if (ShowStats) {
+    std::printf("\naggregate solver statistics:\n");
+    Total.dump(std::cout);
+  }
   return 0;
 }

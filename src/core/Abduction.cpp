@@ -61,7 +61,7 @@ AbductionResult Abducer::abduce(
   CostFn Cost = [this, Mode, NumVars](VarId V) {
     return varCost(S.manager().vars(), V, Mode, NumVars, Model);
   };
-  Res.Msa = findMsa(S, Target, ConsistWith, Cost);
+  Res.Msa = findMsa(S, Target, ConsistWith, Cost, MsaOpts);
   if (!Res.Msa.Found)
     return Res;
 
@@ -76,7 +76,11 @@ AbductionResult Abducer::abduce(
     for (VarId V : TargetVars)
       if (!Keep.count(V))
         Eliminate.push_back(V);
-    const Formula *Gamma = eliminateForall(M, Target, Eliminate);
+    // This QE was already performed by findMsa for every winning subset;
+    // the incremental path serves it from the solver's QE memo.
+    const Formula *Gamma = MsaOpts.Incremental
+                               ? S.eliminateForallCached(Target, Eliminate)
+                               : eliminateForall(M, Target, Eliminate);
     if (SimplifyModuloI)
       Gamma = simplifyModulo(S, Gamma, I);
     // The definition requires SAT(Gamma ∧ I); guaranteed by consistency of

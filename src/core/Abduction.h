@@ -56,11 +56,16 @@ class Abducer {
   smt::Solver &S;
   bool SimplifyModuloI;
   CostModel Model;
+  MsaOptions MsaOpts;
 
 public:
   explicit Abducer(smt::Solver &S, bool SimplifyModuloI = true,
                    CostModel Model = CostModel::Paper)
       : S(S), SimplifyModuloI(SimplifyModuloI), Model(Model) {}
+
+  /// Limits and the incremental/fresh switch for the underlying MSA search.
+  void setMsaOptions(const MsaOptions &O) { MsaOpts = O; }
+  const MsaOptions &msaOptions() const { return MsaOpts; }
 
   /// Per-variable cost (Definitions 2/9 under CostModel::Paper); \p NumVars
   /// is |Vars(phi) ∪ Vars(I)|. Aux variables never appear in queries but

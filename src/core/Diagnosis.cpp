@@ -198,6 +198,9 @@ DiagnosisResult DiagnosisEngine::run(const Formula *I, const Formula *Phi,
   QueriesLeft = Config.MaxQueries;
 
   Abducer Abd(S, Config.SimplifyQueries, Config.Costs);
+  MsaOptions MsaOpts;
+  MsaOpts.Incremental = Config.IncrementalMsa;
+  Abd.setMsaOptions(MsaOpts);
 
   for (int Iter = 0; Iter < Config.MaxIterations; ++Iter) {
     Result.Iterations = Iter + 1;

@@ -69,6 +69,8 @@ struct DiagnosisConfig {
   bool SimplifyQueries = true;
   /// Cost model for abduction (E5 ablation; Paper = Definitions 2/9).
   CostModel Costs = CostModel::Paper;
+  /// Run MSA subset searches through an incremental solver session.
+  bool IncrementalMsa = true;
 };
 
 /// Result of a diagnosis run.

@@ -69,6 +69,12 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
   // the complement; to keep it cheap we precompute, for each condition, its
   // formula with every Target variable still intact and rename lazily.
 
+  // One incremental session serves every candidate subset: the renamed
+  // consistency conditions (and any recurring QE results) are Tseitin-encoded
+  // once, theory lemmas persist between candidates, and unsat cores of
+  // rejected conjunct sets prune later candidates without a solver call.
+  Solver::Session Sess(S);
+
   auto TestSubset = [&](uint64_t Mask, MsaCandidate &Out) -> bool {
     std::vector<VarId> Complement, Chosen;
     for (size_t I = 0; I < Fv.size(); ++I) {
@@ -77,7 +83,13 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
       else
         Complement.push_back(Fv[I]);
     }
-    const Formula *Psi = eliminateForall(M, Target, Complement);
+    // The incremental path memoizes the per-variable QE steps in the
+    // solver: lattice neighbours share all but one eliminated variable, and
+    // later findMsa calls on the same target (diagnosis rounds grow only
+    // the consistency set) replay whole chains.
+    const Formula *Psi = Opts.Incremental
+                             ? S.eliminateForallCached(Target, Complement)
+                             : eliminateForall(M, Target, Complement);
     if (Psi->isFalse())
       return false;
     // Rename complement variables inside the consistency conditions (they
@@ -96,7 +108,9 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
       Conj.push_back(substitute(M, RenamedConds[I], Renaming));
     }
     Model Mo;
-    if (!S.isSat(M.mkAnd(std::move(Conj)), &Mo))
+    bool Sat = Opts.Incremental ? Sess.check(Conj, &Mo)
+                                : S.isSat(M.mkAnd(std::move(Conj)), &Mo);
+    if (!Sat)
       return false;
     Out.Vars = Chosen;
     for (VarId V : Chosen)

@@ -63,6 +63,11 @@ struct MsaOptions {
   size_t MaxSubsets = 4096;
   /// Collect at most this many minimum-cost candidates.
   size_t MaxCandidates = 8;
+  /// Decide subset queries through one incremental Solver::Session (shared
+  /// conjuncts encoded once, per-candidate activation via assumptions,
+  /// rejected conjunct sets remembered as unsat cores) instead of a fresh
+  /// solver query per candidate.
+  bool Incremental = true;
 };
 
 /// Finds minimum satisfying assignments of \p Target consistent with every

@@ -203,8 +203,10 @@ const Formula *substTree(FormulaManager &M, const XTree &T,
 
 } // namespace
 
-const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
-                                            const Formula *F, VarId X) {
+namespace {
+
+const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
+                                  VarId X) {
   F = lowerEqNeOn(M, F, X);
   if (!containsVar(F, X))
     return F;
@@ -247,9 +249,28 @@ const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
   return M.mkOr(std::move(Disjuncts));
 }
 
+} // namespace
+
+const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
+                                            const Formula *F, VarId X,
+                                            QeMemo *Memo) {
+  if (!Memo)
+    return eliminateExistsOne(M, F, X);
+  auto It = Memo->Exists.find({F, X});
+  if (It != Memo->Exists.end()) {
+    ++Memo->Hits;
+    return It->second;
+  }
+  ++Memo->Misses;
+  const Formula *R = eliminateExistsOne(M, F, X);
+  Memo->Exists.emplace(std::make_pair(F, X), R);
+  return R;
+}
+
 const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
                                             const Formula *F,
-                                            const std::vector<VarId> &Xs) {
+                                            const std::vector<VarId> &Xs,
+                                            QeMemo *Memo) {
   // Heuristic: eliminate variables with fewer occurrences first to keep
   // intermediate formulas small.
   std::vector<VarId> Order(Xs.begin(), Xs.end());
@@ -268,21 +289,23 @@ const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
         BestIdx = I;
       }
     }
-    F = eliminateExists(M, F, Order[BestIdx]);
+    F = eliminateExists(M, F, Order[BestIdx], Memo);
     Order.erase(Order.begin() + BestIdx);
   }
   return F;
 }
 
 const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
-                                            const Formula *F, VarId X) {
-  return M.mkNot(eliminateExists(M, M.mkNot(F), X));
+                                            const Formula *F, VarId X,
+                                            QeMemo *Memo) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), X, Memo));
 }
 
 const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
                                             const Formula *F,
-                                            const std::vector<VarId> &Xs) {
-  return M.mkNot(eliminateExists(M, M.mkNot(F), Xs));
+                                            const std::vector<VarId> &Xs,
+                                            QeMemo *Memo) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), Xs, Memo));
 }
 
 namespace {
@@ -384,6 +407,81 @@ int64_t evalAndPin(const LinearExpr &E,
   return E.evaluate([&](VarId V) { return Model.at(V); });
 }
 
+/// Decides a conjunction of atoms over the single variable \p X. The Le
+/// atoms intersect to one interval [Lo, Hi]; the Div/NDiv atoms are
+/// periodic with period lcm(divisors), so scanning one period inside the
+/// interval is exhaustive. This replaces the general elimination step at the
+/// innermost level, which otherwise rebuilds substituted formulas through
+/// the manager for every candidate value.
+bool solveSingleVar(const std::vector<const Formula *> &Work, VarId X,
+                    std::unordered_map<VarId, int64_t> &Model) {
+  bool HasLo = false, HasHi = false;
+  int64_t Lo = 0, Hi = 0, Period = 1;
+  for (const Formula *A : Work) {
+    int64_t C = A->expr().coeff(X);
+    int64_t K = A->expr().constant();
+    if (A->rel() == AtomRel::Le) {
+      if (C == 0) {
+        if (K > 0)
+          return false;
+        continue;
+      }
+      if (C > 0) { // C*x + K <= 0  =>  x <= floor(-K / C)
+        int64_t B = floorDiv(checkedNeg(K), C);
+        if (!HasHi || B < Hi) {
+          Hi = B;
+          HasHi = true;
+        }
+      } else { // C < 0  =>  x >= ceil(K / -C)
+        int64_t B = ceilDiv(K, checkedNeg(C));
+        if (!HasLo || B > Lo) {
+          Lo = B;
+          HasLo = true;
+        }
+      }
+    } else {
+      Period = lcm64(Period, A->divisor());
+    }
+  }
+  if (HasLo && HasHi && Lo > Hi)
+    return false;
+  auto Holds = [&](int64_t V) {
+    for (const Formula *A : Work) {
+      int64_t Val = checkedAdd(checkedMul(A->expr().coeff(X), V),
+                               A->expr().constant());
+      if (A->rel() == AtomRel::Le) {
+        if (Val > 0)
+          return false;
+      } else {
+        bool Divides = floorMod(Val, A->divisor()) == 0;
+        if (Divides != (A->rel() == AtomRel::Div))
+          return false;
+      }
+    }
+    return true;
+  };
+  int64_t Start, End;
+  if (HasLo) {
+    Start = Lo;
+    End = checkedAdd(Lo, Period - 1);
+    if (HasHi && Hi < End)
+      End = Hi;
+  } else if (HasHi) {
+    Start = checkedSub(Hi, Period - 1);
+    End = Hi;
+  } else {
+    Start = 0;
+    End = Period - 1;
+  }
+  for (int64_t V = Start; V <= End; ++V) {
+    if (Holds(V)) {
+      Model[X] = V;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
                   std::unordered_map<VarId, int64_t> &Model, int &Budget) {
   if (--Budget < 0) {
@@ -391,9 +489,14 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
                  "abdiag: fatal: conjunction solver budget exhausted\n");
     std::abort();
   }
-  // Filter constants; collect variable occurrences.
+  // Filter constants; collect per-variable occurrence counts and the lcm of
+  // the variable's absolute coefficients.
   std::vector<const Formula *> Work;
-  std::unordered_map<VarId, size_t> Occurrences;
+  struct VarScore {
+    size_t Occurrences = 0;
+    int64_t CoeffLcm = 1;
+  };
+  std::unordered_map<VarId, VarScore> Scores;
   for (const Formula *A : Atoms) {
     if (A->isFalse())
       return false;
@@ -404,19 +507,36 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
             A->rel() == AtomRel::NDiv) &&
            "Eq/Ne must be lowered before the conjunction solver");
     Work.push_back(A);
-    A->expr().forEachVar([&](VarId V) { ++Occurrences[V]; });
+    A->expr().forEachVar([&](VarId V) {
+      VarScore &Sc = Scores[V];
+      ++Sc.Occurrences;
+      int64_t C = A->expr().coeff(V);
+      Sc.CoeffLcm = lcm64(Sc.CoeffLcm, C < 0 ? -C : C);
+    });
   }
   if (Work.empty())
     return true;
+  if (Scores.size() == 1)
+    return solveSingleVar(Work, Scores.begin()->first, Model);
 
-  // Pick the variable with the fewest occurrences.
-  VarId X = Occurrences.begin()->first;
-  size_t BestCount = SIZE_MAX;
-  for (const auto &[V, N] : Occurrences)
-    if (N < BestCount || (N == BestCount && V < X)) {
+  // Pick the variable with the smallest coefficient lcm (it becomes the
+  // scaling factor L below, and every divisor and coefficient in the
+  // recursive subproblems is multiplied by L/|c|, so a large L cascades
+  // exponentially through the remaining eliminations). Break ties by fewest
+  // occurrences, then VarId, to keep the search deterministic.
+  VarId X = Scores.begin()->first;
+  VarScore Best = Scores.begin()->second;
+  for (const auto &[V, Sc] : Scores) {
+    bool Better =
+        Sc.CoeffLcm < Best.CoeffLcm ||
+        (Sc.CoeffLcm == Best.CoeffLcm &&
+         (Sc.Occurrences < Best.Occurrences ||
+          (Sc.Occurrences == Best.Occurrences && V < X)));
+    if (Better) {
       X = V;
-      BestCount = N;
+      Best = Sc;
     }
+  }
 
   // Split into x-atoms (scaled to unit coefficient on y = L*x) and others.
   int64_t L = 1;

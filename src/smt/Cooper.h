@@ -22,24 +22,54 @@
 
 #include "smt/Formula.h"
 
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace abdiag::smt {
 
+/// Memo for single-variable eliminations, shared across QE calls.
+///
+/// Multi-variable elimination is a fold of single-variable steps over
+/// hash-consed formulas, so the memo is keyed on the (formula pointer,
+/// variable) pair of each step: pointer equality is structural equality,
+/// and entries stay valid for the owning FormulaManager's lifetime. The
+/// MSA subset search profits enormously -- the complements of lattice
+/// neighbours overlap in all but one variable, so most of their
+/// elimination chains coincide step for step.
+struct QeMemo {
+  struct KeyHash {
+    size_t operator()(const std::pair<const Formula *, VarId> &K) const {
+      return std::hash<const Formula *>()(K.first) * 31u +
+             std::hash<VarId>()(K.second);
+    }
+  };
+  /// (F, X) -> quantifier-free equivalent of `exists X. F`.
+  std::unordered_map<std::pair<const Formula *, VarId>, const Formula *,
+                     KeyHash>
+      Exists;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
 /// Computes a quantifier-free equivalent of `exists X. F`.
-const Formula *eliminateExists(FormulaManager &M, const Formula *F, VarId X);
+const Formula *eliminateExists(FormulaManager &M, const Formula *F, VarId X,
+                               QeMemo *Memo = nullptr);
 
 /// Eliminates every variable in \p Xs existentially (in a heuristic order).
 const Formula *eliminateExists(FormulaManager &M, const Formula *F,
-                               const std::vector<VarId> &Xs);
+                               const std::vector<VarId> &Xs,
+                               QeMemo *Memo = nullptr);
 
 /// Computes a quantifier-free equivalent of `forall X. F` (as ¬∃X.¬F).
-const Formula *eliminateForall(FormulaManager &M, const Formula *F, VarId X);
+const Formula *eliminateForall(FormulaManager &M, const Formula *F, VarId X,
+                               QeMemo *Memo = nullptr);
 
 /// Eliminates every variable in \p Xs universally.
 const Formula *eliminateForall(FormulaManager &M, const Formula *F,
-                               const std::vector<VarId> &Xs);
+                               const std::vector<VarId> &Xs,
+                               QeMemo *Memo = nullptr);
 
 /// Complete satisfiability + model finding for a quantifier-free formula,
 /// by QE to univariate formulas and candidate-point enumeration. Complete

@@ -248,7 +248,37 @@ Lit SatSolver::pickBranchLit() {
   return mkLit(Best, !SavedPhase[Best]);
 }
 
-SatSolver::Result SatSolver::solve() {
+void SatSolver::analyzeFinal(Lit P) {
+  // Assumption P is falsified by the current trail; collect the subset of
+  // assumptions that (with the clause set) imply ¬P by walking the reason
+  // graph. Assumptions are the only decisions on the trail here, so a seen
+  // variable with no reason above level 0 is an assumption.
+  FailedAssumps.clear();
+  FailedAssumps.push_back(P);
+  if (Levels[litVar(P)] == 0)
+    return; // ¬P holds at level 0: P conflicts with the clause set alone
+  Seen[litVar(P)] = true;
+  uint32_t Level0End = TrailLims.empty()
+                           ? static_cast<uint32_t>(Trail.size())
+                           : TrailLims[0];
+  for (size_t I = Trail.size(); I > Level0End; --I) {
+    BVar V = litVar(Trail[I - 1]);
+    if (!Seen[V])
+      continue;
+    Seen[V] = false;
+    if (Reasons[V] == -1) {
+      FailedAssumps.push_back(Trail[I - 1]);
+      continue;
+    }
+    const Clause &C = Clauses[Reasons[V]];
+    for (size_t K = 1; K < C.Lits.size(); ++K)
+      if (Levels[litVar(C.Lits[K])] > 0)
+        Seen[litVar(C.Lits[K])] = true;
+  }
+}
+
+SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
+  FailedAssumps.clear();
   if (UnsatAtLevel0)
     return Result::Unsat;
   backtrack(0);
@@ -285,10 +315,27 @@ SatSolver::Result SatSolver::solve() {
       continue;
     }
     if (ConflictsHere >= ConflictBudget) {
-      // Restart.
+      // Restart. The assumption prefix is re-installed by the loop below.
       ConflictsHere = 0;
       ConflictBudget = lubySequence(++RestartIdx) * 64;
       backtrack(0);
+      continue;
+    }
+    if (level() < Assumptions.size()) {
+      // Install the next assumption as a pseudo-decision.
+      Lit A = Assumptions[level()];
+      LBool V = valueLit(A);
+      if (V == LBool::True) {
+        // Already implied; open an empty level to keep level==index aligned.
+        TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
+      } else if (V == LBool::False) {
+        analyzeFinal(A);
+        backtrack(0);
+        return Result::Unsat;
+      } else {
+        TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
+        enqueue(A, -1);
+      }
       continue;
     }
     Lit Next = pickBranchLit();

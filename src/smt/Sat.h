@@ -8,9 +8,11 @@
 /// A conflict-driven clause-learning SAT solver used as the boolean engine
 /// of the lazy DPLL(T) SMT loop. Features: two-watched-literal propagation,
 /// first-UIP conflict analysis with non-chronological backjumping, EVSIDS
-/// branching, phase saving, and Luby restarts. The solver supports
-/// incremental clause addition between solve() calls (used for theory
-/// conflict clauses), but not assumptions or clause deletion -- the formulas
+/// branching, phase saving, Luby restarts, and assumption-based incremental
+/// solving: solve(Assumptions) decides the clause set under a temporary set
+/// of assumed literals, keeps every original and learned clause live across
+/// calls, and on Unsat reports the subset of assumptions responsible
+/// (failedAssumptions()). Clause deletion is not implemented -- the formulas
 /// in this project are small.
 ///
 //===----------------------------------------------------------------------===//
@@ -52,7 +54,18 @@ public:
   bool addClause(std::vector<Lit> Lits);
 
   /// Solves the current clause set.
-  Result solve();
+  Result solve() { return solve({}); }
+
+  /// Solves the current clause set under \p Assumptions (literals assumed
+  /// true for this call only). Learned clauses are retained across calls --
+  /// they are implied by the clause set alone, never by the assumptions.
+  /// After Unsat, failedAssumptions() is the responsible assumption subset.
+  Result solve(const std::vector<Lit> &Assumptions);
+
+  /// After solve(Assumptions) returned Unsat: a subset A' of the assumptions
+  /// such that the clause set conjoined with A' is unsatisfiable. Empty when
+  /// the clause set is unsatisfiable on its own.
+  const std::vector<Lit> &failedAssumptions() const { return FailedAssumps; }
 
   /// Value of \p V in the satisfying assignment (valid after Sat).
   LBool value(BVar V) const { return Assigns[V]; }
@@ -87,6 +100,7 @@ private:
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   bool UnsatAtLevel0 = false;
+  std::vector<Lit> FailedAssumps;
 
   uint32_t level() const { return static_cast<uint32_t>(TrailLims.size()); }
   LBool valueLit(Lit L) const;
@@ -94,6 +108,7 @@ private:
   int32_t propagate(); // returns conflicting clause idx or -1
   void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
                uint32_t &BackLevel);
+  void analyzeFinal(Lit P);
   void backtrack(uint32_t ToLevel);
   void bumpVar(BVar V);
   void decayActivity();

@@ -14,12 +14,46 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <ostream>
 #include <set>
+#include <unordered_set>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace abdiag;
 using namespace abdiag::smt;
+
+void Solver::Stats::dump(std::ostream &OS) const {
+  OS << "queries:          " << Queries << "\n"
+     << "theory checks:    " << TheoryChecks << "\n"
+     << "theory conflicts: " << TheoryConflicts << "\n"
+     << "cooper fallbacks: " << CooperFallbacks << "\n"
+     << "cache hits:       " << CacheHits << "\n"
+     << "cache misses:     " << CacheMisses << "\n"
+     << "session checks:   " << SessionChecks << "\n"
+     << "core skips:       " << CoreSkips << "\n"
+     << "qe memo hits:     " << QeCacheHits << "\n"
+     << "qe memo misses:   " << QeCacheMisses << "\n";
+}
+
+void Solver::setCaching(bool On) {
+  Caching = On;
+  if (!On) {
+    Cache.clear();
+    Qe.Exists.clear();
+  }
+}
+
+const Formula *Solver::eliminateForallCached(const Formula *F,
+                                             const std::vector<VarId> &Xs) {
+  if (!Caching)
+    return eliminateForall(M, F, Xs);
+  uint64_t H0 = Qe.Hits, M0 = Qe.Misses;
+  const Formula *R = eliminateForall(M, F, Xs, &Qe);
+  S.QeCacheHits += Qe.Hits - H0;
+  S.QeCacheMisses += Qe.Misses - M0;
+  return R;
+}
 
 const Formula *Solver::lowerForSolver(
     const Formula *F,
@@ -146,40 +180,99 @@ public:
       return cooperFallback(Lits, Out);
 
     std::vector<int64_t> Residues(Vd.size(), 0);
-    while (true) {
-      if (residuesSatisfyDivs(Divs, Vd, Residues) &&
-          checkWithResidues(Rows, Vd, Residues, Delta, Out))
-        return true;
+    std::vector<std::vector<int64_t>> Limited;
+    bool Done = false;
+    while (!Done) {
+      if (residuesSatisfyDivs(Divs, Vd, Residues)) {
+        switch (checkWithResidues(Rows, Vd, Residues, Delta, LiaConfig(),
+                                  Out)) {
+        case Tri::Sat:
+          return true;
+        case Tri::Unsat:
+          break;
+        case Tri::Limit:
+          // Branch-and-bound gave up on this residue class with the cheap
+          // budget; queue it for an escalated retry instead of escalating
+          // to the Cooper solver on the substituted rows (the
+          // v := Delta*k + r substitution scales every coefficient by
+          // Delta, and Cooper's per-variable lcm explodes on the scaled
+          // system).
+          Limited.push_back(Residues);
+          break;
+        }
+      }
       // Odometer step.
       size_t I = 0;
       while (I < Vd.size() && ++Residues[I] == Delta) {
         Residues[I] = 0;
         ++I;
       }
-      if (I == Vd.size())
-        return false;
+      Done = I == Vd.size();
     }
+    // Escalated pass over the undecided residue classes only. If even the
+    // big budget is not enough, fall back to the complete Cooper solver on
+    // the original (small-coefficient) literals.
+    for (const std::vector<int64_t> &Rs : Limited) {
+      switch (checkWithResidues(Rows, Vd, Rs, Delta, escalatedConfig(),
+                                Out)) {
+      case Tri::Sat:
+        return true;
+      case Tri::Unsat:
+        break;
+      case Tri::Limit:
+        return cooperFallback(Lits, Out);
+      }
+    }
+    return false;
   }
 
 private:
+  enum class Tri { Sat, Unsat, Limit };
+
+  /// Branch-and-bound budget for the retry pass. The default budget is kept
+  /// deliberately small (most checks are trivial); systems that exhaust it
+  /// almost always just need more nodes, and any amount of branch-and-bound
+  /// is far cheaper than the superexponential Cooper elimination that is the
+  /// only remaining fallback.
+  static LiaConfig escalatedConfig() {
+    LiaConfig C;
+    C.MaxBranchNodes = 50000;
+    C.MaxDepth = 64;
+    return C;
+  }
+
   bool checkRows(const std::vector<LinearExpr> &Rows, Model *Out) {
+    Tri St = tryRows(Rows, Out, LiaConfig());
+    if (St == Tri::Limit)
+      St = tryRows(Rows, Out, escalatedConfig());
+    if (St != Tri::Limit)
+      return St == Tri::Sat;
+    ++S.CooperFallbacks;
+    std::vector<const Formula *> Atoms;
+    Atoms.reserve(Rows.size());
+    for (const LinearExpr &E : Rows)
+      Atoms.push_back(M.mkAtom(AtomRel::Le, E));
     Model Local;
-    LiaStatus St = solveLiaConjunction(Rows, &Local);
-    if (St == LiaStatus::ResourceLimit) {
-      ++S.CooperFallbacks;
-      std::vector<const Formula *> Atoms;
-      Atoms.reserve(Rows.size());
-      for (const LinearExpr &E : Rows)
-        Atoms.push_back(M.mkAtom(AtomRel::Le, E));
-      Local.clear();
-      if (!solveAtomConjunction(M, Atoms, Local))
-        return false;
-    } else if (St == LiaStatus::Unsat) {
+    if (!solveAtomConjunction(M, Atoms, Local))
       return false;
-    }
     if (Out)
       *Out = std::move(Local);
     return true;
+  }
+
+  /// Like checkRows but reports a branch-and-bound budget exhaustion to the
+  /// caller instead of escalating to the Cooper solver on \p Rows.
+  Tri tryRows(const std::vector<LinearExpr> &Rows, Model *Out,
+              const LiaConfig &Cfg) {
+    Model Local;
+    LiaStatus St = solveLiaConjunction(Rows, &Local, Cfg);
+    if (St == LiaStatus::ResourceLimit)
+      return Tri::Limit;
+    if (St == LiaStatus::Unsat)
+      return Tri::Unsat;
+    if (Out)
+      *Out = std::move(Local);
+    return Tri::Sat;
   }
 
   static bool residuesSatisfyDivs(const std::vector<const TheoryLit *> &Divs,
@@ -199,10 +292,10 @@ private:
     return true;
   }
 
-  bool checkWithResidues(const std::vector<LinearExpr> &Rows,
-                         const std::vector<VarId> &Vd,
-                         const std::vector<int64_t> &Residues, int64_t Delta,
-                         Model *Out) {
+  Tri checkWithResidues(const std::vector<LinearExpr> &Rows,
+                        const std::vector<VarId> &Vd,
+                        const std::vector<int64_t> &Residues, int64_t Delta,
+                        const LiaConfig &Cfg, Model *Out) {
     // Substitute v := Delta * k_v + r_v in all Le rows.
     std::vector<LinearExpr> Sub = Rows;
     for (size_t I = 0; I < Vd.size(); ++I) {
@@ -218,8 +311,9 @@ private:
         Row = Row.substituted(Vd[I], Repl);
     }
     Model Local;
-    if (!checkRows(Sub, &Local))
-      return false;
+    Tri St = tryRows(Sub, &Local, Cfg);
+    if (St != Tri::Sat)
+      return St;
     if (Out) {
       *Out = Local;
       for (size_t I = 0; I < Vd.size(); ++I) {
@@ -228,7 +322,7 @@ private:
         (*Out)[Vd[I]] = checkedAdd(checkedMul(Delta, KV), Residues[I]);
       }
     }
-    return true;
+    return Tri::Sat;
   }
 
   /// Complete fallback: hand the whole conjunction to the DFS Cooper solver.
@@ -247,6 +341,79 @@ private:
   }
 };
 
+/// Tseitin encoder over one SatSolver: every distinct atom gets a boolean
+/// variable; every And/Or node gets a definition variable. Shared by the
+/// one-shot isSat path and the incremental Session (where the maps persist
+/// across checks so conjuncts are encoded exactly once).
+struct TseitinEncoder {
+  sat::SatSolver &Sat;
+  std::unordered_map<const Formula *, sat::BVar> AtomVar;
+  std::unordered_map<const Formula *, sat::Lit> NodeLit;
+
+  explicit TseitinEncoder(sat::SatSolver &Sat) : Sat(Sat) {}
+
+  sat::Lit encode(const Formula *N) {
+    auto It = NodeLit.find(N);
+    if (It != NodeLit.end())
+      return It->second;
+    sat::Lit L;
+    if (N->isAtom()) {
+      auto AIt = AtomVar.find(N);
+      sat::BVar V = AIt == AtomVar.end() ? Sat.newVar() : AIt->second;
+      if (AIt == AtomVar.end())
+        AtomVar.emplace(N, V);
+      L = sat::mkLit(V);
+    } else {
+      assert((N->isAnd() || N->isOr()) && "constants folded earlier");
+      std::vector<sat::Lit> KidLits;
+      KidLits.reserve(N->kids().size());
+      for (const Formula *K : N->kids())
+        KidLits.push_back(encode(K));
+      sat::BVar V = Sat.newVar();
+      L = sat::mkLit(V);
+      if (N->isAnd()) {
+        // V <-> AND kids: (¬V ∨ k_i) for all i; (V ∨ ¬k_1 ∨ ... ∨ ¬k_n).
+        std::vector<sat::Lit> Big{L};
+        for (sat::Lit KL : KidLits) {
+          Sat.addClause({sat::litNot(L), KL});
+          Big.push_back(sat::litNot(KL));
+        }
+        Sat.addClause(std::move(Big));
+      } else {
+        std::vector<sat::Lit> Big{sat::litNot(L)};
+        for (sat::Lit KL : KidLits) {
+          Sat.addClause({L, sat::litNot(KL)});
+          Big.push_back(KL);
+        }
+        Sat.addClause(std::move(Big));
+      }
+    }
+    NodeLit.emplace(N, L);
+    return L;
+  }
+};
+
+/// Deletion-minimizes a theory-inconsistent literal set and returns the
+/// surviving indices (an irreducible unsat subset).
+std::vector<size_t> minimizeTheoryCore(TheoryChecker &Theory,
+                                       const std::vector<TheoryLit> &Lits) {
+  std::vector<size_t> Core(Lits.size());
+  for (size_t I = 0; I < Core.size(); ++I)
+    Core[I] = I;
+  for (size_t I = 0; I < Core.size();) {
+    std::vector<TheoryLit> SubLits;
+    SubLits.reserve(Core.size() - 1);
+    for (size_t K = 0; K < Core.size(); ++K)
+      if (K != I)
+        SubLits.push_back(Lits[Core[K]]);
+    if (!Theory.check(SubLits, nullptr))
+      Core.erase(Core.begin() + I);
+    else
+      ++I;
+  }
+  return Core;
+}
+
 } // namespace
 
 bool Solver::isSat(const Formula *F, Model *Out) {
@@ -258,6 +425,26 @@ bool Solver::isSat(const Formula *F, Model *Out) {
   if (F->isFalse())
     return false;
 
+  if (Caching) {
+    auto It = Cache.find(F);
+    if (It != Cache.end()) {
+      ++S.CacheHits;
+      if (Out && It->second.Sat)
+        *Out = It->second.M;
+      return It->second.Sat;
+    }
+    ++S.CacheMisses;
+  }
+  Model Filled;
+  bool Res = isSatCore(F, Filled);
+  if (Caching)
+    Cache.emplace(F, CacheEntry{Res, Filled});
+  if (Out && Res)
+    *Out = std::move(Filled);
+  return Res;
+}
+
+bool Solver::isSatCore(const Formula *F, Model &Filled) {
   std::unordered_map<const Formula *, const Formula *> Memo;
   const Formula *Low = lowerForSolver(F, Memo);
   if (Low->isTrue())
@@ -269,11 +456,9 @@ bool Solver::isSat(const Formula *F, Model *Out) {
   TheoryChecker Theory(M, S, QuotientVars);
 
   auto FillModel = [&](const Model &Candidate) {
-    if (!Out)
-      return;
     for (VarId V : freeVars(F)) {
       auto MIt = Candidate.find(V);
-      (*Out)[V] = MIt == Candidate.end() ? 0 : MIt->second;
+      Filled[V] = MIt == Candidate.end() ? 0 : MIt->second;
     }
   };
 
@@ -300,54 +485,10 @@ bool Solver::isSat(const Formula *F, Model *Out) {
     return true;
   }
 
-  // Tseitin encoding. Every distinct atom gets a boolean variable; every
-  // And/Or node gets a definition variable.
+  // Tseitin encoding and the lazy DPLL(T) loop.
   sat::SatSolver Sat;
-  std::unordered_map<const Formula *, sat::BVar> AtomVar;
-  std::unordered_map<const Formula *, sat::Lit> NodeLit;
-
-  std::function<sat::Lit(const Formula *)> Encode =
-      [&](const Formula *N) -> sat::Lit {
-    auto It = NodeLit.find(N);
-    if (It != NodeLit.end())
-      return It->second;
-    sat::Lit L;
-    if (N->isAtom()) {
-      auto AIt = AtomVar.find(N);
-      sat::BVar V = AIt == AtomVar.end() ? Sat.newVar() : AIt->second;
-      if (AIt == AtomVar.end())
-        AtomVar.emplace(N, V);
-      L = sat::mkLit(V);
-    } else {
-      assert((N->isAnd() || N->isOr()) && "constants folded earlier");
-      std::vector<sat::Lit> KidLits;
-      KidLits.reserve(N->kids().size());
-      for (const Formula *K : N->kids())
-        KidLits.push_back(Encode(K));
-      sat::BVar V = Sat.newVar();
-      L = sat::mkLit(V);
-      if (N->isAnd()) {
-        // V <-> AND kids: (¬V ∨ k_i) for all i; (V ∨ ¬k_1 ∨ ... ∨ ¬k_n).
-        std::vector<sat::Lit> Big{L};
-        for (sat::Lit KL : KidLits) {
-          Sat.addClause({sat::litNot(L), KL});
-          Big.push_back(sat::litNot(KL));
-        }
-        Sat.addClause(std::move(Big));
-      } else {
-        std::vector<sat::Lit> Big{sat::litNot(L)};
-        for (sat::Lit KL : KidLits) {
-          Sat.addClause({L, sat::litNot(KL)});
-          Big.push_back(KL);
-        }
-        Sat.addClause(std::move(Big));
-      }
-    }
-    NodeLit.emplace(N, L);
-    return L;
-  };
-
-  sat::Lit Root = Encode(Low);
+  TseitinEncoder Enc(Sat);
+  sat::Lit Root = Enc.encode(Low);
   Sat.addClause({Root});
 
   while (true) {
@@ -356,7 +497,7 @@ bool Solver::isSat(const Formula *F, Model *Out) {
     // Gather asserted theory literals from the boolean model.
     std::vector<TheoryLit> Lits;
     std::vector<sat::Lit> LitOrigins;
-    for (const auto &[AtomNode, BV] : AtomVar) {
+    for (const auto &[AtomNode, BV] : Enc.AtomVar) {
       sat::LBool Val = Sat.value(BV);
       assert(Val != sat::LBool::Undef && "full model expected");
       bool B = Val == sat::LBool::True;
@@ -370,25 +511,161 @@ bool Solver::isSat(const Formula *F, Model *Out) {
     }
     // Theory conflict: minimize by deletion, then block.
     ++S.TheoryConflicts;
-    std::vector<size_t> Core(Lits.size());
-    for (size_t I = 0; I < Core.size(); ++I)
-      Core[I] = I;
-    for (size_t I = 0; I < Core.size();) {
-      std::vector<TheoryLit> SubLits;
-      SubLits.reserve(Core.size() - 1);
-      for (size_t K = 0; K < Core.size(); ++K)
-        if (K != I)
-          SubLits.push_back(Lits[Core[K]]);
-      if (!Theory.check(SubLits, nullptr))
-        Core.erase(Core.begin() + I);
-      else
-        ++I;
-    }
+    std::vector<size_t> Core = minimizeTheoryCore(Theory, Lits);
     std::vector<sat::Lit> Block;
     Block.reserve(Core.size());
     for (size_t I : Core)
       Block.push_back(sat::litNot(LitOrigins[I]));
     if (!Sat.addClause(std::move(Block)))
+      return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Solver::Session -- incremental checks over a persistent SAT solver.
+//===----------------------------------------------------------------------===//
+
+struct Solver::Session::Impl {
+  /// Guard value for conjuncts that lower to True (nothing to assert).
+  static constexpr sat::Lit NoGuard = UINT32_MAX;
+
+  Solver &Slv;
+  sat::SatSolver Sat;
+  TseitinEncoder Enc{Sat};
+
+  struct Entry {
+    sat::Lit Guard = NoGuard;
+    std::vector<const Formula *> Atoms; ///< atoms of the lowered conjunct
+  };
+  std::unordered_map<const Formula *, Entry> Entries;
+  std::unordered_map<sat::Lit, const Formula *> GuardFormula;
+  /// Known-unsat guard sets (each sorted). Any check whose guard set is a
+  /// superset of one of these is unsatisfiable -- formulas are immutable,
+  /// so a refuted conjunction stays refuted for the session's lifetime.
+  std::vector<std::vector<sat::Lit>> Cores;
+  std::vector<const Formula *> LastCore;
+  std::unordered_map<const Formula *, const Formula *> LowerMemo;
+  std::unordered_map<VarId, VarId> QuotientVars;
+
+  explicit Impl(Solver &S) : Slv(S) {}
+
+  /// Lazily lowers and guard-encodes \p F: the guard literal implies the
+  /// Tseitin root, so F is active exactly when its guard is assumed.
+  const Entry &entryFor(const Formula *F) {
+    auto It = Entries.find(F);
+    if (It != Entries.end())
+      return It->second;
+    Entry E;
+    const Formula *Low = Slv.lowerForSolver(F, LowerMemo);
+    if (!Low->isTrue()) {
+      E.Guard = sat::mkLit(Sat.newVar());
+      if (Low->isFalse()) {
+        Sat.addClause({sat::litNot(E.Guard)});
+      } else {
+        sat::Lit Root = Enc.encode(Low);
+        Sat.addClause({sat::litNot(E.Guard), Root});
+        E.Atoms = collectAtoms(Low);
+      }
+      GuardFormula.emplace(E.Guard, F);
+    }
+    return Entries.emplace(F, std::move(E)).first->second;
+  }
+};
+
+Solver::Session::Session(Solver &S) : I(std::make_unique<Impl>(S)) {}
+Solver::Session::~Session() = default;
+
+const std::vector<const Formula *> &Solver::Session::lastCore() const {
+  return I->LastCore;
+}
+
+size_t Solver::Session::numCores() const { return I->Cores.size(); }
+
+bool Solver::Session::check(const std::vector<const Formula *> &Conjuncts,
+                            Model *Out) {
+  Solver &Slv = I->Slv;
+  ++Slv.S.Queries;
+  ++Slv.S.SessionChecks;
+  if (Out)
+    Out->clear();
+  I->LastCore.clear();
+
+  std::vector<sat::Lit> Guards;
+  for (const Formula *F : Conjuncts) {
+    const Impl::Entry &E = I->entryFor(F);
+    if (E.Guard != Impl::NoGuard)
+      Guards.push_back(E.Guard);
+  }
+  std::sort(Guards.begin(), Guards.end());
+  Guards.erase(std::unique(Guards.begin(), Guards.end()), Guards.end());
+
+  // Remembered-core refutation: a superset of a known unsat core is unsat.
+  for (const std::vector<sat::Lit> &Core : I->Cores) {
+    if (std::includes(Guards.begin(), Guards.end(), Core.begin(),
+                      Core.end())) {
+      ++Slv.S.CoreSkips;
+      for (sat::Lit G : Core)
+        I->LastCore.push_back(I->GuardFormula.at(G));
+      return false;
+    }
+  }
+
+  // Atoms relevant to this check, in deterministic order. Only these are
+  // theory-checked: atoms of inactive conjuncts may take arbitrary boolean
+  // values without affecting the verdict.
+  std::vector<const Formula *> Atoms;
+  {
+    std::unordered_set<const Formula *> SeenAtoms;
+    for (const Formula *F : Conjuncts)
+      for (const Formula *A : I->Entries.at(F).Atoms)
+        if (SeenAtoms.insert(A).second)
+          Atoms.push_back(A);
+  }
+
+  TheoryChecker Theory(Slv.M, Slv.S, I->QuotientVars);
+  while (true) {
+    if (I->Sat.solve(Guards) == sat::SatSolver::Result::Unsat) {
+      std::vector<sat::Lit> Core = I->Sat.failedAssumptions();
+      std::sort(Core.begin(), Core.end());
+      for (sat::Lit G : Core)
+        I->LastCore.push_back(I->GuardFormula.at(G));
+      if (!Core.empty())
+        I->Cores.push_back(std::move(Core));
+      return false;
+    }
+    std::vector<TheoryLit> Lits;
+    std::vector<sat::Lit> LitOrigins;
+    Lits.reserve(Atoms.size());
+    LitOrigins.reserve(Atoms.size());
+    for (const Formula *A : Atoms) {
+      sat::BVar BV = I->Enc.AtomVar.at(A);
+      sat::LBool Val = I->Sat.value(BV);
+      assert(Val != sat::LBool::Undef && "full model expected");
+      bool B = Val == sat::LBool::True;
+      Lits.push_back(literalFor(A, B));
+      LitOrigins.push_back(sat::mkLit(BV, /*Neg=*/!B));
+    }
+    Model Candidate;
+    if (Theory.check(Lits, &Candidate)) {
+      if (Out) {
+        for (const Formula *F : Conjuncts) {
+          for (VarId V : freeVars(F)) {
+            auto MIt = Candidate.find(V);
+            (*Out)[V] = MIt == Candidate.end() ? 0 : MIt->second;
+          }
+        }
+      }
+      return true;
+    }
+    // Theory conflict: the blocking clause is theory-valid, so it may be
+    // added permanently and keeps pruning later checks.
+    ++Slv.S.TheoryConflicts;
+    std::vector<size_t> Core = minimizeTheoryCore(Theory, Lits);
+    std::vector<sat::Lit> Block;
+    Block.reserve(Core.size());
+    for (size_t Idx : Core)
+      Block.push_back(sat::litNot(LitOrigins[Idx]));
+    if (!I->Sat.addClause(std::move(Block)))
       return false;
   }
 }

@@ -22,10 +22,14 @@
 #ifndef ABDIAG_SMT_SOLVER_H
 #define ABDIAG_SMT_SOLVER_H
 
+#include "smt/Cooper.h"
 #include "smt/Formula.h"
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace abdiag::smt {
 
@@ -35,15 +39,28 @@ using Model = std::unordered_map<VarId, int64_t>;
 
 /// Quantifier-free LIA decision procedures over one FormulaManager.
 ///
-/// The solver is stateless between queries apart from statistics, so a
-/// single instance can serve many heterogeneous queries.
+/// The solver is stateless between queries apart from statistics and a
+/// verdict cache, so a single instance can serve many heterogeneous
+/// queries. Because formulas are hash-consed by the manager, the cache is
+/// keyed on `const Formula *` directly: pointer equality is structural
+/// equality, and entries stay valid for the manager's whole lifetime (nodes
+/// are immutable and never freed while the manager lives).
 class Solver {
 public:
   struct Stats {
-    uint64_t Queries = 0;          ///< top-level isSat calls
+    uint64_t Queries = 0;          ///< top-level isSat/Session checks
     uint64_t TheoryChecks = 0;     ///< LIA conjunction checks
     uint64_t TheoryConflicts = 0;  ///< blocking clauses learned
     uint64_t CooperFallbacks = 0;  ///< budget-exhausted conjunctions
+    uint64_t CacheHits = 0;        ///< isSat answers served from the cache
+    uint64_t CacheMisses = 0;      ///< isSat answers that had to be solved
+    uint64_t SessionChecks = 0;    ///< incremental Session::check calls
+    uint64_t CoreSkips = 0;        ///< checks refuted by a remembered core
+    uint64_t QeCacheHits = 0;      ///< single-var QE steps served memoized
+    uint64_t QeCacheMisses = 0;    ///< single-var QE steps computed
+
+    /// Human-readable one-line-per-counter report.
+    void dump(std::ostream &OS) const;
   };
 
   explicit Solver(FormulaManager &M) : M(M) {}
@@ -68,13 +85,80 @@ public:
   FormulaManager &manager() { return M; }
   const Stats &stats() const { return S; }
 
+  /// Zeroes every statistics counter (the verdict cache is kept).
+  void resetStats() { S = Stats(); }
+
+  /// Enables/disables the isSat verdict cache (on by default). Disabling
+  /// also drops all cached entries (verdicts and QE memo), so re-enabling
+  /// starts cold.
+  void setCaching(bool On);
+  bool cachingEnabled() const { return Caching; }
+
+  /// Universal quantifier elimination through a memo of single-variable
+  /// elimination steps shared across queries (keyed on hash-consed formula
+  /// pointers, so entries are sound for the manager's lifetime). With
+  /// caching disabled this is plain eliminateForall. The incremental MSA
+  /// subset search calls this: subset-lattice neighbours eliminate
+  /// near-identical variable sets, so their per-variable chains coincide.
+  const Formula *eliminateForallCached(const Formula *F,
+                                       const std::vector<VarId> &Xs);
+
+  class Session;
+
 private:
+  friend class Session;
+
+  struct CacheEntry {
+    bool Sat;
+    Model M; ///< filled model over freeVars(F); meaningful when Sat
+  };
+
   FormulaManager &M;
   Stats S;
+  bool Caching = true;
+  std::unordered_map<const Formula *, CacheEntry> Cache;
+  QeMemo Qe;
 
   const Formula *lowerForSolver(const Formula *F,
                                 std::unordered_map<const Formula *,
                                                    const Formula *> &Memo);
+  bool isSatCore(const Formula *F, Model &Filled);
+};
+
+/// An incremental query session over one Solver.
+///
+/// A session Tseitin-encodes each distinct conjunct formula exactly once
+/// into a private SAT solver, guarded by a fresh activation literal, and
+/// decides each check() under assumptions -- so learned clauses (boolean
+/// and theory lemmas alike) persist across checks, and conjuncts shared by
+/// successive queries are never re-encoded. Unsat checks additionally
+/// record the failed conjunct subset (an unsat core); any later check whose
+/// conjunct set contains a remembered core is refuted without touching the
+/// SAT solver. This is the engine behind the MSA subset search, where
+/// hundreds of near-identical conjunctions differ only in a few conjuncts.
+class Solver::Session {
+public:
+  explicit Session(Solver &S);
+  ~Session();
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// True iff the conjunction of \p Conjuncts is satisfiable; fills \p Out
+  /// (if non-null) with values for every free variable of the conjuncts.
+  /// Equivalent to Solver::isSat on their conjunction.
+  bool check(const std::vector<const Formula *> &Conjuncts,
+             Model *Out = nullptr);
+
+  /// After an Unsat check: the subset of that check's conjuncts found
+  /// jointly unsatisfiable.
+  const std::vector<const Formula *> &lastCore() const;
+
+  /// Number of unsat cores remembered so far.
+  size_t numCores() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
 };
 
 } // namespace abdiag::smt

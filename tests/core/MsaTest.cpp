@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace abdiag;
 using namespace abdiag::core;
 using namespace abdiag::smt;
@@ -197,6 +199,49 @@ TEST_F(MsaTest, CollectsMultipleMinimumSets) {
   ASSERT_TRUE(R.Found);
   EXPECT_EQ(R.Cost, 1);
   EXPECT_EQ(R.Candidates.size(), 2u);
+}
+
+TEST_F(MsaTest, IncrementalSearchMatchesFreshSolverSearch) {
+  // The session-backed search must find the same cost and variable subsets
+  // as the per-candidate fresh-solver search on randomized targets, with
+  // and without consistency conditions.
+  Rng Rand(424242);
+  for (int Round = 0; Round < 20; ++Round) {
+    std::vector<const Formula *> Lhs, Rhs;
+    for (int I = 0; I < 2; ++I) {
+      Lhs.push_back(M.mkAtom(
+          AtomRel::Le, x(Rand.range(-2, 2)).add(y(Rand.range(-2, 2)))
+                           .add(z(Rand.range(-2, 2)))
+                           .addConst(Rand.range(-3, 3))));
+      Rhs.push_back(M.mkAtom(
+          AtomRel::Le, x(Rand.range(-2, 2)).add(y(Rand.range(-2, 2)))
+                           .add(z(Rand.range(-2, 2)))
+                           .addConst(Rand.range(-3, 3))));
+    }
+    const Formula *F = M.mkImplies(M.mkAnd(Lhs), M.mkAnd(Rhs));
+    std::vector<const Formula *> Consist;
+    if (Round % 2 == 0)
+      Consist.push_back(M.mkAnd(Lhs));
+
+    MsaOptions Inc, Fresh;
+    Inc.Incremental = true;
+    Fresh.Incremental = false;
+    MsaResult RInc = findMsa(S, F, Consist, unitCost(), Inc);
+    MsaResult RFresh = findMsa(S, F, Consist, unitCost(), Fresh);
+
+    ASSERT_EQ(RInc.Found, RFresh.Found) << "round " << Round;
+    if (!RInc.Found)
+      continue;
+    EXPECT_EQ(RInc.Cost, RFresh.Cost) << "round " << Round;
+    auto VarSets = [](const MsaResult &R) {
+      std::vector<std::vector<VarId>> Sets;
+      for (const MsaCandidate &Cand : R.Candidates)
+        Sets.push_back(Cand.Vars);
+      std::sort(Sets.begin(), Sets.end());
+      return Sets;
+    };
+    EXPECT_EQ(VarSets(RInc), VarSets(RFresh)) << "round " << Round;
+  }
 }
 
 } // namespace

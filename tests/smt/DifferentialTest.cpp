@@ -153,6 +153,138 @@ TEST(DifferentialTest, ForallEliminationEquivalentPerZ3) {
   }
 }
 
+TEST(DifferentialTest, MemoizedQeEqualsUncachedQe) {
+  // The solver's QE memo must be invisible: memoized universal elimination
+  // returns the identical (hash-consed) formula as a from-scratch run, for
+  // fresh and repeated (formula, variable-set) queries alike.
+  FormulaManager M;
+  Solver S(M);
+  std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
+                             M.vars().create("y", VarKind::Input),
+                             M.vars().create("z", VarKind::Abstraction)};
+  Rng R(24601);
+  std::vector<std::pair<const Formula *, std::vector<VarId>>> History;
+  for (int Round = 0; Round < 40; ++Round) {
+    const Formula *F;
+    std::vector<VarId> Xs;
+    if (Round % 3 == 2 && !History.empty()) {
+      // Replay an earlier query verbatim to exercise full-chain hits.
+      const auto &Prev = History[R.range(0, History.size() - 1)];
+      F = Prev.first;
+      Xs = Prev.second;
+    } else {
+      // Depth 1 and at most two eliminated variables: formula-level Cooper
+      // on larger random instances can blow up, and the memo's correctness
+      // is independent of instance size.
+      F = randomFormula(M, R, Vars, 1);
+      for (VarId V : Vars)
+        if (Xs.size() < 2 && R.chance(0.6))
+          Xs.push_back(V);
+    }
+    History.emplace_back(F, Xs);
+    EXPECT_EQ(S.eliminateForallCached(F, Xs), eliminateForall(M, F, Xs))
+        << "round " << Round;
+  }
+  EXPECT_GT(S.stats().QeCacheHits, 0u) << "replayed QE never hit the memo";
+  EXPECT_GT(S.stats().QeCacheMisses, 0u);
+  // With caching off the entry point is plain eliminateForall and the
+  // counters stay untouched.
+  S.resetStats();
+  S.setCaching(false);
+  const Formula *F = randomFormula(M, R, Vars, 1);
+  std::vector<VarId> Two(Vars.begin(), Vars.begin() + 2);
+  EXPECT_EQ(S.eliminateForallCached(F, Two), eliminateForall(M, F, Two));
+  EXPECT_EQ(S.stats().QeCacheHits + S.stats().QeCacheMisses, 0u);
+}
+
+TEST(DifferentialTest, CachedVerdictsEqualFreshSolverVerdicts) {
+  // The verdict cache must be invisible: a caching solver and a cache-less
+  // solver over the same manager agree on every randomized formula, repeat
+  // queries are answered from the cache, and cached models still satisfy.
+  FormulaManager M;
+  Solver Cached(M), Fresh(M);
+  Fresh.setCaching(false);
+  ASSERT_TRUE(Cached.cachingEnabled());
+  ASSERT_FALSE(Fresh.cachingEnabled());
+  std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
+                             M.vars().create("y", VarKind::Input),
+                             M.vars().create("z", VarKind::Abstraction)};
+  Rng R(112358);
+  std::vector<const Formula *> History;
+  for (int Round = 0; Round < 150; ++Round) {
+    // Re-query an earlier formula every few rounds to exercise hits.
+    const Formula *F = (Round % 3 == 2 && !History.empty())
+                           ? History[R.range(0, History.size() - 1)]
+                           : randomFormula(M, R, Vars, 2);
+    History.push_back(F);
+    Model Mo;
+    bool CachedRes = Cached.isSat(F, &Mo);
+    ASSERT_EQ(CachedRes, Fresh.isSat(F)) << "round " << Round;
+    if (CachedRes) {
+      EXPECT_TRUE(evaluate(F, [&](VarId V) {
+        auto It = Mo.find(V);
+        return It == Mo.end() ? int64_t(0) : It->second;
+      })) << "round " << Round << ": cached model does not satisfy";
+    }
+  }
+  const Solver::Stats &St = Cached.stats();
+  EXPECT_GT(St.CacheHits, 0u) << "repeat queries never hit the cache";
+  // Trivially true/false formulas are answered before the cache, so the
+  // cache counters cover at most (not exactly) the query count.
+  EXPECT_LE(St.CacheHits + St.CacheMisses, St.Queries);
+  EXPECT_GT(St.CacheMisses, 0u);
+  EXPECT_EQ(Fresh.stats().CacheHits, 0u);
+}
+
+TEST(DifferentialTest, SessionChecksEqualStatelessVerdicts) {
+  // An incremental Session deciding random conjunction sets (with heavy
+  // conjunct reuse across checks, as in the MSA subset search) must agree
+  // with one-shot isSat on the conjunction, and its models must satisfy.
+  FormulaManager M;
+  Solver S(M);
+  S.setCaching(false); // compare raw session vs raw one-shot decisions
+  std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
+                             M.vars().create("y", VarKind::Input),
+                             M.vars().create("z", VarKind::Input)};
+  Rng R(271828);
+  std::vector<const Formula *> Pool;
+  for (int I = 0; I < 12; ++I)
+    Pool.push_back(randomFormula(M, R, Vars, 2));
+  Solver::Session Sess(S);
+  for (int Round = 0; Round < 120; ++Round) {
+    std::vector<const Formula *> Conj;
+    int N = static_cast<int>(R.range(1, 4));
+    for (int I = 0; I < N; ++I)
+      Conj.push_back(Pool[R.range(0, Pool.size() - 1)]);
+    Model Mo;
+    bool SessRes = Sess.check(Conj, &Mo);
+    bool FreshRes = S.isSat(M.mkAnd(std::vector<const Formula *>(Conj)));
+    ASSERT_EQ(SessRes, FreshRes) << "round " << Round;
+    if (SessRes) {
+      for (const Formula *F : Conj) {
+        EXPECT_TRUE(evaluate(F, [&](VarId V) {
+          auto It = Mo.find(V);
+          return It == Mo.end() ? int64_t(0) : It->second;
+        })) << "round " << Round << ": session model violates a conjunct";
+      }
+    } else {
+      // The reported core must itself be unsat (per Z3) and be a subset of
+      // the conjuncts.
+      const std::vector<const Formula *> &Core = Sess.lastCore();
+      for (const Formula *C : Core) {
+        EXPECT_NE(std::find(Conj.begin(), Conj.end(), C), Conj.end());
+      }
+      if (!Core.empty()) {
+        EXPECT_FALSE(z3IsSat(
+            M.mkAnd(std::vector<const Formula *>(Core.begin(), Core.end())),
+            M.vars()))
+            << "round " << Round << ": session core is satisfiable";
+      }
+    }
+  }
+  EXPECT_GT(S.stats().SessionChecks, 0u);
+}
+
 TEST(DifferentialTest, ValidityAgreesWithZ3) {
   FormulaManager M;
   Solver S(M);

@@ -1,0 +1,200 @@
+//===- tests/smt/SatIncrementalTest.cpp - Assumption-based solving ----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the incremental SAT interface: assumption-based solving,
+/// failed-assumption cores, and clause/learned-clause retention across
+/// solve() calls -- the substrate of the Solver::Session used by the MSA
+/// subset search.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace abdiag;
+using namespace abdiag::sat;
+
+namespace {
+
+TEST(SatIncrementalTest, AssumptionsRestrictModels) {
+  SatSolver S;
+  BVar A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A), mkLit(B)})); // a | b
+
+  ASSERT_EQ(S.solve({mkLit(A, true)}), SatSolver::Result::Sat); // assume ¬a
+  EXPECT_EQ(S.value(A), LBool::False);
+  EXPECT_EQ(S.value(B), LBool::True);
+
+  ASSERT_EQ(S.solve({mkLit(B, true)}), SatSolver::Result::Sat); // assume ¬b
+  EXPECT_EQ(S.value(A), LBool::True);
+  EXPECT_EQ(S.value(B), LBool::False);
+
+  // Assumptions are transient: without them the formula is still Sat.
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatIncrementalTest, UnsatUnderAssumptionsReportsFailedSubset) {
+  SatSolver S;
+  BVar A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A, true), mkLit(B)})); // a -> b
+
+  // ¬b together with a contradicts a -> b; c is irrelevant.
+  ASSERT_EQ(S.solve({mkLit(C), mkLit(A), mkLit(B, true)}),
+            SatSolver::Result::Unsat);
+  std::vector<Lit> Failed = S.failedAssumptions();
+  std::sort(Failed.begin(), Failed.end());
+  EXPECT_EQ(Failed, (std::vector<Lit>{mkLit(A), mkLit(B, true)}));
+
+  // The solver is reusable after an assumption failure.
+  EXPECT_EQ(S.solve({mkLit(A), mkLit(B)}), SatSolver::Result::Sat);
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatIncrementalTest, ContradictoryAssumptionPairIsItsOwnCore) {
+  SatSolver S;
+  BVar A = S.newVar();
+  (void)S.newVar();
+  ASSERT_EQ(S.solve({mkLit(A), mkLit(A, true)}), SatSolver::Result::Unsat);
+  std::vector<Lit> Failed = S.failedAssumptions();
+  std::sort(Failed.begin(), Failed.end());
+  EXPECT_EQ(Failed, (std::vector<Lit>{mkLit(A), mkLit(A, true)}));
+}
+
+TEST(SatIncrementalTest, AssumptionFalsifiedAtLevelZeroIsSingletonCore) {
+  SatSolver S;
+  BVar A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A, true)})); // unit ¬a
+  ASSERT_EQ(S.solve({mkLit(A)}), SatSolver::Result::Unsat);
+  EXPECT_EQ(S.failedAssumptions(), (std::vector<Lit>{mkLit(A)}));
+  // The clause set itself stays satisfiable.
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+TEST(SatIncrementalTest, UnsatClauseSetYieldsEmptyCore) {
+  SatSolver S;
+  BVar A = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(A)}));
+  ASSERT_FALSE(S.addClause({mkLit(A, true)}));
+  EXPECT_EQ(S.solve({mkLit(A)}), SatSolver::Result::Unsat);
+  EXPECT_TRUE(S.failedAssumptions().empty());
+}
+
+TEST(SatIncrementalTest, ClausesPersistAcrossAssumptionSolves) {
+  // Pigeonhole-flavoured: selector s_i activates clause set i. Solving under
+  // one selector must not disturb the others, and clauses added between
+  // solves take effect.
+  SatSolver S;
+  BVar S1 = S.newVar(), S2 = S.newVar();
+  BVar X = S.newVar(), Y = S.newVar();
+  ASSERT_TRUE(S.addClause({mkLit(S1, true), mkLit(X)}));  // s1 -> x
+  ASSERT_TRUE(S.addClause({mkLit(S2, true), mkLit(X, true)})); // s2 -> ¬x
+
+  ASSERT_EQ(S.solve({mkLit(S1)}), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(X), LBool::True);
+  ASSERT_EQ(S.solve({mkLit(S2)}), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(X), LBool::False);
+  ASSERT_EQ(S.solve({mkLit(S1), mkLit(S2)}), SatSolver::Result::Unsat);
+  std::vector<Lit> Failed = S.failedAssumptions();
+  std::sort(Failed.begin(), Failed.end());
+  EXPECT_EQ(Failed, (std::vector<Lit>{mkLit(S1), mkLit(S2)}));
+
+  // Incremental clause addition after assumption solves.
+  ASSERT_TRUE(S.addClause({mkLit(X, true), mkLit(Y)})); // x -> y
+  ASSERT_EQ(S.solve({mkLit(S1)}), SatSolver::Result::Sat);
+  EXPECT_EQ(S.value(Y), LBool::True);
+}
+
+/// Reference check: evaluates the clause set under the solver's assignment.
+bool assignmentSatisfies(const SatSolver &S,
+                         const std::vector<std::vector<Lit>> &Clauses) {
+  for (const std::vector<Lit> &C : Clauses) {
+    bool Any = false;
+    for (Lit L : C) {
+      LBool V = S.value(litVar(L));
+      if (V == LBool::Undef)
+        continue;
+      if ((V == LBool::True) != litNeg(L)) {
+        Any = true;
+        break;
+      }
+    }
+    if (!Any)
+      return false;
+  }
+  return true;
+}
+
+TEST(SatIncrementalTest, RandomizedAssumptionSolvesAgreeWithFreshSolver) {
+  // A long-lived incremental solver answering under random assumption sets
+  // must agree with a throwaway solver given the same clauses plus the
+  // assumptions as units; its failed-assumption set must itself be unsat.
+  Rng R(20120613);
+  for (int Round = 0; Round < 40; ++Round) {
+    int NumVars = static_cast<int>(R.range(4, 10));
+    SatSolver Inc;
+    for (int I = 0; I < NumVars; ++I)
+      Inc.newVar();
+    std::vector<std::vector<Lit>> Clauses;
+    bool BaseUnsat = false;
+    for (int I = 0; I < NumVars * 3; ++I) {
+      std::vector<Lit> C;
+      for (int K = 0; K < 3; ++K)
+        C.push_back(mkLit(static_cast<BVar>(R.range(0, NumVars - 1)),
+                          R.chance(0.5)));
+      Clauses.push_back(C);
+      BaseUnsat = !Inc.addClause(C) || BaseUnsat;
+    }
+    if (BaseUnsat)
+      continue;
+    for (int Query = 0; Query < 10; ++Query) {
+      std::vector<Lit> Assumps;
+      for (int I = 0; I < NumVars; ++I)
+        if (R.chance(0.3))
+          Assumps.push_back(mkLit(static_cast<BVar>(I), R.chance(0.5)));
+      SatSolver::Result Got = Inc.solve(Assumps);
+
+      SatSolver Fresh;
+      for (int I = 0; I < NumVars; ++I)
+        Fresh.newVar();
+      bool FreshOk = true;
+      for (const std::vector<Lit> &C : Clauses)
+        FreshOk = Fresh.addClause(C) && FreshOk;
+      for (Lit A : Assumps)
+        FreshOk = Fresh.addClause({A}) && FreshOk;
+      SatSolver::Result Want = !FreshOk ? SatSolver::Result::Unsat
+                                        : Fresh.solve();
+      ASSERT_EQ(Got, Want) << "round " << Round << " query " << Query;
+
+      if (Got == SatSolver::Result::Sat) {
+        EXPECT_TRUE(assignmentSatisfies(Inc, Clauses));
+        for (Lit A : Assumps)
+          EXPECT_NE(Inc.value(litVar(A)) == LBool::True, litNeg(A))
+              << "assumption not honoured";
+      } else {
+        // The failed subset must really be unsat with the clause set.
+        SatSolver CoreCheck;
+        for (int I = 0; I < NumVars; ++I)
+          CoreCheck.newVar();
+        bool CoreOk = true;
+        for (const std::vector<Lit> &C : Clauses)
+          CoreOk = CoreCheck.addClause(C) && CoreOk;
+        for (Lit A : Inc.failedAssumptions())
+          CoreOk = CoreCheck.addClause({A}) && CoreOk;
+        EXPECT_TRUE(!CoreOk ||
+                    CoreCheck.solve() == SatSolver::Result::Unsat)
+            << "failed-assumption set is not an unsat core";
+      }
+    }
+  }
+}
+
+} // namespace
