@@ -36,13 +36,10 @@ struct ModelTotals {
 ModelTotals runModel(CostModel Model) {
   ModelTotals T;
   for (const BenchmarkInfo &B : benchmarkSuite()) {
-    ErrorDiagnoser::Options Opts;
-    Opts.Diagnosis.Costs = Model;
-    ErrorDiagnoser D(Opts);
-    std::string Err;
-    if (!D.loadFile(benchmarkPath(B), &Err)) {
+    ErrorDiagnoser D(abdiag::Options().costs(Model));
+    if (LoadResult L = D.loadFile(benchmarkPath(B)); !L) {
       std::fprintf(stderr, "cannot load %s: %s\n", B.Name.c_str(),
-                   Err.c_str());
+                   L.message().c_str());
       std::exit(1);
     }
     auto Oracle = D.makeConcreteOracle();

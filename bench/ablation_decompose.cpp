@@ -37,14 +37,12 @@ struct Totals {
 Totals runWith(bool Decompose, bool Learn) {
   Totals T;
   for (const BenchmarkInfo &B : benchmarkSuite()) {
-    ErrorDiagnoser::Options Opts;
-    Opts.Diagnosis.DecomposeQueries = Decompose;
-    Opts.Diagnosis.LearnFromSubqueries = Learn;
-    ErrorDiagnoser D(Opts);
-    std::string Err;
-    if (!D.loadFile(benchmarkPath(B), &Err)) {
+    ErrorDiagnoser D(abdiag::Options()
+                         .decomposeQueries(Decompose)
+                         .learnFromSubqueries(Learn));
+    if (LoadResult L = D.loadFile(benchmarkPath(B)); !L) {
       std::fprintf(stderr, "cannot load %s: %s\n", B.Name.c_str(),
-                   Err.c_str());
+                   L.message().c_str());
       std::exit(1);
     }
     auto Oracle = D.makeConcreteOracle();

@@ -34,10 +34,9 @@ int main() {
   size_t TotalWith = 0, TotalWithout = 0;
   for (const BenchmarkInfo &B : benchmarkSuite()) {
     ErrorDiagnoser D;
-    std::string Err;
-    if (!D.loadFile(benchmarkPath(B), &Err)) {
+    if (LoadResult L = D.loadFile(benchmarkPath(B)); !L) {
       std::fprintf(stderr, "cannot load %s: %s\n", B.Name.c_str(),
-                   Err.c_str());
+                   L.message().c_str());
       return 1;
     }
     const analysis::AnalysisResult &AR = D.analysis();

@@ -69,10 +69,9 @@ int main() {
   int TotalQueries = 0, TotalAuto = 0, TotalHuman = 0;
   for (const BenchmarkInfo &B : benchmarkSuite()) {
     ErrorDiagnoser D;
-    std::string Err;
-    if (!D.loadFile(benchmarkPath(B), &Err)) {
+    if (LoadResult L = D.loadFile(benchmarkPath(B)); !L) {
       std::fprintf(stderr, "cannot load %s: %s\n", B.Name.c_str(),
-                   Err.c_str());
+                   L.message().c_str());
       return 1;
     }
     auto Truth = D.makeConcreteOracle();

@@ -114,12 +114,10 @@ void DiagnoseSuiteProgram(benchmark::State &State, size_t Index,
   State.SetLabel(B.Name);
   for (auto _ : State) {
     State.PauseTiming();
-    ErrorDiagnoser::Options Opts;
-    Opts.Diagnosis.IncrementalMsa = Incremental;
-    ErrorDiagnoser D(Opts);
-    std::string Err;
-    if (!D.loadFile(benchmarkPath(B), &Err)) {
-      State.SkipWithError(Err.c_str());
+    ErrorDiagnoser D(abdiag::Options().incrementalMsa(Incremental));
+    LoadResult L = D.loadFile(benchmarkPath(B));
+    if (!L) {
+      State.SkipWithError(L.message().c_str());
       return;
     }
     D.solver().setCaching(Incremental);
@@ -144,12 +142,10 @@ BENCHMARK(BM_DiagnoseSuiteFresh)->Arg(0)->Arg(2)->Arg(4);
 void DiagnoseIntro(benchmark::State &State, bool Incremental) {
   for (auto _ : State) {
     State.PauseTiming();
-    ErrorDiagnoser::Options Opts;
-    Opts.Diagnosis.IncrementalMsa = Incremental;
-    ErrorDiagnoser D(Opts);
-    std::string Err;
-    if (!D.loadSource(IntroSource, &Err)) {
-      State.SkipWithError(Err.c_str());
+    ErrorDiagnoser D(abdiag::Options().incrementalMsa(Incremental));
+    LoadResult L = D.loadSource(IntroSource);
+    if (!L) {
+      State.SkipWithError(L.message().c_str());
       return;
     }
     D.solver().setCaching(Incremental);
@@ -174,9 +170,9 @@ void BM_FullDiagnosisPerBenchmark(benchmark::State &State) {
   // Oracle construction (exhaustive execution) is test scaffolding, not
   // query computation; keep it outside the timed region.
   ErrorDiagnoser D;
-  std::string Err;
-  if (!D.loadFile(benchmarkPath(B), &Err)) {
-    State.SkipWithError(Err.c_str());
+  LoadResult L = D.loadFile(benchmarkPath(B));
+  if (!L) {
+    State.SkipWithError(L.message().c_str());
     return;
   }
   auto Oracle = D.makeConcreteOracle();

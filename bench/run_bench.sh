@@ -23,11 +23,27 @@ done
 
 mkdir -p "$OUT_DIR"
 
+# Run every suite even if one fails, but propagate failure to the caller:
+# CI must notice a crashing benchmark binary, and a broken first suite must
+# not hide the results of the second.
+STATUS=0
+
 "$BUILD_DIR/bench/perf_smt" \
   --benchmark_out="$OUT_DIR/BENCH_smt.json" \
-  --benchmark_out_format=json
+  --benchmark_out_format=json || {
+    echo "error: perf_smt failed (exit $?)" >&2
+    STATUS=1
+  }
 "$BUILD_DIR/bench/perf_abduction" \
   --benchmark_out="$OUT_DIR/BENCH_abduction.json" \
-  --benchmark_out_format=json
+  --benchmark_out_format=json || {
+    echo "error: perf_abduction failed (exit $?)" >&2
+    STATUS=1
+  }
+
+if [[ "$STATUS" -ne 0 ]]; then
+  echo "error: at least one benchmark suite failed" >&2
+  exit "$STATUS"
+fi
 
 echo "wrote $OUT_DIR/BENCH_smt.json and $OUT_DIR/BENCH_abduction.json"

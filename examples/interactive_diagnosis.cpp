@@ -93,9 +93,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   ErrorDiagnoser Diagnoser;
-  std::string Error;
-  if (!Diagnoser.loadFile(Argv[1], &Error)) {
-    std::fprintf(stderr, "error: %s\n", Error.c_str());
+  if (LoadResult R = Diagnoser.loadFile(Argv[1]); !R) {
+    std::fprintf(stderr, "error: %s\n", R.message().c_str());
     return 1;
   }
   std::printf("%s\n", lang::programToString(Diagnoser.program()).c_str());

@@ -43,9 +43,8 @@ program intro(flag, n) {
 
 int main() {
   ErrorDiagnoser Diagnoser;
-  std::string Error;
-  if (!Diagnoser.loadSource(Intro, &Error)) {
-    std::fprintf(stderr, "parse failed: %s\n", Error.c_str());
+  if (LoadResult R = Diagnoser.loadSource(Intro); !R) {
+    std::fprintf(stderr, "parse failed: %s\n", R.message().c_str());
     return 1;
   }
 

@@ -121,6 +121,7 @@ ConcreteOracle::ConcreteOracle(const Program &Prog, const AnalysisResult &AR,
 
     std::vector<int64_t> Inputs(NumParams, -Bound);
     while (true) {
+      support::pollCancellation(Config.Cancel);
       RunResult R = runProgram(Prog, Inputs, Config.Fuel, HavocFn);
       if (R.Status == RunStatus::CheckPassed ||
           R.Status == RunStatus::CheckFailed) {

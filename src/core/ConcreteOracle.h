@@ -31,6 +31,7 @@
 #include "analysis/SymbolicAnalyzer.h"
 #include "core/Oracle.h"
 #include "lang/Ast.h"
+#include "support/Cancellation.h"
 
 #include <optional>
 #include <vector>
@@ -48,6 +49,10 @@ struct ConcreteOracleConfig {
   uint64_t Fuel = 20000;
   /// Hard cap on the total number of runs.
   size_t MaxRuns = 2000000;
+  /// Optional cancellation token polled between runs; construction throws
+  /// CancelledError when it expires. ErrorDiagnoser::makeConcreteOracle
+  /// defaults this to the solver's installed token.
+  const support::CancellationToken *Cancel = nullptr;
 };
 
 /// The oracle; precomputes all runs at construction.

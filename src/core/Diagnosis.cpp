@@ -200,9 +200,12 @@ DiagnosisResult DiagnosisEngine::run(const Formula *I, const Formula *Phi,
   Abducer Abd(S, Config.SimplifyQueries, Config.Costs);
   MsaOptions MsaOpts;
   MsaOpts.Incremental = Config.IncrementalMsa;
+  MsaOpts.MaxSubsets = Config.MsaMaxSubsets;
+  MsaOpts.MaxCandidates = Config.MsaMaxCandidates;
   Abd.setMsaOptions(MsaOpts);
 
   for (int Iter = 0; Iter < Config.MaxIterations; ++Iter) {
+    support::pollCancellation(S.cancellation());
     Result.Iterations = Iter + 1;
     // Lines 3-4 of Figure 6: decided already?
     if (S.isValid(M.mkImplies(Invariants, Phi))) {

@@ -71,6 +71,10 @@ struct DiagnosisConfig {
   CostModel Costs = CostModel::Paper;
   /// Run MSA subset searches through an incremental solver session.
   bool IncrementalMsa = true;
+  /// Subset-search budgets forwarded to MsaOptions (the triage engine's
+  /// escalated retry raises these).
+  size_t MsaMaxSubsets = 4096;
+  size_t MsaMaxCandidates = 8;
 };
 
 /// Result of a diagnosis run.

@@ -21,34 +21,41 @@ ErrorDiagnoser::ErrorDiagnoser(Options Opts) : Opts(std::move(Opts)), S(M) {}
 
 ErrorDiagnoser::~ErrorDiagnoser() = default;
 
-bool ErrorDiagnoser::loadSource(std::string_view Source, std::string *Error) {
-  lang::ParseResult P = lang::parseProgram(Source);
-  if (!P.ok()) {
-    if (Error)
-      *Error = P.Error;
-    return false;
-  }
+LoadResult ErrorDiagnoser::finishLoad(lang::ParseResult P) {
+  // Drop the stale program *before* running the pipeline so a cancellation
+  // (or parse failure) leaves the diagnoser in a well-defined unloaded state
+  // instead of silently keeping the previous program.
+  Loaded = false;
+  if (!P.ok())
+    return LoadResult::failure(std::move(P.D));
   Prog = std::move(*P.Prog);
   if (Opts.AutoAnnotate)
     Prog = analysis::annotateLoops(Prog);
-  Analysis = analysis::analyzeProgram(Prog, S, Opts.Analyzer);
+  Analysis = analysis::analyzeProgram(Prog, S, Opts.analyzerOptions());
   Loaded = true;
-  return true;
+  return LoadResult::success();
+}
+
+LoadResult ErrorDiagnoser::loadSource(std::string_view Source) {
+  return finishLoad(lang::parseProgram(Source));
+}
+
+LoadResult ErrorDiagnoser::loadFile(const std::string &Path) {
+  return finishLoad(lang::parseProgramFile(Path));
+}
+
+bool ErrorDiagnoser::loadSource(std::string_view Source, std::string *Error) {
+  LoadResult R = loadSource(Source);
+  if (!R && Error)
+    *Error = R.message();
+  return R.Ok;
 }
 
 bool ErrorDiagnoser::loadFile(const std::string &Path, std::string *Error) {
-  lang::ParseResult P = lang::parseProgramFile(Path);
-  if (!P.ok()) {
-    if (Error)
-      *Error = P.Error;
-    return false;
-  }
-  Prog = std::move(*P.Prog);
-  if (Opts.AutoAnnotate)
-    Prog = analysis::annotateLoops(Prog);
-  Analysis = analysis::analyzeProgram(Prog, S, Opts.Analyzer);
-  Loaded = true;
-  return true;
+  LoadResult R = loadFile(Path);
+  if (!R && Error)
+    *Error = R.message();
+  return R.Ok;
 }
 
 bool ErrorDiagnoser::dischargedByAnalysis() {
@@ -64,13 +71,20 @@ bool ErrorDiagnoser::validatedByAnalysis() {
 }
 
 DiagnosisResult ErrorDiagnoser::diagnose(Oracle &O) {
+  return diagnoseWith(Opts.diagnosisConfig(), O);
+}
+
+DiagnosisResult ErrorDiagnoser::diagnoseWith(const DiagnosisConfig &Config,
+                                             Oracle &O) {
   assert(Loaded && "no program loaded");
-  DiagnosisEngine Engine(S, Opts.Diagnosis);
+  DiagnosisEngine Engine(S, Config);
   return Engine.run(Analysis.Invariants, Analysis.SuccessCondition, O);
 }
 
 std::unique_ptr<ConcreteOracle>
 ErrorDiagnoser::makeConcreteOracle(ConcreteOracleConfig Config) {
   assert(Loaded && "no program loaded");
+  if (!Config.Cancel)
+    Config.Cancel = S.cancellation();
   return std::make_unique<ConcreteOracle>(Prog, Analysis, std::move(Config));
 }

@@ -11,8 +11,10 @@
 ///
 /// \code
 ///   abdiag::core::ErrorDiagnoser D;
-///   std::string Err;
-///   if (!D.loadFile("prog.adg", &Err)) { ... }
+///   if (abdiag::core::LoadResult R = D.loadFile("prog.adg"); !R) {
+///     // R.Diagnostic has the message and (when available) line/column.
+///     std::cerr << R.message() << "\n";
+///   }
 ///   auto Oracle = D.makeConcreteOracle();
 ///   abdiag::core::DiagnosisResult R = D.diagnose(*Oracle);
 ///   // R.Outcome is Discharged (false alarm) or Validated (real bug).
@@ -26,23 +28,42 @@
 #include "analysis/SymbolicAnalyzer.h"
 #include "core/ConcreteOracle.h"
 #include "core/Diagnosis.h"
+#include "core/Options.h"
+#include "lang/Parser.h"
 
 #include <memory>
 #include <string_view>
 
 namespace abdiag::core {
 
+/// Outcome of loading a program: success, or a structured diagnostic with
+/// line/column when the failure has a source position.
+struct LoadResult {
+  bool Ok = false;
+  lang::Diag Diagnostic; ///< meaningful when !Ok
+
+  explicit operator bool() const { return Ok; }
+  /// The rendered diagnostic ("parse error at line L, column C: ...").
+  std::string message() const { return Diagnostic.render(); }
+
+  static LoadResult success() {
+    LoadResult R;
+    R.Ok = true;
+    return R;
+  }
+  static LoadResult failure(lang::Diag D) {
+    LoadResult R;
+    R.Diagnostic = std::move(D);
+    return R;
+  }
+};
+
 /// End-to-end driver: parse -> annotate loops -> symbolic analysis ->
 /// query-guided diagnosis.
 class ErrorDiagnoser {
 public:
-  struct Options {
-    /// Infer @p' annotations for un-annotated loops with the interval
-    /// abstract interpreter.
-    bool AutoAnnotate = true;
-    analysis::AnalyzerOptions Analyzer;
-    DiagnosisConfig Diagnosis;
-  };
+  /// The flat options aggregate (see core/Options.h).
+  using Options = abdiag::Options;
 
   ErrorDiagnoser();
   explicit ErrorDiagnoser(Options Opts);
@@ -50,9 +71,16 @@ public:
   ErrorDiagnoser(const ErrorDiagnoser &) = delete;
   ErrorDiagnoser &operator=(const ErrorDiagnoser &) = delete;
 
-  /// Parses and analyzes \p Source; on failure returns false and fills
-  /// \p Error. Replaces any previously loaded program.
+  /// Parses and analyzes \p Source. Replaces any previously loaded program.
+  LoadResult loadSource(std::string_view Source);
+  LoadResult loadFile(const std::string &Path);
+
+  /// Deprecated loader shims: the old bool + out-string signatures, kept so
+  /// existing callers keep compiling. \p Error (if non-null) receives the
+  /// rendered diagnostic.
+  [[deprecated("use LoadResult loadSource(Source)")]]
   bool loadSource(std::string_view Source, std::string *Error);
+  [[deprecated("use LoadResult loadFile(Path)")]]
   bool loadFile(const std::string &Path, std::string *Error);
 
   /// The loaded (and possibly auto-annotated) program.
@@ -68,8 +96,15 @@ public:
 
   /// Runs the Figure 6 diagnosis loop against \p O.
   DiagnosisResult diagnose(Oracle &O);
+  /// Like diagnose(), but with an explicit config (the triage engine's
+  /// escalated retry re-runs with raised budgets without rebuilding the
+  /// diagnoser).
+  DiagnosisResult diagnoseWith(const DiagnosisConfig &Config, Oracle &O);
 
-  /// Builds the exhaustive concrete-execution oracle for this program.
+  /// Builds the exhaustive concrete-execution oracle for this program. When
+  /// \p Config carries no cancellation token, the solver's current token
+  /// (Solver::setCancellation) is used, so oracle construction respects the
+  /// same deadline as everything else.
   std::unique_ptr<ConcreteOracle>
   makeConcreteOracle(ConcreteOracleConfig Config = ConcreteOracleConfig());
 
@@ -83,6 +118,8 @@ private:
   lang::Program Prog;
   analysis::AnalysisResult Analysis;
   bool Loaded = false;
+
+  LoadResult finishLoad(lang::ParseResult P);
 };
 
 } // namespace abdiag::core

@@ -134,6 +134,7 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
   Queue.push({0, 0});
   size_t Tested = 0;
   while (!Queue.empty() && Tested < Opts.MaxSubsets) {
+    support::pollCancellation(S.cancellation());
     SearchNode N = Queue.top();
     Queue.pop();
     if (Res.Found && N.Cost > Res.Cost)

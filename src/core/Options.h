@@ -1,0 +1,119 @@
+//===- core/Options.h - The library's one options aggregate -----*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `abdiag::Options`: every user-tunable knob of the end-to-end pipeline in
+/// one flat, documented aggregate. This replaces the old nesting
+/// (`ErrorDiagnoser::Options.Analyzer`, `.Diagnosis`, plus `MsaOptions`
+/// threaded through the `Abducer`): callers set flat fields, or chain the
+/// named setters, and the per-layer option structs are derived views.
+///
+/// \code
+///   abdiag::Options O;
+///   O.maxQueries(32).decomposeQueries(false).costs(core::CostModel::Uniform);
+///   abdiag::core::ErrorDiagnoser D(O);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_OPTIONS_H
+#define ABDIAG_CORE_OPTIONS_H
+
+#include "analysis/SymbolicAnalyzer.h"
+#include "core/Diagnosis.h"
+
+#include <cstddef>
+
+namespace abdiag {
+
+/// All pipeline knobs, flat. Field groups, in pipeline order: program
+/// loading, Section 3 analysis, the Figure 6 diagnosis loop, and the MSA
+/// subset search underneath abduction.
+struct Options {
+  //===--- loading ---------------------------------------------------------===
+  /// Infer @p' annotations for un-annotated loops with the interval
+  /// abstract interpreter.
+  bool AutoAnnotate = true;
+
+  //===--- Section 3 analysis ---------------------------------------------===
+  /// Conjoin the negated loop condition (over the post-loop store) to I.
+  /// Off by default for paper fidelity (the paper leaves exit conditions to
+  /// the @p' annotation).
+  bool AssumeLoopExitCondition = false;
+  /// Prune value-set entries whose guard is unsatisfiable (keeps value sets
+  /// small on branchy code).
+  bool PruneInfeasibleGuards = true;
+
+  //===--- Figure 6 diagnosis loop ----------------------------------------===
+  /// Maximum Figure 6 iterations before giving up.
+  int MaxIterations = 16;
+  /// Maximum individual oracle interactions.
+  int MaxQueries = 64;
+  /// Section 4.4 decomposition of boolean structure into subqueries.
+  bool DecomposeQueries = true;
+  /// Integrate facts learned from subqueries (Section 4.4 optimization).
+  bool LearnFromSubqueries = true;
+  /// Simplify abduced formulas modulo I (Remark after Lemma 3).
+  bool SimplifyQueries = true;
+  /// Cost model for abduction (E5 ablation; Paper = Definitions 2/9).
+  core::CostModel Costs = core::CostModel::Paper;
+
+  //===--- MSA subset search ----------------------------------------------===
+  /// Decide subset queries through one incremental Solver::Session.
+  bool IncrementalMsa = true;
+  /// Maximum number of variable subsets to test before giving up.
+  size_t MsaMaxSubsets = 4096;
+  /// Collect at most this many minimum-cost candidates.
+  size_t MsaMaxCandidates = 8;
+
+  //===--- named-setter chaining ------------------------------------------===
+  Options &autoAnnotate(bool V) { AutoAnnotate = V; return *this; }
+  Options &assumeLoopExitCondition(bool V) {
+    AssumeLoopExitCondition = V;
+    return *this;
+  }
+  Options &pruneInfeasibleGuards(bool V) {
+    PruneInfeasibleGuards = V;
+    return *this;
+  }
+  Options &maxIterations(int N) { MaxIterations = N; return *this; }
+  Options &maxQueries(int N) { MaxQueries = N; return *this; }
+  Options &decomposeQueries(bool V) { DecomposeQueries = V; return *this; }
+  Options &learnFromSubqueries(bool V) {
+    LearnFromSubqueries = V;
+    return *this;
+  }
+  Options &simplifyQueries(bool V) { SimplifyQueries = V; return *this; }
+  Options &costs(core::CostModel M) { Costs = M; return *this; }
+  Options &incrementalMsa(bool V) { IncrementalMsa = V; return *this; }
+  Options &msaMaxSubsets(size_t N) { MsaMaxSubsets = N; return *this; }
+  Options &msaMaxCandidates(size_t N) { MsaMaxCandidates = N; return *this; }
+
+  //===--- per-layer views -------------------------------------------------===
+  analysis::AnalyzerOptions analyzerOptions() const {
+    analysis::AnalyzerOptions A;
+    A.AssumeLoopExitCondition = AssumeLoopExitCondition;
+    A.PruneInfeasibleGuards = PruneInfeasibleGuards;
+    return A;
+  }
+  core::DiagnosisConfig diagnosisConfig() const {
+    core::DiagnosisConfig C;
+    C.MaxIterations = MaxIterations;
+    C.MaxQueries = MaxQueries;
+    C.DecomposeQueries = DecomposeQueries;
+    C.LearnFromSubqueries = LearnFromSubqueries;
+    C.SimplifyQueries = SimplifyQueries;
+    C.Costs = Costs;
+    C.IncrementalMsa = IncrementalMsa;
+    C.MsaMaxSubsets = MsaMaxSubsets;
+    C.MsaMaxCandidates = MsaMaxCandidates;
+    return C;
+  }
+};
+
+} // namespace abdiag
+
+#endif // ABDIAG_CORE_OPTIONS_H

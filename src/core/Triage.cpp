@@ -1,0 +1,194 @@
+//===- core/Triage.cpp - Parallel triage of report queues --------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+
+#include "lang/AstPrinter.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+const char *abdiag::core::triageStatusName(TriageStatus S) {
+  switch (S) {
+  case TriageStatus::Diagnosed:
+    return "diagnosed";
+  case TriageStatus::LoadError:
+    return "load_error";
+  case TriageStatus::Timeout:
+    return "timeout";
+  case TriageStatus::Crashed:
+    return "crashed";
+  }
+  return "unknown";
+}
+
+TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
+                                     const TriageRequest &Req) const {
+  TriageReport R;
+  R.Name = Req.Name;
+  R.Path = Req.Path;
+
+  auto Start = std::chrono::steady_clock::now();
+  smt::Solver::Stats Before = D.solver().stats();
+
+  // One token per attempt; the solver only borrows the pointer, so it must
+  // be cleared before the token goes out of scope.
+  std::optional<support::CancellationToken> Token;
+  auto ArmDeadline = [&] {
+    if (!Opts.DeadlineMs)
+      return;
+    Token.emplace(std::chrono::milliseconds(Opts.DeadlineMs));
+    D.solver().setCancellation(&*Token);
+  };
+
+  try {
+    ArmDeadline();
+    if (LoadResult L = D.loadFile(Req.Path); !L) {
+      R.Status = TriageStatus::LoadError;
+      R.LoadDiag = L.Diagnostic;
+      R.Message = L.message();
+    } else {
+      R.Loc = lang::programLoc(D.program());
+      if (D.dischargedByAnalysis()) {
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = DiagnosisOutcome::Discharged;
+        R.AnalysisAlone = true;
+      } else if (D.validatedByAnalysis()) {
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = DiagnosisOutcome::Validated;
+        R.AnalysisAlone = true;
+      } else {
+        // makeConcreteOracle picks up the solver's token, so oracle
+        // precomputation counts against the deadline too.
+        std::unique_ptr<ConcreteOracle> Oracle =
+            D.makeConcreteOracle(Opts.Oracle);
+        DiagnosisResult Res = D.diagnose(*Oracle);
+        if (Res.Outcome == DiagnosisOutcome::Inconclusive &&
+            Opts.EscalateOnInconclusive) {
+          R.Escalated = true;
+          ArmDeadline(); // fresh deadline for the retry
+          DiagnosisConfig Cfg = Opts.Pipeline.diagnosisConfig();
+          Cfg.MaxIterations *= 4;
+          Cfg.MaxQueries *= 4;
+          Cfg.MsaMaxSubsets *= 4;
+          Res = D.diagnoseWith(Cfg, *Oracle);
+        }
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = Res.Outcome;
+        R.Queries = Res.Transcript.size();
+        R.Iterations = Res.Iterations;
+      }
+    }
+  } catch (const support::CancelledError &) {
+    R.Status = TriageStatus::Timeout;
+    R.Message =
+        "deadline of " + std::to_string(Opts.DeadlineMs) + " ms exceeded";
+  } catch (const std::exception &E) {
+    R.Status = TriageStatus::Crashed;
+    R.Message = E.what();
+  } catch (...) {
+    R.Status = TriageStatus::Crashed;
+    R.Message = "unknown exception";
+  }
+
+  D.solver().setCancellation(nullptr);
+  R.Solver = D.solver().stats();
+  R.Solver -= Before;
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  return R;
+}
+
+TriageResult TriageEngine::run(const std::vector<TriageRequest> &Queue,
+                               const RowCallback &OnRow) {
+  TriageResult Result;
+  Result.Reports.resize(Queue.size());
+
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+  if (Jobs > Queue.size() && !Queue.empty())
+    Jobs = static_cast<unsigned>(Queue.size());
+
+  auto Start = std::chrono::steady_clock::now();
+  std::atomic<size_t> Next{0};
+  std::mutex Mu; // guards Result and the row callback
+
+  auto Worker = [&](int W) {
+    // One diagnoser per worker, reused across reports: the hash-consed
+    // arena, verdict cache, and QE memo stay warm. Structural hash-consing
+    // makes the caches sound across programs.
+    auto D = std::make_unique<ErrorDiagnoser>(Opts.Pipeline);
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Queue.size())
+        break;
+      TriageReport R = triageOne(*D, Queue[I]);
+      R.Worker = W;
+      // A cancelled or crashed pipeline may have been unwound mid-update;
+      // rebuild the worker's diagnoser so later reports see clean state.
+      if (R.Status == TriageStatus::Timeout ||
+          R.Status == TriageStatus::Crashed)
+        D = std::make_unique<ErrorDiagnoser>(Opts.Pipeline);
+      std::lock_guard<std::mutex> Lock(Mu);
+      Result.Reports[I] = std::move(R);
+      if (OnRow)
+        OnRow(Result.Reports[I]);
+    }
+  };
+
+  if (Jobs <= 1) {
+    Worker(0);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Jobs);
+    for (unsigned W = 0; W < Jobs; ++W)
+      Pool.emplace_back(Worker, static_cast<int>(W));
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  TriageSummary &Sum = Result.Summary;
+  for (const TriageReport &R : Result.Reports) {
+    switch (R.Status) {
+    case TriageStatus::Diagnosed:
+      switch (R.Outcome) {
+      case DiagnosisOutcome::Validated:
+        ++Sum.RealBugs;
+        break;
+      case DiagnosisOutcome::Discharged:
+        ++Sum.FalseAlarms;
+        break;
+      case DiagnosisOutcome::Inconclusive:
+        ++Sum.Inconclusive;
+        break;
+      }
+      break;
+    case TriageStatus::LoadError:
+      ++Sum.LoadErrors;
+      break;
+    case TriageStatus::Timeout:
+      ++Sum.Timeouts;
+      break;
+    case TriageStatus::Crashed:
+      ++Sum.Crashes;
+      break;
+    }
+    Sum.Solver += R.Solver;
+  }
+  Sum.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  return Result;
+}

@@ -1,0 +1,147 @@
+//===- core/Triage.h - Parallel triage of report queues ---------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The triage engine: fan a queue of `.adg` potential-error reports across a
+/// fixed pool of workers, each owning one `ErrorDiagnoser` (and hence one
+/// `smt::Solver` and one hash-consed `FormulaManager`) so arenas and caches
+/// stay thread-local and warm across reports. Every report runs under an
+/// optional wall-clock deadline enforced by a cooperative
+/// `support::CancellationToken` polled inside the MSA subset search, Cooper
+/// elimination, the SAT solve loops, and concrete-oracle enumeration.
+///
+/// Each report produces a structured `TriageReport`:
+///
+///   Diagnosed  -> the Figure 6 loop ran to a `DiagnosisOutcome` (reports
+///                 that come back Inconclusive get one budget-escalation
+///                 retry with 4x iteration/query/subset budgets first)
+///   LoadError  -> the file did not parse; `LoadDiag` has line/column
+///   Timeout    -> the per-report deadline expired (the worker's diagnoser
+///                 is rebuilt afterwards for isolation)
+///   Crashed    -> the pipeline threw; `Message` has the exception text
+///
+/// A timed-out or crashed report never takes the rest of the batch down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_TRIAGE_H
+#define ABDIAG_CORE_TRIAGE_H
+
+#include "core/ErrorDiagnoser.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace abdiag::core {
+
+/// One queue entry: a report file plus the display name for output rows.
+struct TriageRequest {
+  std::string Path;
+  std::string Name; ///< defaults to Path when empty
+
+  TriageRequest() = default;
+  TriageRequest(std::string Path, std::string Name = "")
+      : Path(std::move(Path)), Name(std::move(Name)) {
+    if (this->Name.empty())
+      this->Name = this->Path;
+  }
+};
+
+/// What happened to one report (orthogonal to the diagnosis outcome).
+enum class TriageStatus : uint8_t {
+  Diagnosed, ///< pipeline completed; see Outcome
+  LoadError, ///< parse/IO failure; see LoadDiag
+  Timeout,   ///< per-report deadline expired
+  Crashed    ///< pipeline threw an unexpected exception
+};
+
+const char *triageStatusName(TriageStatus S);
+
+/// Structured outcome of triaging one report.
+struct TriageReport {
+  std::string Name;
+  std::string Path;
+  TriageStatus Status = TriageStatus::Crashed;
+  /// Valid only when Status == Diagnosed.
+  DiagnosisOutcome Outcome = DiagnosisOutcome::Inconclusive;
+  /// Human-readable detail for LoadError / Timeout / Crashed rows.
+  std::string Message;
+  /// Structured diagnostic (line/column) when Status == LoadError.
+  lang::Diag LoadDiag;
+  size_t Loc = 0;
+  size_t Queries = 0;
+  int Iterations = 0;
+  /// True when the budget-escalation retry ran.
+  bool Escalated = false;
+  /// True when the symbolic analysis alone decided the report (no queries).
+  bool AnalysisAlone = false;
+  double WallMs = 0.0;
+  /// Index of the worker that processed this report.
+  int Worker = -1;
+  /// Solver counter *delta* attributable to this report (Stats::operator-=
+  /// against the worker's pre-report snapshot).
+  smt::Solver::Stats Solver;
+};
+
+/// Engine configuration.
+struct TriageOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned Jobs = 1;
+  /// Per-report wall-clock deadline in milliseconds; 0 disables it. The
+  /// escalated retry, when it runs, gets a fresh deadline of its own.
+  uint64_t DeadlineMs = 0;
+  /// Retry Inconclusive reports once with 4x iteration/query/subset budgets.
+  bool EscalateOnInconclusive = true;
+  /// Pipeline knobs shared by every worker's diagnoser.
+  abdiag::Options Pipeline;
+  /// Bounds for the concrete-execution oracle (its cancellation token is
+  /// installed by the engine; any value set here is ignored).
+  ConcreteOracleConfig Oracle;
+};
+
+/// Aggregate over one run() call.
+struct TriageSummary {
+  size_t RealBugs = 0;
+  size_t FalseAlarms = 0;
+  size_t Inconclusive = 0;
+  size_t LoadErrors = 0;
+  size_t Timeouts = 0;
+  size_t Crashes = 0;
+  /// Sum of per-report solver deltas (Stats::operator+=).
+  smt::Solver::Stats Solver;
+  double WallMs = 0.0;
+};
+
+/// Result of one run(): per-report rows in queue order plus the aggregate.
+struct TriageResult {
+  std::vector<TriageReport> Reports;
+  TriageSummary Summary;
+};
+
+class TriageEngine {
+public:
+  /// Called as each report finishes, serialized under the engine's mutex
+  /// (safe to write to a shared stream). Reports may complete out of queue
+  /// order when Jobs > 1.
+  using RowCallback = std::function<void(const TriageReport &)>;
+
+  explicit TriageEngine(TriageOptions Opts = TriageOptions())
+      : Opts(std::move(Opts)) {}
+
+  /// Triage the whole queue. Blocks until every report has a row.
+  TriageResult run(const std::vector<TriageRequest> &Queue,
+                   const RowCallback &OnRow = RowCallback());
+
+private:
+  TriageOptions Opts;
+
+  TriageReport triageOne(ErrorDiagnoser &D, const TriageRequest &Req) const;
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_TRIAGE_H

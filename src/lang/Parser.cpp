@@ -50,6 +50,7 @@ class Parser {
   std::vector<Token> Toks;
   size_t Pos = 0;
   Program P;
+  Diag D;
   std::string Error;
   std::set<std::string> Declared; // current scope (function or program)
   std::map<std::string, FunctionDecl> Functions;
@@ -85,6 +86,7 @@ public:
     ParseResult R;
     if (Error.empty())
       R.Prog = std::move(P);
+    R.D = std::move(D);
     R.Error = std::move(Error);
     return R;
   }
@@ -100,10 +102,10 @@ private:
   void fail(const std::string &Msg) {
     if (!Error.empty())
       return;
-    std::ostringstream OS;
-    OS << "parse error at line " << cur().Line << ", column " << cur().Col
-       << ": " << Msg << " (found " << tokKindName(cur().Kind) << ")";
-    Error = OS.str();
+    D.Message = Msg + " (found " + tokKindName(cur().Kind) + ")";
+    D.Line = cur().Line;
+    D.Col = cur().Col;
+    Error = D.render();
   }
 
   Token eat(TokKind K, const char *What) {
@@ -454,6 +456,7 @@ private:
     if (at(TokKind::LParen)) {
       size_t Save = Pos;
       std::string SavedError = Error;
+      Diag SavedDiag = D;
       ++Pos; // consume '('
       const Pred *Inner = parsePred();
       if (!failed() && at(TokKind::RParen) && !isCompareAhead()) {
@@ -463,6 +466,7 @@ private:
       // Backtrack: treat as comparison whose LHS starts with '('.
       Pos = Save;
       Error = SavedError;
+      D = SavedDiag;
     }
     return parseCompare();
   }
@@ -592,11 +596,21 @@ ParseResult abdiag::lang::parseProgram(std::string_view Source) {
   return P.run();
 }
 
+std::string Diag::render() const {
+  if (!hasPosition())
+    return Message;
+  std::ostringstream OS;
+  OS << "parse error at line " << Line << ", column " << Col << ": "
+     << Message;
+  return OS.str();
+}
+
 ParseResult abdiag::lang::parseProgramFile(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
     ParseResult R;
-    R.Error = "cannot open file '" + Path + "'";
+    R.D.Message = "cannot open file '" + Path + "'";
+    R.Error = R.D.render();
     return R;
   }
   std::ostringstream SS;

@@ -9,16 +9,32 @@
 
 #include "lang/Ast.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 
 namespace abdiag::lang {
 
-/// Result of a parse: either a program or an error message with position.
+/// A structured diagnostic: the bare message plus the source position it
+/// anchors to. Line/Col are 1-based; both 0 means "no position" (e.g. the
+/// file could not be opened).
+struct Diag {
+  std::string Message; ///< bare message, no position prefix
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool hasPosition() const { return Line != 0; }
+  /// Renders "parse error at line L, column C: message" (or just the
+  /// message when there is no position).
+  std::string render() const;
+};
+
+/// Result of a parse: either a program or a structured diagnostic.
 struct ParseResult {
   std::optional<Program> Prog;
-  std::string Error; // empty on success
+  Diag D;            ///< filled on failure
+  std::string Error; // rendered D; empty on success
 
   bool ok() const { return Prog.has_value(); }
 };

@@ -206,7 +206,9 @@ const Formula *substTree(FormulaManager &M, const XTree &T,
 namespace {
 
 const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
-                                  VarId X) {
+                                  VarId X,
+                                  const support::CancellationToken *Cancel) {
+  support::pollCancellation(Cancel);
   F = lowerEqNeOn(M, F, X);
   if (!containsVar(F, X))
     return F;
@@ -235,14 +237,17 @@ const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
   std::vector<const Formula *> Disjuncts;
   bool UseLower = Lower.size() <= Upper.size();
   // The ±infinity residues: j = 1..delta.
-  for (int64_t J = 1; J <= Delta; ++J)
+  for (int64_t J = 1; J <= Delta; ++J) {
+    support::pollCancellation(Cancel);
     Disjuncts.push_back(substTree(M, T, LinearExpr::constant(J),
                                   UseLower ? InfMode::MinusInf
                                            : InfMode::PlusInf));
+  }
   // Boundary points: b + j (resp. a - j) for j = 0..delta-1.
   const std::vector<LinearExpr> &Bounds = UseLower ? Lower : Upper;
   for (const LinearExpr &Bnd : Bounds)
     for (int64_t J = 0; J < Delta; ++J) {
+      support::pollCancellation(Cancel);
       LinearExpr Val = UseLower ? Bnd.addConst(J) : Bnd.addConst(-J);
       Disjuncts.push_back(substTree(M, T, Val, InfMode::None));
     }
@@ -251,26 +256,25 @@ const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
 
 } // namespace
 
-const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
-                                            const Formula *F, VarId X,
-                                            QeMemo *Memo) {
+const Formula *abdiag::smt::eliminateExists(
+    FormulaManager &M, const Formula *F, VarId X, QeMemo *Memo,
+    const support::CancellationToken *Cancel) {
   if (!Memo)
-    return eliminateExistsOne(M, F, X);
+    return eliminateExistsOne(M, F, X, Cancel);
   auto It = Memo->Exists.find({F, X});
   if (It != Memo->Exists.end()) {
     ++Memo->Hits;
     return It->second;
   }
   ++Memo->Misses;
-  const Formula *R = eliminateExistsOne(M, F, X);
+  const Formula *R = eliminateExistsOne(M, F, X, Cancel);
   Memo->Exists.emplace(std::make_pair(F, X), R);
   return R;
 }
 
-const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
-                                            const Formula *F,
-                                            const std::vector<VarId> &Xs,
-                                            QeMemo *Memo) {
+const Formula *abdiag::smt::eliminateExists(
+    FormulaManager &M, const Formula *F, const std::vector<VarId> &Xs,
+    QeMemo *Memo, const support::CancellationToken *Cancel) {
   // Heuristic: eliminate variables with fewer occurrences first to keep
   // intermediate formulas small.
   std::vector<VarId> Order(Xs.begin(), Xs.end());
@@ -289,23 +293,22 @@ const Formula *abdiag::smt::eliminateExists(FormulaManager &M,
         BestIdx = I;
       }
     }
-    F = eliminateExists(M, F, Order[BestIdx], Memo);
+    F = eliminateExists(M, F, Order[BestIdx], Memo, Cancel);
     Order.erase(Order.begin() + BestIdx);
   }
   return F;
 }
 
-const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
-                                            const Formula *F, VarId X,
-                                            QeMemo *Memo) {
-  return M.mkNot(eliminateExists(M, M.mkNot(F), X, Memo));
+const Formula *abdiag::smt::eliminateForall(
+    FormulaManager &M, const Formula *F, VarId X, QeMemo *Memo,
+    const support::CancellationToken *Cancel) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), X, Memo, Cancel));
 }
 
-const Formula *abdiag::smt::eliminateForall(FormulaManager &M,
-                                            const Formula *F,
-                                            const std::vector<VarId> &Xs,
-                                            QeMemo *Memo) {
-  return M.mkNot(eliminateExists(M, M.mkNot(F), Xs, Memo));
+const Formula *abdiag::smt::eliminateForall(
+    FormulaManager &M, const Formula *F, const std::vector<VarId> &Xs,
+    QeMemo *Memo, const support::CancellationToken *Cancel) {
+  return M.mkNot(eliminateExists(M, M.mkNot(F), Xs, Memo, Cancel));
 }
 
 namespace {
@@ -483,7 +486,9 @@ bool solveSingleVar(const std::vector<const Formula *> &Work, VarId X,
 }
 
 bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
-                  std::unordered_map<VarId, int64_t> &Model, int &Budget) {
+                  std::unordered_map<VarId, int64_t> &Model, int &Budget,
+                  const support::CancellationToken *Cancel) {
+  support::pollCancellation(Cancel);
   if (--Budget < 0) {
     std::fprintf(stderr,
                  "abdiag: fatal: conjunction solver budget exhausted\n");
@@ -608,7 +613,7 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
       LinearExpr Bound = B->Rest; // y >= Rest
       for (int64_t J = 0; J < Delta; ++J) {
         if (solveConjRec(M, SubstAll(Bound.addConst(J), /*DropLe=*/false),
-                         Model, Budget))
+                         Model, Budget, Cancel))
           return FinishWithY(checkedAdd(evalAndPin(Bound, Model), J));
       }
     }
@@ -620,7 +625,7 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
       LinearExpr Bound = A->Rest.negated(); // y <= -Rest
       for (int64_t J = 0; J < Delta; ++J) {
         if (solveConjRec(M, SubstAll(Bound.addConst(-J), /*DropLe=*/false),
-                         Model, Budget))
+                         Model, Budget, Cancel))
           return FinishWithY(checkedSub(evalAndPin(Bound, Model), J));
       }
     }
@@ -630,7 +635,7 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
   // Delta, substituting any representative of the residue class is exact.
   for (int64_t J = 0; J < Delta; ++J) {
     if (solveConjRec(M, SubstAll(LinearExpr::constant(J), /*DropLe=*/true),
-                     Model, Budget))
+                     Model, Budget, Cancel))
       return FinishWithY(J);
   }
   return false;
@@ -640,7 +645,8 @@ bool solveConjRec(FormulaManager &M, const std::vector<const Formula *> &Atoms,
 
 bool abdiag::smt::solveAtomConjunction(
     FormulaManager &M, const std::vector<const Formula *> &Atoms,
-    std::unordered_map<VarId, int64_t> &Model) {
+    std::unordered_map<VarId, int64_t> &Model,
+    const support::CancellationToken *Cancel) {
   int Budget = 2000000;
-  return solveConjRec(M, Atoms, Model, Budget);
+  return solveConjRec(M, Atoms, Model, Budget, Cancel);
 }

@@ -21,6 +21,7 @@
 #define ABDIAG_SMT_COOPER_H
 
 #include "smt/Formula.h"
+#include "support/Cancellation.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -53,23 +54,35 @@ struct QeMemo {
   uint64_t Misses = 0;
 };
 
-/// Computes a quantifier-free equivalent of `exists X. F`.
+/// Computes a quantifier-free equivalent of `exists X. F`. All elimination
+/// entry points poll \p Cancel (when non-null) between elimination steps and
+/// while materializing disjunct sets, throwing support::CancelledError when
+/// it expires; partial results are discarded, the memo only ever receives
+/// completed steps.
 const Formula *eliminateExists(FormulaManager &M, const Formula *F, VarId X,
-                               QeMemo *Memo = nullptr);
+                               QeMemo *Memo = nullptr,
+                               const support::CancellationToken *Cancel =
+                                   nullptr);
 
 /// Eliminates every variable in \p Xs existentially (in a heuristic order).
 const Formula *eliminateExists(FormulaManager &M, const Formula *F,
                                const std::vector<VarId> &Xs,
-                               QeMemo *Memo = nullptr);
+                               QeMemo *Memo = nullptr,
+                               const support::CancellationToken *Cancel =
+                                   nullptr);
 
 /// Computes a quantifier-free equivalent of `forall X. F` (as ¬∃X.¬F).
 const Formula *eliminateForall(FormulaManager &M, const Formula *F, VarId X,
-                               QeMemo *Memo = nullptr);
+                               QeMemo *Memo = nullptr,
+                               const support::CancellationToken *Cancel =
+                                   nullptr);
 
 /// Eliminates every variable in \p Xs universally.
 const Formula *eliminateForall(FormulaManager &M, const Formula *F,
                                const std::vector<VarId> &Xs,
-                               QeMemo *Memo = nullptr);
+                               QeMemo *Memo = nullptr,
+                               const support::CancellationToken *Cancel =
+                                   nullptr);
 
 /// Complete satisfiability + model finding for a quantifier-free formula,
 /// by QE to univariate formulas and candidate-point enumeration. Complete
@@ -96,9 +109,11 @@ bool findModelByQe(FormulaManager &M, const Formula *F,
 /// \p Atoms may contain True (ignored) and False (immediately unsat) nodes.
 /// Eq/Ne atoms are rejected (lower them first). Returns true and fills
 /// \p Model for every variable occurring in \p Atoms when satisfiable.
+/// Polls \p Cancel at every recursion node (throws support::CancelledError).
 bool solveAtomConjunction(FormulaManager &M,
                           const std::vector<const Formula *> &Atoms,
-                          std::unordered_map<VarId, int64_t> &Model);
+                          std::unordered_map<VarId, int64_t> &Model,
+                          const support::CancellationToken *Cancel = nullptr);
 
 } // namespace abdiag::smt
 

@@ -294,6 +294,7 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
   while (true) {
     int32_t Confl = propagate();
     if (Confl != -1) {
+      support::pollCancellation(Cancel);
       ++Conflicts;
       ++ConflictsHere;
       if (level() == 0) {
@@ -341,6 +342,7 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
     Lit Next = pickBranchLit();
     if (Next == UINT32_MAX)
       return Result::Sat; // all variables assigned
+    support::pollCancellation(Cancel);
     ++Decisions;
     TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
     enqueue(Next, -1);

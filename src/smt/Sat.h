@@ -20,6 +20,8 @@
 #ifndef ABDIAG_SMT_SAT_H
 #define ABDIAG_SMT_SAT_H
 
+#include "support/Cancellation.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -67,6 +69,12 @@ public:
   /// the clause set is unsatisfiable on its own.
   const std::vector<Lit> &failedAssumptions() const { return FailedAssumps; }
 
+  /// Installs a cooperative cancellation token (nullptr to clear). The
+  /// search loop polls it at every conflict and decision and aborts by
+  /// throwing support::CancelledError; the solver is left in a consistent
+  /// state (the next solve()/addClause() backtracks to level 0 first).
+  void setCancellation(const support::CancellationToken *T) { Cancel = T; }
+
   /// Value of \p V in the satisfying assignment (valid after Sat).
   LBool value(BVar V) const { return Assigns[V]; }
 
@@ -101,6 +109,7 @@ private:
   uint64_t Decisions = 0;
   bool UnsatAtLevel0 = false;
   std::vector<Lit> FailedAssumps;
+  const support::CancellationToken *Cancel = nullptr;
 
   uint32_t level() const { return static_cast<uint32_t>(TrailLims.size()); }
   LBool valueLit(Lit L) const;

@@ -36,6 +36,34 @@ void Solver::Stats::dump(std::ostream &OS) const {
      << "qe memo misses:   " << QeCacheMisses << "\n";
 }
 
+Solver::Stats &Solver::Stats::operator+=(const Stats &O) {
+  Queries += O.Queries;
+  TheoryChecks += O.TheoryChecks;
+  TheoryConflicts += O.TheoryConflicts;
+  CooperFallbacks += O.CooperFallbacks;
+  CacheHits += O.CacheHits;
+  CacheMisses += O.CacheMisses;
+  SessionChecks += O.SessionChecks;
+  CoreSkips += O.CoreSkips;
+  QeCacheHits += O.QeCacheHits;
+  QeCacheMisses += O.QeCacheMisses;
+  return *this;
+}
+
+Solver::Stats &Solver::Stats::operator-=(const Stats &O) {
+  Queries -= O.Queries;
+  TheoryChecks -= O.TheoryChecks;
+  TheoryConflicts -= O.TheoryConflicts;
+  CooperFallbacks -= O.CooperFallbacks;
+  CacheHits -= O.CacheHits;
+  CacheMisses -= O.CacheMisses;
+  SessionChecks -= O.SessionChecks;
+  CoreSkips -= O.CoreSkips;
+  QeCacheHits -= O.QeCacheHits;
+  QeCacheMisses -= O.QeCacheMisses;
+  return *this;
+}
+
 void Solver::setCaching(bool On) {
   Caching = On;
   if (!On) {
@@ -47,9 +75,9 @@ void Solver::setCaching(bool On) {
 const Formula *Solver::eliminateForallCached(const Formula *F,
                                              const std::vector<VarId> &Xs) {
   if (!Caching)
-    return eliminateForall(M, F, Xs);
+    return eliminateForall(M, F, Xs, nullptr, Cancel);
   uint64_t H0 = Qe.Hits, M0 = Qe.Misses;
-  const Formula *R = eliminateForall(M, F, Xs, &Qe);
+  const Formula *R = eliminateForall(M, F, Xs, &Qe, Cancel);
   S.QeCacheHits += Qe.Hits - H0;
   S.QeCacheMisses += Qe.Misses - M0;
   return R;
@@ -145,13 +173,16 @@ class TheoryChecker {
   /// Cached quotient variable per (substituted variable): reused across
   /// checks to keep the variable table from growing per query.
   std::unordered_map<VarId, VarId> &QuotientVars;
+  const support::CancellationToken *Cancel;
 
 public:
   TheoryChecker(FormulaManager &M, Solver::Stats &S,
-                std::unordered_map<VarId, VarId> &QuotientVars)
-      : M(M), S(S), QuotientVars(QuotientVars) {}
+                std::unordered_map<VarId, VarId> &QuotientVars,
+                const support::CancellationToken *Cancel = nullptr)
+      : M(M), S(S), QuotientVars(QuotientVars), Cancel(Cancel) {}
 
   bool check(const std::vector<TheoryLit> &Lits, Model *Out) {
+    support::pollCancellation(Cancel);
     ++S.TheoryChecks;
     std::vector<LinearExpr> Rows;
     std::vector<const TheoryLit *> Divs;
@@ -253,7 +284,7 @@ private:
     for (const LinearExpr &E : Rows)
       Atoms.push_back(M.mkAtom(AtomRel::Le, E));
     Model Local;
-    if (!solveAtomConjunction(M, Atoms, Local))
+    if (!solveAtomConjunction(M, Atoms, Local, Cancel))
       return false;
     if (Out)
       *Out = std::move(Local);
@@ -333,7 +364,7 @@ private:
     for (const TheoryLit &L : Lits)
       Atoms.push_back(M.mkAtom(L.Rel, L.Expr, L.Divisor));
     Model Local;
-    if (!solveAtomConjunction(M, Atoms, Local))
+    if (!solveAtomConjunction(M, Atoms, Local, Cancel))
       return false;
     if (Out)
       *Out = std::move(Local);
@@ -417,6 +448,7 @@ std::vector<size_t> minimizeTheoryCore(TheoryChecker &Theory,
 } // namespace
 
 bool Solver::isSat(const Formula *F, Model *Out) {
+  support::pollCancellation(Cancel);
   ++S.Queries;
   if (Out)
     Out->clear();
@@ -453,7 +485,7 @@ bool Solver::isSatCore(const Formula *F, Model &Filled) {
     return false;
 
   std::unordered_map<VarId, VarId> QuotientVars;
-  TheoryChecker Theory(M, S, QuotientVars);
+  TheoryChecker Theory(M, S, QuotientVars, Cancel);
 
   auto FillModel = [&](const Model &Candidate) {
     for (VarId V : freeVars(F)) {
@@ -487,6 +519,7 @@ bool Solver::isSatCore(const Formula *F, Model &Filled) {
 
   // Tseitin encoding and the lazy DPLL(T) loop.
   sat::SatSolver Sat;
+  Sat.setCancellation(Cancel);
   TseitinEncoder Enc(Sat);
   sat::Lit Root = Enc.encode(Low);
   Sat.addClause({Root});
@@ -622,7 +655,11 @@ bool Solver::Session::check(const std::vector<const Formula *> &Conjuncts,
           Atoms.push_back(A);
   }
 
-  TheoryChecker Theory(Slv.M, Slv.S, I->QuotientVars);
+  // Honor whatever token is installed on the owning solver right now (the
+  // triage engine swaps tokens per report around a long-lived session-using
+  // diagnoser).
+  I->Sat.setCancellation(Slv.Cancel);
+  TheoryChecker Theory(Slv.M, Slv.S, I->QuotientVars, Slv.Cancel);
   while (true) {
     if (I->Sat.solve(Guards) == sat::SatSolver::Result::Unsat) {
       std::vector<sat::Lit> Core = I->Sat.failedAssumptions();

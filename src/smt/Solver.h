@@ -59,8 +59,15 @@ public:
     uint64_t QeCacheHits = 0;      ///< single-var QE steps served memoized
     uint64_t QeCacheMisses = 0;    ///< single-var QE steps computed
 
-    /// Human-readable one-line-per-counter report.
+    /// Human-readable one-line-per-counter report to a caller-supplied
+    /// stream (callers pick stdout, a log file, a string buffer, ...).
     void dump(std::ostream &OS) const;
+
+    /// Counter-wise accumulation/subtraction, so per-worker stats can be
+    /// aggregated (triage engine) and per-report deltas computed from the
+    /// cumulative counters of a long-lived solver.
+    Stats &operator+=(const Stats &O);
+    Stats &operator-=(const Stats &O);
   };
 
   explicit Solver(FormulaManager &M) : M(M) {}
@@ -87,6 +94,16 @@ public:
 
   /// Zeroes every statistics counter (the verdict cache is kept).
   void resetStats() { S = Stats(); }
+
+  /// Installs a cooperative cancellation token (nullptr to clear). While a
+  /// token is installed, every potentially long-running loop reachable from
+  /// this solver -- the CDCL search (one-shot and Session), Cooper
+  /// elimination (including eliminateForallCached), and the complete
+  /// conjunction fallback -- polls it and aborts with
+  /// support::CancelledError when it expires. The solver remains usable
+  /// afterwards: caches only ever contain completed entries.
+  void setCancellation(const support::CancellationToken *T) { Cancel = T; }
+  const support::CancellationToken *cancellation() const { return Cancel; }
 
   /// Enables/disables the isSat verdict cache (on by default). Disabling
   /// also drops all cached entries (verdicts and QE memo), so re-enabling
@@ -116,6 +133,7 @@ private:
   FormulaManager &M;
   Stats S;
   bool Caching = true;
+  const support::CancellationToken *Cancel = nullptr;
   std::unordered_map<const Formula *, CacheEntry> Cache;
   QeMemo Qe;
 

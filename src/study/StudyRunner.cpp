@@ -46,10 +46,9 @@ StudyResult abdiag::study::runStudy(const StudyConfig &Config) {
   std::vector<std::unique_ptr<LoadedProblem>> Loaded;
   for (const BenchmarkInfo &B : Suite) {
     auto L = std::make_unique<LoadedProblem>();
-    std::string Err;
-    if (!L->Diagnoser.loadFile(benchmarkPath(B), &Err)) {
+    if (core::LoadResult R = L->Diagnoser.loadFile(benchmarkPath(B)); !R) {
       std::fprintf(stderr, "abdiag: fatal: cannot load benchmark %s: %s\n",
-                   B.Name.c_str(), Err.c_str());
+                   B.Name.c_str(), R.message().c_str());
       std::abort();
     }
     L->Loc = lang::programLoc(L->Diagnoser.program());

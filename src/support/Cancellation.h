@@ -1,0 +1,104 @@
+//===- support/Cancellation.h - Cooperative cancellation --------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative cancellation for long-running solver work. A
+/// CancellationToken combines an explicit cancel flag with an optional
+/// wall-clock deadline; the potentially unbounded loops of the stack (the
+/// CDCL search, Cooper elimination, the MSA subset search, the concrete
+/// oracle's run enumeration) poll it and abort by throwing CancelledError.
+///
+/// Polling is cheap by construction: the fast path is one relaxed atomic
+/// load, and the monotonic clock is consulted only on every 256th poll, so
+/// tokens can be polled from per-node/per-conflict loops without measurable
+/// overhead. Deadline enforcement is therefore best-effort -- a timeout is
+/// detected within a few hundred loop iterations of the deadline, not at
+/// the exact instant.
+///
+/// Tokens are installed per Solver (Solver::setCancellation) and flow from
+/// there into every nested loop; the triage engine allocates one token per
+/// report, which is how one pathological report degrades to a Timeout row
+/// instead of stalling a whole batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_CANCELLATION_H
+#define ABDIAG_SUPPORT_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace abdiag::support {
+
+/// Thrown by cancellation-aware loops once their token expires. Callers that
+/// install a token (the triage engine, tools) catch this at the work-item
+/// boundary; code in between only needs to be exception-safe.
+class CancelledError : public std::runtime_error {
+public:
+  CancelledError()
+      : std::runtime_error("abdiag: operation cancelled (deadline exceeded)") {
+  }
+};
+
+/// A poll-based cancellation token: an atomic flag, optionally armed with a
+/// monotonic-clock deadline. Thread-safe: any thread may cancel(), the
+/// working thread polls. Not copyable (identity is the point).
+class CancellationToken {
+public:
+  /// A token that never expires on its own (cancel() still works).
+  CancellationToken() = default;
+
+  /// A token that expires \p Budget from now.
+  explicit CancellationToken(std::chrono::milliseconds Budget)
+      : HasDeadline(true),
+        Deadline(std::chrono::steady_clock::now() + Budget) {}
+
+  CancellationToken(const CancellationToken &) = delete;
+  CancellationToken &operator=(const CancellationToken &) = delete;
+
+  /// Requests cancellation; every subsequent poll()/expired() fires.
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or the deadline passed. Rate-limits the
+  /// clock read: between clock reads, up to 256 calls return a stale false.
+  bool expired() const {
+    if (Flag.load(std::memory_order_relaxed))
+      return true;
+    if (!HasDeadline)
+      return false;
+    if ((Polls.fetch_add(1, std::memory_order_relaxed) & 0xFFu) != 0)
+      return false;
+    if (std::chrono::steady_clock::now() < Deadline)
+      return false;
+    Flag.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Throws CancelledError once expired.
+  void poll() const {
+    if (expired())
+      throw CancelledError();
+  }
+
+private:
+  mutable std::atomic<bool> Flag{false};
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline{};
+  mutable std::atomic<uint32_t> Polls{0};
+};
+
+/// Polls through a possibly-null token pointer (the convention everywhere:
+/// a null token means "not cancellable").
+inline void pollCancellation(const CancellationToken *T) {
+  if (T)
+    T->poll();
+}
+
+} // namespace abdiag::support
+
+#endif // ABDIAG_SUPPORT_CANCELLATION_H

@@ -210,8 +210,8 @@ const EndToEndCase Cases[] = {
 TEST(EndToEndDiagnosisTest, ConcreteOracleClassifiesCorrectly) {
   for (const EndToEndCase &C : Cases) {
     ErrorDiagnoser D;
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(C.Source, &Err)) << C.Name << ": " << Err;
+    LoadResult L = D.loadSource(C.Source);
+    ASSERT_TRUE(L) << C.Name << ": " << L.message();
     auto O = D.makeConcreteOracle();
     DiagnosisResult R = D.diagnose(*O);
     DiagnosisOutcome Expect =
@@ -237,11 +237,10 @@ program intro(flag, n) {
   check(z > 2 * n);
 }
 )";
-  ErrorDiagnoser::Options Opts;
-  Opts.AutoAnnotate = false; // the paper's annotation is already present
-  ErrorDiagnoser D(Opts);
-  std::string Err;
-  ASSERT_TRUE(D.loadSource(Intro, &Err)) << Err;
+  // The paper's annotation is already present, so no auto-annotation.
+  ErrorDiagnoser D(abdiag::Options().autoAnnotate(false));
+  LoadResult L = D.loadSource(Intro);
+  ASSERT_TRUE(L) << L.message();
   EXPECT_FALSE(D.dischargedByAnalysis());
   EXPECT_FALSE(D.validatedByAnalysis());
   auto O = D.makeConcreteOracle();
@@ -254,8 +253,7 @@ program intro(flag, n) {
 TEST(EndToEndDiagnosisTest, GroundTruthMatchesInterpreterExhaustively) {
   for (const EndToEndCase &C : Cases) {
     ErrorDiagnoser D;
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(C.Source, &Err)) << C.Name;
+    ASSERT_TRUE(D.loadSource(C.Source)) << C.Name;
     auto O = D.makeConcreteOracle();
     EXPECT_EQ(O->anyFailingRun(), C.IsRealBug) << C.Name;
   }

@@ -29,16 +29,51 @@ program p(n) {
 
 TEST(ErrorDiagnoserTest, ParseErrorsReported) {
   ErrorDiagnoser D;
-  std::string Err;
-  EXPECT_FALSE(D.loadSource("program broken(", &Err));
-  EXPECT_FALSE(Err.empty());
+  LoadResult R = D.loadSource("program broken(");
+  EXPECT_FALSE(R);
+  EXPECT_FALSE(R.message().empty());
+}
+
+TEST(ErrorDiagnoserTest, ParseErrorsCarryPosition) {
+  ErrorDiagnoser D;
+  // The parse error is on line 3 ("check" misspelled as an expression
+  // statement is rejected at the identifier).
+  LoadResult R = D.loadSource("program p(n) {\n  var i;\n  ???\n}\n");
+  ASSERT_FALSE(R);
+  EXPECT_TRUE(R.Diagnostic.hasPosition());
+  EXPECT_EQ(R.Diagnostic.Line, 3u);
+  EXPECT_GE(R.Diagnostic.Col, 1u);
+  // The rendered message embeds the same position.
+  EXPECT_NE(R.message().find("line 3"), std::string::npos);
 }
 
 TEST(ErrorDiagnoserTest, MissingFileReported) {
   ErrorDiagnoser D;
+  LoadResult R = D.loadFile("/nonexistent/path.adg");
+  EXPECT_FALSE(R);
+  EXPECT_NE(R.message().find("cannot open"), std::string::npos);
+  // IO failures have no source position.
+  EXPECT_FALSE(R.Diagnostic.hasPosition());
+}
+
+TEST(ErrorDiagnoserTest, DeprecatedShimsStillWork) {
+  // The old bool + out-string loaders must keep behaving identically until
+  // they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  ErrorDiagnoser D;
   std::string Err;
-  EXPECT_FALSE(D.loadFile("/nonexistent/path.adg", &Err));
-  EXPECT_NE(Err.find("cannot open"), std::string::npos);
+  EXPECT_FALSE(D.loadSource("program broken(", &Err));
+  EXPECT_FALSE(Err.empty());
+  ErrorDiagnoser D2;
+  std::string Err2;
+  EXPECT_TRUE(D2.loadSource(SafeLoop, &Err2)) << Err2;
+  EXPECT_TRUE(Err2.empty());
+  EXPECT_EQ(D2.program().Name, "p");
+  std::string Err3;
+  EXPECT_FALSE(D2.loadFile("/nonexistent/path.adg", &Err3));
+  EXPECT_NE(Err3.find("cannot open"), std::string::npos);
+#pragma GCC diagnostic pop
 }
 
 TEST(ErrorDiagnoserTest, AutoAnnotationToggle) {
@@ -46,29 +81,26 @@ TEST(ErrorDiagnoserTest, AutoAnnotationToggle) {
   // discharging the check; without, the report stays open.
   {
     ErrorDiagnoser D; // AutoAnnotate defaults to true
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
+    LoadResult R = D.loadSource(SafeLoop);
+    ASSERT_TRUE(R) << R.message();
     EXPECT_TRUE(D.dischargedByAnalysis());
     std::string Printed = lang::programToString(D.program());
     EXPECT_NE(Printed.find("@ ["), std::string::npos);
   }
   {
-    ErrorDiagnoser::Options Opts;
-    Opts.AutoAnnotate = false;
-    ErrorDiagnoser D(Opts);
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
+    ErrorDiagnoser D(abdiag::Options().autoAnnotate(false));
+    LoadResult R = D.loadSource(SafeLoop);
+    ASSERT_TRUE(R) << R.message();
     EXPECT_FALSE(D.dischargedByAnalysis());
   }
 }
 
 TEST(ErrorDiagnoserTest, ReloadReplacesProgram) {
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadSource(SafeLoop, &Err)) << Err;
-  ASSERT_TRUE(
-      D.loadSource("program q(a) { check(a == a); }", &Err))
-      << Err;
+  LoadResult R1 = D.loadSource(SafeLoop);
+  ASSERT_TRUE(R1) << R1.message();
+  LoadResult R2 = D.loadSource("program q(a) { check(a == a); }");
+  ASSERT_TRUE(R2) << R2.message();
   EXPECT_EQ(D.program().Name, "q");
   EXPECT_TRUE(D.dischargedByAnalysis());
 }
@@ -80,19 +112,16 @@ TEST(ErrorDiagnoserTest, LoadFileRoundTrip) {
     Out << SafeLoop;
   }
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadFile(Path, &Err)) << Err;
+  LoadResult R = D.loadFile(Path);
+  ASSERT_TRUE(R) << R.message();
   EXPECT_EQ(D.program().Name, "p");
   std::remove(Path.c_str());
 }
 
 TEST(ErrorDiagnoserTest, DiagnoseIsRepeatable) {
   // Engine state must not leak between diagnose() calls.
-  ErrorDiagnoser::Options Opts;
-  Opts.AutoAnnotate = false;
-  ErrorDiagnoser D(Opts);
-  std::string Err;
-  ASSERT_TRUE(D.loadSource(R"(
+  ErrorDiagnoser D(abdiag::Options().autoAnnotate(false));
+  LoadResult L = D.loadSource(R"(
 program p(n) {
   var i;
   assume(n >= 0);
@@ -100,9 +129,8 @@ program p(n) {
   while (i < n) { i = i + 1; } @ [i >= 0]
   check(i >= 0);
 }
-)",
-                           &Err))
-      << Err;
+)");
+  ASSERT_TRUE(L) << L.message();
   auto O = D.makeConcreteOracle();
   DiagnosisResult R1 = D.diagnose(*O);
   DiagnosisResult R2 = D.diagnose(*O);
@@ -111,25 +139,46 @@ program p(n) {
 }
 
 TEST(ErrorDiagnoserTest, MaxQueriesBudgetRespected) {
-  ErrorDiagnoser::Options Opts;
-  Opts.Diagnosis.MaxQueries = 1;
-  ErrorDiagnoser D(Opts);
-  std::string Err;
+  ErrorDiagnoser D(abdiag::Options().maxQueries(1));
   // Needs two facts; with a one-query budget the run ends inconclusive (a
   // lone "yes" to one clause cannot decide the report).
-  ASSERT_TRUE(D.loadSource(R"(
+  LoadResult L = D.loadSource(R"(
 program p() {
   var x, y;
   x = havoc();
   y = havoc();
   check(x > 0 && y > 0);
 }
-)",
-                           &Err))
-      << Err;
+)");
+  ASSERT_TRUE(L) << L.message();
   ScriptedOracle O({Oracle::Answer::No});
   DiagnosisResult R = D.diagnose(O);
   EXPECT_LE(R.Transcript.size(), 1u);
+}
+
+TEST(ErrorDiagnoserTest, OptionSettersChain) {
+  // The named setters mutate the flat fields and chain.
+  abdiag::Options O;
+  O.maxIterations(3)
+      .maxQueries(7)
+      .decomposeQueries(false)
+      .incrementalMsa(false)
+      .msaMaxSubsets(99)
+      .costs(CostModel::Uniform);
+  EXPECT_EQ(O.MaxIterations, 3);
+  EXPECT_EQ(O.MaxQueries, 7);
+  EXPECT_FALSE(O.DecomposeQueries);
+  EXPECT_FALSE(O.IncrementalMsa);
+  EXPECT_EQ(O.MsaMaxSubsets, 99u);
+  EXPECT_EQ(O.Costs, CostModel::Uniform);
+  // And the per-layer views carry them through.
+  DiagnosisConfig C = O.diagnosisConfig();
+  EXPECT_EQ(C.MaxIterations, 3);
+  EXPECT_EQ(C.MaxQueries, 7);
+  EXPECT_FALSE(C.DecomposeQueries);
+  EXPECT_FALSE(C.IncrementalMsa);
+  EXPECT_EQ(C.MsaMaxSubsets, 99u);
+  EXPECT_EQ(C.Costs, CostModel::Uniform);
 }
 
 } // namespace

@@ -17,11 +17,9 @@ namespace {
 
 std::string diagnoseAndExplain(const char *Src,
                                DiagnosisOutcome *OutOutcome = nullptr) {
-  ErrorDiagnoser::Options Opts;
-  Opts.AutoAnnotate = false;
-  ErrorDiagnoser D(Opts);
-  std::string Err;
-  EXPECT_TRUE(D.loadSource(Src, &Err)) << Err;
+  ErrorDiagnoser D(abdiag::Options().autoAnnotate(false));
+  LoadResult L = D.loadSource(Src);
+  EXPECT_TRUE(L) << L.message();
   auto O = D.makeConcreteOracle();
   DiagnosisResult R = D.diagnose(*O);
   if (OutOutcome)

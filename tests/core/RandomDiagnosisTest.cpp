@@ -82,8 +82,8 @@ TEST(RandomDiagnosisTest, VerdictNeverContradictsGroundTruth) {
   for (int Round = 0; Round < 60; ++Round) {
     std::string Src = randomProgram(R);
     ErrorDiagnoser D;
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(Src, &Err)) << Err << "\n" << Src;
+    LoadResult L = D.loadSource(Src);
+    ASSERT_TRUE(L) << L.message() << "\n" << Src;
     ConcreteOracleConfig Config;
     Config.InputBound = 5; // keep 60 programs fast
     auto Oracle = D.makeConcreteOracle(Config);
@@ -124,8 +124,8 @@ TEST(RandomDiagnosisTest, LemmasSoundOnRandomPrograms) {
   for (int Round = 0; Round < 60; ++Round) {
     std::string Src = randomProgram(R);
     ErrorDiagnoser D;
-    std::string Err;
-    ASSERT_TRUE(D.loadSource(Src, &Err)) << Err << "\n" << Src;
+    LoadResult L = D.loadSource(Src);
+    ASSERT_TRUE(L) << L.message() << "\n" << Src;
     ConcreteOracleConfig Config;
     Config.InputBound = 5;
     auto Oracle = D.makeConcreteOracle(Config);

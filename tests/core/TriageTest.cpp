@@ -1,0 +1,211 @@
+//===- tests/core/TriageTest.cpp - Parallel triage engine -------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+
+#include "study/Benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+std::vector<TriageRequest> suiteQueue() {
+  std::vector<TriageRequest> Q;
+  for (const study::BenchmarkInfo &B : study::benchmarkSuite())
+    Q.emplace_back(study::benchmarkPath(B), B.Name);
+  return Q;
+}
+
+std::string writeTemp(const char *Name, const char *Source) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+/// Non-linear chains whose abduction step runs essentially forever: the
+/// only way this report produces a row is the cancellation token.
+const char *PathologicalSource = R"(
+program pathological(a, b, c, d) {
+  var p, q, r, s;
+  p = a * b;
+  q = c * d;
+  r = p * q;
+  s = r * r;
+  check(7*p + 11*q + 13*r + 17*s > 5*a + 3*b + 2*c + d
+        || 19*p - 23*q + 29*r - 31*s < 1000);
+}
+)";
+
+const char *QuickFalseAlarm = R"(
+program quick(n) {
+  var i;
+  i = 0;
+  while (i < n) { i = i + 1; }
+  check(i >= 0);
+}
+)";
+
+TEST(TriageTest, ParallelVerdictsMatchSerial) {
+  std::vector<TriageRequest> Queue = suiteQueue();
+
+  TriageOptions Serial;
+  Serial.Jobs = 1;
+  TriageResult R1 = TriageEngine(Serial).run(Queue);
+
+  TriageOptions Parallel;
+  Parallel.Jobs = 4;
+  TriageResult R4 = TriageEngine(Parallel).run(Queue);
+
+  ASSERT_EQ(R1.Reports.size(), Queue.size());
+  ASSERT_EQ(R4.Reports.size(), Queue.size());
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    // Reports come back in queue order regardless of completion order.
+    EXPECT_EQ(R1.Reports[I].Name, Queue[I].Name);
+    EXPECT_EQ(R4.Reports[I].Name, Queue[I].Name);
+    // Workers are solver-per-thread, so parallelism must not change any
+    // verdict: the diagnosis is deterministic per report.
+    EXPECT_EQ(R1.Reports[I].Status, R4.Reports[I].Status) << Queue[I].Name;
+    EXPECT_EQ(R1.Reports[I].Outcome, R4.Reports[I].Outcome) << Queue[I].Name;
+    EXPECT_EQ(R1.Reports[I].Queries, R4.Reports[I].Queries) << Queue[I].Name;
+  }
+  // Figure 7 ground truth: 5 real bugs, 6 false alarms, nothing unresolved.
+  EXPECT_EQ(R1.Summary.RealBugs, 5u);
+  EXPECT_EQ(R1.Summary.FalseAlarms, 6u);
+  EXPECT_EQ(R1.Summary.Inconclusive, 0u);
+  EXPECT_EQ(R4.Summary.RealBugs, 5u);
+  EXPECT_EQ(R4.Summary.FalseAlarms, 6u);
+}
+
+TEST(TriageTest, ParallelSpeedupOnMulticore) {
+  // Wall-clock speedup needs real cores; on smaller machines only the
+  // verdict-equality half of the acceptance criterion is checkable.
+  if (std::thread::hardware_concurrency() < 4)
+    GTEST_SKIP() << "needs >= 4 hardware threads";
+  // Quadruple the suite so per-report noise averages out.
+  std::vector<TriageRequest> Queue;
+  for (int Rep = 0; Rep < 4; ++Rep)
+    for (const study::BenchmarkInfo &B : study::benchmarkSuite())
+      Queue.emplace_back(study::benchmarkPath(B), B.Name);
+
+  TriageOptions Serial;
+  Serial.Jobs = 1;
+  TriageResult R1 = TriageEngine(Serial).run(Queue);
+  TriageOptions Parallel;
+  Parallel.Jobs = 4;
+  TriageResult R4 = TriageEngine(Parallel).run(Queue);
+  EXPECT_LT(R4.Summary.WallMs * 2.0, R1.Summary.WallMs)
+      << "expected >= 2x speedup with 4 workers (serial "
+      << R1.Summary.WallMs << " ms, parallel " << R4.Summary.WallMs << " ms)";
+}
+
+TEST(TriageTest, DeadlineTurnsPathologicalReportIntoTimeoutRow) {
+  std::string Patho = writeTemp("abdiag_patho.adg", PathologicalSource);
+  std::string Quick = writeTemp("abdiag_quick.adg", QuickFalseAlarm);
+
+  std::vector<TriageRequest> Queue = {
+      TriageRequest(Quick, "quick-before"),
+      TriageRequest(Patho, "pathological"),
+      TriageRequest(Quick, "quick-after"),
+  };
+  TriageOptions Opts;
+  Opts.Jobs = 1; // same worker must survive the timeout
+  Opts.DeadlineMs = 1000;
+  auto Start = std::chrono::steady_clock::now();
+  TriageResult R = TriageEngine(Opts).run(Queue);
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  ASSERT_EQ(R.Reports.size(), 3u);
+  EXPECT_EQ(R.Reports[0].Status, TriageStatus::Diagnosed);
+  EXPECT_EQ(R.Reports[0].Outcome, DiagnosisOutcome::Discharged);
+  EXPECT_EQ(R.Reports[1].Status, TriageStatus::Timeout);
+  EXPECT_NE(R.Reports[1].Message.find("deadline"), std::string::npos);
+  // The batch survives the timeout: the report after the pathological one
+  // still gets a full diagnosis from the rebuilt worker.
+  EXPECT_EQ(R.Reports[2].Status, TriageStatus::Diagnosed);
+  EXPECT_EQ(R.Reports[2].Outcome, DiagnosisOutcome::Discharged);
+  EXPECT_EQ(R.Summary.Timeouts, 1u);
+  EXPECT_EQ(R.Summary.FalseAlarms, 2u);
+  // Cooperative cancellation is prompt: well under 10x the budget even
+  // with the polling rate limit (in practice within a few ms).
+  EXPECT_LT(WallMs, 10000.0);
+
+  std::remove(Patho.c_str());
+  std::remove(Quick.c_str());
+}
+
+TEST(TriageTest, LoadErrorRowDoesNotAbortBatch) {
+  std::string Bad =
+      writeTemp("abdiag_bad.adg", "program broken(\n  ???\n");
+  std::string Quick = writeTemp("abdiag_quick2.adg", QuickFalseAlarm);
+  std::vector<TriageRequest> Queue = {
+      TriageRequest("/nonexistent/missing.adg", "missing"),
+      TriageRequest(Bad, "syntax-error"),
+      TriageRequest(Quick, "quick"),
+  };
+  TriageResult R = TriageEngine().run(Queue);
+  ASSERT_EQ(R.Reports.size(), 3u);
+  EXPECT_EQ(R.Reports[0].Status, TriageStatus::LoadError);
+  EXPECT_NE(R.Reports[0].Message.find("cannot open"), std::string::npos);
+  EXPECT_EQ(R.Reports[1].Status, TriageStatus::LoadError);
+  EXPECT_TRUE(R.Reports[1].LoadDiag.hasPosition());
+  EXPECT_EQ(R.Reports[2].Status, TriageStatus::Diagnosed);
+  EXPECT_EQ(R.Summary.LoadErrors, 2u);
+  EXPECT_EQ(R.Summary.FalseAlarms, 1u);
+  std::remove(Bad.c_str());
+  std::remove(Quick.c_str());
+}
+
+TEST(TriageTest, SummarySolverStatsAreSumOfRowDeltas) {
+  TriageResult R = TriageEngine().run(suiteQueue());
+  smt::Solver::Stats Manual;
+  for (const TriageReport &Row : R.Reports)
+    Manual += Row.Solver;
+  EXPECT_EQ(Manual.Queries, R.Summary.Solver.Queries);
+  EXPECT_EQ(Manual.TheoryChecks, R.Summary.Solver.TheoryChecks);
+  EXPECT_EQ(Manual.CacheHits, R.Summary.Solver.CacheHits);
+  EXPECT_EQ(Manual.SessionChecks, R.Summary.Solver.SessionChecks);
+  EXPECT_EQ(Manual.QeCacheHits, R.Summary.Solver.QeCacheHits);
+  // Per-report deltas are real work, not a shared-cache echo: the suite
+  // cannot be diagnosed with zero solver queries.
+  EXPECT_GT(Manual.Queries, 0u);
+}
+
+TEST(TriageTest, EscalationRetriesInconclusiveReports) {
+  // A zero-query budget makes every report inconclusive; triage must
+  // retry once with escalated budgets and flag the row.
+  std::string Quick = writeTemp("abdiag_quick3.adg", QuickFalseAlarm);
+  TriageOptions Opts;
+  Opts.Pipeline.autoAnnotate(false).maxQueries(0);
+  TriageResult R =
+      TriageEngine(Opts).run({TriageRequest(Quick, "starved")});
+  ASSERT_EQ(R.Reports.size(), 1u);
+  EXPECT_EQ(R.Reports[0].Status, TriageStatus::Diagnosed);
+  EXPECT_EQ(R.Reports[0].Outcome, DiagnosisOutcome::Inconclusive);
+  EXPECT_TRUE(R.Reports[0].Escalated);
+  std::remove(Quick.c_str());
+
+  // With escalation disabled the flag stays clear.
+  std::string Quick2 = writeTemp("abdiag_quick4.adg", QuickFalseAlarm);
+  Opts.EscalateOnInconclusive = false;
+  TriageResult R2 =
+      TriageEngine(Opts).run({TriageRequest(Quick2, "starved")});
+  ASSERT_EQ(R2.Reports.size(), 1u);
+  EXPECT_FALSE(R2.Reports[0].Escalated);
+  std::remove(Quick2.c_str());
+}
+
+} // namespace

@@ -218,8 +218,8 @@ program main(n) {
 }
 )";
   core::ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadSource(Src, &Err)) << Err;
+  core::LoadResult L = D.loadSource(Src);
+  ASSERT_TRUE(L) << L.message();
   EXPECT_FALSE(D.dischargedByAnalysis());
   auto O = D.makeConcreteOracle();
   core::DiagnosisResult R = D.diagnose(*O);

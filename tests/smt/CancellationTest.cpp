@@ -1,0 +1,130 @@
+//===- tests/smt/CancellationTest.cpp - Cooperative cancellation ------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+#include "smt/FormulaParser.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+using namespace abdiag::support;
+
+namespace {
+
+TEST(CancellationTokenTest, FreshTokenNeverExpires) {
+  CancellationToken T;
+  // No deadline, no cancel(): poll as often as the solver would.
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_FALSE(T.expired());
+  EXPECT_NO_THROW(T.poll());
+}
+
+TEST(CancellationTokenTest, CancelFires) {
+  CancellationToken T;
+  T.cancel();
+  EXPECT_TRUE(T.expired());
+  EXPECT_THROW(T.poll(), CancelledError);
+  // Cancellation is sticky.
+  EXPECT_TRUE(T.expired());
+}
+
+TEST(CancellationTokenTest, DeadlineFires) {
+  CancellationToken T(std::chrono::milliseconds(0));
+  // The deadline already passed; the very first poll reads the clock.
+  EXPECT_TRUE(T.expired());
+  EXPECT_THROW(T.poll(), CancelledError);
+}
+
+TEST(CancellationTokenTest, DeadlineInFutureDoesNotFire) {
+  CancellationToken T(std::chrono::hours(24));
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_FALSE(T.expired());
+}
+
+TEST(CancellationTokenTest, RateLimitedPollsEventuallySeeDeadline) {
+  CancellationToken T(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The clock is read only every 256th poll, so one call may miss; a few
+  // hundred polls are guaranteed to hit a clock read.
+  bool Fired = false;
+  for (int I = 0; I < 600 && !Fired; ++I)
+    Fired = T.expired();
+  EXPECT_TRUE(Fired);
+}
+
+TEST(CancellationTokenTest, NullTokenIsNotCancellable) {
+  EXPECT_NO_THROW(pollCancellation(nullptr));
+}
+
+TEST(CancellationTokenTest, CancelFromAnotherThread) {
+  CancellationToken T;
+  std::thread Canceller([&T] { T.cancel(); });
+  Canceller.join();
+  EXPECT_THROW(T.poll(), CancelledError);
+}
+
+TEST(SolverCancellationTest, ExpiredTokenAbortsIsSat) {
+  FormulaManager M;
+  Solver S(M);
+  FormulaParseResult P =
+      parseFormula(M, "x > 0 && y > 0 && x + y < 10 && 3*x - 2*y == 1");
+  ASSERT_TRUE(P.ok()) << P.Error;
+  const Formula *F = P.F;
+  CancellationToken T;
+  T.cancel();
+  S.setCancellation(&T);
+  EXPECT_THROW(S.isSat(F), CancelledError);
+  // Removing the token restores normal operation on the same solver.
+  S.setCancellation(nullptr);
+  EXPECT_TRUE(S.isSat(F));
+}
+
+TEST(SolverCancellationTest, LiveTokenDoesNotDisturbVerdicts) {
+  FormulaManager M;
+  Solver S(M);
+  FormulaParseResult PSat =
+      parseFormula(M, "x > 0 && y > 0 && x + y < 10 && 3*x - 2*y == 1");
+  FormulaParseResult PUnsat = parseFormula(M, "x > 0 && x < 0");
+  ASSERT_TRUE(PSat.ok()) << PSat.Error;
+  ASSERT_TRUE(PUnsat.ok()) << PUnsat.Error;
+  const Formula *Sat = PSat.F;
+  const Formula *Unsat = PUnsat.F;
+  CancellationToken T(std::chrono::hours(24));
+  S.setCancellation(&T);
+  EXPECT_TRUE(S.isSat(Sat));
+  EXPECT_FALSE(S.isSat(Unsat));
+}
+
+TEST(SolverStatsTest, PlusAndMinusAggregate) {
+  Solver::Stats A, B;
+  A.Queries = 10;
+  A.TheoryChecks = 20;
+  A.CacheHits = 5;
+  A.QeCacheMisses = 2;
+  B.Queries = 3;
+  B.TheoryChecks = 7;
+  B.CacheHits = 1;
+  B.QeCacheMisses = 9;
+  Solver::Stats Sum = A;
+  Sum += B;
+  EXPECT_EQ(Sum.Queries, 13u);
+  EXPECT_EQ(Sum.TheoryChecks, 27u);
+  EXPECT_EQ(Sum.CacheHits, 6u);
+  EXPECT_EQ(Sum.QeCacheMisses, 11u);
+  Sum -= B;
+  EXPECT_EQ(Sum.Queries, A.Queries);
+  EXPECT_EQ(Sum.TheoryChecks, A.TheoryChecks);
+  EXPECT_EQ(Sum.CacheHits, A.CacheHits);
+  EXPECT_EQ(Sum.QeCacheMisses, A.QeCacheMisses);
+}
+
+} // namespace

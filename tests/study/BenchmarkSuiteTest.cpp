@@ -32,8 +32,8 @@ class BenchmarkSuiteTest : public ::testing::TestWithParam<BenchmarkInfo> {};
 TEST_P(BenchmarkSuiteTest, LoadsAndParses) {
   const BenchmarkInfo &B = GetParam();
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadFile(benchmarkPath(B), &Err)) << Err;
+  LoadResult L = D.loadFile(benchmarkPath(B));
+  ASSERT_TRUE(L) << L.message();
   EXPECT_GE(lang::programLoc(D.program()), 8u);
 }
 
@@ -42,8 +42,8 @@ TEST_P(BenchmarkSuiteTest, InitiallyUndecided) {
   // not certain, errors on all eleven benchmarks."
   const BenchmarkInfo &B = GetParam();
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadFile(benchmarkPath(B), &Err)) << Err;
+  LoadResult L = D.loadFile(benchmarkPath(B));
+  ASSERT_TRUE(L) << L.message();
   EXPECT_FALSE(D.dischargedByAnalysis()) << B.Name;
   EXPECT_FALSE(D.validatedByAnalysis()) << B.Name;
 }
@@ -51,8 +51,8 @@ TEST_P(BenchmarkSuiteTest, InitiallyUndecided) {
 TEST_P(BenchmarkSuiteTest, GroundTruthMatchesDeclaredClassification) {
   const BenchmarkInfo &B = GetParam();
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadFile(benchmarkPath(B), &Err)) << Err;
+  LoadResult L = D.loadFile(benchmarkPath(B));
+  ASSERT_TRUE(L) << L.message();
   auto Truth = D.makeConcreteOracle();
   ASSERT_TRUE(Truth->anyCompletedRun()) << B.Name;
   EXPECT_EQ(Truth->anyFailingRun(), B.IsRealBug) << B.Name;
@@ -61,8 +61,8 @@ TEST_P(BenchmarkSuiteTest, GroundTruthMatchesDeclaredClassification) {
 TEST_P(BenchmarkSuiteTest, SoundOracleClassifiesCorrectly) {
   const BenchmarkInfo &B = GetParam();
   ErrorDiagnoser D;
-  std::string Err;
-  ASSERT_TRUE(D.loadFile(benchmarkPath(B), &Err)) << Err;
+  LoadResult L = D.loadFile(benchmarkPath(B));
+  ASSERT_TRUE(L) << L.message();
   auto Truth = D.makeConcreteOracle();
   DiagnosisResult R = D.diagnose(*Truth);
   DiagnosisOutcome Expect = B.IsRealBug ? DiagnosisOutcome::Validated

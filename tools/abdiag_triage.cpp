@@ -1,0 +1,327 @@
+//===- tools/abdiag_triage.cpp - Batch triage command-line tool --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CI-style driver over core/Triage: triage a queue of `.adg` potential
+/// error reports in parallel, under a per-report deadline, with either a
+/// human-readable table or machine-readable JSONL rows (one JSON object per
+/// report; see benchmarks/README.md for the schema).
+///
+/// Usage: abdiag_triage [options] [file.adg ...]
+/// (defaults to the 11-problem study suite when no files are given)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+#include "study/Benchmarks.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: abdiag_triage [options] [file.adg ...]\n"
+      "\n"
+      "Triage a queue of potential-error reports. With no files, runs the\n"
+      "11-problem study suite.\n"
+      "\n"
+      "scheduling:\n"
+      "  --jobs N             worker threads (default 1; 0 = all cores)\n"
+      "  --deadline-ms MS     per-report wall-clock deadline (default: none)\n"
+      "  --no-escalate        skip the 4x-budget retry of inconclusive "
+      "reports\n"
+      "\n"
+      "output:\n"
+      "  --stats              per-report and aggregate solver counters\n"
+      "  --json               JSONL: one JSON object per report on stdout\n"
+      "\n"
+      "pipeline (see core/Options.h):\n"
+      "  --max-iterations N   Figure 6 iteration budget (default 16)\n"
+      "  --max-queries N      oracle interaction budget (default 64)\n"
+      "  --msa-max-subsets N  MSA subset-search budget (default 4096)\n"
+      "  --costs MODEL        abduction cost model: paper|uniform|swapped\n"
+      "  --no-auto-annotate   do not infer @p' annotations for bare loops\n"
+      "  --no-decompose       do not split queries into subqueries\n"
+      "  --no-simplify        do not simplify abduced formulas modulo I\n"
+      "  --no-learn           do not integrate facts from subqueries\n"
+      "  --no-incremental-msa fresh solver queries per MSA subset\n");
+}
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+const char *verdictName(const TriageReport &R) {
+  if (R.Status != TriageStatus::Diagnosed)
+    return nullptr;
+  switch (R.Outcome) {
+  case DiagnosisOutcome::Discharged:
+    return "false_alarm";
+  case DiagnosisOutcome::Validated:
+    return "real_bug";
+  case DiagnosisOutcome::Inconclusive:
+    return "inconclusive";
+  }
+  return nullptr;
+}
+
+std::string humanVerdict(const TriageReport &R) {
+  switch (R.Status) {
+  case TriageStatus::LoadError:
+    return "load error: " + R.Message;
+  case TriageStatus::Timeout:
+    return "TIMEOUT (" + R.Message + ")";
+  case TriageStatus::Crashed:
+    return "CRASHED (" + R.Message + ")";
+  case TriageStatus::Diagnosed:
+    break;
+  }
+  std::string V;
+  switch (R.Outcome) {
+  case DiagnosisOutcome::Discharged:
+    V = "false alarm";
+    break;
+  case DiagnosisOutcome::Validated:
+    V = "REAL BUG";
+    break;
+  case DiagnosisOutcome::Inconclusive:
+    V = "needs human review";
+    break;
+  }
+  if (R.AnalysisAlone)
+    V += " (analysis alone)";
+  if (R.Escalated)
+    V += " [escalated]";
+  return V;
+}
+
+void printJsonRow(const TriageReport &R) {
+  std::string Row = "{";
+  Row += "\"name\":\"" + jsonEscape(R.Name) + "\"";
+  Row += ",\"path\":\"" + jsonEscape(R.Path) + "\"";
+  Row += ",\"status\":\"" + std::string(triageStatusName(R.Status)) + "\"";
+  if (const char *V = verdictName(R))
+    Row += ",\"verdict\":\"" + std::string(V) + "\"";
+  else
+    Row += ",\"verdict\":null";
+  if (!R.Message.empty())
+    Row += ",\"message\":\"" + jsonEscape(R.Message) + "\"";
+  if (R.Status == TriageStatus::LoadError && R.LoadDiag.hasPosition()) {
+    Row += ",\"line\":" + std::to_string(R.LoadDiag.Line);
+    Row += ",\"col\":" + std::to_string(R.LoadDiag.Col);
+  }
+  Row += ",\"loc\":" + std::to_string(R.Loc);
+  Row += ",\"queries\":" + std::to_string(R.Queries);
+  Row += ",\"iterations\":" + std::to_string(R.Iterations);
+  Row += std::string(",\"escalated\":") + (R.Escalated ? "true" : "false");
+  Row += std::string(",\"analysis_alone\":") +
+         (R.AnalysisAlone ? "true" : "false");
+  char Wall[32];
+  std::snprintf(Wall, sizeof(Wall), "%.3f", R.WallMs);
+  Row += std::string(",\"wall_ms\":") + Wall;
+  Row += ",\"worker\":" + std::to_string(R.Worker);
+  const smt::Solver::Stats &S = R.Solver;
+  Row += ",\"solver\":{";
+  Row += "\"queries\":" + std::to_string(S.Queries);
+  Row += ",\"theory_checks\":" + std::to_string(S.TheoryChecks);
+  Row += ",\"theory_conflicts\":" + std::to_string(S.TheoryConflicts);
+  Row += ",\"cooper_fallbacks\":" + std::to_string(S.CooperFallbacks);
+  Row += ",\"cache_hits\":" + std::to_string(S.CacheHits);
+  Row += ",\"cache_misses\":" + std::to_string(S.CacheMisses);
+  Row += ",\"session_checks\":" + std::to_string(S.SessionChecks);
+  Row += ",\"core_skips\":" + std::to_string(S.CoreSkips);
+  Row += ",\"qe_cache_hits\":" + std::to_string(S.QeCacheHits);
+  Row += ",\"qe_cache_misses\":" + std::to_string(S.QeCacheMisses);
+  Row += "}}";
+  std::printf("%s\n", Row.c_str());
+  std::fflush(stdout);
+}
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (!End || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  TriageOptions Opts;
+  bool ShowStats = false;
+  bool Json = false;
+  std::vector<TriageRequest> Queue;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextValue = [&](uint64_t &Out) {
+      if (I + 1 >= Argc || !parseUnsigned(Argv[++I], Out)) {
+        std::fprintf(stderr, "abdiag_triage: %s needs a numeric argument\n",
+                     Arg);
+        std::exit(2);
+      }
+    };
+    uint64_t V = 0;
+    if (std::strcmp(Arg, "--help") == 0 || std::strcmp(Arg, "-h") == 0) {
+      printUsage();
+      return 0;
+    } else if (std::strcmp(Arg, "--jobs") == 0) {
+      NextValue(V);
+      Opts.Jobs = static_cast<unsigned>(V);
+    } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
+      NextValue(V);
+      Opts.DeadlineMs = V;
+    } else if (std::strcmp(Arg, "--no-escalate") == 0) {
+      Opts.EscalateOnInconclusive = false;
+    } else if (std::strcmp(Arg, "--stats") == 0) {
+      ShowStats = true;
+    } else if (std::strcmp(Arg, "--json") == 0) {
+      Json = true;
+    } else if (std::strcmp(Arg, "--max-iterations") == 0) {
+      NextValue(V);
+      Opts.Pipeline.maxIterations(static_cast<int>(V));
+    } else if (std::strcmp(Arg, "--max-queries") == 0) {
+      NextValue(V);
+      Opts.Pipeline.maxQueries(static_cast<int>(V));
+    } else if (std::strcmp(Arg, "--msa-max-subsets") == 0) {
+      NextValue(V);
+      Opts.Pipeline.msaMaxSubsets(static_cast<size_t>(V));
+    } else if (std::strcmp(Arg, "--costs") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "abdiag_triage: --costs needs an argument\n");
+        return 2;
+      }
+      const char *Model = Argv[++I];
+      if (std::strcmp(Model, "paper") == 0)
+        Opts.Pipeline.costs(CostModel::Paper);
+      else if (std::strcmp(Model, "uniform") == 0)
+        Opts.Pipeline.costs(CostModel::Uniform);
+      else if (std::strcmp(Model, "swapped") == 0)
+        Opts.Pipeline.costs(CostModel::Swapped);
+      else {
+        std::fprintf(stderr, "abdiag_triage: unknown cost model '%s'\n",
+                     Model);
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--no-auto-annotate") == 0) {
+      Opts.Pipeline.autoAnnotate(false);
+    } else if (std::strcmp(Arg, "--no-decompose") == 0) {
+      Opts.Pipeline.decomposeQueries(false);
+    } else if (std::strcmp(Arg, "--no-simplify") == 0) {
+      Opts.Pipeline.simplifyQueries(false);
+    } else if (std::strcmp(Arg, "--no-learn") == 0) {
+      Opts.Pipeline.learnFromSubqueries(false);
+    } else if (std::strcmp(Arg, "--no-incremental-msa") == 0) {
+      Opts.Pipeline.incrementalMsa(false);
+    } else if (Arg[0] == '-' && Arg[1] != '\0') {
+      std::fprintf(stderr, "abdiag_triage: unknown option '%s'\n", Arg);
+      printUsage();
+      return 2;
+    } else {
+      Queue.emplace_back(Arg);
+    }
+  }
+  if (Queue.empty())
+    for (const study::BenchmarkInfo &B : study::benchmarkSuite())
+      Queue.emplace_back(study::benchmarkPath(B), B.Name);
+
+  if (!Json) {
+    std::printf("%-24s %-10s %5s  %8s  %s\n", "program", "status", "LOC",
+                "queries", "verdict");
+    std::printf("%-24s %-10s %5s  %8s  %s\n", "-------", "------", "---",
+                "-------", "-------");
+  }
+
+  TriageEngine Engine(Opts);
+  TriageResult Result = Engine.run(Queue, [&](const TriageReport &R) {
+    if (Json) {
+      printJsonRow(R);
+      return;
+    }
+    std::printf("%-24s %-10s %5zu  %8zu  %s\n", R.Name.c_str(),
+                triageStatusName(R.Status), R.Loc, R.Queries,
+                humanVerdict(R).c_str());
+    if (ShowStats)
+      std::printf("  solver: queries=%llu theory=%llu conflicts=%llu "
+                  "cooper=%llu cache=%llu/%llu session=%llu coreskips=%llu "
+                  "qe=%llu/%llu wall=%.1fms worker=%d\n",
+                  (unsigned long long)R.Solver.Queries,
+                  (unsigned long long)R.Solver.TheoryChecks,
+                  (unsigned long long)R.Solver.TheoryConflicts,
+                  (unsigned long long)R.Solver.CooperFallbacks,
+                  (unsigned long long)R.Solver.CacheHits,
+                  (unsigned long long)R.Solver.CacheMisses,
+                  (unsigned long long)R.Solver.SessionChecks,
+                  (unsigned long long)R.Solver.CoreSkips,
+                  (unsigned long long)R.Solver.QeCacheHits,
+                  (unsigned long long)R.Solver.QeCacheMisses, R.WallMs,
+                  R.Worker);
+    std::fflush(stdout);
+  });
+
+  const TriageSummary &Sum = Result.Summary;
+  if (!Json) {
+    std::printf("\n%zu real bug(s), %zu false alarm(s), %zu unresolved",
+                Sum.RealBugs, Sum.FalseAlarms, Sum.Inconclusive);
+    if (Sum.LoadErrors)
+      std::printf(", %zu load error(s)", Sum.LoadErrors);
+    if (Sum.Timeouts)
+      std::printf(", %zu timeout(s)", Sum.Timeouts);
+    if (Sum.Crashes)
+      std::printf(", %zu crash(es)", Sum.Crashes);
+    std::printf("  [%.1f ms wall]\n", Sum.WallMs);
+    if (ShowStats) {
+      std::printf("\naggregate solver statistics:\n");
+      Sum.Solver.dump(std::cout);
+    }
+  }
+
+  // Nonzero exit when anything needs attention in CI: crashes or load
+  // errors are failures of the queue itself.
+  return (Sum.Crashes || Sum.LoadErrors) ? 1 : 0;
+}
