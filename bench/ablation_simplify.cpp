@@ -42,7 +42,7 @@ int main() {
     const analysis::AnalysisResult &AR = D.analysis();
     size_t Atoms[2][2] = {{0, 0}, {0, 0}};
     for (int Simplify = 0; Simplify < 2; ++Simplify) {
-      Abducer Abd(D.solver(), /*SimplifyModuloI=*/Simplify == 0);
+      Abducer Abd(D.procedure(), /*SimplifyModuloI=*/Simplify == 0);
       AbductionResult G =
           Abd.proofObligation(AR.Invariants, AR.SuccessCondition);
       AbductionResult U =

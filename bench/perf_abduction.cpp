@@ -14,6 +14,7 @@
 
 #include "core/Abduction.h"
 #include "core/ErrorDiagnoser.h"
+#include "smt/NativeBackend.h"
 #include "lang/Parser.h"
 #include "study/Benchmarks.h"
 
@@ -52,7 +53,7 @@ void BM_SymbolicAnalysis(benchmark::State &State) {
   lang::ParseResult P = lang::parseProgram(IntroSource);
   for (auto _ : State) {
     smt::FormulaManager M;
-    smt::Solver S(M);
+    smt::NativeBackend S(M);
     benchmark::DoNotOptimize(analysis::analyzeProgram(*P.Prog, S));
   }
 }
@@ -62,7 +63,7 @@ void BM_AbduceObligationAndWitness(benchmark::State &State) {
   lang::ParseResult P = lang::parseProgram(IntroSource);
   for (auto _ : State) {
     smt::FormulaManager M;
-    smt::Solver S(M);
+    smt::NativeBackend S(M);
     analysis::AnalysisResult AR = analysis::analyzeProgram(*P.Prog, S);
     Abducer Abd(S);
     benchmark::DoNotOptimize(
@@ -82,7 +83,7 @@ void AbduceIntro(benchmark::State &State, bool Incremental) {
   lang::ParseResult P = lang::parseProgram(IntroSource);
   for (auto _ : State) {
     smt::FormulaManager M;
-    smt::Solver S(M);
+    smt::NativeBackend S(M);
     S.setCaching(Incremental);
     analysis::AnalysisResult AR = analysis::analyzeProgram(*P.Prog, S);
     Abducer Abd(S);
@@ -120,7 +121,7 @@ void DiagnoseSuiteProgram(benchmark::State &State, size_t Index,
       State.SkipWithError(L.message().c_str());
       return;
     }
-    D.solver().setCaching(Incremental);
+    D.procedure().setCaching(Incremental);
     auto Oracle = D.makeConcreteOracle();
     State.ResumeTiming();
     benchmark::DoNotOptimize(D.diagnose(*Oracle));
@@ -148,7 +149,7 @@ void DiagnoseIntro(benchmark::State &State, bool Incremental) {
       State.SkipWithError(L.message().c_str());
       return;
     }
-    D.solver().setCaching(Incremental);
+    D.procedure().setCaching(Incremental);
     auto Oracle = D.makeConcreteOracle();
     State.ResumeTiming();
     benchmark::DoNotOptimize(D.diagnose(*Oracle));

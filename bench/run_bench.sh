@@ -6,6 +6,12 @@
 #   BUILD_DIR  cmake build directory containing bench/ binaries (default: build)
 #   OUT_DIR    where BENCH_smt.json / BENCH_abduction.json land (default: repo root)
 #
+# When the triage tool is built, the 11-benchmark suite is additionally
+# timed once per available decision-procedure backend (native, and z3 /
+# differential when built with ABDIAG_WITH_Z3=ON), producing one
+# BENCH_triage_<backend>.jsonl each -- the per-report wall_ms and solver
+# counters give the backend-vs-backend perf dimension.
+#
 # Equivalent cmake driver: `cmake --build BUILD_DIR --target bench-json`.
 
 set -euo pipefail
@@ -41,9 +47,27 @@ STATUS=0
     STATUS=1
   }
 
+# Backend dimension: triage the study suite once per available backend.
+TRIAGE="$BUILD_DIR/tools/abdiag_triage"
+TRIAGE_OUTS=()
+if [[ -x "$TRIAGE" ]]; then
+  # --list-backends marks backends missing from this build "(not built)".
+  while IFS= read -r BACKEND; do
+    OUT_FILE="$OUT_DIR/BENCH_triage_$BACKEND.jsonl"
+    "$TRIAGE" --backend "$BACKEND" --json > "$OUT_FILE" || {
+      echo "error: triage with backend $BACKEND failed (exit $?)" >&2
+      STATUS=1
+    }
+    TRIAGE_OUTS+=("$OUT_FILE")
+  done < <("$TRIAGE" --list-backends | awk '!/not built/ { print $1 }')
+fi
+
 if [[ "$STATUS" -ne 0 ]]; then
   echo "error: at least one benchmark suite failed" >&2
   exit "$STATUS"
 fi
 
 echo "wrote $OUT_DIR/BENCH_smt.json and $OUT_DIR/BENCH_abduction.json"
+if [[ "${#TRIAGE_OUTS[@]}" -gt 0 ]]; then
+  echo "wrote ${TRIAGE_OUTS[*]}"
+fi

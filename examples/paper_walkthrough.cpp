@@ -13,6 +13,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "core/Abduction.h"
 #include "core/Msa.h"
 #include "analysis/SymbolicAnalyzer.h"
@@ -36,7 +37,7 @@ void walkThrough(const char *Title, const char *Source) {
     return;
   }
   FormulaManager M;
-  Solver S(M);
+  NativeBackend S(M);
   analysis::AnalysisResult AR = analysis::analyzeProgram(*P.Prog, S);
   const VarTable &VT = M.vars();
 

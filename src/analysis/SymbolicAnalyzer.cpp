@@ -52,7 +52,7 @@ void collectAssigned(const Stmt *S, std::set<std::string> &Out) {
 
 class Analyzer {
   FormulaManager &M;
-  Solver &Slv;
+  DecisionProcedure &Slv;
   const AnalyzerOptions &Opts;
   AnalysisResult Res;
   std::map<std::string, ValueSet> Store;
@@ -61,7 +61,7 @@ class Analyzer {
   std::map<std::pair<LinearExpr, LinearExpr>, VarId> NonLinearMemo;
 
 public:
-  Analyzer(Solver &Slv, const AnalyzerOptions &Opts)
+  Analyzer(DecisionProcedure &Slv, const AnalyzerOptions &Opts)
       : M(Slv.manager()), Slv(Slv), Opts(Opts), I(M.getTrue()) {}
 
   AnalysisResult run(const Program &Prog) {
@@ -336,7 +336,7 @@ private:
 } // namespace
 
 AnalysisResult abdiag::analysis::analyzeProgram(const Program &Prog,
-                                                Solver &S,
+                                                DecisionProcedure &S,
                                                 const AnalyzerOptions &Opts) {
   Analyzer A(S, Opts);
   return A.run(Prog);

@@ -30,7 +30,7 @@
 
 #include "lang/Ast.h"
 #include "smt/Formula.h"
-#include "smt/Solver.h"
+#include "smt/DecisionProcedure.h"
 
 #include <map>
 #include <string>
@@ -84,7 +84,7 @@ struct AnalyzerOptions {
 /// Runs the analysis. The FormulaManager inside \p S receives all analysis
 /// variables; variable names are derived from program entities (inputs keep
 /// their name; alpha variables get names like "j@loop1").
-AnalysisResult analyzeProgram(const lang::Program &Prog, smt::Solver &S,
+AnalysisResult analyzeProgram(const lang::Program &Prog, smt::DecisionProcedure &S,
                               const AnalyzerOptions &Opts = AnalyzerOptions());
 
 /// Renders \p V for query text using its origin ("input n",

@@ -77,9 +77,9 @@ AbductionResult Abducer::abduce(
       if (!Keep.count(V))
         Eliminate.push_back(V);
     // This QE was already performed by findMsa for every winning subset;
-    // the incremental path serves it from the solver's QE memo.
+    // the incremental path serves it from the backend's QE memo.
     const Formula *Gamma = MsaOpts.Incremental
-                               ? S.eliminateForallCached(Target, Eliminate)
+                               ? S.eliminateForall(Target, Eliminate)
                                : eliminateForall(M, Target, Eliminate);
     if (SimplifyModuloI)
       Gamma = simplifyModulo(S, Gamma, I);

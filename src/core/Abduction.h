@@ -53,13 +53,13 @@ enum class CostModel : uint8_t { Paper, Uniform, Swapped };
 
 /// Computes weakest minimum proof obligations and failure witnesses.
 class Abducer {
-  smt::Solver &S;
+  smt::DecisionProcedure &S;
   bool SimplifyModuloI;
   CostModel Model;
   MsaOptions MsaOpts;
 
 public:
-  explicit Abducer(smt::Solver &S, bool SimplifyModuloI = true,
+  explicit Abducer(smt::DecisionProcedure &S, bool SimplifyModuloI = true,
                    CostModel Model = CostModel::Paper)
       : S(S), SimplifyModuloI(SimplifyModuloI), Model(Model) {}
 
@@ -95,7 +95,7 @@ public:
   int64_t formulaCost(const smt::Formula *F, AbductionMode Mode,
                       int64_t NumVars) const;
 
-  smt::Solver &solver() { return S; }
+  smt::DecisionProcedure &procedure() { return S; }
 
 private:
   AbductionResult abduce(const smt::Formula *I, const smt::Formula *Target,

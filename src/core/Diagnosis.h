@@ -91,14 +91,15 @@ struct DiagnosisResult {
 /// Runs query-guided diagnosis for the analysis output (I, phi).
 class DiagnosisEngine {
 public:
-  DiagnosisEngine(smt::Solver &S, DiagnosisConfig Config = DiagnosisConfig())
+  DiagnosisEngine(smt::DecisionProcedure &S,
+                  DiagnosisConfig Config = DiagnosisConfig())
       : S(S), Config(std::move(Config)) {}
 
   DiagnosisResult run(const smt::Formula *I, const smt::Formula *Phi,
                       Oracle &O);
 
 private:
-  smt::Solver &S;
+  smt::DecisionProcedure &S;
   DiagnosisConfig Config;
 
   // Per-run state.

@@ -17,7 +17,8 @@ using namespace abdiag::smt;
 
 ErrorDiagnoser::ErrorDiagnoser() : ErrorDiagnoser(Options()) {}
 
-ErrorDiagnoser::ErrorDiagnoser(Options Opts) : Opts(std::move(Opts)), S(M) {}
+ErrorDiagnoser::ErrorDiagnoser(Options Opts)
+    : Opts(std::move(Opts)), DP(smt::createBackend(this->Opts.Backend, M)) {}
 
 ErrorDiagnoser::~ErrorDiagnoser() = default;
 
@@ -31,7 +32,7 @@ LoadResult ErrorDiagnoser::finishLoad(lang::ParseResult P) {
   Prog = std::move(*P.Prog);
   if (Opts.AutoAnnotate)
     Prog = analysis::annotateLoops(Prog);
-  Analysis = analysis::analyzeProgram(Prog, S, Opts.analyzerOptions());
+  Analysis = analysis::analyzeProgram(Prog, *DP, Opts.analyzerOptions());
   Loaded = true;
   return LoadResult::success();
 }
@@ -44,30 +45,16 @@ LoadResult ErrorDiagnoser::loadFile(const std::string &Path) {
   return finishLoad(lang::parseProgramFile(Path));
 }
 
-bool ErrorDiagnoser::loadSource(std::string_view Source, std::string *Error) {
-  LoadResult R = loadSource(Source);
-  if (!R && Error)
-    *Error = R.message();
-  return R.Ok;
-}
-
-bool ErrorDiagnoser::loadFile(const std::string &Path, std::string *Error) {
-  LoadResult R = loadFile(Path);
-  if (!R && Error)
-    *Error = R.message();
-  return R.Ok;
-}
-
 bool ErrorDiagnoser::dischargedByAnalysis() {
   assert(Loaded && "no program loaded");
-  return S.isValid(
+  return DP->isValid(
       M.mkImplies(Analysis.Invariants, Analysis.SuccessCondition));
 }
 
 bool ErrorDiagnoser::validatedByAnalysis() {
   assert(Loaded && "no program loaded");
-  return S.isValid(M.mkImplies(Analysis.Invariants,
-                               M.mkNot(Analysis.SuccessCondition)));
+  return DP->isValid(M.mkImplies(Analysis.Invariants,
+                                 M.mkNot(Analysis.SuccessCondition)));
 }
 
 DiagnosisResult ErrorDiagnoser::diagnose(Oracle &O) {
@@ -77,7 +64,7 @@ DiagnosisResult ErrorDiagnoser::diagnose(Oracle &O) {
 DiagnosisResult ErrorDiagnoser::diagnoseWith(const DiagnosisConfig &Config,
                                              Oracle &O) {
   assert(Loaded && "no program loaded");
-  DiagnosisEngine Engine(S, Config);
+  DiagnosisEngine Engine(*DP, Config);
   return Engine.run(Analysis.Invariants, Analysis.SuccessCondition, O);
 }
 
@@ -85,6 +72,6 @@ std::unique_ptr<ConcreteOracle>
 ErrorDiagnoser::makeConcreteOracle(ConcreteOracleConfig Config) {
   assert(Loaded && "no program loaded");
   if (!Config.Cancel)
-    Config.Cancel = S.cancellation();
+    Config.Cancel = DP->cancellation();
   return std::make_unique<ConcreteOracle>(Prog, Analysis, std::move(Config));
 }

@@ -75,14 +75,6 @@ public:
   LoadResult loadSource(std::string_view Source);
   LoadResult loadFile(const std::string &Path);
 
-  /// Deprecated loader shims: the old bool + out-string signatures, kept so
-  /// existing callers keep compiling. \p Error (if non-null) receives the
-  /// rendered diagnostic.
-  [[deprecated("use LoadResult loadSource(Source)")]]
-  bool loadSource(std::string_view Source, std::string *Error);
-  [[deprecated("use LoadResult loadFile(Path)")]]
-  bool loadFile(const std::string &Path, std::string *Error);
-
   /// The loaded (and possibly auto-annotated) program.
   const lang::Program &program() const { return Prog; }
 
@@ -108,13 +100,15 @@ public:
   std::unique_ptr<ConcreteOracle>
   makeConcreteOracle(ConcreteOracleConfig Config = ConcreteOracleConfig());
 
-  smt::Solver &solver() { return S; }
+  /// The decision procedure every pipeline query goes through; the
+  /// concrete engine is chosen by Options::Backend ("native" by default).
+  smt::DecisionProcedure &procedure() { return *DP; }
   smt::FormulaManager &manager() { return M; }
 
 private:
   Options Opts;
   smt::FormulaManager M;
-  smt::Solver S;
+  std::unique_ptr<smt::DecisionProcedure> DP;
   lang::Program Prog;
   analysis::AnalysisResult Analysis;
   bool Loaded = false;

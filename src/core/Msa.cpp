@@ -35,7 +35,7 @@ struct SearchNode {
 
 } // namespace
 
-MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
+MsaResult abdiag::core::findMsa(DecisionProcedure &S, const Formula *Target,
                                 const std::vector<const Formula *> &ConsistWith,
                                 const CostFn &Cost, const MsaOptions &Opts) {
   FormulaManager &M = S.manager();
@@ -70,10 +70,10 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
   // formula with every Target variable still intact and rename lazily.
 
   // One incremental session serves every candidate subset: the renamed
-  // consistency conditions (and any recurring QE results) are Tseitin-encoded
-  // once, theory lemmas persist between candidates, and unsat cores of
-  // rejected conjunct sets prune later candidates without a solver call.
-  Solver::Session Sess(S);
+  // consistency conditions (and any recurring QE results) are encoded once,
+  // engine lemmas persist between candidates, and unsat cores of rejected
+  // conjunct sets prune later candidates without a solver call.
+  std::unique_ptr<DecisionProcedure::Session> Sess = S.openSession();
 
   auto TestSubset = [&](uint64_t Mask, MsaCandidate &Out) -> bool {
     std::vector<VarId> Complement, Chosen;
@@ -83,12 +83,12 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
       else
         Complement.push_back(Fv[I]);
     }
-    // The incremental path memoizes the per-variable QE steps in the
-    // solver: lattice neighbours share all but one eliminated variable, and
-    // later findMsa calls on the same target (diagnosis rounds grow only
-    // the consistency set) replay whole chains.
+    // The incremental path goes through the backend's (memoized) QE hook:
+    // lattice neighbours share all but one eliminated variable, and later
+    // findMsa calls on the same target (diagnosis rounds grow only the
+    // consistency set) replay whole chains.
     const Formula *Psi = Opts.Incremental
-                             ? S.eliminateForallCached(Target, Complement)
+                             ? S.eliminateForall(Target, Complement)
                              : eliminateForall(M, Target, Complement);
     if (Psi->isFalse())
       return false;
@@ -108,7 +108,7 @@ MsaResult abdiag::core::findMsa(Solver &S, const Formula *Target,
       Conj.push_back(substitute(M, RenamedConds[I], Renaming));
     }
     Model Mo;
-    bool Sat = Opts.Incremental ? Sess.check(Conj, &Mo)
+    bool Sat = Opts.Incremental ? Sess->check(Conj, &Mo)
                                 : S.isSat(M.mkAnd(std::move(Conj)), &Mo);
     if (!Sat)
       return false;

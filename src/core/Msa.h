@@ -31,8 +31,8 @@
 #ifndef ABDIAG_CORE_MSA_H
 #define ABDIAG_CORE_MSA_H
 
+#include "smt/DecisionProcedure.h"
 #include "smt/Formula.h"
-#include "smt/Solver.h"
 
 #include <functional>
 #include <vector>
@@ -63,7 +63,7 @@ struct MsaOptions {
   size_t MaxSubsets = 4096;
   /// Collect at most this many minimum-cost candidates.
   size_t MaxCandidates = 8;
-  /// Decide subset queries through one incremental Solver::Session (shared
+  /// Decide subset queries through one incremental backend session (shared
   /// conjuncts encoded once, per-candidate activation via assumptions,
   /// rejected conjunct sets remembered as unsat cores) instead of a fresh
   /// solver query per candidate.
@@ -72,7 +72,7 @@ struct MsaOptions {
 
 /// Finds minimum satisfying assignments of \p Target consistent with every
 /// formula in \p ConsistWith (each one individually, Definition 6).
-MsaResult findMsa(smt::Solver &S, const smt::Formula *Target,
+MsaResult findMsa(smt::DecisionProcedure &S, const smt::Formula *Target,
                   const std::vector<const smt::Formula *> &ConsistWith,
                   const CostFn &Cost, const MsaOptions &Opts = MsaOptions());
 

@@ -26,6 +26,7 @@
 #include "core/Diagnosis.h"
 
 #include <cstddef>
+#include <string>
 
 namespace abdiag {
 
@@ -33,6 +34,13 @@ namespace abdiag {
 /// loading, Section 3 analysis, the Figure 6 diagnosis loop, and the MSA
 /// subset search underneath abduction.
 struct Options {
+  //===--- decision procedure ----------------------------------------------===
+  /// Which decision-procedure backend decides every satisfiability,
+  /// validity and QE query of the pipeline (see smt/DecisionProcedure.h):
+  /// "native" (default), "z3" (needs ABDIAG_WITH_Z3=ON), or "differential"
+  /// (native and Z3 side by side, failing loudly on any disagreement).
+  std::string Backend = "native";
+
   //===--- loading ---------------------------------------------------------===
   /// Infer @p' annotations for un-annotated loops with the interval
   /// abstract interpreter.
@@ -70,6 +78,10 @@ struct Options {
   size_t MsaMaxCandidates = 8;
 
   //===--- named-setter chaining ------------------------------------------===
+  Options &backend(std::string Name) {
+    Backend = std::move(Name);
+    return *this;
+  }
   Options &autoAnnotate(bool V) { AutoAnnotate = V; return *this; }
   Options &assumeLoopExitCondition(bool V) {
     AssumeLoopExitCondition = V;

@@ -39,16 +39,16 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
   R.Path = Req.Path;
 
   auto Start = std::chrono::steady_clock::now();
-  smt::Solver::Stats Before = D.solver().stats();
+  smt::SolverStats Before = D.procedure().stats();
 
-  // One token per attempt; the solver only borrows the pointer, so it must
+  // One token per attempt; the backend only borrows the pointer, so it must
   // be cleared before the token goes out of scope.
   std::optional<support::CancellationToken> Token;
   auto ArmDeadline = [&] {
     if (!Opts.DeadlineMs)
       return;
     Token.emplace(std::chrono::milliseconds(Opts.DeadlineMs));
-    D.solver().setCancellation(&*Token);
+    D.procedure().setCancellation(&*Token);
   };
 
   try {
@@ -101,9 +101,10 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
     R.Message = "unknown exception";
   }
 
-  D.solver().setCancellation(nullptr);
-  R.Solver = D.solver().stats();
+  D.procedure().setCancellation(nullptr);
+  R.Solver = D.procedure().stats();
   R.Solver -= Before;
+  R.Backend = D.procedure().name();
   R.WallMs = std::chrono::duration<double, std::milli>(
                  std::chrono::steady_clock::now() - Start)
                  .count();
@@ -114,6 +115,15 @@ TriageResult TriageEngine::run(const std::vector<TriageRequest> &Queue,
                                const RowCallback &OnRow) {
   TriageResult Result;
   Result.Reports.resize(Queue.size());
+
+  // Validate the configured backend on the calling thread before any worker
+  // spawns: an unknown or unbuilt backend must surface as a catchable
+  // exception here, not terminate the process from a worker's diagnoser
+  // constructor.
+  {
+    smt::FormulaManager Probe;
+    smt::createBackend(Opts.Pipeline.Backend, Probe);
+  }
 
   unsigned Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
   if (Jobs == 0)

@@ -7,7 +7,7 @@
 /// \file
 /// The triage engine: fan a queue of `.adg` potential-error reports across a
 /// fixed pool of workers, each owning one `ErrorDiagnoser` (and hence one
-/// `smt::Solver` and one hash-consed `FormulaManager`) so arenas and caches
+/// `smt::DecisionProcedure` backend and one hash-consed `FormulaManager`) so arenas and caches
 /// stay thread-local and warm across reports. Every report runs under an
 /// optional wall-clock deadline enforced by a cooperative
 /// `support::CancellationToken` polled inside the MSA subset search, Cooper
@@ -82,9 +82,11 @@ struct TriageReport {
   double WallMs = 0.0;
   /// Index of the worker that processed this report.
   int Worker = -1;
-  /// Solver counter *delta* attributable to this report (Stats::operator-=
-  /// against the worker's pre-report snapshot).
-  smt::Solver::Stats Solver;
+  /// Decision-procedure counter *delta* attributable to this report
+  /// (SolverStats::operator-= against the worker's pre-report snapshot).
+  smt::SolverStats Solver;
+  /// Name of the backend that decided this report ("native", "z3", ...).
+  std::string Backend;
 };
 
 /// Engine configuration.
@@ -111,8 +113,8 @@ struct TriageSummary {
   size_t LoadErrors = 0;
   size_t Timeouts = 0;
   size_t Crashes = 0;
-  /// Sum of per-report solver deltas (Stats::operator+=).
-  smt::Solver::Stats Solver;
+  /// Sum of per-report solver deltas (SolverStats::operator+=).
+  smt::SolverStats Solver;
   double WallMs = 0.0;
 };
 

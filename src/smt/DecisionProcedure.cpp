@@ -1,0 +1,179 @@
+//===- smt/DecisionProcedure.cpp - Pluggable decision procedures ------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/DecisionProcedure.h"
+
+#include "smt/DifferentialBackend.h"
+#include "smt/FormulaOps.h"
+#include "smt/NativeBackend.h"
+#include "smt/Printer.h"
+#include "smt/Z3Backend.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+DecisionProcedure::~DecisionProcedure() = default;
+DecisionProcedure::Session::~Session() = default;
+
+void SolverStats::dump(std::ostream &OS) const {
+  OS << "queries:          " << Queries << "\n"
+     << "theory checks:    " << TheoryChecks << "\n"
+     << "theory conflicts: " << TheoryConflicts << "\n"
+     << "cooper fallbacks: " << CooperFallbacks << "\n"
+     << "cache hits:       " << CacheHits << "\n"
+     << "cache misses:     " << CacheMisses << "\n"
+     << "session checks:   " << SessionChecks << "\n"
+     << "core skips:       " << CoreSkips << "\n"
+     << "qe memo hits:     " << QeCacheHits << "\n"
+     << "qe memo misses:   " << QeCacheMisses << "\n";
+  if (CrossChecks)
+    OS << "cross checks:     " << CrossChecks << "\n";
+}
+
+SolverStats &SolverStats::operator+=(const SolverStats &O) {
+  Queries += O.Queries;
+  TheoryChecks += O.TheoryChecks;
+  TheoryConflicts += O.TheoryConflicts;
+  CooperFallbacks += O.CooperFallbacks;
+  CacheHits += O.CacheHits;
+  CacheMisses += O.CacheMisses;
+  SessionChecks += O.SessionChecks;
+  CoreSkips += O.CoreSkips;
+  QeCacheHits += O.QeCacheHits;
+  QeCacheMisses += O.QeCacheMisses;
+  CrossChecks += O.CrossChecks;
+  return *this;
+}
+
+SolverStats &SolverStats::operator-=(const SolverStats &O) {
+  Queries -= O.Queries;
+  TheoryChecks -= O.TheoryChecks;
+  TheoryConflicts -= O.TheoryConflicts;
+  CooperFallbacks -= O.CooperFallbacks;
+  CacheHits -= O.CacheHits;
+  CacheMisses -= O.CacheMisses;
+  SessionChecks -= O.SessionChecks;
+  CoreSkips -= O.CoreSkips;
+  QeCacheHits -= O.QeCacheHits;
+  QeCacheMisses -= O.QeCacheMisses;
+  CrossChecks -= O.CrossChecks;
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct RegistryEntry {
+  BackendFactory Factory;
+  bool Available = true;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::map<std::string, RegistryEntry> Entries;
+
+  Registry() {
+    Entries["native"] = {
+        [](FormulaManager &M) -> std::unique_ptr<DecisionProcedure> {
+          return std::make_unique<NativeBackend>(M);
+        },
+        true};
+    Entries["z3"] = {
+        [](FormulaManager &M) -> std::unique_ptr<DecisionProcedure> {
+          return std::make_unique<Z3Backend>(M);
+        },
+        z3BackendBuilt()};
+    // The default differential pair is native-vs-Z3, so it is only usable
+    // when the Z3 engine is in the build.
+    Entries["differential"] = {
+        [](FormulaManager &M) -> std::unique_ptr<DecisionProcedure> {
+          return std::make_unique<DifferentialBackend>(M);
+        },
+        z3BackendBuilt()};
+  }
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+} // namespace
+
+void abdiag::smt::registerBackend(const std::string &Name,
+                                  BackendFactory Factory, bool Available) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  R.Entries[Name] = {std::move(Factory), Available};
+}
+
+std::unique_ptr<DecisionProcedure>
+abdiag::smt::createBackend(const std::string &Name, FormulaManager &M) {
+  BackendFactory Factory;
+  {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto It = R.Entries.find(Name);
+    if (It == R.Entries.end()) {
+      std::string Known;
+      for (const auto &[N, E] : R.Entries)
+        Known += (Known.empty() ? "" : ", ") + N;
+      throw BackendUnavailableError("unknown decision-procedure backend '" +
+                                    Name + "' (known: " + Known + ")");
+    }
+    Factory = It->second.Factory;
+  }
+  // The factory itself throws BackendUnavailableError with a build hint
+  // when the engine is registered but not compiled in.
+  return Factory(M);
+}
+
+std::vector<std::string> abdiag::smt::backendNames() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  std::vector<std::string> Names;
+  Names.reserve(R.Entries.size());
+  for (const auto &[N, E] : R.Entries)
+    Names.push_back(N);
+  return Names; // std::map iterates sorted
+}
+
+bool abdiag::smt::backendAvailable(const std::string &Name) {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Entries.find(Name);
+  return It != R.Entries.end() && It->second.Available;
+}
+
+std::string abdiag::smt::reproducerDump(const VarTable &VT, const Formula *F) {
+  std::string Out;
+  for (VarId V : freeVars(F)) {
+    Out += "# var " + VT.name(V) + " ";
+    switch (VT.kind(V)) {
+    case VarKind::Input:
+      Out += "input";
+      break;
+    case VarKind::Abstraction:
+      Out += "abstraction";
+      break;
+    case VarKind::Aux:
+      Out += "aux";
+      break;
+    }
+    Out += "\n";
+  }
+  Out += toString(F, VT);
+  Out += "\n";
+  return Out;
+}

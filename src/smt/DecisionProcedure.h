@@ -1,0 +1,233 @@
+//===- smt/DecisionProcedure.h - Pluggable decision procedures --*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract decision-procedure seam between the formula layer and every
+/// consumer above it. The paper's whole pipeline -- entailment checks
+/// `I |= phi` / `I |= !phi`, the MSA subset search, and simplification
+/// modulo I (Lemmas 3/5) -- reduces to decision-procedure calls, so the
+/// core, analysis, triage and tool layers talk exclusively to this
+/// interface and pick a concrete engine by name:
+///
+///   * "native"       -- the in-tree lazy DPLL(T) LIA stack (smt/Solver)
+///                       with its guard-literal sessions, verdict cache and
+///                       QE memo (NativeBackend.h);
+///   * "z3"           -- the Z3 SMT solver, when built with
+///                       ABDIAG_WITH_Z3=ON (Z3Backend.h);
+///   * "differential" -- both of the above side by side, cross-checking
+///                       every verdict and failing loudly with a reproducer
+///                       dump on any disagreement (DifferentialBackend.h).
+///
+/// Additional engines can be registered at runtime with registerBackend().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_DECISIONPROCEDURE_H
+#define ABDIAG_SMT_DECISIONPROCEDURE_H
+
+#include "smt/Formula.h"
+#include "support/Cancellation.h"
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace abdiag::smt {
+
+/// An integer model; variables absent from the map are unconstrained and
+/// may be read as 0.
+using Model = std::unordered_map<VarId, int64_t>;
+
+/// Per-backend query statistics. Counters that a backend does not track
+/// (e.g. theory conflicts for Z3) simply stay 0; the counter-wise operators
+/// let per-worker stats be aggregated and per-report deltas be computed
+/// from cumulative counters.
+struct SolverStats {
+  uint64_t Queries = 0;          ///< top-level isSat/Session checks
+  uint64_t TheoryChecks = 0;     ///< LIA conjunction checks
+  uint64_t TheoryConflicts = 0;  ///< blocking clauses learned
+  uint64_t CooperFallbacks = 0;  ///< budget-exhausted conjunctions
+  uint64_t CacheHits = 0;        ///< isSat answers served from the cache
+  uint64_t CacheMisses = 0;      ///< isSat answers that had to be solved
+  uint64_t SessionChecks = 0;    ///< incremental Session::check calls
+  uint64_t CoreSkips = 0;        ///< checks refuted by a remembered core
+  uint64_t QeCacheHits = 0;      ///< single-var QE steps served memoized
+  uint64_t QeCacheMisses = 0;    ///< single-var QE steps computed
+  uint64_t CrossChecks = 0;      ///< verdicts compared by a differential backend
+
+  /// Human-readable one-line-per-counter report to a caller-supplied
+  /// stream (callers pick stdout, a log file, a string buffer, ...).
+  void dump(std::ostream &OS) const;
+
+  SolverStats &operator+=(const SolverStats &O);
+  SolverStats &operator-=(const SolverStats &O);
+};
+
+/// What a concrete backend can do natively. Consumers may use these to pick
+/// strategies (e.g. skip core-based pruning when cores are emulated); every
+/// interface method still works on every backend, falling back to shared
+/// code where the engine has no native support.
+struct BackendCapabilities {
+  bool Models = true;        ///< fills integer models for sat answers
+  bool UnsatCores = true;    ///< sessions report failed-conjunct cores
+  bool NativeQe = true;      ///< quantifier elimination inside the engine
+  bool VerdictCache = true;  ///< repeated queries are answered from a cache
+  bool Incremental = true;   ///< sessions reuse work across checks
+};
+
+/// Base class of every backend error.
+class BackendError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a backend is registered but cannot run in this build (e.g.
+/// "z3" with ABDIAG_WITH_Z3=OFF) or an unknown backend name is requested.
+class BackendUnavailableError : public BackendError {
+public:
+  using BackendError::BackendError;
+};
+
+/// Thrown by the differential backend when two engines disagree on a
+/// verdict; what() carries the full reproducer dump (also printed to
+/// stderr), in the FormulaParser syntax.
+class BackendMismatchError : public BackendError {
+public:
+  using BackendError::BackendError;
+};
+
+/// Abstract decision procedure for quantifier-free LIA over one
+/// FormulaManager: satisfiability/validity/entailment with models,
+/// incremental sessions with unsat cores, and a (possibly memoized)
+/// universal quantifier-elimination hook.
+///
+/// Instances are not thread-safe; parallel consumers (the triage engine)
+/// create one backend per worker so arenas and caches stay thread-local.
+class DecisionProcedure {
+public:
+  /// An incremental query session: each check decides the conjunction of
+  /// the given formulas, reusing whatever the engine can carry across
+  /// checks (learned clauses and remembered unsat cores for the native
+  /// stack, guard-literal assumptions for Z3).
+  class Session {
+  public:
+    virtual ~Session();
+
+    /// True iff the conjunction of \p Conjuncts is satisfiable; fills
+    /// \p Out (if non-null) with values for every free variable of the
+    /// conjuncts. Equivalent to isSat on their conjunction.
+    virtual bool check(const std::vector<const Formula *> &Conjuncts,
+                       Model *Out = nullptr) = 0;
+
+    /// After an Unsat check: the subset of that check's conjuncts found
+    /// jointly unsatisfiable.
+    virtual const std::vector<const Formula *> &lastCore() const = 0;
+
+    /// Number of unsat cores remembered so far.
+    virtual size_t numCores() const = 0;
+  };
+
+  explicit DecisionProcedure(FormulaManager &M) : M(M) {}
+  virtual ~DecisionProcedure();
+  DecisionProcedure(const DecisionProcedure &) = delete;
+  DecisionProcedure &operator=(const DecisionProcedure &) = delete;
+
+  /// The registry name of the concrete engine ("native", "z3", ...).
+  virtual const char *name() const = 0;
+  virtual BackendCapabilities capabilities() const = 0;
+
+  /// True iff \p F has an integer model; fills \p Out (if non-null) with
+  /// values for every free variable of F.
+  virtual bool isSat(const Formula *F, Model *Out = nullptr) = 0;
+
+  /// True iff \p F holds under every assignment.
+  bool isValid(const Formula *F) { return !isSat(M.mkNot(F)); }
+
+  /// True iff every model of \p A satisfies \p B.
+  bool entails(const Formula *A, const Formula *B) {
+    return !isSat(M.mkAnd(A, M.mkNot(B)));
+  }
+
+  /// True iff \p A and \p B have the same models.
+  bool equivalent(const Formula *A, const Formula *B) {
+    return entails(A, B) && entails(B, A);
+  }
+
+  /// Opens an incremental session over this backend. Sessions borrow the
+  /// backend and must not outlive it.
+  virtual std::unique_ptr<Session> openSession() = 0;
+
+  /// Quantifier-free equivalent of `forall Xs. F`. Backends with NativeQe
+  /// memoize per-variable elimination steps across calls (the MSA subset
+  /// search eliminates near-identical variable sets); others fall back to
+  /// the shared Cooper implementation.
+  virtual const Formula *eliminateForall(const Formula *F,
+                                         const std::vector<VarId> &Xs) = 0;
+
+  FormulaManager &manager() { return M; }
+
+  virtual const SolverStats &stats() const = 0;
+  /// Zeroes every statistics counter (verdict caches are kept).
+  virtual void resetStats() = 0;
+
+  /// Installs a cooperative cancellation token (nullptr to clear). Engines
+  /// poll it inside long-running loops where possible, and at least at
+  /// every query boundary, throwing support::CancelledError when expired.
+  /// The backend remains usable afterwards.
+  virtual void setCancellation(const support::CancellationToken *T) = 0;
+  virtual const support::CancellationToken *cancellation() const = 0;
+
+  /// Enables/disables result caching where the engine has any (a no-op for
+  /// engines without a VerdictCache capability). Disabling drops cached
+  /// entries, so re-enabling starts cold.
+  virtual void setCaching(bool On) = 0;
+  virtual bool cachingEnabled() const = 0;
+
+protected:
+  FormulaManager &M;
+};
+
+//===----------------------------------------------------------------------===//
+// Backend registry
+//===----------------------------------------------------------------------===//
+
+/// Builds a backend instance over \p M.
+using BackendFactory =
+    std::function<std::unique_ptr<DecisionProcedure>(FormulaManager &)>;
+
+/// Registers (or replaces) a backend under \p Name. \p Available marks
+/// whether create() can succeed in this build; registered-but-unavailable
+/// entries keep their name listed so tools can report "not built" instead
+/// of "unknown backend". Thread-safe.
+void registerBackend(const std::string &Name, BackendFactory Factory,
+                     bool Available = true);
+
+/// Instantiates the backend registered under \p Name over \p M. Throws
+/// BackendUnavailableError for unknown names and for backends not built
+/// into this binary (with a message saying how to enable them).
+std::unique_ptr<DecisionProcedure> createBackend(const std::string &Name,
+                                                 FormulaManager &M);
+
+/// Every registered backend name, sorted, including unavailable ones.
+std::vector<std::string> backendNames();
+
+/// True iff createBackend(Name, ...) can succeed in this build.
+bool backendAvailable(const std::string &Name);
+
+/// Renders a self-contained reproducer for \p F: one `# var NAME KIND`
+/// comment line per free variable followed by the formula in the
+/// FormulaParser round-trip syntax. Disagreement dumps and fuzzing
+/// artifacts use this format.
+std::string reproducerDump(const VarTable &VT, const Formula *F);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_DECISIONPROCEDURE_H

@@ -1,0 +1,143 @@
+//===- smt/DifferentialBackend.cpp - Cross-checking backend -----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/DifferentialBackend.h"
+
+#include "smt/FormulaOps.h"
+#include "smt/NativeBackend.h"
+#include "smt/Z3Backend.h"
+
+#include <cstdio>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+DifferentialBackend::DifferentialBackend(FormulaManager &M)
+    : DifferentialBackend(M, std::make_unique<NativeBackend>(M),
+                          std::make_unique<Z3Backend>(M)) {}
+
+DifferentialBackend::DifferentialBackend(
+    FormulaManager &M, std::unique_ptr<DecisionProcedure> Primary,
+    std::unique_ptr<DecisionProcedure> Secondary)
+    : DecisionProcedure(M), Primary(std::move(Primary)),
+      Secondary(std::move(Secondary)) {}
+
+DifferentialBackend::~DifferentialBackend() = default;
+
+void DifferentialBackend::mismatch(const char *What, bool PrimarySat,
+                                   bool SecondarySat, const Formula *F) const {
+  std::string Msg = "decision-procedure disagreement on ";
+  Msg += What;
+  Msg += ": ";
+  Msg += Primary->name();
+  Msg += "=";
+  Msg += PrimarySat ? "sat" : "unsat";
+  Msg += " ";
+  Msg += Secondary->name();
+  Msg += "=";
+  Msg += SecondarySat ? "sat" : "unsat";
+  Msg += "\nreproducer (FormulaParser syntax):\n";
+  Msg += reproducerDump(M.vars(), F);
+  std::fprintf(stderr, "abdiag: FATAL: %s", Msg.c_str());
+  std::fflush(stderr);
+  throw BackendMismatchError(Msg);
+}
+
+bool DifferentialBackend::isSat(const Formula *F, Model *Out) {
+  bool P = Primary->isSat(F, Out);
+  bool S = Secondary->isSat(F);
+  ++CrossChecks;
+  if (P != S)
+    mismatch("isSat", P, S, F);
+  // A sat verdict with a model is additionally checked against the formula
+  // itself -- a wrong model is a bug even when the verdicts agree.
+  if (P && Out) {
+    if (!evaluate(F, [&](VarId V) {
+          auto It = Out->find(V);
+          return It == Out->end() ? int64_t(0) : It->second;
+        }))
+      mismatch("model soundness (primary model violates formula)", P, S, F);
+  }
+  return P;
+}
+
+const Formula *
+DifferentialBackend::eliminateForall(const Formula *F,
+                                     const std::vector<VarId> &Xs) {
+  const Formula *Elim = Primary->eliminateForall(F, Xs);
+  // Z3 can decide `(forall Xs. F) <=> Elim` outright; other secondaries
+  // have no quantified reasoning, so the QE cross-check is Z3-only.
+  if (auto *Z3 = dynamic_cast<Z3Backend *>(Secondary.get())) {
+    ++CrossChecks;
+    if (!Z3->validForallEquiv(F, Xs, Elim))
+      mismatch("eliminateForall (result not equivalent to forall Xs. F)",
+               true, false, F);
+  }
+  return Elim;
+}
+
+namespace abdiag::smt {
+
+/// Matches the friend declaration in DifferentialBackend; lives in the .cpp
+/// only (created exclusively through openSession).
+class DifferentialSession final : public DecisionProcedure::Session {
+public:
+  DifferentialSession(DifferentialBackend &B,
+                      std::unique_ptr<DecisionProcedure::Session> P,
+                      std::unique_ptr<DecisionProcedure::Session> S)
+      : B(B), Primary(std::move(P)), Secondary(std::move(S)) {}
+
+  bool check(const std::vector<const Formula *> &Conjuncts,
+             Model *Out = nullptr) override {
+    bool P = Primary->check(Conjuncts, Out);
+    bool S = Secondary->check(Conjuncts);
+    ++B.CrossChecks;
+    if (P != S)
+      B.mismatch("Session::check", P, S,
+                 B.manager().mkAnd(
+                     std::vector<const Formula *>(Conjuncts)));
+    return P;
+  }
+
+  const std::vector<const Formula *> &lastCore() const override {
+    return Primary->lastCore();
+  }
+  size_t numCores() const override { return Primary->numCores(); }
+
+private:
+  DifferentialBackend &B;
+  std::unique_ptr<DecisionProcedure::Session> Primary;
+  std::unique_ptr<DecisionProcedure::Session> Secondary;
+};
+
+} // namespace abdiag::smt
+
+std::unique_ptr<DecisionProcedure::Session> DifferentialBackend::openSession() {
+  return std::make_unique<DifferentialSession>(*this, Primary->openSession(),
+                                               Secondary->openSession());
+}
+
+const SolverStats &DifferentialBackend::stats() const {
+  Combined = Primary->stats();
+  Combined.CrossChecks = CrossChecks;
+  return Combined;
+}
+
+void DifferentialBackend::resetStats() {
+  Primary->resetStats();
+  Secondary->resetStats();
+  CrossChecks = 0;
+}
+
+void DifferentialBackend::setCancellation(const support::CancellationToken *T) {
+  Primary->setCancellation(T);
+  Secondary->setCancellation(T);
+}
+
+void DifferentialBackend::setCaching(bool On) {
+  Primary->setCaching(On);
+  Secondary->setCaching(On);
+}

@@ -1,0 +1,91 @@
+//===- smt/DifferentialBackend.h - Cross-checking backend -------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A decision procedure that runs two engines side by side and cross-checks
+/// every verdict: satisfiability (one-shot and session checks), validity
+/// and entailment (they reduce to isSat), and native quantifier
+/// elimination (verified by Z3's quantified reasoning when the secondary
+/// engine is Z3). On any disagreement it prints a self-contained reproducer
+/// -- the formula and its variable table in FormulaParser syntax -- to
+/// stderr and throws BackendMismatchError carrying the same dump, turning
+/// the whole diagnosis pipeline into its own correctness harness
+/// (`abdiag_triage --backend differential`).
+///
+/// Answers (models, cores, stats) always come from the primary engine, so a
+/// differential run is verdict-for-verdict identical to a primary-only run
+/// -- just slower and paranoid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_DIFFERENTIALBACKEND_H
+#define ABDIAG_SMT_DIFFERENTIALBACKEND_H
+
+#include "smt/DecisionProcedure.h"
+
+namespace abdiag::smt {
+
+class DifferentialBackend final : public DecisionProcedure {
+public:
+  /// The default pair: native as primary, Z3 as secondary. Throws
+  /// BackendUnavailableError when the Z3 engine is not built in.
+  explicit DifferentialBackend(FormulaManager &M);
+
+  /// An explicit pair, for tests and custom harnesses. Both backends must
+  /// be built over \p M. The primary provides all answers; the secondary
+  /// only votes on verdicts.
+  DifferentialBackend(FormulaManager &M,
+                      std::unique_ptr<DecisionProcedure> Primary,
+                      std::unique_ptr<DecisionProcedure> Secondary);
+  ~DifferentialBackend() override;
+
+  const char *name() const override { return "differential"; }
+  BackendCapabilities capabilities() const override {
+    return Primary->capabilities();
+  }
+
+  bool isSat(const Formula *F, Model *Out = nullptr) override;
+
+  std::unique_ptr<Session> openSession() override;
+
+  /// Primary QE result, cross-checked for equivalence with `forall Xs. F`
+  /// when the secondary engine can decide quantified formulas (Z3).
+  const Formula *eliminateForall(const Formula *F,
+                                 const std::vector<VarId> &Xs) override;
+
+  /// The primary engine's counters, with CrossChecks counting the verdicts
+  /// compared against the secondary engine.
+  const SolverStats &stats() const override;
+  void resetStats() override;
+
+  void setCancellation(const support::CancellationToken *T) override;
+  const support::CancellationToken *cancellation() const override {
+    return Primary->cancellation();
+  }
+
+  void setCaching(bool On) override;
+  bool cachingEnabled() const override { return Primary->cachingEnabled(); }
+
+  DecisionProcedure &primary() { return *Primary; }
+  DecisionProcedure &secondary() { return *Secondary; }
+
+private:
+  friend class DifferentialSession;
+
+  std::unique_ptr<DecisionProcedure> Primary;
+  std::unique_ptr<DecisionProcedure> Secondary;
+  /// Primary->stats() plus this backend's CrossChecks counter.
+  mutable SolverStats Combined;
+  uint64_t CrossChecks = 0;
+
+  /// Prints the reproducer to stderr and throws BackendMismatchError.
+  [[noreturn]] void mismatch(const char *What, bool PrimarySat,
+                             bool SecondarySat, const Formula *F) const;
+};
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_DIFFERENTIALBACKEND_H

@@ -1,0 +1,37 @@
+//===- smt/NativeBackend.cpp - Native LIA stack as a backend ----------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/NativeBackend.h"
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Thin adapter from Solver::Session (guard literals, persistent learned
+/// clauses, unsat-core subsumption) to the interface session.
+class NativeSession final : public DecisionProcedure::Session {
+public:
+  explicit NativeSession(Solver &S) : Sess(S) {}
+
+  bool check(const std::vector<const Formula *> &Conjuncts,
+             Model *Out = nullptr) override {
+    return Sess.check(Conjuncts, Out);
+  }
+  const std::vector<const Formula *> &lastCore() const override {
+    return Sess.lastCore();
+  }
+  size_t numCores() const override { return Sess.numCores(); }
+
+private:
+  Solver::Session Sess;
+};
+
+} // namespace
+
+std::unique_ptr<DecisionProcedure::Session> NativeBackend::openSession() {
+  return std::make_unique<NativeSession>(S);
+}

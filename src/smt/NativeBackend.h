@@ -1,0 +1,69 @@
+//===- smt/NativeBackend.h - Native LIA stack as a backend ------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-tree lazy DPLL(T) LIA stack (smt/Solver) re-homed behind the
+/// DecisionProcedure interface. Everything the concrete solver earned over
+/// time -- guard-literal incremental sessions with unsat-core subsumption,
+/// the pointer-keyed verdict cache, and the per-variable-step QE memo --
+/// stays intact; this class only adapts the surface. Registered in the
+/// backend registry as "native" (the default).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_NATIVEBACKEND_H
+#define ABDIAG_SMT_NATIVEBACKEND_H
+
+#include "smt/DecisionProcedure.h"
+#include "smt/Solver.h"
+
+namespace abdiag::smt {
+
+class NativeBackend final : public DecisionProcedure {
+public:
+  explicit NativeBackend(FormulaManager &M) : DecisionProcedure(M), S(M) {}
+
+  const char *name() const override { return "native"; }
+  BackendCapabilities capabilities() const override {
+    return BackendCapabilities{}; // everything, natively
+  }
+
+  bool isSat(const Formula *F, Model *Out = nullptr) override {
+    return S.isSat(F, Out);
+  }
+
+  std::unique_ptr<Session> openSession() override;
+
+  /// Served from the solver's memo of single-variable elimination steps.
+  const Formula *eliminateForall(const Formula *F,
+                                 const std::vector<VarId> &Xs) override {
+    return S.eliminateForallCached(F, Xs);
+  }
+
+  const SolverStats &stats() const override { return S.stats(); }
+  void resetStats() override { S.resetStats(); }
+
+  void setCancellation(const support::CancellationToken *T) override {
+    S.setCancellation(T);
+  }
+  const support::CancellationToken *cancellation() const override {
+    return S.cancellation();
+  }
+
+  void setCaching(bool On) override { S.setCaching(On); }
+  bool cachingEnabled() const override { return S.cachingEnabled(); }
+
+  /// The wrapped concrete solver, for smt-layer code and tests that tune
+  /// engine-specific knobs. Layers above smt/ must not use this.
+  Solver &solver() { return S; }
+
+private:
+  Solver S;
+};
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_NATIVEBACKEND_H

@@ -19,7 +19,7 @@ namespace {
 /// formulas are returned after structural simplification only.
 constexpr size_t MaxSemanticAtoms = 600;
 
-const Formula *simp(Solver &S, const Formula *F, const Formula *Ctx) {
+const Formula *simp(DecisionProcedure &S, const Formula *F, const Formula *Ctx) {
   FormulaManager &M = S.manager();
   switch (F->kind()) {
   case FormulaKind::True:
@@ -76,7 +76,7 @@ const Formula *simp(Solver &S, const Formula *F, const Formula *Ctx) {
 
 } // namespace
 
-const Formula *abdiag::smt::simplifyModulo(Solver &S, const Formula *F,
+const Formula *abdiag::smt::simplifyModulo(DecisionProcedure &S, const Formula *F,
                                            const Formula *Critical) {
   if (atomCount(F) > MaxSemanticAtoms)
     return F;
@@ -95,6 +95,6 @@ const Formula *abdiag::smt::simplifyModulo(Solver &S, const Formula *F,
   return F;
 }
 
-const Formula *abdiag::smt::simplify(Solver &S, const Formula *F) {
+const Formula *abdiag::smt::simplify(DecisionProcedure &S, const Formula *F) {
   return simplifyModulo(S, F, S.manager().getTrue());
 }

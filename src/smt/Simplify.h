@@ -25,17 +25,17 @@
 #define ABDIAG_SMT_SIMPLIFY_H
 
 #include "smt/Formula.h"
-#include "smt/Solver.h"
+#include "smt/DecisionProcedure.h"
 
 namespace abdiag::smt {
 
 /// Returns a formula F' with `Critical |= (F <=> F')` that is no larger than
 /// \p F (measured in atoms) and usually much smaller.
-const Formula *simplifyModulo(Solver &S, const Formula *F,
+const Formula *simplifyModulo(DecisionProcedure &S, const Formula *F,
                               const Formula *Critical);
 
 /// Simplification with a trivially true critical constraint.
-const Formula *simplify(Solver &S, const Formula *F);
+const Formula *simplify(DecisionProcedure &S, const Formula *F);
 
 } // namespace abdiag::smt
 

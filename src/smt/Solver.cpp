@@ -23,47 +23,6 @@
 using namespace abdiag;
 using namespace abdiag::smt;
 
-void Solver::Stats::dump(std::ostream &OS) const {
-  OS << "queries:          " << Queries << "\n"
-     << "theory checks:    " << TheoryChecks << "\n"
-     << "theory conflicts: " << TheoryConflicts << "\n"
-     << "cooper fallbacks: " << CooperFallbacks << "\n"
-     << "cache hits:       " << CacheHits << "\n"
-     << "cache misses:     " << CacheMisses << "\n"
-     << "session checks:   " << SessionChecks << "\n"
-     << "core skips:       " << CoreSkips << "\n"
-     << "qe memo hits:     " << QeCacheHits << "\n"
-     << "qe memo misses:   " << QeCacheMisses << "\n";
-}
-
-Solver::Stats &Solver::Stats::operator+=(const Stats &O) {
-  Queries += O.Queries;
-  TheoryChecks += O.TheoryChecks;
-  TheoryConflicts += O.TheoryConflicts;
-  CooperFallbacks += O.CooperFallbacks;
-  CacheHits += O.CacheHits;
-  CacheMisses += O.CacheMisses;
-  SessionChecks += O.SessionChecks;
-  CoreSkips += O.CoreSkips;
-  QeCacheHits += O.QeCacheHits;
-  QeCacheMisses += O.QeCacheMisses;
-  return *this;
-}
-
-Solver::Stats &Solver::Stats::operator-=(const Stats &O) {
-  Queries -= O.Queries;
-  TheoryChecks -= O.TheoryChecks;
-  TheoryConflicts -= O.TheoryConflicts;
-  CooperFallbacks -= O.CooperFallbacks;
-  CacheHits -= O.CacheHits;
-  CacheMisses -= O.CacheMisses;
-  SessionChecks -= O.SessionChecks;
-  CoreSkips -= O.CoreSkips;
-  QeCacheHits -= O.QeCacheHits;
-  QeCacheMisses -= O.QeCacheMisses;
-  return *this;
-}
-
 void Solver::setCaching(bool On) {
   Caching = On;
   if (!On) {

@@ -23,6 +23,7 @@
 #define ABDIAG_SMT_SOLVER_H
 
 #include "smt/Cooper.h"
+#include "smt/DecisionProcedure.h"
 #include "smt/Formula.h"
 
 #include <cstdint>
@@ -32,10 +33,6 @@
 #include <vector>
 
 namespace abdiag::smt {
-
-/// An integer model; variables absent from the map are unconstrained and
-/// may be read as 0.
-using Model = std::unordered_map<VarId, int64_t>;
 
 /// Quantifier-free LIA decision procedures over one FormulaManager.
 ///
@@ -47,28 +44,9 @@ using Model = std::unordered_map<VarId, int64_t>;
 /// are immutable and never freed while the manager lives).
 class Solver {
 public:
-  struct Stats {
-    uint64_t Queries = 0;          ///< top-level isSat/Session checks
-    uint64_t TheoryChecks = 0;     ///< LIA conjunction checks
-    uint64_t TheoryConflicts = 0;  ///< blocking clauses learned
-    uint64_t CooperFallbacks = 0;  ///< budget-exhausted conjunctions
-    uint64_t CacheHits = 0;        ///< isSat answers served from the cache
-    uint64_t CacheMisses = 0;      ///< isSat answers that had to be solved
-    uint64_t SessionChecks = 0;    ///< incremental Session::check calls
-    uint64_t CoreSkips = 0;        ///< checks refuted by a remembered core
-    uint64_t QeCacheHits = 0;      ///< single-var QE steps served memoized
-    uint64_t QeCacheMisses = 0;    ///< single-var QE steps computed
-
-    /// Human-readable one-line-per-counter report to a caller-supplied
-    /// stream (callers pick stdout, a log file, a string buffer, ...).
-    void dump(std::ostream &OS) const;
-
-    /// Counter-wise accumulation/subtraction, so per-worker stats can be
-    /// aggregated (triage engine) and per-report deltas computed from the
-    /// cumulative counters of a long-lived solver.
-    Stats &operator+=(const Stats &O);
-    Stats &operator-=(const Stats &O);
-  };
+  /// The per-query counter aggregate, shared across backends (see
+  /// smt/DecisionProcedure.h); kept as a nested alias for existing users.
+  using Stats = SolverStats;
 
   explicit Solver(FormulaManager &M) : M(M) {}
 

@@ -1,0 +1,302 @@
+//===- smt/Z3Backend.cpp - Z3 as a first-class backend ----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Z3Backend.h"
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+
+#ifdef ABDIAG_HAVE_Z3
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <z3++.h>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+bool abdiag::smt::z3BackendBuilt() { return true; }
+
+namespace {
+
+/// One shared translation context: the z3::context, the VarId -> Z3 constant
+/// map, and a memo of already-translated formula nodes (hash-consing makes
+/// pointer keys sound for the manager's lifetime).
+struct Translator {
+  z3::context Ctx;
+  const VarTable &VT;
+  std::unordered_map<VarId, z3::expr> VarMap;
+  std::unordered_map<const Formula *, z3::expr> FmlMap;
+
+  explicit Translator(const VarTable &VT) : VT(VT) {}
+
+  z3::expr var(VarId V) {
+    auto It = VarMap.find(V);
+    if (It == VarMap.end())
+      It = VarMap.emplace(V, Ctx.int_const(VT.name(V).c_str())).first;
+    return It->second;
+  }
+
+  z3::expr linExpr(const LinearExpr &E) {
+    z3::expr Sum = Ctx.int_val(static_cast<int64_t>(E.constant()));
+    for (const auto &[V, Coef] : E.terms())
+      Sum = Sum + Ctx.int_val(Coef) * var(V);
+    return Sum;
+  }
+
+  z3::expr formula(const Formula *F) {
+    auto It = FmlMap.find(F);
+    if (It != FmlMap.end())
+      return It->second;
+    z3::expr R = translate(F);
+    FmlMap.emplace(F, R);
+    return R;
+  }
+
+private:
+  z3::expr translate(const Formula *F) {
+    switch (F->kind()) {
+    case FormulaKind::True:
+      return Ctx.bool_val(true);
+    case FormulaKind::False:
+      return Ctx.bool_val(false);
+    case FormulaKind::Atom: {
+      z3::expr E = linExpr(F->expr());
+      switch (F->rel()) {
+      case AtomRel::Le:
+        return E <= 0;
+      case AtomRel::Eq:
+        return E == 0;
+      case AtomRel::Ne:
+        return E != 0;
+      case AtomRel::Div:
+        return z3::mod(E, Ctx.int_val(F->divisor())) == 0;
+      case AtomRel::NDiv:
+        return z3::mod(E, Ctx.int_val(F->divisor())) != 0;
+      }
+      break;
+    }
+    case FormulaKind::And:
+    case FormulaKind::Or: {
+      z3::expr_vector Kids(Ctx);
+      for (const Formula *K : F->kids())
+        Kids.push_back(formula(K));
+      return F->isAnd() ? z3::mk_and(Kids) : z3::mk_or(Kids);
+    }
+    }
+    throw BackendError("z3 backend: unreachable formula kind");
+  }
+};
+
+/// Reads the values of \p Vars out of a Z3 model into our Model type.
+void extractModel(Translator &T, const z3::model &Mo,
+                  const std::set<VarId> &Vars, Model &Out) {
+  for (VarId V : Vars) {
+    z3::expr Val = Mo.eval(T.var(V), /*model_completion=*/true);
+    int64_t N = 0;
+    if (Val.is_numeral_i64(N))
+      Out[V] = N;
+  }
+}
+
+/// Decodes a z3 check result, treating "unknown" as a hard error: it does
+/// not happen for quantifier-free Presburger arithmetic, and silently
+/// guessing would defeat the differential cross-check this backend powers.
+bool decode(z3::check_result R, const char *What) {
+  switch (R) {
+  case z3::sat:
+    return true;
+  case z3::unsat:
+    return false;
+  case z3::unknown:
+    break;
+  }
+  throw BackendError(std::string("z3 backend: solver answered 'unknown' for ") +
+                     What);
+}
+
+} // namespace
+
+struct Z3Backend::Impl {
+  Translator T;
+  explicit Impl(const VarTable &VT) : T(VT) {}
+};
+
+Z3Backend::Z3Backend(FormulaManager &M)
+    : DecisionProcedure(M), I(std::make_unique<Impl>(M.vars())) {}
+
+Z3Backend::~Z3Backend() = default;
+
+bool Z3Backend::isSat(const Formula *F, Model *Out) {
+  support::pollCancellation(Cancel);
+  ++S.Queries;
+  Translator &T = I->T;
+  z3::solver Solver(T.Ctx);
+  Solver.add(T.formula(F));
+  bool Sat = decode(Solver.check(), "isSat");
+  if (Sat && Out)
+    extractModel(T, Solver.get_model(), freeVars(F), *Out);
+  return Sat;
+}
+
+const Formula *Z3Backend::eliminateForall(const Formula *F,
+                                          const std::vector<VarId> &Xs) {
+  support::pollCancellation(Cancel);
+  return abdiag::smt::eliminateForall(M, F, Xs, /*Memo=*/nullptr, Cancel);
+}
+
+bool Z3Backend::validForallEquiv(const Formula *F,
+                                 const std::vector<VarId> &Xs,
+                                 const Formula *Candidate) {
+  support::pollCancellation(Cancel);
+  ++S.Queries;
+  Translator &T = I->T;
+  z3::expr Quantified = T.formula(F);
+  if (!Xs.empty()) {
+    z3::expr_vector Bound(T.Ctx);
+    for (VarId X : Xs)
+      Bound.push_back(T.var(X));
+    Quantified = z3::forall(Bound, Quantified);
+  }
+  // Valid equivalence iff `(forall Xs. F) xor Candidate` is unsat. Run
+  // quantifier elimination before the SMT core so Z3 stays complete on
+  // quantified Presburger formulas.
+  z3::tactic Tac = z3::tactic(T.Ctx, "qe") & z3::tactic(T.Ctx, "smt");
+  z3::solver Solver = Tac.mk_solver();
+  Solver.add(Quantified != T.formula(Candidate));
+  return !decode(Solver.check(), "validForallEquiv");
+}
+
+namespace {
+
+/// Guard-literal session: each distinct conjunct is asserted once as
+/// `guard_i => F_i` on a persistent solver, and every check runs under the
+/// assumption set of its conjuncts' guards -- Z3's internal learned lemmas
+/// survive across checks, and z3 unsat cores (failed assumptions) map
+/// straight back to conjunct subsets.
+class Z3Session final : public DecisionProcedure::Session {
+public:
+  Z3Session(Translator &T, SolverStats &S,
+            const support::CancellationToken *const &Cancel)
+      : T(T), S(S), Cancel(Cancel), Solver(T.Ctx) {}
+
+  bool check(const std::vector<const Formula *> &Conjuncts,
+             Model *Out = nullptr) override {
+    support::pollCancellation(Cancel);
+    ++S.Queries;
+    ++S.SessionChecks;
+    z3::expr_vector Assumptions(T.Ctx);
+    std::set<VarId> Vars;
+    std::set<const Formula *> Seen;
+    for (const Formula *F : Conjuncts) {
+      if (!Seen.insert(F).second)
+        continue;
+      Assumptions.push_back(guardFor(F));
+      collectFreeVars(F, Vars);
+    }
+    bool Sat = decode(Solver.check(Assumptions), "Session::check");
+    if (Sat) {
+      if (Out)
+        extractModel(T, Solver.get_model(), Vars, *Out);
+    } else {
+      Core.clear();
+      z3::expr_vector Failed = Solver.unsat_core();
+      for (unsigned J = 0; J < Failed.size(); ++J) {
+        auto It = GuardToFml.find(Failed[J].id());
+        if (It != GuardToFml.end())
+          Core.push_back(It->second);
+      }
+      ++NumCores;
+    }
+    return Sat;
+  }
+
+  const std::vector<const Formula *> &lastCore() const override {
+    return Core;
+  }
+  size_t numCores() const override { return NumCores; }
+
+private:
+  z3::expr guardFor(const Formula *F) {
+    auto It = Guards.find(F);
+    if (It != Guards.end())
+      return It->second;
+    std::string Name = "g!" + std::to_string(Guards.size());
+    z3::expr G = T.Ctx.bool_const(Name.c_str());
+    Solver.add(z3::implies(G, T.formula(F)));
+    Guards.emplace(F, G);
+    GuardToFml.emplace(G.id(), F);
+    return G;
+  }
+
+  Translator &T;
+  SolverStats &S;
+  const support::CancellationToken *const &Cancel;
+  z3::solver Solver;
+  std::unordered_map<const Formula *, z3::expr> Guards;
+  std::unordered_map<unsigned, const Formula *> GuardToFml;
+  std::vector<const Formula *> Core;
+  size_t NumCores = 0;
+};
+
+} // namespace
+
+std::unique_ptr<DecisionProcedure::Session> Z3Backend::openSession() {
+  return std::make_unique<Z3Session>(I->T, S, Cancel);
+}
+
+bool abdiag::smt::z3IsSat(FormulaManager &M, const Formula *F) {
+  Z3Backend B(M);
+  return B.isSat(F);
+}
+
+bool abdiag::smt::z3IsValid(FormulaManager &M, const Formula *F) {
+  return !z3IsSat(M, M.mkNot(F));
+}
+
+#else // !ABDIAG_HAVE_Z3
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+bool abdiag::smt::z3BackendBuilt() { return false; }
+
+namespace {
+
+[[noreturn]] void notBuilt() {
+  throw BackendUnavailableError(
+      "z3 backend not built into this binary; reconfigure with "
+      "-DABDIAG_WITH_Z3=ON (requires libz3 and z3++.h)");
+}
+
+} // namespace
+
+struct Z3Backend::Impl {};
+
+Z3Backend::Z3Backend(FormulaManager &M) : DecisionProcedure(M) { notBuilt(); }
+Z3Backend::~Z3Backend() = default;
+
+// The constructor always throws, so these are unreachable; they exist only
+// to satisfy the linker in Z3-less configurations.
+bool Z3Backend::isSat(const Formula *, Model *) { notBuilt(); }
+std::unique_ptr<DecisionProcedure::Session> Z3Backend::openSession() {
+  notBuilt();
+}
+const Formula *Z3Backend::eliminateForall(const Formula *,
+                                          const std::vector<VarId> &) {
+  notBuilt();
+}
+bool Z3Backend::validForallEquiv(const Formula *, const std::vector<VarId> &,
+                                 const Formula *) {
+  notBuilt();
+}
+
+bool abdiag::smt::z3IsSat(FormulaManager &, const Formula *) { notBuilt(); }
+bool abdiag::smt::z3IsValid(FormulaManager &, const Formula *) { notBuilt(); }
+
+#endif // ABDIAG_HAVE_Z3

@@ -1,0 +1,91 @@
+//===- smt/Z3Backend.h - Z3 as a first-class backend ------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Z3 SMT solver behind the DecisionProcedure interface, promoted from
+/// the old test-only differential bridge. Sessions are incremental: every
+/// distinct conjunct is asserted once under a fresh guard literal and each
+/// check runs under assumptions, so Z3's learned lemmas persist across
+/// checks and unsat cores fall out of the failed assumptions. Registered
+/// as "z3"; constructing it in a build configured with ABDIAG_WITH_Z3=OFF
+/// throws BackendUnavailableError with a build hint.
+///
+/// The header is Z3-free (pimpl) so it compiles in every configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SMT_Z3BACKEND_H
+#define ABDIAG_SMT_Z3BACKEND_H
+
+#include "smt/DecisionProcedure.h"
+
+namespace abdiag::smt {
+
+/// True when the Z3 engine is compiled into this binary
+/// (ABDIAG_WITH_Z3=ON and libz3 found at configure time).
+bool z3BackendBuilt();
+
+class Z3Backend final : public DecisionProcedure {
+public:
+  /// Throws BackendUnavailableError when the Z3 engine is not built in.
+  explicit Z3Backend(FormulaManager &M);
+  ~Z3Backend() override;
+
+  const char *name() const override { return "z3"; }
+  BackendCapabilities capabilities() const override {
+    BackendCapabilities C;
+    C.NativeQe = false;     // QE falls back to the shared Cooper code
+    C.VerdictCache = false; // Z3 keeps its own internal state instead
+    return C;
+  }
+
+  bool isSat(const Formula *F, Model *Out = nullptr) override;
+
+  std::unique_ptr<Session> openSession() override;
+
+  /// Shared Cooper elimination (Z3's own QE output cannot be translated
+  /// back into our atom language in general).
+  const Formula *eliminateForall(const Formula *F,
+                                 const std::vector<VarId> &Xs) override;
+
+  /// Decides validity of `(forall Xs. F) <=> Candidate` with Z3's
+  /// quantifier support -- the cross-check the differential backend runs
+  /// against native quantifier elimination. Throws BackendError if Z3
+  /// answers "unknown" (does not happen for Presburger arithmetic).
+  bool validForallEquiv(const Formula *F, const std::vector<VarId> &Xs,
+                        const Formula *Candidate);
+
+  const SolverStats &stats() const override { return S; }
+  void resetStats() override { S = SolverStats(); }
+
+  /// Z3 is not cooperatively interruptible through our token, so the
+  /// deadline is only polled at query boundaries.
+  void setCancellation(const support::CancellationToken *T) override {
+    Cancel = T;
+  }
+  const support::CancellationToken *cancellation() const override {
+    return Cancel;
+  }
+
+  void setCaching(bool) override {} // no cache of our own to toggle
+  bool cachingEnabled() const override { return false; }
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  SolverStats S;
+  const support::CancellationToken *Cancel = nullptr;
+};
+
+/// Convenience one-shot checks used by the differential test suite. Both
+/// take the owning manager (the historical pair took a VarTable and a
+/// manager respectively; they are now uniform).
+bool z3IsSat(FormulaManager &M, const Formula *F);
+bool z3IsValid(FormulaManager &M, const Formula *F);
+
+} // namespace abdiag::smt
+
+#endif // ABDIAG_SMT_Z3BACKEND_H

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "analysis/IntervalAnnotator.h"
 
 #include "analysis/SymbolicAnalyzer.h"
@@ -117,13 +118,13 @@ program p(n) {
   Program Plain = parse(Src);
   {
     FormulaManager M;
-    Solver S(M);
+    NativeBackend S(M);
     AnalysisResult R = analyzeProgram(Plain, S);
     EXPECT_FALSE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)));
   }
   {
     FormulaManager M;
-    Solver S(M);
+    NativeBackend S(M);
     Program Annotated = annotateLoops(Plain);
     AnalysisResult R = analyzeProgram(Annotated, S);
     EXPECT_TRUE(S.isValid(M.mkImplies(R.Invariants, R.SuccessCondition)))
@@ -159,7 +160,7 @@ TEST(AnnotatorTest, InferredAnnotationsSoundOnConcreteRuns) {
     // annotation, the symbolic analysis may not claim a bug when all runs
     // pass, nor discharge when some run fails.
     FormulaManager M;
-    Solver S(M);
+    NativeBackend S(M);
     AnalysisResult AR = analyzeProgram(A, S);
     bool AnyFail = false, AnyPass = false;
     for (int64_t V1 = -6; V1 <= 6; ++V1)

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "analysis/SymbolicAnalyzer.h"
 
 #include "lang/Interp.h"
@@ -30,7 +31,7 @@ Program parse(const char *Src) {
 class AnalyzerTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
 };
 
 TEST_F(AnalyzerTest, LoopFreeProgramIsExact) {
@@ -219,7 +220,7 @@ TEST_F(AnalyzerTest, PropertyLoopFreeAgreesWithInterpreter) {
     ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Src;
 
     FormulaManager LocalM;
-    Solver LocalS(LocalM);
+    NativeBackend LocalS(LocalM);
     AnalysisResult AR = analyzeProgram(*PR.Prog, LocalS);
     VarId A = AR.InputVars.at("a"), B = AR.InputVars.at("b");
     for (int64_t VA = -4; VA <= 4; VA += 2)

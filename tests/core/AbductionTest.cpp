@@ -12,6 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "core/Abduction.h"
 
 #include "analysis/SymbolicAnalyzer.h"
@@ -30,7 +31,7 @@ namespace {
 class AbductionTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   Abducer Abd{S};
 
   LinearExpr c(int64_t V) { return LinearExpr::constant(V); }
@@ -175,7 +176,7 @@ program intro(flag, n) {
 class IntroExampleTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   Abducer Abd{S};
   lang::Program Prog;
   analysis::AnalysisResult AR;

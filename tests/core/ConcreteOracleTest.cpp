@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "core/ConcreteOracle.h"
 
 #include "analysis/SymbolicAnalyzer.h"
@@ -21,7 +22,7 @@ namespace {
 class ConcreteOracleTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   lang::Program Prog;
   analysis::AnalysisResult AR;
 

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "core/Diagnosis.h"
 
 #include "core/ErrorDiagnoser.h"
@@ -22,7 +23,7 @@ using Ans = Oracle::Answer;
 class DiagnosisTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   VarId Alpha = M.vars().create("alpha", VarKind::Abstraction);
   VarId Beta = M.vars().create("beta", VarKind::Abstraction);
   VarId N = M.vars().create("n", VarKind::Input);

@@ -56,24 +56,14 @@ TEST(ErrorDiagnoserTest, MissingFileReported) {
   EXPECT_FALSE(R.Diagnostic.hasPosition());
 }
 
-TEST(ErrorDiagnoserTest, DeprecatedShimsStillWork) {
-  // The old bool + out-string loaders must keep behaving identically until
-  // they are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ErrorDiagnoserTest, BackendSelection) {
+  // The default diagnoser runs on the native backend; an unknown backend
+  // name fails in the constructor with a catchable error.
   ErrorDiagnoser D;
-  std::string Err;
-  EXPECT_FALSE(D.loadSource("program broken(", &Err));
-  EXPECT_FALSE(Err.empty());
-  ErrorDiagnoser D2;
-  std::string Err2;
-  EXPECT_TRUE(D2.loadSource(SafeLoop, &Err2)) << Err2;
-  EXPECT_TRUE(Err2.empty());
-  EXPECT_EQ(D2.program().Name, "p");
-  std::string Err3;
-  EXPECT_FALSE(D2.loadFile("/nonexistent/path.adg", &Err3));
-  EXPECT_NE(Err3.find("cannot open"), std::string::npos);
-#pragma GCC diagnostic pop
+  EXPECT_STREQ(D.procedure().name(), "native");
+  ErrorDiagnoser::Options Opts;
+  Opts.backend("no-such-backend");
+  EXPECT_THROW(ErrorDiagnoser Bad(Opts), smt::BackendError);
 }
 
 TEST(ErrorDiagnoserTest, AutoAnnotationToggle) {

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "core/Msa.h"
 
 #include "smt/Cooper.h"
@@ -23,7 +24,7 @@ namespace {
 class MsaTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   VarId X = M.vars().create("x", VarKind::Input);
   VarId Y = M.vars().create("y", VarKind::Input);
   VarId Z = M.vars().create("z", VarKind::Abstraction);

@@ -171,9 +171,11 @@ TEST(TriageTest, LoadErrorRowDoesNotAbortBatch) {
 
 TEST(TriageTest, SummarySolverStatsAreSumOfRowDeltas) {
   TriageResult R = TriageEngine().run(suiteQueue());
-  smt::Solver::Stats Manual;
-  for (const TriageReport &Row : R.Reports)
+  smt::SolverStats Manual;
+  for (const TriageReport &Row : R.Reports) {
     Manual += Row.Solver;
+    EXPECT_EQ(Row.Backend, "native") << Row.Name;
+  }
   EXPECT_EQ(Manual.Queries, R.Summary.Solver.Queries);
   EXPECT_EQ(Manual.TheoryChecks, R.Summary.Solver.TheoryChecks);
   EXPECT_EQ(Manual.CacheHits, R.Summary.Solver.CacheHits);

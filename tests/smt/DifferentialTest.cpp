@@ -12,7 +12,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "smt/Z3Bridge.h"
+#include "smt/Z3Backend.h"
+
+#include "smt/NativeBackend.h"
 
 #include "smt/Cooper.h"
 #include "smt/Printer.h"
@@ -68,7 +70,7 @@ TEST(DifferentialTest, SatAgreesWithZ3OnRandomFormulas) {
   for (int Round = 0; Round < 250; ++Round) {
     const Formula *F = randomFormula(M, R, Vars, 2);
     bool Ours = S.isSat(F);
-    bool Z3s = z3IsSat(F, M.vars());
+    bool Z3s = z3IsSat(M, F);
     ASSERT_EQ(Ours, Z3s) << "round " << Round;
   }
 }
@@ -107,7 +109,7 @@ TEST(DifferentialTest, ExistsEliminationEquivalentPerZ3) {
     //  (a) F => Elim must be valid (F |= ∃x.F as Elim has no x);
     //  (b) Elim && ¬F[x:=c] for all c -- instead check Elim => ∃x.F by
     //      sampling: a model of Elim && ¬(F[x:=-20..20]) would be suspect.
-    EXPECT_FALSE(z3IsSat(M.mkAnd(F, M.mkNot(Elim)), M.vars()))
+    EXPECT_FALSE(z3IsSat(M, M.mkAnd(F, M.mkNot(Elim))))
         << "round " << Round << ": F does not imply eliminated formula";
     // Direction (b) exactly, via our complete model finder: any model of
     // Elim must extend to a model of F for some x.
@@ -118,7 +120,7 @@ TEST(DifferentialTest, ExistsEliminationEquivalentPerZ3) {
         Subst.emplace(V, LinearExpr::constant(
                              Mo.count(V) ? Mo.at(V) : 0));
       const Formula *FAtModel = substitute(M, F, Subst);
-      EXPECT_TRUE(z3IsSat(FAtModel, M.vars()))
+      EXPECT_TRUE(z3IsSat(M, FAtModel))
           << "round " << Round << ": eliminated formula too weak";
     }
   }
@@ -137,7 +139,7 @@ TEST(DifferentialTest, ForallEliminationEquivalentPerZ3) {
     // Elim => F[x:=c] for every c: check a few instances via Z3.
     for (int64_t C = -7; C <= 7; C += 7) {
       const Formula *Inst = substitute(M, F, X, LinearExpr::constant(C));
-      EXPECT_FALSE(z3IsSat(M.mkAnd(Elim, M.mkNot(Inst)), M.vars()))
+      EXPECT_FALSE(z3IsSat(M, M.mkAnd(Elim, M.mkNot(Inst))))
           << "round " << Round << " c=" << C;
     }
     // Conversely, ¬Elim must imply ∃x.¬F; use our model finder to confirm.
@@ -147,7 +149,7 @@ TEST(DifferentialTest, ForallEliminationEquivalentPerZ3) {
       for (VarId V : freeVars(Elim))
         Subst.emplace(V, LinearExpr::constant(Mo.count(V) ? Mo.at(V) : 0));
       const Formula *FAtModel = substitute(M, F, Subst);
-      EXPECT_TRUE(z3IsSat(M.mkNot(FAtModel), M.vars()))
+      EXPECT_TRUE(z3IsSat(M, M.mkNot(FAtModel)))
           << "round " << Round << ": forall-eliminated formula too strong";
     }
   }
@@ -276,8 +278,7 @@ TEST(DifferentialTest, SessionChecksEqualStatelessVerdicts) {
       }
       if (!Core.empty()) {
         EXPECT_FALSE(z3IsSat(
-            M.mkAnd(std::vector<const Formula *>(Core.begin(), Core.end())),
-            M.vars()))
+            M, M.mkAnd(std::vector<const Formula *>(Core.begin(), Core.end()))))
             << "round " << Round << ": session core is satisfiable";
       }
     }
@@ -294,7 +295,7 @@ TEST(DifferentialTest, ValidityAgreesWithZ3) {
   for (int Round = 0; Round < 150; ++Round) {
     const Formula *A = randomFormula(M, R, Vars, 1);
     const Formula *B = randomFormula(M, R, Vars, 1);
-    EXPECT_EQ(S.entails(A, B), !z3IsSat(M.mkAnd(A, M.mkNot(B)), M.vars()))
+    EXPECT_EQ(S.entails(A, B), !z3IsSat(M, M.mkAnd(A, M.mkNot(B))))
         << "round " << Round;
   }
 }
@@ -305,7 +306,7 @@ namespace {
 
 TEST(DifferentialTest, SimplifyModuloPreservesEquivalencePerZ3) {
   FormulaManager M;
-  Solver S(M);
+  NativeBackend S(M);
   std::vector<VarId> Vars = {M.vars().create("x", VarKind::Input),
                              M.vars().create("y", VarKind::Input),
                              M.vars().create("z", VarKind::Abstraction)};
@@ -317,7 +318,7 @@ TEST(DifferentialTest, SimplifyModuloPreservesEquivalencePerZ3) {
     // Critical |= (F <=> Simplified), checked by Z3.
     const Formula *Violation =
         M.mkAnd(Critical, M.mkNot(M.mkIff(F, Simplified)));
-    EXPECT_FALSE(z3IsSat(Violation, M.vars()))
+    EXPECT_FALSE(z3IsSat(M, Violation))
         << "round " << Round << ": simplification changed meaning";
     EXPECT_LE(atomCount(Simplified), atomCount(F)) << "round " << Round;
   }
@@ -345,8 +346,7 @@ TEST(DifferentialTest, ConjunctionSolverAgreesWithZ3) {
     }
     std::unordered_map<VarId, int64_t> Model;
     bool Ours = solveAtomConjunction(M, Atoms, Model);
-    bool Z3s = z3IsSat(M.mkAnd(std::vector<const Formula *>(Atoms)),
-                       M.vars());
+    bool Z3s = z3IsSat(M, M.mkAnd(std::vector<const Formula *>(Atoms)));
     ASSERT_EQ(Ours, Z3s) << "round " << Round;
   }
 }

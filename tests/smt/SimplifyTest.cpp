@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "smt/NativeBackend.h"
 #include "smt/Simplify.h"
 
 #include "smt/FormulaOps.h"
@@ -19,7 +20,7 @@ namespace {
 class SimplifyTest : public ::testing::Test {
 protected:
   FormulaManager M;
-  Solver S{M};
+  NativeBackend S{M};
   VarId X = M.vars().create("x", VarKind::Input);
   VarId Y = M.vars().create("y", VarKind::Input);
 

@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Triage.h"
+#include "smt/DecisionProcedure.h"
 #include "study/Benchmarks.h"
 
 #include <cstdio>
@@ -37,6 +38,11 @@ void printUsage() {
       "\n"
       "Triage a queue of potential-error reports. With no files, runs the\n"
       "11-problem study suite.\n"
+      "\n"
+      "backend:\n"
+      "  --backend NAME       decision procedure: native (default), z3, or\n"
+      "                       differential (native vs z3, abort on mismatch)\n"
+      "  --list-backends      list registered backends and availability\n"
       "\n"
       "scheduling:\n"
       "  --jobs N             worker threads (default 1; 0 = all cores)\n"
@@ -163,7 +169,8 @@ void printJsonRow(const TriageReport &R) {
   std::snprintf(Wall, sizeof(Wall), "%.3f", R.WallMs);
   Row += std::string(",\"wall_ms\":") + Wall;
   Row += ",\"worker\":" + std::to_string(R.Worker);
-  const smt::Solver::Stats &S = R.Solver;
+  Row += ",\"backend\":\"" + jsonEscape(R.Backend) + "\"";
+  const smt::SolverStats &S = R.Solver;
   Row += ",\"solver\":{";
   Row += "\"queries\":" + std::to_string(S.Queries);
   Row += ",\"theory_checks\":" + std::to_string(S.TheoryChecks);
@@ -175,6 +182,8 @@ void printJsonRow(const TriageReport &R) {
   Row += ",\"core_skips\":" + std::to_string(S.CoreSkips);
   Row += ",\"qe_cache_hits\":" + std::to_string(S.QeCacheHits);
   Row += ",\"qe_cache_misses\":" + std::to_string(S.QeCacheMisses);
+  if (S.CrossChecks)
+    Row += ",\"cross_checks\":" + std::to_string(S.CrossChecks);
   Row += "}}";
   std::printf("%s\n", Row.c_str());
   std::fflush(stdout);
@@ -216,6 +225,17 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
       NextValue(V);
       Opts.DeadlineMs = V;
+    } else if (std::strcmp(Arg, "--backend") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "abdiag_triage: --backend needs an argument\n");
+        return 2;
+      }
+      Opts.Pipeline.backend(Argv[++I]);
+    } else if (std::strcmp(Arg, "--list-backends") == 0) {
+      for (const std::string &Name : smt::backendNames())
+        std::printf("%s%s\n", Name.c_str(),
+                    smt::backendAvailable(Name) ? "" : " (not built)");
+      return 0;
     } else if (std::strcmp(Arg, "--no-escalate") == 0) {
       Opts.EscalateOnInconclusive = false;
     } else if (std::strcmp(Arg, "--stats") == 0) {
@@ -269,6 +289,16 @@ int main(int Argc, char **Argv) {
   if (Queue.empty())
     for (const study::BenchmarkInfo &B : study::benchmarkSuite())
       Queue.emplace_back(study::benchmarkPath(B), B.Name);
+
+  // Fail fast (and readably) on an unknown or unbuilt backend before any
+  // table header is printed.
+  try {
+    smt::FormulaManager Probe;
+    smt::createBackend(Opts.Pipeline.Backend, Probe);
+  } catch (const smt::BackendError &E) {
+    std::fprintf(stderr, "abdiag_triage: %s\n", E.what());
+    return 2;
+  }
 
   if (!Json) {
     std::printf("%-24s %-10s %5s  %8s  %s\n", "program", "status", "LOC",
