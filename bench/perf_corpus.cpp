@@ -1,0 +1,200 @@
+//===- bench/perf_corpus.cpp - Corpus triage throughput scaling curves -------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits throughput/latency scaling curves for triage over a generated
+/// certified corpus: one JSONL row per (backend, jobs) point with
+/// reports/sec, wall time, and per-report latency percentiles. Driven by
+/// bench/run_bench.sh once per available backend, producing
+/// BENCH_corpus_<backend>.jsonl (schema documented in run_bench.sh).
+///
+/// Usage: perf_corpus [--backend native] [--programs 96] [--seed N]
+///                    [--jobs-list 1,2,4,8] [--deadline-ms 60000]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+#include "study/Corpus.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::study;
+
+namespace {
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (!End || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Backend = "native";
+  uint64_t Programs = 96;
+  uint64_t Seed = 20260807;
+  uint64_t DeadlineMs = 60000;
+  std::vector<unsigned> JobsList = {1, 2, 4, 8};
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextString = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "perf_corpus: %s needs an argument\n", Arg);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (std::strcmp(Arg, "--backend") == 0) {
+      Backend = NextString();
+    } else if (std::strcmp(Arg, "--programs") == 0) {
+      if (!parseUnsigned(NextString(), Programs) || !Programs) {
+        std::fprintf(stderr, "perf_corpus: bad --programs\n");
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--seed") == 0) {
+      if (!parseUnsigned(NextString(), Seed)) {
+        std::fprintf(stderr, "perf_corpus: bad --seed\n");
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
+      if (!parseUnsigned(NextString(), DeadlineMs)) {
+        std::fprintf(stderr, "perf_corpus: bad --deadline-ms\n");
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--jobs-list") == 0) {
+      JobsList.clear();
+      std::string List = NextString();
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Tok = List.substr(Pos, Comma - Pos);
+        uint64_t V = 0;
+        if (!Tok.empty()) {
+          if (!parseUnsigned(Tok.c_str(), V)) {
+            std::fprintf(stderr, "perf_corpus: bad --jobs-list entry '%s'\n",
+                         Tok.c_str());
+            return 2;
+          }
+          JobsList.push_back(static_cast<unsigned>(V));
+        }
+        Pos = Comma + 1;
+      }
+      if (JobsList.empty()) {
+        std::fprintf(stderr, "perf_corpus: empty --jobs-list\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_corpus [--backend NAME] [--programs N] "
+                   "[--seed N] [--jobs-list 1,2,4] [--deadline-ms MS]\n");
+      return 2;
+    }
+  }
+
+  // Generate the certified corpus in-memory (and time it: generation
+  // throughput is itself a tracked counter).
+  CorpusOptions GenOpts;
+  GenOpts.Seed = Seed;
+  GenOpts.Count = static_cast<size_t>(Programs);
+  auto GenStart = std::chrono::steady_clock::now();
+  CorpusGenerator Gen(GenOpts);
+  std::vector<CorpusProgram> Corpus;
+  try {
+    Corpus = Gen.generateAll();
+  } catch (const CorpusError &E) {
+    std::fprintf(stderr, "perf_corpus: %s\n", E.what());
+    return 1;
+  }
+  double GenWallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - GenStart)
+                         .count();
+
+  // Materialize to a scratch directory: triage measures the same
+  // load-from-disk path production uses.
+  const char *TmpBase = std::getenv("TMPDIR");
+  std::string Dir = std::string(TmpBase ? TmpBase : "/tmp") +
+                    "/abdiag_perf_corpus_" + std::to_string(Seed);
+  if (std::string Err = writeCorpus(Dir, Corpus); !Err.empty()) {
+    std::fprintf(stderr, "perf_corpus: %s\n", Err.c_str());
+    return 1;
+  }
+  std::vector<TriageRequest> Queue;
+  for (const CorpusProgram &P : Corpus)
+    Queue.emplace_back(Dir + "/" + P.FileName, P.Name);
+
+  const CauseStats Acceptance = Gen.stats().total();
+  int Failures = 0;
+  for (unsigned Jobs : JobsList) {
+    TriageOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.DeadlineMs = DeadlineMs;
+    Opts.Pipeline.backend(Backend);
+    TriageResult Result = TriageEngine(Opts).run(Queue);
+
+    std::vector<double> Lat;
+    Lat.reserve(Result.Reports.size());
+    size_t Mismatches = 0;
+    for (size_t I = 0; I < Result.Reports.size(); ++I) {
+      const TriageReport &R = Result.Reports[I];
+      Lat.push_back(R.WallMs);
+      bool Match = R.Status == TriageStatus::Diagnosed &&
+                   R.Outcome == (Corpus[I].IsRealBug
+                                     ? DiagnosisOutcome::Validated
+                                     : DiagnosisOutcome::Discharged);
+      if (!Match)
+        ++Mismatches;
+    }
+    std::sort(Lat.begin(), Lat.end());
+    const TriageSummary &S = Result.Summary;
+    double Rps = S.WallMs > 0.0 ? 1000.0 * static_cast<double>(Queue.size()) /
+                                      S.WallMs
+                                : 0.0;
+    if (Mismatches)
+      Failures = 1;
+
+    std::printf(
+        "{\"bench\":\"corpus_triage\",\"backend\":\"%s\",\"jobs\":%u,"
+        "\"programs\":%zu,\"seed\":%llu,\"wall_ms\":%.1f,"
+        "\"reports_per_sec\":%.2f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
+        "\"p99_ms\":%.2f,\"timeouts\":%zu,\"inconclusive\":%zu,"
+        "\"mismatches\":%zu,\"gen_wall_ms\":%.1f,"
+        "\"gen_candidates\":%zu,\"gen_accepted\":%zu,"
+        "\"solver_queries\":%llu}\n",
+        Backend.c_str(), Jobs, Queue.size(), (unsigned long long)Seed,
+        S.WallMs, Rps, percentile(Lat, 0.50), percentile(Lat, 0.95),
+        percentile(Lat, 0.99), S.Timeouts, S.Inconclusive, Mismatches,
+        GenWallMs, Acceptance.Candidates, Acceptance.Accepted,
+        (unsigned long long)S.Solver.Queries);
+    std::fflush(stdout);
+  }
+  if (Failures)
+    std::fprintf(stderr,
+                 "perf_corpus: some reports missed their certified "
+                 "classification (see \"mismatches\")\n");
+  return Failures;
+}

@@ -12,6 +12,25 @@
 # BENCH_triage_<backend>.jsonl each -- the per-report wall_ms and solver
 # counters give the backend-vs-backend perf dimension.
 #
+# When bench/perf_corpus is built, throughput/latency scaling curves over a
+# generated certified corpus are recorded per backend as
+# BENCH_corpus_<backend>.jsonl: one row per --jobs point, schema
+#
+#   {"bench":"corpus_triage","backend":"native","jobs":4,"programs":96,
+#    "seed":20260807,"wall_ms":...,"reports_per_sec":...,
+#    "p50_ms":...,"p95_ms":...,"p99_ms":...,        per-report latency
+#    "timeouts":0,"inconclusive":0,"mismatches":0,  verdict-vs-certified
+#    "gen_wall_ms":...,"gen_candidates":...,"gen_accepted":...,
+#    "solver_queries":...}                          deterministic counter
+#
+# "mismatches" counts reports whose diagnosis disagreed with the corpus
+# ground truth -- always 0 on a healthy build (perf_corpus exits non-zero
+# otherwise). "solver_queries" is deterministic for a given seed/backend
+# at jobs=1 (with more workers, dynamic report-to-worker assignment
+# changes which warm per-worker caches serve which report), so baseline
+# comparison gates on it exactly only for the jobs=1 point (see
+# tools/check_bench_regression).
+#
 # Equivalent cmake driver: `cmake --build BUILD_DIR --target bench-json`.
 
 set -euo pipefail
@@ -34,13 +53,18 @@ mkdir -p "$OUT_DIR"
 # not hide the results of the second.
 STATUS=0
 
+# 3 repetitions per benchmark: single-run times jitter far more than the
+# regression tolerance (1.3x swings between back-to-back runs were
+# measured), so the gate compares *median* aggregates.
 "$BUILD_DIR/bench/perf_smt" \
+  --benchmark_repetitions=3 \
   --benchmark_out="$OUT_DIR/BENCH_smt.json" \
   --benchmark_out_format=json || {
     echo "error: perf_smt failed (exit $?)" >&2
     STATUS=1
   }
 "$BUILD_DIR/bench/perf_abduction" \
+  --benchmark_repetitions=3 \
   --benchmark_out="$OUT_DIR/BENCH_abduction.json" \
   --benchmark_out_format=json || {
     echo "error: perf_abduction failed (exit $?)" >&2
@@ -62,6 +86,21 @@ if [[ -x "$TRIAGE" ]]; then
   done < <("$TRIAGE" --list-backends | awk '!/not built/ { print $1 }')
 fi
 
+# Corpus dimension: scaling curves (reports/sec vs --jobs) per backend over
+# a freshly generated certified corpus.
+CORPUS_BIN="$BUILD_DIR/bench/perf_corpus"
+CORPUS_OUTS=()
+if [[ -x "$CORPUS_BIN" && -x "$TRIAGE" ]]; then
+  while IFS= read -r BACKEND; do
+    OUT_FILE="$OUT_DIR/BENCH_corpus_$BACKEND.jsonl"
+    "$CORPUS_BIN" --backend "$BACKEND" > "$OUT_FILE" || {
+      echo "error: perf_corpus with backend $BACKEND failed (exit $?)" >&2
+      STATUS=1
+    }
+    CORPUS_OUTS+=("$OUT_FILE")
+  done < <("$TRIAGE" --list-backends | awk '!/not built/ { print $1 }')
+fi
+
 if [[ "$STATUS" -ne 0 ]]; then
   echo "error: at least one benchmark suite failed" >&2
   exit "$STATUS"
@@ -70,4 +109,7 @@ fi
 echo "wrote $OUT_DIR/BENCH_smt.json and $OUT_DIR/BENCH_abduction.json"
 if [[ "${#TRIAGE_OUTS[@]}" -gt 0 ]]; then
   echo "wrote ${TRIAGE_OUTS[*]}"
+fi
+if [[ "${#CORPUS_OUTS[@]}" -gt 0 ]]; then
+  echo "wrote ${CORPUS_OUTS[*]}"
 fi

@@ -1,0 +1,788 @@
+//===- study/Corpus.cpp - Certified corpus generator -------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Candidate programs are rendered from four cause-specific templates, each
+// able to target either classification, braided with deterministic filler
+// (straight-line arithmetic, branches, soundly-annotated bounded loops, and
+// helper functions that exercise parse-time inlining). Certification then
+// re-runs the exact bar the hand-written suite is held to; rejected
+// candidates are resampled from the next attempt's seed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "study/Corpus.h"
+
+#include "core/ErrorDiagnoser.h"
+#include "lang/AstPrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace abdiag;
+using namespace abdiag::study;
+
+//===----------------------------------------------------------------------===//
+// Cause names and stats
+//===----------------------------------------------------------------------===//
+
+const char *study::causeName(ReportCause C) {
+  switch (C) {
+  case ReportCause::ImpreciseInvariant:
+    return "imprecise_invariant";
+  case ReportCause::MissingAnnotation:
+    return "missing_annotation";
+  case ReportCause::NonLinearArithmetic:
+    return "non_linear_arithmetic";
+  case ReportCause::EnvironmentFact:
+    return "environment_fact";
+  }
+  return "unknown";
+}
+
+const char *study::causeToken(ReportCause C) {
+  switch (C) {
+  case ReportCause::ImpreciseInvariant:
+    return "invariant";
+  case ReportCause::MissingAnnotation:
+    return "annotation";
+  case ReportCause::NonLinearArithmetic:
+    return "nonlinear";
+  case ReportCause::EnvironmentFact:
+    return "envfact";
+  }
+  return "unknown";
+}
+
+std::optional<ReportCause> study::causeFromName(std::string_view Name) {
+  for (size_t I = 0; I < NumReportCauses; ++I) {
+    ReportCause C = static_cast<ReportCause>(I);
+    if (Name == causeName(C) || Name == causeToken(C))
+      return C;
+  }
+  return std::nullopt;
+}
+
+CauseStats &CauseStats::operator+=(const CauseStats &O) {
+  Accepted += O.Accepted;
+  Candidates += O.Candidates;
+  RejectedDecided += O.RejectedDecided;
+  RejectedTruth += O.RejectedTruth;
+  RejectedNoRuns += O.RejectedNoRuns;
+  RejectedParse += O.RejectedParse;
+  return *this;
+}
+
+CauseStats CorpusStats::total() const {
+  CauseStats T;
+  for (const CauseStats &S : PerCause)
+    T += S;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Candidate rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// Deterministic filler braided around a template's cause-specific core.
+/// Filler is fully decoupled from the report: it reads and writes only its
+/// own temporaries (never a parameter or core variable) and the check never
+/// reads a filler variable. The decoupling is what keeps per-report
+/// diagnosis cost uniform -- a filler branch whose condition mixes
+/// parameters or loop-exit variables correlates with the check and can
+/// blow the MSA subset search up from milliseconds to minutes.
+class Filler {
+public:
+  Filler(Rng &R, const CorpusKnobs &K) : R(R), K(K) {}
+
+  /// Emits between MinFillerStmts and MaxFillerStmts statements; call once
+  /// per insertion region with that region's share.
+  std::string stmts(int Count) {
+    std::string Out;
+    for (int I = 0; I < Count; ++I)
+      Out += oneStmt();
+    return Out;
+  }
+
+  int pickTotal() {
+    if (K.MaxExtraVars <= 0)
+      return 0; // filler statements need a temporary to write
+    return static_cast<int>(R.range(K.MinFillerStmts, K.MaxFillerStmts));
+  }
+
+  const std::vector<std::string> &vars() const { return Vars; }
+  const std::vector<std::string> &helpers() const { return Helpers; }
+
+private:
+  Rng &R;
+  const CorpusKnobs &K;
+  std::vector<std::string> Readable;
+  std::vector<std::string> Vars;    ///< filler temporaries declared so far
+  std::vector<std::string> Helpers; ///< helper function definitions
+  int LoopsUsed = 0;
+  int HelpersUsed = 0;
+
+  /// A small linear expression over the readable variables.
+  std::string linExpr() {
+    std::string E = num(R.range(-4, 4));
+    for (const std::string &V : Readable)
+      if (R.chance(0.4))
+        E += " + " + num(R.range(-2, 2)) + " * " + V;
+    return E;
+  }
+
+  std::string target() {
+    // Cycle through up to MaxExtraVars temporaries.
+    size_t Slot = static_cast<size_t>(
+        R.range(0, std::max(0, K.MaxExtraVars - 1)));
+    while (Vars.size() <= Slot)
+      Vars.push_back("f" + std::to_string(Vars.size()));
+    return Vars[Slot];
+  }
+
+  std::string oneStmt() {
+    std::string T = target();
+    std::string Out;
+    switch (R.range(0, 3)) {
+    case 0:
+      Out = "  " + T + " = " + linExpr() + ";\n";
+      break;
+    case 1:
+      Out = "  if (" + linExpr() + " > " + linExpr() + ") { " + T + " = " +
+            linExpr() + "; } else { " + T + " = " + linExpr() + "; }\n";
+      break;
+    case 2: {
+      if (LoopsUsed >= K.MaxExtraLoops) {
+        Out = "  " + T + " = " + linExpr() + ";\n";
+        break;
+      }
+      ++LoopsUsed;
+      // A bounded counting loop with a sound, *precise* postcondition so
+      // filler adds loop structure without adding new imprecision.
+      std::string Bound = num(R.range(1, 4));
+      Out = "  " + T + " = 0;\n  while (" + T + " < " + Bound + ") { " + T +
+            " = " + T + " + 1; } @ [" + T + " >= " + Bound + " && " + T +
+            " <= " + Bound + "]\n";
+      break;
+    }
+    default: {
+      if (HelpersUsed >= K.MaxInlineDepth || Readable.size() < 2) {
+        Out = "  " + T + " = " + linExpr() + ";\n";
+        break;
+      }
+      // A helper function, inlined at parse time: the call-free vs.
+      // inlined dimension of the corpus.
+      std::string H = "h" + std::to_string(HelpersUsed++);
+      Helpers.push_back("function " + H + "(u, w) {\n  var t;\n  t = u + " +
+                        num(R.range(-2, 3)) + " * w;\n  return t + " +
+                        num(R.range(-3, 3)) + ";\n}\n");
+      const std::string &A =
+          Readable[static_cast<size_t>(R.range(0, Readable.size() - 1))];
+      const std::string &B =
+          Readable[static_cast<size_t>(R.range(0, Readable.size() - 1))];
+      Out = "  " + T + " = " + H + "(" + A + ", " + B + ");\n";
+      break;
+    }
+    }
+    // Once written, a filler temporary becomes readable downstream.
+    if (std::find(Readable.begin(), Readable.end(), T) == Readable.end())
+      Readable.push_back(T);
+    return Out;
+  }
+};
+
+std::string join(const std::vector<std::string> &Parts, const char *Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+struct Candidate {
+  std::vector<std::string> Params;
+  std::vector<std::string> CoreVars;
+  std::string Assumes; ///< statements emitted before everything else
+  std::string Core;    ///< the cause-specific statements
+  std::string Check;   ///< the final check predicate
+};
+
+/// Assembles helpers + program with filler split across the two regions
+/// around the core.
+std::string assemble(Rng &R, const std::string &Name, const CorpusKnobs &K,
+                     const Candidate &C) {
+  Filler F(R, K);
+  int Total = F.pickTotal();
+  int Prefix = static_cast<int>(R.range(0, Total));
+  std::string Pre = F.stmts(Prefix);
+  std::string Post = F.stmts(Total - Prefix);
+
+  std::vector<std::string> Vars = C.CoreVars;
+  Vars.insert(Vars.end(), F.vars().begin(), F.vars().end());
+
+  std::string S;
+  for (const std::string &H : F.helpers())
+    S += H;
+  S += "program " + Name + "(" + join(C.Params, ", ") + ") {\n";
+  S += "  var " + join(Vars, ", ") + ";\n";
+  S += C.Assumes;
+  S += Pre;
+  S += C.Core;
+  S += Post;
+  S += "  check(" + C.Check + ");\n}\n";
+  return S;
+}
+
+/// Imprecise loop invariant: the annotation keeps the counter but forgets
+/// the accumulator, so any check on the accumulator is undecided. The bug
+/// variant fails exactly when the loop runs zero iterations.
+Candidate emitImpreciseInvariant(Rng &R, bool WantBug) {
+  Candidate C;
+  C.Params = {"n"};
+  if (R.chance(0.5))
+    C.Params.push_back("b");
+  C.CoreVars = {"i", "j"};
+  int64_t Base = R.range(0, 3);
+  int64_t Step = R.range(1, 3);
+  bool SumCounter = R.chance(0.4); // accumulate the counter instead of Step
+  std::string Ann = R.chance(0.5) ? "i >= 0 && i >= n" : "i >= n";
+
+  C.Assumes = "  assume(n >= 0);\n";
+  C.Core = "  j = " + num(Base) + ";\n  i = 0;\n  while (i < n) { i = i + 1; j = j + " +
+           (SumCounter ? std::string("i") : num(Step)) + "; } @ [" + Ann +
+           "]\n";
+  // Truth: i == n and j == Base + (Step*n or n(n+1)/2) >= Base, with
+  // j == Base exactly when n == 0.
+  if (R.chance(0.5))
+    C.Check = "j >= " + num(WantBug ? Base + 1 : Base);
+  else
+    C.Check = "i + j >= n + " + num(WantBug ? Base + 1 : Base);
+  return C;
+}
+
+/// Missing library annotation: an un-annotated call (havoc) feeds a clamp
+/// whose window is keyed to the library's actual range. The alarm variant
+/// clamps every realizable negative; the bug variant's window is too small
+/// and the library's minimum slips through.
+Candidate emitMissingAnnotation(Rng &R, bool WantBug) {
+  Candidate C;
+  C.Params = {"g"};
+  C.CoreVars = {"lib", "adj", "ok"};
+  int64_t Off = R.range(1, 3); // adj = lib + Off, so min(adj) = Off - 7
+  // Clamp window [-T, 0): realizable iff T >= 7 - Off.
+  int64_t T = WantBug ? R.range(1, 6 - Off) : R.range(7 - Off, 9);
+  bool ClampToParam = R.chance(0.4);
+
+  C.Assumes = "  assume(g >= 1);\n";
+  C.Core = "  lib = havoc();\n  adj = lib + " + num(Off) +
+           ";\n  ok = adj;\n  if (adj < 0) {\n    if (adj >= -" + num(T) +
+           ") { ok = " + (ClampToParam ? std::string("g") : std::string("0")) +
+           "; }\n  }\n";
+  C.Check = R.chance(0.5) ? "ok + g > 0" : "g + ok >= 1";
+  return C;
+}
+
+/// Non-linear arithmetic: a product the analysis abstracts (knowing at most
+/// non-negativity for squares). Square and cross-product shapes, each with
+/// a bound that holds from the assumed range (alarm) or fails on small
+/// inputs only (bug).
+Candidate emitNonLinear(Rng &R, bool WantBug) {
+  Candidate C;
+  bool Square = R.chance(0.55);
+  if (Square) {
+    C.Params = {"x"};
+    C.CoreVars = {"q"};
+    if (WantBug) {
+      int64_t D = R.range(1, 3);
+      C.Assumes = "  assume(x >= 0);\n";
+      C.Core = "  q = x * x;\n";
+      // Fails for x in {0, 1} (and x == 2 when D == 3), passes above.
+      C.Check = R.chance(0.5) ? "q > x" : "q >= x + " + num(D);
+    } else {
+      int64_t Lo = R.range(2, 4);
+      int64_t Mul = R.range(1, Lo);
+      C.Assumes = "  assume(x >= " + num(Lo) + ");\n";
+      C.Core = "  q = x * x;\n";
+      // x >= Lo >= Mul implies x*x >= Mul*x.
+      C.Check = "q >= " + num(Mul) + " * x";
+    }
+  } else {
+    C.Params = {"x", "y"};
+    C.CoreVars = {"q"};
+    if (WantBug) {
+      C.Assumes = "  assume(x >= 0);\n  assume(y >= 0);\n";
+      C.Core = "  q = x * y;\n";
+      // Fails at e.g. (0, 1) and (1, 1); passes from (2, 2) up.
+      C.Check = "q >= x + y";
+    } else {
+      C.Assumes = "  assume(x >= 1);\n  assume(y >= 1);\n";
+      C.Core = "  q = x * y;\n";
+      // x, y >= 1 make both forms hold.
+      C.Check = R.chance(0.5) ? "q >= x" : "q + q >= x + y";
+    }
+  }
+  return C;
+}
+
+/// Environment fact: the check depends on the range of an environment
+/// reading the analysis knows nothing about. The alarm variant's bound is
+/// satisfied by every value the environment actually supplies (the default
+/// havoc box is [-7, 10]); the bug variant's threshold cuts that range.
+Candidate emitEnvironmentFact(Rng &R, bool WantBug) {
+  Candidate C;
+  C.Params = {"r"};
+  C.CoreVars = {"env", "lvl"};
+  int64_t Off = R.range(-2, 2); // lvl = env + Off
+
+  C.Assumes = "  assume(r >= 0);\n";
+  C.Core = "  env = havoc();\n  lvl = " +
+           (Off ? "env + " + num(Off) : std::string("env")) + ";\n";
+  if (WantBug) {
+    // env >= Thresh fails for env == -7 and holds for env == 10.
+    int64_t Thresh = R.range(-6, 9);
+    C.Check = (R.chance(0.5) ? "lvl >= " : "lvl + r >= ") + num(Thresh + Off);
+  } else if (R.chance(0.5)) {
+    // env >= -7 - Slack, strengthened by r >= 0.
+    int64_t Slack = R.range(0, 2);
+    C.Check = "lvl + r >= " + num(-7 - Slack + Off);
+  } else {
+    // env <= 10 + Slack, weakened by r >= 0.
+    int64_t Slack = R.range(0, 2);
+    C.Check = "lvl <= " + num(10 + Slack + Off) + " + r";
+  }
+  return C;
+}
+
+std::string renderCandidate(Rng &R, const std::string &Name, ReportCause Cause,
+                            bool WantBug, const CorpusKnobs &Knobs) {
+  Candidate C;
+  switch (Cause) {
+  case ReportCause::ImpreciseInvariant:
+    C = emitImpreciseInvariant(R, WantBug);
+    break;
+  case ReportCause::MissingAnnotation:
+    C = emitMissingAnnotation(R, WantBug);
+    break;
+  case ReportCause::NonLinearArithmetic:
+    C = emitNonLinear(R, WantBug);
+    break;
+  case ReportCause::EnvironmentFact:
+    C = emitEnvironmentFact(R, WantBug);
+    break;
+  }
+  return assemble(R, Name, Knobs, C);
+}
+
+/// Stable per-candidate seed: depends only on (corpus seed, index, attempt).
+uint64_t candidateSeed(uint64_t Seed, size_t Index, int Attempt) {
+  auto Mix = [](uint64_t H, uint64_t V) {
+    H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    return H;
+  };
+  return Mix(Mix(Seed, Index + 1), static_cast<uint64_t>(Attempt));
+}
+
+std::string programName(const std::string &Prefix, size_t Index,
+                        ReportCause Cause, bool WantBug) {
+  char Idx[16];
+  std::snprintf(Idx, sizeof(Idx), "%06zu", Index);
+  return Prefix + "_" + Idx + "_" + causeToken(Cause) + "_" +
+         (WantBug ? "bug" : "alarm");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CorpusGenerator
+//===----------------------------------------------------------------------===//
+
+CorpusGenerator::CorpusGenerator(CorpusOptions O) : Opts(std::move(O)) {
+  if (Opts.Causes.empty())
+    throw CorpusError("corpus: Causes must be non-empty");
+  if (Opts.Knobs.MinFillerStmts < 0 ||
+      Opts.Knobs.MaxFillerStmts < Opts.Knobs.MinFillerStmts)
+    throw CorpusError("corpus: bad filler-statement range");
+  if (Opts.MaxAttempts < 1)
+    throw CorpusError("corpus: MaxAttempts must be >= 1");
+}
+
+ReportCause CorpusGenerator::causeFor(size_t Index) const {
+  return Opts.Causes[Index % Opts.Causes.size()];
+}
+
+bool CorpusGenerator::wantBugFor(size_t Index) const {
+  return ((Index / Opts.Causes.size()) % 2) == 1;
+}
+
+std::string CorpusGenerator::randomCandidate(Rng &R, ReportCause Cause,
+                                             bool WantBug,
+                                             const CorpusKnobs &Knobs) {
+  std::string Name = std::string("cand_") + causeToken(Cause) + "_" +
+                     (WantBug ? "bug" : "alarm");
+  return renderCandidate(R, Name, Cause, WantBug, Knobs);
+}
+
+CorpusProgram CorpusGenerator::generate(size_t Index) {
+  ReportCause Cause = causeFor(Index);
+  bool WantBug = wantBugFor(Index);
+  CauseStats &CS = Stats.PerCause[static_cast<size_t>(Cause)];
+  std::string Name = programName(Opts.NamePrefix, Index, Cause, WantBug);
+
+  core::ErrorDiagnoser D;
+  for (int Attempt = 1; Attempt <= Opts.MaxAttempts; ++Attempt) {
+    uint64_t Seed = candidateSeed(Opts.Seed, Index, Attempt);
+    Rng R(Seed);
+    std::string Text = renderCandidate(R, Name, Cause, WantBug, Opts.Knobs);
+    ++CS.Candidates;
+
+    core::LoadResult L = D.loadSource(Text);
+    if (!L) {
+      ++CS.RejectedParse;
+      continue;
+    }
+    // Certification bar 1: the paper requires benchmarks the analysis
+    // reports as potential-but-not-certain errors.
+    if (D.dischargedByAnalysis() || D.validatedByAnalysis()) {
+      ++CS.RejectedDecided;
+      continue;
+    }
+    // Certification bar 2: exhaustive concrete execution must confirm the
+    // declared classification.
+    auto Truth = D.makeConcreteOracle(Opts.Oracle);
+    if (!Truth->anyCompletedRun()) {
+      ++CS.RejectedNoRuns;
+      continue;
+    }
+    if (Truth->anyFailingRun() != WantBug) {
+      ++CS.RejectedTruth;
+      continue;
+    }
+
+    ++CS.Accepted;
+    CorpusProgram P;
+    P.Name = Name;
+    P.FileName = Name + ".adg";
+    P.ProgramSeed = Seed;
+    P.Index = Index;
+    P.Cause = Cause;
+    P.IsRealBug = WantBug;
+    P.Loc = lang::programLoc(D.program());
+    P.Attempts = Attempt;
+    P.Source = "# " + Name + " -- generated by abdiag_gen\n# cause: " +
+               causeName(Cause) +
+               "; classification: " + (WantBug ? "real_bug" : "false_alarm") +
+               "\n# seed: " + std::to_string(Seed) + " (corpus seed " +
+               std::to_string(Opts.Seed) + ", index " + std::to_string(Index) +
+               ", attempt " + std::to_string(Attempt) +
+               ")\n# Certified: initially undecided by the symbolic "
+               "analysis; classification\n# confirmed by exhaustive concrete "
+               "execution over the oracle box.\n" +
+               Text;
+    return P;
+  }
+  throw CorpusError("corpus: no certified candidate for index " +
+                    std::to_string(Index) + " (" + causeName(Cause) + ", " +
+                    (WantBug ? "real_bug" : "false_alarm") + ") after " +
+                    std::to_string(Opts.MaxAttempts) + " attempts");
+}
+
+std::vector<CorpusProgram> CorpusGenerator::generateAll(
+    const std::function<void(const CorpusProgram &)> &OnProgram) {
+  std::vector<CorpusProgram> Out;
+  Out.reserve(Opts.Count);
+  for (size_t I = 0; I < Opts.Count; ++I) {
+    Out.push_back(generate(I));
+    if (OnProgram)
+      OnProgram(Out.back());
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The mixed-statement random program (soundness property test factory)
+//===----------------------------------------------------------------------===//
+
+std::string study::randomMixedProgram(Rng &R) {
+  std::string Src = "program rnd(a, b) {\n  var x, y, z;\n";
+  auto Expr = [&]() {
+    const char *Vars[] = {"a", "b", "x", "y", "z"};
+    std::string E = std::to_string(R.range(-6, 6));
+    for (const char *V : Vars)
+      if (R.chance(0.35))
+        E += std::string(" + ") + std::to_string(R.range(-2, 2)) + " * " + V;
+    return E;
+  };
+  if (R.chance(0.6))
+    Src += "  assume(a >= " + std::to_string(R.range(-2, 2)) + ");\n";
+  int N = static_cast<int>(R.range(2, 6));
+  for (int I = 0; I < N; ++I) {
+    const char *T = R.chance(0.5) ? "x" : (R.chance(0.5) ? "y" : "z");
+    switch (R.range(0, 4)) {
+    case 0:
+      Src += std::string("  ") + T + " = " + Expr() + ";\n";
+      break;
+    case 1:
+      Src += std::string("  if (") + Expr() + " > " + Expr() + ") { " + T +
+             " = " + Expr() + "; } else { " + T + " = " + Expr() + "; }\n";
+      break;
+    case 2: {
+      // A bounded counting loop (always terminates).
+      std::string Bound = std::to_string(R.range(1, 6));
+      Src += std::string("  ") + T + " = 0;\n";
+      Src += std::string("  while (") + T + " < " + Bound + ") { " + T +
+             " = " + T + " + 1; }\n";
+      break;
+    }
+    case 3:
+      Src += std::string("  ") + T + " = havoc();\n";
+      break;
+    default:
+      Src += std::string("  ") + T + " = " + (R.chance(0.5) ? "a" : "b") +
+             " * " + (R.chance(0.5) ? "a" : "b") + ";\n";
+      break;
+    }
+  }
+  Src += std::string("  check(") + Expr() +
+         (R.chance(0.5) ? " >= " : " != ") + Expr() + ");\n}\n";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest I/O
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Minimal field extraction from one manifest line (we only ever parse
+/// manifests this library wrote, but unescape defensively).
+bool findStringField(const std::string &Line, const std::string &Key,
+                     std::string &Out) {
+  std::string Needle = "\"" + Key + "\":\"";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  Out.clear();
+  for (size_t I = At + Needle.size(); I < Line.size(); ++I) {
+    char C = Line[I];
+    if (C == '"')
+      return true;
+    if (C == '\\' && I + 1 < Line.size()) {
+      char N = Line[++I];
+      switch (N) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      default:
+        Out += N;
+      }
+      continue;
+    }
+    Out += C;
+  }
+  return false; // unterminated string
+}
+
+bool findUIntField(const std::string &Line, const std::string &Key,
+                   uint64_t &Out) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  const char *Start = Line.c_str() + At + Needle.size();
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Start, &End, 10);
+  if (End == Start)
+    return false;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string study::manifestRow(const CorpusProgram &P) {
+  std::string Row = "{";
+  Row += "\"file\":\"" + jsonEscape(P.FileName) + "\"";
+  Row += ",\"name\":\"" + jsonEscape(P.Name) + "\"";
+  Row += ",\"index\":" + std::to_string(P.Index);
+  Row += ",\"seed\":" + std::to_string(P.ProgramSeed);
+  Row += ",\"cause\":\"" + std::string(causeName(P.Cause)) + "\"";
+  Row += ",\"classification\":\"" +
+         std::string(P.IsRealBug ? "real_bug" : "false_alarm") + "\"";
+  Row += ",\"loc\":" + std::to_string(P.Loc);
+  Row += ",\"attempts\":" + std::to_string(P.Attempts);
+  Row += "}";
+  return Row;
+}
+
+ManifestLoadResult study::loadManifest(const std::string &Path) {
+  ManifestLoadResult R;
+  std::ifstream In(Path);
+  if (!In) {
+    R.Error = "cannot open manifest '" + Path + "'";
+    return R;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    ManifestEntry E;
+    std::string Cause, Class;
+    if (!findStringField(Line, "file", E.File) ||
+        !findStringField(Line, "name", E.Name) ||
+        !findStringField(Line, "cause", Cause) ||
+        !findStringField(Line, "classification", Class) ||
+        !findUIntField(Line, "seed", E.Seed)) {
+      R.Error = Path + ":" + std::to_string(LineNo) +
+                ": missing manifest field (need file/name/seed/cause/"
+                "classification)";
+      return R;
+    }
+    std::optional<ReportCause> C = causeFromName(Cause);
+    if (!C) {
+      R.Error = Path + ":" + std::to_string(LineNo) + ": unknown cause '" +
+                Cause + "'";
+      return R;
+    }
+    if (Class != "real_bug" && Class != "false_alarm") {
+      R.Error = Path + ":" + std::to_string(LineNo) +
+                ": unknown classification '" + Class + "'";
+      return R;
+    }
+    E.Cause = *C;
+    E.IsRealBug = Class == "real_bug";
+    R.Entries.push_back(std::move(E));
+  }
+  return R;
+}
+
+std::string study::writeCorpus(const std::string &Dir,
+                               const std::vector<CorpusProgram> &Programs) {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec)
+    return "cannot create directory '" + Dir + "': " + Ec.message();
+  for (const CorpusProgram &P : Programs) {
+    std::string Path = Dir + "/" + P.FileName;
+    std::ofstream Out(Path);
+    if (!Out)
+      return "cannot write '" + Path + "'";
+    Out << P.Source;
+    if (!Out.good())
+      return "write failed for '" + Path + "'";
+  }
+  std::string ManifestPath = Dir + "/manifest.jsonl";
+  std::ofstream Man(ManifestPath);
+  if (!Man)
+    return "cannot write '" + ManifestPath + "'";
+  for (const CorpusProgram &P : Programs)
+    Man << manifestRow(P) << "\n";
+  return Man.good() ? "" : "write failed for '" + ManifestPath + "'";
+}
+
+//===----------------------------------------------------------------------===//
+// Triage-queue expansion
+//===----------------------------------------------------------------------===//
+
+QueueExpansion study::expandPathArgument(const std::string &Path) {
+  namespace fs = std::filesystem;
+  QueueExpansion Q;
+  std::error_code Ec;
+  if (fs::is_directory(Path, Ec)) {
+    std::vector<std::string> Files;
+    for (const fs::directory_entry &E : fs::directory_iterator(Path, Ec)) {
+      if (E.is_regular_file() && E.path().extension() == ".adg")
+        Files.push_back(E.path().string());
+    }
+    if (Ec) {
+      Q.Error = "cannot list directory '" + Path + "': " + Ec.message();
+      return Q;
+    }
+    if (Files.empty()) {
+      Q.Error = "directory '" + Path + "' contains no .adg files";
+      return Q;
+    }
+    std::sort(Files.begin(), Files.end());
+    for (const std::string &F : Files)
+      Q.Requests.emplace_back(F, fs::path(F).stem().string());
+    return Q;
+  }
+  // A plain file keeps the CLI's historical behavior: the path is the name.
+  Q.Requests.emplace_back(Path);
+  return Q;
+}
+
+QueueExpansion study::expandManifestArgument(const std::string &ManifestPath) {
+  namespace fs = std::filesystem;
+  QueueExpansion Q;
+  ManifestLoadResult M = loadManifest(ManifestPath);
+  if (!M) {
+    Q.Error = M.Error;
+    return Q;
+  }
+  if (M.Entries.empty()) {
+    Q.Error = "manifest '" + ManifestPath + "' has no entries";
+    return Q;
+  }
+  fs::path Dir = fs::path(ManifestPath).parent_path();
+  for (const ManifestEntry &E : M.Entries) {
+    fs::path File = fs::path(E.File);
+    if (File.is_relative() && !Dir.empty())
+      File = Dir / File;
+    Q.Requests.emplace_back(File.string(), E.Name);
+    Q.Expected.push_back({E.Name, E.IsRealBug});
+  }
+  return Q;
+}

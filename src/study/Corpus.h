@@ -1,0 +1,235 @@
+//===- study/Corpus.h - Certified corpus generator --------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, deterministic factory for annotated mini-language programs
+/// with *certified* ground truth, scaling the 11-problem Figure 7 suite to
+/// arbitrarily large corpora. Candidates are drawn from per-cause templates
+/// (imprecise loop invariant, missing library annotation, non-linear
+/// arithmetic, environment fact) and accepted only after certification --
+/// the same bar `BenchmarkSuiteTest` holds the hand-written suite to:
+///
+///   1. the symbolic analysis reports the program initially *undecided*
+///      (a potential but not certain error, as the paper requires of its
+///      benchmarks), and
+///   2. exhaustive concrete execution over the oracle's input/havoc box
+///      confirms the declared real-bug/false-alarm classification.
+///
+/// Rejected candidates are resampled; acceptance-rate statistics are kept
+/// per cause. Generation is deterministic per (seed, index): the candidate
+/// stream for program #i depends only on the corpus seed and i, so
+/// `generate(997)` works without generating the other 999 programs, the
+/// same seed always yields byte-identical programs and manifest rows, and
+/// a failing fuzz-farm seed replays exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_STUDY_CORPUS_H
+#define ABDIAG_STUDY_CORPUS_H
+
+#include "core/Triage.h"
+#include "support/Rng.h"
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abdiag::study {
+
+/// Why the symbolic analysis reports a potential error it cannot decide --
+/// the same four report causes the Figure 7 benchmarks span.
+enum class ReportCause : uint8_t {
+  ImpreciseInvariant,  ///< loop annotation forgets an accumulator
+  MissingAnnotation,   ///< un-annotated library call (havoc) flows to check
+  NonLinearArithmetic, ///< product abstracted by an alpha variable
+  EnvironmentFact,     ///< check depends on an environment-supplied range
+};
+
+inline constexpr size_t NumReportCauses = 4;
+
+/// Stable manifest spelling ("imprecise_invariant", ...).
+const char *causeName(ReportCause C);
+/// Short token used in generated program names ("invariant", ...).
+const char *causeToken(ReportCause C);
+/// Inverse of causeName(); accepts the short token too.
+std::optional<ReportCause> causeFromName(std::string_view Name);
+
+/// Size knobs: how much deterministic filler is braided around the
+/// cause-specific core of each candidate.
+struct CorpusKnobs {
+  int MinFillerStmts = 1; ///< straight-line/branch/loop filler statements
+  int MaxFillerStmts = 4;
+  int MaxExtraLoops = 1;   ///< cap on *bounded* filler loops (soundly annotated)
+  int MaxExtraVars = 4;    ///< filler temporaries beyond the template's core
+  int MaxInlineDepth = 1;  ///< >0: some filler flows through helper functions
+                           ///< (inlined at parse time -- the call-free/inlined
+                           ///< dimension of the corpus)
+};
+
+/// One accepted, certified program.
+struct CorpusProgram {
+  std::string Name;     ///< e.g. "gen_000042_nonlinear_bug"
+  std::string FileName; ///< Name + ".adg"
+  std::string Source;   ///< full file contents (header comment + program)
+  uint64_t ProgramSeed = 0; ///< candidate seed that produced it (replayable)
+  size_t Index = 0;         ///< position in the corpus
+  ReportCause Cause = ReportCause::ImpreciseInvariant;
+  bool IsRealBug = false; ///< certified classification
+  size_t Loc = 0;         ///< lang::programLoc of the parsed program
+  int Attempts = 0;       ///< candidates tried for this index (>= 1)
+};
+
+/// Why candidates were rejected, per cause.
+struct CauseStats {
+  size_t Accepted = 0;
+  size_t Candidates = 0;       ///< total candidates drawn (>= Accepted)
+  size_t RejectedDecided = 0;  ///< analysis alone discharged or validated
+  size_t RejectedTruth = 0;    ///< oracle ground truth != declared class
+  size_t RejectedNoRuns = 0;   ///< assumes filtered out every concrete run
+  size_t RejectedParse = 0;    ///< template emitted an unparsable candidate
+
+  double acceptanceRate() const {
+    return Candidates ? static_cast<double>(Accepted) / Candidates : 0.0;
+  }
+  CauseStats &operator+=(const CauseStats &O);
+};
+
+struct CorpusStats {
+  std::array<CauseStats, NumReportCauses> PerCause;
+  CauseStats total() const;
+};
+
+/// Generator configuration.
+struct CorpusOptions {
+  uint64_t Seed = 1;
+  size_t Count = 100;
+  /// Causes cycled through per index; classification alternates every
+  /// full cycle, so any window of 2*Causes.size() consecutive indices
+  /// covers every (cause, classification) pair.
+  std::vector<ReportCause> Causes = {
+      ReportCause::ImpreciseInvariant, ReportCause::MissingAnnotation,
+      ReportCause::NonLinearArithmetic, ReportCause::EnvironmentFact};
+  CorpusKnobs Knobs;
+  /// Certification box. Must be at least as large as the box triage will
+  /// diagnose with, or a "false alarm" certified on a small box could fail
+  /// on an input triage explores; defaults to the triage default.
+  core::ConcreteOracleConfig Oracle;
+  /// Candidate resamples per index before generate() throws CorpusError.
+  int MaxAttempts = 256;
+  std::string NamePrefix = "gen";
+};
+
+class CorpusError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+class CorpusGenerator {
+public:
+  explicit CorpusGenerator(CorpusOptions Opts);
+
+  const CorpusOptions &options() const { return Opts; }
+
+  /// The cause/classification this index will be certified against.
+  ReportCause causeFor(size_t Index) const;
+  bool wantBugFor(size_t Index) const;
+
+  /// Generates (certifying, resampling on rejection) program \p Index.
+  /// Deterministic: depends only on options and \p Index. Throws
+  /// CorpusError when MaxAttempts candidates all fail certification.
+  CorpusProgram generate(size_t Index);
+
+  /// All Count programs in index order; \p OnProgram (when set) observes
+  /// each acceptance as it happens.
+  std::vector<CorpusProgram>
+  generateAll(const std::function<void(const CorpusProgram &)> &OnProgram = {});
+
+  /// Acceptance/rejection counters accumulated by this generator.
+  const CorpusStats &stats() const { return Stats; }
+
+  /// One *uncertified* candidate for the given cause/classification --
+  /// exposed so property tests can drive the raw template space.
+  static std::string randomCandidate(Rng &R, ReportCause Cause, bool WantBug,
+                                     const CorpusKnobs &Knobs);
+
+private:
+  CorpusOptions Opts;
+  CorpusStats Stats;
+};
+
+/// The general mixed-statement random program factory (loops, branches,
+/// assumes, havoc and products, no certification): shared by the
+/// whole-pipeline soundness property test in RandomDiagnosisTest.
+std::string randomMixedProgram(Rng &R);
+
+//===----------------------------------------------------------------------===//
+// Manifest I/O
+//===----------------------------------------------------------------------===//
+
+/// One row of a corpus manifest (manifest.jsonl).
+struct ManifestEntry {
+  std::string File; ///< .adg file name, relative to the manifest's directory
+  std::string Name;
+  uint64_t Seed = 0; ///< candidate seed (replay: same bytes)
+  ReportCause Cause = ReportCause::ImpreciseInvariant;
+  bool IsRealBug = false;
+};
+
+/// Renders one manifest JSON object (no trailing newline). Schema is
+/// documented in benchmarks/README.md.
+std::string manifestRow(const CorpusProgram &P);
+
+struct ManifestLoadResult {
+  std::vector<ManifestEntry> Entries;
+  std::string Error; ///< non-empty on failure
+
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parses a manifest.jsonl written by writeCorpus()/abdiag_gen.
+ManifestLoadResult loadManifest(const std::string &Path);
+
+/// Writes each program's .adg plus manifest.jsonl into \p Dir (created if
+/// missing). Returns an empty string on success, an error message otherwise.
+std::string writeCorpus(const std::string &Dir,
+                        const std::vector<CorpusProgram> &Programs);
+
+//===----------------------------------------------------------------------===//
+// Triage-queue expansion (shared between abdiag_triage and tests)
+//===----------------------------------------------------------------------===//
+
+/// Expected classification for a queued report, keyed by request name.
+struct ExpectedVerdict {
+  std::string Name;
+  bool IsRealBug = false;
+};
+
+/// A CLI input expanded into triage requests: a single .adg file maps to
+/// itself, a directory to every *.adg inside it (sorted by name), and a
+/// manifest to its entries (which also carry expected classifications).
+struct QueueExpansion {
+  std::vector<core::TriageRequest> Requests;
+  std::vector<ExpectedVerdict> Expected; ///< non-empty for manifests only
+  std::string Error;                     ///< non-empty on failure
+
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Expands a positional path argument (file or directory).
+QueueExpansion expandPathArgument(const std::string &Path);
+
+/// Expands a --manifest argument; entry files resolve relative to the
+/// manifest's directory.
+QueueExpansion expandManifestArgument(const std::string &ManifestPath);
+
+} // namespace abdiag::study
+
+#endif // ABDIAG_STUDY_CORPUS_H

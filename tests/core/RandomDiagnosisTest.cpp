@@ -21,6 +21,7 @@
 
 #include "core/ErrorDiagnoser.h"
 
+#include "study/Corpus.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -30,51 +31,10 @@ using namespace abdiag::core;
 
 namespace {
 
-/// Random program with loops, branches, assumes, havoc and products.
-std::string randomProgram(Rng &R) {
-  std::string Src = "program rnd(a, b) {\n  var x, y, z;\n";
-  auto Expr = [&]() {
-    const char *Vars[] = {"a", "b", "x", "y", "z"};
-    std::string E = std::to_string(R.range(-6, 6));
-    for (const char *V : Vars)
-      if (R.chance(0.35))
-        E += std::string(" + ") + std::to_string(R.range(-2, 2)) + " * " + V;
-    return E;
-  };
-  if (R.chance(0.6))
-    Src += "  assume(a >= " + std::to_string(R.range(-2, 2)) + ");\n";
-  int N = static_cast<int>(R.range(2, 6));
-  for (int I = 0; I < N; ++I) {
-    const char *T = R.chance(0.5) ? "x" : (R.chance(0.5) ? "y" : "z");
-    switch (R.range(0, 4)) {
-    case 0:
-      Src += std::string("  ") + T + " = " + Expr() + ";\n";
-      break;
-    case 1:
-      Src += std::string("  if (") + Expr() + " > " + Expr() + ") { " + T +
-             " = " + Expr() + "; } else { " + T + " = " + Expr() + "; }\n";
-      break;
-    case 2: {
-      // A bounded counting loop (always terminates).
-      std::string Bound = std::to_string(R.range(1, 6));
-      Src += std::string("  ") + T + " = 0;\n";
-      Src += std::string("  while (") + T + " < " + Bound + ") { " + T +
-             " = " + T + " + 1; }\n";
-      break;
-    }
-    case 3:
-      Src += std::string("  ") + T + " = havoc();\n";
-      break;
-    default:
-      Src += std::string("  ") + T + " = " + (R.chance(0.5) ? "a" : "b") +
-             " * " + (R.chance(0.5) ? "a" : "b") + ";\n";
-      break;
-    }
-  }
-  Src += std::string("  check(") + Expr() +
-         (R.chance(0.5) ? " >= " : " != ") + Expr() + ");\n}\n";
-  return Src;
-}
+/// Random program with loops, branches, assumes, havoc and products --
+/// the shared factory behind both this property test and the certified
+/// corpus generator's mixed-statement mode.
+std::string randomProgram(Rng &R) { return study::randomMixedProgram(R); }
 
 TEST(RandomDiagnosisTest, VerdictNeverContradictsGroundTruth) {
   Rng R(20260704);

@@ -7,11 +7,13 @@
 #include "core/Triage.h"
 
 #include "study/Benchmarks.h"
+#include "study/Corpus.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -208,6 +210,62 @@ TEST(TriageTest, EscalationRetriesInconclusiveReports) {
   ASSERT_EQ(R2.Reports.size(), 1u);
   EXPECT_FALSE(R2.Reports[0].Escalated);
   std::remove(Quick2.c_str());
+}
+
+TEST(TriageTest, DirectoryIngestionTriagesEveryAdgFile) {
+  // abdiag_triage accepts a directory: every *.adg inside, sorted by name,
+  // with file stems as report names (regression for the corpus workflow).
+  std::string Dir = ::testing::TempDir() + "abdiag_triage_dir";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream(Dir + "/b_second.adg") << QuickFalseAlarm;
+    std::ofstream(Dir + "/a_first.adg") << QuickFalseAlarm;
+    std::ofstream(Dir + "/notes.txt") << "not a report";
+  }
+  study::QueueExpansion Q = study::expandPathArgument(Dir);
+  ASSERT_TRUE(Q) << Q.Error;
+  ASSERT_EQ(Q.Requests.size(), 2u) << "non-.adg files must be skipped";
+  EXPECT_EQ(Q.Requests[0].Name, "a_first");
+  EXPECT_EQ(Q.Requests[1].Name, "b_second");
+
+  TriageResult R = TriageEngine().run(Q.Requests);
+  ASSERT_EQ(R.Reports.size(), 2u);
+  for (const TriageReport &Row : R.Reports) {
+    EXPECT_EQ(Row.Status, TriageStatus::Diagnosed) << Row.Name;
+    EXPECT_EQ(Row.Outcome, DiagnosisOutcome::Discharged) << Row.Name;
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TriageTest, ManifestIngestionMatchesCertifiedClassifications) {
+  // abdiag_triage --manifest: the queue comes from manifest.jsonl and each
+  // entry carries its certified classification; engine verdicts must match.
+  std::string Dir = ::testing::TempDir() + "abdiag_triage_manifest";
+  std::filesystem::remove_all(Dir);
+  study::CorpusOptions GenOpts;
+  GenOpts.Seed = 29;
+  GenOpts.Count = 4;
+  auto Progs = study::CorpusGenerator(GenOpts).generateAll();
+  ASSERT_EQ(study::writeCorpus(Dir, Progs), "");
+
+  study::QueueExpansion Q =
+      study::expandManifestArgument(Dir + "/manifest.jsonl");
+  ASSERT_TRUE(Q) << Q.Error;
+  ASSERT_EQ(Q.Requests.size(), 4u);
+  ASSERT_EQ(Q.Expected.size(), 4u);
+
+  TriageResult R = TriageEngine().run(Q.Requests);
+  ASSERT_EQ(R.Reports.size(), 4u);
+  for (size_t I = 0; I < R.Reports.size(); ++I) {
+    ASSERT_EQ(R.Reports[I].Status, TriageStatus::Diagnosed)
+        << R.Reports[I].Name;
+    DiagnosisOutcome Expect = Q.Expected[I].IsRealBug
+                                  ? DiagnosisOutcome::Validated
+                                  : DiagnosisOutcome::Discharged;
+    EXPECT_EQ(R.Reports[I].Outcome, Expect) << R.Reports[I].Name;
+  }
+  std::filesystem::remove_all(Dir);
 }
 
 } // namespace

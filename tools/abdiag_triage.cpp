@@ -18,11 +18,13 @@
 #include "core/Triage.h"
 #include "smt/DecisionProcedure.h"
 #include "study/Benchmarks.h"
+#include "study/Corpus.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,10 +36,20 @@ namespace {
 void printUsage() {
   std::fprintf(
       stderr,
-      "usage: abdiag_triage [options] [file.adg ...]\n"
+      "usage: abdiag_triage [options] [file.adg | directory ...]\n"
       "\n"
-      "Triage a queue of potential-error reports. With no files, runs the\n"
-      "11-problem study suite.\n"
+      "Triage a queue of potential-error reports. Positional arguments may\n"
+      "be .adg files or directories (expanded to every .adg inside, sorted\n"
+      "by name). With no inputs, runs the 11-problem study suite.\n"
+      "\n"
+      "input:\n"
+      "  --manifest FILE      triage a generated corpus from its\n"
+      "                       manifest.jsonl (see abdiag_gen); verdicts are\n"
+      "                       checked against the manifest classifications\n"
+      "                       and a contradiction fails the run\n"
+      "  --strict-manifest    also fail when a manifest report times out or\n"
+      "                       stays inconclusive (default: contradictions\n"
+      "                       only)\n"
       "\n"
       "backend:\n"
       "  --backend NAME       decision procedure: native (default), z3, or\n"
@@ -144,7 +156,7 @@ std::string humanVerdict(const TriageReport &R) {
   return V;
 }
 
-void printJsonRow(const TriageReport &R) {
+void printJsonRow(const TriageReport &R, const char *Expected) {
   std::string Row = "{";
   Row += "\"name\":\"" + jsonEscape(R.Name) + "\"";
   Row += ",\"path\":\"" + jsonEscape(R.Path) + "\"";
@@ -153,6 +165,8 @@ void printJsonRow(const TriageReport &R) {
     Row += ",\"verdict\":\"" + std::string(V) + "\"";
   else
     Row += ",\"verdict\":null";
+  if (Expected)
+    Row += ",\"expected\":\"" + std::string(Expected) + "\"";
   if (!R.Message.empty())
     Row += ",\"message\":\"" + jsonEscape(R.Message) + "\"";
   if (R.Status == TriageStatus::LoadError && R.LoadDiag.hasPosition()) {
@@ -204,7 +218,10 @@ int main(int Argc, char **Argv) {
   TriageOptions Opts;
   bool ShowStats = false;
   bool Json = false;
+  bool StrictManifest = false;
   std::vector<TriageRequest> Queue;
+  /// Expected classification per report name (manifest inputs only).
+  std::map<std::string, bool> Expected;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -236,6 +253,21 @@ int main(int Argc, char **Argv) {
         std::printf("%s%s\n", Name.c_str(),
                     smt::backendAvailable(Name) ? "" : " (not built)");
       return 0;
+    } else if (std::strcmp(Arg, "--manifest") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "abdiag_triage: --manifest needs a file\n");
+        return 2;
+      }
+      study::QueueExpansion Q = study::expandManifestArgument(Argv[++I]);
+      if (!Q) {
+        std::fprintf(stderr, "abdiag_triage: %s\n", Q.Error.c_str());
+        return 2;
+      }
+      Queue.insert(Queue.end(), Q.Requests.begin(), Q.Requests.end());
+      for (const study::ExpectedVerdict &E : Q.Expected)
+        Expected[E.Name] = E.IsRealBug;
+    } else if (std::strcmp(Arg, "--strict-manifest") == 0) {
+      StrictManifest = true;
     } else if (std::strcmp(Arg, "--no-escalate") == 0) {
       Opts.EscalateOnInconclusive = false;
     } else if (std::strcmp(Arg, "--stats") == 0) {
@@ -283,7 +315,12 @@ int main(int Argc, char **Argv) {
       printUsage();
       return 2;
     } else {
-      Queue.emplace_back(Arg);
+      study::QueueExpansion Q = study::expandPathArgument(Arg);
+      if (!Q) {
+        std::fprintf(stderr, "abdiag_triage: %s\n", Q.Error.c_str());
+        return 2;
+      }
+      Queue.insert(Queue.end(), Q.Requests.begin(), Q.Requests.end());
     }
   }
   if (Queue.empty())
@@ -310,7 +347,10 @@ int main(int Argc, char **Argv) {
   TriageEngine Engine(Opts);
   TriageResult Result = Engine.run(Queue, [&](const TriageReport &R) {
     if (Json) {
-      printJsonRow(R);
+      auto It = Expected.find(R.Name);
+      printJsonRow(R, It == Expected.end()
+                          ? nullptr
+                          : (It->second ? "real_bug" : "false_alarm"));
       return;
     }
     std::printf("%-24s %-10s %5zu  %8zu  %s\n", R.Name.c_str(),
@@ -351,7 +391,41 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Manifest inputs carry a *certified* classification: a diagnosed
+  // verdict that contradicts it is a soundness failure of the pipeline (or
+  // a lying backend) and fails the run. Timeouts/inconclusive rows are
+  // operational outcomes and only fail under --strict-manifest.
+  size_t Matched = 0, Contradicted = 0, Undecided = 0;
+  if (!Expected.empty()) {
+    for (const TriageReport &R : Result.Reports) {
+      auto It = Expected.find(R.Name);
+      if (It == Expected.end())
+        continue;
+      const char *V = verdictName(R);
+      const char *Want = It->second ? "real_bug" : "false_alarm";
+      if (V && std::strcmp(V, Want) == 0)
+        ++Matched;
+      else if (V && std::strcmp(V, "inconclusive") != 0) {
+        ++Contradicted;
+        std::fprintf(stderr,
+                     "abdiag_triage: VERDICT CONTRADICTS MANIFEST: %s "
+                     "diagnosed %s, certified %s\n",
+                     R.Name.c_str(), V, Want);
+      } else
+        ++Undecided;
+    }
+    std::FILE *Summary = Json ? stderr : stdout;
+    std::fprintf(Summary,
+                 "manifest check: %zu/%zu verdicts match, %zu contradicted, "
+                 "%zu undecided (timeout/inconclusive/crash)\n",
+                 Matched, Expected.size(), Contradicted, Undecided);
+  }
+
   // Nonzero exit when anything needs attention in CI: crashes or load
-  // errors are failures of the queue itself.
+  // errors are failures of the queue itself, as is any manifest
+  // contradiction (and, under --strict-manifest, any undecided manifest
+  // report).
+  if (Contradicted || (StrictManifest && Undecided))
+    return 1;
   return (Sum.Crashes || Sum.LoadErrors) ? 1 : 0;
 }
