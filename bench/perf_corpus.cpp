@@ -184,12 +184,16 @@ int main(int Argc, char **Argv) {
         "\"p99_ms\":%.2f,\"timeouts\":%zu,\"inconclusive\":%zu,"
         "\"mismatches\":%zu,\"gen_wall_ms\":%.1f,"
         "\"gen_candidates\":%zu,\"gen_accepted\":%zu,"
-        "\"solver_queries\":%llu}\n",
+        "\"solver_queries\":%llu,\"simplex_pivots\":%llu,"
+        "\"pivot_limit_hits\":%llu,\"tableau_reuses\":%llu}\n",
         Backend.c_str(), Jobs, Queue.size(), (unsigned long long)Seed,
         S.WallMs, Rps, percentile(Lat, 0.50), percentile(Lat, 0.95),
         percentile(Lat, 0.99), S.Timeouts, S.Inconclusive, Mismatches,
         GenWallMs, Acceptance.Candidates, Acceptance.Accepted,
-        (unsigned long long)S.Solver.Queries);
+        (unsigned long long)S.Solver.Queries,
+        (unsigned long long)S.Solver.SimplexPivots,
+        (unsigned long long)S.Solver.PivotLimitHits,
+        (unsigned long long)S.Solver.TableauReuses);
     std::fflush(stdout);
   }
   if (Failures)

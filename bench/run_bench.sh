@@ -21,15 +21,16 @@
 #    "p50_ms":...,"p95_ms":...,"p99_ms":...,        per-report latency
 #    "timeouts":0,"inconclusive":0,"mismatches":0,  verdict-vs-certified
 #    "gen_wall_ms":...,"gen_candidates":...,"gen_accepted":...,
-#    "solver_queries":...}                          deterministic counter
+#    "solver_queries":...,"simplex_pivots":...,     deterministic counters
+#    "pivot_limit_hits":...,"tableau_reuses":...}
 #
 # "mismatches" counts reports whose diagnosis disagreed with the corpus
 # ground truth -- always 0 on a healthy build (perf_corpus exits non-zero
-# otherwise). "solver_queries" is deterministic for a given seed/backend
-# at jobs=1 (with more workers, dynamic report-to-worker assignment
-# changes which warm per-worker caches serve which report), so baseline
-# comparison gates on it exactly only for the jobs=1 point (see
-# tools/check_bench_regression).
+# otherwise). "solver_queries" and "simplex_pivots" are deterministic for a
+# given seed/backend at jobs=1 (with more workers, dynamic
+# report-to-worker assignment changes which warm per-worker caches serve
+# which report), so baseline comparison gates on them exactly only for the
+# jobs=1 point (see tools/check_bench_regression).
 #
 # Equivalent cmake driver: `cmake --build BUILD_DIR --target bench-json`.
 

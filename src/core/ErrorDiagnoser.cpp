@@ -18,7 +18,9 @@ using namespace abdiag::smt;
 ErrorDiagnoser::ErrorDiagnoser() : ErrorDiagnoser(Options()) {}
 
 ErrorDiagnoser::ErrorDiagnoser(Options Opts)
-    : Opts(std::move(Opts)), DP(smt::createBackend(this->Opts.Backend, M)) {}
+    : Opts(std::move(Opts)), DP(smt::createBackend(this->Opts.Backend, M)) {
+  DP->setSimplexMaxPivots(this->Opts.SimplexMaxPivots);
+}
 
 ErrorDiagnoser::~ErrorDiagnoser() = default;
 

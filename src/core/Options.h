@@ -40,6 +40,12 @@ struct Options {
   /// "native" (default), "z3" (needs ABDIAG_WITH_Z3=ON), or "differential"
   /// (native and Z3 side by side, failing loudly on any disagreement).
   std::string Backend = "native";
+  /// Total simplex pivot budget per LIA conjunction check in the native
+  /// engine (the escalated retry pass gets 25x this). Exhaustion is counted
+  /// in SolverStats::PivotLimitHits and falls back to the complete Cooper
+  /// solver, so this trades speed against fallback frequency, never
+  /// soundness. Ignored by engines without the knob (Z3).
+  int SimplexMaxPivots = 20000;
 
   //===--- loading ---------------------------------------------------------===
   /// Infer @p' annotations for un-annotated loops with the interval
@@ -82,6 +88,7 @@ struct Options {
     Backend = std::move(Name);
     return *this;
   }
+  Options &simplexMaxPivots(int N) { SimplexMaxPivots = N; return *this; }
   Options &autoAnnotate(bool V) { AutoAnnotate = V; return *this; }
   Options &assumeLoopExitCondition(bool V) {
     AssumeLoopExitCondition = V;

@@ -33,7 +33,14 @@ void SolverStats::dump(std::ostream &OS) const {
      << "session checks:   " << SessionChecks << "\n"
      << "core skips:       " << CoreSkips << "\n"
      << "qe memo hits:     " << QeCacheHits << "\n"
-     << "qe memo misses:   " << QeCacheMisses << "\n";
+     << "qe memo misses:   " << QeCacheMisses << "\n"
+     << "sat restarts:     " << SatRestarts << "\n"
+     << "sat learned:      " << SatLearned << "\n"
+     << "sat reduced:      " << SatReduced << "\n"
+     << "sat max lbd:      " << SatMaxLbd << "\n"
+     << "simplex pivots:   " << SimplexPivots << "\n"
+     << "pivot limit hits: " << PivotLimitHits << "\n"
+     << "tableau reuses:   " << TableauReuses << "\n";
   if (CrossChecks)
     OS << "cross checks:     " << CrossChecks << "\n";
 }
@@ -50,6 +57,13 @@ SolverStats &SolverStats::operator+=(const SolverStats &O) {
   QeCacheHits += O.QeCacheHits;
   QeCacheMisses += O.QeCacheMisses;
   CrossChecks += O.CrossChecks;
+  SatRestarts += O.SatRestarts;
+  SatLearned += O.SatLearned;
+  SatReduced += O.SatReduced;
+  SatMaxLbd = std::max(SatMaxLbd, O.SatMaxLbd); // high-water mark
+  SimplexPivots += O.SimplexPivots;
+  PivotLimitHits += O.PivotLimitHits;
+  TableauReuses += O.TableauReuses;
   return *this;
 }
 
@@ -65,6 +79,14 @@ SolverStats &SolverStats::operator-=(const SolverStats &O) {
   QeCacheHits -= O.QeCacheHits;
   QeCacheMisses -= O.QeCacheMisses;
   CrossChecks -= O.CrossChecks;
+  SatRestarts -= O.SatRestarts;
+  SatLearned -= O.SatLearned;
+  SatReduced -= O.SatReduced;
+  // SatMaxLbd is a high-water mark: the delta of a window is still the
+  // cumulative high water, so -= deliberately leaves it unchanged.
+  SimplexPivots -= O.SimplexPivots;
+  PivotLimitHits -= O.PivotLimitHits;
+  TableauReuses -= O.TableauReuses;
   return *this;
 }
 

@@ -62,6 +62,16 @@ struct SolverStats {
   uint64_t QeCacheHits = 0;      ///< single-var QE steps served memoized
   uint64_t QeCacheMisses = 0;    ///< single-var QE steps computed
   uint64_t CrossChecks = 0;      ///< verdicts compared by a differential backend
+  uint64_t SatRestarts = 0;      ///< CDCL restarts
+  uint64_t SatLearned = 0;       ///< CDCL learned clauses created
+  uint64_t SatReduced = 0;       ///< learned clauses deleted by DB reduction
+  /// Largest LBD ("glue") of any learned clause. A high-water mark, not a
+  /// sum: += takes the max of the two sides and -= leaves it unchanged, so
+  /// per-report deltas report the cumulative high water.
+  uint64_t SatMaxLbd = 0;
+  uint64_t SimplexPivots = 0;    ///< simplex pivotAndUpdate operations
+  uint64_t PivotLimitHits = 0;   ///< LIA checks aborted by the pivot budget
+  uint64_t TableauReuses = 0;    ///< slack rows served by a warm session tableau
 
   /// Human-readable one-line-per-counter report to a caller-supplied
   /// stream (callers pick stdout, a log file, a string buffer, ...).
@@ -190,6 +200,14 @@ public:
   /// entries, so re-enabling starts cold.
   virtual void setCaching(bool On) = 0;
   virtual bool cachingEnabled() const = 0;
+
+  /// Total simplex pivot budget per LIA conjunction check (see
+  /// Options::SimplexMaxPivots). A tuning hint: engines without an
+  /// equivalent knob (Z3) ignore it. Exhaustion is counted in
+  /// SolverStats::PivotLimitHits and triggers the escalation ladder
+  /// (bigger budget, then the complete Cooper fallback), so correctness
+  /// never depends on the value.
+  virtual void setSimplexMaxPivots(int /*MaxPivots*/) {}
 
 protected:
   FormulaManager &M;

@@ -69,6 +69,11 @@ public:
   void setCaching(bool On) override;
   bool cachingEnabled() const override { return Primary->cachingEnabled(); }
 
+  void setSimplexMaxPivots(int MaxPivots) override {
+    Primary->setSimplexMaxPivots(MaxPivots);
+    Secondary->setSimplexMaxPivots(MaxPivots);
+  }
+
   DecisionProcedure &primary() { return *Primary; }
   DecisionProcedure &secondary() { return *Secondary; }
 

@@ -6,137 +6,334 @@
 
 #include "smt/LiaSolver.h"
 
-#include "support/Rational.h"
-
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <cstdio>
-#include <cstdlib>
 
 using namespace abdiag;
 using namespace abdiag::smt;
 
+//===----------------------------------------------------------------------===//
+// IncrementalSimplex
+//===----------------------------------------------------------------------===//
+
+uint32_t IncrementalSimplex::addVar() {
+  uint32_t V = static_cast<uint32_t>(Beta.size());
+  Lower.emplace_back();
+  Upper.emplace_back();
+  Beta.emplace_back(0);
+  RowOf.push_back(-1);
+  for (std::vector<Rational> &Row : Coef)
+    Row.emplace_back(0);
+  return V;
+}
+
+uint32_t IncrementalSimplex::addRow(
+    const std::vector<std::pair<uint32_t, int64_t>> &Terms) {
+  assert(TrailLims.empty() && "rows may only be added at level 0");
+  uint32_t S = addVar();
+  // Express the row over the *current nonbasic* columns by substituting
+  // every basic column with its defining row, so the new slack can join
+  // the basis directly and the invariant (basic = combination of nonbasic)
+  // holds without any pivoting.
+  std::vector<Rational> Row(Beta.size(), Rational(0));
+  Rational Val(0);
+  for (const auto &[C, A] : Terms) {
+    Rational RA(A);
+    if (RowOf[C] == -1) {
+      Row[C] = Row[C] + RA;
+    } else {
+      const std::vector<Rational> &Def = Coef[RowOf[C]];
+      for (uint32_t V = 0; V < Def.size(); ++V)
+        if (!Def[V].isZero())
+          Row[V] = Row[V] + RA * Def[V];
+    }
+    Val = Val + RA * Beta[C];
+  }
+  RowOf[S] = static_cast<int32_t>(BasicVar.size());
+  BasicVar.push_back(S);
+  Coef.push_back(std::move(Row));
+  Beta[S] = Val;
+  return S;
+}
+
+void IncrementalSimplex::push() { TrailLims.push_back(Trail.size()); }
+
+void IncrementalSimplex::pop() {
+  assert(!TrailLims.empty() && "pop without matching push");
+  size_t Lim = TrailLims.back();
+  TrailLims.pop_back();
+  while (Trail.size() > Lim) {
+    BoundUndo &U = Trail.back();
+    // Restoring only ever *relaxes* a bound (assertions tighten), so the
+    // current assignment stays within bounds for every nonbasic column and
+    // the warm basis survives the backtrack.
+    if (U.IsUpper)
+      Upper[U.Col] = std::move(U.Old);
+    else
+      Lower[U.Col] = std::move(U.Old);
+    Trail.pop_back();
+  }
+}
+
+void IncrementalSimplex::update(uint32_t V, const Rational &To) {
+  Rational Delta = To - Beta[V];
+  for (size_t R = 0; R < BasicVar.size(); ++R)
+    if (!Coef[R][V].isZero())
+      Beta[BasicVar[R]] = Beta[BasicVar[R]] + Coef[R][V] * Delta;
+  Beta[V] = To;
+}
+
+bool IncrementalSimplex::assertUpper(uint32_t V, const Rational &B) {
+  if (Upper[V] && *Upper[V] <= B)
+    return true; // no tightening
+  if (Lower[V] && B < *Lower[V])
+    return false; // immediate conflict; caller pops the scope
+  if (!TrailLims.empty())
+    Trail.push_back({V, /*IsUpper=*/true, Upper[V]});
+  Upper[V] = B;
+  if (RowOf[V] == -1 && Beta[V] > B)
+    update(V, B);
+  return true;
+}
+
+bool IncrementalSimplex::assertLower(uint32_t V, const Rational &B) {
+  if (Lower[V] && *Lower[V] >= B)
+    return true;
+  if (Upper[V] && B > *Upper[V])
+    return false;
+  if (!TrailLims.empty())
+    Trail.push_back({V, /*IsUpper=*/false, Lower[V]});
+  Lower[V] = B;
+  if (RowOf[V] == -1 && Beta[V] < B)
+    update(V, B);
+  return true;
+}
+
+bool IncrementalSimplex::propagateBounds(SimplexStats *St) const {
+  for (size_t R = 0; R < BasicVar.size(); ++R) {
+    uint32_t B = BasicVar[R];
+    if (!Upper[B] && !Lower[B])
+      continue;
+    // Row interval: basic = sum coef * nonbasic, so the row's reachable
+    // minimum (maximum) plugs each nonbasic at the bound its coefficient
+    // sign selects; a missing bound makes that side unbounded.
+    const std::vector<Rational> &Row = Coef[R];
+    Rational Min(0), Max(0);
+    bool MinOk = true, MaxOk = true;
+    for (uint32_t V = 0; V < Row.size() && (MinOk || MaxOk); ++V) {
+      const Rational &C = Row[V];
+      if (C.isZero() || RowOf[V] != -1)
+        continue;
+      const std::optional<Rational> &Lo = C.sign() > 0 ? Lower[V] : Upper[V];
+      const std::optional<Rational> &Hi = C.sign() > 0 ? Upper[V] : Lower[V];
+      if (MinOk) {
+        if (Lo)
+          Min = Min + C * *Lo;
+        else
+          MinOk = false;
+      }
+      if (MaxOk) {
+        if (Hi)
+          Max = Max + C * *Hi;
+        else
+          MaxOk = false;
+      }
+    }
+    if ((MinOk && Upper[B] && Min > *Upper[B]) ||
+        (MaxOk && Lower[B] && Max < *Lower[B])) {
+      if (St)
+        ++St->BoundPropagations;
+      return true;
+    }
+  }
+  return false;
+}
+
+IncrementalSimplex::Status IncrementalSimplex::check(int &MaxPivots,
+                                                     SimplexStats *St) {
+  if (propagateBounds(St))
+    return Status::Infeasible;
+  while (true) {
+    // Bland: smallest violated basic column (guarantees termination).
+    uint32_t Bad = UINT32_MAX;
+    bool BelowLower = false;
+    for (size_t R = 0; R < BasicVar.size(); ++R) {
+      uint32_t B = BasicVar[R];
+      if (B >= Bad)
+        continue;
+      if (Upper[B] && Beta[B] > *Upper[B]) {
+        Bad = B;
+        BelowLower = false;
+      } else if (Lower[B] && Beta[B] < *Lower[B]) {
+        Bad = B;
+        BelowLower = true;
+      }
+    }
+    if (Bad == UINT32_MAX)
+      return Status::Feasible;
+    if (--MaxPivots < 0) {
+      if (St)
+        ++St->PivotLimitHits;
+      return Status::PivotLimit;
+    }
+    if (St)
+      ++St->Pivots;
+    int32_t R = RowOf[Bad];
+    // Smallest suitable nonbasic column to move Beta[Bad] toward the
+    // violated bound.
+    uint32_t Pivot = UINT32_MAX;
+    const std::vector<Rational> &Row = Coef[R];
+    for (uint32_t V = 0; V < Row.size(); ++V) {
+      if (RowOf[V] != -1 || Row[V].isZero())
+        continue;
+      int S = Row[V].sign();
+      bool Suitable = BelowLower
+                          ? ((S > 0 && canIncrease(V)) ||
+                             (S < 0 && canDecrease(V)))
+                          : ((S > 0 && canDecrease(V)) ||
+                             (S < 0 && canIncrease(V)));
+      if (Suitable) {
+        Pivot = V;
+        break;
+      }
+    }
+    if (Pivot == UINT32_MAX)
+      return Status::Infeasible; // no way to repair: infeasible
+    pivotAndUpdate(Bad, Pivot, BelowLower ? *Lower[Bad] : *Upper[Bad]);
+  }
+}
+
+void IncrementalSimplex::pivotAndUpdate(uint32_t B, uint32_t NB,
+                                        const Rational &Target) {
+  int32_t R = RowOf[B];
+  Rational A = Coef[R][NB];
+  assert(!A.isZero() && "pivot on zero coefficient");
+  Rational Theta = (Target - Beta[B]) / A;
+  Beta[B] = Target;
+  Beta[NB] = Beta[NB] + Theta;
+  for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
+    if (static_cast<int32_t>(R2) == R)
+      continue;
+    if (!Coef[R2][NB].isZero())
+      Beta[BasicVar[R2]] = Beta[BasicVar[R2]] + Coef[R2][NB] * Theta;
+  }
+  // Pivot: express NB from row R, substitute into other rows.
+  // Row R: B = A*NB + rest  =>  NB = (1/A)*B - rest/A.
+  std::vector<Rational> NewRow(Beta.size(), Rational(0));
+  Rational InvA = Rational(1) / A;
+  for (uint32_t V = 0; V < Beta.size(); ++V) {
+    if (V == NB)
+      continue;
+    if (!Coef[R][V].isZero())
+      NewRow[V] = -(Coef[R][V] * InvA);
+  }
+  NewRow[B] = InvA;
+  Coef[R] = NewRow;
+  RowOf[NB] = R;
+  RowOf[B] = -1;
+  BasicVar[R] = NB;
+  for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
+    if (static_cast<int32_t>(R2) == R)
+      continue;
+    Rational C = Coef[R2][NB];
+    if (C.isZero())
+      continue;
+    Coef[R2][NB] = Rational(0);
+    for (uint32_t V = 0; V < Beta.size(); ++V)
+      if (!NewRow[V].isZero())
+        Coef[R2][V] = Coef[R2][V] + C * NewRow[V];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Integrality: branch-and-bound over the incremental tableau
+//===----------------------------------------------------------------------===//
+
 namespace {
 
-/// General simplex for conjunctions of `sum a_i x_i <= b` over the
-/// rationals. Every constraint becomes a slack variable with an upper bound;
-/// structural variables are unbounded. Bland's rule guarantees termination.
-class Simplex {
-  // Internal variable indices: [0, NumStruct) structural, then slacks.
-  size_t NumVars = 0;
-  std::vector<std::optional<Rational>> Upper; // per internal var
-  std::vector<Rational> Beta;                 // current assignment
-  std::vector<int32_t> RowOf;                 // var -> row index or -1
-  // Row r: BasicVar[r] = sum Coef[r][v] * v over nonbasic vars v.
-  std::vector<uint32_t> BasicVar;
-  std::vector<std::vector<Rational>> Coef; // dense over all internal vars
+/// Branch-and-bound driver. Branches are bound assertions on integer
+/// columns, pushed and popped on the shared tableau -- no row is ever
+/// added or rebuilt during the search.
+struct BranchAndBound {
+  IncrementalSimplex &Sx;
+  const std::vector<uint32_t> &IntCols;
+  const std::vector<LiaColRow> &Rows;
+  SimplexStats *St;
+  int NodeBudget;
+  int PivotBudget;
+  std::vector<int64_t> *Values;
 
-public:
-  /// \p RowExprs are the linear parts (over dense structural indices) and
-  /// \p Bounds the corresponding upper bounds: row_i <= Bounds[i].
-  Simplex(size_t NumStruct,
-          const std::vector<std::vector<std::pair<uint32_t, int64_t>>> &RowExprs,
-          const std::vector<int64_t> &Bounds) {
-    NumVars = NumStruct + RowExprs.size();
-    Upper.resize(NumVars);
-    Beta.assign(NumVars, Rational(0));
-    RowOf.assign(NumVars, -1);
-    for (size_t R = 0; R < RowExprs.size(); ++R) {
-      uint32_t Slack = static_cast<uint32_t>(NumStruct + R);
-      Upper[Slack] = Rational(Bounds[R]);
-      RowOf[Slack] = static_cast<int32_t>(BasicVar.size());
-      BasicVar.push_back(Slack);
-      std::vector<Rational> Row(NumVars, Rational(0));
-      for (const auto &[V, C] : RowExprs[R])
-        Row[V] = Rational(C);
-      Coef.push_back(std::move(Row));
-    }
-  }
-
-  /// Runs the feasibility check; returns true iff the relaxation is SAT.
-  /// Sets \p PivotLimitHit if the pivot cap was reached (treated as a
-  /// resource limit by the caller rather than an answer).
-  bool check(bool &PivotLimitHit) {
-    int Pivots = 0;
-    while (true) {
-      if (++Pivots > 20000) {
-        PivotLimitHit = true;
+  /// True iff rounding the current rational point down yields an integer
+  /// model of every row (then fills Values).
+  bool roundedModel() {
+    std::vector<int64_t> Rounded(IntCols.size());
+    for (size_t I = 0; I < IntCols.size(); ++I)
+      Rounded[I] = Sx.value(IntCols[I]).floor();
+    // Row terms reference integer columns only; map column -> rounded.
+    std::unordered_map<uint32_t, int64_t> ByCol;
+    ByCol.reserve(IntCols.size());
+    for (size_t I = 0; I < IntCols.size(); ++I)
+      ByCol.emplace(IntCols[I], Rounded[I]);
+    for (const LiaColRow &Row : Rows) {
+      int64_t Val = 0;
+      for (const auto &[C, A] : Row.Terms)
+        Val = checkedAdd(Val, checkedMul(A, ByCol.at(C)));
+      if (Val > Row.Bound)
         return false;
-      }
-      // Bland: smallest violated basic variable.
-      uint32_t Bad = UINT32_MAX;
-      for (size_t R = 0; R < BasicVar.size(); ++R) {
-        uint32_t B = BasicVar[R];
-        if (Upper[B] && Beta[B] > *Upper[B] && B < Bad)
-          Bad = B;
-      }
-      if (Bad == UINT32_MAX)
-        return true;
-      int32_t R = RowOf[Bad];
-      // Find the smallest suitable nonbasic variable to decrease Beta[Bad].
-      uint32_t Pivot = UINT32_MAX;
-      for (uint32_t V = 0; V < NumVars; ++V) {
-        if (RowOf[V] != -1 || Coef[R][V].isZero())
-          continue;
-        bool CanDecrease = true; // no lower bounds in this tableau
-        bool CanIncrease = !Upper[V] || Beta[V] < *Upper[V];
-        int S = Coef[R][V].sign();
-        if ((S > 0 && CanDecrease) || (S < 0 && CanIncrease)) {
-          Pivot = V;
-          break;
-        }
-      }
-      if (Pivot == UINT32_MAX)
-        return false; // no way to repair: infeasible
-      pivotAndUpdate(Bad, Pivot, *Upper[Bad]);
     }
+    if (Values)
+      *Values = std::move(Rounded);
+    return true;
   }
 
-  Rational value(uint32_t V) const { return Beta[V]; }
+  void fillFromFloor() {
+    if (!Values)
+      return;
+    Values->resize(IntCols.size());
+    for (size_t I = 0; I < IntCols.size(); ++I)
+      (*Values)[I] = Sx.value(IntCols[I]).floor();
+  }
 
-private:
-  /// Makes basic \p B take value \p Target by moving nonbasic \p NB, then
-  /// swaps their roles (textbook pivotAndUpdate).
-  void pivotAndUpdate(uint32_t B, uint32_t NB, Rational Target) {
-    int32_t R = RowOf[B];
-    Rational A = Coef[R][NB];
-    assert(!A.isZero() && "pivot on zero coefficient");
-    Rational Theta = (Target - Beta[B]) / A;
-    Beta[B] = Target;
-    Beta[NB] = Beta[NB] + Theta;
-    for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
-      if (static_cast<int32_t>(R2) == R)
-        continue;
-      if (!Coef[R2][NB].isZero())
-        Beta[BasicVar[R2]] = Beta[BasicVar[R2]] + Coef[R2][NB] * Theta;
+  LiaStatus run(int Depth) {
+    if (--NodeBudget < 0 || Depth < 0)
+      return LiaStatus::ResourceLimit;
+    switch (Sx.check(PivotBudget, St)) {
+    case IncrementalSimplex::Status::PivotLimit:
+      return LiaStatus::ResourceLimit;
+    case IncrementalSimplex::Status::Infeasible:
+      return LiaStatus::Unsat;
+    case IncrementalSimplex::Status::Feasible:
+      break;
     }
-    // Pivot: express NB from row R, substitute into other rows.
-    // Row R: B = A*NB + rest  =>  NB = (1/A)*B - rest/A.
-    std::vector<Rational> NewRow(NumVars, Rational(0));
-    Rational InvA = Rational(1) / A;
-    for (uint32_t V = 0; V < NumVars; ++V) {
-      if (V == NB)
-        continue;
-      if (!Coef[R][V].isZero())
-        NewRow[V] = -(Coef[R][V] * InvA);
+    // Fast path: rounding the rational point often yields an integer model.
+    if (roundedModel())
+      return LiaStatus::Sat;
+    uint32_t Frac = UINT32_MAX;
+    for (uint32_t C : IntCols)
+      if (!Sx.value(C).isInteger()) {
+        Frac = C;
+        break;
+      }
+    if (Frac == UINT32_MAX) {
+      fillFromFloor();
+      return LiaStatus::Sat;
     }
-    NewRow[B] = InvA;
-    Coef[R] = NewRow;
-    RowOf[NB] = R;
-    RowOf[B] = -1;
-    BasicVar[R] = NB;
-    for (size_t R2 = 0; R2 < BasicVar.size(); ++R2) {
-      if (static_cast<int32_t>(R2) == R)
-        continue;
-      Rational C = Coef[R2][NB];
-      if (C.isZero())
-        continue;
-      Coef[R2][NB] = Rational(0);
-      for (uint32_t V = 0; V < NumVars; ++V)
-        if (!NewRow[V].isZero())
-          Coef[R2][V] = Coef[R2][V] + C * NewRow[V];
-    }
+    int64_t Floor = Sx.value(Frac).floor();
+    // Branch x <= floor(v): push a bound, recurse, pop.
+    Sx.push();
+    LiaStatus Left = Sx.assertUpper(Frac, Rational(Floor)) ? run(Depth - 1)
+                                                           : LiaStatus::Unsat;
+    Sx.pop();
+    if (Left != LiaStatus::Unsat)
+      return Left;
+    // Branch x >= floor(v) + 1.
+    Sx.push();
+    LiaStatus Right =
+        Sx.assertLower(Frac, Rational(checkedAdd(Floor, 1)))
+            ? run(Depth - 1)
+            : LiaStatus::Unsat;
+    Sx.pop();
+    return Right;
   }
 };
 
@@ -145,14 +342,13 @@ private:
 struct Problem {
   std::vector<VarId> Vars; // dense index -> VarId
   std::unordered_map<VarId, uint32_t> Index;
-  std::vector<std::vector<std::pair<uint32_t, int64_t>>> RowExprs;
-  std::vector<int64_t> Bounds;
+  std::vector<LiaColRow> Rows;
 
   bool addRow(const LinearExpr &E) {
     if (E.isConstant())
       return E.constant() <= 0;
     int64_t G = E.coeffGcd();
-    std::vector<std::pair<uint32_t, int64_t>> Terms;
+    LiaColRow Row;
     for (const auto &[V, C] : E.terms()) {
       auto It = Index.find(V);
       uint32_t Idx;
@@ -163,74 +359,25 @@ struct Problem {
       } else {
         Idx = It->second;
       }
-      Terms.emplace_back(Idx, C / G);
+      Row.Terms.emplace_back(Idx, C / G);
     }
     // sum a_i x_i <= -c tightens to sum (a_i/g) x_i <= floor(-c/g).
-    Bounds.push_back(floorDiv(checkedNeg(E.constant()), G));
-    RowExprs.push_back(std::move(Terms));
+    Row.Bound = floorDiv(checkedNeg(E.constant()), G);
+    Rows.push_back(std::move(Row));
     return true;
   }
 };
 
-LiaStatus solveRec(Problem &P, std::unordered_map<VarId, int64_t> *Model,
-                   int &Budget, int Depth) {
-  if (--Budget < 0 || Depth < 0)
-    return LiaStatus::ResourceLimit;
-  Simplex S(P.Vars.size(), P.RowExprs, P.Bounds);
-  bool PivotLimitHit = false;
-  if (!S.check(PivotLimitHit))
-    return PivotLimitHit ? LiaStatus::ResourceLimit : LiaStatus::Unsat;
-  // Fast path: rounding the rational point often yields an integer model.
-  {
-    std::vector<int64_t> Rounded(P.Vars.size());
-    for (uint32_t V = 0; V < P.Vars.size(); ++V)
-      Rounded[V] = S.value(V).floor();
-    bool AllRowsOk = true;
-    for (size_t R = 0; R < P.RowExprs.size() && AllRowsOk; ++R) {
-      int64_t Val = 0;
-      for (const auto &[V, C] : P.RowExprs[R])
-        Val = checkedAdd(Val, checkedMul(C, Rounded[V]));
-      AllRowsOk = Val <= P.Bounds[R];
-    }
-    if (AllRowsOk) {
-      if (Model)
-        for (uint32_t V = 0; V < P.Vars.size(); ++V)
-          (*Model)[P.Vars[V]] = Rounded[V];
-      return LiaStatus::Sat;
-    }
-  }
-  // Find a fractional structural variable.
-  uint32_t Frac = UINT32_MAX;
-  for (uint32_t V = 0; V < P.Vars.size(); ++V)
-    if (!S.value(V).isInteger()) {
-      Frac = V;
-      break;
-    }
-  if (Frac == UINT32_MAX) {
-    if (Model)
-      for (uint32_t V = 0; V < P.Vars.size(); ++V)
-        (*Model)[P.Vars[V]] = S.value(V).floor();
-    return LiaStatus::Sat;
-  }
-  int64_t Floor = S.value(Frac).floor();
-  // Branch x <= floor(v): append a row, recurse, undo.
-  P.RowExprs.push_back({{Frac, 1}});
-  P.Bounds.push_back(Floor);
-  LiaStatus Left = solveRec(P, Model, Budget, Depth - 1);
-  P.RowExprs.pop_back();
-  P.Bounds.pop_back();
-  if (Left != LiaStatus::Unsat)
-    return Left;
-  // Branch x >= floor(v)+1, i.e. -x <= -(floor+1).
-  P.RowExprs.push_back({{Frac, -1}});
-  P.Bounds.push_back(checkedNeg(checkedAdd(Floor, 1)));
-  LiaStatus Right = solveRec(P, Model, Budget, Depth - 1);
-  P.RowExprs.pop_back();
-  P.Bounds.pop_back();
-  return Right;
-}
-
 } // namespace
+
+LiaStatus abdiag::smt::solveIntegerOnTableau(
+    IncrementalSimplex &Sx, const std::vector<uint32_t> &IntCols,
+    const std::vector<LiaColRow> &Rows, const LiaConfig &Cfg,
+    std::vector<int64_t> *Values) {
+  BranchAndBound BB{Sx,           IntCols,       Rows, Cfg.Stats,
+                    Cfg.MaxBranchNodes, Cfg.MaxPivots, Values};
+  return BB.run(Cfg.MaxDepth);
+}
 
 LiaStatus abdiag::smt::solveLiaConjunction(
     const std::vector<LinearExpr> &Rows,
@@ -239,9 +386,23 @@ LiaStatus abdiag::smt::solveLiaConjunction(
   for (const LinearExpr &E : Rows)
     if (!P.addRow(E))
       return LiaStatus::Unsat;
-  int Budget = Config.MaxBranchNodes;
-  LiaStatus R = solveRec(P, Model, Budget, Config.MaxDepth);
+
+  IncrementalSimplex Sx;
+  std::vector<uint32_t> IntCols(P.Vars.size());
+  for (uint32_t V = 0; V < P.Vars.size(); ++V)
+    IntCols[V] = Sx.addVar();
+  for (const LiaColRow &Row : P.Rows) {
+    uint32_t Slack = Sx.addRow(Row.Terms);
+    if (!Sx.assertUpper(Slack, Rational(Row.Bound)))
+      return LiaStatus::Unsat;
+  }
+
+  std::vector<int64_t> Values;
+  LiaStatus R = solveIntegerOnTableau(Sx, IntCols, P.Rows, Config,
+                                      Model ? &Values : nullptr);
   if (R == LiaStatus::Sat && Model) {
+    for (uint32_t V = 0; V < P.Vars.size(); ++V)
+      (*Model)[P.Vars[V]] = Values[V];
     // Variables mentioned nowhere keep value 0 (they are unconstrained);
     // ensure every requested variable has an entry.
     for (const LinearExpr &E : Rows)

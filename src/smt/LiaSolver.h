@@ -11,9 +11,16 @@
 ///  1. GCD/bound tightening per row (sum a_i x_i <= b tightens to
 ///     sum (a_i/g) x_i <= floor(b/g)), which also catches classic
 ///     divisibility infeasibilities such as 2x - 2y = 1;
-///  2. a Dutertre–de Moura style general simplex over exact rationals for
-///     the relaxation, with Bland's rule for termination; and
-///  3. branch-and-bound on fractional structural variables for integrality.
+///  2. a Dutertre–de Moura style incremental general simplex over exact
+///     rationals for the relaxation (IncrementalSimplex): the tableau
+///     persists across checks, bounds are asserted on a backtrackable
+///     stack (push/pop), row-interval bound propagation catches many
+///     conflicts without pivoting, and Bland's rule guarantees
+///     termination; and
+///  3. branch-and-bound on fractional structural variables for
+///     integrality. Branches are *variable bounds* pushed and popped on
+///     the same tableau, never row rebuilds, so each node costs a handful
+///     of repair pivots instead of a from-scratch re-solve.
 ///
 /// Branch-and-bound alone is not complete for LIA, so the search carries a
 /// node budget; when exhausted the caller (smt::Solver) falls back to the
@@ -26,6 +33,7 @@
 #define ABDIAG_SMT_LIASOLVER_H
 
 #include "smt/LinearExpr.h"
+#include "support/Rational.h"
 
 #include <optional>
 #include <unordered_map>
@@ -36,6 +44,14 @@ namespace abdiag::smt {
 /// Outcome of an LIA conjunction query.
 enum class LiaStatus : uint8_t { Sat, Unsat, ResourceLimit };
 
+/// Counters produced by the simplex layer; merged into SolverStats by the
+/// SMT solver so the hot path stays observable.
+struct SimplexStats {
+  uint64_t Pivots = 0;            ///< pivotAndUpdate operations performed
+  uint64_t PivotLimitHits = 0;    ///< checks aborted by the pivot budget
+  uint64_t BoundPropagations = 0; ///< conflicts caught by row-interval propagation
+};
+
 /// Configuration knobs for the branch-and-bound search.
 struct LiaConfig {
   /// Total branch-and-bound nodes across the whole query. Kept small:
@@ -44,7 +60,115 @@ struct LiaConfig {
   int MaxBranchNodes = 600;
   /// Maximum branching depth (rows added on one DFS path).
   int MaxDepth = 24;
+  /// Total simplex pivots across the whole query. Exhaustion surfaces as
+  /// LiaStatus::ResourceLimit (and a SimplexStats::PivotLimitHits tick)
+  /// instead of silently degrading; the budget is caller-tunable through
+  /// abdiag::Options::SimplexMaxPivots.
+  int MaxPivots = 20000;
+  /// Optional counter sink (pivots, limit hits, propagation conflicts).
+  SimplexStats *Stats = nullptr;
 };
+
+/// A Dutertre–de Moura style general simplex over exact rationals with
+/// incremental bound assertion and backtracking.
+///
+/// Columns are added with addVar() (structural) and addRow() (each row
+/// `sum a_i x_i` defines a slack column constrained through its bounds).
+/// Bounds are asserted against the current backtracking level; push()/pop()
+/// bracket a scope, and pop() restores every bound asserted inside it.
+/// The tableau (basis and current assignment) deliberately survives pop():
+/// popping only relaxes bounds, so the assignment stays feasible for every
+/// nonbasic column and the next check() starts from a warm basis. This is
+/// what makes branch-and-bound nodes and successive theory checks cheap --
+/// re-pivoting from scratch is replaced by a few repair pivots.
+class IncrementalSimplex {
+public:
+  enum class Status : uint8_t { Feasible, Infeasible, PivotLimit };
+
+  /// Adds a structural column; returns its index.
+  uint32_t addVar();
+
+  /// Adds a row `sum Terms.second * var(Terms.first)` as a new slack
+  /// column (substituting current basic columns), makes it basic, and
+  /// returns its index. Rows may only be added at backtracking level 0.
+  uint32_t addRow(const std::vector<std::pair<uint32_t, int64_t>> &Terms);
+
+  size_t numCols() const { return Beta.size(); }
+
+  /// Opens a backtracking scope.
+  void push();
+  /// Closes the innermost scope, restoring the bounds it tightened.
+  void pop();
+  size_t numLevels() const { return TrailLims.size(); }
+
+  /// Asserts V <= B / V >= B against the current scope. Returns false on
+  /// an immediate bound conflict (lower > upper); the caller is expected
+  /// to pop the scope. A no-op when the existing bound is at least as
+  /// tight.
+  bool assertUpper(uint32_t V, const Rational &B);
+  bool assertLower(uint32_t V, const Rational &B);
+
+  /// Repairs the assignment by pivoting until every column is within its
+  /// bounds (Feasible), a column provably cannot be repaired (Infeasible),
+  /// or the remaining pivot budget \p MaxPivots is exhausted (PivotLimit;
+  /// \p MaxPivots is decremented in place by the pivots spent). Starts
+  /// with a row-interval propagation pass that reports many infeasible
+  /// systems without pivoting at all.
+  Status check(int &MaxPivots, SimplexStats *St);
+
+  /// Current value of column \p V (meaningful after Feasible).
+  const Rational &value(uint32_t V) const { return Beta[V]; }
+
+private:
+  std::vector<std::optional<Rational>> Lower, Upper; // per column
+  std::vector<Rational> Beta;                        // current assignment
+  std::vector<int32_t> RowOf;                        // col -> row or -1
+  // Row r: BasicVar[r] = sum Coef[r][v] * v over nonbasic columns v.
+  std::vector<uint32_t> BasicVar;
+  std::vector<std::vector<Rational>> Coef; // dense over all columns
+
+  struct BoundUndo {
+    uint32_t Col;
+    bool IsUpper;
+    std::optional<Rational> Old;
+  };
+  std::vector<BoundUndo> Trail;
+  std::vector<size_t> TrailLims;
+
+  bool canDecrease(uint32_t V) const {
+    return !Lower[V] || Beta[V] > *Lower[V];
+  }
+  bool canIncrease(uint32_t V) const {
+    return !Upper[V] || Beta[V] < *Upper[V];
+  }
+  /// Sets nonbasic \p V to \p To, updating every dependent basic value.
+  void update(uint32_t V, const Rational &To);
+  /// Makes basic \p B take value \p Target by moving nonbasic \p NB, then
+  /// swaps their roles (textbook pivotAndUpdate).
+  void pivotAndUpdate(uint32_t B, uint32_t NB, const Rational &Target);
+  /// Row-interval propagation; true iff a row proves infeasibility.
+  bool propagateBounds(SimplexStats *St) const;
+};
+
+/// An active row for the integrality search: linear terms over tableau
+/// columns with the (GCD-tightened) upper bound asserted for this check.
+struct LiaColRow {
+  std::vector<std::pair<uint32_t, int64_t>> Terms;
+  int64_t Bound;
+};
+
+/// Branch-and-bound for integrality over an already-bounded tableau: the
+/// relaxation bounds for \p Rows must have been asserted on \p Sx by the
+/// caller. Branches push/pop bounds on the columns in \p IntCols; \p Rows
+/// is consulted by the integer-rounding fast path (a rounded rational
+/// point that satisfies every row is a model regardless of the search
+/// bounds). On Sat fills \p Values (parallel to IntCols). The tableau is
+/// returned at the same backtracking depth it was given.
+LiaStatus solveIntegerOnTableau(IncrementalSimplex &Sx,
+                                const std::vector<uint32_t> &IntCols,
+                                const std::vector<LiaColRow> &Rows,
+                                const LiaConfig &Cfg,
+                                std::vector<int64_t> *Values);
 
 /// Decides the conjunction of `Rows[i] <= 0` over the integers.
 /// On Sat, \p Model (if non-null) receives integer values for every variable

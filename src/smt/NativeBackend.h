@@ -56,6 +56,10 @@ public:
   void setCaching(bool On) override { S.setCaching(On); }
   bool cachingEnabled() const override { return S.cachingEnabled(); }
 
+  void setSimplexMaxPivots(int MaxPivots) override {
+    S.setSimplexMaxPivots(MaxPivots);
+  }
+
   /// The wrapped concrete solver, for smt-layer code and tests that tune
   /// engine-specific knobs. Layers above smt/ must not use this.
   Solver &solver() { return S; }

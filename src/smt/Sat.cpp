@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <unordered_map>
 
 using namespace abdiag::sat;
 
@@ -27,16 +29,28 @@ uint64_t abdiag::sat::lubySequence(uint64_t I) {
   return 1ULL << Seq;
 }
 
+float SatSolver::clauseActivity(CRef C) const {
+  float A;
+  std::memcpy(&A, &Arena[C + 2], sizeof(float));
+  return A;
+}
+
+void SatSolver::setClauseActivity(CRef C, float A) {
+  std::memcpy(&Arena[C + 2], &A, sizeof(float));
+}
+
 BVar SatSolver::newVar() {
   BVar V = static_cast<BVar>(Assigns.size());
   Assigns.push_back(LBool::Undef);
   Levels.push_back(0);
-  Reasons.push_back(-1);
+  Reasons.push_back(InvalidCRef);
   Activity.push_back(0.0);
   SavedPhase.push_back(false);
   Seen.push_back(false);
   Watches.emplace_back();
   Watches.emplace_back();
+  HeapPos.push_back(-1);
+  heapInsert(V);
   return V;
 }
 
@@ -46,6 +60,17 @@ LBool SatSolver::valueLit(Lit L) const {
     return LBool::Undef;
   bool B = (V == LBool::True) != litNeg(L);
   return B ? LBool::True : LBool::False;
+}
+
+CRef SatSolver::allocClause(const std::vector<Lit> &Lits, bool IsLearned,
+                            uint32_t Lbd) {
+  CRef C = static_cast<CRef>(Arena.size());
+  Arena.push_back(static_cast<uint32_t>(Lits.size()) << 2 |
+                  (IsLearned ? 2u : 0u));
+  Arena.push_back(Lbd);
+  Arena.push_back(0); // activity bits (0.0f)
+  Arena.insert(Arena.end(), Lits.begin(), Lits.end());
+  return C;
 }
 
 bool SatSolver::addClause(std::vector<Lit> Lits) {
@@ -71,26 +96,25 @@ bool SatSolver::addClause(std::vector<Lit> Lits) {
     return false;
   }
   if (Keep.size() == 1) {
-    enqueue(Keep[0], -1);
-    if (propagate() != -1) {
+    enqueue(Keep[0], InvalidCRef);
+    if (propagate() != InvalidCRef) {
       UnsatAtLevel0 = true;
       return false;
     }
     return true;
   }
-  Clauses.push_back({std::move(Keep)});
-  attachClause(static_cast<uint32_t>(Clauses.size() - 1));
+  attachClause(allocClause(Keep, /*IsLearned=*/false, /*Lbd=*/0));
   return true;
 }
 
-void SatSolver::attachClause(uint32_t Idx) {
-  const Clause &C = Clauses[Idx];
-  assert(C.Lits.size() >= 2 && "watched clause must be binary or longer");
-  Watches[litNot(C.Lits[0])].push_back({Idx, C.Lits[1]});
-  Watches[litNot(C.Lits[1])].push_back({Idx, C.Lits[0]});
+void SatSolver::attachClause(CRef C) {
+  const Lit *L = clauseLits(C);
+  assert(clauseSize(C) >= 2 && "watched clause must be binary or longer");
+  Watches[litNot(L[0])].push_back({C, L[1]});
+  Watches[litNot(L[1])].push_back({C, L[0]});
 }
 
-void SatSolver::enqueue(Lit L, int32_t Reason) {
+void SatSolver::enqueue(Lit L, CRef Reason) {
   assert(valueLit(L) == LBool::Undef && "enqueue of assigned literal");
   BVar V = litVar(L);
   Assigns[V] = litNeg(L) ? LBool::False : LBool::True;
@@ -99,7 +123,7 @@ void SatSolver::enqueue(Lit L, int32_t Reason) {
   Trail.push_back(L);
 }
 
-int32_t SatSolver::propagate() {
+CRef SatSolver::propagate() {
   while (PropHead < Trail.size()) {
     Lit P = Trail[PropHead++]; // P became true; scan watches of ¬P's list
     std::vector<Watcher> &WList = Watches[P];
@@ -110,22 +134,23 @@ int32_t SatSolver::propagate() {
         WList[Out++] = W;
         continue;
       }
-      Clause &C = Clauses[W.ClauseIdx];
+      Lit *CL = clauseLits(W.Ref);
       // Ensure the false literal (¬P) is at position 1.
       Lit NotP = litNot(P);
-      if (C.Lits[0] == NotP)
-        std::swap(C.Lits[0], C.Lits[1]);
-      assert(C.Lits[1] == NotP && "watch invariant broken");
-      if (valueLit(C.Lits[0]) == LBool::True) {
-        WList[Out++] = {W.ClauseIdx, C.Lits[0]};
+      if (CL[0] == NotP)
+        std::swap(CL[0], CL[1]);
+      assert(CL[1] == NotP && "watch invariant broken");
+      if (valueLit(CL[0]) == LBool::True) {
+        WList[Out++] = {W.Ref, CL[0]};
         continue;
       }
       // Look for a new literal to watch.
       bool Moved = false;
-      for (size_t K = 2; K < C.Lits.size(); ++K) {
-        if (valueLit(C.Lits[K]) != LBool::False) {
-          std::swap(C.Lits[1], C.Lits[K]);
-          Watches[litNot(C.Lits[1])].push_back({W.ClauseIdx, C.Lits[0]});
+      uint32_t Size = clauseSize(W.Ref);
+      for (uint32_t K = 2; K < Size; ++K) {
+        if (valueLit(CL[K]) != LBool::False) {
+          std::swap(CL[1], CL[K]);
+          Watches[litNot(CL[1])].push_back({W.Ref, CL[0]});
           Moved = true;
           break;
         }
@@ -134,19 +159,73 @@ int32_t SatSolver::propagate() {
         continue;
       // Clause is unit or conflicting.
       WList[Out++] = W;
-      if (valueLit(C.Lits[0]) == LBool::False) {
+      if (valueLit(CL[0]) == LBool::False) {
         // Conflict: copy back remaining watchers and report.
         for (size_t K = In + 1; K < WList.size(); ++K)
           WList[Out++] = WList[K];
         WList.resize(Out);
         PropHead = Trail.size();
-        return static_cast<int32_t>(W.ClauseIdx);
+        return W.Ref;
       }
-      enqueue(C.Lits[0], static_cast<int32_t>(W.ClauseIdx));
+      enqueue(CL[0], W.Ref);
     }
     WList.resize(Out);
   }
-  return -1;
+  return InvalidCRef;
+}
+
+//===----------------------------------------------------------------------===//
+// VSIDS order heap
+//===----------------------------------------------------------------------===//
+
+void SatSolver::heapSwap(size_t I, size_t K) {
+  std::swap(Heap[I], Heap[K]);
+  HeapPos[Heap[I]] = static_cast<int32_t>(I);
+  HeapPos[Heap[K]] = static_cast<int32_t>(K);
+}
+
+void SatSolver::heapUp(size_t I) {
+  while (I > 0) {
+    size_t Parent = (I - 1) / 2;
+    if (!heapLess(Heap[Parent], Heap[I]))
+      return;
+    heapSwap(I, Parent);
+    I = Parent;
+  }
+}
+
+void SatSolver::heapDown(size_t I) {
+  while (true) {
+    size_t L = 2 * I + 1, R = L + 1, Best = I;
+    if (L < Heap.size() && heapLess(Heap[Best], Heap[L]))
+      Best = L;
+    if (R < Heap.size() && heapLess(Heap[Best], Heap[R]))
+      Best = R;
+    if (Best == I)
+      return;
+    heapSwap(I, Best);
+    I = Best;
+  }
+}
+
+void SatSolver::heapInsert(BVar V) {
+  if (HeapPos[V] >= 0)
+    return;
+  HeapPos[V] = static_cast<int32_t>(Heap.size());
+  Heap.push_back(V);
+  heapUp(Heap.size() - 1);
+}
+
+BVar SatSolver::heapPop() {
+  BVar Top = Heap[0];
+  HeapPos[Top] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapPos[Heap[0]] = 0;
+    heapDown(0);
+  }
+  return Top;
 }
 
 void SatSolver::bumpVar(BVar V) {
@@ -156,27 +235,60 @@ void SatSolver::bumpVar(BVar V) {
       A *= 1e-100;
     ActivityInc *= 1e-100;
   }
+  if (HeapPos[V] >= 0)
+    heapUp(static_cast<size_t>(HeapPos[V]));
 }
 
-void SatSolver::decayActivity() { ActivityInc *= (1.0 / 0.95); }
+void SatSolver::bumpClause(CRef C) {
+  if (!clauseLearned(C))
+    return;
+  float A = clauseActivity(C) + static_cast<float>(ClauseActivityInc);
+  setClauseActivity(C, A);
+  if (A > 1e20f) {
+    for (CRef L : Learnts)
+      setClauseActivity(L, clauseActivity(L) * 1e-20f);
+    ClauseActivityInc *= 1e-20;
+  }
+}
 
-void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
-                        uint32_t &BackLevel) {
+void SatSolver::decayActivity() {
+  ActivityInc *= (1.0 / 0.95);
+  ClauseActivityInc *= (1.0 / 0.999);
+}
+
+uint32_t SatSolver::computeLbd(const std::vector<Lit> &Lits) {
+  LevelSeen.resize(TrailLims.size() + 1, 0);
+  ++LbdStamp;
+  uint32_t Lbd = 0;
+  for (Lit L : Lits) {
+    uint32_t Lv = Levels[litVar(L)];
+    if (LevelSeen[Lv] != LbdStamp) {
+      LevelSeen[Lv] = LbdStamp;
+      ++Lbd;
+    }
+  }
+  return Lbd;
+}
+
+void SatSolver::analyze(CRef Conflict, std::vector<Lit> &Learnt,
+                        uint32_t &BackLevel, uint32_t &Lbd) {
   Learnt.clear();
   Learnt.push_back(0); // slot for the asserting literal
   uint32_t Counter = 0;
   Lit P = 0;
   bool HaveP = false;
   size_t TrailIdx = Trail.size();
-  int32_t Reason = ConflictIdx;
+  CRef Reason = Conflict;
 
   do {
-    assert(Reason != -1 && "no reason during conflict analysis");
-    const Clause &C = Clauses[Reason];
-    // When resolving on a reason clause, C.Lits[0] is the implied literal
+    assert(Reason != InvalidCRef && "no reason during conflict analysis");
+    bumpClause(Reason);
+    const Lit *CL = clauseLits(Reason);
+    uint32_t Size = clauseSize(Reason);
+    // When resolving on a reason clause, CL[0] is the implied literal
     // itself and is skipped; for the initial conflict all literals count.
-    for (size_t I = HaveP ? 1 : 0; I < C.Lits.size(); ++I) {
-      Lit L = C.Lits[I];
+    for (uint32_t I = HaveP ? 1 : 0; I < Size; ++I) {
+      Lit L = CL[I];
       BVar V = litVar(L);
       if (Seen[V] || Levels[V] == 0)
         continue;
@@ -198,6 +310,10 @@ void SatSolver::analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
     --Counter;
   } while (Counter > 0);
   Learnt[0] = P;
+
+  Lbd = computeLbd(Learnt);
+  if (Lbd > MaxLbd)
+    MaxLbd = Lbd;
 
   // Compute backjump level = second-highest level in the learnt clause.
   BackLevel = 0;
@@ -223,7 +339,8 @@ void SatSolver::backtrack(uint32_t ToLevel) {
     BVar V = litVar(Trail[I - 1]);
     SavedPhase[V] = Assigns[V] == LBool::True;
     Assigns[V] = LBool::Undef;
-    Reasons[V] = -1;
+    Reasons[V] = InvalidCRef;
+    heapInsert(V); // lazy re-insertion: unassigned vars rejoin the order
   }
   Trail.resize(Limit);
   TrailLims.resize(ToLevel);
@@ -231,6 +348,16 @@ void SatSolver::backtrack(uint32_t ToLevel) {
 }
 
 Lit SatSolver::pickBranchLit() {
+  if (UseOrderHeap) {
+    while (!Heap.empty()) {
+      BVar V = heapPop();
+      if (Assigns[V] == LBool::Undef)
+        return mkLit(V, !SavedPhase[V]);
+    }
+    return UINT32_MAX;
+  }
+  // Reference decision order: linear scan for the max-activity unassigned
+  // variable (differential-testing mode).
   BVar Best = 0;
   double BestAct = -1.0;
   bool Found = false;
@@ -266,15 +393,83 @@ void SatSolver::analyzeFinal(Lit P) {
     if (!Seen[V])
       continue;
     Seen[V] = false;
-    if (Reasons[V] == -1) {
+    if (Reasons[V] == InvalidCRef) {
       FailedAssumps.push_back(Trail[I - 1]);
       continue;
     }
-    const Clause &C = Clauses[Reasons[V]];
-    for (size_t K = 1; K < C.Lits.size(); ++K)
-      if (Levels[litVar(C.Lits[K])] > 0)
-        Seen[litVar(C.Lits[K])] = true;
+    const Lit *CL = clauseLits(Reasons[V]);
+    uint32_t Size = clauseSize(Reasons[V]);
+    for (uint32_t K = 1; K < Size; ++K)
+      if (Levels[litVar(CL[K])] > 0)
+        Seen[litVar(CL[K])] = true;
   }
+}
+
+void SatSolver::reduceDB() {
+  // Partition the learned clauses: glue (LBD <= 2), binary, and locked
+  // clauses (reason of a current assignment) always survive; the rest are
+  // ranked by (LBD, activity) and the worst half is deleted.
+  auto Locked = [&](CRef C) {
+    BVar V = litVar(clauseLits(C)[0]);
+    return Assigns[V] != LBool::Undef && Reasons[V] == C;
+  };
+  std::vector<CRef> Candidates;
+  Candidates.reserve(Learnts.size());
+  for (CRef C : Learnts)
+    if (clauseLbd(C) > 2 && clauseSize(C) > 2 && !Locked(C))
+      Candidates.push_back(C);
+  if (Candidates.size() < 2)
+    return;
+  std::sort(Candidates.begin(), Candidates.end(), [&](CRef A, CRef B) {
+    if (clauseLbd(A) != clauseLbd(B))
+      return clauseLbd(A) > clauseLbd(B);
+    if (clauseActivity(A) != clauseActivity(B))
+      return clauseActivity(A) < clauseActivity(B);
+    return A < B;
+  });
+  size_t NumDelete = Candidates.size() / 2;
+  for (size_t I = 0; I < NumDelete; ++I)
+    Arena[Candidates[I]] |= 1; // deleted flag
+  Reduced += NumDelete;
+
+  // Compact the arena in place, remapping references.
+  std::unordered_map<CRef, CRef> Remap;
+  Remap.reserve(Learnts.size());
+  std::vector<uint32_t> NewArena;
+  NewArena.reserve(Arena.size());
+  for (CRef C = 0; C < Arena.size();
+       C += HeaderWords + clauseSize(C)) {
+    if (clauseDeleted(C))
+      continue;
+    CRef NewC = static_cast<CRef>(NewArena.size());
+    Remap.emplace(C, NewC);
+    NewArena.insert(NewArena.end(), Arena.begin() + C,
+                    Arena.begin() + C + HeaderWords + clauseSize(C));
+  }
+  Arena = std::move(NewArena);
+
+  std::vector<CRef> NewLearnts;
+  NewLearnts.reserve(Learnts.size() - NumDelete);
+  for (CRef C : Learnts) {
+    auto It = Remap.find(C);
+    if (It != Remap.end())
+      NewLearnts.push_back(It->second);
+  }
+  Learnts = std::move(NewLearnts);
+
+  for (Lit L : Trail) {
+    CRef &R = Reasons[litVar(L)];
+    if (R != InvalidCRef)
+      R = Remap.at(R);
+  }
+
+  // Rebuild the watch lists: literal order inside each surviving clause is
+  // unchanged, so re-watching positions 0/1 preserves the watch invariant.
+  for (std::vector<Watcher> &W : Watches)
+    W.clear();
+  for (CRef C = 0; C < Arena.size();
+       C += HeaderWords + clauseSize(C))
+    attachClause(C);
 }
 
 SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
@@ -282,7 +477,7 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
   if (UnsatAtLevel0)
     return Result::Unsat;
   backtrack(0);
-  if (propagate() != -1) {
+  if (propagate() != InvalidCRef) {
     UnsatAtLevel0 = true;
     return Result::Unsat;
   }
@@ -290,35 +485,45 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
   uint64_t RestartIdx = 1;
   uint64_t ConflictBudget = lubySequence(RestartIdx) * 64;
   uint64_t ConflictsHere = 0;
+  std::vector<Lit> Learnt;
 
   while (true) {
-    int32_t Confl = propagate();
-    if (Confl != -1) {
+    CRef Confl = propagate();
+    if (Confl != InvalidCRef) {
       support::pollCancellation(Cancel);
       ++Conflicts;
       ++ConflictsHere;
+      ++ConflictsSinceReduce;
       if (level() == 0) {
         UnsatAtLevel0 = true;
         return Result::Unsat;
       }
-      std::vector<Lit> Learnt;
-      uint32_t BackLevel = 0;
-      analyze(Confl, Learnt, BackLevel);
+      uint32_t BackLevel = 0, Lbd = 0;
+      analyze(Confl, Learnt, BackLevel, Lbd);
       backtrack(BackLevel);
+      ++Learned;
       if (Learnt.size() == 1) {
-        enqueue(Learnt[0], -1);
+        enqueue(Learnt[0], InvalidCRef);
       } else {
-        Clauses.push_back({Learnt});
-        attachClause(static_cast<uint32_t>(Clauses.size() - 1));
-        enqueue(Learnt[0], static_cast<int32_t>(Clauses.size() - 1));
+        CRef C = allocClause(Learnt, /*IsLearned=*/true, Lbd);
+        Learnts.push_back(C);
+        attachClause(C);
+        bumpClause(C);
+        enqueue(Learnt[0], C);
       }
       decayActivity();
+      if (ReduceEnabled && ConflictsSinceReduce >= ReduceInterval) {
+        ConflictsSinceReduce = 0;
+        ReduceInterval += 300;
+        reduceDB();
+      }
       continue;
     }
     if (ConflictsHere >= ConflictBudget) {
       // Restart. The assumption prefix is re-installed by the loop below.
       ConflictsHere = 0;
       ConflictBudget = lubySequence(++RestartIdx) * 64;
+      ++Restarts;
       backtrack(0);
       continue;
     }
@@ -335,7 +540,7 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
         return Result::Unsat;
       } else {
         TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
-        enqueue(A, -1);
+        enqueue(A, InvalidCRef);
       }
       continue;
     }
@@ -345,6 +550,6 @@ SatSolver::Result SatSolver::solve(const std::vector<Lit> &Assumptions) {
     support::pollCancellation(Cancel);
     ++Decisions;
     TrailLims.push_back(static_cast<uint32_t>(Trail.size()));
-    enqueue(Next, -1);
+    enqueue(Next, InvalidCRef);
   }
 }

@@ -6,14 +6,24 @@
 ///
 /// \file
 /// A conflict-driven clause-learning SAT solver used as the boolean engine
-/// of the lazy DPLL(T) SMT loop. Features: two-watched-literal propagation,
-/// first-UIP conflict analysis with non-chronological backjumping, EVSIDS
-/// branching, phase saving, Luby restarts, and assumption-based incremental
-/// solving: solve(Assumptions) decides the clause set under a temporary set
-/// of assumed literals, keeps every original and learned clause live across
-/// calls, and on Unsat reports the subset of assumptions responsible
-/// (failedAssumptions()). Clause deletion is not implemented -- the formulas
-/// in this project are small.
+/// of the lazy DPLL(T) SMT loop. Features: two-watched-literal propagation
+/// over a contiguous clause arena (inline headers, no per-clause heap
+/// allocation), first-UIP conflict analysis with non-chronological
+/// backjumping, EVSIDS branching through an indexed binary max-heap with
+/// lazy re-insertion on backtrack, phase saving, Luby restarts, LBD
+/// ("glue") tracking with periodic learned-clause-database reduction, and
+/// assumption-based incremental solving: solve(Assumptions) decides the
+/// clause set under a temporary set of assumed literals, keeps every
+/// original clause and every *kept* learned clause live across calls, and
+/// on Unsat reports the subset of assumptions responsible
+/// (failedAssumptions()).
+///
+/// Clause-database reduction keeps glue clauses (LBD <= 2), binary
+/// clauses, reason clauses of current assignments, and the most active
+/// half of the rest; the arena is compacted in place afterwards. Clauses
+/// added through addClause() are permanent -- the DPLL(T) loop adds
+/// theory-valid blocking clauses that must never be forgotten, or the
+/// boolean enumeration could repeat a refuted model.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +52,10 @@ inline Lit litNot(Lit L) { return L ^ 1; }
 /// Three-valued assignment.
 enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
 
+/// Reference to a clause: word offset of its header in the arena.
+using CRef = uint32_t;
+inline constexpr CRef InvalidCRef = UINT32_MAX;
+
 /// The CDCL solver.
 class SatSolver {
 public:
@@ -50,9 +64,9 @@ public:
   /// Allocates a fresh variable and returns its index.
   BVar newVar();
 
-  /// Adds a clause (disjunction of \p Lits). Returns false if the clause
-  /// makes the formula trivially unsatisfiable (empty after simplification
-  /// at level 0).
+  /// Adds a (permanent) clause -- the disjunction of \p Lits. Returns
+  /// false if the clause makes the formula trivially unsatisfiable (empty
+  /// after simplification at level 0).
   bool addClause(std::vector<Lit> Lits);
 
   /// Solves the current clause set.
@@ -81,48 +95,115 @@ public:
   size_t numVars() const { return Assigns.size(); }
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
+  uint64_t numRestarts() const { return Restarts; }
+  /// Learned clauses ever created (including later-reduced ones).
+  uint64_t numLearned() const { return Learned; }
+  /// Learned clauses deleted by clause-database reduction.
+  uint64_t numReduced() const { return Reduced; }
+  /// Largest LBD ("glue") of any clause learned so far.
+  uint32_t maxLbd() const { return MaxLbd; }
+
+  /// Disables/enables periodic learned-clause-database reduction
+  /// (differential testing knob; on by default).
+  void setClauseReduction(bool On) { ReduceEnabled = On; }
+
+  /// Switches between the VSIDS order heap (default) and a reference
+  /// linear activity scan for decisions (differential testing knob; both
+  /// must produce identical verdicts).
+  void setUseOrderHeap(bool On) { UseOrderHeap = On; }
 
 private:
-  struct Clause {
-    std::vector<Lit> Lits;
-  };
+  // Clause layout in the arena, in 32-bit words:
+  //   [0] size << 2 | learned << 1 | deleted
+  //   [1] LBD (learned clauses; 0 for problem clauses)
+  //   [2] activity (float bits; learned clauses only)
+  //   [3..3+size) literals
+  static constexpr uint32_t HeaderWords = 3;
+
   struct Watcher {
-    uint32_t ClauseIdx;
+    CRef Ref;
     Lit Blocker;
   };
 
-  std::vector<Clause> Clauses;
+  std::vector<uint32_t> Arena;
+  std::vector<CRef> Learnts; // live learned clauses, for reduction
   std::vector<std::vector<Watcher>> Watches; // indexed by literal
   std::vector<LBool> Assigns;                // indexed by variable
   std::vector<uint32_t> Levels;              // decision level per variable
-  std::vector<int32_t> Reasons;              // clause idx or -1, per variable
+  std::vector<CRef> Reasons;                 // reason clause per variable
   std::vector<Lit> Trail;
   std::vector<uint32_t> TrailLims; // trail size at each decision level
   size_t PropHead = 0;
 
   std::vector<double> Activity;
   double ActivityInc = 1.0;
+  double ClauseActivityInc = 1.0;
   std::vector<bool> SavedPhase;
-  std::vector<bool> Seen; // scratch for conflict analysis
+  std::vector<bool> Seen;          // scratch for conflict analysis
+  std::vector<uint64_t> LevelSeen; // scratch stamps for LBD computation
+  uint64_t LbdStamp = 0;
+
+  // VSIDS order heap: Heap holds variable indices as a binary max-heap on
+  // Activity; HeapPos[V] is V's index in Heap or -1.
+  std::vector<BVar> Heap;
+  std::vector<int32_t> HeapPos;
+  bool UseOrderHeap = true;
+
+  bool ReduceEnabled = true;
+  uint64_t ConflictsSinceReduce = 0;
+  uint64_t ReduceInterval = 2000;
 
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
+  uint64_t Restarts = 0;
+  uint64_t Learned = 0;
+  uint64_t Reduced = 0;
+  uint32_t MaxLbd = 0;
   bool UnsatAtLevel0 = false;
   std::vector<Lit> FailedAssumps;
   const support::CancellationToken *Cancel = nullptr;
 
+  // Arena accessors.
+  uint32_t clauseSize(CRef C) const { return Arena[C] >> 2; }
+  bool clauseLearned(CRef C) const { return Arena[C] & 2; }
+  bool clauseDeleted(CRef C) const { return Arena[C] & 1; }
+  uint32_t clauseLbd(CRef C) const { return Arena[C + 1]; }
+  float clauseActivity(CRef C) const;
+  void setClauseActivity(CRef C, float A);
+  Lit *clauseLits(CRef C) { return &Arena[C + HeaderWords]; }
+  const Lit *clauseLits(CRef C) const { return &Arena[C + HeaderWords]; }
+  CRef allocClause(const std::vector<Lit> &Lits, bool IsLearned,
+                   uint32_t Lbd);
+
   uint32_t level() const { return static_cast<uint32_t>(TrailLims.size()); }
   LBool valueLit(Lit L) const;
-  void enqueue(Lit L, int32_t Reason);
-  int32_t propagate(); // returns conflicting clause idx or -1
-  void analyze(int32_t ConflictIdx, std::vector<Lit> &Learnt,
-               uint32_t &BackLevel);
+  void enqueue(Lit L, CRef Reason);
+  CRef propagate(); // returns conflicting clause or InvalidCRef
+  void analyze(CRef Conflict, std::vector<Lit> &Learnt, uint32_t &BackLevel,
+               uint32_t &Lbd);
   void analyzeFinal(Lit P);
   void backtrack(uint32_t ToLevel);
   void bumpVar(BVar V);
+  void bumpClause(CRef C);
   void decayActivity();
+  uint32_t computeLbd(const std::vector<Lit> &Lits);
   Lit pickBranchLit();
-  void attachClause(uint32_t Idx);
+  void attachClause(CRef C);
+  void reduceDB();
+
+  // Order-heap primitives. Ties break toward the smaller variable index so
+  // the heap pops the exact variable a linear max-activity scan would find
+  // (first maximum wins there) -- the heap changes decision cost, never the
+  // decision sequence.
+  bool heapLess(BVar A, BVar B) const {
+    return Activity[A] < Activity[B] ||
+           (Activity[A] == Activity[B] && A > B);
+  }
+  void heapSwap(size_t I, size_t K);
+  void heapUp(size_t I);
+  void heapDown(size_t I);
+  void heapInsert(BVar V);
+  BVar heapPop();
 };
 
 /// Luby restart sequence value for index \p I (1-based).

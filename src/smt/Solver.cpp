@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <climits>
 #include <functional>
+#include <map>
 #include <ostream>
 #include <set>
 #include <unordered_set>
@@ -95,6 +97,55 @@ struct TheoryLit {
   int64_t Divisor = 0; // for Div/NDiv
 };
 
+/// Accumulates the SAT-core counter deltas produced inside a scope into the
+/// solver-level stats. Session SAT solvers are long-lived with cumulative
+/// counters, so per-check contributions must be windowed, not added
+/// wholesale; RAII covers every return path including cancellation.
+struct SatStatsScope {
+  sat::SatSolver &Sat;
+  SolverStats &S;
+  uint64_t Restarts0, Learned0, Reduced0;
+
+  SatStatsScope(sat::SatSolver &Sat, SolverStats &S)
+      : Sat(Sat), S(S), Restarts0(Sat.numRestarts()),
+        Learned0(Sat.numLearned()), Reduced0(Sat.numReduced()) {}
+  ~SatStatsScope() {
+    S.SatRestarts += Sat.numRestarts() - Restarts0;
+    S.SatLearned += Sat.numLearned() - Learned0;
+    S.SatReduced += Sat.numReduced() - Reduced0;
+    S.SatMaxLbd = std::max<uint64_t>(S.SatMaxLbd, Sat.maxLbd());
+  }
+};
+
+/// A persistent incremental-simplex context shared by successive theory
+/// checks. Structural columns are allocated per variable on first sight;
+/// every distinct (gcd-normalized) row term vector gets one slack column
+/// whose *bounds* are what an individual check asserts inside a push/pop
+/// scope -- rows with the same terms but different constants share a slack.
+/// The warm basis and assignment survive across checks (pop only relaxes
+/// bounds), so repeated near-identical conjunctions -- the MSA subset
+/// search, residue enumeration (identical terms, shifted constants), and
+/// minimizeTheoryCore's deletion probes -- cost a few repair pivots instead
+/// of a from-scratch tableau rebuild and re-solve.
+struct SessionTableau {
+  IncrementalSimplex Sx;
+  std::unordered_map<VarId, uint32_t> ColOf;
+  std::vector<VarId> VarOfCol; // structural columns only, index = column
+  std::map<std::vector<std::pair<uint32_t, int64_t>>, uint32_t> SlackOf;
+
+  uint32_t colFor(VarId V) {
+    auto It = ColOf.find(V);
+    if (It != ColOf.end())
+      return It->second;
+    uint32_t C = Sx.addVar();
+    ColOf.emplace(V, C);
+    if (VarOfCol.size() <= C)
+      VarOfCol.resize(C + 1);
+    VarOfCol[C] = V;
+    return C;
+  }
+};
+
 /// Builds the positive theory literal asserted by assigning \p AtomNode the
 /// boolean value \p Value.
 TheoryLit literalFor(const Formula *AtomNode, bool Value) {
@@ -132,13 +183,19 @@ class TheoryChecker {
   /// Cached quotient variable per (substituted variable): reused across
   /// checks to keep the variable table from growing per query.
   std::unordered_map<VarId, VarId> &QuotientVars;
+  /// The incremental tableau every Le conjunction is decided on.
+  SessionTableau &Tab;
+  /// Per-check total pivot budget (Options::SimplexMaxPivots).
+  int MaxPivots;
   const support::CancellationToken *Cancel;
 
 public:
   TheoryChecker(FormulaManager &M, Solver::Stats &S,
                 std::unordered_map<VarId, VarId> &QuotientVars,
+                SessionTableau &Tab, int MaxPivots,
                 const support::CancellationToken *Cancel = nullptr)
-      : M(M), S(S), QuotientVars(QuotientVars), Cancel(Cancel) {}
+      : M(M), S(S), QuotientVars(QuotientVars), Tab(Tab),
+        MaxPivots(MaxPivots), Cancel(Cancel) {}
 
   bool check(const std::vector<TheoryLit> &Lits, Model *Out) {
     support::pollCancellation(Cancel);
@@ -174,7 +231,7 @@ public:
     bool Done = false;
     while (!Done) {
       if (residuesSatisfyDivs(Divs, Vd, Residues)) {
-        switch (checkWithResidues(Rows, Vd, Residues, Delta, LiaConfig(),
+        switch (checkWithResidues(Rows, Vd, Residues, Delta, defaultConfig(),
                                   Out)) {
         case Tri::Sat:
           return true;
@@ -219,20 +276,28 @@ public:
 private:
   enum class Tri { Sat, Unsat, Limit };
 
+  LiaConfig defaultConfig() const {
+    LiaConfig C;
+    C.MaxPivots = MaxPivots;
+    return C;
+  }
+
   /// Branch-and-bound budget for the retry pass. The default budget is kept
   /// deliberately small (most checks are trivial); systems that exhaust it
   /// almost always just need more nodes, and any amount of branch-and-bound
   /// is far cheaper than the superexponential Cooper elimination that is the
-  /// only remaining fallback.
-  static LiaConfig escalatedConfig() {
+  /// only remaining fallback. The pivot budget scales with the node budget
+  /// (it is a per-query total).
+  LiaConfig escalatedConfig() const {
     LiaConfig C;
     C.MaxBranchNodes = 50000;
     C.MaxDepth = 64;
+    C.MaxPivots = MaxPivots > INT_MAX / 25 ? INT_MAX : MaxPivots * 25;
     return C;
   }
 
   bool checkRows(const std::vector<LinearExpr> &Rows, Model *Out) {
-    Tri St = tryRows(Rows, Out, LiaConfig());
+    Tri St = tryRows(Rows, Out, defaultConfig());
     if (St == Tri::Limit)
       St = tryRows(Rows, Out, escalatedConfig());
     if (St != Tri::Limit)
@@ -251,17 +316,71 @@ private:
   }
 
   /// Like checkRows but reports a branch-and-bound budget exhaustion to the
-  /// caller instead of escalating to the Cooper solver on \p Rows.
+  /// caller instead of escalating to the Cooper solver on \p Rows. Decides
+  /// the conjunction on the persistent session tableau: missing slack rows
+  /// are added at level 0, this check's bounds are asserted inside a
+  /// push/pop scope, and branch-and-bound runs on the warm basis.
   Tri tryRows(const std::vector<LinearExpr> &Rows, Model *Out,
-              const LiaConfig &Cfg) {
-    Model Local;
-    LiaStatus St = solveLiaConjunction(Rows, &Local, Cfg);
+              const LiaConfig &CfgIn) {
+    assert(Tab.Sx.numLevels() == 0 && "unbalanced tableau scope");
+    // Canonicalize over tableau columns with GCD/bound tightening:
+    // sum a_i x_i <= -c tightens to sum (a_i/g) x_i <= floor(-c/g).
+    std::vector<LiaColRow> CRows;
+    for (const LinearExpr &E : Rows) {
+      if (E.isConstant()) {
+        if (E.constant() > 0)
+          return Tri::Unsat;
+        continue;
+      }
+      int64_t G = E.coeffGcd();
+      LiaColRow Row;
+      for (const auto &[V, C] : E.terms())
+        Row.Terms.emplace_back(Tab.colFor(V), C / G);
+      std::sort(Row.Terms.begin(), Row.Terms.end());
+      Row.Bound = floorDiv(checkedNeg(E.constant()), G);
+      CRows.push_back(std::move(Row));
+    }
+    // This check's columns, deterministic (sorted = session first-seen).
+    std::vector<uint32_t> Cols;
+    for (const LiaColRow &Row : CRows)
+      for (const auto &[C, A] : Row.Terms)
+        Cols.push_back(C);
+    std::sort(Cols.begin(), Cols.end());
+    Cols.erase(std::unique(Cols.begin(), Cols.end()), Cols.end());
+    // Ensure a slack row per distinct term vector (shared across bounds).
+    std::vector<uint32_t> Slacks;
+    Slacks.reserve(CRows.size());
+    for (const LiaColRow &Row : CRows) {
+      auto It = Tab.SlackOf.find(Row.Terms);
+      if (It == Tab.SlackOf.end())
+        It = Tab.SlackOf.emplace(Row.Terms, Tab.Sx.addRow(Row.Terms)).first;
+      else
+        ++S.TableauReuses;
+      Slacks.push_back(It->second);
+    }
+    SimplexStats SxSt;
+    LiaConfig Cfg = CfgIn;
+    Cfg.Stats = &SxSt;
+    Tab.Sx.push();
+    bool Conflict = false;
+    for (size_t I = 0; I < CRows.size() && !Conflict; ++I)
+      Conflict = !Tab.Sx.assertUpper(Slacks[I], Rational(CRows[I].Bound));
+    std::vector<int64_t> Values;
+    LiaStatus St = Conflict ? LiaStatus::Unsat
+                            : solveIntegerOnTableau(Tab.Sx, Cols, CRows, Cfg,
+                                                    Out ? &Values : nullptr);
+    Tab.Sx.pop();
+    S.SimplexPivots += SxSt.Pivots;
+    S.PivotLimitHits += SxSt.PivotLimitHits;
     if (St == LiaStatus::ResourceLimit)
       return Tri::Limit;
     if (St == LiaStatus::Unsat)
       return Tri::Unsat;
-    if (Out)
-      *Out = std::move(Local);
+    if (Out) {
+      Out->clear();
+      for (size_t I = 0; I < Cols.size(); ++I)
+        (*Out)[Tab.VarOfCol[Cols[I]]] = Values[I];
+    }
     return Tri::Sat;
   }
 
@@ -444,7 +563,10 @@ bool Solver::isSatCore(const Formula *F, Model &Filled) {
     return false;
 
   std::unordered_map<VarId, VarId> QuotientVars;
-  TheoryChecker Theory(M, S, QuotientVars, Cancel);
+  // One warm tableau for the whole query: the DPLL(T) enumeration and core
+  // minimization probe many near-identical conjunctions over the same atoms.
+  SessionTableau Tab;
+  TheoryChecker Theory(M, S, QuotientVars, Tab, SimplexMaxPivots, Cancel);
 
   auto FillModel = [&](const Model &Candidate) {
     for (VarId V : freeVars(F)) {
@@ -478,6 +600,7 @@ bool Solver::isSatCore(const Formula *F, Model &Filled) {
 
   // Tseitin encoding and the lazy DPLL(T) loop.
   sat::SatSolver Sat;
+  SatStatsScope SatScope(Sat, S);
   Sat.setCancellation(Cancel);
   TseitinEncoder Enc(Sat);
   sat::Lit Root = Enc.encode(Low);
@@ -538,6 +661,9 @@ struct Solver::Session::Impl {
   std::vector<const Formula *> LastCore;
   std::unordered_map<const Formula *, const Formula *> LowerMemo;
   std::unordered_map<VarId, VarId> QuotientVars;
+  /// Warm simplex tableau persisting across every theory check this
+  /// session ever runs (see SessionTableau).
+  SessionTableau Tab;
 
   explicit Impl(Solver &S) : Slv(S) {}
 
@@ -618,7 +744,9 @@ bool Solver::Session::check(const std::vector<const Formula *> &Conjuncts,
   // triage engine swaps tokens per report around a long-lived session-using
   // diagnoser).
   I->Sat.setCancellation(Slv.Cancel);
-  TheoryChecker Theory(Slv.M, Slv.S, I->QuotientVars, Slv.Cancel);
+  SatStatsScope SatScope(I->Sat, Slv.S);
+  TheoryChecker Theory(Slv.M, Slv.S, I->QuotientVars, I->Tab,
+                       Slv.SimplexMaxPivots, Slv.Cancel);
   while (true) {
     if (I->Sat.solve(Guards) == sat::SatSolver::Result::Unsat) {
       std::vector<sat::Lit> Core = I->Sat.failedAssumptions();

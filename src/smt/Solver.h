@@ -89,6 +89,16 @@ public:
   void setCaching(bool On);
   bool cachingEnabled() const { return Caching; }
 
+  /// Total simplex pivot budget per LIA conjunction check (the escalated
+  /// retry pass gets 25x this). Exhaustion counts a
+  /// SolverStats::PivotLimitHits and falls through the escalation ladder to
+  /// the complete Cooper solver, so the knob trades time for fallback
+  /// frequency, never soundness. Values < 1 are clamped to 1.
+  void setSimplexMaxPivots(int MaxPivots) {
+    SimplexMaxPivots = MaxPivots < 1 ? 1 : MaxPivots;
+  }
+  int simplexMaxPivots() const { return SimplexMaxPivots; }
+
   /// Universal quantifier elimination through a memo of single-variable
   /// elimination steps shared across queries (keyed on hash-consed formula
   /// pointers, so entries are sound for the manager's lifetime). With
@@ -111,6 +121,7 @@ private:
   FormulaManager &M;
   Stats S;
   bool Caching = true;
+  int SimplexMaxPivots = 20000;
   const support::CancellationToken *Cancel = nullptr;
   std::unordered_map<const Formula *, CacheEntry> Cache;
   QeMemo Qe;

@@ -14,11 +14,14 @@
 
 #include "smt/Sat.h"
 
+#include "smt/FormulaOps.h"
+#include "smt/Solver.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 using namespace abdiag;
 using namespace abdiag::sat;
@@ -195,6 +198,72 @@ TEST(SatIncrementalTest, RandomizedAssumptionSolvesAgreeWithFreshSolver) {
       }
     }
   }
+}
+
+TEST(SatIncrementalTest, SessionIncrementalSimplexMatchesFreshSolves) {
+  // A Solver::Session keeps one warm incremental simplex tableau across
+  // checks (bounds are pushed and popped per check; slack rows persist).
+  // Across a randomized assumption sequence, every check must reproduce
+  // the verdict of a fresh one-shot solve of the same conjunction, return
+  // a genuine model when Sat, and a genuinely-unsat core when Unsat.
+  using namespace abdiag::smt;
+  FormulaManager M;
+  Rng R(20260807);
+
+  std::vector<VarId> Vars;
+  for (int I = 0; I < 4; ++I)
+    Vars.push_back(M.vars().create("v" + std::to_string(I), VarKind::Input));
+
+  // Atom pool: random linear inequalities and a few equalities over the
+  // shared variables, so distinct checks overlap heavily in their rows --
+  // the case the persistent tableau exists for.
+  std::vector<const Formula *> Pool;
+  for (int I = 0; I < 14; ++I) {
+    LinearExpr E = LinearExpr::constant(0);
+    for (VarId V : Vars)
+      E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+    LinearExpr C = LinearExpr::constant(R.range(-8, 8));
+    Pool.push_back(I % 4 == 0 ? M.mkEq(E, C) : M.mkLe(E, C));
+  }
+
+  Solver Slv(M);
+  Solver::Session Sess(Slv);
+  for (int Check = 0; Check < 60; ++Check) {
+    std::vector<const Formula *> Conj;
+    for (const Formula *F : Pool)
+      if (R.chance(0.4))
+        Conj.push_back(F);
+    if (Conj.empty())
+      Conj.push_back(M.getTrue());
+
+    const Formula *All = M.getTrue();
+    for (const Formula *F : Conj)
+      All = M.mkAnd(All, F);
+
+    Model Mo;
+    bool Got = Sess.check(Conj, &Mo);
+
+    Solver Fresh(M);
+    Fresh.setCaching(false);
+    EXPECT_EQ(Got, Fresh.isSat(All)) << "check " << Check;
+
+    if (Got) {
+      EXPECT_TRUE(evaluate(All, [&](VarId V) {
+        auto It = Mo.find(V);
+        return It == Mo.end() ? int64_t(0) : It->second;
+      })) << "session model does not satisfy the conjunction, check "
+          << Check;
+    } else {
+      const Formula *Core = M.getTrue();
+      for (const Formula *F : Sess.lastCore())
+        Core = M.mkAnd(Core, F);
+      EXPECT_FALSE(Fresh.isSat(Core))
+          << "session core is not unsat, check " << Check;
+    }
+  }
+  // The sequence must actually have hit the warm tableau's slack cache --
+  // otherwise this test is not exercising the incremental path at all.
+  EXPECT_GT(Slv.stats().TableauReuses, 0u);
 }
 
 } // namespace

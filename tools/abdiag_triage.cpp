@@ -70,6 +70,9 @@ void printUsage() {
       "  --max-iterations N   Figure 6 iteration budget (default 16)\n"
       "  --max-queries N      oracle interaction budget (default 64)\n"
       "  --msa-max-subsets N  MSA subset-search budget (default 4096)\n"
+      "  --simplex-max-pivots N\n"
+      "                       simplex pivot budget per LIA check in the\n"
+      "                       native engine (default 20000)\n"
       "  --costs MODEL        abduction cost model: paper|uniform|swapped\n"
       "  --no-auto-annotate   do not infer @p' annotations for bare loops\n"
       "  --no-decompose       do not split queries into subqueries\n"
@@ -196,6 +199,13 @@ void printJsonRow(const TriageReport &R, const char *Expected) {
   Row += ",\"core_skips\":" + std::to_string(S.CoreSkips);
   Row += ",\"qe_cache_hits\":" + std::to_string(S.QeCacheHits);
   Row += ",\"qe_cache_misses\":" + std::to_string(S.QeCacheMisses);
+  Row += ",\"sat_restarts\":" + std::to_string(S.SatRestarts);
+  Row += ",\"sat_learned\":" + std::to_string(S.SatLearned);
+  Row += ",\"sat_reduced\":" + std::to_string(S.SatReduced);
+  Row += ",\"sat_max_lbd\":" + std::to_string(S.SatMaxLbd);
+  Row += ",\"simplex_pivots\":" + std::to_string(S.SimplexPivots);
+  Row += ",\"pivot_limit_hits\":" + std::to_string(S.PivotLimitHits);
+  Row += ",\"tableau_reuses\":" + std::to_string(S.TableauReuses);
   if (S.CrossChecks)
     Row += ",\"cross_checks\":" + std::to_string(S.CrossChecks);
   Row += "}}";
@@ -283,6 +293,9 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--msa-max-subsets") == 0) {
       NextValue(V);
       Opts.Pipeline.msaMaxSubsets(static_cast<size_t>(V));
+    } else if (std::strcmp(Arg, "--simplex-max-pivots") == 0) {
+      NextValue(V);
+      Opts.Pipeline.simplexMaxPivots(static_cast<int>(V));
     } else if (std::strcmp(Arg, "--costs") == 0) {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "abdiag_triage: --costs needs an argument\n");
@@ -359,7 +372,9 @@ int main(int Argc, char **Argv) {
     if (ShowStats)
       std::printf("  solver: queries=%llu theory=%llu conflicts=%llu "
                   "cooper=%llu cache=%llu/%llu session=%llu coreskips=%llu "
-                  "qe=%llu/%llu wall=%.1fms worker=%d\n",
+                  "qe=%llu/%llu restarts=%llu learned=%llu reduced=%llu "
+                  "maxlbd=%llu pivots=%llu pivotlimits=%llu reuses=%llu "
+                  "wall=%.1fms worker=%d\n",
                   (unsigned long long)R.Solver.Queries,
                   (unsigned long long)R.Solver.TheoryChecks,
                   (unsigned long long)R.Solver.TheoryConflicts,
@@ -369,7 +384,14 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)R.Solver.SessionChecks,
                   (unsigned long long)R.Solver.CoreSkips,
                   (unsigned long long)R.Solver.QeCacheHits,
-                  (unsigned long long)R.Solver.QeCacheMisses, R.WallMs,
+                  (unsigned long long)R.Solver.QeCacheMisses,
+                  (unsigned long long)R.Solver.SatRestarts,
+                  (unsigned long long)R.Solver.SatLearned,
+                  (unsigned long long)R.Solver.SatReduced,
+                  (unsigned long long)R.Solver.SatMaxLbd,
+                  (unsigned long long)R.Solver.SimplexPivots,
+                  (unsigned long long)R.Solver.PivotLimitHits,
+                  (unsigned long long)R.Solver.TableauReuses, R.WallMs,
                   R.Worker);
     std::fflush(stdout);
   });
