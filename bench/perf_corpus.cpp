@@ -185,7 +185,10 @@ int main(int Argc, char **Argv) {
         "\"mismatches\":%zu,\"gen_wall_ms\":%.1f,"
         "\"gen_candidates\":%zu,\"gen_accepted\":%zu,"
         "\"solver_queries\":%llu,\"simplex_pivots\":%llu,"
-        "\"pivot_limit_hits\":%llu,\"tableau_reuses\":%llu}\n",
+        "\"pivot_limit_hits\":%llu,\"tableau_reuses\":%llu,"
+        "\"formula_nodes\":%llu,\"intern_hits\":%llu,"
+        "\"fv_memo_hits\":%llu,\"subst_prunes\":%llu,"
+        "\"arena_bytes\":%llu}\n",
         Backend.c_str(), Jobs, Queue.size(), (unsigned long long)Seed,
         S.WallMs, Rps, percentile(Lat, 0.50), percentile(Lat, 0.95),
         percentile(Lat, 0.99), S.Timeouts, S.Inconclusive, Mismatches,
@@ -193,7 +196,12 @@ int main(int Argc, char **Argv) {
         (unsigned long long)S.Solver.Queries,
         (unsigned long long)S.Solver.SimplexPivots,
         (unsigned long long)S.Solver.PivotLimitHits,
-        (unsigned long long)S.Solver.TableauReuses);
+        (unsigned long long)S.Solver.TableauReuses,
+        (unsigned long long)S.Solver.FormulaNodes,
+        (unsigned long long)S.Solver.FormulaInternHits,
+        (unsigned long long)S.Solver.FormulaMemoHits,
+        (unsigned long long)S.Solver.FormulaSubstPrunes,
+        (unsigned long long)S.Solver.FormulaArenaBytes);
     std::fflush(stdout);
   }
   if (Failures)

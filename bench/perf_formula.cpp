@@ -1,0 +1,323 @@
+//===- bench/perf_formula.cpp - Formula substrate microbenchmarks -----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Google-benchmark suite for the formula substrate itself: interning
+/// throughput, structural ops (freeVars / containsVar / atomCount /
+/// substitute) on deeply *shared* DAGs, Cooper elimination chains, and
+/// MSA-style repeated renamings. Cooper QE and the MSA subset search build
+/// formulas with massive subformula sharing, so these benchmarks measure
+/// DAG work, not tree work: a substrate that re-walks shared subformulas
+/// per occurrence goes exponential exactly where the diagnosis pipeline
+/// lives. Recorded as BENCH_formula.json by bench/run_bench.sh and gated
+/// against bench/baselines/BENCH_formula.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Cooper.h"
+#include "smt/FormulaOps.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Variables for one balanced shared DAG: a spine variable X (occurring in
+/// every atom) plus two fresh leaf variables per level.
+struct DagVars {
+  VarId X;
+  std::vector<VarId> A, B;
+};
+
+DagVars makeDagVars(FormulaManager &M, int Depth, const std::string &Tag) {
+  DagVars V;
+  V.X = M.vars().create(Tag + "_x", VarKind::Input);
+  for (int I = 0; I < Depth; ++I) {
+    V.A.push_back(
+        M.vars().create(Tag + "_a" + std::to_string(I), VarKind::Input));
+    V.B.push_back(
+        M.vars().create(Tag + "_b" + std::to_string(I), VarKind::Input));
+  }
+  return V;
+}
+
+/// Balanced shared And/Or DAG of ~5*Depth distinct nodes whose *tree*
+/// expansion has ~2^Depth leaves:
+///
+///   N_0     = (x <= 0)
+///   N_{i+1} = And(Or(N_i, a_i + x - (i+1) <= 0),
+///                 Or(N_i, b_i - x + (i+1) <= 0))
+///
+/// Levels alternate And-of-Or so the smart constructors neither flatten nor
+/// fold anything, and every atom mentions the spine variable X so a
+/// substitution for X must rebuild every node.
+const Formula *buildSharedDag(FormulaManager &M, const DagVars &V, int Depth) {
+  const Formula *N = M.mkAtom(AtomRel::Le, LinearExpr::variable(V.X));
+  for (int I = 0; I < Depth; ++I) {
+    const Formula *A =
+        M.mkAtom(AtomRel::Le, LinearExpr::variable(V.A[I]) +
+                                  LinearExpr::variable(V.X) +
+                                  LinearExpr::constant(-(I + 1)));
+    const Formula *B =
+        M.mkAtom(AtomRel::Le, LinearExpr::variable(V.B[I]) -
+                                  LinearExpr::variable(V.X) +
+                                  LinearExpr::constant(I + 1));
+    N = M.mkAnd(M.mkOr(N, A), M.mkOr(N, B));
+  }
+  return N;
+}
+
+/// Random NNF condition (Le/Ne atoms only), same flavor as the MSA
+/// constraint pools in the diagnosis pipeline.
+const Formula *randomCondition(FormulaManager &M, Rng &R,
+                               const std::vector<VarId> &Vars, int Depth) {
+  if (Depth == 0 || R.chance(0.4)) {
+    LinearExpr E = LinearExpr::constant(R.range(-6, 6));
+    for (VarId V : Vars)
+      if (R.chance(0.6))
+        E = E.add(LinearExpr::variable(V, R.range(-3, 3)));
+    return R.chance(0.5) ? M.mkAtom(AtomRel::Le, E)
+                         : M.mkAtom(AtomRel::Ne, E);
+  }
+  std::vector<const Formula *> Kids;
+  for (int I = 0, N = static_cast<int>(R.range(2, 3)); I < N; ++I)
+    Kids.push_back(randomCondition(M, R, Vars, Depth - 1));
+  return R.chance(0.5) ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+}
+
+/// Substitute the spine variable of a deeply shared DAG: the tree has
+/// 2^Depth atom occurrences, the DAG ~5*Depth nodes. This is the headline
+/// tree-vs-DAG benchmark.
+void BM_DeepSharedSubstitute(benchmark::State &State) {
+  int Depth = static_cast<int>(State.range(0));
+  FormulaManager M;
+  DagVars V = makeDagVars(M, Depth, "s");
+  VarId Y = M.vars().create("s_y", VarKind::Input);
+  const Formula *F = buildSharedDag(M, V, Depth);
+  std::unordered_map<VarId, LinearExpr> Map;
+  Map.emplace(V.X, LinearExpr::variable(Y));
+  // Deterministic work counters from the first (cold) and second (warm)
+  // substitution; recorded before the timed loop so they are independent
+  // of the iteration count and exact-gated by check_bench_regression.
+  FormulaStats S0 = M.stats();
+  benchmark::DoNotOptimize(substitute(M, F, Map));
+  FormulaStats S1 = M.stats();
+  benchmark::DoNotOptimize(substitute(M, F, Map));
+  FormulaStats S2 = M.stats();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(substitute(M, F, Map));
+  State.counters["x_dag_nodes"] = static_cast<double>(S0.NodesInterned);
+  State.counters["x_cold_new_nodes"] =
+      static_cast<double>(S1.NodesInterned - S0.NodesInterned);
+  State.counters["x_warm_new_nodes"] =
+      static_cast<double>(S2.NodesInterned - S1.NodesInterned);
+}
+BENCHMARK(BM_DeepSharedSubstitute)->Arg(12)->Arg(16)->Arg(20);
+
+/// Substitution whose domain is disjoint from freeVars(F): semantically a
+/// no-op. The MSA consistency-renaming loop hits this shape constantly
+/// (most conditions do not mention the variables being renamed).
+void BM_SubstituteDisjointDomain(benchmark::State &State) {
+  FormulaManager M;
+  DagVars V = makeDagVars(M, 14, "d");
+  const Formula *F = buildSharedDag(M, V, 14);
+  VarId U0 = M.vars().create("d_u0", VarKind::Input);
+  VarId U1 = M.vars().create("d_u1", VarKind::Input);
+  VarId W = M.vars().create("d_w", VarKind::Input);
+  std::unordered_map<VarId, LinearExpr> Map;
+  Map.emplace(U0, LinearExpr::variable(W).addConst(1));
+  Map.emplace(U1, LinearExpr::constant(3));
+  FormulaStats S0 = M.stats();
+  benchmark::DoNotOptimize(substitute(M, F, Map));
+  FormulaStats S1 = M.stats();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(substitute(M, F, Map));
+  State.counters["x_new_nodes"] =
+      static_cast<double>(S1.NodesInterned - S0.NodesInterned);
+  State.counters["x_prunes"] =
+      static_cast<double>(S1.SubstPrunes - S0.SubstPrunes);
+}
+BENCHMARK(BM_SubstituteDisjointDomain);
+
+/// Cooper elimination chain over a shared DAG mentioning two quantified
+/// variables (unit coefficients keep delta = 1, so the cost is bound
+/// collection + per-bound substitution -- pure substrate traffic).
+void BM_QeChainShared(benchmark::State &State) {
+  int Depth = static_cast<int>(State.range(0));
+  FormulaManager M;
+  VarId Q0 = M.vars().create("q0", VarKind::Input);
+  VarId Q1 = M.vars().create("q1", VarKind::Input);
+  VarId X0 = M.vars().create("qx0", VarKind::Input);
+  std::vector<VarId> Leaves;
+  for (int I = 0; I < Depth; ++I)
+    Leaves.push_back(
+        M.vars().create("ql" + std::to_string(I), VarKind::Input));
+  const Formula *N =
+      M.mkAtom(AtomRel::Le,
+               LinearExpr::variable(Q0) - LinearExpr::variable(X0));
+  for (int I = 0; I < Depth; ++I) {
+    VarId Q = (I % 2) ? Q1 : Q0;
+    const Formula *A =
+        M.mkAtom(AtomRel::Le, LinearExpr::variable(Q) -
+                                  LinearExpr::variable(Leaves[I]) +
+                                  LinearExpr::constant(I));
+    const Formula *B =
+        M.mkAtom(AtomRel::Le, LinearExpr::variable(Leaves[I], -1) -
+                                  LinearExpr::variable(Q) +
+                                  LinearExpr::constant(-I));
+    N = M.mkAnd(M.mkOr(N, A), M.mkOr(N, B));
+  }
+  std::vector<VarId> Elim = {Q0, Q1};
+  FormulaStats S0 = M.stats();
+  const Formula *R0 = eliminateExists(M, N, Elim);
+  FormulaStats S1 = M.stats();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(eliminateExists(M, N, Elim));
+  State.counters["x_qe_new_nodes"] =
+      static_cast<double>(S1.NodesInterned - S0.NodesInterned);
+  State.counters["x_qe_result_id"] = static_cast<double>(R0->id());
+}
+BENCHMARK(BM_QeChainShared)->Arg(6)->Arg(9);
+
+/// MSA-style repeated renamings: a pool of conditions, rounds of small
+/// renaming maps. About half the conditions do not mention the renamed
+/// variables at all (the disjoint-domain fast path in the subset search).
+void BM_MsaRenameRounds(benchmark::State &State) {
+  FormulaManager M;
+  Rng R(77);
+  std::vector<VarId> Shared, Aux, Pool;
+  for (int I = 0; I < 5; ++I)
+    Shared.push_back(M.vars().create("mv" + std::to_string(I),
+                                     VarKind::Input));
+  for (int I = 0; I < 4; ++I)
+    Aux.push_back(M.vars().create("mt" + std::to_string(I), VarKind::Input));
+  for (int I = 0; I < 8; ++I)
+    Pool.push_back(M.vars().create("mr" + std::to_string(I), VarKind::Input));
+  // Conditions 0..3 over shared+aux vars (renaming applies), 4..7 over
+  // shared vars only (renaming domain disjoint).
+  std::vector<const Formula *> Conds;
+  std::vector<VarId> Both = Shared;
+  Both.insert(Both.end(), Aux.begin(), Aux.end());
+  for (int I = 0; I < 4; ++I)
+    Conds.push_back(randomCondition(M, R, Both, 3));
+  for (int I = 0; I < 4; ++I)
+    Conds.push_back(randomCondition(M, R, Shared, 3));
+  FormulaStats S0 = M.stats();
+  {
+    for (int Round = 0; Round < 8; ++Round) {
+      std::unordered_map<VarId, LinearExpr> Renaming;
+      for (int J = 0; J < 3; ++J)
+        Renaming.emplace(Aux[J],
+                         LinearExpr::variable(Pool[(Round + J) % 8]));
+      for (const Formula *C : Conds)
+        benchmark::DoNotOptimize(substitute(M, C, Renaming));
+    }
+  }
+  FormulaStats S1 = M.stats();
+  for (auto _ : State) {
+    size_t Sink = 0;
+    for (int Round = 0; Round < 8; ++Round) {
+      std::unordered_map<VarId, LinearExpr> Renaming;
+      for (int J = 0; J < 3; ++J)
+        Renaming.emplace(Aux[J],
+                         LinearExpr::variable(Pool[(Round + J) % 8]));
+      for (const Formula *C : Conds)
+        Sink += substitute(M, C, Renaming)->id();
+    }
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.counters["x_rename_prunes"] =
+      static_cast<double>(S1.SubstPrunes - S0.SubstPrunes);
+  State.counters["x_rename_new_nodes"] =
+      static_cast<double>(S1.NodesInterned - S0.NodesInterned);
+}
+BENCHMARK(BM_MsaRenameRounds);
+
+/// Cooper's variable-ordering loop shape: freeVars + containsVar queried
+/// over and over against the same shared formulas.
+void BM_FreeVarsCooperScore(benchmark::State &State) {
+  FormulaManager M;
+  std::vector<const Formula *> Fs;
+  for (int I = 0; I < 16; ++I) {
+    DagVars V = makeDagVars(M, 12, "f" + std::to_string(I));
+    Fs.push_back(buildSharedDag(M, V, 12));
+  }
+  FormulaStats S0 = M.stats();
+  for (const Formula *F : Fs)
+    benchmark::DoNotOptimize(freeVarsVec(F).size());
+  FormulaStats S1 = M.stats();
+  for (auto _ : State) {
+    size_t Sink = 0;
+    for (const Formula *F : Fs) {
+      const std::vector<VarId> &FV = freeVarsVec(F);
+      Sink += FV.size();
+      for (VarId V : FV)
+        Sink += containsVar(F, V);
+    }
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.counters["x_fv_memo_misses"] =
+      static_cast<double>(S1.MemoMisses - S0.MemoMisses);
+}
+BENCHMARK(BM_FreeVarsCooperScore);
+
+/// atomCount keeps tree semantics (occurrence count), so on a shared DAG
+/// the naive walk is exponential while a memoized pass is linear.
+void BM_AtomCountShared(benchmark::State &State) {
+  int Depth = static_cast<int>(State.range(0));
+  FormulaManager M;
+  DagVars V = makeDagVars(M, Depth, "c");
+  const Formula *F = buildSharedDag(M, V, Depth);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(atomCount(F));
+  State.counters["x_atom_count"] = static_cast<double>(atomCount(F));
+  State.counters["x_dag_nodes"] =
+      static_cast<double>(M.stats().NodesInterned);
+}
+BENCHMARK(BM_AtomCountShared)->Arg(16)->Arg(20);
+
+/// Raw interning throughput: fresh manager, a few hundred random formulas.
+/// Measures arena allocation, LinearExpr handling, and intern probing.
+void BM_InternChurn(benchmark::State &State) {
+  for (auto _ : State) {
+    FormulaManager M;
+    Rng R(42);
+    std::vector<VarId> Vars;
+    for (int I = 0; I < 6; ++I)
+      Vars.push_back(
+          M.vars().create("v" + std::to_string(I), VarKind::Input));
+    for (int I = 0; I < 300; ++I)
+      benchmark::DoNotOptimize(randomCondition(M, R, Vars, 3));
+  }
+  // One deterministic churn outside the loop for the exact counter gates.
+  FormulaManager M;
+  Rng R(42);
+  std::vector<VarId> Vars;
+  for (int I = 0; I < 6; ++I)
+    Vars.push_back(M.vars().create("v" + std::to_string(I), VarKind::Input));
+  for (int I = 0; I < 300; ++I)
+    benchmark::DoNotOptimize(randomCondition(M, R, Vars, 3));
+  State.counters["x_nodes_interned"] =
+      static_cast<double>(M.stats().NodesInterned);
+  State.counters["x_intern_hits"] =
+      static_cast<double>(M.stats().InternHits);
+  State.counters["x_intern_probes"] =
+      static_cast<double>(M.stats().InternProbes);
+  State.counters["x_arena_bytes"] =
+      static_cast<double>(M.stats().ArenaBytes);
+}
+BENCHMARK(BM_InternChurn);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -48,7 +48,7 @@ int main() {
     size_t MaxAtoms = 0, MaxVars = 0;
     for (const QueryRecord &Q : R.Transcript) {
       MaxAtoms = std::max(MaxAtoms, smt::atomCount(Q.Fml));
-      MaxVars = std::max(MaxVars, smt::freeVars(Q.Fml).size());
+      MaxVars = std::max(MaxVars, smt::freeVarsVec(Q.Fml).size());
     }
     size_t PhiAtoms = smt::atomCount(D.analysis().SuccessCondition);
     std::printf("%-22s %8zu %10zu %12zu %14zu %9.4f s\n", B.Name.c_str(),

@@ -40,7 +40,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT_DIR="${2:-$REPO_ROOT}"
 
-for BIN in perf_smt perf_abduction; do
+for BIN in perf_smt perf_abduction perf_formula; do
   if [[ ! -x "$BUILD_DIR/bench/$BIN" ]]; then
     echo "error: $BUILD_DIR/bench/$BIN not built (run: cmake --build $BUILD_DIR -j)" >&2
     exit 1
@@ -69,6 +69,16 @@ STATUS=0
   --benchmark_out="$OUT_DIR/BENCH_abduction.json" \
   --benchmark_out_format=json || {
     echo "error: perf_abduction failed (exit $?)" >&2
+    STATUS=1
+  }
+# Formula-substrate suite: wall times are gated like the other suites, and
+# its x_-prefixed user counters (intern/memo/DAG-size work counters) are
+# deterministic, so check_bench_regression gates those *exactly*.
+"$BUILD_DIR/bench/perf_formula" \
+  --benchmark_repetitions=3 \
+  --benchmark_out="$OUT_DIR/BENCH_formula.json" \
+  --benchmark_out_format=json || {
+    echo "error: perf_formula failed (exit $?)" >&2
     STATUS=1
   }
 
@@ -107,7 +117,7 @@ if [[ "$STATUS" -ne 0 ]]; then
   exit "$STATUS"
 fi
 
-echo "wrote $OUT_DIR/BENCH_smt.json and $OUT_DIR/BENCH_abduction.json"
+echo "wrote $OUT_DIR/BENCH_smt.json, $OUT_DIR/BENCH_abduction.json, and $OUT_DIR/BENCH_formula.json"
 if [[ "${#TRIAGE_OUTS[@]}" -gt 0 ]]; then
   echo "wrote ${TRIAGE_OUTS[*]}"
 fi

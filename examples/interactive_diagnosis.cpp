@@ -57,7 +57,7 @@ private:
   const smt::VarTable &VT;
 
   Answer prompt(const smt::Formula *F) {
-    for (smt::VarId V : smt::freeVars(F)) {
+    for (smt::VarId V : smt::freeVarsVec(F)) {
       auto It = AR.Origins.find(V);
       if (It != AR.Origins.end())
         std::printf("       (%s is %s)\n", VT.name(V).c_str(),

@@ -40,7 +40,7 @@ int64_t Abducer::varCost(const VarTable &VT, VarId V, AbductionMode Mode,
 int64_t Abducer::formulaCost(const Formula *F, AbductionMode Mode,
                              int64_t NumVars) const {
   int64_t C = 0;
-  for (VarId V : freeVars(F))
+  for (VarId V : freeVarsVec(F))
     C += varCost(S.manager().vars(), V, Mode, NumVars, Model);
   return C;
 }
@@ -54,8 +54,12 @@ AbductionResult Abducer::abduce(
   // |Vars(phi) ∪ Vars(I)| drives the expensive tier of the cost function.
   // Target is I => phi (or I => ¬phi), so its variables are exactly that
   // union (variables simplified away cannot appear in any abduction).
-  std::set<VarId> AllVars = freeVars(Target);
-  collectFreeVars(I, AllVars);
+  const std::vector<VarId> &TargetFv = freeVarsVec(Target);
+  std::vector<VarId> AllVars = TargetFv;
+  const std::vector<VarId> &IFv = freeVarsVec(I);
+  AllVars.insert(AllVars.end(), IFv.begin(), IFv.end());
+  std::sort(AllVars.begin(), AllVars.end());
+  AllVars.erase(std::unique(AllVars.begin(), AllVars.end()), AllVars.end());
   int64_t NumVars = static_cast<int64_t>(AllVars.size());
 
   CostFn Cost = [this, Mode, NumVars](VarId V) {
@@ -68,12 +72,11 @@ AbductionResult Abducer::abduce(
   // Lemma 3/5: Gamma = QE(forall V-bar. Target), simplified modulo I.
   // Among all minimum-cost candidates, apply Definition 3(2): drop any
   // candidate strictly stronger than another, then prefer the smallest.
-  std::set<VarId> TargetVars = freeVars(Target);
   std::vector<const Formula *> Candidates;
   for (const MsaCandidate &Cand : Res.Msa.Candidates) {
     std::set<VarId> Keep(Cand.Vars.begin(), Cand.Vars.end());
     std::vector<VarId> Eliminate;
-    for (VarId V : TargetVars)
+    for (VarId V : TargetFv)
       if (!Keep.count(V))
         Eliminate.push_back(V);
     // This QE was already performed by findMsa for every winning subset;

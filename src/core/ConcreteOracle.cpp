@@ -160,7 +160,7 @@ ConcreteOracle::ConcreteOracle(const Program &Prog, const AnalysisResult &AR,
 std::optional<bool> ConcreteOracle::evalIn(const Formula *F,
                                            const RunValues &Run) const {
   // All variables must be defined in this run.
-  for (VarId V : freeVars(F))
+  for (VarId V : freeVarsVec(F))
     if (V >= Run.Values.size() || !Run.Values[V])
       return std::nullopt;
   return evaluate(F, [&](VarId V) { return *Run.Values[V]; });

@@ -41,8 +41,7 @@ MsaResult abdiag::core::findMsa(DecisionProcedure &S, const Formula *Target,
   FormulaManager &M = S.manager();
   MsaResult Res;
 
-  std::set<VarId> FvSet = freeVars(Target);
-  std::vector<VarId> Fv(FvSet.begin(), FvSet.end());
+  const std::vector<VarId> &Fv = freeVarsVec(Target);
   assert(Fv.size() <= 64 && "MSA search limited to 64 target variables");
 
   // Rename the non-shared variables of each consistency condition apart so
@@ -52,8 +51,8 @@ MsaResult abdiag::core::findMsa(DecisionProcedure &S, const Formula *Target,
   for (size_t I = 0; I < ConsistWith.size(); ++I) {
     const Formula *C = ConsistWith[I];
     std::unordered_map<VarId, LinearExpr> Renaming;
-    for (VarId V : freeVars(C)) {
-      if (FvSet.count(V))
+    for (VarId V : freeVarsVec(C)) {
+      if (std::binary_search(Fv.begin(), Fv.end(), V))
         continue;
       VarId Copy = M.vars().getOrCreate(
           M.vars().name(V) + "#c" + std::to_string(I), VarKind::Aux);

@@ -11,9 +11,10 @@
 //     (E=0 -> E<=0 ∧ -E<=0; E!=0 -> E+1<=0 ∨ -E+1<=0).
 //  2. Let L be the lcm of |coefficient of x| over all atoms. Each atom is
 //     scaled so the coefficient becomes ±L, and y = L*x is introduced with
-//     the side constraint L | y. Scaled atoms are kept in a private tree
-//     (not re-interned) because the manager's canonicalization would undo
-//     the scaling.
+//     the side constraint L | y. Scaled atoms are kept in a private DAG
+//     mirroring the formula's shared structure (not re-interned, because
+//     the manager's canonicalization would undo the scaling); X-free
+//     subformulas collapse to single leaves.
 //  3. With unit coefficients on y, atoms split into upper bounds y <= a,
 //     lower bounds y >= b, and divisibility constraints. For
 //     delta = lcm(L, divisors), the classic equivalence (non-strict-bound
@@ -37,35 +38,43 @@
 #include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <unordered_map>
 
 using namespace abdiag;
 using namespace abdiag::smt;
 
 namespace {
 
-/// A formula tree in which atoms mentioning the eliminated variable are held
-/// in scaled form (coefficient of y is +1 or -1) outside the manager.
-struct XTree {
-  enum class Kind { Plain, XAtom, And, Or } K;
-  const Formula *Plain = nullptr; // Kind::Plain
-  // Kind::XAtom: Rel(YSign * y + Rest) or divisibility with Divisor.
-  AtomRel Rel = AtomRel::Le;
-  int YSign = 0;
-  LinearExpr Rest;
-  int64_t Divisor = 0;
-  std::vector<XTree> Kids; // And/Or
+/// The formula restricted to the parts mentioning the eliminated variable,
+/// as a *DAG* mirroring the (shared) structure of the source formula: atoms
+/// mentioning X are held in scaled form (coefficient of y = L*x is +1 or
+/// -1) outside the manager, and every maximal X-free subformula collapses
+/// to a single Plain leaf. Nodes are stored post-order, so kids always
+/// precede parents and a forward scan visits kids first.
+struct XDag {
+  struct Node {
+    enum class Kind : uint8_t { Plain, XAtom, And, Or } K;
+    const Formula *Plain = nullptr; // Kind::Plain
+    // Kind::XAtom: Rel(YSign * y + Rest) or divisibility with Divisor.
+    AtomRel Rel = AtomRel::Le;
+    int YSign = 0;
+    int64_t Divisor = 0;
+    LinearExpr Rest;
+    std::vector<uint32_t> Kids; // And/Or: indices into Nodes
+  };
+  std::vector<Node> Nodes;
+  uint32_t Root = 0;
 };
 
 /// Rewrites Eq/Ne atoms that mention \p X into Le form so the main
-/// elimination only sees Le/Div/NDiv atoms on X.
-const Formula *lowerEqNeOn(FormulaManager &M, const Formula *F, VarId X) {
-  switch (F->kind()) {
-  case FormulaKind::True:
-  case FormulaKind::False:
+/// elimination only sees Le/Div/NDiv atoms on X. Shared subformulas are
+/// rewritten once per call; X-free subformulas are returned unchanged.
+const Formula *
+lowerEqNeOn(FormulaManager &M, const Formula *F, VarId X,
+            std::unordered_map<const Formula *, const Formula *> &Memo) {
+  if (!M.contains(F, X))
     return F;
-  case FormulaKind::Atom: {
-    if (!F->expr().contains(X))
-      return F;
+  if (F->isAtom()) {
     const LinearExpr &E = F->expr();
     if (F->rel() == AtomRel::Eq)
       return M.mkAnd(M.mkAtom(AtomRel::Le, E),
@@ -75,17 +84,17 @@ const Formula *lowerEqNeOn(FormulaManager &M, const Formula *F, VarId X) {
                     M.mkAtom(AtomRel::Le, E.negated().addConst(1)));
     return F;
   }
-  case FormulaKind::And:
-  case FormulaKind::Or: {
-    std::vector<const Formula *> Kids;
-    Kids.reserve(F->kids().size());
-    for (const Formula *K : F->kids())
-      Kids.push_back(lowerEqNeOn(M, K, X));
-    return F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
-  }
-  }
-  assert(false && "unhandled formula kind");
-  return F;
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  std::vector<const Formula *> Kids;
+  Kids.reserve(F->kids().size());
+  for (const Formula *K : F->kids())
+    Kids.push_back(lowerEqNeOn(M, K, X, Memo));
+  const Formula *R =
+      F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+  Memo.emplace(F, R);
+  return R;
 }
 
 /// Least common multiple of |coeff(X)| over all atoms of \p F containing X.
@@ -99,106 +108,118 @@ int64_t coeffLcm(const Formula *F, VarId X) {
   return L;
 }
 
-/// Builds the scaled tree for eliminating X (as y = L*x).
-XTree buildTree(const Formula *F, VarId X, int64_t L) {
-  XTree T;
-  switch (F->kind()) {
-  case FormulaKind::True:
-  case FormulaKind::False:
-    T.K = XTree::Kind::Plain;
-    T.Plain = F;
-    return T;
-  case FormulaKind::Atom: {
+/// Builds the scaled DAG node for \p F (eliminating X as y = L*x).
+uint32_t buildDagRec(FormulaManager &M, const Formula *F, VarId X, int64_t L,
+                     XDag &D,
+                     std::unordered_map<const Formula *, uint32_t> &Memo) {
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  XDag::Node N;
+  if (!M.contains(F, X)) {
+    // Whole subformula is X-free (covers True/False): one Plain leaf.
+    N.K = XDag::Node::Kind::Plain;
+    N.Plain = F;
+  } else if (F->isAtom()) {
     int64_t C = F->expr().coeff(X);
-    if (C == 0) {
-      T.K = XTree::Kind::Plain;
-      T.Plain = F;
-      return T;
-    }
+    assert(C != 0 && "X-containing atom must have an X coefficient");
     assert((F->rel() == AtomRel::Le || F->rel() == AtomRel::Div ||
             F->rel() == AtomRel::NDiv) &&
            "Eq/Ne on X must be lowered before scaling");
     int64_t K = L / (C < 0 ? -C : C);
     assert(K >= 1);
-    T.K = XTree::Kind::XAtom;
-    T.Rel = F->rel();
-    T.YSign = C < 0 ? -1 : 1;
+    N.K = XDag::Node::Kind::XAtom;
+    N.Rel = F->rel();
+    N.YSign = C < 0 ? -1 : 1;
     // Rest = K*(E - C*x): scale everything except the x term.
-    T.Rest = F->expr().substituted(X, LinearExpr::constant(0)).scaled(K);
-    T.Divisor = F->divisor() != 0 ? checkedMul(F->divisor(), K) : 0;
-    return T;
-  }
-  case FormulaKind::And:
-  case FormulaKind::Or: {
-    T.K = F->isAnd() ? XTree::Kind::And : XTree::Kind::Or;
-    T.Kids.reserve(F->kids().size());
+    N.Rest = F->expr().substituted(X, LinearExpr::constant(0)).scaled(K);
+    N.Divisor = F->divisor() != 0 ? checkedMul(F->divisor(), K) : 0;
+  } else {
+    N.K = F->isAnd() ? XDag::Node::Kind::And : XDag::Node::Kind::Or;
+    N.Kids.reserve(F->kids().size());
     for (const Formula *Kid : F->kids())
-      T.Kids.push_back(buildTree(Kid, X, L));
-    return T;
+      N.Kids.push_back(buildDagRec(M, Kid, X, L, D, Memo));
   }
-  }
-  assert(false && "unhandled formula kind");
-  return T;
+  D.Nodes.push_back(std::move(N));
+  uint32_t Idx = static_cast<uint32_t>(D.Nodes.size() - 1);
+  Memo.emplace(F, Idx);
+  return Idx;
+}
+
+XDag buildDag(FormulaManager &M, const Formula *F, VarId X, int64_t L) {
+  XDag D;
+  std::unordered_map<const Formula *, uint32_t> Memo;
+  D.Root = buildDagRec(M, F, X, L, D, Memo);
+  return D;
 }
 
 /// Collects lower-bound terms (B), upper-bound terms (A), and the lcm of
-/// divisors over all XAtoms.
-void collectBounds(const XTree &T, std::vector<LinearExpr> &Lower,
+/// divisors over all XAtoms. One scan over the DAG's node list -- each
+/// distinct scaled atom counts once however often the tree expansion
+/// repeats it -- with value-level dedup of the bound terms (duplicate
+/// bounds generate identical disjunct sets).
+void collectBounds(const XDag &D, std::vector<LinearExpr> &Lower,
                    std::vector<LinearExpr> &Upper, int64_t &Delta) {
-  switch (T.K) {
-  case XTree::Kind::Plain:
-    return;
-  case XTree::Kind::XAtom:
-    if (T.Rel == AtomRel::Le) {
+  for (const XDag::Node &N : D.Nodes) {
+    if (N.K != XDag::Node::Kind::XAtom)
+      continue;
+    if (N.Rel == AtomRel::Le) {
       // y + Rest <= 0  ->  y <= -Rest  (upper);  -y + Rest <= 0 -> y >= Rest.
-      if (T.YSign > 0)
-        Upper.push_back(T.Rest.negated());
+      if (N.YSign > 0)
+        Upper.push_back(N.Rest.negated());
       else
-        Lower.push_back(T.Rest);
+        Lower.push_back(N.Rest);
     } else {
-      Delta = lcm64(Delta, T.Divisor);
+      Delta = lcm64(Delta, N.Divisor);
     }
-    return;
-  case XTree::Kind::And:
-  case XTree::Kind::Or:
-    for (const XTree &K : T.Kids)
-      collectBounds(K, Lower, Upper, Delta);
-    return;
+  }
+  for (std::vector<LinearExpr> *B : {&Lower, &Upper}) {
+    std::sort(B->begin(), B->end());
+    B->erase(std::unique(B->begin(), B->end()), B->end());
   }
 }
 
 enum class InfMode { None, MinusInf, PlusInf };
 
-/// Substitutes y := Val into the tree and rebuilds a managed formula.
+/// Substitutes y := Val into the DAG and rebuilds a managed formula.
 /// In MinusInf (PlusInf) mode, Le atoms are replaced by their limit truth
-/// value and only divisibility atoms receive the substitution.
-const Formula *substTree(FormulaManager &M, const XTree &T,
-                         const LinearExpr &Val, InfMode Mode) {
-  switch (T.K) {
-  case XTree::Kind::Plain:
-    return T.Plain;
-  case XTree::Kind::XAtom: {
-    if (T.Rel == AtomRel::Le && Mode != InfMode::None) {
-      // As y -> -inf: y <= a is true, y >= b is false; dually for +inf.
-      bool IsUpper = T.YSign > 0;
-      bool Truth = (Mode == InfMode::MinusInf) == IsUpper;
-      return M.getBool(Truth);
+/// value and only divisibility atoms receive the substitution. A single
+/// forward pass: nodes are post-ordered, so kid results are ready when a
+/// parent needs them, and every shared subformula is rebuilt exactly once.
+const Formula *substDag(FormulaManager &M, const XDag &D,
+                        const LinearExpr &Val, InfMode Mode) {
+  std::vector<const Formula *> R(D.Nodes.size());
+  for (size_t I = 0; I < D.Nodes.size(); ++I) {
+    const XDag::Node &N = D.Nodes[I];
+    switch (N.K) {
+    case XDag::Node::Kind::Plain:
+      R[I] = N.Plain;
+      break;
+    case XDag::Node::Kind::XAtom: {
+      if (N.Rel == AtomRel::Le && Mode != InfMode::None) {
+        // As y -> -inf: y <= a is true, y >= b is false; dually for +inf.
+        bool IsUpper = N.YSign > 0;
+        bool Truth = (Mode == InfMode::MinusInf) == IsUpper;
+        R[I] = M.getBool(Truth);
+        break;
+      }
+      LinearExpr E = Val.scaled(N.YSign).add(N.Rest);
+      R[I] = M.mkAtom(N.Rel, std::move(E), N.Divisor);
+      break;
     }
-    LinearExpr E = Val.scaled(T.YSign).add(T.Rest);
-    return M.mkAtom(T.Rel, std::move(E), T.Divisor);
+    case XDag::Node::Kind::And:
+    case XDag::Node::Kind::Or: {
+      std::vector<const Formula *> Kids;
+      Kids.reserve(N.Kids.size());
+      for (uint32_t K : N.Kids)
+        Kids.push_back(R[K]);
+      R[I] = N.K == XDag::Node::Kind::And ? M.mkAnd(std::move(Kids))
+                                          : M.mkOr(std::move(Kids));
+      break;
+    }
+    }
   }
-  case XTree::Kind::And:
-  case XTree::Kind::Or: {
-    std::vector<const Formula *> Kids;
-    Kids.reserve(T.Kids.size());
-    for (const XTree &K : T.Kids)
-      Kids.push_back(substTree(M, K, Val, Mode));
-    return T.K == XTree::Kind::And ? M.mkAnd(std::move(Kids))
-                                   : M.mkOr(std::move(Kids));
-  }
-  }
-  assert(false && "unhandled tree kind");
-  return M.getFalse();
+  return R[D.Root];
 }
 
 } // namespace
@@ -209,39 +230,45 @@ const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
                                   VarId X,
                                   const support::CancellationToken *Cancel) {
   support::pollCancellation(Cancel);
-  F = lowerEqNeOn(M, F, X);
-  if (!containsVar(F, X))
+  {
+    std::unordered_map<const Formula *, const Formula *> LowerMemo;
+    F = lowerEqNeOn(M, F, X, LowerMemo);
+  }
+  if (!M.contains(F, X))
     return F;
 
   int64_t L = coeffLcm(F, X);
-  XTree T = buildTree(F, X, L);
-  // Side constraint from y = L*x: L | y. Represent as an XAtom conjunct.
+  XDag D = buildDag(M, F, X, L);
+  // Side constraint from y = L*x: L | y. Represent as an XAtom conjunct by
+  // appending a Div node and a fresh And root (post-order stays valid:
+  // both kids precede the new root).
   if (L > 1) {
-    XTree Root;
-    Root.K = XTree::Kind::And;
-    XTree DivAtom;
-    DivAtom.K = XTree::Kind::XAtom;
+    XDag::Node DivAtom;
+    DivAtom.K = XDag::Node::Kind::XAtom;
     DivAtom.Rel = AtomRel::Div;
     DivAtom.YSign = 1;
     DivAtom.Rest = LinearExpr::constant(0);
     DivAtom.Divisor = L;
-    Root.Kids.push_back(std::move(T));
-    Root.Kids.push_back(std::move(DivAtom));
-    T = std::move(Root);
+    D.Nodes.push_back(std::move(DivAtom));
+    XDag::Node Root;
+    Root.K = XDag::Node::Kind::And;
+    Root.Kids = {D.Root, static_cast<uint32_t>(D.Nodes.size() - 1)};
+    D.Nodes.push_back(std::move(Root));
+    D.Root = static_cast<uint32_t>(D.Nodes.size() - 1);
   }
 
   std::vector<LinearExpr> Lower, Upper;
   int64_t Delta = L;
-  collectBounds(T, Lower, Upper, Delta);
+  collectBounds(D, Lower, Upper, Delta);
 
   std::vector<const Formula *> Disjuncts;
   bool UseLower = Lower.size() <= Upper.size();
   // The ±infinity residues: j = 1..delta.
   for (int64_t J = 1; J <= Delta; ++J) {
     support::pollCancellation(Cancel);
-    Disjuncts.push_back(substTree(M, T, LinearExpr::constant(J),
-                                  UseLower ? InfMode::MinusInf
-                                           : InfMode::PlusInf));
+    Disjuncts.push_back(substDag(M, D, LinearExpr::constant(J),
+                                 UseLower ? InfMode::MinusInf
+                                          : InfMode::PlusInf));
   }
   // Boundary points: b + j (resp. a - j) for j = 0..delta-1.
   const std::vector<LinearExpr> &Bounds = UseLower ? Lower : Upper;
@@ -249,7 +276,7 @@ const Formula *eliminateExistsOne(FormulaManager &M, const Formula *F,
     for (int64_t J = 0; J < Delta; ++J) {
       support::pollCancellation(Cancel);
       LinearExpr Val = UseLower ? Bnd.addConst(J) : Bnd.addConst(-J);
-      Disjuncts.push_back(substTree(M, T, Val, InfMode::None));
+      Disjuncts.push_back(substDag(M, D, Val, InfMode::None));
     }
   return M.mkOr(std::move(Disjuncts));
 }
@@ -281,11 +308,12 @@ const Formula *abdiag::smt::eliminateExists(
   std::sort(Order.begin(), Order.end());
   Order.erase(std::unique(Order.begin(), Order.end()), Order.end());
   while (!Order.empty()) {
+    std::vector<const Formula *> Atoms = collectAtoms(F);
     size_t BestIdx = 0;
     size_t BestCount = SIZE_MAX;
     for (size_t I = 0; I < Order.size(); ++I) {
       size_t Count = 0;
-      for (const Formula *A : collectAtoms(F))
+      for (const Formula *A : Atoms)
         if (A->expr().contains(Order[I]))
           ++Count;
       if (Count < BestCount) {
@@ -373,8 +401,7 @@ bool solveUnivariate(const Formula *F, VarId X, int64_t &Out) {
 
 bool abdiag::smt::findModelByQe(FormulaManager &M, const Formula *F,
                                 std::unordered_map<VarId, int64_t> &Model) {
-  std::set<VarId> VarsSet = freeVars(F);
-  std::vector<VarId> Vars(VarsSet.begin(), VarsSet.end());
+  std::vector<VarId> Vars = freeVarsVec(F);
   for (size_t I = 0; I < Vars.size(); ++I) {
     VarId X = Vars[I];
     std::vector<VarId> Others(Vars.begin() + I + 1, Vars.end());

@@ -43,6 +43,14 @@ void SolverStats::dump(std::ostream &OS) const {
      << "tableau reuses:   " << TableauReuses << "\n";
   if (CrossChecks)
     OS << "cross checks:     " << CrossChecks << "\n";
+  if (FormulaNodes || FormulaArenaBytes)
+    OS << "formula nodes:    " << FormulaNodes << "\n"
+       << "intern hits:      " << FormulaInternHits << "\n"
+       << "intern probes:    " << FormulaInternProbes << "\n"
+       << "fv memo hits:     " << FormulaMemoHits << "\n"
+       << "fv memo misses:   " << FormulaMemoMisses << "\n"
+       << "subst prunes:     " << FormulaSubstPrunes << "\n"
+       << "arena bytes:      " << FormulaArenaBytes << "\n";
 }
 
 SolverStats &SolverStats::operator+=(const SolverStats &O) {
@@ -64,6 +72,13 @@ SolverStats &SolverStats::operator+=(const SolverStats &O) {
   SimplexPivots += O.SimplexPivots;
   PivotLimitHits += O.PivotLimitHits;
   TableauReuses += O.TableauReuses;
+  FormulaNodes += O.FormulaNodes;
+  FormulaInternHits += O.FormulaInternHits;
+  FormulaInternProbes += O.FormulaInternProbes;
+  FormulaMemoHits += O.FormulaMemoHits;
+  FormulaMemoMisses += O.FormulaMemoMisses;
+  FormulaSubstPrunes += O.FormulaSubstPrunes;
+  FormulaArenaBytes += O.FormulaArenaBytes;
   return *this;
 }
 
@@ -87,6 +102,13 @@ SolverStats &SolverStats::operator-=(const SolverStats &O) {
   SimplexPivots -= O.SimplexPivots;
   PivotLimitHits -= O.PivotLimitHits;
   TableauReuses -= O.TableauReuses;
+  FormulaNodes -= O.FormulaNodes;
+  FormulaInternHits -= O.FormulaInternHits;
+  FormulaInternProbes -= O.FormulaInternProbes;
+  FormulaMemoHits -= O.FormulaMemoHits;
+  FormulaMemoMisses -= O.FormulaMemoMisses;
+  FormulaSubstPrunes -= O.FormulaSubstPrunes;
+  FormulaArenaBytes -= O.FormulaArenaBytes;
   return *this;
 }
 
@@ -180,7 +202,7 @@ bool abdiag::smt::backendAvailable(const std::string &Name) {
 
 std::string abdiag::smt::reproducerDump(const VarTable &VT, const Formula *F) {
   std::string Out;
-  for (VarId V : freeVars(F)) {
+  for (VarId V : freeVarsVec(F)) {
     Out += "# var " + VT.name(V) + " ";
     switch (VT.kind(V)) {
     case VarKind::Input:

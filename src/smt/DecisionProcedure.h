@@ -73,6 +73,18 @@ struct SolverStats {
   uint64_t PivotLimitHits = 0;   ///< LIA checks aborted by the pivot budget
   uint64_t TableauReuses = 0;    ///< slack rows served by a warm session tableau
 
+  // Formula-substrate counters (FormulaStats deltas since the last reset,
+  // merged in by backends that own the native manager; engine-only
+  // backends such as Z3 leave them zero so differential sums don't
+  // double-count).
+  uint64_t FormulaNodes = 0;        ///< distinct nodes interned
+  uint64_t FormulaInternHits = 0;   ///< intern lookups answered by existing nodes
+  uint64_t FormulaInternProbes = 0; ///< open-addressing probe steps
+  uint64_t FormulaMemoHits = 0;     ///< memoized structural-op lookups served
+  uint64_t FormulaMemoMisses = 0;   ///< memoized structural-op entries computed
+  uint64_t FormulaSubstPrunes = 0;  ///< substitutions returned unchanged
+  uint64_t FormulaArenaBytes = 0;   ///< arena bytes grown in the window
+
   /// Human-readable one-line-per-counter report to a caller-supplied
   /// stream (callers pick stdout, a log file, a string buffer, ...).
   void dump(std::ostream &OS) const;

@@ -14,42 +14,137 @@
 using namespace abdiag;
 using namespace abdiag::smt;
 
-size_t Formula::hash() const {
+namespace {
+
+size_t hashAtomKey(AtomRel Rel, const LinearExpr &E, int64_t Divisor) {
+  size_t H = std::hash<uint8_t>()(static_cast<uint8_t>(FormulaKind::Atom));
+  hashCombine(H, std::hash<uint8_t>()(static_cast<uint8_t>(Rel)));
+  hashCombine(H, std::hash<int64_t>()(Divisor));
+  hashCombine(H, E.hash());
+  return H;
+}
+
+size_t hashNodeKey(FormulaKind Kind, const std::vector<const Formula *> &Kids) {
   size_t H = std::hash<uint8_t>()(static_cast<uint8_t>(Kind));
-  if (Kind == FormulaKind::Atom) {
-    hashCombine(H, std::hash<uint8_t>()(static_cast<uint8_t>(Rel)));
-    hashCombine(H, std::hash<int64_t>()(Divisor));
-    hashCombine(H, Expr.hash());
-  }
   for (const Formula *K : Kids)
     hashCombine(H, std::hash<uint32_t>()(K->id()));
   return H;
 }
+
+} // namespace
 
 bool Formula::sameStructure(const Formula &O) const {
   if (Kind != O.Kind)
     return false;
   if (Kind == FormulaKind::Atom)
     return Rel == O.Rel && Divisor == O.Divisor && Expr == O.Expr;
-  return Kids == O.Kids;
+  return NumKids == O.NumKids &&
+         std::equal(KidArr, KidArr + NumKids, O.KidArr);
 }
 
 FormulaManager::FormulaManager() {
-  TrueNode = intern(Formula(FormulaKind::True));
-  FalseNode = intern(Formula(FormulaKind::False));
+  Table.assign(1024, 0);
+  TableMask = Table.size() - 1;
+  TrueNode = internNode(FormulaKind::True, {});
+  FalseNode = internNode(FormulaKind::False, {});
 }
 
-const Formula *FormulaManager::intern(Formula &&N) {
-  size_t H = N.hash();
-  auto &Bucket = Buckets[H];
-  for (const Formula *Existing : Bucket)
-    if (Existing->sameStructure(N))
-      return Existing;
-  N.Id = static_cast<uint32_t>(Nodes.size());
-  Nodes.push_back(std::move(N));
-  const Formula *P = &Nodes.back();
-  Bucket.push_back(P);
-  return P;
+FormulaManager::~FormulaManager() {
+  // Nodes live in the arena, which frees memory but runs no destructors;
+  // the LinearExpr payload may own heap storage.
+  for (Formula *N : NodeList)
+    N->~Formula();
+}
+
+void FormulaManager::growTable() {
+  std::vector<uint32_t> Old = std::move(Table);
+  Table.assign(Old.size() * 2, 0);
+  TableMask = Table.size() - 1;
+  for (uint32_t E : Old) {
+    if (!E)
+      continue;
+    size_t Slot = NodeList[E - 1]->Hash & TableMask;
+    while (Table[Slot])
+      Slot = (Slot + 1) & TableMask;
+    Table[Slot] = E;
+  }
+}
+
+size_t FormulaManager::probeEmpty(size_t H) const {
+  size_t Slot = H & TableMask;
+  while (Table[Slot])
+    Slot = (Slot + 1) & TableMask;
+  return Slot;
+}
+
+Formula *FormulaManager::newNode(FormulaKind K, size_t H, size_t Slot) {
+  // Keep the load factor below 70%; growth invalidates Slot.
+  if ((NodeList.size() + 1) * 10 >= Table.size() * 7) {
+    growTable();
+    Slot = probeEmpty(H);
+  }
+  Formula *N = new (Arena.allocate<Formula>()) Formula(K);
+  N->Id = static_cast<uint32_t>(NodeList.size());
+  N->Hash = H;
+  N->Mgr = this;
+  NodeList.push_back(N);
+  Table[Slot] = N->Id + 1;
+  ++Stats.NodesInterned;
+  return N;
+}
+
+const Formula *FormulaManager::internAtom(AtomRel Rel, LinearExpr E,
+                                          int64_t Divisor) {
+  size_t H = hashAtomKey(Rel, E, Divisor);
+  size_t Slot = H & TableMask;
+  size_t Probes = 1;
+  while (uint32_t Entry = Table[Slot]) {
+    const Formula *N = NodeList[Entry - 1];
+    if (N->Hash == H && N->Kind == FormulaKind::Atom && N->Rel == Rel &&
+        N->Divisor == Divisor && N->Expr == E) {
+      ++Stats.InternHits;
+      Stats.InternProbes += Probes;
+      return N;
+    }
+    Slot = (Slot + 1) & TableMask;
+    ++Probes;
+  }
+  Stats.InternProbes += Probes;
+  Formula *N = newNode(FormulaKind::Atom, H, Slot);
+  N->Rel = Rel;
+  N->Divisor = Divisor;
+  N->Expr = std::move(E);
+  Stats.ArenaBytes = Arena.bytesUsed();
+  return N;
+}
+
+const Formula *
+FormulaManager::internNode(FormulaKind Kind,
+                           const std::vector<const Formula *> &Kids) {
+  size_t H = hashNodeKey(Kind, Kids);
+  size_t Slot = H & TableMask;
+  size_t Probes = 1;
+  while (uint32_t Entry = Table[Slot]) {
+    const Formula *N = NodeList[Entry - 1];
+    if (N->Hash == H && N->Kind == Kind && N->NumKids == Kids.size() &&
+        std::equal(Kids.begin(), Kids.end(), N->KidArr)) {
+      ++Stats.InternHits;
+      Stats.InternProbes += Probes;
+      return N;
+    }
+    Slot = (Slot + 1) & TableMask;
+    ++Probes;
+  }
+  Stats.InternProbes += Probes;
+  Formula *N = newNode(Kind, H, Slot);
+  if (!Kids.empty()) {
+    const Formula **Arr = Arena.allocateArray<const Formula *>(Kids.size());
+    std::copy(Kids.begin(), Kids.end(), Arr);
+    N->KidArr = Arr;
+    N->NumKids = static_cast<uint32_t>(Kids.size());
+  }
+  Stats.ArenaBytes = Arena.bytesUsed();
+  return N;
 }
 
 const Formula *FormulaManager::mkAtom(AtomRel Rel, LinearExpr E,
@@ -115,11 +210,9 @@ const Formula *FormulaManager::mkAtom(AtomRel Rel, LinearExpr E,
     break;
   }
   }
-  Formula N(FormulaKind::Atom);
-  N.Rel = Rel;
-  N.Expr = std::move(E);
-  N.Divisor = (Rel == AtomRel::Div || Rel == AtomRel::NDiv) ? Divisor : 0;
-  return intern(std::move(N));
+  if (Rel != AtomRel::Div && Rel != AtomRel::NDiv)
+    Divisor = 0;
+  return internAtom(Rel, std::move(E), Divisor);
 }
 
 const Formula *FormulaManager::mkLe(const LinearExpr &A, const LinearExpr &B) {
@@ -185,9 +278,7 @@ const Formula *FormulaManager::mkAnd(std::vector<const Formula *> Fs) {
     return TrueNode;
   if (Kids.size() == 1)
     return Kids.front();
-  Formula N(FormulaKind::And);
-  N.Kids = std::move(Kids);
-  return intern(std::move(N));
+  return internNode(FormulaKind::And, Kids);
 }
 
 const Formula *FormulaManager::mkOr(std::vector<const Formula *> Fs) {
@@ -208,9 +299,7 @@ const Formula *FormulaManager::mkOr(std::vector<const Formula *> Fs) {
     return FalseNode;
   if (Kids.size() == 1)
     return Kids.front();
-  Formula N(FormulaKind::Or);
-  N.Kids = std::move(Kids);
-  return intern(std::move(N));
+  return internNode(FormulaKind::Or, Kids);
 }
 
 const Formula *FormulaManager::mkNot(const Formula *F) {

@@ -22,6 +22,14 @@
 /// duplicate and complementary-literal elimination) and constant atoms fold
 /// to True/False, so many trivial tautologies never materialize.
 ///
+/// Storage: nodes and their kid arrays live in a bump arena owned by the
+/// manager (pointer-stable for the manager's lifetime, so pointer equality
+/// stays structural equality), and interning probes a flat open-addressing
+/// hash table of dense node ids. Every node carries its structural hash and
+/// a back-pointer to its manager; the manager additionally owns id-indexed
+/// memo tables that let the structural ops in FormulaOps run as linear DAG
+/// passes instead of exponential tree walks (see FormulaOps.h).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ABDIAG_SMT_FORMULA_H
@@ -29,8 +37,10 @@
 
 #include "smt/LinearExpr.h"
 #include "smt/Var.h"
+#include "support/Arena.h"
 
 #include <deque>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,10 +63,13 @@ class Formula {
 
   FormulaKind Kind;
   AtomRel Rel = AtomRel::Le;       // valid when Kind == Atom
-  int64_t Divisor = 0;             // valid when Rel is Div/NDiv
   uint32_t Id = 0;                 // creation index; deterministic order
+  uint32_t NumKids = 0;            // valid when Kind is And/Or
+  int64_t Divisor = 0;             // valid when Rel is Div/NDiv
+  size_t Hash = 0;                 // structural hash, fixed at interning
+  const Formula *const *KidArr = nullptr; // arena array, valid for And/Or
+  FormulaManager *Mgr = nullptr;   // owning manager (for memoized ops)
   LinearExpr Expr;                 // valid when Kind == Atom
-  std::vector<const Formula *> Kids; // valid when Kind is And/Or
 
   explicit Formula(FormulaKind K) : Kind(K) {}
 
@@ -73,10 +86,27 @@ public:
   AtomRel rel() const { return Rel; }
   int64_t divisor() const { return Divisor; }
   const LinearExpr &expr() const { return Expr; }
-  const std::vector<const Formula *> &kids() const { return Kids; }
+  std::span<const Formula *const> kids() const { return {KidArr, NumKids}; }
 
-  size_t hash() const;
+  /// The manager that owns this node.
+  FormulaManager &manager() const { return *Mgr; }
+
+  size_t hash() const { return Hash; }
   bool sameStructure(const Formula &O) const;
+};
+
+/// Counters for the formula substrate: interning traffic, memoized-op hit
+/// rates, and arena footprint. All deterministic for a fixed construction
+/// sequence; surfaced through SolverStats and the benchmark gates.
+struct FormulaStats {
+  uint64_t NodesInterned = 0; ///< distinct nodes created
+  uint64_t InternHits = 0;    ///< intern lookups answered by an existing node
+  uint64_t InternProbes = 0;  ///< total open-addressing probe steps
+  uint64_t MemoHits = 0;      ///< memoized structural-op lookups served
+  uint64_t MemoMisses = 0;    ///< memoized structural-op entries computed
+  uint64_t SubstPrunes = 0;   ///< substitutions returned unchanged via
+                              ///< free-variable disjointness
+  uint64_t ArenaBytes = 0;    ///< bytes of node + kid-array arena storage
 };
 
 /// Owns and uniques Formula nodes and the variable table.
@@ -86,21 +116,53 @@ public:
 /// be mixed.
 class FormulaManager {
   VarTable Vars;
-  std::deque<Formula> Nodes;
-  std::unordered_map<size_t, std::vector<const Formula *>> Buckets;
+  support::Arena Arena;
+  std::vector<Formula *> NodeList; // dense id -> node
+  /// Open-addressing intern table: power-of-two capacity, linear probing,
+  /// entries are node id + 1 (0 = empty). Grown at 70% load.
+  std::vector<uint32_t> Table;
+  size_t TableMask = 0;
   const Formula *TrueNode;
   const Formula *FalseNode;
+  FormulaStats Stats;
 
-  const Formula *intern(Formula &&N);
+  // Id-indexed memo tables for the structural ops (FormulaOps.cpp). The
+  // free-vars memo is a deque so references handed out stay stable while
+  // the tables grow with new nodes.
+  std::deque<std::vector<VarId>> FreeVarsMemo;
+  std::vector<uint8_t> FreeVarsKnown;
+  std::vector<uint64_t> AtomCountMemo;
+  std::vector<uint32_t> VisitMark; // epoch marks for DAG traversals
+  uint32_t VisitEpoch = 0;
+
+  void growTable();
+  size_t probeEmpty(size_t H) const;
+  Formula *newNode(FormulaKind K, size_t H, size_t Slot);
+  const Formula *internAtom(AtomRel Rel, LinearExpr E, int64_t Divisor);
+  const Formula *internNode(FormulaKind K,
+                            const std::vector<const Formula *> &Kids);
+
+  void ensureMemoSize();
+  const std::vector<VarId> &freeVarsRec(const Formula *F);
+  uint64_t atomCountRec(const Formula *F);
+  void collectAtomsRec(const Formula *F, std::vector<const Formula *> &Out);
+  const Formula *
+  substituteRec(const Formula *F, const std::vector<VarId> &Domain,
+                const std::unordered_map<VarId, LinearExpr> &Map,
+                std::unordered_map<const Formula *, const Formula *> &Memo);
 
 public:
   FormulaManager();
+  ~FormulaManager();
   FormulaManager(const FormulaManager &) = delete;
   FormulaManager &operator=(const FormulaManager &) = delete;
 
   VarTable &vars() { return Vars; }
   const VarTable &vars() const { return Vars; }
-  size_t numNodes() const { return Nodes.size(); }
+  size_t numNodes() const { return NodeList.size(); }
+
+  /// Substrate counters; cumulative over the manager's lifetime.
+  const FormulaStats &stats() const { return Stats; }
 
   const Formula *getTrue() const { return TrueNode; }
   const Formula *getFalse() const { return FalseNode; }
@@ -137,6 +199,26 @@ public:
   const Formula *mkIff(const Formula *A, const Formula *B) {
     return mkAnd(mkImplies(A, B), mkImplies(B, A));
   }
+
+  // Memoized structural queries (implemented in FormulaOps.cpp; the
+  // FormulaOps free functions are thin wrappers over these). Each is a
+  // single linear pass over the formula's *DAG* nodes on first query and
+  // an O(1)/O(log n) lookup afterwards.
+
+  /// Sorted free variables of \p F; the reference stays valid for the
+  /// manager's lifetime.
+  const std::vector<VarId> &freeVarsOf(const Formula *F);
+  /// Number of atom occurrences in the *tree* expansion of \p F,
+  /// saturating at 2^62 (shared DAGs expand exponentially).
+  uint64_t atomCountOf(const Formula *F);
+  /// True iff \p V occurs in \p F.
+  bool contains(const Formula *F, VarId V);
+  /// Appends the distinct atom nodes of \p F (DAG pass, epoch-marked).
+  void collectAtomsOf(const Formula *F, std::vector<const Formula *> &Out);
+  /// Simultaneous substitution, memoized per shared subformula within the
+  /// call; returns \p F itself when the map cannot touch it.
+  const Formula *substitute(const Formula *F,
+                            const std::unordered_map<VarId, LinearExpr> &Map);
 };
 
 } // namespace abdiag::smt

@@ -3,6 +3,13 @@
 // Part of the abdiag project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// The memoized query engines live here as FormulaManager members (they own
+// the id-indexed memo tables declared in Formula.h); the public FormulaOps
+// functions are thin wrappers that reach the manager through the node's
+// back-pointer.
+//
+//===----------------------------------------------------------------------===//
 
 #include "smt/FormulaOps.h"
 
@@ -12,76 +19,199 @@
 using namespace abdiag;
 using namespace abdiag::smt;
 
-void abdiag::smt::collectFreeVars(const Formula *F, std::set<VarId> &Out) {
-  if (F->isAtom()) {
-    F->expr().forEachVar([&](VarId V) { Out.insert(V); });
-    return;
-  }
-  for (const Formula *K : F->kids())
-    collectFreeVars(K, Out);
-}
-
-std::set<VarId> abdiag::smt::freeVars(const Formula *F) {
-  std::set<VarId> Out;
-  collectFreeVars(F, Out);
-  return Out;
-}
-
 namespace {
-void collectAtomsImpl(const Formula *F, std::set<const Formula *> &Seen,
-                      std::vector<const Formula *> &Out) {
-  if (F->isAtom()) {
-    if (Seen.insert(F).second)
-      Out.push_back(F);
-    return;
-  }
-  for (const Formula *K : F->kids())
-    collectAtomsImpl(K, Seen, Out);
+/// Tree atom counts of shared DAGs overflow quickly; saturate instead.
+constexpr uint64_t UnknownCount = ~uint64_t(0);
+constexpr uint64_t CountCap = uint64_t(1) << 62;
+
+uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  return (A >= CountCap || B >= CountCap || A + B >= CountCap) ? CountCap
+                                                               : A + B;
 }
 } // namespace
 
+void FormulaManager::ensureMemoSize() {
+  size_t N = NodeList.size();
+  if (FreeVarsKnown.size() >= N)
+    return;
+  FreeVarsMemo.resize(N);
+  FreeVarsKnown.resize(N, 0);
+  AtomCountMemo.resize(N, UnknownCount);
+  VisitMark.resize(N, 0);
+}
+
+const std::vector<VarId> &FormulaManager::freeVarsRec(const Formula *F) {
+  uint32_t Id = F->id();
+  if (FreeVarsKnown[Id]) {
+    ++Stats.MemoHits;
+    return FreeVarsMemo[Id];
+  }
+  ++Stats.MemoMisses;
+  std::vector<VarId> Out;
+  if (F->isAtom()) {
+    for (const auto &T : F->expr().terms())
+      Out.push_back(T.first); // terms are var-sorted already
+  } else {
+    for (const Formula *K : F->kids()) {
+      const std::vector<VarId> &KV = freeVarsRec(K);
+      Out.insert(Out.end(), KV.begin(), KV.end());
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+  FreeVarsMemo[Id] = std::move(Out);
+  FreeVarsKnown[Id] = 1;
+  return FreeVarsMemo[Id];
+}
+
+const std::vector<VarId> &FormulaManager::freeVarsOf(const Formula *F) {
+  assert(F->Mgr == this && "formula from a different manager");
+  ensureMemoSize();
+  return freeVarsRec(F);
+}
+
+uint64_t FormulaManager::atomCountRec(const Formula *F) {
+  uint32_t Id = F->id();
+  if (AtomCountMemo[Id] != UnknownCount) {
+    ++Stats.MemoHits;
+    return AtomCountMemo[Id];
+  }
+  ++Stats.MemoMisses;
+  uint64_t N = 0;
+  if (F->isAtom()) {
+    N = 1;
+  } else {
+    for (const Formula *K : F->kids())
+      N = saturatingAdd(N, atomCountRec(K));
+  }
+  AtomCountMemo[Id] = N;
+  return N;
+}
+
+uint64_t FormulaManager::atomCountOf(const Formula *F) {
+  assert(F->Mgr == this && "formula from a different manager");
+  ensureMemoSize();
+  return atomCountRec(F);
+}
+
+bool FormulaManager::contains(const Formula *F, VarId V) {
+  const std::vector<VarId> &FV = freeVarsOf(F);
+  return std::binary_search(FV.begin(), FV.end(), V);
+}
+
+void FormulaManager::collectAtomsRec(const Formula *F,
+                                     std::vector<const Formula *> &Out) {
+  uint32_t Id = F->id();
+  if (VisitMark[Id] == VisitEpoch)
+    return;
+  VisitMark[Id] = VisitEpoch;
+  if (F->isAtom()) {
+    Out.push_back(F);
+    return;
+  }
+  for (const Formula *K : F->kids())
+    collectAtomsRec(K, Out);
+}
+
+void FormulaManager::collectAtomsOf(const Formula *F,
+                                    std::vector<const Formula *> &Out) {
+  assert(F->Mgr == this && "formula from a different manager");
+  ensureMemoSize();
+  if (++VisitEpoch == 0) { // epoch wrapped: old marks are ambiguous
+    std::fill(VisitMark.begin(), VisitMark.end(), 0);
+    VisitEpoch = 1;
+  }
+  collectAtomsRec(F, Out);
+}
+
+const Formula *FormulaManager::substituteRec(
+    const Formula *F, const std::vector<VarId> &Domain,
+    const std::unordered_map<VarId, LinearExpr> &Map,
+    std::unordered_map<const Formula *, const Formula *> &Memo) {
+  if (F->isTrue() || F->isFalse())
+    return F;
+  // Untouchable subformula: the map's domain misses every free variable.
+  const std::vector<VarId> &FV = freeVarsRec(F);
+  bool Touches = false;
+  for (VarId V : Domain)
+    if (std::binary_search(FV.begin(), FV.end(), V)) {
+      Touches = true;
+      break;
+    }
+  if (!Touches) {
+    ++Stats.SubstPrunes;
+    return F;
+  }
+  auto It = Memo.find(F);
+  if (It != Memo.end()) {
+    ++Stats.MemoHits;
+    return It->second;
+  }
+  const Formula *R;
+  if (F->isAtom()) {
+    LinearExpr E = F->expr();
+    for (const auto &[V, Repl] : Map)
+      E = E.substituted(V, Repl);
+    R = mkAtom(F->rel(), std::move(E), F->divisor());
+  } else {
+    std::vector<const Formula *> Kids;
+    Kids.reserve(F->kids().size());
+    for (const Formula *K : F->kids())
+      Kids.push_back(substituteRec(K, Domain, Map, Memo));
+    R = F->isAnd() ? mkAnd(std::move(Kids)) : mkOr(std::move(Kids));
+  }
+  Memo.emplace(F, R);
+  return R;
+}
+
+const Formula *
+FormulaManager::substitute(const Formula *F,
+                           const std::unordered_map<VarId, LinearExpr> &Map) {
+  assert(F->Mgr == this && "formula from a different manager");
+  if (Map.empty()) {
+    ++Stats.SubstPrunes;
+    return F;
+  }
+  ensureMemoSize();
+  std::vector<VarId> Domain;
+  Domain.reserve(Map.size());
+  for (const auto &[V, Repl] : Map)
+    Domain.push_back(V);
+  std::sort(Domain.begin(), Domain.end());
+  std::unordered_map<const Formula *, const Formula *> Memo;
+  return substituteRec(F, Domain, Map, Memo);
+}
+
+const std::vector<VarId> &abdiag::smt::freeVarsVec(const Formula *F) {
+  return F->manager().freeVarsOf(F);
+}
+
+std::set<VarId> abdiag::smt::freeVars(const Formula *F) {
+  const std::vector<VarId> &FV = freeVarsVec(F);
+  return std::set<VarId>(FV.begin(), FV.end());
+}
+
+void abdiag::smt::collectFreeVars(const Formula *F, std::set<VarId> &Out) {
+  const std::vector<VarId> &FV = freeVarsVec(F);
+  Out.insert(FV.begin(), FV.end());
+}
+
 std::vector<const Formula *> abdiag::smt::collectAtoms(const Formula *F) {
-  std::set<const Formula *> Seen;
   std::vector<const Formula *> Out;
-  collectAtomsImpl(F, Seen, Out);
+  F->manager().collectAtomsOf(F, Out);
   std::sort(Out.begin(), Out.end(),
             [](const Formula *A, const Formula *B) { return A->id() < B->id(); });
   return Out;
 }
 
 bool abdiag::smt::containsVar(const Formula *F, VarId V) {
-  if (F->isAtom())
-    return F->expr().contains(V);
-  for (const Formula *K : F->kids())
-    if (containsVar(K, V))
-      return true;
-  return false;
+  return F->manager().contains(F, V);
 }
 
 const Formula *
 abdiag::smt::substitute(FormulaManager &M, const Formula *F,
                         const std::unordered_map<VarId, LinearExpr> &Map) {
-  switch (F->kind()) {
-  case FormulaKind::True:
-  case FormulaKind::False:
-    return F;
-  case FormulaKind::Atom: {
-    LinearExpr E = F->expr();
-    for (const auto &[V, Repl] : Map)
-      E = E.substituted(V, Repl);
-    return M.mkAtom(F->rel(), std::move(E), F->divisor());
-  }
-  case FormulaKind::And:
-  case FormulaKind::Or: {
-    std::vector<const Formula *> Kids;
-    Kids.reserve(F->kids().size());
-    for (const Formula *K : F->kids())
-      Kids.push_back(substitute(M, K, Map));
-    return F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
-  }
-  }
-  assert(false && "unhandled formula kind");
-  return F;
+  return M.substitute(F, Map);
 }
 
 const Formula *abdiag::smt::substitute(FormulaManager &M, const Formula *F,
@@ -130,12 +260,7 @@ bool abdiag::smt::evaluate(const Formula *F,
 }
 
 size_t abdiag::smt::atomCount(const Formula *F) {
-  if (F->isAtom())
-    return 1;
-  size_t N = 0;
-  for (const Formula *K : F->kids())
-    N += atomCount(K);
-  return N;
+  return static_cast<size_t>(F->manager().atomCountOf(F));
 }
 
 namespace {

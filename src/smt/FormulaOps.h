@@ -11,6 +11,14 @@
 /// paper). CNF/DNF use distribution, which can blow up exponentially; they
 /// are only applied to the small query formulas produced by abduction.
 ///
+/// Formulas are shared DAGs, and the queries here are memoized per node in
+/// the owning FormulaManager: freeVars/atomCount/containsVar cost one
+/// linear DAG pass on the first query and cached lookups afterwards, and
+/// substitute rebuilds every shared subformula once per call (returning the
+/// input unchanged when the substitution domain cannot touch it). Prefer
+/// freeVarsVec over the std::set shim: it returns the manager's cached
+/// sorted vector without allocating.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ABDIAG_SMT_FORMULAOPS_H
@@ -24,10 +32,16 @@
 
 namespace abdiag::smt {
 
-/// Sorted set of the variables occurring in \p F.
+/// Sorted vector of the variables occurring in \p F, cached in the owning
+/// manager; the reference stays valid for the manager's lifetime.
+const std::vector<VarId> &freeVarsVec(const Formula *F);
+
+/// Sorted set of the variables occurring in \p F. Compatibility shim over
+/// freeVarsVec for callers that genuinely accumulate a set; prefer the
+/// vector API on hot paths.
 std::set<VarId> freeVars(const Formula *F);
 
-/// Appends the free variables of \p F into \p Out.
+/// Inserts the free variables of \p F into \p Out.
 void collectFreeVars(const Formula *F, std::set<VarId> &Out);
 
 /// All distinct atom nodes occurring in \p F, in deterministic (id) order.
@@ -37,7 +51,9 @@ std::vector<const Formula *> collectAtoms(const Formula *F);
 bool containsVar(const Formula *F, VarId V);
 
 /// Replaces every variable in the domain of \p Map by its linear expression,
-/// rebuilding (and re-canonicalizing) the formula in \p M.
+/// rebuilding (and re-canonicalizing) the formula in \p M. Returns \p F
+/// unchanged when the map is empty or its domain is disjoint from
+/// freeVars(F); shared subformulas are rebuilt once per call.
 const Formula *substitute(FormulaManager &M, const Formula *F,
                           const std::unordered_map<VarId, LinearExpr> &Map);
 
@@ -49,7 +65,8 @@ const Formula *substitute(FormulaManager &M, const Formula *F, VarId V,
 /// must be defined by \p Value.
 bool evaluate(const Formula *F, const std::function<int64_t(VarId)> &Value);
 
-/// Number of atom occurrences in \p F (tree count, not DAG count).
+/// Number of atom occurrences in \p F (tree count, not DAG count;
+/// saturates at 2^62 since shared DAGs expand exponentially).
 size_t atomCount(const Formula *F);
 
 /// Conjunctive normal form as a list of clauses (each clause a list of atom

@@ -13,6 +13,64 @@
 using namespace abdiag;
 using namespace abdiag::smt;
 
+LinearExpr::LinearExpr(LinearExpr &&O) noexcept
+    : HeapTerms(std::move(O.HeapTerms)), Size(O.Size), HeapCap(O.HeapCap),
+      Const(O.Const), HashCache(O.HashCache) {
+  if (!HeapCap)
+    std::copy(O.InlineTerms, O.InlineTerms + Size, InlineTerms);
+  O.Size = 0;
+  O.HeapCap = 0;
+  O.Const = 0;
+  O.HashCache = NoHash;
+}
+
+LinearExpr &LinearExpr::operator=(LinearExpr &&O) noexcept {
+  if (this == &O)
+    return *this;
+  HeapTerms = std::move(O.HeapTerms);
+  Size = O.Size;
+  HeapCap = O.HeapCap;
+  Const = O.Const;
+  HashCache = O.HashCache;
+  if (!HeapCap)
+    std::copy(O.InlineTerms, O.InlineTerms + Size, InlineTerms);
+  O.Size = 0;
+  O.HeapCap = 0;
+  O.Const = 0;
+  O.HashCache = NoHash;
+  return *this;
+}
+
+LinearExpr::LinearExpr(const LinearExpr &O)
+    : Size(O.Size), Const(O.Const), HashCache(O.HashCache) {
+  if (O.Size > InlineCap) {
+    HeapCap = O.Size;
+    HeapTerms = std::make_unique<Term[]>(HeapCap);
+    std::copy(O.data(), O.data() + O.Size, HeapTerms.get());
+  } else {
+    std::copy(O.data(), O.data() + O.Size, InlineTerms);
+  }
+}
+
+LinearExpr &LinearExpr::operator=(const LinearExpr &O) {
+  if (this == &O)
+    return *this;
+  LinearExpr Tmp(O);
+  *this = std::move(Tmp);
+  return *this;
+}
+
+void LinearExpr::append(VarId V, int64_t Coeff) {
+  if (Size == (HeapCap ? HeapCap : InlineCap)) {
+    uint32_t NewCap = Size * 2;
+    auto NewTerms = std::make_unique<Term[]>(NewCap);
+    std::copy(data(), data() + Size, NewTerms.get());
+    HeapTerms = std::move(NewTerms);
+    HeapCap = NewCap;
+  }
+  data()[Size++] = {V, Coeff};
+}
+
 LinearExpr LinearExpr::constant(int64_t C) {
   LinearExpr E;
   E.Const = C;
@@ -22,15 +80,15 @@ LinearExpr LinearExpr::constant(int64_t C) {
 LinearExpr LinearExpr::variable(VarId V, int64_t Coeff) {
   LinearExpr E;
   if (Coeff != 0)
-    E.Terms.emplace_back(V, Coeff);
+    E.append(V, Coeff);
   return E;
 }
 
 int64_t LinearExpr::coeff(VarId V) const {
+  const Term *B = data(), *E = B + Size;
   auto It = std::lower_bound(
-      Terms.begin(), Terms.end(), V,
-      [](const std::pair<VarId, int64_t> &T, VarId Id) { return T.first < Id; });
-  if (It != Terms.end() && It->first == V)
+      B, E, V, [](const Term &T, VarId Id) { return T.first < Id; });
+  if (It != E && It->first == V)
     return It->second;
   return 0;
 }
@@ -38,20 +96,21 @@ int64_t LinearExpr::coeff(VarId V) const {
 LinearExpr LinearExpr::add(const LinearExpr &O) const {
   LinearExpr R;
   R.Const = checkedAdd(Const, O.Const);
-  R.Terms.reserve(Terms.size() + O.Terms.size());
-  size_t I = 0, J = 0;
-  while (I < Terms.size() || J < O.Terms.size()) {
-    if (J == O.Terms.size() ||
-        (I < Terms.size() && Terms[I].first < O.Terms[J].first)) {
-      R.Terms.push_back(Terms[I++]);
-    } else if (I == Terms.size() || O.Terms[J].first < Terms[I].first) {
-      R.Terms.push_back(O.Terms[J++]);
+  const Term *A = data(), *AEnd = A + Size;
+  const Term *B = O.data(), *BEnd = B + O.Size;
+  while (A != AEnd || B != BEnd) {
+    if (B == BEnd || (A != AEnd && A->first < B->first)) {
+      R.append(A->first, A->second);
+      ++A;
+    } else if (A == AEnd || B->first < A->first) {
+      R.append(B->first, B->second);
+      ++B;
     } else {
-      int64_t C = checkedAdd(Terms[I].second, O.Terms[J].second);
+      int64_t C = checkedAdd(A->second, B->second);
       if (C != 0)
-        R.Terms.emplace_back(Terms[I].first, C);
-      ++I;
-      ++J;
+        R.append(A->first, C);
+      ++A;
+      ++B;
     }
   }
   return R;
@@ -66,15 +125,15 @@ LinearExpr LinearExpr::scaled(int64_t K) const {
   if (K == 0)
     return R;
   R.Const = checkedMul(Const, K);
-  R.Terms.reserve(Terms.size());
-  for (const auto &T : Terms)
-    R.Terms.emplace_back(T.first, checkedMul(T.second, K));
+  for (const Term &T : terms())
+    R.append(T.first, checkedMul(T.second, K));
   return R;
 }
 
 LinearExpr LinearExpr::addConst(int64_t K) const {
   LinearExpr R = *this;
   R.Const = checkedAdd(R.Const, K);
+  R.HashCache = NoHash;
   return R;
 }
 
@@ -84,47 +143,61 @@ LinearExpr LinearExpr::substituted(VarId V, const LinearExpr &Repl) const {
     return *this;
   LinearExpr WithoutV;
   WithoutV.Const = Const;
-  for (const auto &T : Terms)
+  for (const Term &T : terms())
     if (T.first != V)
-      WithoutV.Terms.push_back(T);
+      WithoutV.append(T.first, T.second);
   return WithoutV.add(Repl.scaled(C));
 }
 
 int64_t LinearExpr::coeffGcd() const {
   int64_t G = 0;
-  for (const auto &T : Terms)
+  for (const Term &T : terms())
     G = gcd64(G, T.second);
   return G;
 }
 
 int64_t LinearExpr::evaluate(const std::function<int64_t(VarId)> &Value) const {
   int64_t R = Const;
-  for (const auto &T : Terms)
+  for (const Term &T : terms())
     R = checkedAdd(R, checkedMul(T.second, Value(T.first)));
   return R;
+}
+
+bool LinearExpr::operator==(const LinearExpr &O) const {
+  if (Const != O.Const || Size != O.Size)
+    return false;
+  if (HashCache != NoHash && O.HashCache != NoHash && HashCache != O.HashCache)
+    return false;
+  return std::equal(data(), data() + Size, O.data());
 }
 
 bool LinearExpr::operator<(const LinearExpr &O) const {
   if (Const != O.Const)
     return Const < O.Const;
-  return Terms < O.Terms;
+  return std::lexicographical_compare(data(), data() + Size, O.data(),
+                                      O.data() + O.Size);
 }
 
 size_t LinearExpr::hash() const {
+  if (HashCache != NoHash)
+    return HashCache;
   size_t H = std::hash<int64_t>()(Const);
-  for (const auto &T : Terms) {
+  for (const Term &T : terms()) {
     hashCombine(H, std::hash<uint32_t>()(T.first));
     hashCombine(H, std::hash<int64_t>()(T.second));
   }
+  if (H == NoHash)
+    H ^= 1; // keep the sentinel value unreachable
+  HashCache = H;
   return H;
 }
 
 std::string LinearExpr::str(const VarTable &VT) const {
-  if (Terms.empty())
+  if (Size == 0)
     return std::to_string(Const);
   std::string Out;
   bool First = true;
-  for (const auto &T : Terms) {
+  for (const Term &T : terms()) {
     int64_t C = T.second;
     if (First) {
       if (C == -1)

@@ -11,6 +11,12 @@
 /// symbolic expressions π of Section 3 restricted to their canonical form,
 /// and the left-hand sides of all atoms in the SMT layer.
 ///
+/// Expressions with at most two terms (the overwhelmingly common case --
+/// bound atoms, difference constraints, renamed variables) are stored
+/// inline with no heap allocation; longer term lists spill to the heap.
+/// The structural hash is computed once and cached: interning and memo
+/// tables hash the same expression many times.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ABDIAG_SMT_LINEAREXPR_H
@@ -19,21 +25,47 @@
 #include "smt/Var.h"
 #include "support/CheckedArith.h"
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <span>
 #include <string>
 #include <utility>
-#include <vector>
 
 namespace abdiag::smt {
 
 /// Immutable-by-convention canonical linear expression.
 class LinearExpr {
+public:
+  using Term = std::pair<VarId, int64_t>;
+
+private:
+  static constexpr uint32_t InlineCap = 2;
+  static constexpr size_t NoHash = ~size_t(0);
+
   /// (variable, coefficient) pairs, sorted by VarId, coefficients non-zero.
-  std::vector<std::pair<VarId, int64_t>> Terms;
+  /// Lives in InlineTerms while Size <= InlineCap, in HeapTerms beyond.
+  Term InlineTerms[InlineCap];
+  std::unique_ptr<Term[]> HeapTerms;
+  uint32_t Size = 0;
+  uint32_t HeapCap = 0;
   int64_t Const = 0;
+  mutable size_t HashCache = NoHash;
+
+  const Term *data() const {
+    return HeapCap ? HeapTerms.get() : InlineTerms;
+  }
+  Term *data() { return HeapCap ? HeapTerms.get() : InlineTerms; }
+
+  /// Appends a (sorted-order, non-zero) term; grows to the heap as needed.
+  void append(VarId V, int64_t Coeff);
 
 public:
   LinearExpr() = default;
+  LinearExpr(LinearExpr &&O) noexcept;
+  LinearExpr &operator=(LinearExpr &&O) noexcept;
+  LinearExpr(const LinearExpr &O);
+  LinearExpr &operator=(const LinearExpr &O);
 
   /// The constant expression \p C.
   static LinearExpr constant(int64_t C);
@@ -41,9 +73,9 @@ public:
   static LinearExpr variable(VarId V, int64_t Coeff = 1);
 
   int64_t constant() const { return Const; }
-  const std::vector<std::pair<VarId, int64_t>> &terms() const { return Terms; }
-  bool isConstant() const { return Terms.empty(); }
-  size_t numTerms() const { return Terms.size(); }
+  std::span<const Term> terms() const { return {data(), Size}; }
+  bool isConstant() const { return Size == 0; }
+  size_t numTerms() const { return Size; }
 
   /// Coefficient of \p V (0 if absent).
   int64_t coeff(VarId V) const;
@@ -65,18 +97,17 @@ public:
   int64_t evaluate(const std::function<int64_t(VarId)> &Value) const;
 
   void forEachVar(const std::function<void(VarId)> &Fn) const {
-    for (const auto &T : Terms)
+    for (const Term &T : terms())
       Fn(T.first);
   }
 
-  bool operator==(const LinearExpr &O) const {
-    return Const == O.Const && Terms == O.Terms;
-  }
+  bool operator==(const LinearExpr &O) const;
   bool operator!=(const LinearExpr &O) const { return !(*this == O); }
 
   /// Deterministic total order (for canonical child ordering).
   bool operator<(const LinearExpr &O) const;
 
+  /// Structural hash; computed on first use and cached.
   size_t hash() const;
 
   /// Renders e.g. "2*x - y + 3" using names from \p VT.

@@ -152,7 +152,7 @@ std::string abdiag::smt::atomToString(const Formula *F, const VarTable &VT) {
 
 std::string abdiag::smt::toSmtLib(const Formula *F, const VarTable &VT) {
   std::string Out = "(set-logic ALL)\n";
-  for (VarId V : freeVars(F))
+  for (VarId V : freeVarsVec(F))
     Out += "(declare-const |" + VT.name(V) + "| Int)\n";
   Out += "(assert " + smtFormula(F, VT) + ")\n(check-sat)\n";
   return Out;

@@ -569,7 +569,7 @@ bool Solver::isSatCore(const Formula *F, Model &Filled) {
   TheoryChecker Theory(M, S, QuotientVars, Tab, SimplexMaxPivots, Cancel);
 
   auto FillModel = [&](const Model &Candidate) {
-    for (VarId V : freeVars(F)) {
+    for (VarId V : freeVarsVec(F)) {
       auto MIt = Candidate.find(V);
       Filled[V] = MIt == Candidate.end() ? 0 : MIt->second;
     }
@@ -773,7 +773,7 @@ bool Solver::Session::check(const std::vector<const Formula *> &Conjuncts,
     if (Theory.check(Lits, &Candidate)) {
       if (Out) {
         for (const Formula *F : Conjuncts) {
-          for (VarId V : freeVars(F)) {
+          for (VarId V : freeVarsVec(F)) {
             auto MIt = Candidate.find(V);
             (*Out)[V] = MIt == Candidate.end() ? 0 : MIt->second;
           }

@@ -48,7 +48,7 @@ public:
   /// smt/DecisionProcedure.h); kept as a nested alias for existing users.
   using Stats = SolverStats;
 
-  explicit Solver(FormulaManager &M) : M(M) {}
+  explicit Solver(FormulaManager &M) : M(M), FormulaBase(M.stats()) {}
 
   /// True iff \p F has an integer model; fills \p Out (if non-null) with
   /// values for every free variable of F.
@@ -68,10 +68,29 @@ public:
   }
 
   FormulaManager &manager() { return M; }
-  const Stats &stats() const { return S; }
 
-  /// Zeroes every statistics counter (the verdict cache is kept).
-  void resetStats() { S = Stats(); }
+  /// Solver counters plus the owning manager's formula-substrate counters
+  /// (as deltas since construction / the last resetStats, so windowed
+  /// reporting over a long-lived manager stays meaningful).
+  const Stats &stats() const {
+    Merged = S;
+    const FormulaStats &FS = M.stats();
+    Merged.FormulaNodes = FS.NodesInterned - FormulaBase.NodesInterned;
+    Merged.FormulaInternHits = FS.InternHits - FormulaBase.InternHits;
+    Merged.FormulaInternProbes = FS.InternProbes - FormulaBase.InternProbes;
+    Merged.FormulaMemoHits = FS.MemoHits - FormulaBase.MemoHits;
+    Merged.FormulaMemoMisses = FS.MemoMisses - FormulaBase.MemoMisses;
+    Merged.FormulaSubstPrunes = FS.SubstPrunes - FormulaBase.SubstPrunes;
+    Merged.FormulaArenaBytes = FS.ArenaBytes - FormulaBase.ArenaBytes;
+    return Merged;
+  }
+
+  /// Zeroes every statistics counter (the verdict cache is kept) and
+  /// rebases the formula-substrate window on the manager's current totals.
+  void resetStats() {
+    S = Stats();
+    FormulaBase = M.stats();
+  }
 
   /// Installs a cooperative cancellation token (nullptr to clear). While a
   /// token is installed, every potentially long-running loop reachable from
@@ -120,6 +139,8 @@ private:
 
   FormulaManager &M;
   Stats S;
+  mutable Stats Merged;          // scratch for stats(): S + formula window
+  FormulaStats FormulaBase;      // manager totals at the last resetStats
   bool Caching = true;
   int SimplexMaxPivots = 20000;
   const support::CancellationToken *Cancel = nullptr;

@@ -11,6 +11,7 @@
 
 #ifdef ABDIAG_HAVE_Z3
 
+#include <algorithm>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -94,8 +95,9 @@ private:
 };
 
 /// Reads the values of \p Vars out of a Z3 model into our Model type.
-void extractModel(Translator &T, const z3::model &Mo,
-                  const std::set<VarId> &Vars, Model &Out) {
+template <typename VarRange>
+void extractModel(Translator &T, const z3::model &Mo, const VarRange &Vars,
+                  Model &Out) {
   for (VarId V : Vars) {
     z3::expr Val = Mo.eval(T.var(V), /*model_completion=*/true);
     int64_t N = 0;
@@ -140,7 +142,7 @@ bool Z3Backend::isSat(const Formula *F, Model *Out) {
   Solver.add(T.formula(F));
   bool Sat = decode(Solver.check(), "isSat");
   if (Sat && Out)
-    extractModel(T, Solver.get_model(), freeVars(F), *Out);
+    extractModel(T, Solver.get_model(), freeVarsVec(F), *Out);
   return Sat;
 }
 
@@ -191,14 +193,17 @@ public:
     ++S.Queries;
     ++S.SessionChecks;
     z3::expr_vector Assumptions(T.Ctx);
-    std::set<VarId> Vars;
+    std::vector<VarId> Vars;
     std::set<const Formula *> Seen;
     for (const Formula *F : Conjuncts) {
       if (!Seen.insert(F).second)
         continue;
       Assumptions.push_back(guardFor(F));
-      collectFreeVars(F, Vars);
+      const std::vector<VarId> &Fv = freeVarsVec(F);
+      Vars.insert(Vars.end(), Fv.begin(), Fv.end());
     }
+    std::sort(Vars.begin(), Vars.end());
+    Vars.erase(std::unique(Vars.begin(), Vars.end()), Vars.end());
     bool Sat = decode(Solver.check(Assumptions), "Session::check");
     if (Sat) {
       if (Out)

@@ -17,7 +17,7 @@ using namespace abdiag::core;
 Oracle::Answer SimulatedHumanOracle::corrupt(Answer TruthAnswer,
                                              const smt::Formula *F) {
   ++Queries;
-  size_t NumVars = smt::freeVars(F).size();
+  size_t NumVars = smt::freeVarsVec(F).size();
   QuerySeconds +=
       (Params.SecondsPerQuery +
        Params.SecondsPerQueryVar * static_cast<double>(NumVars)) *

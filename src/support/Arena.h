@@ -1,0 +1,82 @@
+//===- support/Arena.h - Bump-pointer allocator -----------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A monotonic bump allocator: allocations are appended to fixed-size
+/// blocks and never individually freed, so an allocation costs a pointer
+/// bump and objects stay contiguous in allocation order. Nothing is ever
+/// moved, so pointers into the arena are stable for its whole lifetime.
+/// The arena does not run destructors -- owners of objects with
+/// non-trivial destructors must destroy them explicitly before the arena
+/// dies (FormulaManager does this for its nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_ARENA_H
+#define ABDIAG_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace abdiag::support {
+
+class Arena {
+  struct Block {
+    std::unique_ptr<std::byte[]> Mem;
+    size_t Size;
+  };
+  std::vector<Block> Blocks;
+  std::byte *Cur = nullptr;
+  size_t Left = 0;
+  size_t Used = 0;
+
+public:
+  static constexpr size_t DefaultBlockBytes = 64 * 1024;
+
+private:
+
+  void grow(size_t AtLeast) {
+    size_t Size = std::max(DefaultBlockBytes, AtLeast);
+    Blocks.push_back({std::make_unique<std::byte[]>(Size), Size});
+    Cur = Blocks.back().Mem.get();
+    Left = Size;
+  }
+
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Pad = (Align - reinterpret_cast<uintptr_t>(Cur) % Align) % Align;
+    if (Left < Bytes + Pad) {
+      // A fresh block is maximally aligned, so no pad is needed there.
+      grow(Bytes + Align);
+      Pad = 0;
+    }
+    std::byte *P = Cur + Pad;
+    Cur = P + Bytes;
+    Left -= Bytes + Pad;
+    Used += Bytes + Pad;
+    return P;
+  }
+
+  template <typename T> T *allocate() {
+    return static_cast<T *>(allocate(sizeof(T), alignof(T)));
+  }
+
+  template <typename T> T *allocateArray(size_t N) {
+    return static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+  }
+
+  /// Bytes handed out (including alignment padding); grows monotonically.
+  size_t bytesUsed() const { return Used; }
+};
+
+} // namespace abdiag::support
+
+#endif // ABDIAG_SUPPORT_ARENA_H

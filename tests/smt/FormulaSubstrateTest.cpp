@@ -1,0 +1,197 @@
+//===- tests/smt/FormulaSubstrateTest.cpp - Substrate invariant tests ------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Invariants of the arena-interned formula substrate: construction-order
+// independence of hash-consing, pointer stability across arena and intern
+// table growth, linear (DAG, not tree) work for the memoized structural
+// ops on deeply shared formulas, and the substitution fast paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Formula.h"
+
+#include "smt/FormulaOps.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace abdiag;
+using namespace abdiag::smt;
+
+namespace {
+
+/// Builds a depth-\p Depth balanced DAG where each level reuses the previous
+/// level twice: N_{i+1} = And(Or(N_i, a_i + x - (i+1) <= 0),
+///                            Or(N_i, b_i - x + (i+1) <= 0)).
+/// The tree expansion has ~2^Depth atom occurrences; the DAG has O(Depth)
+/// distinct nodes.
+const Formula *buildSharedDag(FormulaManager &M, VarId X, int Depth,
+                              std::vector<VarId> *SideVars = nullptr) {
+  LinearExpr XE = LinearExpr::variable(X);
+  const Formula *N = M.mkAtom(AtomRel::Le, XE);
+  for (int I = 0; I < Depth; ++I) {
+    VarId A = M.vars().getOrCreate("a" + std::to_string(I), VarKind::Input);
+    VarId B = M.vars().getOrCreate("b" + std::to_string(I), VarKind::Input);
+    if (SideVars) {
+      SideVars->push_back(A);
+      SideVars->push_back(B);
+    }
+    const Formula *L = M.mkOr(
+        N, M.mkAtom(AtomRel::Le, LinearExpr::variable(A).add(XE).addConst(
+                                     -(int64_t)(I + 1))));
+    const Formula *R = M.mkOr(
+        N, M.mkAtom(AtomRel::Le, LinearExpr::variable(B).sub(XE).addConst(
+                                     (int64_t)(I + 1))));
+    N = M.mkAnd(L, R);
+  }
+  return N;
+}
+
+TEST(FormulaSubstrateTest, InterningIsConstructionOrderIndependent) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Y = M.vars().create("y", VarKind::Input);
+  LinearExpr XE = LinearExpr::variable(X), YE = LinearExpr::variable(Y);
+
+  // Build the same formula twice with kid construction interleaved
+  // differently; hash-consing must yield the same node either way.
+  const Formula *A1 = M.mkLe(XE, LinearExpr::constant(3));
+  const Formula *B1 = M.mkLe(YE, XE);
+  const Formula *F1 = M.mkOr(M.mkAnd(A1, B1), M.mkAnd(A1, M.mkNot(B1)));
+
+  const Formula *B2 = M.mkLe(YE, XE);
+  const Formula *A2 = M.mkLe(XE, LinearExpr::constant(3));
+  const Formula *F2 = M.mkOr(M.mkAnd(M.mkNot(B2), A2), M.mkAnd(B2, A2));
+
+  EXPECT_EQ(A1, A2);
+  EXPECT_EQ(B1, B2);
+  EXPECT_EQ(F1, F2) << "pointer equality must be structural equality";
+}
+
+TEST(FormulaSubstrateTest, PointerStabilityAcrossGrowth) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+
+  // Pin down early nodes, then intern enough distinct atoms to force many
+  // arena block allocations and several intern-table growth cycles.
+  const Formula *Early = M.mkLe(LinearExpr::variable(X),
+                                LinearExpr::constant(-7));
+  size_t EarlyHash = Early->hash();
+  uint32_t EarlyId = Early->id();
+
+  std::vector<const Formula *> Pinned;
+  for (int I = 0; I < 5000; ++I)
+    Pinned.push_back(
+        M.mkLe(LinearExpr::variable(X), LinearExpr::constant(I)));
+  ASSERT_GT(M.stats().ArenaBytes, support::Arena::DefaultBlockBytes)
+      << "test must actually outgrow the first arena block";
+
+  // The early node must still be found by interning (same pointer) and must
+  // be untouched by the growth.
+  EXPECT_EQ(Early, M.mkLe(LinearExpr::variable(X), LinearExpr::constant(-7)));
+  EXPECT_EQ(Early->hash(), EarlyHash);
+  EXPECT_EQ(Early->id(), EarlyId);
+  for (int I = 0; I < 5000; ++I)
+    EXPECT_EQ(Pinned[I],
+              M.mkLe(LinearExpr::variable(X), LinearExpr::constant(I)));
+}
+
+TEST(FormulaSubstrateTest, DeepSharedDagOpsAreLinear) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  constexpr int Depth = 40; // tree expansion ~2^40 atoms; DAG ~5*40 nodes
+  const Formula *F = buildSharedDag(M, X, Depth);
+
+  uint64_t NodesBefore = M.stats().NodesInterned;
+  uint64_t MissesBefore = M.stats().MemoMisses;
+
+  // freeVars: one memo entry per distinct node, not per tree occurrence.
+  const std::vector<VarId> &FV = freeVarsVec(F);
+  EXPECT_EQ(FV.size(), 1u + 2u * Depth);
+  uint64_t MissesAfterFv = M.stats().MemoMisses;
+  EXPECT_LE(MissesAfterFv - MissesBefore, M.numNodes())
+      << "free-vars pass must be bounded by the DAG size";
+
+  // containsVar for every variable is served from the cached vectors.
+  for (VarId V : FV)
+    EXPECT_TRUE(containsVar(F, V));
+  EXPECT_EQ(M.stats().MemoMisses, MissesAfterFv)
+      << "containsVar after freeVars must be pure memo hits";
+
+  // atomCount saturates instead of overflowing on the ~2^40 expansion but
+  // still answers from a linear pass.
+  size_t Count = atomCount(F);
+  EXPECT_GT(Count, size_t(1) << 39);
+
+  // Substitution rebuilds each distinct node once: the number of *new*
+  // nodes interned is bounded by a small multiple of the DAG size, nowhere
+  // near the tree expansion.
+  std::unordered_map<VarId, LinearExpr> Map;
+  Map.emplace(X, LinearExpr::variable(
+                     M.vars().create("z", VarKind::Input)));
+  const Formula *G = M.substitute(F, Map);
+  EXPECT_NE(G, F);
+  uint64_t NodesAfter = M.stats().NodesInterned;
+  EXPECT_LE(NodesAfter - NodesBefore, 8u * Depth + 16u)
+      << "substitution must do DAG-proportional work";
+  EXPECT_FALSE(containsVar(G, X));
+}
+
+TEST(FormulaSubstrateTest, SubstituteEmptyMapReturnsSelf) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  const Formula *F = buildSharedDag(M, X, 6);
+  std::unordered_map<VarId, LinearExpr> Empty;
+  uint64_t PrunesBefore = M.stats().SubstPrunes;
+  EXPECT_EQ(M.substitute(F, Empty), F);
+  EXPECT_GT(M.stats().SubstPrunes, PrunesBefore);
+}
+
+TEST(FormulaSubstrateTest, SubstituteDisjointDomainReturnsSelf) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  const Formula *F = buildSharedDag(M, X, 6);
+  VarId U = M.vars().create("unrelated", VarKind::Input);
+  VarId W = M.vars().create("w", VarKind::Input);
+  std::unordered_map<VarId, LinearExpr> Map;
+  Map.emplace(U, LinearExpr::variable(W).addConst(1));
+  uint64_t NodesBefore = M.stats().NodesInterned;
+  EXPECT_EQ(M.substitute(F, Map), F)
+      << "domain disjoint from freeVars(F) must return F unchanged";
+  EXPECT_EQ(M.stats().NodesInterned, NodesBefore)
+      << "disjoint substitution must not intern anything";
+}
+
+TEST(FormulaSubstrateTest, SubstituteSharedSubtreeRebuiltOnce) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  VarId Z = M.vars().create("z", VarKind::Input);
+  const Formula *F = buildSharedDag(M, X, 20);
+  // Renaming X to Z on a depth-20 shared DAG: without per-call memoization
+  // this would rebuild ~2^20 nodes and take visibly long; with it, the
+  // intern traffic stays DAG-sized.
+  uint64_t HitsBefore = M.stats().MemoHits;
+  const Formula *G = substitute(M, F, X, LinearExpr::variable(Z));
+  EXPECT_TRUE(containsVar(G, Z));
+  EXPECT_GT(M.stats().MemoHits, HitsBefore)
+      << "shared kids must be served from the per-call substitution memo";
+}
+
+TEST(FormulaSubstrateTest, StatsCountersAdvance) {
+  FormulaManager M;
+  VarId X = M.vars().create("x", VarKind::Input);
+  EXPECT_GT(M.stats().NodesInterned, 0u) << "True/False are interned";
+  const Formula *A = M.mkLe(LinearExpr::variable(X), LinearExpr::constant(1));
+  uint64_t Hits = M.stats().InternHits;
+  const Formula *B = M.mkLe(LinearExpr::variable(X), LinearExpr::constant(1));
+  EXPECT_EQ(A, B);
+  EXPECT_GT(M.stats().InternHits, Hits);
+  EXPECT_GT(M.stats().ArenaBytes, 0u);
+}
+
+} // namespace

@@ -208,6 +208,13 @@ void printJsonRow(const TriageReport &R, const char *Expected) {
   Row += ",\"tableau_reuses\":" + std::to_string(S.TableauReuses);
   if (S.CrossChecks)
     Row += ",\"cross_checks\":" + std::to_string(S.CrossChecks);
+  Row += ",\"formula_nodes\":" + std::to_string(S.FormulaNodes);
+  Row += ",\"intern_hits\":" + std::to_string(S.FormulaInternHits);
+  Row += ",\"intern_probes\":" + std::to_string(S.FormulaInternProbes);
+  Row += ",\"fv_memo_hits\":" + std::to_string(S.FormulaMemoHits);
+  Row += ",\"fv_memo_misses\":" + std::to_string(S.FormulaMemoMisses);
+  Row += ",\"subst_prunes\":" + std::to_string(S.FormulaSubstPrunes);
+  Row += ",\"arena_bytes\":" + std::to_string(S.FormulaArenaBytes);
   Row += "}}";
   std::printf("%s\n", Row.c_str());
   std::fflush(stdout);
@@ -374,6 +381,8 @@ int main(int Argc, char **Argv) {
                   "cooper=%llu cache=%llu/%llu session=%llu coreskips=%llu "
                   "qe=%llu/%llu restarts=%llu learned=%llu reduced=%llu "
                   "maxlbd=%llu pivots=%llu pivotlimits=%llu reuses=%llu "
+                  "nodes=%llu interned=%llu/%llu fvmemo=%llu/%llu "
+                  "prunes=%llu arena=%llu "
                   "wall=%.1fms worker=%d\n",
                   (unsigned long long)R.Solver.Queries,
                   (unsigned long long)R.Solver.TheoryChecks,
@@ -391,7 +400,14 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)R.Solver.SatMaxLbd,
                   (unsigned long long)R.Solver.SimplexPivots,
                   (unsigned long long)R.Solver.PivotLimitHits,
-                  (unsigned long long)R.Solver.TableauReuses, R.WallMs,
+                  (unsigned long long)R.Solver.TableauReuses,
+                  (unsigned long long)R.Solver.FormulaNodes,
+                  (unsigned long long)R.Solver.FormulaInternHits,
+                  (unsigned long long)R.Solver.FormulaInternProbes,
+                  (unsigned long long)R.Solver.FormulaMemoHits,
+                  (unsigned long long)R.Solver.FormulaMemoMisses,
+                  (unsigned long long)R.Solver.FormulaSubstPrunes,
+                  (unsigned long long)R.Solver.FormulaArenaBytes, R.WallMs,
                   R.Worker);
     std::fflush(stdout);
   });
