@@ -178,7 +178,7 @@ int main(int Argc, char **Argv) {
       Failures = 1;
 
     std::printf(
-        "{\"bench\":\"corpus_triage\",\"backend\":\"%s\",\"jobs\":%u,"
+        "{\"schema\":1,\"bench\":\"corpus_triage\",\"backend\":\"%s\",\"jobs\":%u,"
         "\"programs\":%zu,\"seed\":%llu,\"wall_ms\":%.1f,"
         "\"reports_per_sec\":%.2f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
         "\"p99_ms\":%.2f,\"timeouts\":%zu,\"inconclusive\":%zu,"

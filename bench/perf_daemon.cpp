@@ -1,0 +1,320 @@
+//===- bench/perf_daemon.cpp - Daemon session-replay load harness ------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loopback load harness for abdiagd: boots an in-process DaemonServer on a
+/// unix socket, floods it with concurrent scripted sessions drawn from a
+/// generated certified corpus (every program replayed many times via
+/// mirror-oracle clients), and emits one JSONL row per run with session
+/// throughput, query round-trip percentiles, the open-session high-water
+/// mark, and graceful-drain latency. Every session's verdict is compared
+/// against batch TriageEngine triage of the same program -- any deviation
+/// is a failure, not a statistic.
+///
+/// Driven by bench/run_bench.sh once per available backend, producing
+/// BENCH_daemon_<backend>.jsonl (gated by tools/check_bench_regression).
+///
+/// Usage: perf_daemon [--backend native] [--programs 64] [--sessions 1200]
+///                    [--connections 4] [--max-active 8] [--seed N]
+///                    [--drain-sessions 200]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+#include "server/Client.h"
+#include "server/Server.h"
+#include "study/Corpus.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::server;
+using namespace abdiag::study;
+
+namespace {
+
+bool parseUnsigned(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text, &End, 10);
+  if (!End || End == Text || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * static_cast<double>(Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+double msSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Replays one partition of the session list over its own connection.
+struct ConnectionJob {
+  std::vector<ReplayItem> Items;
+  std::vector<size_t> ProgramOf; ///< corpus index per item, for verdict check
+  std::vector<ReplayOutcome> Out;
+  std::string Err;
+  bool Ok = false;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Backend = "native";
+  uint64_t Programs = 64;
+  uint64_t Sessions = 1200;
+  uint64_t Connections = 4;
+  uint64_t MaxActive = 8;
+  uint64_t Seed = 20260807;
+  uint64_t DrainSessions = 200;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    auto NextString = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "perf_daemon: %s needs an argument\n", Arg);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    uint64_t *Slot = nullptr;
+    if (std::strcmp(Arg, "--backend") == 0) {
+      Backend = NextString();
+      continue;
+    } else if (std::strcmp(Arg, "--programs") == 0) {
+      Slot = &Programs;
+    } else if (std::strcmp(Arg, "--sessions") == 0) {
+      Slot = &Sessions;
+    } else if (std::strcmp(Arg, "--connections") == 0) {
+      Slot = &Connections;
+    } else if (std::strcmp(Arg, "--max-active") == 0) {
+      Slot = &MaxActive;
+    } else if (std::strcmp(Arg, "--seed") == 0) {
+      Slot = &Seed;
+    } else if (std::strcmp(Arg, "--drain-sessions") == 0) {
+      Slot = &DrainSessions;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_daemon [--backend NAME] [--programs N] "
+                   "[--sessions N] [--connections N] [--max-active N] "
+                   "[--seed N] [--drain-sessions N]\n");
+      return 2;
+    }
+    if (!parseUnsigned(NextString(), *Slot) || !*Slot) {
+      std::fprintf(stderr, "perf_daemon: bad value for %s\n", Arg);
+      return 2;
+    }
+  }
+
+  // Certified corpus, materialized to disk so daemon sessions exercise the
+  // same load-by-path production uses.
+  CorpusOptions GenOpts;
+  GenOpts.Seed = Seed;
+  GenOpts.Count = static_cast<size_t>(Programs);
+  CorpusGenerator Gen(GenOpts);
+  std::vector<CorpusProgram> Corpus;
+  try {
+    Corpus = Gen.generateAll();
+  } catch (const CorpusError &E) {
+    std::fprintf(stderr, "perf_daemon: %s\n", E.what());
+    return 1;
+  }
+  const char *TmpBase = std::getenv("TMPDIR");
+  std::string Dir = std::string(TmpBase ? TmpBase : "/tmp") +
+                    "/abdiag_perf_daemon_" + std::to_string(Seed);
+  if (std::string Err = writeCorpus(Dir, Corpus); !Err.empty()) {
+    std::fprintf(stderr, "perf_daemon: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // Batch ground truth: one TriageEngine pass over the unique programs.
+  // Every daemon replay of program i must land on exactly this row.
+  TriageOptions BatchOpts;
+  BatchOpts.Pipeline.backend(Backend);
+  std::vector<TriageRequest> Queue;
+  for (const CorpusProgram &P : Corpus)
+    Queue.emplace_back(Dir + "/" + P.FileName, P.Name);
+  TriageResult Batch = TriageEngine(BatchOpts).run(Queue);
+  std::vector<std::string> WantStatus(Corpus.size()), WantVerdict(Corpus.size());
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    const TriageReport &B = Batch.Reports[I];
+    WantStatus[I] = triageStatusName(B.Status);
+    WantVerdict[I] = B.Status == TriageStatus::Diagnosed
+                         ? diagnosisVerdictName(B.Outcome)
+                         : "";
+  }
+
+  // The daemon under load: pending queue sized so admission never refuses
+  // -- this harness measures throughput and concurrency, and the dedicated
+  // backpressure behavior is covered by tests/server/DaemonTest.cpp.
+  ServerConfig Cfg;
+  Cfg.UnixPath = Dir + "/abdiagd_" + std::to_string(::getpid()) + ".sock";
+  Cfg.MaxActiveSessions = static_cast<size_t>(MaxActive);
+  Cfg.MaxPendingSessions = static_cast<size_t>(Sessions + DrainSessions);
+  Cfg.Pipeline.backend(Backend);
+  DaemonServer Server(Cfg);
+  if (std::string Err; !Server.start(Err)) {
+    std::fprintf(stderr, "perf_daemon: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // Phase 1: the flood. Sessions cycle through the corpus round-robin and
+  // are partitioned round-robin across connections; every connection keeps
+  // its whole partition in flight at once, so the daemon sees all
+  // --sessions sessions open concurrently (PeakOpen asserts it did).
+  std::vector<ConnectionJob> Jobs(static_cast<size_t>(Connections));
+  for (uint64_t S = 0; S < Sessions; ++S) {
+    ConnectionJob &J = Jobs[static_cast<size_t>(S % Connections)];
+    size_t Prog = static_cast<size_t>(S % Programs);
+    ReplayItem It;
+    It.Session = "s" + std::to_string(S);
+    It.Name = Corpus[Prog].Name;
+    It.Path = Dir + "/" + Corpus[Prog].FileName;
+    J.Items.push_back(std::move(It));
+    J.ProgramOf.push_back(Prog);
+  }
+
+  auto LoadStart = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (ConnectionJob &J : Jobs)
+    Threads.emplace_back([&J, &Cfg] {
+      ReplayOptions RO;
+      RO.Pipeline = Cfg.Pipeline;
+      RO.MaxInFlight = J.Items.size();
+      RO.RecordRtt = true;
+      ReplayClient C(RO);
+      if (!C.connectUnixSocket(Cfg.UnixPath, J.Err))
+        return;
+      J.Ok = C.run(J.Items, J.Out, J.Err);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double LoadWallMs = msSince(LoadStart);
+
+  size_t Mismatches = 0, Refused = 0, ParseFailures = 0;
+  uint64_t Asks = 0;
+  std::vector<double> Rtt;
+  for (const ConnectionJob &J : Jobs) {
+    if (!J.Ok) {
+      std::fprintf(stderr, "perf_daemon: connection failed: %s\n",
+                   J.Err.c_str());
+      return 1;
+    }
+    for (size_t K = 0; K < J.Out.size(); ++K) {
+      const ReplayOutcome &O = J.Out[K];
+      size_t Prog = J.ProgramOf[K];
+      if (O.Status == "refused") {
+        ++Refused;
+      } else if (O.Status != WantStatus[Prog] ||
+                 O.Verdict != WantVerdict[Prog]) {
+        ++Mismatches;
+        std::fprintf(stderr, "MISMATCH %s (%s): daemon %s/%s vs batch %s/%s\n",
+                     O.Session.c_str(), O.Name.c_str(), O.Status.c_str(),
+                     O.Verdict.c_str(), WantStatus[Prog].c_str(),
+                     WantVerdict[Prog].c_str());
+      }
+      Asks += O.AsksAnswered;
+      ParseFailures += O.ParseFailures;
+      Rtt.insert(Rtt.end(), O.RttMs.begin(), O.RttMs.end());
+    }
+  }
+  std::sort(Rtt.begin(), Rtt.end());
+  DaemonServer::Stats Load = Server.stats();
+
+  // Phase 2: graceful drain under load. Submit one more wave, and once the
+  // daemon has admitted all of it, request the drain and time how long the
+  // in-flight work takes to unwind while the client keeps answering.
+  ConnectionJob DrainJob;
+  for (uint64_t S = 0; S < DrainSessions; ++S) {
+    size_t Prog = static_cast<size_t>(S % Programs);
+    ReplayItem It;
+    It.Session = "d" + std::to_string(S);
+    It.Name = Corpus[Prog].Name;
+    It.Path = Dir + "/" + Corpus[Prog].FileName;
+    DrainJob.Items.push_back(std::move(It));
+    DrainJob.ProgramOf.push_back(Prog);
+  }
+  std::thread DrainClient([&DrainJob, &Cfg] {
+    ReplayOptions RO;
+    RO.Pipeline = Cfg.Pipeline;
+    RO.MaxInFlight = DrainJob.Items.size();
+    ReplayClient C(RO);
+    if (!C.connectUnixSocket(Cfg.UnixPath, DrainJob.Err))
+      return;
+    DrainJob.Ok = C.run(DrainJob.Items, DrainJob.Out, DrainJob.Err);
+  });
+  while (Server.stats().Submitted < Load.Submitted + DrainSessions &&
+         Server.stats().Refused == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto DrainStart = std::chrono::steady_clock::now();
+  Server.requestDrain();
+  Server.wait();
+  double DrainMs = msSince(DrainStart);
+  DrainClient.join();
+  if (!DrainJob.Ok) {
+    std::fprintf(stderr, "perf_daemon: drain connection failed: %s\n",
+                 DrainJob.Err.c_str());
+    return 1;
+  }
+  size_t DrainRefused = 0;
+  for (size_t K = 0; K < DrainJob.Out.size(); ++K) {
+    const ReplayOutcome &O = DrainJob.Out[K];
+    size_t Prog = DrainJob.ProgramOf[K];
+    if (O.Status == "refused")
+      ++DrainRefused;
+    else if (O.Status != WantStatus[Prog] || O.Verdict != WantVerdict[Prog])
+      ++Mismatches;
+  }
+  DaemonServer::Stats Final = Server.stats();
+  Server.stop();
+
+  double Sps = LoadWallMs > 0.0
+                   ? 1000.0 * static_cast<double>(Sessions) / LoadWallMs
+                   : 0.0;
+  std::printf(
+      "{\"schema\":1,\"bench\":\"daemon_replay\",\"backend\":\"%s\","
+      "\"seed\":%llu,\"programs\":%llu,\"sessions\":%llu,"
+      "\"connections\":%llu,\"max_active\":%llu,\"wall_ms\":%.1f,"
+      "\"sessions_per_sec\":%.2f,\"peak_open\":%zu,\"peak_active\":%zu,"
+      "\"asks\":%llu,\"parse_failures\":%zu,\"mismatches\":%zu,"
+      "\"refused\":%zu,\"reaped\":%zu,\"rtt_p50_ms\":%.3f,"
+      "\"rtt_p95_ms\":%.3f,\"rtt_p99_ms\":%.3f,\"drain_sessions\":%llu,"
+      "\"drain_ms\":%.1f,\"drain_refused\":%zu}\n",
+      Backend.c_str(), (unsigned long long)Seed, (unsigned long long)Programs,
+      (unsigned long long)Sessions, (unsigned long long)Connections,
+      (unsigned long long)MaxActive, LoadWallMs, Sps, Final.PeakOpen,
+      Final.PeakActive, (unsigned long long)Asks, ParseFailures, Mismatches,
+      Refused, Final.Reaped, percentile(Rtt, 0.50), percentile(Rtt, 0.95),
+      percentile(Rtt, 0.99), (unsigned long long)DrainSessions, DrainMs,
+      DrainRefused);
+  std::fflush(stdout);
+
+  if (Mismatches || Refused) {
+    std::fprintf(stderr,
+                 "perf_daemon: %zu verdict deviation(s), %zu refused "
+                 "session(s) -- the load run must be clean\n",
+                 Mismatches, Refused);
+    return 1;
+  }
+  return 0;
+}

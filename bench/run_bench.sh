@@ -112,6 +112,37 @@ if [[ -x "$CORPUS_BIN" && -x "$TRIAGE" ]]; then
   done < <("$TRIAGE" --list-backends | awk '!/not built/ { print $1 }')
 fi
 
+# Daemon dimension: abdiagd under a loopback session flood (see
+# bench/perf_daemon.cpp): 1200 concurrent mirror-oracle sessions over 4
+# connections, schema
+#
+#   {"schema":1,"bench":"daemon_replay","backend":"native","seed":...,
+#    "programs":64,"sessions":1200,"connections":4,"max_active":8,
+#    "wall_ms":...,"sessions_per_sec":...,        replay throughput
+#    "peak_open":1200,"peak_active":8,            concurrency high-water
+#    "asks":...,"parse_failures":0,               wire query traffic
+#    "mismatches":0,"refused":0,"reaped":0,       must all be zero
+#    "rtt_p50_ms":...,"rtt_p95_ms":...,"rtt_p99_ms":...,
+#    "drain_sessions":200,"drain_ms":...,"drain_refused":0}
+#
+# "mismatches" counts sessions whose daemon verdict deviated from batch
+# triage of the same program -- perf_daemon exits non-zero unless it (and
+# "refused") are 0. "asks" is deterministic for a fixed seed/backend (every
+# session runs a fresh diagnoser, so concurrency cannot shift query
+# counts), and check_bench_regression gates it exactly.
+DAEMON_BIN="$BUILD_DIR/bench/perf_daemon"
+DAEMON_OUTS=()
+if [[ -x "$DAEMON_BIN" && -x "$TRIAGE" ]]; then
+  while IFS= read -r BACKEND; do
+    OUT_FILE="$OUT_DIR/BENCH_daemon_$BACKEND.jsonl"
+    "$DAEMON_BIN" --backend "$BACKEND" > "$OUT_FILE" || {
+      echo "error: perf_daemon with backend $BACKEND failed (exit $?)" >&2
+      STATUS=1
+    }
+    DAEMON_OUTS+=("$OUT_FILE")
+  done < <("$TRIAGE" --list-backends | awk '!/not built/ { print $1 }')
+fi
+
 if [[ "$STATUS" -ne 0 ]]; then
   echo "error: at least one benchmark suite failed" >&2
   exit "$STATUS"
@@ -123,4 +154,7 @@ if [[ "${#TRIAGE_OUTS[@]}" -gt 0 ]]; then
 fi
 if [[ "${#CORPUS_OUTS[@]}" -gt 0 ]]; then
   echo "wrote ${CORPUS_OUTS[*]}"
+fi
+if [[ "${#DAEMON_OUTS[@]}" -gt 0 ]]; then
+  echo "wrote ${DAEMON_OUTS[*]}"
 fi

@@ -1,0 +1,59 @@
+//===- core/Answer.h - The three-valued oracle answer -----------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The answer domain of every oracle interaction (Definitions 7 and 11 plus
+/// the Section 5 "I don't know"), promoted to a top-level type so the wire
+/// protocol, the triage tool's output, and tests all share one spelling
+/// instead of hand-rolling the enum mapping. `Oracle::Answer` is an alias
+/// of this type, so existing `Oracle::Answer::Yes` call sites keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_ANSWER_H
+#define ABDIAG_CORE_ANSWER_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace abdiag::core {
+
+/// One oracle answer: Yes and No are commitments (Definition 7/11), Unknown
+/// is the Section 5 "I don't know".
+enum class Answer : uint8_t { Yes, No, Unknown };
+
+/// Stable lowercase spelling: "yes", "no", "unknown". Used by the abdiagd
+/// wire protocol, `abdiag_triage --stats`/JSONL rows, and tests.
+inline const char *answerName(Answer A) {
+  switch (A) {
+  case Answer::Yes:
+    return "yes";
+  case Answer::No:
+    return "no";
+  case Answer::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+/// Inverse of answerName(). Also accepts the single-character spellings the
+/// interactive tools prompt with ("y", "n", "?"). Returns nullopt for
+/// anything else -- protocol handlers turn that into an error message
+/// instead of guessing.
+inline std::optional<Answer> parseAnswer(std::string_view Text) {
+  if (Text == "yes" || Text == "y" || Text == "Y")
+    return Answer::Yes;
+  if (Text == "no" || Text == "n" || Text == "N")
+    return Answer::No;
+  if (Text == "unknown" || Text == "?")
+    return Answer::Unknown;
+  return std::nullopt;
+}
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_ANSWER_H

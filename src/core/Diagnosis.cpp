@@ -21,6 +21,10 @@ Oracle::~Oracle() = default;
 
 Oracle::Answer ScriptedOracle::next() {
   if (Script.empty()) {
+    if (OnExhausted == ScriptExhaustion::Unknown) {
+      ++ExhaustedQueries_;
+      return Answer::Unknown;
+    }
     std::fprintf(stderr, "abdiag: fatal: scripted oracle ran out of answers\n");
     std::abort();
   }

@@ -1,0 +1,295 @@
+//===- core/InteractiveSession.cpp - Pull-based diagnosis sessions -----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InteractiveSession.h"
+
+#include "lang/AstPrinter.h"
+#include "smt/Printer.h"
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+/// The oracle the worker's diagnosis loop sees: every isInvariant/isPossible
+/// call becomes a posted SessionQuery plus a park on WorkerCv until the
+/// owner answers (or the session is cancelled / the deadline passes).
+class InteractiveSession::ChannelOracle : public Oracle {
+  InteractiveSession &S;
+  const smt::VarTable &VT;
+
+public:
+  ChannelOracle(InteractiveSession &S, const smt::VarTable &VT)
+      : S(S), VT(VT) {}
+
+  Answer isInvariant(const smt::Formula *F) override {
+    return S.ask(QueryRecord::Kind::Invariant, F, nullptr, VT);
+  }
+  Answer isPossible(const smt::Formula *F, const smt::Formula *G) override {
+    return S.ask(QueryRecord::Kind::Possible, F, G, VT);
+  }
+};
+
+InteractiveSession::InteractiveSession(SessionInput In_,
+                                       InteractiveSessionOptions Opts_)
+    : In(std::move(In_)), Opts(std::move(Opts_)) {
+  Worker = std::thread([this] { run(); });
+}
+
+InteractiveSession::~InteractiveSession() {
+  cancel();
+  if (Worker.joinable())
+    Worker.join();
+}
+
+void InteractiveSession::armDeadline() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Opts.DeadlineMs) {
+    Token.emplace(std::chrono::milliseconds(Opts.DeadlineMs));
+    HasDeadline = true;
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Opts.DeadlineMs);
+  } else {
+    Token.emplace();
+  }
+  // A cancel that raced session startup (or the escalation re-arm) must
+  // survive the fresh token.
+  if (CancelRequested)
+    Token->cancel();
+}
+
+void InteractiveSession::run() {
+  TriageReport R;
+  R.Name = In.Name;
+  R.Path = In.Path;
+  auto Start = std::chrono::steady_clock::now();
+
+  std::unique_ptr<ErrorDiagnoser> D;
+  smt::SolverStats Before{};
+  try {
+    D = std::make_unique<ErrorDiagnoser>(Opts.Pipeline);
+    Before = D->procedure().stats();
+    armDeadline();
+    // The token lives in optional storage, so the re-arm between attempts
+    // keeps this pointer valid.
+    D->procedure().setCancellation(&*Token);
+
+    LoadResult L =
+        In.Source.empty() ? D->loadFile(In.Path) : D->loadSource(In.Source);
+    if (!L) {
+      R.Status = TriageStatus::LoadError;
+      R.LoadDiag = L.Diagnostic;
+      R.Message = L.message();
+    } else {
+      R.Loc = lang::programLoc(D->program());
+      if (D->dischargedByAnalysis()) {
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = DiagnosisOutcome::Discharged;
+        R.AnalysisAlone = true;
+      } else if (D->validatedByAnalysis()) {
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = DiagnosisOutcome::Validated;
+        R.AnalysisAlone = true;
+      } else {
+        ChannelOracle O(*this, D->manager().vars());
+        DiagnosisResult Res = D->diagnose(O);
+        if (Res.Outcome == DiagnosisOutcome::Inconclusive &&
+            Opts.EscalateOnInconclusive) {
+          R.Escalated = true;
+          armDeadline(); // fresh deadline for the retry, as in batch triage
+          DiagnosisConfig Cfg = Opts.Pipeline.diagnosisConfig();
+          Cfg.MaxIterations *= 4;
+          Cfg.MaxQueries *= 4;
+          Cfg.MsaMaxSubsets *= 4;
+          Res = D->diagnoseWith(Cfg, O);
+        }
+        R.Status = TriageStatus::Diagnosed;
+        R.Outcome = Res.Outcome;
+        countAnswers(Res, R);
+      }
+    }
+  } catch (const support::CancelledError &) {
+    bool WasCancel;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      WasCancel = CancelRequested;
+    }
+    if (WasCancel) {
+      R.Status = TriageStatus::Cancelled;
+      R.Message = "session cancelled";
+    } else {
+      R.Status = TriageStatus::Timeout;
+      R.Message =
+          "deadline of " + std::to_string(Opts.DeadlineMs) + " ms exceeded";
+    }
+  } catch (const std::exception &E) {
+    R.Status = TriageStatus::Crashed;
+    R.Message = E.what();
+  } catch (...) {
+    R.Status = TriageStatus::Crashed;
+    R.Message = "unknown exception";
+  }
+
+  if (D) {
+    D->procedure().setCancellation(nullptr);
+    R.Solver = D->procedure().stats();
+    R.Solver -= Before;
+    R.Backend = D->procedure().name();
+  }
+  R.WallMs = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - Start)
+                 .count();
+  postDone(std::move(R));
+}
+
+Oracle::Answer InteractiveSession::ask(QueryRecord::Kind K,
+                                       const smt::Formula *F,
+                                       const smt::Formula *Given,
+                                       const smt::VarTable &VT) {
+  SessionQuery Q;
+  Q.K = K;
+  Q.Fml = F;
+  Q.Given = Given;
+  Q.Formula = smt::toString(F, VT);
+  bool TrivialGiven = !Given || Given->isTrue();
+  if (!TrivialGiven)
+    Q.GivenText = smt::toString(Given, VT);
+  if (K == QueryRecord::Kind::Invariant) {
+    Q.Text = "Does \"" + Q.Formula + "\" hold in every execution?";
+  } else {
+    Q.Text = "Can \"" + Q.Formula + "\" hold in some execution";
+    if (!TrivialGiven)
+      Q.Text += " in which \"" + Q.GivenText + "\" holds";
+    Q.Text += "?";
+  }
+
+  std::function<void()> Fire;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (CancelRequested)
+      throw support::CancelledError();
+    Q.Index = NextQueryIndex++;
+    Query = std::move(Q);
+    HasQuery = true;
+    QueryDelivered = false;
+    Answered = false;
+    Fire = Opts.OnEvent;
+  }
+  OwnerCv.notify_all();
+  if (Fire)
+    Fire();
+
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Answered)
+      break;
+    bool Expired =
+        HasDeadline && std::chrono::steady_clock::now() >= Deadline;
+    if (CancelRequested || Expired) {
+      HasQuery = false;
+      if (Expired && Token)
+        Token->cancel(); // make the unwind visible to nested solver loops
+      throw support::CancelledError();
+    }
+    if (HasDeadline)
+      WorkerCv.wait_until(Lock, Deadline);
+    else
+      WorkerCv.wait(Lock);
+  }
+  HasQuery = false;
+  Answered = false;
+  return TheAnswer;
+}
+
+void InteractiveSession::postDone(TriageReport R) {
+  std::function<void()> Fire;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Report = std::move(R);
+    Done = true;
+    DoneDelivered = false;
+    HasQuery = false;
+    Fire = Opts.OnEvent;
+  }
+  OwnerCv.notify_all();
+  if (Fire)
+    Fire();
+}
+
+SessionEvent InteractiveSession::next() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  OwnerCv.wait(Lock, [&] { return Done || (HasQuery && !Answered); });
+  SessionEvent E;
+  if (HasQuery && !Answered) {
+    E.K = Query.K == QueryRecord::Kind::Invariant
+              ? SessionEvent::Kind::AskInvariant
+              : SessionEvent::Kind::AskWitness;
+    E.Query = Query;
+    QueryDelivered = true;
+    return E;
+  }
+  E.K = SessionEvent::Kind::Done;
+  E.Report = Report;
+  DoneDelivered = true;
+  return E;
+}
+
+std::optional<SessionEvent> InteractiveSession::poll() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (HasQuery && !Answered && !QueryDelivered) {
+    SessionEvent E;
+    E.K = Query.K == QueryRecord::Kind::Invariant
+              ? SessionEvent::Kind::AskInvariant
+              : SessionEvent::Kind::AskWitness;
+    E.Query = Query;
+    QueryDelivered = true;
+    return E;
+  }
+  if (Done && !DoneDelivered) {
+    SessionEvent E;
+    E.K = SessionEvent::Kind::Done;
+    E.Report = Report;
+    DoneDelivered = true;
+    return E;
+  }
+  return std::nullopt;
+}
+
+void InteractiveSession::answer(Answer A) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Done)
+      throw SessionError("session '" + In.Name + "': answer after done");
+    if (!HasQuery || Answered)
+      throw SessionError("session '" + In.Name +
+                         "': no query is pending (double answer?)");
+    TheAnswer = A;
+    Answered = true;
+  }
+  WorkerCv.notify_all();
+}
+
+void InteractiveSession::cancel() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Done)
+      return;
+    CancelRequested = true;
+    if (Token)
+      Token->cancel();
+  }
+  WorkerCv.notify_all();
+}
+
+bool InteractiveSession::finished() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Done;
+}
+
+TriageReport InteractiveSession::result() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Done)
+    throw SessionError("session '" + In.Name + "': result() before done");
+  return Report;
+}

@@ -1,0 +1,185 @@
+//===- core/InteractiveSession.h - Pull-based diagnosis sessions -*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 6 loop with its control flow inverted: instead of blocking
+/// inside `ErrorDiagnoser::diagnose(Oracle&)` until an in-process callback
+/// answers, an InteractiveSession runs the diagnosis pipeline on a
+/// session-owned worker thread against a channel-backed oracle that *parks*
+/// on a condition variable whenever it needs an answer. The owner of the
+/// session pulls events and pushes answers:
+///
+///   InteractiveSession S({"p1", Source}, Opts);
+///   for (;;) {
+///     SessionEvent E = S.next();            // blocks until ask or done
+///     if (E.K == SessionEvent::Kind::Done)
+///       break;                              // E.Report has the verdict
+///     S.answer(decide(E.Query));            // un-parks the worker
+///   }
+///
+/// This is what lets the answerer live across a wire (tools/abdiagd), be a
+/// machine oracle racing a human, or simply be another thread. Sessions
+/// unwind cleanly instead of leaking the worker: a wall-clock deadline
+/// (support::CancellationToken plus a timed park) or an explicit cancel()
+/// aborts the pipeline mid-query, and the Done event reports Timeout or
+/// Cancelled. The final event carries a core::TriageReport, so session
+/// verdicts are directly comparable to batch `TriageEngine` rows -- the
+/// replay tests assert they are identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_CORE_INTERACTIVESESSION_H
+#define ABDIAG_CORE_INTERACTIVESESSION_H
+
+#include "core/Triage.h"
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace abdiag::core {
+
+/// Misuse of the session protocol by the *owner* (answer with no pending
+/// query, answer after done). Distinct from CancelledError: protocol errors
+/// never tear the session down, the caller just gets told off.
+class SessionError : public std::logic_error {
+public:
+  using std::logic_error::logic_error;
+};
+
+/// One pending oracle query, rendered for transport: Formula/GivenText are
+/// in smt/FormulaParser syntax so a remote client can reconstruct the
+/// formulas in its own manager; Fml/Given are the in-process pointers (valid
+/// for the session's lifetime, owned by its manager).
+struct SessionQuery {
+  QueryRecord::Kind K = QueryRecord::Kind::Invariant;
+  const smt::Formula *Fml = nullptr;
+  const smt::Formula *Given = nullptr; ///< null or True for invariant queries
+  std::string Formula;                 ///< parseable rendering of Fml
+  std::string GivenText;               ///< parseable rendering of Given ("" if trivial)
+  std::string Text;                    ///< human-readable question
+  uint64_t Index = 0;                  ///< 0-based query number within the session
+};
+
+/// What next()/poll() deliver.
+struct SessionEvent {
+  enum class Kind : uint8_t { AskInvariant, AskWitness, Done };
+  Kind K = Kind::Done;
+  SessionQuery Query; ///< valid when K != Done
+  TriageReport Report; ///< valid when K == Done
+};
+
+/// The program a session diagnoses: inline source (preferred; the daemon's
+/// submit message carries the program text) or a file path.
+struct SessionInput {
+  std::string Name;   ///< display name for the result row
+  std::string Source; ///< program text; when empty, Path is loaded instead
+  std::string Path;
+};
+
+struct InteractiveSessionOptions {
+  /// Pipeline knobs for the session's diagnoser (backend, budgets, ...).
+  abdiag::Options Pipeline;
+  /// Per-attempt wall-clock deadline in milliseconds; 0 disables it. As in
+  /// the batch engine, the escalated retry gets a fresh deadline.
+  uint64_t DeadlineMs = 0;
+  /// Retry Inconclusive outcomes once with 4x budgets (matching the batch
+  /// engine, so session verdicts replay batch verdicts exactly).
+  bool EscalateOnInconclusive = true;
+  /// Fired on the worker thread after each new event becomes available
+  /// (ask or done); the daemon uses it to enqueue the session for its
+  /// dispatcher. Must not call back into the session (poll() from another
+  /// thread instead).
+  std::function<void()> OnEvent;
+};
+
+/// A single interactive diagnosis session. Construction starts the worker;
+/// destruction cancels and joins it. Thread-safe: one thread may pull
+/// events while another answers or cancels.
+class InteractiveSession {
+public:
+  InteractiveSession(SessionInput In,
+                     InteractiveSessionOptions Opts = InteractiveSessionOptions());
+  ~InteractiveSession();
+  InteractiveSession(const InteractiveSession &) = delete;
+  InteractiveSession &operator=(const InteractiveSession &) = delete;
+
+  /// Blocks until the session has something for the owner: the pending
+  /// query (re-delivered as long as it is unanswered) or the Done event
+  /// (re-delivered forever).
+  SessionEvent next();
+
+  /// Non-blocking variant delivering each event at most once: the pending
+  /// query if it has not been handed out by poll() yet, the Done event the
+  /// first time it is seen. Returns nullopt while the worker is computing
+  /// (or everything was already delivered).
+  std::optional<SessionEvent> poll();
+
+  /// Answers the pending query and un-parks the worker. Throws
+  /// SessionError when the session is done or no query is pending (the
+  /// double-answer path).
+  void answer(Answer A);
+
+  /// Requests cancellation: the parked oracle (or the next solver poll)
+  /// unwinds, and the Done event follows with TriageStatus::Cancelled.
+  /// Idempotent; a no-op once the session finished.
+  void cancel();
+
+  /// True once the Done event exists (its delivery state is irrelevant).
+  bool finished() const;
+
+  /// The final report; throws SessionError before finished().
+  TriageReport result() const;
+
+private:
+  class ChannelOracle;
+
+  SessionInput In;
+  InteractiveSessionOptions Opts;
+
+  mutable std::mutex Mu;
+  std::condition_variable OwnerCv;  ///< signaled when an event is posted
+  std::condition_variable WorkerCv; ///< signaled on answer or cancel
+
+  // Pending-query channel (worker writes, owner reads/answers).
+  bool HasQuery = false;
+  bool QueryDelivered = false; ///< poll() handed it out
+  bool Answered = false;
+  Answer TheAnswer = Answer::Unknown;
+  SessionQuery Query;
+  uint64_t NextQueryIndex = 0;
+
+  // Completion.
+  bool Done = false;
+  bool DoneDelivered = false; ///< poll() handed it out
+  TriageReport Report;
+
+  // Cancellation/deadline. The token is re-armed (under Mu) per attempt,
+  // mirroring the batch engine's fresh-deadline-per-retry; the parked wait
+  // additionally checks the Deadline timepoint directly, because the
+  // token's rate-limited clock read is tuned for hot loops, not for a
+  // thread that wakes a few times per second.
+  bool CancelRequested = false;
+  std::optional<support::CancellationToken> Token;
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
+
+  std::thread Worker;
+
+  void run();
+  Answer ask(QueryRecord::Kind K, const smt::Formula *F,
+             const smt::Formula *Given, const smt::VarTable &VT);
+  void postDone(TriageReport R);
+  void armDeadline();
+};
+
+} // namespace abdiag::core
+
+#endif // ABDIAG_CORE_INTERACTIVESESSION_H

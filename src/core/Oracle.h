@@ -23,6 +23,7 @@
 #ifndef ABDIAG_CORE_ORACLE_H
 #define ABDIAG_CORE_ORACLE_H
 
+#include "core/Answer.h"
 #include "smt/Formula.h"
 
 #include <deque>
@@ -33,7 +34,9 @@ namespace abdiag::core {
 /// Interface for answering invariant and witness queries.
 class Oracle {
 public:
-  enum class Answer : uint8_t { Yes, No, Unknown };
+  /// The shared three-valued answer domain (core/Answer.h); kept as a
+  /// nested alias so `Oracle::Answer::Yes` spellings stay valid.
+  using Answer = abdiag::core::Answer;
 
   virtual ~Oracle();
 
@@ -46,19 +49,34 @@ public:
                             const smt::Formula *Given) = 0;
 };
 
-/// Replays a fixed sequence of answers (for tests). Aborts if exhausted.
+/// What a ScriptedOracle does once its answer list runs dry.
+enum class ScriptExhaustion : uint8_t {
+  Abort,   ///< hard-abort the process: a test script that runs out is a bug
+  Unknown, ///< degrade to "I don't know" (the Section 5 path); a daemon-side
+           ///< replay oracle must never take the process down
+};
+
+/// Replays a fixed sequence of answers (tests, replay clients). The
+/// exhaustion policy decides between aborting (the historical default) and
+/// answering Unknown forever after.
 class ScriptedOracle : public Oracle {
   std::deque<Answer> Script;
+  ScriptExhaustion OnExhausted;
+  size_t ExhaustedQueries_ = 0;
 
 public:
-  explicit ScriptedOracle(std::deque<Answer> Script)
-      : Script(std::move(Script)) {}
+  explicit ScriptedOracle(std::deque<Answer> Script,
+                          ScriptExhaustion OnExhausted = ScriptExhaustion::Abort)
+      : Script(std::move(Script)), OnExhausted(OnExhausted) {}
 
   Answer isInvariant(const smt::Formula *) override { return next(); }
   Answer isPossible(const smt::Formula *, const smt::Formula *) override {
     return next();
   }
   bool exhausted() const { return Script.empty(); }
+  /// Queries answered Unknown after the script ran out (always 0 under
+  /// ScriptExhaustion::Abort).
+  size_t exhaustedQueries() const { return ExhaustedQueries_; }
 
 private:
   Answer next();

@@ -28,8 +28,40 @@ const char *abdiag::core::triageStatusName(TriageStatus S) {
     return "timeout";
   case TriageStatus::Crashed:
     return "crashed";
+  case TriageStatus::Cancelled:
+    return "cancelled";
   }
   return "unknown";
+}
+
+const char *abdiag::core::diagnosisVerdictName(DiagnosisOutcome O) {
+  switch (O) {
+  case DiagnosisOutcome::Discharged:
+    return "false_alarm";
+  case DiagnosisOutcome::Validated:
+    return "real_bug";
+  case DiagnosisOutcome::Inconclusive:
+    return "inconclusive";
+  }
+  return "inconclusive";
+}
+
+void abdiag::core::countAnswers(const DiagnosisResult &Res, TriageReport &R) {
+  R.Queries = Res.Transcript.size();
+  R.Iterations = Res.Iterations;
+  for (const QueryRecord &Q : Res.Transcript) {
+    switch (Q.Ans) {
+    case Answer::Yes:
+      ++R.AnswersYes;
+      break;
+    case Answer::No:
+      ++R.AnswersNo;
+      break;
+    case Answer::Unknown:
+      ++R.AnswersUnknown;
+      break;
+    }
+  }
 }
 
 TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
@@ -85,8 +117,7 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
         }
         R.Status = TriageStatus::Diagnosed;
         R.Outcome = Res.Outcome;
-        R.Queries = Res.Transcript.size();
-        R.Iterations = Res.Iterations;
+        countAnswers(Res, R);
       }
     }
   } catch (const support::CancelledError &) {
@@ -193,6 +224,9 @@ TriageResult TriageEngine::run(const std::vector<TriageRequest> &Queue,
       break;
     case TriageStatus::Crashed:
       ++Sum.Crashes;
+      break;
+    case TriageStatus::Cancelled:
+      ++Sum.Cancellations;
       break;
     }
     Sum.Solver += R.Solver;

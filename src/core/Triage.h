@@ -56,10 +56,23 @@ enum class TriageStatus : uint8_t {
   Diagnosed, ///< pipeline completed; see Outcome
   LoadError, ///< parse/IO failure; see LoadDiag
   Timeout,   ///< per-report deadline expired
-  Crashed    ///< pipeline threw an unexpected exception
+  Crashed,   ///< pipeline threw an unexpected exception
+  Cancelled  ///< explicitly cancelled (interactive sessions only; the batch
+             ///< engine never produces it)
 };
 
 const char *triageStatusName(TriageStatus S);
+
+/// Stable verdict spelling for Diagnosed rows ("false_alarm", "real_bug",
+/// "inconclusive"), shared by the triage tool's JSONL rows and the abdiagd
+/// wire protocol.
+const char *diagnosisVerdictName(DiagnosisOutcome O);
+
+struct TriageReport;
+/// Fills Queries/Iterations and the per-answer counters of a report row
+/// from a completed diagnosis run (shared by the batch engine and
+/// core::InteractiveSession).
+void countAnswers(const DiagnosisResult &Res, TriageReport &R);
 
 /// Structured outcome of triaging one report.
 struct TriageReport {
@@ -74,6 +87,11 @@ struct TriageReport {
   lang::Diag LoadDiag;
   size_t Loc = 0;
   size_t Queries = 0;
+  /// Oracle answers by value (core::Answer), summed over the transcript;
+  /// AnswersYes + AnswersNo + AnswersUnknown == Queries for Diagnosed rows.
+  size_t AnswersYes = 0;
+  size_t AnswersNo = 0;
+  size_t AnswersUnknown = 0;
   int Iterations = 0;
   /// True when the budget-escalation retry ran.
   bool Escalated = false;
@@ -113,6 +131,7 @@ struct TriageSummary {
   size_t LoadErrors = 0;
   size_t Timeouts = 0;
   size_t Crashes = 0;
+  size_t Cancellations = 0;
   /// Sum of per-report solver deltas (SolverStats::operator+=).
   smt::SolverStats Solver;
   double WallMs = 0.0;

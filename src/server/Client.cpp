@@ -1,0 +1,191 @@
+//===- server/Client.cpp - Mirror-oracle replay client -----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Client.h"
+
+#include "smt/FormulaParser.h"
+
+#include <chrono>
+
+using namespace abdiag;
+using namespace abdiag::server;
+
+/// Replay state for one in-flight session. The mirror is built at the first
+/// ask: sessions the daemon decides by analysis alone never pay for one.
+struct ReplayClient::Live {
+  size_t ItemIndex = 0;
+  const ReplayItem *Item = nullptr;
+  std::unique_ptr<core::ErrorDiagnoser> Mirror;
+  std::unique_ptr<core::ConcreteOracle> Oracle;
+  bool MirrorBroken = false; ///< mirror load failed; answer Unknown
+  std::chrono::steady_clock::time_point LastSend;
+  ReplayOutcome Out;
+};
+
+ReplayClient::ReplayClient(ReplayOptions Opts_) : Opts(std::move(Opts_)) {}
+ReplayClient::~ReplayClient() = default;
+
+bool ReplayClient::connectUnixSocket(const std::string &Path,
+                                     std::string &Err) {
+  Fd = connectUnix(Path, Err);
+  return Fd.valid();
+}
+
+bool ReplayClient::connectTcpPort(int Port, std::string &Err) {
+  Fd = connectTcp(Port, Err);
+  return Fd.valid();
+}
+
+bool ReplayClient::submitOne(const ReplayItem &Item,
+                             const std::string &Session, std::string &Err) {
+  std::string F = "{\"schema\":" + std::to_string(kProtocolSchema);
+  F += ",\"op\":\"submit\",\"session\":\"" + jsonEscape(Session) + "\"";
+  F += ",\"name\":\"" + jsonEscape(Item.Name) + "\"";
+  if (!Item.Source.empty())
+    F += ",\"source\":\"" + jsonEscape(Item.Source) + "\"";
+  else
+    F += ",\"path\":\"" + jsonEscape(Item.Path) + "\"";
+  if (!Opts.Tenant.empty())
+    F += ",\"tenant\":\"" + jsonEscape(Opts.Tenant) + "\"";
+  F += "}\n";
+  if (!writeAll(Fd.get(), F)) {
+    Err = "write failed during submit";
+    return false;
+  }
+  return true;
+}
+
+core::Answer ReplayClient::answerAsk(Live &L, const ServerMessage &M) {
+  if (!L.Mirror && !L.MirrorBroken) {
+    L.Mirror = std::make_unique<core::ErrorDiagnoser>(Opts.Pipeline);
+    core::LoadResult R = L.Item->Source.empty()
+                             ? L.Mirror->loadFile(L.Item->Path)
+                             : L.Mirror->loadSource(L.Item->Source);
+    if (!R) {
+      L.MirrorBroken = true;
+      L.Mirror.reset();
+    } else {
+      L.Oracle = L.Mirror->makeConcreteOracle(Opts.Oracle);
+    }
+  }
+  if (L.MirrorBroken)
+    return core::Answer::Unknown;
+
+  smt::FormulaParseOptions PO;
+  PO.CreateUnknownVars = false; // the analysis already named every variable
+  smt::FormulaParseResult F =
+      smt::parseFormula(L.Mirror->manager(), M.Formula, PO);
+  if (!F.ok()) {
+    ++L.Out.ParseFailures;
+    return core::Answer::Unknown;
+  }
+  if (M.Invariant)
+    return L.Oracle->isInvariant(F.F);
+  const smt::Formula *Given = L.Mirror->manager().getTrue();
+  if (!M.Given.empty()) {
+    smt::FormulaParseResult G =
+        smt::parseFormula(L.Mirror->manager(), M.Given, PO);
+    if (!G.ok()) {
+      ++L.Out.ParseFailures;
+      return core::Answer::Unknown;
+    }
+    Given = G.F;
+  }
+  return L.Oracle->isPossible(F.F, Given);
+}
+
+bool ReplayClient::run(const std::vector<ReplayItem> &Items,
+                       std::vector<ReplayOutcome> &Outcomes,
+                       std::string &Err) {
+  Outcomes.assign(Items.size(), ReplayOutcome());
+  std::map<std::string, Live> InFlight;
+  size_t NextItem = 0, Finished = 0;
+  LineReader Reader(Fd.get());
+
+  auto SessionId = [&](size_t Index) {
+    return Items[Index].Session.empty() ? "s" + std::to_string(Index)
+                                        : Items[Index].Session;
+  };
+  auto TopUp = [&]() -> bool {
+    while (NextItem < Items.size() && InFlight.size() < Opts.MaxInFlight) {
+      std::string Id = SessionId(NextItem);
+      Live &L = InFlight[Id];
+      L.ItemIndex = NextItem;
+      L.Item = &Items[NextItem];
+      L.Out.Session = Id;
+      L.Out.Name = Items[NextItem].Name;
+      if (!submitOne(Items[NextItem], Id, Err))
+        return false;
+      L.LastSend = std::chrono::steady_clock::now();
+      ++NextItem;
+    }
+    return true;
+  };
+
+  if (!TopUp())
+    return false;
+
+  std::string Line;
+  while (Finished < Items.size()) {
+    if (!Reader.readLine(Line)) {
+      Err = "connection closed with " +
+            std::to_string(Items.size() - Finished) + " sessions unresolved";
+      return false;
+    }
+    std::string ParseErr;
+    std::optional<ServerMessage> M = parseServerMessage(Line, ParseErr);
+    if (!M) {
+      Err = "bad server frame: " + ParseErr;
+      return false;
+    }
+    auto It = InFlight.find(M->Session);
+    if (It == InFlight.end())
+      continue; // frame for a session we already gave up on
+    Live &L = It->second;
+    if (Opts.RecordRtt)
+      L.Out.RttMs.push_back(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - L.LastSend)
+                                .count());
+
+    switch (M->K) {
+    case ServerMessage::Kind::Ask: {
+      core::Answer A = answerAsk(L, *M);
+      ++L.Out.AsksAnswered;
+      std::string F = "{\"schema\":" + std::to_string(kProtocolSchema);
+      F += ",\"op\":\"answer\",\"session\":\"" + jsonEscape(M->Session) + "\"";
+      F += ",\"query\":" + std::to_string(M->Query);
+      F += ",\"answer\":\"" + std::string(core::answerName(A)) + "\"";
+      F += "}\n";
+      if (!writeAll(Fd.get(), F)) {
+        Err = "write failed during answer";
+        return false;
+      }
+      L.LastSend = std::chrono::steady_clock::now();
+      break;
+    }
+    case ServerMessage::Kind::Result:
+    case ServerMessage::Kind::Error: {
+      if (M->K == ServerMessage::Kind::Result) {
+        L.Out.Status = M->Status;
+        L.Out.Verdict = M->Verdict;
+        L.Out.Queries = M->Queries;
+        L.Out.Message = M->Message;
+      } else {
+        L.Out.Status = "refused";
+        L.Out.Verdict.clear();
+        L.Out.Message = M->Code + ": " + M->Message;
+      }
+      Outcomes[L.ItemIndex] = std::move(L.Out);
+      InFlight.erase(It);
+      ++Finished;
+      if (!TopUp())
+        return false;
+      break;
+    }
+    }
+  }
+  return true;
+}

@@ -1,0 +1,104 @@
+//===- server/Client.h - Mirror-oracle replay client ------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scripted abdiagd client that answers the daemon's questions the way
+/// the batch pipeline would: for each session it lazily builds a *mirror*
+/// ErrorDiagnoser over the same program (analysis is deterministic, so
+/// variable names agree), parses each incoming ask's formula text into the
+/// mirror's FormulaManager, and answers with its own ConcreteOracle. A
+/// daemon session replayed this way must produce the byte-identical verdict
+/// to batch `TriageEngine` triage of the same file -- the replay tests and
+/// the perf_daemon load harness both assert exactly that.
+///
+/// The client multiplexes many concurrent sessions over one connection,
+/// keeping at most MaxInFlight submitted-but-unfinished; mirrors exist only
+/// from a session's first ask to its result frame, which bounds client
+/// memory by the daemon's active-session cap, not by the queue depth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SERVER_CLIENT_H
+#define ABDIAG_SERVER_CLIENT_H
+
+#include "core/ErrorDiagnoser.h"
+#include "server/Protocol.h"
+#include "support/Socket.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace abdiag::server {
+
+/// One program to replay.
+struct ReplayItem {
+  std::string Session; ///< wire session id; defaults to "s<index>" if empty
+  std::string Name;
+  std::string Source; ///< submitted inline when non-empty
+  std::string Path;   ///< submitted by path (daemon-side load) otherwise
+};
+
+struct ReplayOptions {
+  /// Pipeline knobs for the mirror diagnosers. Must match the daemon's
+  /// configuration for verdict identity.
+  abdiag::Options Pipeline;
+  /// Mirror concrete-oracle bounds; must likewise match whatever batch run
+  /// the verdicts are compared against.
+  core::ConcreteOracleConfig Oracle;
+  /// Submitted-but-unfinished sessions to keep open at once.
+  size_t MaxInFlight = 8;
+  /// Tenant name stamped on submits; empty uses the daemon's default.
+  std::string Tenant;
+  /// Record per-frame round-trip times (for the load harness).
+  bool RecordRtt = false;
+};
+
+/// What one session came back with.
+struct ReplayOutcome {
+  std::string Session;
+  std::string Name;
+  std::string Status;  ///< triageStatusName spelling, or "refused"
+  std::string Verdict; ///< diagnosisVerdictName spelling ("" unless diagnosed)
+  std::string Message; ///< error detail for refused/errored sessions
+  uint64_t Queries = 0;
+  uint64_t AsksAnswered = 0;
+  uint64_t ParseFailures = 0; ///< asks answered Unknown because the mirror
+                              ///< could not parse the formula text
+  /// Time from sending submit/answer to receiving this session's next
+  /// frame, when RecordRtt is set.
+  std::vector<double> RttMs;
+};
+
+/// Replays a batch of programs against a daemon over one connection.
+class ReplayClient {
+public:
+  explicit ReplayClient(ReplayOptions Opts);
+  ~ReplayClient();
+
+  bool connectUnixSocket(const std::string &Path, std::string &Err);
+  bool connectTcpPort(int Port, std::string &Err);
+
+  /// Runs every item to a result (or error) frame. Outcomes are in item
+  /// order. False + \p Err on transport failure.
+  bool run(const std::vector<ReplayItem> &Items,
+           std::vector<ReplayOutcome> &Outcomes, std::string &Err);
+
+private:
+  struct Live; ///< per-session replay state (mirror diagnoser + oracle)
+
+  ReplayOptions Opts;
+  FdHandle Fd;
+
+  bool submitOne(const ReplayItem &Item, const std::string &Session,
+                 std::string &Err);
+  core::Answer answerAsk(Live &L, const ServerMessage &M);
+};
+
+} // namespace abdiag::server
+
+#endif // ABDIAG_SERVER_CLIENT_H

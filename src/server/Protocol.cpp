@@ -1,0 +1,417 @@
+//===- server/Protocol.cpp - abdiagd wire protocol ---------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace abdiag;
+using namespace abdiag::server;
+
+std::string server::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JsonObject
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Single-pass scanner over one JSON line. Only what the protocol needs:
+/// flat objects of strings and scalars; nested values are skipped.
+class Scanner {
+public:
+  Scanner(const std::string &S, std::string &Err) : S(S), Err(Err) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg + " at offset " + std::to_string(At);
+    return false;
+  }
+
+  void ws() {
+    while (At < S.size() && (S[At] == ' ' || S[At] == '\t' || S[At] == '\r'))
+      ++At;
+  }
+
+  bool eat(char C) {
+    ws();
+    if (At >= S.size() || S[At] != C)
+      return fail(std::string("expected '") + C + "'");
+    ++At;
+    return true;
+  }
+
+  bool peek(char C) {
+    ws();
+    return At < S.size() && S[At] == C;
+  }
+
+  bool atEnd() {
+    ws();
+    return At >= S.size();
+  }
+
+  bool string(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    Out.clear();
+    while (At < S.size()) {
+      char C = S[At++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (At >= S.size())
+        return fail("dangling escape");
+      char E = S[At++];
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (At + 4 > S.size())
+          return fail("truncated \\u escape");
+        char *End = nullptr;
+        char Hex[5] = {S[At], S[At + 1], S[At + 2], S[At + 3], 0};
+        long V = std::strtol(Hex, &End, 16);
+        if (End != Hex + 4)
+          return fail("bad \\u escape");
+        At += 4;
+        // The protocol only ever escapes control bytes; anything beyond
+        // Latin-1 is passed through as '?' rather than growing a UTF-8
+        // encoder here.
+        Out += V < 0x100 ? static_cast<char>(V) : '?';
+        break;
+      }
+      default:
+        Out += E; // \" \\ \/ and friends
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  /// Raw scalar token (number/bool/null).
+  bool scalar(std::string &Out) {
+    ws();
+    size_t Start = At;
+    while (At < S.size() && (std::isalnum(static_cast<unsigned char>(S[At])) ||
+                             S[At] == '-' || S[At] == '+' || S[At] == '.'))
+      ++At;
+    if (At == Start)
+      return fail("expected value");
+    Out.assign(S, Start, At - Start);
+    return true;
+  }
+
+  /// Skips one value of any shape, keeping brackets balanced.
+  bool skipValue() {
+    ws();
+    if (At >= S.size())
+      return fail("expected value");
+    char C = S[At];
+    if (C == '"') {
+      std::string Tmp;
+      return string(Tmp);
+    }
+    if (C == '{' || C == '[') {
+      char Open = C, Close = C == '{' ? '}' : ']';
+      int Depth = 0;
+      while (At < S.size()) {
+        char D = S[At];
+        if (D == '"') {
+          std::string Tmp;
+          if (!string(Tmp))
+            return false;
+          continue;
+        }
+        ++At;
+        if (D == Open)
+          ++Depth;
+        else if (D == Close && --Depth == 0)
+          return true;
+      }
+      return fail("unbalanced brackets");
+    }
+    std::string Tmp;
+    return scalar(Tmp);
+  }
+
+private:
+  const std::string &S;
+  std::string &Err;
+  size_t At = 0;
+
+  friend class abdiag::server::JsonObject;
+};
+
+} // namespace
+
+std::optional<JsonObject> JsonObject::parse(const std::string &Line,
+                                            std::string &Err) {
+  Err.clear();
+  Scanner Sc(Line, Err);
+  JsonObject O;
+  if (!Sc.eat('{'))
+    return std::nullopt;
+  if (!Sc.peek('}')) {
+    for (;;) {
+      std::string Key;
+      if (!Sc.string(Key) || !Sc.eat(':'))
+        return std::nullopt;
+      Sc.ws();
+      if (Sc.peek('"')) {
+        std::string V;
+        if (!Sc.string(V))
+          return std::nullopt;
+        O.Strings[Key] = std::move(V);
+      } else if (Sc.peek('{') || Sc.peek('[')) {
+        if (!Sc.skipValue())
+          return std::nullopt;
+      } else {
+        std::string V;
+        if (!Sc.scalar(V))
+          return std::nullopt;
+        O.Scalars[Key] = std::move(V);
+      }
+      if (Sc.peek(',')) {
+        Sc.eat(',');
+        continue;
+      }
+      break;
+    }
+  }
+  if (!Sc.eat('}'))
+    return std::nullopt;
+  if (!Sc.atEnd()) {
+    Sc.fail("trailing garbage");
+    return std::nullopt;
+  }
+  return O;
+}
+
+std::optional<std::string> JsonObject::str(const std::string &Key) const {
+  auto It = Strings.find(Key);
+  if (It == Strings.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<int64_t> JsonObject::integer(const std::string &Key) const {
+  auto It = Scalars.find(Key);
+  if (It == Scalars.end())
+    return std::nullopt;
+  char *End = nullptr;
+  long long V = std::strtoll(It->second.c_str(), &End, 10);
+  if (End == It->second.c_str())
+    return std::nullopt;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Client frames
+//===----------------------------------------------------------------------===//
+
+std::optional<ClientMessage>
+server::parseClientMessage(const std::string &Line, std::string &Err) {
+  std::optional<JsonObject> O = JsonObject::parse(Line, Err);
+  if (!O)
+    return std::nullopt;
+  ClientMessage M;
+  std::optional<std::string> Op = O->str("op");
+  std::optional<std::string> Session = O->str("session");
+  if (!Op) {
+    Err = "missing \"op\"";
+    return std::nullopt;
+  }
+  if (!Session || Session->empty()) {
+    Err = "missing \"session\"";
+    return std::nullopt;
+  }
+  M.Session = *Session;
+  if (*Op == "submit") {
+    M.Op = ClientOp::Submit;
+    M.Name = O->str("name").value_or(M.Session);
+    M.Source = O->str("source").value_or("");
+    M.Path = O->str("path").value_or("");
+    M.Tenant = O->str("tenant").value_or("");
+    if (M.Source.empty() && M.Path.empty()) {
+      Err = "submit needs \"source\" or \"path\"";
+      return std::nullopt;
+    }
+  } else if (*Op == "answer") {
+    M.Op = ClientOp::Answer;
+    std::optional<int64_t> Q = O->integer("query");
+    if (!Q || *Q < 0) {
+      Err = "answer needs a non-negative \"query\" index";
+      return std::nullopt;
+    }
+    M.Query = static_cast<uint64_t>(*Q);
+    std::optional<std::string> A = O->str("answer");
+    std::optional<core::Answer> Parsed =
+        A ? core::parseAnswer(*A) : std::nullopt;
+    if (!Parsed) {
+      Err = "answer needs \"answer\": yes|no|unknown";
+      return std::nullopt;
+    }
+    M.Ans = *Parsed;
+  } else if (*Op == "cancel") {
+    M.Op = ClientOp::Cancel;
+  } else {
+    Err = "unknown op \"" + *Op + "\"";
+    return std::nullopt;
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Server frames
+//===----------------------------------------------------------------------===//
+
+static std::string frameHead(const char *Op, const std::string &Session) {
+  std::string F = "{\"schema\":" + std::to_string(kProtocolSchema);
+  F += ",\"op\":\"";
+  F += Op;
+  F += "\",\"session\":\"" + jsonEscape(Session) + "\"";
+  return F;
+}
+
+std::string server::askFrame(const std::string &Session,
+                             const core::SessionQuery &Q, bool IsInvariant) {
+  std::string F = frameHead("ask", Session);
+  F += ",\"query\":" + std::to_string(Q.Index);
+  F += ",\"kind\":\"";
+  F += IsInvariant ? "invariant" : "witness";
+  F += "\"";
+  F += ",\"formula\":\"" + jsonEscape(Q.Formula) + "\"";
+  if (!Q.GivenText.empty())
+    F += ",\"given\":\"" + jsonEscape(Q.GivenText) + "\"";
+  F += ",\"text\":\"" + jsonEscape(Q.Text) + "\"";
+  F += "}";
+  return F;
+}
+
+std::string server::resultFrame(const std::string &Session,
+                                const core::TriageReport &R) {
+  std::string F = frameHead("result", Session);
+  F += ",\"status\":\"" + std::string(core::triageStatusName(R.Status)) + "\"";
+  if (R.Status == core::TriageStatus::Diagnosed)
+    F += ",\"verdict\":\"" +
+         std::string(core::diagnosisVerdictName(R.Outcome)) + "\"";
+  if (!R.Message.empty())
+    F += ",\"message\":\"" + jsonEscape(R.Message) + "\"";
+  F += ",\"loc\":" + std::to_string(R.Loc);
+  F += ",\"queries\":" + std::to_string(R.Queries);
+  F += ",\"answers\":{";
+  F += "\"" + std::string(core::answerName(core::Answer::Yes)) +
+       "\":" + std::to_string(R.AnswersYes);
+  F += ",\"" + std::string(core::answerName(core::Answer::No)) +
+       "\":" + std::to_string(R.AnswersNo);
+  F += ",\"" + std::string(core::answerName(core::Answer::Unknown)) +
+       "\":" + std::to_string(R.AnswersUnknown);
+  F += "}";
+  F += ",\"iterations\":" + std::to_string(R.Iterations);
+  F += ",\"escalated\":";
+  F += R.Escalated ? "true" : "false";
+  F += ",\"analysis_alone\":";
+  F += R.AnalysisAlone ? "true" : "false";
+  char Wall[32];
+  std::snprintf(Wall, sizeof(Wall), "%.3f", R.WallMs);
+  F += ",\"wall_ms\":";
+  F += Wall;
+  F += "}";
+  return F;
+}
+
+std::string server::errorFrame(const std::string &Session,
+                               const std::string &Code,
+                               const std::string &Message) {
+  std::string F = frameHead("error", Session);
+  F += ",\"code\":\"" + jsonEscape(Code) + "\"";
+  F += ",\"message\":\"" + jsonEscape(Message) + "\"";
+  F += "}";
+  return F;
+}
+
+std::optional<ServerMessage>
+server::parseServerMessage(const std::string &Line, std::string &Err) {
+  std::optional<JsonObject> O = JsonObject::parse(Line, Err);
+  if (!O)
+    return std::nullopt;
+  ServerMessage M;
+  std::optional<std::string> Op = O->str("op");
+  if (!Op) {
+    Err = "missing \"op\"";
+    return std::nullopt;
+  }
+  M.Session = O->str("session").value_or("");
+  if (*Op == "ask") {
+    M.K = ServerMessage::Kind::Ask;
+    M.Query = static_cast<uint64_t>(O->integer("query").value_or(0));
+    M.Invariant = O->str("kind").value_or("invariant") == "invariant";
+    M.Formula = O->str("formula").value_or("");
+    M.Given = O->str("given").value_or("");
+  } else if (*Op == "result") {
+    M.K = ServerMessage::Kind::Result;
+    M.Status = O->str("status").value_or("");
+    M.Verdict = O->str("verdict").value_or("");
+    M.Queries = static_cast<uint64_t>(O->integer("queries").value_or(0));
+    M.Message = O->str("message").value_or("");
+  } else if (*Op == "error") {
+    M.K = ServerMessage::Kind::Error;
+    M.Code = O->str("code").value_or("");
+    M.Message = O->str("message").value_or("");
+  } else {
+    Err = "unknown op \"" + *Op + "\"";
+    return std::nullopt;
+  }
+  return M;
+}

@@ -1,0 +1,123 @@
+//===- server/Protocol.h - abdiagd wire protocol ----------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-delimited JSON protocol between abdiagd and its clients. Every
+/// frame is one JSON object on one line with an "op" discriminator and a
+/// "schema" version:
+///
+///   client -> server
+///     {"schema":1,"op":"submit","session":"s1","name":"p1","source":"..."}
+///     {"schema":1,"op":"answer","session":"s1","query":0,"answer":"yes"}
+///     {"schema":1,"op":"cancel","session":"s1"}
+///
+///   server -> client
+///     {"schema":1,"op":"ask","session":"s1","query":0,"kind":"invariant",
+///      "formula":"i@loop1 >= 0","text":"Does \"...\" hold ..."}
+///     {"schema":1,"op":"result","session":"s1","status":"diagnosed",
+///      "verdict":"false_alarm","queries":3,...}
+///     {"schema":1,"op":"error","session":"s1","code":"busy","message":"..."}
+///
+/// Session ids are chosen by the client and scoped to its connection. The
+/// "formula"/"given" fields of an ask are in smt/FormulaParser syntax, so a
+/// client holding its own copy of the program can reconstruct the query in
+/// its own FormulaManager and answer it mechanically.
+///
+/// Readers are tolerant: unknown keys are ignored, and a frame whose
+/// "schema" is *newer* than ours is still processed best-effort (the bump
+/// rule in benchmarks/README.md reserves bumps for breaking changes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SERVER_PROTOCOL_H
+#define ABDIAG_SERVER_PROTOCOL_H
+
+#include "core/InteractiveSession.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace abdiag::server {
+
+/// Wire schema version shared by both message directions.
+constexpr int kProtocolSchema = 1;
+
+/// JSON string escaping shared by every frame writer.
+std::string jsonEscape(const std::string &S);
+
+/// One parsed top-level JSON object: scalar fields only. String values are
+/// unescaped; numbers/bools keep their raw spelling; nested objects and
+/// arrays are skipped (balanced) -- the protocol never requires reading
+/// them back.
+class JsonObject {
+public:
+  /// Parses one frame. Returns nullopt and fills \p Err on malformed input.
+  static std::optional<JsonObject> parse(const std::string &Line,
+                                         std::string &Err);
+
+  std::optional<std::string> str(const std::string &Key) const;
+  std::optional<int64_t> integer(const std::string &Key) const;
+
+private:
+  std::map<std::string, std::string> Strings;
+  std::map<std::string, std::string> Scalars; ///< raw number/bool/null text
+};
+
+/// Ops a client may send.
+enum class ClientOp : uint8_t { Submit, Answer, Cancel };
+
+/// A decoded client frame.
+struct ClientMessage {
+  ClientOp Op = ClientOp::Submit;
+  std::string Session;
+  // Submit fields.
+  std::string Name;
+  std::string Source;
+  std::string Path;
+  std::string Tenant; ///< optional; empty means per-connection default
+  // Answer fields.
+  uint64_t Query = 0;
+  core::Answer Ans = core::Answer::Unknown;
+};
+
+/// Parses one client frame; nullopt + \p Err when the frame is malformed
+/// (bad JSON, missing op/session, unknown op, unparseable answer).
+std::optional<ClientMessage> parseClientMessage(const std::string &Line,
+                                                std::string &Err);
+
+/// Frame writers (no trailing newline; the transport appends it).
+std::string askFrame(const std::string &Session, const core::SessionQuery &Q,
+                     bool IsInvariant);
+std::string resultFrame(const std::string &Session,
+                        const core::TriageReport &R);
+std::string errorFrame(const std::string &Session, const std::string &Code,
+                       const std::string &Message);
+
+/// Ops a server may send, decoded for client implementations.
+struct ServerMessage {
+  enum class Kind : uint8_t { Ask, Result, Error } K = Kind::Error;
+  std::string Session;
+  // Ask fields.
+  uint64_t Query = 0;
+  bool Invariant = true; ///< "kind" was "invariant" (else witness)
+  std::string Formula;
+  std::string Given;
+  // Result fields.
+  std::string Status;
+  std::string Verdict;
+  uint64_t Queries = 0;
+  // Error fields (Message also carries result-row messages).
+  std::string Code;
+  std::string Message;
+};
+
+std::optional<ServerMessage> parseServerMessage(const std::string &Line,
+                                                std::string &Err);
+
+} // namespace abdiag::server
+
+#endif // ABDIAG_SERVER_PROTOCOL_H

@@ -1,0 +1,668 @@
+//===- server/Server.cpp - The abdiagd triage daemon -------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Threading model. One reader thread per connection parses client frames
+// and mutates the session table under the server mutex; session worker
+// threads (inside core::InteractiveSession) enqueue weak tickets on the
+// ready channel from their OnEvent callback; a single dispatcher thread
+// owns all poll()/destroy traffic on sessions, so a session's lifetime
+// after start is: dispatcher polls events -> dispatcher writes frames ->
+// dispatcher destroys. The housekeeping thread only cancels (idle reaping)
+// and retires dead connections. Lock order: server mutex before session
+// mutex; the per-connection write mutex is taken with neither held.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <algorithm>
+
+using namespace abdiag;
+using namespace abdiag::server;
+
+//===----------------------------------------------------------------------===//
+// Internal structures
+//===----------------------------------------------------------------------===//
+
+struct DaemonServer::Connection {
+  uint64_t Id = 0;
+  FdHandle Fd;       ///< read side (and write side for sockets)
+  FdHandle WriteFd_; ///< separate write fd for stdio mode
+  int WriteFd = -1;
+  std::mutex WriteMu;
+  std::string DefaultTenant;
+
+  // Guarded by the server mutex.
+  bool Dead = false;       ///< EOF seen or a write failed; sessions cancelled
+  bool AnswersClosed = false; ///< stdio EOF: asks can never be answered
+  bool TornDown = false;   ///< closeConnection already ran
+  bool ReaderDone = false; ///< reader thread exited (retire me)
+  std::map<std::string, std::shared_ptr<SessionEntry>> Sessions;
+
+  std::thread Reader; ///< empty in stdio mode (reader runs inline)
+};
+
+struct DaemonServer::SessionEntry {
+  std::shared_ptr<Connection> Conn;
+  std::string Id; ///< client-chosen, scoped to Conn
+  std::string Tenant;
+  std::string Name;
+  std::string Source;
+  std::string Path;
+
+  // Guarded by the server mutex. S is written once by startSession and
+  // reset only by the dispatcher (or stop() after every thread is joined).
+  std::unique_ptr<core::InteractiveSession> S;
+  bool Queued = false;   ///< admitted but waiting for an active slot
+  bool Finished = false; ///< result frame handled
+  bool AwaitingAnswer = false;
+  uint64_t PendingQuery = 0;
+  uint64_t NextExpected = 0; ///< lowest query index not yet answered
+  std::map<uint64_t, core::Answer> BufferedAnswers; ///< pipelined answers
+  std::chrono::steady_clock::time_point LastActivity;
+};
+
+struct DaemonServer::PendingSubmit {
+  std::shared_ptr<Connection> Conn;
+  std::shared_ptr<SessionEntry> Entry;
+};
+
+/// Pipelined answers a client may park per session before the matching
+/// asks exist; beyond this the frames are refused.
+static constexpr size_t kMaxBufferedAnswers = 4096;
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+DaemonServer::DaemonServer(ServerConfig Cfg_) : Cfg(std::move(Cfg_)) {}
+
+DaemonServer::~DaemonServer() { stop(); }
+
+bool DaemonServer::start(std::string &Err) {
+  if (!Cfg.UnixPath.empty()) {
+    ListenFd = listenUnix(Cfg.UnixPath, Err);
+  } else if (Cfg.TcpPort >= 0) {
+    ListenFd = listenTcp(Cfg.TcpPort, BoundPort, Err);
+  } else {
+    Err = "no listen address configured";
+    return false;
+  }
+  if (!ListenFd.valid())
+    return false;
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  DispatchThread = std::thread([this] { dispatchLoop(); });
+  HousekeepThread = std::thread([this] { housekeepLoop(); });
+  return true;
+}
+
+void DaemonServer::serveStdio() {
+  DispatchThread = std::thread([this] { dispatchLoop(); });
+  HousekeepThread = std::thread([this] { housekeepLoop(); });
+
+  auto Conn = std::make_shared<Connection>();
+  Conn->Fd = FdHandle(::dup(0));
+  Conn->WriteFd_ = FdHandle(::dup(1));
+  Conn->WriteFd = Conn->WriteFd_.get();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Conn->Id = NextConnId++;
+    Conn->DefaultTenant = "stdio";
+    Connections.push_back(Conn);
+  }
+  // Inline reader; EOF on stdin means "no more input", not "client gone":
+  // finish the submitted work before exiting.
+  LineReader Reader(Conn->Fd.get());
+  std::string Line;
+  while (Reader.readLine(Line))
+    handleLine(Conn, Line);
+  {
+    // No answer can arrive anymore: cancel sessions parked on an ask (and,
+    // via AnswersClosed, any that ask from here on) so the drain can end.
+    std::lock_guard<std::mutex> Lock(Mu);
+    Conn->ReaderDone = true;
+    Conn->AnswersClosed = true;
+    for (auto &[Id, E] : Conn->Sessions)
+      if (E->S && E->AwaitingAnswer)
+        E->S->cancel();
+  }
+  requestDrain();
+  wait();
+  stop();
+}
+
+void DaemonServer::requestDrain() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Draining)
+      return;
+    Draining = true;
+    maybeSignalDrained();
+  }
+  ListenFd.shutdownBoth(); // unblock accept()
+}
+
+void DaemonServer::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DrainedCv.wait(Lock, [&] {
+    return Stopping || (Draining && Active == 0 && Pending.empty());
+  });
+}
+
+void DaemonServer::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopping)
+      return;
+    Stopping = true;
+    Draining = true;
+  }
+  StopFlag.store(true);
+  ListenFd.shutdownBoth();
+
+  std::vector<std::shared_ptr<Connection>> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Conns = Connections;
+    for (const auto &C : Conns) {
+      C->Dead = true;
+      C->Fd.shutdownBoth(); // unblock the reader
+      for (auto &[Id, E] : C->Sessions)
+        if (E->S)
+          E->S->cancel();
+    }
+    Pending.clear();
+  }
+
+  ReadyQ.close();
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (DispatchThread.joinable())
+    DispatchThread.join();
+  if (HousekeepThread.joinable())
+    HousekeepThread.join();
+  for (const auto &C : Conns)
+    if (C->Reader.joinable())
+      C->Reader.join();
+
+  // Every thread that could touch a session is gone; tear the remaining
+  // sessions down (the destructor cancels and joins each worker).
+  std::vector<std::shared_ptr<SessionEntry>> Leftover;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &C : Conns) {
+      for (auto &[Id, E] : C->Sessions)
+        Leftover.push_back(E);
+      C->Sessions.clear();
+    }
+    Connections.clear();
+  }
+  for (const auto &E : Leftover)
+    E->S.reset();
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    DrainedCv.notify_all();
+  }
+  ListenFd.reset();
+}
+
+DaemonServer::Stats DaemonServer::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+void DaemonServer::maybeSignalDrained() {
+  if (Draining && Active == 0 && Pending.empty())
+    DrainedCv.notify_all();
+}
+
+//===----------------------------------------------------------------------===//
+// Accept / reader threads
+//===----------------------------------------------------------------------===//
+
+void DaemonServer::acceptLoop() {
+  for (;;) {
+    FdHandle Fd = acceptOne(ListenFd.get());
+    if (!Fd.valid())
+      return; // listener shut down (drain/stop)
+    if (StopFlag.load())
+      return;
+    auto Conn = std::make_shared<Connection>();
+    Conn->WriteFd = Fd.get();
+    Conn->Fd = std::move(Fd);
+    bool Refuse = false;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Conn->Id = NextConnId++;
+      Conn->DefaultTenant = "conn-" + std::to_string(Conn->Id);
+      Refuse = Draining;
+      if (!Refuse)
+        Connections.push_back(Conn);
+    }
+    if (Refuse) {
+      // Raced the drain: tell the peer why before hanging up.
+      sendFrame(Conn, errorFrame("", "draining", "daemon is draining"));
+      continue;
+    }
+    Conn->Reader = std::thread([this, Conn] { serveConnection(Conn); });
+  }
+}
+
+void DaemonServer::serveConnection(std::shared_ptr<Connection> Conn) {
+  LineReader Reader(Conn->Fd.get());
+  std::string Line;
+  while (Reader.readLine(Line)) {
+    if (StopFlag.load())
+      break;
+    handleLine(Conn, Line);
+  }
+  closeConnection(Conn); // peer is gone: cancel whatever it abandoned
+  std::lock_guard<std::mutex> Lock(Mu);
+  Conn->ReaderDone = true;
+}
+
+void DaemonServer::handleLine(const std::shared_ptr<Connection> &Conn,
+                              const std::string &Line) {
+  if (Line.empty())
+    return;
+  std::string Err;
+  std::optional<ClientMessage> M = parseClientMessage(Line, Err);
+  if (!M) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++St.ProtocolErrors;
+    }
+    sendError(Conn, "", "bad_message", Err);
+    return;
+  }
+  switch (M->Op) {
+  case ClientOp::Submit:
+    handleSubmit(Conn, std::move(*M));
+    break;
+  case ClientOp::Answer:
+    handleAnswer(Conn, *M);
+    break;
+  case ClientOp::Cancel:
+    handleCancel(Conn, *M);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frame handlers
+//===----------------------------------------------------------------------===//
+
+void DaemonServer::handleSubmit(const std::shared_ptr<Connection> &Conn,
+                                ClientMessage M) {
+  std::shared_ptr<SessionEntry> StartNow;
+  std::string RefuseCode, RefuseMsg;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Conn->Dead || Stopping)
+      return;
+    std::string Tenant = M.Tenant.empty() ? Conn->DefaultTenant : M.Tenant;
+    if (Draining) {
+      RefuseCode = "draining";
+      RefuseMsg = "daemon is draining; not accepting new sessions";
+      ++St.Refused;
+    } else if (Conn->Sessions.count(M.Session)) {
+      RefuseCode = "duplicate_session";
+      RefuseMsg = "session id '" + M.Session + "' already in use";
+      ++St.ProtocolErrors;
+    } else if (Cfg.MaxSessionsPerTenant &&
+               TenantLoad[Tenant] >= Cfg.MaxSessionsPerTenant) {
+      RefuseCode = "tenant_limit";
+      RefuseMsg = "tenant '" + Tenant + "' is at its session cap";
+      ++St.Refused;
+    } else if (Active >= Cfg.MaxActiveSessions &&
+               Pending.size() >= Cfg.MaxPendingSessions) {
+      RefuseCode = "busy";
+      RefuseMsg = "active sessions and pending queue are both full";
+      ++St.Refused;
+    } else {
+      auto Entry = std::make_shared<SessionEntry>();
+      Entry->Conn = Conn;
+      Entry->Id = M.Session;
+      Entry->Tenant = Tenant;
+      Entry->Name = M.Name;
+      Entry->Source = std::move(M.Source);
+      Entry->Path = std::move(M.Path);
+      Entry->LastActivity = std::chrono::steady_clock::now();
+      Conn->Sessions[Entry->Id] = Entry;
+      ++TenantLoad[Tenant];
+      ++St.Submitted;
+      St.PeakOpen = std::max(St.PeakOpen, St.Submitted - St.Completed);
+      if (Active < Cfg.MaxActiveSessions) {
+        ++Active;
+        St.PeakActive = std::max(St.PeakActive, Active);
+        StartNow = Entry;
+      } else {
+        Entry->Queued = true;
+        Pending.push_back(PendingSubmit{Conn, Entry});
+      }
+    }
+  }
+  if (!RefuseCode.empty()) {
+    sendError(Conn, M.Session, RefuseCode, RefuseMsg);
+    return;
+  }
+  if (StartNow)
+    startSession(StartNow);
+}
+
+void DaemonServer::handleAnswer(const std::shared_ptr<Connection> &Conn,
+                                const ClientMessage &M) {
+  std::string ErrCode, ErrMsg;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Conn->Sessions.find(M.Session);
+    if (It == Conn->Sessions.end()) {
+      ErrCode = "unknown_session";
+      ErrMsg = "no session '" + M.Session + "' on this connection";
+      ++St.ProtocolErrors;
+    } else {
+      auto &E = *It->second;
+      E.LastActivity = std::chrono::steady_clock::now();
+      if (E.AwaitingAnswer && M.Query == E.PendingQuery) {
+        E.AwaitingAnswer = false;
+        E.NextExpected = M.Query + 1;
+        try {
+          E.S->answer(M.Ans);
+        } catch (const core::SessionError &Ex) {
+          // The session raced to done (deadline/cancel); harmless.
+          ErrCode = "no_pending_query";
+          ErrMsg = Ex.what();
+          ++St.ProtocolErrors;
+        }
+      } else if (M.Query < E.NextExpected) {
+        ErrCode = "bad_query_index";
+        ErrMsg = "query " + std::to_string(M.Query) + " was already answered";
+        ++St.ProtocolErrors;
+      } else if (E.AwaitingAnswer && M.Query != E.PendingQuery) {
+        ErrCode = "bad_query_index";
+        ErrMsg = "pending query is " + std::to_string(E.PendingQuery) +
+                 ", not " + std::to_string(M.Query);
+        ++St.ProtocolErrors;
+      } else if (E.BufferedAnswers.size() >= kMaxBufferedAnswers) {
+        ErrCode = "bad_message";
+        ErrMsg = "too many pipelined answers";
+        ++St.ProtocolErrors;
+      } else {
+        // Pipelined answer ahead of its ask (scripted clients); applied by
+        // the dispatcher when the query materializes.
+        E.BufferedAnswers[M.Query] = M.Ans;
+      }
+    }
+  }
+  if (!ErrCode.empty())
+    sendError(Conn, M.Session, ErrCode, ErrMsg);
+}
+
+void DaemonServer::handleCancel(const std::shared_ptr<Connection> &Conn,
+                                const ClientMessage &M) {
+  std::string Frame;
+  bool Unknown = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Conn->Sessions.find(M.Session);
+    if (It == Conn->Sessions.end()) {
+      Unknown = true;
+      ++St.ProtocolErrors;
+    } else if (It->second->Queued) {
+      // Never started: synthesize the cancelled result row directly.
+      auto E = It->second;
+      Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                   [&](const PendingSubmit &P) {
+                                     return P.Entry == E;
+                                   }),
+                    Pending.end());
+      retireLocked(*E);
+      core::TriageReport R;
+      R.Name = E->Name;
+      R.Status = core::TriageStatus::Cancelled;
+      R.Message = "cancelled before start";
+      Frame = resultFrame(E->Id, R);
+      maybeSignalDrained();
+    } else if (It->second->S) {
+      It->second->S->cancel(); // the Cancelled result frame will follow
+    }
+  }
+  if (Unknown)
+    sendError(Conn, M.Session, "unknown_session",
+              "no session '" + M.Session + "' on this connection");
+  else if (!Frame.empty())
+    sendFrame(Conn, Frame);
+}
+
+/// Removes a finished/cancelled entry from its connection and the tenant
+/// ledger. Requires Mu held.
+void DaemonServer::retireLocked(SessionEntry &E) {
+  E.Finished = true;
+  E.Conn->Sessions.erase(E.Id);
+  auto TIt = TenantLoad.find(E.Tenant);
+  if (TIt != TenantLoad.end() && --TIt->second == 0)
+    TenantLoad.erase(TIt);
+  ++St.Completed;
+}
+
+//===----------------------------------------------------------------------===//
+// Session lifecycle
+//===----------------------------------------------------------------------===//
+
+void DaemonServer::startSession(std::shared_ptr<SessionEntry> Entry) {
+  core::SessionInput In;
+  In.Name = Entry->Name;
+  In.Source = Entry->Source;
+  In.Path = Entry->Path;
+  core::InteractiveSessionOptions Opts;
+  Opts.Pipeline = Cfg.Pipeline;
+  Opts.DeadlineMs = Cfg.SessionDeadlineMs;
+  Opts.EscalateOnInconclusive = Cfg.EscalateOnInconclusive;
+  Opts.OnEvent = [this, W = std::weak_ptr<SessionEntry>(Entry)] {
+    ReadyQ.send(W);
+  };
+  auto S = std::make_unique<core::InteractiveSession>(std::move(In),
+                                                      std::move(Opts));
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry->LastActivity = std::chrono::steady_clock::now();
+  Entry->S = std::move(S);
+}
+
+void DaemonServer::pumpPending() {
+  for (;;) {
+    std::shared_ptr<SessionEntry> Next;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Stopping || Active >= Cfg.MaxActiveSessions || Pending.empty())
+        return;
+      PendingSubmit P = std::move(Pending.front());
+      Pending.pop_front();
+      P.Entry->Queued = false;
+      ++Active;
+      St.PeakActive = std::max(St.PeakActive, Active);
+      Next = std::move(P.Entry);
+    }
+    startSession(Next);
+  }
+}
+
+void DaemonServer::dispatchOne(const std::shared_ptr<SessionEntry> &Entry) {
+  core::InteractiveSession *S = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Entry->Finished)
+      return;
+    if (!Entry->S) {
+      // The ticket raced startSession's store; retry shortly.
+      std::this_thread::yield();
+      ReadyQ.send(std::weak_ptr<SessionEntry>(Entry));
+      return;
+    }
+    S = Entry->S.get();
+  }
+
+  std::optional<core::SessionEvent> Ev = S->poll();
+  if (!Ev)
+    return;
+
+  if (Ev->K != core::SessionEvent::Kind::Done) {
+    bool IsInvariant = Ev->K == core::SessionEvent::Kind::AskInvariant;
+    std::string Frame = askFrame(Entry->Id, Ev->Query, IsInvariant);
+    std::optional<core::Answer> Auto;
+    bool CancelInstead = false;
+    std::shared_ptr<Connection> Conn;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Entry->Finished)
+        return;
+      Conn = Entry->Conn;
+      Entry->LastActivity = std::chrono::steady_clock::now();
+      auto Buf = Entry->BufferedAnswers.find(Ev->Query.Index);
+      if (Buf != Entry->BufferedAnswers.end()) {
+        Auto = Buf->second;
+        Entry->NextExpected = Ev->Query.Index + 1;
+        // Stale pipelined answers below the applied index are dead.
+        Entry->BufferedAnswers.erase(Entry->BufferedAnswers.begin(),
+                                     std::next(Buf));
+      } else if (Conn->AnswersClosed) {
+        CancelInstead = true; // nobody left to answer (stdio EOF)
+      } else {
+        Entry->AwaitingAnswer = true;
+        Entry->PendingQuery = Ev->Query.Index;
+      }
+    }
+    if (!Conn->Dead)
+      sendFrame(Conn, Frame);
+    if (Auto) {
+      try {
+        S->answer(*Auto);
+      } catch (const core::SessionError &) {
+        // Raced to done; the Done ticket is already on its way.
+      }
+    } else if (CancelInstead) {
+      S->cancel();
+    }
+    return;
+  }
+
+  // Done: write the result row, retire the entry, free the slot, admit the
+  // next queued session. The session object is destroyed here, on the
+  // dispatcher -- never on its own worker thread.
+  std::string Frame = resultFrame(Entry->Id, Ev->Report);
+  std::shared_ptr<Connection> Conn;
+  std::unique_ptr<core::InteractiveSession> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Conn = Entry->Conn;
+    retireLocked(*Entry);
+    Dead = std::move(Entry->S);
+    --Active;
+    maybeSignalDrained();
+  }
+  if (!Conn->Dead)
+    sendFrame(Conn, Frame);
+  Dead.reset(); // joins the worker thread
+  pumpPending();
+}
+
+void DaemonServer::dispatchLoop() {
+  while (std::optional<std::weak_ptr<SessionEntry>> T = ReadyQ.recv())
+    if (std::shared_ptr<SessionEntry> E = T->lock())
+      dispatchOne(E);
+}
+
+//===----------------------------------------------------------------------===//
+// Housekeeping
+//===----------------------------------------------------------------------===//
+
+void DaemonServer::housekeepLoop() {
+  while (!StopFlag.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    // Reap sessions whose client has gone quiet mid-ask.
+    if (Cfg.IdleReapMs) {
+      auto Cutoff = std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(Cfg.IdleReapMs);
+      std::lock_guard<std::mutex> Lock(Mu);
+      for (const auto &C : Connections)
+        for (auto &[Id, E] : C->Sessions)
+          if (E->S && E->AwaitingAnswer && E->LastActivity < Cutoff) {
+            E->AwaitingAnswer = false; // reap once
+            E->S->cancel();
+            ++St.Reaped;
+          }
+    }
+
+    // Retire connections whose reader exited and whose sessions are gone.
+    std::vector<std::thread> Joinable;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Connections.begin();
+      while (It != Connections.end()) {
+        auto &C = *It;
+        if (C->ReaderDone && C->Sessions.empty()) {
+          if (C->Reader.joinable())
+            Joinable.push_back(std::move(C->Reader));
+          It = Connections.erase(It);
+        } else {
+          ++It;
+        }
+      }
+    }
+    for (std::thread &T : Joinable)
+      T.join();
+
+    pumpPending(); // defensive: admission is normally event-driven
+  }
+}
+
+void DaemonServer::closeConnection(const std::shared_ptr<Connection> &Conn) {
+  std::vector<std::shared_ptr<SessionEntry>> Queued;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Conn->TornDown)
+      return;
+    Conn->TornDown = true;
+    Conn->Dead = true;
+    for (auto &[Id, E] : Conn->Sessions) {
+      if (E->Queued)
+        Queued.push_back(E);
+      else if (E->S)
+        E->S->cancel(); // dispatcher retires it when Done arrives
+    }
+    for (const auto &E : Queued) {
+      Pending.erase(std::remove_if(
+                        Pending.begin(), Pending.end(),
+                        [&](const PendingSubmit &P) { return P.Entry == E; }),
+                    Pending.end());
+      retireLocked(*E);
+    }
+    maybeSignalDrained();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frame output
+//===----------------------------------------------------------------------===//
+
+void DaemonServer::sendFrame(const std::shared_ptr<Connection> &Conn,
+                             const std::string &Frame) {
+  bool Ok;
+  {
+    std::lock_guard<std::mutex> Lock(Conn->WriteMu);
+    Ok = writeAll(Conn->WriteFd, Frame + "\n");
+  }
+  if (!Ok)
+    closeConnection(Conn); // peer went away mid-write
+}
+
+void DaemonServer::sendError(const std::shared_ptr<Connection> &Conn,
+                             const std::string &Session,
+                             const std::string &Code,
+                             const std::string &Message) {
+  sendFrame(Conn, errorFrame(Session, Code, Message));
+}

@@ -1,0 +1,175 @@
+//===- server/Server.h - The abdiagd triage daemon --------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent daemon serving concurrent interactive diagnosis sessions
+/// over the server/Protocol.h wire. Each accepted connection gets a reader
+/// thread; each submitted program becomes a core::InteractiveSession whose
+/// OnEvent callback enqueues the session on a ready-channel drained by one
+/// dispatcher thread, which writes ask/result frames back to the owning
+/// connection. A housekeeping thread reaps sessions whose client went quiet
+/// mid-ask, retires closed connections, and pumps the admission queue.
+///
+/// Admission control and backpressure: at most MaxActiveSessions sessions
+/// run at once (each owns a worker thread and an ErrorDiagnoser); beyond
+/// that, submits park in a bounded pending queue, and once *that* is full
+/// they are refused with an "busy" error frame -- the client's cue to back
+/// off. Per-tenant caps bound how much of the daemon one client can hold.
+///
+/// Graceful drain (SIGTERM): new submits are refused with "draining",
+/// in-flight sessions run to completion (the pending queue is admitted
+/// normally), and wait() returns once the daemon is idle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SERVER_SERVER_H
+#define ABDIAG_SERVER_SERVER_H
+
+#include "server/Protocol.h"
+#include "support/Channel.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace abdiag::server {
+
+struct ServerConfig {
+  /// Unix-domain socket path; takes precedence over TcpPort when set.
+  std::string UnixPath;
+  /// Loopback TCP port; 0 picks an ephemeral port (see port()), negative
+  /// disables TCP. Ignored when UnixPath is set.
+  int TcpPort = -1;
+  /// Concurrently *running* sessions (each one worker thread + diagnoser).
+  size_t MaxActiveSessions = 64;
+  /// Running + queued sessions one tenant may hold; 0 disables the cap.
+  size_t MaxSessionsPerTenant = 0;
+  /// Bounded admission queue; submits beyond it are refused ("busy").
+  size_t MaxPendingSessions = 256;
+  /// Per-session wall-clock deadline in ms; 0 disables it.
+  uint64_t SessionDeadlineMs = 0;
+  /// Cancel sessions that sat awaiting an answer this long (ms); 0 disables
+  /// reaping. Sessions that are *computing* are never reaped -- the
+  /// deadline covers runaway computation, reaping covers absent clients.
+  uint64_t IdleReapMs = 0;
+  /// Pipeline knobs for every session's diagnoser.
+  abdiag::Options Pipeline;
+  /// Retry Inconclusive sessions once with 4x budgets (matches batch).
+  bool EscalateOnInconclusive = true;
+};
+
+class DaemonServer {
+public:
+  explicit DaemonServer(ServerConfig Cfg);
+  ~DaemonServer();
+  DaemonServer(const DaemonServer &) = delete;
+  DaemonServer &operator=(const DaemonServer &) = delete;
+
+  /// Binds the configured socket and starts the accept/dispatcher/
+  /// housekeeping threads. False + \p Err on bind failure.
+  bool start(std::string &Err);
+
+  /// Serves exactly one connection on stdin/stdout (no listener), blocking
+  /// until the peer closes stdin and every session of that connection has
+  /// its result frame. For tests and editor integrations.
+  void serveStdio();
+
+  /// Begins a graceful drain: stop accepting connections, refuse new
+  /// submits, let in-flight and queued sessions finish. Idempotent.
+  void requestDrain();
+
+  /// Blocks until a requested drain completes (daemon idle).
+  void wait();
+
+  /// Hard stop: cancels every session, closes every connection, joins all
+  /// threads. Called by the destructor; safe after wait().
+  void stop();
+
+  /// The resolved TCP port (ephemeral binds), -1 when not listening on TCP.
+  int port() const { return BoundPort; }
+
+  struct Stats {
+    size_t Submitted = 0;     ///< sessions admitted (started or queued)
+    size_t Completed = 0;     ///< result frames written
+    size_t Refused = 0;       ///< submits refused (busy/tenant/draining)
+    size_t Reaped = 0;        ///< idle sessions cancelled by the reaper
+    size_t ProtocolErrors = 0;///< malformed/mis-sequenced client frames
+    size_t PeakActive = 0;    ///< high-water mark of running sessions
+    size_t PeakOpen = 0;      ///< high-water mark of open (running+queued)
+  };
+  Stats stats() const;
+
+private:
+  struct Connection;
+  struct SessionEntry;
+  struct PendingSubmit;
+
+  ServerConfig Cfg;
+  int BoundPort = -1;
+  FdHandle ListenFd;
+
+  mutable std::mutex Mu;
+  std::condition_variable DrainedCv;
+  std::atomic<bool> StopFlag{false};
+  bool Draining = false;
+  bool Stopping = false;
+  size_t Active = 0;
+  std::map<std::string, size_t> TenantLoad; ///< running + pending per tenant
+  std::deque<PendingSubmit> Pending;
+  std::vector<std::shared_ptr<Connection>> Connections;
+  uint64_t NextConnId = 0;
+  Stats St;
+
+  Channel<std::weak_ptr<SessionEntry>> ReadyQ;
+
+  std::thread AcceptThread;
+  std::thread DispatchThread;
+  std::thread HousekeepThread;
+
+  void acceptLoop();
+  void dispatchLoop();
+  void housekeepLoop();
+
+  void serveConnection(std::shared_ptr<Connection> Conn);
+  void handleLine(const std::shared_ptr<Connection> &Conn,
+                  const std::string &Line);
+  void handleSubmit(const std::shared_ptr<Connection> &Conn, ClientMessage M);
+  void handleAnswer(const std::shared_ptr<Connection> &Conn,
+                    const ClientMessage &M);
+  void handleCancel(const std::shared_ptr<Connection> &Conn,
+                    const ClientMessage &M);
+
+  /// Starts one admitted session (Active already incremented). Must be
+  /// called without Mu held.
+  void startSession(std::shared_ptr<SessionEntry> Entry);
+  /// Admits queued submits while capacity allows. Must be called without
+  /// Mu held.
+  void pumpPending();
+  /// Handles one ready ticket from the dispatcher.
+  void dispatchOne(const std::shared_ptr<SessionEntry> &Entry);
+  /// Removes a finished entry from its connection and the tenant ledger.
+  /// Requires Mu held.
+  void retireLocked(SessionEntry &E);
+  /// Tears one connection down: cancel its sessions, drop its queued
+  /// submits. Must be called without Mu held.
+  void closeConnection(const std::shared_ptr<Connection> &Conn);
+
+  void sendFrame(const std::shared_ptr<Connection> &Conn,
+                 const std::string &Frame);
+  void sendError(const std::shared_ptr<Connection> &Conn,
+                 const std::string &Session, const std::string &Code,
+                 const std::string &Message);
+  void maybeSignalDrained(); ///< requires Mu held
+};
+
+} // namespace abdiag::server
+
+#endif // ABDIAG_SERVER_SERVER_H

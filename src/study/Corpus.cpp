@@ -651,7 +651,8 @@ bool findUIntField(const std::string &Line, const std::string &Key,
 
 std::string study::manifestRow(const CorpusProgram &P) {
   std::string Row = "{";
-  Row += "\"file\":\"" + jsonEscape(P.FileName) + "\"";
+  Row += "\"schema\":" + std::to_string(kManifestSchema);
+  Row += ",\"file\":\"" + jsonEscape(P.FileName) + "\"";
   Row += ",\"name\":\"" + jsonEscape(P.Name) + "\"";
   Row += ",\"index\":" + std::to_string(P.Index);
   Row += ",\"seed\":" + std::to_string(P.ProgramSeed);

@@ -183,6 +183,12 @@ struct ManifestEntry {
   bool IsRealBug = false;
 };
 
+/// Manifest row schema version, emitted as the leading "schema" key. Bump
+/// on breaking changes only (removing or re-typing a key); additions are
+/// compatible because every reader tolerates unknown keys. The bump rule
+/// is documented in benchmarks/README.md.
+constexpr int kManifestSchema = 1;
+
 /// Renders one manifest JSON object (no trailing newline). Schema is
 /// documented in benchmarks/README.md.
 std::string manifestRow(const CorpusProgram &P);

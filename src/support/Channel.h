@@ -1,0 +1,117 @@
+//===- support/Channel.h - Bounded blocking MPMC channel --------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer channel with close semantics,
+/// used as the daemon's ready-queue (session worker threads produce
+/// "session has an event" tickets, the dispatcher consumes them) and as its
+/// admission queue. Closing wakes every blocked producer and consumer;
+/// after close, sends are refused and receives drain whatever is left.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_CHANNEL_H
+#define ABDIAG_SUPPORT_CHANNEL_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace abdiag {
+
+template <typename T> class Channel {
+public:
+  /// \p Capacity bounds the queue; 0 means unbounded.
+  explicit Channel(size_t Capacity = 0) : Capacity(Capacity) {}
+
+  /// Blocks while the channel is full. Returns false (dropping \p V) once
+  /// the channel is closed.
+  bool send(T V) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotFull.wait(Lock, [&] { return Closed || !full(); });
+    if (Closed)
+      return false;
+    Items.push_back(std::move(V));
+    Lock.unlock();
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Non-blocking send: false when full or closed.
+  bool trySend(T V) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed || full())
+        return false;
+      Items.push_back(std::move(V));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; nullopt once the channel is closed
+  /// *and* drained.
+  std::optional<T> recv() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T V = std::move(Items.front());
+    Items.pop_front();
+    Lock.unlock();
+    NotFull.notify_one();
+    return V;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> tryRecv() {
+    std::optional<T> V;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Items.empty())
+        return std::nullopt;
+      V = std::move(Items.front());
+      Items.pop_front();
+    }
+    NotFull.notify_one();
+    return V;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Closed;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+private:
+  bool full() const { return Capacity != 0 && Items.size() >= Capacity; }
+
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::condition_variable NotFull;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_CHANNEL_H

@@ -1,0 +1,235 @@
+//===- support/Socket.h - RAII sockets and line-framed I/O ------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX socket helpers for the abdiagd wire: an owning fd wrapper,
+/// unix-domain and loopback-TCP listen/connect, a buffered newline-framed
+/// reader, and a write-all helper. Everything returns errors by value (no
+/// exceptions) because connection failures are routine for a daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_SUPPORT_SOCKET_H
+#define ABDIAG_SUPPORT_SOCKET_H
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <utility>
+
+namespace abdiag {
+
+/// Owning file descriptor.
+class FdHandle {
+public:
+  FdHandle() = default;
+  explicit FdHandle(int Fd) : Fd(Fd) {}
+  ~FdHandle() { reset(); }
+  FdHandle(FdHandle &&O) noexcept : Fd(O.Fd) { O.Fd = -1; }
+  FdHandle &operator=(FdHandle &&O) noexcept {
+    if (this != &O) {
+      reset();
+      Fd = O.Fd;
+      O.Fd = -1;
+    }
+    return *this;
+  }
+  FdHandle(const FdHandle &) = delete;
+  FdHandle &operator=(const FdHandle &) = delete;
+
+  int get() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+  int release() { return std::exchange(Fd, -1); }
+  void reset() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+  /// Shuts both directions down (waking any thread blocked in read) without
+  /// closing the descriptor; safe to call while a reader owns the fd.
+  void shutdownBoth() {
+    if (Fd >= 0)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+
+private:
+  int Fd = -1;
+};
+
+/// Binds and listens on a unix-domain socket, unlinking any stale file at
+/// \p Path first. Invalid handle + \p Err on failure.
+inline FdHandle listenUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return FdHandle();
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  FdHandle Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  ::unlink(Path.c_str());
+  if (::bind(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "bind " + Path + ": " + std::strerror(errno);
+    return FdHandle();
+  }
+  if (::listen(Fd.get(), 128) != 0) {
+    Err = "listen " + Path + ": " + std::strerror(errno);
+    return FdHandle();
+  }
+  return Fd;
+}
+
+/// Binds and listens on 127.0.0.1:\p Port (0 picks an ephemeral port;
+/// \p BoundPort receives the resolved one).
+inline FdHandle listenTcp(int Port, int &BoundPort, std::string &Err) {
+  FdHandle Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  int One = 1;
+  ::setsockopt(Fd.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::bind(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "bind 127.0.0.1:" + std::to_string(Port) + ": " + std::strerror(errno);
+    return FdHandle();
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    Err = std::string("getsockname: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  if (::listen(Fd.get(), 128) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  return Fd;
+}
+
+inline FdHandle connectUnix(const std::string &Path, std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return FdHandle();
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  FdHandle Fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  if (::connect(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "connect " + Path + ": " + std::strerror(errno);
+    return FdHandle();
+  }
+  return Fd;
+}
+
+inline FdHandle connectTcp(int Port, std::string &Err) {
+  FdHandle Fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!Fd.valid()) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return FdHandle();
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd.get(), reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Err = "connect 127.0.0.1:" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    return FdHandle();
+  }
+  return Fd;
+}
+
+/// Accepts one connection; invalid handle on error (including the listener
+/// being shut down for drain).
+inline FdHandle acceptOne(int ListenFd) {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd >= 0)
+      return FdHandle(Fd);
+    if (errno == EINTR)
+      continue;
+    return FdHandle();
+  }
+}
+
+/// Writes all of \p Data to \p Fd; false on any error.
+inline bool writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = ::write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Buffered newline-framed reader over an fd it does not own.
+class LineReader {
+public:
+  explicit LineReader(int Fd) : Fd(Fd) {}
+
+  /// Reads the next '\n'-terminated line (terminator stripped). False on
+  /// EOF or error; a final unterminated line is delivered before EOF.
+  bool readLine(std::string &Out) {
+    for (;;) {
+      size_t Nl = Buf.find('\n', Scan);
+      if (Nl != std::string::npos) {
+        Out.assign(Buf, 0, Nl);
+        Buf.erase(0, Nl + 1);
+        Scan = 0;
+        return true;
+      }
+      Scan = Buf.size();
+      char Chunk[4096];
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      if (N == 0) {
+        if (Buf.empty())
+          return false;
+        Out = std::move(Buf);
+        Buf.clear();
+        Scan = 0;
+        return true;
+      }
+      Buf.append(Chunk, static_cast<size_t>(N));
+    }
+  }
+
+private:
+  int Fd;
+  std::string Buf;
+  size_t Scan = 0;
+};
+
+} // namespace abdiag
+
+#endif // ABDIAG_SUPPORT_SOCKET_H

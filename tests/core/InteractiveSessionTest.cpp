@@ -1,0 +1,373 @@
+//===- tests/core/InteractiveSessionTest.cpp - Pull-based sessions -----------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The inverted Figure 6 loop: sessions step via next()/answer(), many
+// sessions interleave from one driver thread, protocol misuse throws
+// SessionError without tearing the session down, deadlines fire while the
+// oracle is parked, and -- the acceptance bar -- replaying a certified
+// corpus through sessions answered by a mirror concrete oracle produces
+// verdicts identical to batch TriageEngine rows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InteractiveSession.h"
+
+#include "core/Triage.h"
+#include "smt/FormulaParser.h"
+#include "study/Benchmarks.h"
+#include "study/Corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+using namespace abdiag;
+using namespace abdiag::core;
+
+namespace {
+
+/// Answers a session query the way a remote mirror client does: parse the
+/// wire text into the mirror's manager, ask the mirror's concrete oracle.
+/// Exercising the text round trip (rather than the in-process pointers) is
+/// the point -- it is what the daemon's clients must rely on.
+class MirrorOracle {
+public:
+  explicit MirrorOracle(const std::string &Path) {
+    EXPECT_TRUE(D.loadFile(Path));
+    O = D.makeConcreteOracle();
+  }
+
+  Answer answer(const SessionEvent &E) {
+    smt::FormulaParseOptions PO;
+    PO.CreateUnknownVars = false;
+    smt::FormulaParseResult F =
+        smt::parseFormula(D.manager(), E.Query.Formula, PO);
+    if (!F.ok()) {
+      ADD_FAILURE() << "unparseable wire formula: " << E.Query.Formula << ": "
+                    << F.Error;
+      return Answer::Unknown;
+    }
+    if (E.K == SessionEvent::Kind::AskInvariant)
+      return O->isInvariant(F.F);
+    const smt::Formula *Given = D.manager().getTrue();
+    if (!E.Query.GivenText.empty()) {
+      smt::FormulaParseResult G =
+          smt::parseFormula(D.manager(), E.Query.GivenText, PO);
+      if (!G.ok()) {
+        ADD_FAILURE() << "unparseable wire given: " << E.Query.GivenText;
+        return Answer::Unknown;
+      }
+      Given = G.F;
+    }
+    return O->isPossible(F.F, Given);
+  }
+
+private:
+  ErrorDiagnoser D;
+  std::unique_ptr<ConcreteOracle> O;
+};
+
+/// Drives one session to completion with a mirror oracle.
+TriageReport replaySession(const std::string &Path, const std::string &Name) {
+  InteractiveSession S(SessionInput{Name, "", Path});
+  std::unique_ptr<MirrorOracle> Mirror; // lazy, like the wire client
+  for (;;) {
+    SessionEvent E = S.next();
+    if (E.K == SessionEvent::Kind::Done)
+      return E.Report;
+    if (!Mirror)
+      Mirror = std::make_unique<MirrorOracle>(Path);
+    S.answer(Mirror->answer(E));
+  }
+}
+
+/// A program the analysis cannot settle alone: every run asks queries.
+const char *AsksQueriesSource = R"(
+program asks(n) {
+  var i, j;
+  assume(n >= 0);
+  i = 0;
+  j = 0;
+  while (i < n) {
+    i = i + 1;
+    j = j + 2;
+  } @ [i >= 0]
+  check(j >= i);
+}
+)";
+
+std::string writeTemp(const char *Name, const char *Source) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+TEST(InteractiveSessionTest, BenchmarkReplayMatchesBatchVerdicts) {
+  std::vector<TriageRequest> Queue;
+  for (const study::BenchmarkInfo &B : study::benchmarkSuite())
+    Queue.emplace_back(study::benchmarkPath(B), B.Name);
+  TriageResult Batch = TriageEngine().run(Queue);
+
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    TriageReport R = replaySession(Queue[I].Path, Queue[I].Name);
+    const TriageReport &B = Batch.Reports[I];
+    EXPECT_EQ(R.Status, B.Status) << Queue[I].Name;
+    EXPECT_EQ(R.Outcome, B.Outcome) << Queue[I].Name;
+    EXPECT_EQ(R.Queries, B.Queries) << Queue[I].Name;
+    EXPECT_EQ(R.Iterations, B.Iterations) << Queue[I].Name;
+    EXPECT_EQ(R.AnswersYes, B.AnswersYes) << Queue[I].Name;
+    EXPECT_EQ(R.AnswersNo, B.AnswersNo) << Queue[I].Name;
+    EXPECT_EQ(R.AnswersUnknown, B.AnswersUnknown) << Queue[I].Name;
+    EXPECT_EQ(R.Escalated, B.Escalated) << Queue[I].Name;
+    EXPECT_EQ(R.AnalysisAlone, B.AnalysisAlone) << Queue[I].Name;
+  }
+}
+
+TEST(InteractiveSessionTest, GeneratedCorpusReplayMatchesBatchVerdicts) {
+  study::CorpusOptions CO;
+  CO.Seed = 20260807;
+  CO.Count = 8;
+  study::CorpusGenerator Gen(CO);
+
+  for (size_t I = 0; I < CO.Count; ++I) {
+    study::CorpusProgram P = Gen.generate(I);
+    std::string Path = writeTemp(P.FileName.c_str(), P.Source.c_str());
+
+    TriageResult Batch =
+        TriageEngine().run({TriageRequest(Path, P.Name)});
+    const TriageReport &B = Batch.Reports[0];
+    TriageReport R = replaySession(Path, P.Name);
+    EXPECT_EQ(R.Status, B.Status) << P.Name;
+    EXPECT_EQ(R.Outcome, B.Outcome) << P.Name;
+    EXPECT_EQ(R.Queries, B.Queries) << P.Name;
+    std::filesystem::remove(Path);
+  }
+}
+
+TEST(InteractiveSessionTest, InterleavedSessionsStepIndependently) {
+  // Three sessions over the same program, stepped round-robin from one
+  // thread: each must see its own query sequence and reach the same
+  // verdict, with per-session answer bookkeeping never crossing over.
+  std::string Path = writeTemp("interleaved.adg", AsksQueriesSource);
+  MirrorOracle Mirror(Path);
+
+  constexpr size_t N = 3;
+  std::vector<std::unique_ptr<InteractiveSession>> Sessions;
+  for (size_t I = 0; I < N; ++I)
+    Sessions.push_back(std::make_unique<InteractiveSession>(
+        SessionInput{"s" + std::to_string(I), "", Path}));
+
+  std::vector<TriageReport> Reports(N);
+  std::vector<bool> Done(N, false);
+  std::vector<uint64_t> NextIndex(N, 0);
+  size_t Finished = 0;
+  while (Finished < N) {
+    for (size_t I = 0; I < N; ++I) {
+      if (Done[I])
+        continue;
+      SessionEvent E = Sessions[I]->next();
+      if (E.K == SessionEvent::Kind::Done) {
+        Reports[I] = E.Report;
+        Done[I] = true;
+        ++Finished;
+        continue;
+      }
+      // Query indices are per-session and strictly sequential.
+      EXPECT_EQ(E.Query.Index, NextIndex[I]) << "session " << I;
+      ++NextIndex[I];
+      Sessions[I]->answer(Mirror.answer(E));
+    }
+  }
+
+  ASSERT_GT(Reports[0].Queries, 0u) << "test program must ask queries";
+  for (size_t I = 1; I < N; ++I) {
+    EXPECT_EQ(Reports[I].Status, Reports[0].Status);
+    EXPECT_EQ(Reports[I].Outcome, Reports[0].Outcome);
+    EXPECT_EQ(Reports[I].Queries, Reports[0].Queries);
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, AnswerAfterDoneThrows) {
+  InteractiveSession S(SessionInput{"done", "program t(n) { check(1 > 0); }", ""});
+  while (!S.finished())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  SessionEvent E = S.next();
+  ASSERT_EQ(E.K, SessionEvent::Kind::Done);
+  EXPECT_EQ(E.Report.Status, TriageStatus::Diagnosed);
+  EXPECT_THROW(S.answer(Answer::Yes), SessionError);
+  // next() keeps re-delivering Done; the protocol error changed nothing.
+  EXPECT_EQ(S.next().K, SessionEvent::Kind::Done);
+  EXPECT_THROW(S.answer(Answer::No), SessionError);
+}
+
+TEST(InteractiveSessionTest, AnswerWithoutPendingQueryThrows) {
+  // Whichever state the worker is in -- still computing (no query posted)
+  // or already done -- an unsolicited answer is a SessionError, and the
+  // session still runs to its verdict afterwards.
+  InteractiveSession S(SessionInput{"nopend", "program t(n) { check(1 > 0); }", ""});
+  EXPECT_THROW(S.answer(Answer::Unknown), SessionError);
+  SessionEvent E = S.next();
+  ASSERT_EQ(E.K, SessionEvent::Kind::Done);
+  EXPECT_EQ(E.Report.Outcome, DiagnosisOutcome::Discharged);
+}
+
+TEST(InteractiveSessionTest, DoubleAnswerThrows) {
+  std::string Path = writeTemp("double_answer.adg", AsksQueriesSource);
+  InteractiveSession S(SessionInput{"dbl", "", Path});
+  SessionEvent E = S.next();
+  ASSERT_NE(E.K, SessionEvent::Kind::Done);
+  S.answer(Answer::Unknown);
+  // The second answer races the worker: either it has not consumed the
+  // first one yet (double answer) or it is computing / has posted the next
+  // query. Only the first case throws, so spin until the error path is
+  // exercised or the next event shows up.
+  for (;;) {
+    try {
+      S.answer(Answer::Unknown);
+    } catch (const SessionError &) {
+      break; // double-answer (or answer-after-done) rejected: pass
+    }
+    SessionEvent Next = S.next();
+    if (Next.K == SessionEvent::Kind::Done) {
+      // Consumed every query without ever racing the worker; the
+      // answer-after-done variant must still throw.
+      EXPECT_THROW(S.answer(Answer::Unknown), SessionError);
+      break;
+    }
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, DeadlineExpiresWhileParked) {
+  std::string Path = writeTemp("deadline_parked.adg", AsksQueriesSource);
+  InteractiveSessionOptions Opts;
+  Opts.DeadlineMs = 150;
+  InteractiveSession S(SessionInput{"dead", "", Path}, Opts);
+
+  SessionEvent E = S.next();
+  ASSERT_NE(E.K, SessionEvent::Kind::Done) << "program should ask first";
+  // Never answer: the worker is parked in the oracle when the deadline
+  // hits, so the timed wait (not the solver's poll loop) must wake it.
+  auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    E = S.next();
+    if (E.K == SessionEvent::Kind::Done)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_LT(std::chrono::steady_clock::now() - Start,
+              std::chrono::seconds(30));
+  }
+  EXPECT_EQ(E.Report.Status, TriageStatus::Timeout);
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, CancelWhileParkedReportsCancelled) {
+  std::string Path = writeTemp("cancel_parked.adg", AsksQueriesSource);
+  InteractiveSession S(SessionInput{"cxl", "", Path});
+  SessionEvent E = S.next();
+  ASSERT_NE(E.K, SessionEvent::Kind::Done);
+  S.cancel();
+  while ((E = S.next()).K != SessionEvent::Kind::Done)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(E.Report.Status, TriageStatus::Cancelled);
+  EXPECT_TRUE(S.finished());
+  // cancel() after done is a no-op.
+  S.cancel();
+  EXPECT_EQ(S.result().Status, TriageStatus::Cancelled);
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, PollDeliversEachEventOnce) {
+  std::string Path = writeTemp("poll_once.adg", AsksQueriesSource);
+  MirrorOracle Mirror(Path);
+  InteractiveSession S(SessionInput{"poll", "", Path});
+  size_t Asks = 0;
+  for (;;) {
+    std::optional<SessionEvent> E = S.poll();
+    if (!E) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (E->K == SessionEvent::Kind::Done)
+      break;
+    ++Asks;
+    // Until answered, poll() must stay silent about the same query.
+    EXPECT_FALSE(S.poll().has_value());
+    S.answer(Mirror.answer(*E));
+  }
+  EXPECT_GT(Asks, 0u);
+  // Done was delivered; poll() has nothing further.
+  EXPECT_FALSE(S.poll().has_value());
+  // But next() re-delivers it forever.
+  EXPECT_EQ(S.next().K, SessionEvent::Kind::Done);
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, OnEventFiresForEveryAskAndDone) {
+  std::string Path = writeTemp("onevent.adg", AsksQueriesSource);
+  MirrorOracle Mirror(Path);
+  std::atomic<size_t> Events{0};
+  InteractiveSessionOptions Opts;
+  Opts.OnEvent = [&] { Events.fetch_add(1); };
+  InteractiveSession S(SessionInput{"ev", "", Path}, Opts);
+  size_t Asks = 0;
+  for (;;) {
+    SessionEvent E = S.next();
+    if (E.K == SessionEvent::Kind::Done)
+      break;
+    ++Asks;
+    S.answer(Mirror.answer(E));
+  }
+  // One callback per ask plus one for Done. The Done callback may still be
+  // in flight on the worker when next() returns, so allow it to land.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Events.load() < Asks + 1 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(Events.load(), Asks + 1);
+  std::filesystem::remove(Path);
+}
+
+TEST(InteractiveSessionTest, LoadErrorReportsWithoutQueries) {
+  InteractiveSession S(SessionInput{"bad", "program oops(", ""});
+  SessionEvent E = S.next();
+  ASSERT_EQ(E.K, SessionEvent::Kind::Done);
+  EXPECT_EQ(E.Report.Status, TriageStatus::LoadError);
+  EXPECT_EQ(E.Report.Queries, 0u);
+}
+
+TEST(InteractiveSessionTest, DestructorCancelsRunningSession) {
+  std::string Path = writeTemp("dtor.adg", AsksQueriesSource);
+  {
+    InteractiveSession S(SessionInput{"gone", "", Path});
+    SessionEvent E = S.next();
+    ASSERT_NE(E.K, SessionEvent::Kind::Done);
+    // Abandon the session mid-query; the destructor must unwind the
+    // parked worker and join without hanging.
+  }
+  std::filesystem::remove(Path);
+}
+
+TEST(ScriptedOracleTest, ExhaustionPolicyUnknownKeepsGoing) {
+  // An empty script under the Abort policy kills the process, under the
+  // Unknown policy it answers "I don't know" forever -- the Section 5
+  // degradation -- and counts how often it was consulted past the script.
+  ErrorDiagnoser D;
+  ASSERT_TRUE(D.loadSource(AsksQueriesSource));
+  ScriptedOracle O({}, ScriptExhaustion::Unknown);
+  DiagnosisResult R = D.diagnose(O);
+  EXPECT_GT(O.exhaustedQueries(), 0u);
+  // All-unknown answers cannot settle this report.
+  EXPECT_EQ(R.Outcome, DiagnosisOutcome::Inconclusive);
+}
+
+} // namespace

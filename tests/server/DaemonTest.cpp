@@ -1,0 +1,401 @@
+//===- tests/server/DaemonTest.cpp - abdiagd end-to-end ----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon over a real unix socket: wire-level protocol behavior
+// (pipelined answers, protocol errors), admission control and backpressure,
+// per-tenant caps, idle reaping, graceful drain, and -- the acceptance bar
+// -- mirror-oracle replay of the certified benchmark suite producing
+// verdicts identical to batch triage of the same queue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include "core/Triage.h"
+#include "server/Client.h"
+#include "server/Protocol.h"
+#include "study/Benchmarks.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::server;
+
+namespace {
+
+/// A program that always asks at least one query and parks until answered.
+const char *ParkingSource = R"(
+program asks(n) {
+  var i, j;
+  assume(n >= 0);
+  i = 0;
+  j = 0;
+  while (i < n) {
+    i = i + 1;
+    j = j + 2;
+  } @ [i >= 0]
+  check(j >= i);
+}
+)";
+
+std::string uniqueSocketPath(const char *Tag) {
+  return ::testing::TempDir() + "abdiagd_" + Tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+/// Raw frame-level client for protocol tests.
+class RawClient {
+public:
+  explicit RawClient(const std::string &SocketPath) {
+    std::string Err;
+    Fd = connectUnix(SocketPath, Err);
+    EXPECT_TRUE(Fd.valid()) << Err;
+    Reader = std::make_unique<LineReader>(Fd.get());
+  }
+
+  void send(const std::string &Frame) {
+    ASSERT_TRUE(writeAll(Fd.get(), Frame + "\n"));
+  }
+
+  void submit(const std::string &Session, const char *Source,
+              const std::string &Tenant = "") {
+    std::string F = "{\"schema\":1,\"op\":\"submit\",\"session\":\"" + Session +
+                    "\",\"name\":\"" + Session + "\",\"source\":\"";
+    F += jsonEscape(Source);
+    F += "\"";
+    if (!Tenant.empty())
+      F += ",\"tenant\":\"" + Tenant + "\"";
+    F += "}";
+    send(F);
+  }
+
+  void answer(const std::string &Session, uint64_t Query, const char *A) {
+    send("{\"schema\":1,\"op\":\"answer\",\"session\":\"" + Session +
+         "\",\"query\":" + std::to_string(Query) + ",\"answer\":\"" + A +
+         "\"}");
+  }
+
+  void cancel(const std::string &Session) {
+    send("{\"schema\":1,\"op\":\"cancel\",\"session\":\"" + Session + "\"}");
+  }
+
+  /// Reads frames until \p Pred accepts one; every frame seen is kept in
+  /// Seen. Fails the test on EOF.
+  ServerMessage waitFor(const std::function<bool(const ServerMessage &)> &Pred) {
+    std::string Line, Err;
+    while (Reader->readLine(Line)) {
+      std::optional<ServerMessage> M = parseServerMessage(Line, Err);
+      EXPECT_TRUE(M) << Err << " in: " << Line;
+      if (!M)
+        break;
+      Seen.push_back(*M);
+      if (Pred(*M))
+        return *M;
+    }
+    ADD_FAILURE() << "connection closed while waiting for a frame";
+    return ServerMessage();
+  }
+
+  ServerMessage waitForResult(const std::string &Session) {
+    return waitFor([&](const ServerMessage &M) {
+      return M.K == ServerMessage::Kind::Result && M.Session == Session;
+    });
+  }
+
+  ServerMessage waitForError(const std::string &Session) {
+    return waitFor([&](const ServerMessage &M) {
+      return M.K == ServerMessage::Kind::Error && M.Session == Session;
+    });
+  }
+
+  ServerMessage waitForAsk(const std::string &Session) {
+    return waitFor([&](const ServerMessage &M) {
+      return M.K == ServerMessage::Kind::Ask && M.Session == Session;
+    });
+  }
+
+  std::vector<ServerMessage> Seen;
+
+private:
+  FdHandle Fd;
+  std::unique_ptr<LineReader> Reader;
+};
+
+class DaemonTest : public ::testing::Test {
+protected:
+  std::string SocketPath;
+  std::unique_ptr<DaemonServer> Server;
+
+  void startServer(ServerConfig Cfg, const char *Tag) {
+    SocketPath = uniqueSocketPath(Tag);
+    Cfg.UnixPath = SocketPath;
+    Server = std::make_unique<DaemonServer>(std::move(Cfg));
+    std::string Err;
+    ASSERT_TRUE(Server->start(Err)) << Err;
+  }
+
+  void TearDown() override {
+    if (Server)
+      Server->stop();
+    if (!SocketPath.empty())
+      std::filesystem::remove(SocketPath);
+  }
+};
+
+TEST_F(DaemonTest, SuiteReplayOverSocketMatchesBatchVerdicts) {
+  startServer(ServerConfig(), "suite");
+
+  std::vector<TriageRequest> Queue;
+  std::vector<ReplayItem> Items;
+  for (const study::BenchmarkInfo &B : study::benchmarkSuite()) {
+    Queue.emplace_back(study::benchmarkPath(B), B.Name);
+    ReplayItem It;
+    It.Name = B.Name;
+    It.Path = study::benchmarkPath(B);
+    Items.push_back(std::move(It));
+  }
+  TriageResult Batch = TriageEngine().run(Queue);
+
+  ReplayOptions RO;
+  RO.MaxInFlight = 4;
+  ReplayClient Client(RO);
+  std::string Err;
+  ASSERT_TRUE(Client.connectUnixSocket(SocketPath, Err)) << Err;
+  std::vector<ReplayOutcome> Out;
+  ASSERT_TRUE(Client.run(Items, Out, Err)) << Err;
+
+  ASSERT_EQ(Out.size(), Queue.size());
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    const TriageReport &B = Batch.Reports[I];
+    EXPECT_EQ(Out[I].Status, triageStatusName(B.Status)) << Queue[I].Name;
+    std::string WantVerdict = B.Status == TriageStatus::Diagnosed
+                                  ? diagnosisVerdictName(B.Outcome)
+                                  : "";
+    EXPECT_EQ(Out[I].Verdict, WantVerdict) << Queue[I].Name;
+    EXPECT_EQ(Out[I].Queries, B.Queries) << Queue[I].Name;
+    EXPECT_EQ(Out[I].ParseFailures, 0u) << Queue[I].Name;
+  }
+
+  DaemonServer::Stats St = Server->stats();
+  EXPECT_EQ(St.Submitted, Queue.size());
+  EXPECT_EQ(St.Completed, Queue.size());
+  EXPECT_EQ(St.Refused, 0u);
+}
+
+TEST_F(DaemonTest, PipelinedAnswersAheadOfAsks) {
+  startServer(ServerConfig(), "pipelined");
+  RawClient C(SocketPath);
+  C.submit("s1", ParkingSource);
+  // Park a burst of unknowns before any ask exists; the dispatcher must
+  // apply them as the queries materialize.
+  for (uint64_t Q = 0; Q < 64; ++Q)
+    C.answer("s1", Q, "unknown");
+  ServerMessage R = C.waitForResult("s1");
+  EXPECT_EQ(R.Status, "diagnosed");
+  EXPECT_GT(R.Queries, 0u);
+}
+
+TEST_F(DaemonTest, BackpressureQueuesThenRefuses) {
+  ServerConfig Cfg;
+  Cfg.MaxActiveSessions = 1;
+  Cfg.MaxPendingSessions = 1;
+  startServer(Cfg, "busy");
+
+  RawClient C(SocketPath);
+  C.submit("s1", ParkingSource);
+  C.waitForAsk("s1"); // s1 is running and parked
+  C.submit("s2", ParkingSource);
+  C.submit("s3", ParkingSource);
+  // s2 queued, s3 over the bounded queue: refused with "busy".
+  ServerMessage E = C.waitForError("s3");
+  EXPECT_EQ(E.Code, "busy");
+
+  // Freeing s1 admits s2.
+  C.cancel("s1");
+  EXPECT_EQ(C.waitForResult("s1").Status, "cancelled");
+  C.waitForAsk("s2");
+  // A queued session can also be cancelled before it ever starts.
+  C.submit("s4", ParkingSource);
+  C.cancel("s4");
+  EXPECT_EQ(C.waitForResult("s4").Status, "cancelled");
+  C.cancel("s2");
+  C.waitForResult("s2");
+
+  DaemonServer::Stats St = Server->stats();
+  EXPECT_EQ(St.Refused, 1u);
+  EXPECT_EQ(St.PeakActive, 1u);
+}
+
+TEST_F(DaemonTest, TenantCapRefuses) {
+  ServerConfig Cfg;
+  Cfg.MaxSessionsPerTenant = 1;
+  startServer(Cfg, "tenant");
+
+  RawClient C(SocketPath);
+  C.submit("s1", ParkingSource, "teamA");
+  C.submit("s2", ParkingSource, "teamA");
+  ServerMessage E = C.waitForError("s2");
+  EXPECT_EQ(E.Code, "tenant_limit");
+  // A different tenant still gets in.
+  C.submit("s3", ParkingSource, "teamB");
+  C.waitForAsk("s3");
+  // Finishing s1 frees teamA's slot.
+  C.cancel("s1");
+  C.waitForResult("s1");
+  C.submit("s4", ParkingSource, "teamA");
+  C.waitForAsk("s4");
+  C.cancel("s3");
+  C.cancel("s4");
+  C.waitForResult("s3");
+  C.waitForResult("s4");
+}
+
+TEST_F(DaemonTest, DrainRefusesNewAndFinishesInFlight) {
+  startServer(ServerConfig(), "drain");
+
+  RawClient C(SocketPath);
+  C.submit("s1", ParkingSource);
+  ServerMessage Ask = C.waitForAsk("s1");
+
+  Server->requestDrain();
+  C.submit("s2", ParkingSource);
+  EXPECT_EQ(C.waitForError("s2").Code, "draining");
+
+  // The in-flight session still runs to a verdict through the drain.
+  std::thread Waiter([&] { Server->wait(); });
+  for (uint64_t Q = Ask.Query; Q < Ask.Query + 64; ++Q)
+    C.answer("s1", Q, "unknown");
+  ServerMessage R = C.waitForResult("s1");
+  EXPECT_EQ(R.Status, "diagnosed");
+  Waiter.join(); // drain completed exactly when the last session did
+
+  DaemonServer::Stats St = Server->stats();
+  EXPECT_EQ(St.Completed, 1u);
+  EXPECT_EQ(St.Refused, 1u);
+}
+
+TEST_F(DaemonTest, IdleReaperCancelsAbandonedSessions) {
+  ServerConfig Cfg;
+  Cfg.IdleReapMs = 80;
+  startServer(Cfg, "reap");
+
+  RawClient C(SocketPath);
+  C.submit("s1", ParkingSource);
+  C.waitForAsk("s1");
+  // Never answer: the reaper must cancel the session for us.
+  ServerMessage R = C.waitForResult("s1");
+  EXPECT_EQ(R.Status, "cancelled");
+  EXPECT_GE(Server->stats().Reaped, 1u);
+}
+
+TEST_F(DaemonTest, ProtocolErrors) {
+  startServer(ServerConfig(), "proto");
+  RawClient C(SocketPath);
+
+  C.send("this is not json");
+  EXPECT_EQ(C.waitForError("").Code, "bad_message");
+
+  C.send("{\"schema\":1,\"op\":\"frobnicate\",\"session\":\"x\"}");
+  EXPECT_EQ(C.waitForError("").Code, "bad_message");
+
+  C.answer("ghost", 0, "yes");
+  EXPECT_EQ(C.waitForError("ghost").Code, "unknown_session");
+
+  C.submit("s1", ParkingSource);
+  ServerMessage Ask = C.waitForAsk("s1");
+  C.submit("s1", ParkingSource);
+  EXPECT_EQ(C.waitForError("s1").Code, "duplicate_session");
+
+  // Answering a query that was already answered is rejected.
+  C.answer("s1", Ask.Query, "unknown");
+  C.answer("s1", Ask.Query, "unknown");
+  EXPECT_EQ(C.waitForError("s1").Code, "bad_query_index");
+
+  // Protocol errors never kill the session: it can still finish.
+  for (uint64_t Q = Ask.Query + 1; Q < Ask.Query + 64; ++Q)
+    C.answer("s1", Q, "unknown");
+  EXPECT_EQ(C.waitForResult("s1").Status, "diagnosed");
+  EXPECT_GE(Server->stats().ProtocolErrors, 4u);
+}
+
+TEST_F(DaemonTest, ConnectionDropCancelsItsSessions) {
+  startServer(ServerConfig(), "drop");
+  {
+    RawClient C(SocketPath);
+    C.submit("s1", ParkingSource);
+    C.waitForAsk("s1");
+    // Client vanishes with a parked session.
+  }
+  // The daemon notices EOF and unwinds the abandoned session; once that is
+  // done a drain completes immediately.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (Server->stats().Completed < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Server->requestDrain();
+  Server->wait();
+  EXPECT_EQ(Server->stats().Completed, 1u);
+}
+
+TEST_F(DaemonTest, ManyConcurrentSessionsInterleave) {
+  ServerConfig Cfg;
+  Cfg.MaxActiveSessions = 16;
+  Cfg.MaxPendingSessions = 256;
+  startServer(Cfg, "many");
+
+  // The same parked-heavy program 48 times, answered by two connections'
+  // mirror oracles concurrently.
+  std::vector<ReplayItem> Items;
+  for (size_t I = 0; I < 48; ++I) {
+    ReplayItem It;
+    It.Session = "m" + std::to_string(I);
+    It.Name = It.Session;
+    It.Source = ParkingSource;
+    Items.push_back(std::move(It));
+  }
+  auto Half = Items.begin() + Items.size() / 2;
+  std::vector<ReplayItem> A(Items.begin(), Half), B(Half, Items.end());
+
+  auto RunPart = [&](const std::vector<ReplayItem> &Part,
+                     std::vector<ReplayOutcome> &Out, std::string &Err) {
+    ReplayOptions RO;
+    RO.MaxInFlight = 24;
+    ReplayClient C(RO);
+    if (!C.connectUnixSocket(SocketPath, Err))
+      return false;
+    return C.run(Part, Out, Err);
+  };
+  std::vector<ReplayOutcome> OutA, OutB;
+  std::string ErrA, ErrB;
+  bool OkB = false;
+  std::thread TB([&] { OkB = RunPart(B, OutB, ErrB); });
+  bool OkA = RunPart(A, OutA, ErrA);
+  TB.join();
+  ASSERT_TRUE(OkA) << ErrA;
+  ASSERT_TRUE(OkB) << ErrB;
+
+  for (const auto *Out : {&OutA, &OutB})
+    for (const ReplayOutcome &O : *Out) {
+      EXPECT_EQ(O.Status, "diagnosed") << O.Name;
+      EXPECT_EQ(O.Verdict, OutA[0].Verdict) << O.Name;
+      EXPECT_EQ(O.Queries, OutA[0].Queries) << O.Name;
+    }
+  DaemonServer::Stats St = Server->stats();
+  EXPECT_EQ(St.Completed, Items.size());
+  EXPECT_LE(St.PeakActive, 16u);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+//===- tools/abdiag_client.cpp - Scripted abdiagd replay client --------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives an abdiagd instance with scripted sessions: expands files,
+// directories or a corpus manifest into a queue, replays every program
+// through the daemon answering asks with a mirror concrete oracle, and
+// (with --compare-batch) re-triages the same queue in-process to assert the
+// daemon's verdicts are byte-identical to batch ones. Exit status: 0 on
+// full success, 1 on any refused session, transport error, or verdict
+// mismatch.
+//
+//   abdiag_client --socket /tmp/abdiag.sock --jobs 4 --compare-batch
+//       --manifest corpus/manifest.jsonl
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Triage.h"
+#include "server/Client.h"
+#include "study/Corpus.h"
+
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+using namespace abdiag;
+using namespace abdiag::core;
+using namespace abdiag::server;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: abdiag_client (--socket PATH | --port N) [options] INPUT...\n"
+      "\n"
+      "INPUT is a .adg file or a directory of them.\n"
+      "  --manifest FILE       add a corpus manifest's entries to the queue\n"
+      "  --jobs N              connections replaying in parallel (default 1)\n"
+      "  --in-flight N         open sessions per connection (default 8)\n"
+      "  --tenant NAME         tenant stamped on every submit\n"
+      "  --compare-batch       also run batch triage locally and require\n"
+      "                        identical verdicts\n"
+      "  --backend NAME        pipeline backend for mirrors and batch\n"
+      "  --quiet               summary line only\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SocketPath;
+  int Port = -1;
+  unsigned Jobs = 1;
+  bool CompareBatch = false;
+  bool Quiet = false;
+  ReplayOptions RO;
+  std::vector<std::string> Inputs;
+  std::vector<TriageRequest> Queue;
+
+  auto NeedVal = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "abdiag_client: %s needs a value\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage();
+      return 0;
+    } else if (!std::strcmp(Arg, "--socket")) {
+      SocketPath = NeedVal(I);
+    } else if (!std::strcmp(Arg, "--port")) {
+      Port = std::atoi(NeedVal(I));
+    } else if (!std::strcmp(Arg, "--jobs")) {
+      Jobs = static_cast<unsigned>(std::atoi(NeedVal(I)));
+    } else if (!std::strcmp(Arg, "--in-flight")) {
+      RO.MaxInFlight = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--tenant")) {
+      RO.Tenant = NeedVal(I);
+    } else if (!std::strcmp(Arg, "--compare-batch")) {
+      CompareBatch = true;
+    } else if (!std::strcmp(Arg, "--backend")) {
+      RO.Pipeline.Backend = NeedVal(I);
+    } else if (!std::strcmp(Arg, "--quiet")) {
+      Quiet = true;
+    } else if (!std::strcmp(Arg, "--manifest")) {
+      study::QueueExpansion E = study::expandManifestArgument(NeedVal(I));
+      if (!E) {
+        std::fprintf(stderr, "abdiag_client: %s\n", E.Error.c_str());
+        return 1;
+      }
+      Queue.insert(Queue.end(), E.Requests.begin(), E.Requests.end());
+    } else if (Arg[0] == '-') {
+      std::fprintf(stderr, "abdiag_client: unknown option '%s'\n", Arg);
+      return 2;
+    } else {
+      study::QueueExpansion E = study::expandPathArgument(Arg);
+      if (!E) {
+        std::fprintf(stderr, "abdiag_client: %s\n", E.Error.c_str());
+        return 1;
+      }
+      Queue.insert(Queue.end(), E.Requests.begin(), E.Requests.end());
+    }
+  }
+  if ((SocketPath.empty() && Port < 0) || Queue.empty()) {
+    usage();
+    return 2;
+  }
+  if (Jobs == 0)
+    Jobs = 1;
+  if (Jobs > Queue.size())
+    Jobs = static_cast<unsigned>(Queue.size());
+
+  // Partition the queue across Jobs connections, round-robin so every
+  // connection sees a similar mix.
+  std::vector<std::vector<ReplayItem>> Parts(Jobs);
+  std::vector<std::vector<size_t>> PartIndex(Jobs);
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    ReplayItem It;
+    It.Session = "s" + std::to_string(I);
+    It.Name = Queue[I].Name;
+    It.Path = Queue[I].Path;
+    Parts[I % Jobs].push_back(std::move(It));
+    PartIndex[I % Jobs].push_back(I);
+  }
+
+  std::vector<ReplayOutcome> All(Queue.size());
+  std::vector<std::string> Errors(Jobs);
+  std::vector<std::thread> Threads;
+  for (unsigned J = 0; J < Jobs; ++J) {
+    Threads.emplace_back([&, J] {
+      ReplayClient C(RO);
+      std::string Err;
+      bool Connected = SocketPath.empty() ? C.connectTcpPort(Port, Err)
+                                          : C.connectUnixSocket(SocketPath, Err);
+      if (!Connected) {
+        Errors[J] = Err;
+        return;
+      }
+      std::vector<ReplayOutcome> Out;
+      if (!C.run(Parts[J], Out, Err)) {
+        Errors[J] = Err;
+        return;
+      }
+      for (size_t K = 0; K < Out.size(); ++K)
+        All[PartIndex[J][K]] = std::move(Out[K]);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned J = 0; J < Jobs; ++J)
+    if (!Errors[J].empty()) {
+      std::fprintf(stderr, "abdiag_client: connection %u: %s\n", J,
+                   Errors[J].c_str());
+      return 1;
+    }
+
+  size_t Refused = 0;
+  for (const ReplayOutcome &O : All) {
+    if (O.Status == "refused")
+      ++Refused;
+    if (!Quiet)
+      std::printf("%-40s %-10s %-12s queries=%llu\n", O.Name.c_str(),
+                  O.Status.c_str(),
+                  O.Verdict.empty() ? "-" : O.Verdict.c_str(),
+                  (unsigned long long)O.Queries);
+  }
+
+  size_t Mismatches = 0;
+  if (CompareBatch) {
+    TriageOptions TO;
+    TO.Pipeline = RO.Pipeline;
+    TO.Oracle = RO.Oracle;
+    TriageResult Batch = TriageEngine(TO).run(Queue);
+    for (size_t I = 0; I < Queue.size(); ++I) {
+      const TriageReport &B = Batch.Reports[I];
+      std::string WantStatus = triageStatusName(B.Status);
+      std::string WantVerdict = B.Status == TriageStatus::Diagnosed
+                                    ? diagnosisVerdictName(B.Outcome)
+                                    : "";
+      if (All[I].Status != WantStatus || All[I].Verdict != WantVerdict) {
+        ++Mismatches;
+        std::fprintf(stderr,
+                     "MISMATCH %s: daemon %s/%s vs batch %s/%s\n",
+                     Queue[I].Name.c_str(), All[I].Status.c_str(),
+                     All[I].Verdict.c_str(), WantStatus.c_str(),
+                     WantVerdict.c_str());
+      }
+    }
+  }
+
+  std::printf("replayed %zu sessions over %u connection(s): refused=%zu%s\n",
+              All.size(), Jobs, Refused,
+              CompareBatch
+                  ? (", batch-mismatches=" + std::to_string(Mismatches)).c_str()
+                  : "");
+  return (Refused || Mismatches) ? 1 : 0;
+}

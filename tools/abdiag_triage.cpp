@@ -118,15 +118,7 @@ std::string jsonEscape(const std::string &S) {
 const char *verdictName(const TriageReport &R) {
   if (R.Status != TriageStatus::Diagnosed)
     return nullptr;
-  switch (R.Outcome) {
-  case DiagnosisOutcome::Discharged:
-    return "false_alarm";
-  case DiagnosisOutcome::Validated:
-    return "real_bug";
-  case DiagnosisOutcome::Inconclusive:
-    return "inconclusive";
-  }
-  return nullptr;
+  return diagnosisVerdictName(R.Outcome);
 }
 
 std::string humanVerdict(const TriageReport &R) {
@@ -137,6 +129,8 @@ std::string humanVerdict(const TriageReport &R) {
     return "TIMEOUT (" + R.Message + ")";
   case TriageStatus::Crashed:
     return "CRASHED (" + R.Message + ")";
+  case TriageStatus::Cancelled:
+    return "CANCELLED (" + R.Message + ")";
   case TriageStatus::Diagnosed:
     break;
   }
@@ -159,9 +153,15 @@ std::string humanVerdict(const TriageReport &R) {
   return V;
 }
 
+/// Version of the triage JSONL row schema; bump on breaking changes only
+/// (removed/renamed fields) -- readers tolerate unknown keys, so additive
+/// fields do not bump it. See benchmarks/README.md.
+constexpr int kTriageRowSchema = 1;
+
 void printJsonRow(const TriageReport &R, const char *Expected) {
   std::string Row = "{";
-  Row += "\"name\":\"" + jsonEscape(R.Name) + "\"";
+  Row += "\"schema\":" + std::to_string(kTriageRowSchema);
+  Row += ",\"name\":\"" + jsonEscape(R.Name) + "\"";
   Row += ",\"path\":\"" + jsonEscape(R.Path) + "\"";
   Row += ",\"status\":\"" + std::string(triageStatusName(R.Status)) + "\"";
   if (const char *V = verdictName(R))
@@ -178,6 +178,14 @@ void printJsonRow(const TriageReport &R, const char *Expected) {
   }
   Row += ",\"loc\":" + std::to_string(R.Loc);
   Row += ",\"queries\":" + std::to_string(R.Queries);
+  Row += ",\"answers\":{";
+  Row += "\"" + std::string(answerName(Answer::Yes)) +
+         "\":" + std::to_string(R.AnswersYes);
+  Row += ",\"" + std::string(answerName(Answer::No)) +
+         "\":" + std::to_string(R.AnswersNo);
+  Row += ",\"" + std::string(answerName(Answer::Unknown)) +
+         "\":" + std::to_string(R.AnswersUnknown);
+  Row += "}";
   Row += ",\"iterations\":" + std::to_string(R.Iterations);
   Row += std::string(",\"escalated\":") + (R.Escalated ? "true" : "false");
   Row += std::string(",\"analysis_alone\":") +
@@ -377,13 +385,17 @@ int main(int Argc, char **Argv) {
                 triageStatusName(R.Status), R.Loc, R.Queries,
                 humanVerdict(R).c_str());
     if (ShowStats)
-      std::printf("  solver: queries=%llu theory=%llu conflicts=%llu "
+      std::printf("  answers: %s=%zu %s=%zu %s=%zu\n"
+                  "  solver: queries=%llu theory=%llu conflicts=%llu "
                   "cooper=%llu cache=%llu/%llu session=%llu coreskips=%llu "
                   "qe=%llu/%llu restarts=%llu learned=%llu reduced=%llu "
                   "maxlbd=%llu pivots=%llu pivotlimits=%llu reuses=%llu "
                   "nodes=%llu interned=%llu/%llu fvmemo=%llu/%llu "
                   "prunes=%llu arena=%llu "
                   "wall=%.1fms worker=%d\n",
+                  answerName(Answer::Yes), R.AnswersYes,
+                  answerName(Answer::No), R.AnswersNo,
+                  answerName(Answer::Unknown), R.AnswersUnknown,
                   (unsigned long long)R.Solver.Queries,
                   (unsigned long long)R.Solver.TheoryChecks,
                   (unsigned long long)R.Solver.TheoryConflicts,

@@ -1,0 +1,154 @@
+//===- tools/abdiagd.cpp - The persistent triage daemon ----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Serves concurrent interactive diagnosis sessions over a line-delimited
+// JSON protocol (see src/server/Protocol.h):
+//
+//   abdiagd --socket /tmp/abdiag.sock
+//   abdiagd --port 0              # loopback TCP, prints the bound port
+//   abdiagd --stdio               # one connection on stdin/stdout
+//
+// SIGTERM/SIGINT begin a graceful drain: new submits are refused, in-flight
+// sessions finish, then the daemon exits 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Server.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace abdiag;
+
+namespace {
+
+std::atomic<bool> SigDrain{false};
+
+void onSignal(int) { SigDrain.store(true); }
+
+void usage() {
+  std::printf(
+      "usage: abdiagd (--socket PATH | --port N | --stdio) [options]\n"
+      "\n"
+      "transport:\n"
+      "  --socket PATH         listen on a unix-domain socket\n"
+      "  --port N              listen on 127.0.0.1:N (0 = ephemeral; the\n"
+      "                        bound port is printed as 'listening N')\n"
+      "  --stdio               serve one connection on stdin/stdout\n"
+      "\n"
+      "admission:\n"
+      "  --max-active N        concurrently running sessions (default 64)\n"
+      "  --max-pending N       bounded admission queue (default 256)\n"
+      "  --tenant-cap N        sessions one tenant may hold (default off)\n"
+      "  --session-deadline-ms N  per-session wall clock (default off)\n"
+      "  --idle-reap-ms N      cancel sessions awaiting an answer this\n"
+      "                        long (default off)\n"
+      "\n"
+      "pipeline:\n"
+      "  --backend NAME        decision procedure (default native)\n"
+      "  --no-escalate         no 4x-budget retry of Inconclusive\n"
+      "  --max-iterations N / --max-queries N  diagnosis budgets\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  server::ServerConfig Cfg;
+  bool Stdio = false;
+  bool HaveTransport = false;
+
+  auto NeedVal = [&](int &I) -> const char * {
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "abdiagd: %s needs a value\n", Argv[I]);
+      std::exit(2);
+    }
+    return Argv[++I];
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--help") || !std::strcmp(Arg, "-h")) {
+      usage();
+      return 0;
+    } else if (!std::strcmp(Arg, "--socket")) {
+      Cfg.UnixPath = NeedVal(I);
+      HaveTransport = true;
+    } else if (!std::strcmp(Arg, "--port")) {
+      Cfg.TcpPort = std::atoi(NeedVal(I));
+      HaveTransport = true;
+    } else if (!std::strcmp(Arg, "--stdio")) {
+      Stdio = true;
+      HaveTransport = true;
+    } else if (!std::strcmp(Arg, "--max-active")) {
+      Cfg.MaxActiveSessions = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--max-pending")) {
+      Cfg.MaxPendingSessions = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--tenant-cap")) {
+      Cfg.MaxSessionsPerTenant = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--session-deadline-ms")) {
+      Cfg.SessionDeadlineMs = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--idle-reap-ms")) {
+      Cfg.IdleReapMs = std::strtoull(NeedVal(I), nullptr, 10);
+    } else if (!std::strcmp(Arg, "--backend")) {
+      Cfg.Pipeline.Backend = NeedVal(I);
+    } else if (!std::strcmp(Arg, "--no-escalate")) {
+      Cfg.EscalateOnInconclusive = false;
+    } else if (!std::strcmp(Arg, "--max-iterations")) {
+      Cfg.Pipeline.MaxIterations = std::atoi(NeedVal(I));
+    } else if (!std::strcmp(Arg, "--max-queries")) {
+      Cfg.Pipeline.MaxQueries = std::atoi(NeedVal(I));
+    } else {
+      std::fprintf(stderr, "abdiagd: unknown option '%s'\n", Arg);
+      usage();
+      return 2;
+    }
+  }
+  if (!HaveTransport) {
+    usage();
+    return 2;
+  }
+
+  server::DaemonServer Server(Cfg);
+
+  if (Stdio) {
+    Server.serveStdio();
+    return 0;
+  }
+
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "abdiagd: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Cfg.UnixPath.empty())
+    std::fprintf(stderr, "listening %s\n", Cfg.UnixPath.c_str());
+  else
+    std::fprintf(stderr, "listening %d\n", Server.port());
+
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  while (!SigDrain.load())
+    ::usleep(50 * 1000);
+
+  std::fprintf(stderr, "draining\n");
+  Server.requestDrain();
+  Server.wait();
+  server::DaemonServer::Stats St = Server.stats();
+  Server.stop();
+  if (!Cfg.UnixPath.empty())
+    ::unlink(Cfg.UnixPath.c_str());
+  std::fprintf(stderr,
+               "drained: submitted=%zu completed=%zu refused=%zu reaped=%zu "
+               "peak_active=%zu\n",
+               St.Submitted, St.Completed, St.Refused, St.Reaped,
+               St.PeakActive);
+  return 0;
+}
