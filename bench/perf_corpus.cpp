@@ -11,8 +11,15 @@
 /// bench/run_bench.sh once per available backend, producing
 /// BENCH_corpus_<backend>.jsonl (schema documented in run_bench.sh).
 ///
+/// The generated corpus cycles all six report causes -- including the
+/// interprocedural summarized_call and Section 5 unknown_answer templates
+/// -- and triage runs with a deterministic unknown-injection rate
+/// (--inject-unknown, default 0.10), so the scaling curves exercise the
+/// summary-instantiation and don't-know paths and pin their counters.
+///
 /// Usage: perf_corpus [--backend native] [--programs 96] [--seed N]
 ///                    [--jobs-list 1,2,4,8] [--deadline-ms 60000]
+///                    [--inject-unknown 0.10]
 ///
 //===----------------------------------------------------------------------===//
 
@@ -56,6 +63,7 @@ int main(int Argc, char **Argv) {
   uint64_t Programs = 96;
   uint64_t Seed = 20260807;
   uint64_t DeadlineMs = 60000;
+  double InjectUnknown = 0.10;
   std::vector<unsigned> JobsList = {1, 2, 4, 8};
 
   for (int I = 1; I < Argc; ++I) {
@@ -82,6 +90,13 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(Arg, "--deadline-ms") == 0) {
       if (!parseUnsigned(NextString(), DeadlineMs)) {
         std::fprintf(stderr, "perf_corpus: bad --deadline-ms\n");
+        return 2;
+      }
+    } else if (std::strcmp(Arg, "--inject-unknown") == 0) {
+      char *End = nullptr;
+      InjectUnknown = std::strtod(NextString(), &End);
+      if (!End || *End != '\0' || InjectUnknown < 0.0 || InjectUnknown > 1.0) {
+        std::fprintf(stderr, "perf_corpus: bad --inject-unknown (want 0..1)\n");
         return 2;
       }
     } else if (std::strcmp(Arg, "--jobs-list") == 0) {
@@ -111,16 +126,24 @@ int main(int Argc, char **Argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_corpus [--backend NAME] [--programs N] "
-                   "[--seed N] [--jobs-list 1,2,4] [--deadline-ms MS]\n");
+                   "[--seed N] [--jobs-list 1,2,4] [--deadline-ms MS] "
+                   "[--inject-unknown R]\n");
       return 2;
     }
   }
 
   // Generate the certified corpus in-memory (and time it: generation
-  // throughput is itself a tracked counter).
+  // throughput is itself a tracked counter). All six causes cycle, so the
+  // curves cover the interprocedural and don't-know templates too.
   CorpusOptions GenOpts;
   GenOpts.Seed = Seed;
   GenOpts.Count = static_cast<size_t>(Programs);
+  GenOpts.Causes = {ReportCause::ImpreciseInvariant,
+                    ReportCause::MissingAnnotation,
+                    ReportCause::NonLinearArithmetic,
+                    ReportCause::EnvironmentFact,
+                    ReportCause::SummarizedCall,
+                    ReportCause::UnknownAnswer};
   auto GenStart = std::chrono::steady_clock::now();
   CorpusGenerator Gen(GenOpts);
   std::vector<CorpusProgram> Corpus;
@@ -154,19 +177,35 @@ int main(int Argc, char **Argv) {
     Opts.Jobs = Jobs;
     Opts.DeadlineMs = DeadlineMs;
     Opts.Pipeline.backend(Backend);
+    Opts.InjectUnknownRate = InjectUnknown;
     TriageResult Result = TriageEngine(Opts).run(Queue);
 
     std::vector<double> Lat;
     Lat.reserve(Result.Reports.size());
     size_t Mismatches = 0;
+    uint64_t AnswersUnknown = 0, SummariesComputed = 0,
+             SummariesInstantiated = 0, OpaqueCalls = 0, PotentialPeak = 0;
     for (size_t I = 0; I < Result.Reports.size(); ++I) {
       const TriageReport &R = Result.Reports[I];
       Lat.push_back(R.WallMs);
-      bool Match = R.Status == TriageStatus::Diagnosed &&
-                   R.Outcome == (Corpus[I].IsRealBug
-                                     ? DiagnosisOutcome::Validated
-                                     : DiagnosisOutcome::Discharged);
-      if (!Match)
+      AnswersUnknown += R.AnswersUnknown;
+      SummariesComputed += R.SummariesComputed;
+      SummariesInstantiated += R.SummariesInstantiated;
+      OpaqueCalls += R.OpaqueCalls;
+      PotentialPeak = std::max(
+          PotentialPeak,
+          static_cast<uint64_t>(R.PotentialInvariants + R.PotentialWitnesses));
+      // A report driven inconclusive by injected unknowns is a budget
+      // artifact tracked (and exactly gated) via "inconclusive"; a
+      // *decisive* verdict contradicting the certified classification is a
+      // correctness failure.
+      bool Contradicted =
+          R.Status == TriageStatus::Diagnosed &&
+          R.Outcome != DiagnosisOutcome::Inconclusive &&
+          R.Outcome != (Corpus[I].IsRealBug ? DiagnosisOutcome::Validated
+                                            : DiagnosisOutcome::Discharged);
+      if (Contradicted || R.Status == TriageStatus::Crashed ||
+          R.Status == TriageStatus::LoadError)
         ++Mismatches;
     }
     std::sort(Lat.begin(), Lat.end());
@@ -179,20 +218,29 @@ int main(int Argc, char **Argv) {
 
     std::printf(
         "{\"schema\":1,\"bench\":\"corpus_triage\",\"backend\":\"%s\",\"jobs\":%u,"
-        "\"programs\":%zu,\"seed\":%llu,\"wall_ms\":%.1f,"
+        "\"programs\":%zu,\"seed\":%llu,\"inject_unknown\":%.2f,"
+        "\"wall_ms\":%.1f,"
         "\"reports_per_sec\":%.2f,\"p50_ms\":%.2f,\"p95_ms\":%.2f,"
         "\"p99_ms\":%.2f,\"timeouts\":%zu,\"inconclusive\":%zu,"
         "\"mismatches\":%zu,\"gen_wall_ms\":%.1f,"
         "\"gen_candidates\":%zu,\"gen_accepted\":%zu,"
+        "\"answers_unknown\":%llu,\"potential_peak\":%llu,"
+        "\"summaries_computed\":%llu,\"summaries_instantiated\":%llu,"
+        "\"opaque_calls\":%llu,"
         "\"solver_queries\":%llu,\"simplex_pivots\":%llu,"
         "\"pivot_limit_hits\":%llu,\"tableau_reuses\":%llu,"
         "\"formula_nodes\":%llu,\"intern_hits\":%llu,"
         "\"fv_memo_hits\":%llu,\"subst_prunes\":%llu,"
         "\"arena_bytes\":%llu}\n",
         Backend.c_str(), Jobs, Queue.size(), (unsigned long long)Seed,
-        S.WallMs, Rps, percentile(Lat, 0.50), percentile(Lat, 0.95),
-        percentile(Lat, 0.99), S.Timeouts, S.Inconclusive, Mismatches,
-        GenWallMs, Acceptance.Candidates, Acceptance.Accepted,
+        InjectUnknown, S.WallMs, Rps, percentile(Lat, 0.50),
+        percentile(Lat, 0.95), percentile(Lat, 0.99), S.Timeouts,
+        S.Inconclusive, Mismatches, GenWallMs, Acceptance.Candidates,
+        Acceptance.Accepted, (unsigned long long)AnswersUnknown,
+        (unsigned long long)PotentialPeak,
+        (unsigned long long)SummariesComputed,
+        (unsigned long long)SummariesInstantiated,
+        (unsigned long long)OpaqueCalls,
         (unsigned long long)S.Solver.Queries,
         (unsigned long long)S.Solver.SimplexPivots,
         (unsigned long long)S.Solver.PivotLimitHits,

@@ -29,6 +29,7 @@
 #include "study/Corpus.h"
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -194,18 +195,30 @@ int main(int Argc, char **Argv) {
     J.ProgramOf.push_back(Prog);
   }
 
+  // No connection starts answering until every connection has submitted its
+  // whole partition: PeakOpen is then deterministically == --sessions (a
+  // certified program never resolves without at least one answer). Each
+  // thread arrives at the barrier exactly once, even on early failure, so a
+  // broken connection cannot strand the others.
+  std::barrier SubmitBarrier(static_cast<std::ptrdiff_t>(Connections));
   auto LoadStart = std::chrono::steady_clock::now();
   std::vector<std::thread> Threads;
   for (ConnectionJob &J : Jobs)
-    Threads.emplace_back([&J, &Cfg] {
+    Threads.emplace_back([&J, &Cfg, &SubmitBarrier] {
+      bool Arrived = false;
       ReplayOptions RO;
       RO.Pipeline = Cfg.Pipeline;
       RO.MaxInFlight = J.Items.size();
       RO.RecordRtt = true;
+      RO.OnAllSubmitted = [&Arrived, &SubmitBarrier] {
+        Arrived = true;
+        SubmitBarrier.arrive_and_wait();
+      };
       ReplayClient C(RO);
-      if (!C.connectUnixSocket(Cfg.UnixPath, J.Err))
-        return;
-      J.Ok = C.run(J.Items, J.Out, J.Err);
+      if (C.connectUnixSocket(Cfg.UnixPath, J.Err))
+        J.Ok = C.run(J.Items, J.Out, J.Err);
+      if (!Arrived)
+        SubmitBarrier.arrive_and_wait();
     });
   for (std::thread &T : Threads)
     T.join();

@@ -17,20 +17,31 @@
 # BENCH_corpus_<backend>.jsonl: one row per --jobs point, schema
 #
 #   {"bench":"corpus_triage","backend":"native","jobs":4,"programs":96,
-#    "seed":20260807,"wall_ms":...,"reports_per_sec":...,
+#    "seed":20260807,"inject_unknown":0.10,
+#    "wall_ms":...,"reports_per_sec":...,
 #    "p50_ms":...,"p95_ms":...,"p99_ms":...,        per-report latency
-#    "timeouts":0,"inconclusive":0,"mismatches":0,  verdict-vs-certified
+#    "timeouts":0,"inconclusive":...,"mismatches":0,
 #    "gen_wall_ms":...,"gen_candidates":...,"gen_accepted":...,
+#    "answers_unknown":...,"potential_peak":...,    Section 5 counters
+#    "summaries_computed":...,"summaries_instantiated":...,
+#    "opaque_calls":...,                            interprocedural counters
 #    "solver_queries":...,"simplex_pivots":...,     deterministic counters
 #    "pivot_limit_hits":...,"tableau_reuses":...}
 #
-# "mismatches" counts reports whose diagnosis disagreed with the corpus
-# ground truth -- always 0 on a healthy build (perf_corpus exits non-zero
-# otherwise). "solver_queries" and "simplex_pivots" are deterministic for a
-# given seed/backend at jobs=1 (with more workers, dynamic
-# report-to-worker assignment changes which warm per-worker caches serve
-# which report), so baseline comparison gates on them exactly only for the
-# jobs=1 point (see tools/check_bench_regression).
+# The corpus cycles all six report causes (including summarized_call and
+# unknown_answer) and triage injects a deterministic 10% of "unknown"
+# oracle answers, so the curves pin the interprocedural-summary and
+# Section 5 don't-know paths. "mismatches" counts reports whose *decisive*
+# verdict contradicted the corpus ground truth (or that crashed) -- always
+# 0 on a healthy build (perf_corpus exits non-zero otherwise); reports the
+# injected unknowns drive inconclusive are tracked by the exactly-gated
+# "inconclusive" counter instead. "solver_queries", "simplex_pivots",
+# "answers_unknown", and "potential_peak" are deterministic for a given
+# seed/backend at jobs=1 (with more workers, dynamic report-to-worker
+# assignment changes which warm per-worker caches serve which report), so
+# baseline comparison gates on them exactly only for the jobs=1 point; the
+# summaries_* counters come from the load-time analysis alone and are
+# gated at every jobs point (see tools/check_bench_regression).
 #
 # Equivalent cmake driver: `cmake --build BUILD_DIR --target bench-json`.
 

@@ -227,6 +227,11 @@ public:
       return S;
     case StmtKind::Assume:
       return refine(cast<AssumeStmt>(St)->cond(), std::move(S));
+    case StmtKind::Call:
+      // Callee results are unconstrained here; each function body is
+      // annotated in its own analysis run.
+      S[cast<CallStmt>(St)->target()] = Interval::top();
+      return S;
     case StmtKind::If: {
       const auto *I = cast<IfStmt>(St);
       State ThenS = exec(I->thenStmt(), refine(I->cond(), S));
@@ -287,6 +292,9 @@ private:
     switch (S->kind()) {
     case StmtKind::Assign:
       Out.insert(cast<AssignStmt>(S)->var());
+      return;
+    case StmtKind::Call:
+      Out.insert(cast<CallStmt>(S)->target());
       return;
     case StmtKind::Skip:
     case StmtKind::Assume:
@@ -425,6 +433,15 @@ public:
     }
     case StmtKind::Assume:
       return Arena.make<AssumeStmt>(copy(cast<AssumeStmt>(S)->cond()));
+    case StmtKind::Call: {
+      const auto *C = cast<CallStmt>(S);
+      std::vector<const Expr *> Args;
+      Args.reserve(C->args().size());
+      for (const Expr *A : C->args())
+        Args.push_back(copy(A));
+      return Arena.make<CallStmt>(C->target(), C->callee(), std::move(Args),
+                                  C->siteId(), C->line(), C->col());
+    }
     case StmtKind::If: {
       const auto *I = cast<IfStmt>(S);
       return Arena.make<IfStmt>(copy(I->cond()), copy(I->thenStmt()),
@@ -472,7 +489,34 @@ private:
 } // namespace
 
 Program abdiag::analysis::annotateLoops(const Program &Prog) {
-  // Phase 1: interval analysis collects per-loop exit bounds.
+  Program Out;
+  Out.Name = Prog.Name;
+  Out.Params = Prog.Params;
+  Out.Locals = Prog.Locals;
+  Out.NumLoops = Prog.NumLoops;
+  Out.NumHavocs = Prog.NumHavocs;
+  Out.NumCallSites = Prog.NumCallSites;
+
+  // Loop ids are local to each function body, so every body gets its own
+  // analysis run and fact map. Function formals are unconstrained (call
+  // arguments are arbitrary); locals start at zero like program locals.
+  for (const FunctionDef &F : Prog.Functions) {
+    std::map<uint32_t, LoopFacts> Facts;
+    IntervalInterp Interp(Facts);
+    State Init;
+    for (const std::string &P : F.Params)
+      Init[P] = Interval::top();
+    for (const std::string &L : F.Locals)
+      Init[L] = Interval::constant(0);
+    Interp.exec(F.Body, std::move(Init));
+
+    FunctionDef NF = F;
+    Rebuilder RB(*Out.Arena, Facts);
+    NF.Body = RB.copy(F.Body);
+    NF.Ret = RB.copy(F.Ret);
+    Out.Functions.push_back(std::move(NF));
+  }
+
   std::map<uint32_t, LoopFacts> Facts;
   IntervalInterp Interp(Facts);
   State Init;
@@ -482,13 +526,6 @@ Program abdiag::analysis::annotateLoops(const Program &Prog) {
     Init[L] = Interval::constant(0);
   Interp.exec(Prog.Body, std::move(Init));
 
-  // Phase 2: rebuild the AST with inferred annotations.
-  Program Out;
-  Out.Name = Prog.Name;
-  Out.Params = Prog.Params;
-  Out.Locals = Prog.Locals;
-  Out.NumLoops = Prog.NumLoops;
-  Out.NumHavocs = Prog.NumHavocs;
   Rebuilder RB(*Out.Arena, Facts);
   Out.Body = RB.copy(Prog.Body);
   Out.Check = RB.copy(Prog.Check);

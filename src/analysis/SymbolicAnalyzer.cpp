@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <set>
+#include <unordered_map>
 
 using namespace abdiag;
 using namespace abdiag::analysis;
@@ -23,11 +24,15 @@ namespace {
 using ValueSet = std::vector<std::pair<LinearExpr, const Formula *>>;
 
 /// Collects the variables assigned anywhere inside \p S (including nested
-/// loops), i.e. the "modified in s" set of the loop rule in Figure 5.
+/// loops and call targets), i.e. the "modified in s" set of the loop rule
+/// in Figure 5.
 void collectAssigned(const Stmt *S, std::set<std::string> &Out) {
   switch (S->kind()) {
   case StmtKind::Assign:
     Out.insert(cast<AssignStmt>(S)->var());
+    return;
+  case StmtKind::Call:
+    Out.insert(cast<CallStmt>(S)->target());
     return;
   case StmtKind::Skip:
   case StmtKind::Assume:
@@ -50,35 +55,68 @@ void collectAssigned(const Stmt *S, std::set<std::string> &Out) {
   assert(false && "unhandled statement kind");
 }
 
+/// The reusable record of analyzing one function body over placeholder
+/// formals. Every source of abstraction inside the body is a placeholder
+/// variable plus an *event* describing how a call site materializes it:
+/// loop exits and havocs map their local id through the instance's plan
+/// node; non-linear products replay through the caller's combine (so
+/// constant arguments fold exactly as they would under inlining); nested
+/// calls recursively instantiate the callee's summary at the plan child.
+/// Placeholders never escape: instantiation substitutes all of them.
+struct FunctionSummary {
+  struct Event {
+    enum class Kind : uint8_t { LoopAbs, Havoc, NonLinear, Call } K;
+    VarId Placeholder;
+    std::string VarName;  ///< LoopAbs: the callee-local variable
+    uint32_t LocalId = 0; ///< LoopAbs: loop id; Havoc/Call: site id
+    LinearExpr F1, F2;    ///< NonLinear: factors over summary vars
+    std::string Callee;                       ///< Call
+    std::vector<ValueSet> Args;               ///< Call, over summary vars
+  };
+  std::vector<VarId> Formals; ///< placeholder per parameter, in order
+  std::vector<Event> Events;  ///< in analysis order (defines placeholders)
+  const Formula *Invariant = nullptr; ///< over summary vars
+  ValueSet Ret;                       ///< over summary vars
+};
+
 class Analyzer {
   FormulaManager &M;
   DecisionProcedure &Slv;
   const AnalyzerOptions &Opts;
+  const Program *Prog = nullptr;
   AnalysisResult Res;
   std::map<std::string, ValueSet> Store;
   const Formula *I; // threaded invariant
   std::vector<const Formula *> SideConditions; // globally valid facts
   std::map<std::pair<LinearExpr, LinearExpr>, VarId> NonLinearMemo;
 
+  /// Summary-mode frame state. While computing a summary, abstraction
+  /// sinks append events to `Sum` instead of creating analysis alphas.
+  FunctionSummary *Sum = nullptr;
+  std::map<uint32_t, VarId> SumHavocMemo; // by local site
+  std::map<const FunctionDef *, FunctionSummary> Summaries;
+
 public:
   Analyzer(DecisionProcedure &Slv, const AnalyzerOptions &Opts)
       : M(Slv.manager()), Slv(Slv), Opts(Opts), I(M.getTrue()) {}
 
-  AnalysisResult run(const Program &Prog) {
-    for (const std::string &P : Prog.Params) {
-      VarId V = M.vars().getOrCreate(P, VarKind::Input);
-      Res.InputVars[P] = V;
+  AnalysisResult run(const Program &P) {
+    Prog = &P;
+    Res.Plan = std::make_shared<CallPlan>(buildCallPlan(P));
+    for (const std::string &Param : P.Params) {
+      VarId V = M.vars().getOrCreate(Param, VarKind::Input);
+      Res.InputVars[Param] = V;
       VarOrigin O;
       O.K = VarOrigin::Kind::Input;
-      O.ProgVar = P;
-      O.Text = "input " + P;
+      O.ProgVar = Param;
+      O.Text = "input " + Param;
       Res.Origins[V] = O;
-      Store[P] = {{LinearExpr::variable(V), M.getTrue()}};
+      Store[Param] = {{LinearExpr::variable(V), M.getTrue()}};
     }
-    for (const std::string &L : Prog.Locals)
+    for (const std::string &L : P.Locals)
       Store[L] = {{LinearExpr::constant(0), M.getTrue()}};
-    exec(Prog.Body);
-    Res.SuccessCondition = evalPred(Prog.Check);
+    exec(P.Body);
+    Res.SuccessCondition = evalPred(P.Check);
     std::vector<const Formula *> Parts{I};
     Parts.insert(Parts.end(), SideConditions.begin(), SideConditions.end());
     Res.Invariants = M.mkAnd(std::move(Parts));
@@ -86,6 +124,8 @@ public:
   }
 
 private:
+  bool inSummary() const { return Sum != nullptr; }
+
   /// Merges entries with identical symbolic value (or-ing their guards),
   /// drops false guards, and optionally prunes unsatisfiable ones.
   void normalize(ValueSet &VS) {
@@ -113,6 +153,29 @@ private:
     return V;
   }
 
+  /// Placeholder variables stand for a summary's abstractions and formals;
+  /// they are substituted away at every instantiation, so they never reach
+  /// result formulas or origins. Names are deterministic per function, so
+  /// repeated analyses against one manager reuse the same ids.
+  VarId placeholder(const std::string &Name) {
+    return M.vars().getOrCreate("$sum$" + Name, VarKind::Abstraction);
+  }
+
+  /// The analysis alpha for global havoc site \p Site (memoized).
+  VarId havocAbstraction(uint32_t Site) {
+    auto It = Res.HavocVars.find(Site);
+    if (It != Res.HavocVars.end())
+      return It->second;
+    VarOrigin O;
+    O.K = VarOrigin::Kind::Havoc;
+    O.Site = Site;
+    O.Text = "the result of the unknown call #" + std::to_string(Site + 1);
+    VarId V =
+        freshAbstraction("havoc@" + std::to_string(Site), std::move(O));
+    Res.HavocVars[Site] = V;
+    return V;
+  }
+
   ValueSet evalExpr(const Expr *E) {
     switch (E->kind()) {
     case ExprKind::VarRef: {
@@ -125,40 +188,51 @@ private:
                M.getTrue()}};
     case ExprKind::Havoc: {
       const auto *H = cast<HavocExpr>(E);
-      auto It = Res.HavocVars.find(H->siteId());
-      VarId V;
-      if (It != Res.HavocVars.end()) {
-        V = It->second;
-      } else {
-        VarOrigin O;
-        O.K = VarOrigin::Kind::Havoc;
-        O.Site = H->siteId();
-        O.Text = "the result of the unknown call #" +
-                 std::to_string(H->siteId() + 1);
-        V = freshAbstraction("havoc@" + std::to_string(H->siteId()),
-                             std::move(O));
-        Res.HavocVars[H->siteId()] = V;
+      if (inSummary()) {
+        auto It = SumHavocMemo.find(H->siteId());
+        VarId V;
+        if (It != SumHavocMemo.end()) {
+          V = It->second;
+        } else {
+          V = placeholder(SumName + "$havoc" + std::to_string(H->siteId()));
+          SumHavocMemo[H->siteId()] = V;
+          FunctionSummary::Event Ev;
+          Ev.K = FunctionSummary::Event::Kind::Havoc;
+          Ev.Placeholder = V;
+          Ev.LocalId = H->siteId();
+          Sum->Events.push_back(std::move(Ev));
+        }
+        return {{LinearExpr::variable(V), M.getTrue()}};
       }
-      return {{LinearExpr::variable(V), M.getTrue()}};
+      // Main body: the root plan node has base 0, so the global site id is
+      // the syntactic one.
+      return {{LinearExpr::variable(havocAbstraction(H->siteId())),
+               M.getTrue()}};
     }
     case ExprKind::Binary: {
       const auto *B = cast<BinaryExpr>(E);
       ValueSet L = evalExpr(B->lhs());
       ValueSet R = evalExpr(B->rhs());
-      ValueSet Out;
-      for (const auto &[Pi1, Phi1] : L)
-        for (const auto &[Pi2, Phi2] : R) {
-          const Formula *Guard = M.mkAnd(Phi1, Phi2);
-          if (Guard->isFalse())
-            continue;
-          Out.emplace_back(combine(B->op(), Pi1, Pi2), Guard);
-        }
-      normalize(Out);
+      ValueSet Out = combineSets(B->op(), L, R);
       return Out;
     }
     }
     assert(false && "unhandled expression kind");
     return {};
+  }
+
+  /// Cross product of two value sets under a binary operator.
+  ValueSet combineSets(BinOp Op, const ValueSet &L, const ValueSet &R) {
+    ValueSet Out;
+    for (const auto &[Pi1, Phi1] : L)
+      for (const auto &[Pi2, Phi2] : R) {
+        const Formula *Guard = M.mkAnd(Phi1, Phi2);
+        if (Guard->isFalse())
+          continue;
+        Out.emplace_back(combine(Op, Pi1, Pi2), Guard);
+      }
+    normalize(Out);
+    return Out;
   }
 
   /// Combines two symbolic values; non-linear products become abstraction
@@ -186,6 +260,21 @@ private:
     auto It = NonLinearMemo.find(Key);
     if (It != NonLinearMemo.end())
       return It->second;
+    if (inSummary()) {
+      // Record the factors over summary vars; instantiation replays the
+      // product through the caller's combine, so constants fold and the
+      // square side condition is emitted at caller level.
+      VarId V = placeholder(SumName + "$mul" +
+                            std::to_string(Sum->Events.size()));
+      FunctionSummary::Event Ev;
+      Ev.K = FunctionSummary::Event::Kind::NonLinear;
+      Ev.Placeholder = V;
+      Ev.F1 = Key.first;
+      Ev.F2 = Key.second;
+      Sum->Events.push_back(std::move(Ev));
+      NonLinearMemo.emplace(std::move(Key), V);
+      return V;
+    }
     VarOrigin O;
     O.K = VarOrigin::Kind::NonLinear;
     O.Factor1 = Key.first;
@@ -254,6 +343,253 @@ private:
     return M.getFalse();
   }
 
+  //===--------------------------------------------------------------------===//
+  // Summaries
+  //===--------------------------------------------------------------------===//
+
+  /// Name of the function whose summary is being computed (for placeholder
+  /// naming); only valid while `Sum` is set.
+  std::string SumName;
+
+  /// Analyzes \p F once over placeholder formals (memoized).
+  const FunctionSummary &summaryFor(const FunctionDef &F) {
+    auto It = Summaries.find(&F);
+    if (It != Summaries.end())
+      return It->second;
+
+    // Save the current frame and enter summary mode.
+    auto SavedStore = std::move(Store);
+    const Formula *SavedI = I;
+    auto SavedNonLinear = std::move(NonLinearMemo);
+    auto SavedHavoc = std::move(SumHavocMemo);
+    FunctionSummary *SavedSum = Sum;
+    std::string SavedName = std::move(SumName);
+
+    FunctionSummary S;
+    Sum = &S;
+    SumName = F.Name;
+    Store.clear();
+    NonLinearMemo.clear();
+    SumHavocMemo.clear();
+    I = M.getTrue();
+    for (const std::string &P : F.Params) {
+      VarId V = placeholder(F.Name + "$" + P);
+      S.Formals.push_back(V);
+      Store[P] = {{LinearExpr::variable(V), M.getTrue()}};
+    }
+    for (const std::string &L : F.Locals)
+      Store[L] = {{LinearExpr::constant(0), M.getTrue()}};
+    exec(F.Body);
+    S.Ret = evalExpr(F.Ret);
+    S.Invariant = I;
+
+    // Restore the caller frame.
+    Store = std::move(SavedStore);
+    I = SavedI;
+    NonLinearMemo = std::move(SavedNonLinear);
+    SumHavocMemo = std::move(SavedHavoc);
+    Sum = SavedSum;
+    SumName = std::move(SavedName);
+
+    ++Res.SummariesComputed;
+    return Summaries.emplace(&F, std::move(S)).first->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Instantiation: sigma substitution over summary variables
+  //===--------------------------------------------------------------------===//
+
+  using Sigma = std::map<VarId, ValueSet>;
+  using FormulaMemo = std::unordered_map<const Formula *, const Formula *>;
+
+  /// Substitutes sigma into a linear expression over summary vars,
+  /// distributing over each mapped variable's value-set cases.
+  ValueSet substLinear(const LinearExpr &L, const Sigma &Sg) {
+    ValueSet Acc{{LinearExpr::constant(L.constant()), M.getTrue()}};
+    for (const auto &[V, Coeff] : L.terms()) {
+      ValueSet Term;
+      auto It = Sg.find(V);
+      if (It == Sg.end()) {
+        Term.emplace_back(LinearExpr::variable(V, Coeff), M.getTrue());
+      } else {
+        for (const auto &[Pi, Phi] : It->second)
+          Term.emplace_back(Pi.scaled(Coeff), Phi);
+      }
+      ValueSet Next;
+      for (const auto &[Pi1, Phi1] : Acc)
+        for (const auto &[Pi2, Phi2] : Term) {
+          const Formula *Guard = M.mkAnd(Phi1, Phi2);
+          if (Guard->isFalse())
+            continue;
+          Next.emplace_back(Pi1.add(Pi2), Guard);
+        }
+      normalize(Next);
+      Acc = std::move(Next);
+    }
+    return Acc;
+  }
+
+  /// Substitutes sigma into a formula over summary vars. Formulas are in
+  /// NNF (every atom occurrence is positive), and value sets partition the
+  /// state space exhaustively, so an atom A(v) with v -> {(pi_i, phi_i)}
+  /// rewrites exactly to OR_i (phi_i && A[pi_i/v]).
+  const Formula *substFormula(const Formula *F, const Sigma &Sg,
+                              FormulaMemo &Memo) {
+    if (F->isTrue() || F->isFalse())
+      return F;
+    auto It = Memo.find(F);
+    if (It != Memo.end())
+      return It->second;
+    const Formula *Out = nullptr;
+    if (F->isAtom()) {
+      std::vector<VarId> Mapped;
+      for (const auto &[V, Coeff] : F->expr().terms())
+        if (Sg.count(V))
+          Mapped.push_back(V);
+      if (Mapped.empty()) {
+        Out = F;
+      } else {
+        // Cross product over the mapped variables' cases.
+        std::vector<std::pair<LinearExpr, const Formula *>> Cases{
+            {F->expr(), M.getTrue()}};
+        for (VarId V : Mapped) {
+          const ValueSet &VS = Sg.at(V);
+          std::vector<std::pair<LinearExpr, const Formula *>> Next;
+          for (const auto &[E, G] : Cases)
+            for (const auto &[Pi, Phi] : VS) {
+              const Formula *Guard = M.mkAnd(G, Phi);
+              if (Guard->isFalse())
+                continue;
+              Next.emplace_back(E.substituted(V, Pi), Guard);
+            }
+          Cases = std::move(Next);
+        }
+        std::vector<const Formula *> Parts;
+        Parts.reserve(Cases.size());
+        for (const auto &[E, G] : Cases)
+          Parts.push_back(
+              M.mkAnd(G, M.mkAtom(F->rel(), E, F->divisor())));
+        Out = M.mkOr(std::move(Parts));
+      }
+    } else {
+      std::vector<const Formula *> Kids;
+      Kids.reserve(F->kids().size());
+      for (const Formula *K : F->kids())
+        Kids.push_back(substFormula(K, Sg, Memo));
+      Out = F->isAnd() ? M.mkAnd(std::move(Kids)) : M.mkOr(std::move(Kids));
+    }
+    Memo.emplace(F, Out);
+    return Out;
+  }
+
+  ValueSet substValueSet(const ValueSet &VS, const Sigma &Sg,
+                         FormulaMemo &Memo) {
+    ValueSet Out;
+    for (const auto &[Pi, Phi] : VS) {
+      const Formula *G = substFormula(Phi, Sg, Memo);
+      if (G->isFalse())
+        continue;
+      for (auto &[Pi2, Phi2] : substLinear(Pi, Sg)) {
+        const Formula *Guard = M.mkAnd(G, Phi2);
+        if (Guard->isFalse())
+          continue;
+        Out.emplace_back(Pi2, Guard);
+      }
+    }
+    normalize(Out);
+    return Out;
+  }
+
+  /// The unconstrained alpha modeling an opaque (recursive) call's result.
+  ValueSet opaqueCallResult(const CallPlanNode &N, const std::string &Callee) {
+    ++Res.OpaqueCallResults;
+    auto It = Res.CallResultVars.find(N.CallResultId);
+    VarId V;
+    if (It != Res.CallResultVars.end()) {
+      V = It->second;
+    } else {
+      VarOrigin O;
+      O.K = VarOrigin::Kind::CallResult;
+      O.ProgVar = Callee;
+      O.Site = N.CallResultId;
+      O.Text = "the result of the recursive call to '" + Callee + "' #" +
+               std::to_string(N.CallResultId + 1);
+      V = freshAbstraction("call@" + std::to_string(N.CallResultId + 1),
+                           std::move(O));
+      Res.CallResultVars[N.CallResultId] = V;
+    }
+    return {{LinearExpr::variable(V), M.getTrue()}};
+  }
+
+  /// Applies the call at plan child \p ChildIdx with already-evaluated
+  /// caller-level argument value sets.
+  ValueSet applyCall(uint32_t ChildIdx, const std::string &Callee,
+                     const std::vector<ValueSet> &Args) {
+    const CallPlanNode &N = Res.Plan->Nodes[ChildIdx];
+    if (N.Opaque)
+      return opaqueCallResult(N, Callee);
+    ++Res.SummariesInstantiated;
+    const FunctionSummary &S = summaryFor(*N.Func);
+    return instantiate(S, N, Args);
+  }
+
+  /// Materializes one summary at plan node \p N: walks the events in
+  /// order, extending sigma with a fresh caller-level value per
+  /// placeholder, then conjoins the substituted invariant and returns the
+  /// substituted return value set.
+  ValueSet instantiate(const FunctionSummary &S, const CallPlanNode &N,
+                       const std::vector<ValueSet> &Args) {
+    assert(Args.size() == S.Formals.size());
+    Sigma Sg;
+    FormulaMemo Memo;
+    for (size_t Idx = 0; Idx < Args.size(); ++Idx)
+      Sg[S.Formals[Idx]] = Args[Idx];
+    for (const FunctionSummary::Event &E : S.Events) {
+      switch (E.K) {
+      case FunctionSummary::Event::Kind::LoopAbs: {
+        uint32_t G = N.LoopBase + E.LocalId;
+        VarOrigin O;
+        O.K = VarOrigin::Kind::LoopExit;
+        O.ProgVar = E.VarName;
+        O.LoopId = G;
+        O.Text = "the value of " + E.VarName + " after loop " +
+                 std::to_string(G + 1);
+        VarId A = freshAbstraction(
+            E.VarName + "@loop" + std::to_string(G + 1), std::move(O));
+        Res.LoopExitVars[{G, E.VarName}] = A;
+        Sg[E.Placeholder] = {{LinearExpr::variable(A), M.getTrue()}};
+        break;
+      }
+      case FunctionSummary::Event::Kind::Havoc: {
+        VarId A = havocAbstraction(N.HavocBase + E.LocalId);
+        Sg[E.Placeholder] = {{LinearExpr::variable(A), M.getTrue()}};
+        break;
+      }
+      case FunctionSummary::Event::Kind::NonLinear: {
+        ValueSet A = substLinear(E.F1, Sg);
+        ValueSet B = substLinear(E.F2, Sg);
+        Sg[E.Placeholder] = combineSets(BinOp::Mul, A, B);
+        break;
+      }
+      case FunctionSummary::Event::Kind::Call: {
+        std::vector<ValueSet> A2;
+        A2.reserve(E.Args.size());
+        for (const ValueSet &AV : E.Args)
+          A2.push_back(substValueSet(AV, Sg, Memo));
+        Sg[E.Placeholder] =
+            applyCall(N.Children[E.LocalId], E.Callee, A2);
+        break;
+      }
+      }
+    }
+    I = M.mkAnd(I, substFormula(S.Invariant, Sg, Memo));
+    return substValueSet(S.Ret, Sg, Memo);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
   void exec(const Stmt *S) {
     switch (S->kind()) {
     case StmtKind::Assign: {
@@ -270,6 +606,32 @@ private:
     case StmtKind::Assume:
       I = M.mkAnd(I, evalPred(cast<AssumeStmt>(S)->cond()));
       return;
+    case StmtKind::Call: {
+      const auto *C = cast<CallStmt>(S);
+      std::vector<ValueSet> Args;
+      Args.reserve(C->args().size());
+      for (const Expr *A : C->args())
+        Args.push_back(evalExpr(A));
+      if (inSummary()) {
+        VarId V = placeholder(SumName + "$call" +
+                              std::to_string(C->siteId()));
+        FunctionSummary::Event Ev;
+        Ev.K = FunctionSummary::Event::Kind::Call;
+        Ev.Placeholder = V;
+        Ev.LocalId = C->siteId();
+        Ev.Callee = C->callee();
+        Ev.Args = std::move(Args);
+        Sum->Events.push_back(std::move(Ev));
+        Store[C->target()] = {{LinearExpr::variable(V), M.getTrue()}};
+        return;
+      }
+      // The analyzer only executes the main body directly (summaries cover
+      // callee bodies), so the enclosing plan node is always the root.
+      Store[C->target()] =
+          applyCall(Res.Plan->root().Children[C->siteId()], C->callee(),
+                    Args);
+      return;
+    }
     case StmtKind::If: {
       const auto *If = cast<IfStmt>(S);
       const Formula *Cond = evalPred(If->cond());
@@ -311,15 +673,29 @@ private:
       std::set<std::string> Modified;
       collectAssigned(W->body(), Modified);
       for (const std::string &V : Modified) {
-        VarOrigin O;
-        O.K = VarOrigin::Kind::LoopExit;
-        O.ProgVar = V;
-        O.LoopId = W->loopId();
-        O.Text = "the value of " + V + " after loop " +
-                 std::to_string(W->loopId() + 1);
-        VarId A = freshAbstraction(
-            V + "@loop" + std::to_string(W->loopId() + 1), std::move(O));
-        Res.LoopExitVars[{W->loopId(), V}] = A;
+        VarId A;
+        if (inSummary()) {
+          A = placeholder(SumName + "$loop" + std::to_string(W->loopId()) +
+                          "$" + V);
+          FunctionSummary::Event Ev;
+          Ev.K = FunctionSummary::Event::Kind::LoopAbs;
+          Ev.Placeholder = A;
+          Ev.VarName = V;
+          Ev.LocalId = W->loopId();
+          Sum->Events.push_back(std::move(Ev));
+        } else {
+          // Main body: the root node's LoopBase is 0, so the global id is
+          // the syntactic one.
+          VarOrigin O;
+          O.K = VarOrigin::Kind::LoopExit;
+          O.ProgVar = V;
+          O.LoopId = W->loopId();
+          O.Text = "the value of " + V + " after loop " +
+                   std::to_string(W->loopId() + 1);
+          A = freshAbstraction(
+              V + "@loop" + std::to_string(W->loopId() + 1), std::move(O));
+          Res.LoopExitVars[{W->loopId(), V}] = A;
+        }
         Store[V] = {{LinearExpr::variable(A), M.getTrue()}};
       }
       if (W->annot())

@@ -23,16 +23,28 @@
 /// The result is the pair (I, phi) of Lemmas 1/2: known invariants over the
 /// analysis variables and the success condition of the check.
 ///
+/// Calls are analyzed interprocedurally via *function summaries* (the
+/// Section 5 implementation note): each callee is analyzed exactly once
+/// over placeholder formals, producing its return value set, invariant and
+/// an ordered list of abstraction events; every call site then instantiates
+/// the summary by substituting argument value sets for the formals and
+/// materializing one fresh alpha per abstraction event, with global ids
+/// drawn from the program's `lang::CallPlan`. Calls to recursive functions
+/// are modeled by a single unconstrained CallResult alpha that the concrete
+/// oracle resolves from the recorded return value.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ABDIAG_ANALYSIS_SYMBOLICANALYZER_H
 #define ABDIAG_ANALYSIS_SYMBOLICANALYZER_H
 
 #include "lang/Ast.h"
+#include "lang/CallPlan.h"
 #include "smt/Formula.h"
 #include "smt/DecisionProcedure.h"
 
 #include <map>
+#include <memory>
 #include <string>
 
 namespace abdiag::analysis {
@@ -45,12 +57,13 @@ struct VarOrigin {
     Input,     ///< nu: value of a program input
     LoopExit,  ///< alpha_v^rho: value of variable v after loop rho
     Havoc,     ///< alpha for an un-analyzed library call result
-    NonLinear  ///< alpha for a non-linear product pi1 * pi2
+    NonLinear, ///< alpha for a non-linear product pi1 * pi2
+    CallResult ///< alpha for the result of an unexpanded (recursive) call
   };
   Kind K = Kind::Input;
-  std::string ProgVar;  ///< input name, or the variable v for LoopExit
-  uint32_t LoopId = 0;  ///< for LoopExit
-  uint32_t Site = 0;    ///< for Havoc
+  std::string ProgVar;  ///< input name, variable v for LoopExit, or callee
+  uint32_t LoopId = 0;  ///< for LoopExit (global, per the call plan)
+  uint32_t Site = 0;    ///< for Havoc (global) / CallResult (CallResultId)
   /// For NonLinear: the two factor expressions (over analysis variables).
   smt::LinearExpr Factor1, Factor2;
   /// Human-readable description, e.g. "the value of j after loop 1".
@@ -63,11 +76,22 @@ struct AnalysisResult {
   const smt::Formula *Invariants = nullptr;       ///< I
   const smt::Formula *SuccessCondition = nullptr; ///< phi
   std::map<std::string, smt::VarId> InputVars;    ///< param -> nu
-  /// (loop id, variable) -> alpha_v^rho for variables modified in the loop.
+  /// (global loop id, variable) -> alpha_v^rho for variables modified in
+  /// the loop. Ids are global per `Plan` (syntactic ids for the main body).
   std::map<std::pair<uint32_t, std::string>, smt::VarId> LoopExitVars;
-  /// havoc site id -> alpha.
+  /// global havoc site id -> alpha.
   std::map<uint32_t, smt::VarId> HavocVars;
+  /// CallResultId -> alpha for opaque (recursive) call results.
+  std::map<uint32_t, smt::VarId> CallResultVars;
   std::map<smt::VarId, VarOrigin> Origins;
+  /// The static call-expansion plan the global ids above refer to; shared
+  /// with the concrete oracle so both sides name the same instances.
+  std::shared_ptr<const lang::CallPlan> Plan;
+  /// Interprocedural work counters (deterministic; surfaced in triage
+  /// stats and gated by the benchmark baselines).
+  uint32_t SummariesComputed = 0;     ///< distinct callees analyzed
+  uint32_t SummariesInstantiated = 0; ///< call sites expanded via summary
+  uint32_t OpaqueCallResults = 0;     ///< calls modeled by a single alpha
 };
 
 /// Knobs for the analysis.

@@ -67,6 +67,12 @@ public:
         return std::nullopt;
       return checkedMul(*F1, *F2);
     }
+    case VarOrigin::Kind::CallResult: {
+      auto CIt = Run.CallReturns.find(O.Site);
+      if (CIt == Run.CallReturns.end())
+        return std::nullopt; // call site not reached in this run
+      return CIt->second;
+    }
     }
     return std::nullopt;
   }
@@ -94,9 +100,11 @@ ConcreteOracle::ConcreteOracle(const Program &Prog, const AnalysisResult &AR,
   }
 
   // Shrink the input box so the total number of runs stays below the cap.
+  // Havoc sites are counted over the call plan (one instance per expanded
+  // call) so callee-internal havocs are enumerated too.
   size_t NumParams = Prog.Params.size();
   size_t NumHavocCombos = 1;
-  size_t HavocSites = Prog.NumHavocs;
+  size_t HavocSites = AR.Plan ? AR.Plan->NumHavocs : Prog.NumHavocs;
   for (size_t I = 0; I < HavocSites; ++I)
     NumHavocCombos *= Config.HavocValues.size();
   int64_t Bound = Config.InputBound;
@@ -122,7 +130,8 @@ ConcreteOracle::ConcreteOracle(const Program &Prog, const AnalysisResult &AR,
     std::vector<int64_t> Inputs(NumParams, -Bound);
     while (true) {
       support::pollCancellation(Config.Cancel);
-      RunResult R = runProgram(Prog, Inputs, Config.Fuel, HavocFn);
+      RunResult R = runProgram(Prog, Inputs, Config.Fuel, HavocFn,
+                               AR.Plan.get());
       if (R.Status == RunStatus::CheckPassed ||
           R.Status == RunStatus::CheckFailed) {
         RunValues RV;

@@ -15,6 +15,12 @@
 ///                  last exited
 ///   alpha_havoc -> the havoc value supplied for that site
 ///   alpha_mul   -> factor1 * factor2 evaluated recursively in the run
+///   alpha_call  -> the interpreter's recorded return value of the opaque
+///                  (recursive) call instance
+///
+/// Runs execute against the analysis result's call plan, so loop/havoc ids
+/// agree between the symbolic and concrete sides for every expanded call
+/// instance.
 ///
 /// "Yes" answers to witness queries and "no" answers to invariant queries
 /// are sound (backed by a concrete execution). "Yes" to an invariant and

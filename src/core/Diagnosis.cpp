@@ -287,6 +287,8 @@ DiagnosisResult DiagnosisEngine::run(const Formula *I, const Formula *Phi,
   }
 
   Result.FinalInvariants = Invariants;
+  Result.PotentialInvariantCount = PotentialInvariants.size();
+  Result.PotentialWitnessCount = PotentialWitnesses.size();
   Out = nullptr;
   User = nullptr;
   return Result;

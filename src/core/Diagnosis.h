@@ -86,6 +86,11 @@ struct DiagnosisResult {
   const smt::Formula *FinalInvariants = nullptr;
   /// True when the initial analysis already decided the report (no queries).
   bool DecidedWithoutQueries = false;
+  /// Sizes of the Section 5 potential-invariant/-witness sets when the run
+  /// ended. The sets only grow, so these are also their peak sizes; each
+  /// don't-know answer to a top-level query adds one entry to both.
+  size_t PotentialInvariantCount = 0;
+  size_t PotentialWitnessCount = 0;
 };
 
 /// Runs query-guided diagnosis for the analysis output (I, phi).

@@ -7,6 +7,7 @@
 #include "core/ErrorDiagnoser.h"
 
 #include "analysis/IntervalAnnotator.h"
+#include "lang/Inline.h"
 #include "lang/Parser.h"
 
 #include <cassert>
@@ -32,6 +33,12 @@ LoadResult ErrorDiagnoser::finishLoad(lang::ParseResult P) {
   if (!P.ok())
     return LoadResult::failure(std::move(P.D));
   Prog = std::move(*P.Prog);
+  if (Opts.InlineCalls && !Prog.Functions.empty()) {
+    lang::InlineResult IR = lang::inlineCalls(Prog);
+    if (!IR.ok())
+      return LoadResult::failure(std::move(IR.D));
+    Prog = std::move(*IR.Prog);
+  }
   if (Opts.AutoAnnotate)
     Prog = analysis::annotateLoops(Prog);
   Analysis = analysis::analyzeProgram(Prog, *DP, Opts.analyzerOptions());

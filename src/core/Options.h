@@ -51,6 +51,12 @@ struct Options {
   /// Infer @p' annotations for un-annotated loops with the interval
   /// abstract interpreter.
   bool AutoAnnotate = true;
+  /// Lower calls by syntactic inlining at load time (the legacy pipeline)
+  /// instead of the default summary-based interprocedural analysis.
+  /// Loading a recursive program fails with a positioned diagnostic when
+  /// this is on; the summary pipeline handles recursion via opaque call
+  /// results.
+  bool InlineCalls = false;
 
   //===--- Section 3 analysis ---------------------------------------------===
   /// Conjoin the negated loop condition (over the post-loop store) to I.
@@ -90,6 +96,7 @@ struct Options {
   }
   Options &simplexMaxPivots(int N) { SimplexMaxPivots = N; return *this; }
   Options &autoAnnotate(bool V) { AutoAnnotate = V; return *this; }
+  Options &inlineCalls(bool V) { InlineCalls = V; return *this; }
   Options &assumeLoopExitCondition(bool V) {
     AssumeLoopExitCondition = V;
     return *this;

@@ -46,9 +46,29 @@ const char *abdiag::core::diagnosisVerdictName(DiagnosisOutcome O) {
   return "inconclusive";
 }
 
+Answer UnknownInjectingOracle::inject(Answer A) {
+  uint64_t Idx = QueryIndex++;
+  if (Rate <= 0.0)
+    return A;
+  // FNV-1a over the salt and the query index; stable across platforms.
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  };
+  for (char C : Salt)
+    Mix(static_cast<uint8_t>(C));
+  for (int I = 0; I < 8; ++I)
+    Mix(static_cast<uint8_t>(Idx >> (8 * I)));
+  double U = static_cast<double>(H % 1000000ull) / 1000000.0;
+  return U < Rate ? Answer::Unknown : A;
+}
+
 void abdiag::core::countAnswers(const DiagnosisResult &Res, TriageReport &R) {
   R.Queries = Res.Transcript.size();
   R.Iterations = Res.Iterations;
+  R.PotentialInvariants = Res.PotentialInvariantCount;
+  R.PotentialWitnesses = Res.PotentialWitnessCount;
   for (const QueryRecord &Q : Res.Transcript) {
     switch (Q.Ans) {
     case Answer::Yes:
@@ -91,6 +111,9 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
       R.Message = L.message();
     } else {
       R.Loc = lang::programLoc(D.program());
+      R.SummariesComputed = D.analysis().SummariesComputed;
+      R.SummariesInstantiated = D.analysis().SummariesInstantiated;
+      R.OpaqueCalls = D.analysis().OpaqueCallResults;
       if (D.dischargedByAnalysis()) {
         R.Status = TriageStatus::Diagnosed;
         R.Outcome = DiagnosisOutcome::Discharged;
@@ -104,7 +127,15 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
         // precomputation counts against the deadline too.
         std::unique_ptr<ConcreteOracle> Oracle =
             D.makeConcreteOracle(Opts.Oracle);
-        DiagnosisResult Res = D.diagnose(*Oracle);
+        // The injection salt is the report *name*, not the queue position,
+        // so verdicts are independent of scheduling and --jobs.
+        UnknownInjectingOracle Injected(*Oracle, Req.Name,
+                                        Opts.InjectUnknownRate);
+        core::Oracle &Asked =
+            Opts.InjectUnknownRate > 0.0
+                ? static_cast<core::Oracle &>(Injected)
+                : static_cast<core::Oracle &>(*Oracle);
+        DiagnosisResult Res = D.diagnose(Asked);
         if (Res.Outcome == DiagnosisOutcome::Inconclusive &&
             Opts.EscalateOnInconclusive) {
           R.Escalated = true;
@@ -113,7 +144,7 @@ TriageReport TriageEngine::triageOne(ErrorDiagnoser &D,
           Cfg.MaxIterations *= 4;
           Cfg.MaxQueries *= 4;
           Cfg.MsaMaxSubsets *= 4;
-          Res = D.diagnoseWith(Cfg, *Oracle);
+          Res = D.diagnoseWith(Cfg, Asked);
         }
         R.Status = TriageStatus::Diagnosed;
         R.Outcome = Res.Outcome;

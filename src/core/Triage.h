@@ -92,6 +92,16 @@ struct TriageReport {
   size_t AnswersYes = 0;
   size_t AnswersNo = 0;
   size_t AnswersUnknown = 0;
+  /// Sizes of the Section 5 potential-invariant/-witness sets at the end of
+  /// the (final) diagnosis run; the sets only grow, so these are peaks.
+  size_t PotentialInvariants = 0;
+  size_t PotentialWitnesses = 0;
+  /// Interprocedural analysis work for this report (deterministic): callees
+  /// analyzed once, call sites expanded from summaries, and calls modeled by
+  /// an opaque result variable (recursion).
+  uint32_t SummariesComputed = 0;
+  uint32_t SummariesInstantiated = 0;
+  uint32_t OpaqueCalls = 0;
   int Iterations = 0;
   /// True when the budget-escalation retry ran.
   bool Escalated = false;
@@ -121,6 +131,36 @@ struct TriageOptions {
   /// Bounds for the concrete-execution oracle (its cancellation token is
   /// installed by the engine; any value set here is ignored).
   ConcreteOracleConfig Oracle;
+  /// Fraction (0..1) of oracle answers overridden to Unknown, exercising
+  /// the Section 5 don't-know path. Selection is a deterministic hash of
+  /// the report name and per-report query index, so verdicts are identical
+  /// across --jobs levels and across runs.
+  double InjectUnknownRate = 0.0;
+};
+
+/// Oracle decorator that turns a deterministic pseudo-random subset of
+/// answers into Unknown (see TriageOptions::InjectUnknownRate). The choice
+/// depends only on (Salt, per-oracle query index), never on wall clock or
+/// thread schedule.
+class UnknownInjectingOracle : public Oracle {
+public:
+  UnknownInjectingOracle(Oracle &Inner, const std::string &Salt, double Rate)
+      : Inner(Inner), Salt(Salt), Rate(Rate) {}
+
+  Answer isInvariant(const smt::Formula *F) override {
+    return inject(Inner.isInvariant(F));
+  }
+  Answer isPossible(const smt::Formula *F, const smt::Formula *Given) override {
+    return inject(Inner.isPossible(F, Given));
+  }
+
+private:
+  Oracle &Inner;
+  std::string Salt;
+  double Rate;
+  uint64_t QueryIndex = 0;
+
+  Answer inject(Answer A);
 };
 
 /// Aggregate over one run() call.

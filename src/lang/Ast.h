@@ -180,7 +180,7 @@ public:
 // Statements
 //===----------------------------------------------------------------------===//
 
-enum class StmtKind : uint8_t { Assign, Skip, Block, If, While, Assume };
+enum class StmtKind : uint8_t { Assign, Skip, Block, If, While, Assume, Call };
 
 /// Base class of statements.
 class Stmt {
@@ -271,6 +271,34 @@ public:
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assume; }
 };
 
+/// A first-class call `target = callee(args);`. The call site id is dense
+/// *within the enclosing function or program body* (the static call plan
+/// maps it to one instance per expansion path); Line/Col anchor the
+/// diagnostics the post-parse validation and the inlining pass emit
+/// (undefined callee, arity mismatch, recursion under inlining).
+class CallStmt : public Stmt {
+  std::string Target;
+  std::string Callee;
+  std::vector<const Expr *> Args;
+  uint32_t SiteId;
+  uint32_t Line, Col;
+
+public:
+  CallStmt(std::string Target, std::string Callee,
+           std::vector<const Expr *> Args, uint32_t SiteId, uint32_t Line,
+           uint32_t Col)
+      : Stmt(StmtKind::Call), Target(std::move(Target)),
+        Callee(std::move(Callee)), Args(std::move(Args)), SiteId(SiteId),
+        Line(Line), Col(Col) {}
+  const std::string &target() const { return Target; }
+  const std::string &callee() const { return Callee; }
+  const std::vector<const Expr *> &args() const { return Args; }
+  uint32_t siteId() const { return SiteId; }
+  uint32_t line() const { return Line; }
+  uint32_t col() const { return Col; }
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Call; }
+};
+
 //===----------------------------------------------------------------------===//
 // Program
 //===----------------------------------------------------------------------===//
@@ -295,7 +323,27 @@ public:
   }
 };
 
+/// A function definition `function f(a⃗) { let v⃗; s; return e; }`.
+/// Loop/havoc/call-site ids inside the body are *function-local* (dense,
+/// starting at 0); the static call plan maps them to globally unique ids
+/// per call instance. `Recursive` marks membership in a call-graph cycle
+/// (self- or mutual recursion), computed by post-parse validation.
+struct FunctionDef {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Locals;
+  const Stmt *Body = nullptr; // BlockStmt of the body statements
+  const Expr *Ret = nullptr;
+  uint32_t NumLoops = 0;
+  uint32_t NumHavocs = 0;
+  uint32_t NumCallSites = 0;
+  bool Recursive = false;
+  uint32_t Line = 0, Col = 0;
+};
+
 /// A parsed program: inputs a⃗, locals v⃗ (zero-initialized), body, check.
+/// `NumLoops`/`NumHavocs`/`NumCallSites` count sites in the *main body
+/// only*; each FunctionDef carries its own local counts.
 struct Program {
   std::string Name;
   std::vector<std::string> Params;
@@ -304,7 +352,16 @@ struct Program {
   const Pred *Check = nullptr;
   uint32_t NumLoops = 0;
   uint32_t NumHavocs = 0;
+  uint32_t NumCallSites = 0;
+  std::vector<FunctionDef> Functions;
   std::shared_ptr<AstArena> Arena = std::make_shared<AstArena>();
+
+  const FunctionDef *function(const std::string &Name) const {
+    for (const FunctionDef &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
 };
 
 } // namespace abdiag::lang

@@ -136,8 +136,24 @@ void renderStmt(std::ostringstream &OS, const Stmt *S, int Indent) {
     OS << "\n";
     return;
   }
+  case StmtKind::Call: {
+    const auto *C = cast<CallStmt>(S);
+    OS << Pad << C->target() << " = " << C->callee() << "(";
+    for (size_t I = 0; I < C->args().size(); ++I)
+      OS << (I ? ", " : "") << renderExpr(C->args()[I], 0);
+    OS << ");\n";
+    return;
+  }
   }
   assert(false && "unhandled statement kind");
+}
+
+void renderFunction(std::ostringstream &OS, const FunctionDef &F) {
+  OS << "function " << F.Name << "(" << join(F.Params, ", ") << ") {\n";
+  if (!F.Locals.empty())
+    OS << "  var " << join(F.Locals, ", ") << ";\n";
+  renderStmt(OS, F.Body, 1);
+  OS << "  return " << renderExpr(F.Ret, 0) << ";\n}\n";
 }
 
 } // namespace
@@ -152,6 +168,10 @@ std::string abdiag::lang::predToString(const Pred *P) {
 
 std::string abdiag::lang::programToString(const Program &Prog) {
   std::ostringstream OS;
+  for (const FunctionDef &F : Prog.Functions) {
+    renderFunction(OS, F);
+    OS << "\n";
+  }
   OS << "program " << Prog.Name << "(" << join(Prog.Params, ", ") << ") {\n";
   if (!Prog.Locals.empty())
     OS << "  var " << join(Prog.Locals, ", ") << ";\n";

@@ -1,0 +1,106 @@
+//===- lang/CallPlan.cpp - Static call-expansion plan -----------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/CallPlan.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+void abdiag::lang::collectCallSites(const Stmt *S,
+                                    std::vector<const CallStmt *> &Out) {
+  switch (S->kind()) {
+  case StmtKind::Call:
+    Out.push_back(cast<CallStmt>(S));
+    return;
+  case StmtKind::Block:
+    for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+      collectCallSites(Sub, Out);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectCallSites(I->thenStmt(), Out);
+    if (I->elseStmt())
+      collectCallSites(I->elseStmt(), Out);
+    return;
+  }
+  case StmtKind::While:
+    collectCallSites(cast<WhileStmt>(S)->body(), Out);
+    return;
+  case StmtKind::Assign:
+  case StmtKind::Skip:
+  case StmtKind::Assume:
+    return;
+  }
+}
+
+namespace {
+
+class PlanBuilder {
+  const Program &P;
+  const uint32_t MaxNodes;
+  CallPlan Plan;
+
+public:
+  PlanBuilder(const Program &P, uint32_t MaxNodes)
+      : P(P), MaxNodes(std::max<uint32_t>(MaxNodes, 1)) {}
+
+  CallPlan run() {
+    CallPlanNode Root;
+    Root.LoopBase = 0;
+    Root.HavocBase = 0;
+    Plan.NumLoops = P.NumLoops;
+    Plan.NumHavocs = P.NumHavocs;
+    Plan.Nodes.push_back(Root);
+    expand(0, P.Body, P.NumCallSites);
+    return std::move(Plan);
+  }
+
+private:
+  /// Expands the call sites of node \p NodeIdx (whose body is \p Body with
+  /// \p NumSites local call sites), depth-first in site-id order.
+  void expand(uint32_t NodeIdx, const Stmt *Body, uint32_t NumSites) {
+    std::vector<const CallStmt *> Calls;
+    collectCallSites(Body, Calls);
+    assert(Calls.size() == NumSites && "parser assigns dense site ids");
+    std::sort(Calls.begin(), Calls.end(),
+              [](const CallStmt *A, const CallStmt *B) {
+                return A->siteId() < B->siteId();
+              });
+    Plan.Nodes[NodeIdx].Children.resize(NumSites, 0);
+    for (const CallStmt *C : Calls) {
+      const FunctionDef *F = P.function(C->callee());
+      assert(F && "calls resolved by parser validation");
+      uint32_t ChildIdx = static_cast<uint32_t>(Plan.Nodes.size());
+      CallPlanNode Child;
+      Child.Func = F;
+      if (F->Recursive || ChildIdx >= MaxNodes) {
+        Child.Opaque = true;
+        Child.CallResultId = Plan.NumCallResults++;
+        Plan.Nodes.push_back(std::move(Child));
+      } else {
+        Child.LoopBase = Plan.NumLoops;
+        Child.HavocBase = Plan.NumHavocs;
+        Plan.NumLoops += F->NumLoops;
+        Plan.NumHavocs += F->NumHavocs;
+        Plan.Nodes.push_back(std::move(Child));
+        expand(ChildIdx, F->Body, F->NumCallSites);
+      }
+      Plan.Nodes[NodeIdx].Children[C->siteId()] = ChildIdx;
+    }
+  }
+};
+
+} // namespace
+
+CallPlan abdiag::lang::buildCallPlan(const Program &P, uint32_t MaxNodes) {
+  PlanBuilder B(P, MaxNodes);
+  return B.run();
+}

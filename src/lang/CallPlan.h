@@ -1,0 +1,75 @@
+//===- lang/CallPlan.h - Static call-expansion plan -------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static expansion plan shared by the symbolic analyzer and the
+/// concrete interpreter/oracle. Loop, havoc and call sites carry
+/// *function-local* ids in the AST; a `CallPlan` assigns every site one
+/// globally unique id per call *instance* by unrolling the (acyclic part
+/// of the) call graph into a tree:
+///
+///   * node 0 is the program body; its bases are 0, so call-free programs
+///     keep exactly the ids the parser assigned;
+///   * each non-recursive call site gets a child node whose LoopBase /
+///     HavocBase offset the callee's local ids into the global space;
+///   * calls to recursive functions (and sites past the expansion cap)
+///     become *opaque* nodes: no expansion, just a dense CallResultId the
+///     interpreter records the concrete return value under, and which the
+///     analyzer models with a single unconstrained α variable.
+///
+/// Both the analyzer (which instantiates one summary per expanded node it
+/// reaches) and the oracle's interpreter (which executes every node) build
+/// their ids from the same plan, so the α variable `r@loop7` and the
+/// concrete snapshot `LoopExitValues[7]` always describe the same loop
+/// instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_CALLPLAN_H
+#define ABDIAG_LANG_CALLPLAN_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace abdiag::lang {
+
+/// One call instance in the static expansion tree.
+struct CallPlanNode {
+  const FunctionDef *Func = nullptr; ///< null for the root (program body)
+  uint32_t LoopBase = 0;  ///< global loop id = LoopBase + local id
+  uint32_t HavocBase = 0; ///< global havoc id = HavocBase + local id
+  bool Opaque = false;    ///< recursive callee / cap: not expanded
+  uint32_t CallResultId = 0; ///< dense id of the recorded return (Opaque)
+  /// Child node index per local call-site id (empty for opaque nodes).
+  std::vector<uint32_t> Children;
+};
+
+/// The full expansion plan: a tree of call instances plus global totals.
+struct CallPlan {
+  std::vector<CallPlanNode> Nodes; ///< Nodes[0] is the root
+  uint32_t NumLoops = 0;
+  uint32_t NumHavocs = 0;
+  uint32_t NumCallResults = 0;
+
+  const CallPlanNode &root() const { return Nodes.front(); }
+};
+
+/// Collects every call statement under \p S in site-id order (the parser
+/// assigns site ids in syntactic order, so a plain walk suffices).
+void collectCallSites(const Stmt *S, std::vector<const CallStmt *> &Out);
+
+/// Builds the expansion plan for \p P. Deterministic: depth-first in
+/// call-site order. Expansion is capped at \p MaxNodes instances (shared
+/// call DAGs can otherwise explode exponentially); sites past the cap
+/// become opaque, which stays sound because the analyzer models opaque
+/// results conservatively and the interpreter still executes them.
+CallPlan buildCallPlan(const Program &P, uint32_t MaxNodes = 4096);
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_CALLPLAN_H

@@ -1,0 +1,198 @@
+//===- lang/Inline.cpp - Whole-program call inlining ------------------------===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Inline.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <map>
+
+using namespace abdiag;
+using namespace abdiag::lang;
+
+namespace {
+
+using Rename = std::map<std::string, std::string>;
+
+class Inliner {
+  const Program &Src;
+  Program NP;
+  Diag D;
+  std::string Error;
+  uint32_t InstanceCounter = 0;
+
+public:
+  explicit Inliner(const Program &P) : Src(P) {
+    NP.Name = P.Name;
+    NP.Params = P.Params;
+    NP.Locals = P.Locals;
+    NP.Check = P.Check;
+    NP.Arena = P.Arena;
+  }
+
+  InlineResult run() {
+    Rename Empty;
+    const Stmt *Body = cloneStmt(Src.Body, Empty);
+    InlineResult R;
+    if (Error.empty()) {
+      NP.Body = Body;
+      R.Prog = std::move(NP);
+    }
+    R.D = std::move(D);
+    R.Error = std::move(Error);
+    return R;
+  }
+
+private:
+  bool failed() const { return !Error.empty(); }
+
+  void failAt(const std::string &Msg, uint32_t Line, uint32_t Col) {
+    if (!Error.empty())
+      return;
+    D.Message = Msg;
+    D.Line = Line;
+    D.Col = Col;
+    Error = D.render();
+  }
+
+  template <typename T, typename... Args> const T *make(Args &&...As) {
+    return NP.Arena->make<T>(std::forward<Args>(As)...);
+  }
+
+  /// Expands `target = callee(args);` into a block: parameter assignments
+  /// (arguments cloned in the *caller's* renaming), zero-initialized
+  /// locals, the renamed body (nested calls expanded recursively), and the
+  /// final assignment of the renamed return expression.
+  const Stmt *expandCall(const CallStmt *C, const Rename &CallerRename) {
+    const FunctionDef *F = Src.function(C->callee());
+    assert(F && "calls resolved by parser validation");
+    if (F->Recursive) {
+      failAt("recursive call to '" + C->callee() +
+                 "' cannot be inlined (recursion requires the summary-based "
+                 "pipeline)",
+             C->line(), C->col());
+      return make<SkipStmt>();
+    }
+
+    uint32_t Instance = ++InstanceCounter;
+    Rename R;
+    auto Renamed = [&](const std::string &V) {
+      return C->callee() + "$" + std::to_string(Instance) + "$" + V;
+    };
+    std::vector<const Stmt *> Stmts;
+    for (size_t I = 0; I < F->Params.size(); ++I) {
+      R[F->Params[I]] = Renamed(F->Params[I]);
+      NP.Locals.push_back(R[F->Params[I]]);
+      Stmts.push_back(make<AssignStmt>(R[F->Params[I]],
+                                       cloneExpr(C->args()[I], CallerRename)));
+    }
+    for (const std::string &L : F->Locals) {
+      R[L] = Renamed(L);
+      NP.Locals.push_back(R[L]);
+      // Locals start at zero in the callee as well.
+      Stmts.push_back(make<AssignStmt>(R[L], make<IntLitExpr>(0)));
+    }
+    Stmts.push_back(cloneStmt(F->Body, R));
+    auto It = CallerRename.find(C->target());
+    Stmts.push_back(
+        make<AssignStmt>(It == CallerRename.end() ? C->target() : It->second,
+                         cloneExpr(F->Ret, R)));
+    return make<BlockStmt>(std::move(Stmts));
+  }
+
+  const Expr *cloneExpr(const Expr *E, const Rename &R) {
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      const auto &Name = cast<VarRefExpr>(E)->name();
+      auto It = R.find(Name);
+      return make<VarRefExpr>(It == R.end() ? Name : It->second);
+    }
+    case ExprKind::IntLit:
+      return make<IntLitExpr>(cast<IntLitExpr>(E)->value());
+    case ExprKind::Havoc:
+      // Havoc sites are renumbered densely in program order; each inlined
+      // copy is a fresh unknown-call site.
+      return make<HavocExpr>(NP.NumHavocs++);
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      return make<BinaryExpr>(B->op(), cloneExpr(B->lhs(), R),
+                              cloneExpr(B->rhs(), R));
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return nullptr;
+  }
+
+  const Pred *clonePred(const Pred *Pd, const Rename &R) {
+    switch (Pd->kind()) {
+    case PredKind::BoolLit:
+      return make<BoolLitPred>(cast<BoolLitPred>(Pd)->value());
+    case PredKind::Compare: {
+      const auto *C = cast<ComparePred>(Pd);
+      return make<ComparePred>(C->op(), cloneExpr(C->lhs(), R),
+                               cloneExpr(C->rhs(), R));
+    }
+    case PredKind::Logical: {
+      const auto *L = cast<LogicalPred>(Pd);
+      return make<LogicalPred>(L->isAnd(), clonePred(L->lhs(), R),
+                               clonePred(L->rhs(), R));
+    }
+    case PredKind::Not:
+      return make<NotPred>(clonePred(cast<NotPred>(Pd)->sub(), R));
+    }
+    assert(false && "unhandled predicate kind");
+    return nullptr;
+  }
+
+  const Stmt *cloneStmt(const Stmt *S, const Rename &R) {
+    if (failed())
+      return make<SkipStmt>();
+    switch (S->kind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(S);
+      auto It = R.find(A->var());
+      return make<AssignStmt>(It == R.end() ? A->var() : It->second,
+                              cloneExpr(A->value(), R));
+    }
+    case StmtKind::Skip:
+      return make<SkipStmt>();
+    case StmtKind::Assume:
+      return make<AssumeStmt>(clonePred(cast<AssumeStmt>(S)->cond(), R));
+    case StmtKind::Call:
+      return expandCall(cast<CallStmt>(S), R);
+    case StmtKind::Block: {
+      std::vector<const Stmt *> Stmts;
+      for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
+        Stmts.push_back(cloneStmt(Sub, R));
+      return make<BlockStmt>(std::move(Stmts));
+    }
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      return make<IfStmt>(clonePred(I->cond(), R), cloneStmt(I->thenStmt(), R),
+                          I->elseStmt() ? cloneStmt(I->elseStmt(), R)
+                                        : nullptr);
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      // Every copy is a fresh loop: fresh dense id, annotation cloned with
+      // the same renaming.
+      return make<WhileStmt>(NP.NumLoops++, clonePred(W->cond(), R),
+                             cloneStmt(W->body(), R),
+                             W->annot() ? clonePred(W->annot(), R) : nullptr);
+    }
+    }
+    assert(false && "unhandled statement kind");
+    return nullptr;
+  }
+};
+
+} // namespace
+
+InlineResult abdiag::lang::inlineCalls(const Program &P) {
+  Inliner I(P);
+  return I.run();
+}

@@ -1,0 +1,49 @@
+//===- lang/Inline.h - Whole-program call inlining --------------*- C++ -*-===//
+//
+// Part of the abdiag project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in lowering that expands every `CallStmt` into a renamed copy of the
+/// callee body — the representation the pipeline used before summary-based
+/// interprocedural analysis. Each call instance renames the callee's
+/// parameters and locals apart as `callee$<n>$var` ('$' cannot start a user
+/// identifier), assigns parameters from the (caller-scope) arguments,
+/// zero-initializes locals, and ends with an assignment of the renamed
+/// return expression to the call target. Loop and havoc sites are
+/// renumbered densely in program order so every inlined copy is a fresh
+/// abstraction site.
+///
+/// Recursion is not representable under inlining: a call to any function on
+/// a call-graph cycle fails with a diagnostic anchored at the call site.
+/// The default (summary) pipeline handles such calls instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ABDIAG_LANG_INLINE_H
+#define ABDIAG_LANG_INLINE_H
+
+#include "lang/Parser.h"
+
+namespace abdiag::lang {
+
+/// Result of inlining: either a call-free program or a diagnostic.
+struct InlineResult {
+  std::optional<Program> Prog;
+  Diag D;            ///< filled on failure
+  std::string Error; // rendered D; empty on success
+
+  bool ok() const { return Prog.has_value(); }
+};
+
+/// Expands every call in `P` (recursively) into inline copies. The result
+/// shares `P`'s arena but has no functions and no call statements; its
+/// NumLoops/NumHavocs are the global totals after expansion. Fails (with
+/// the call site's line/col) if any reachable call targets a recursive
+/// function.
+InlineResult inlineCalls(const Program &P);
+
+} // namespace abdiag::lang
+
+#endif // ABDIAG_LANG_INLINE_H

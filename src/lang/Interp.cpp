@@ -16,18 +16,32 @@ using namespace abdiag::lang;
 
 namespace {
 
+/// Havoc site id reported for frames outside the plan (inside recursive
+/// expansions): oracles treat out-of-range sites as the constant 0.
+constexpr uint32_t kUnplannedHavocSite = 0xFFFFFFFFu;
+
 struct Machine {
-  std::map<std::string, int64_t> Store;
+  const Program &Prog;
+  const CallPlan *Plan; // may be null
   std::map<uint32_t, std::map<std::string, int64_t>> LoopExits;
+  std::map<uint32_t, int64_t> CallReturns;
   std::map<uint32_t, uint64_t> HavocHits;
   const std::function<int64_t(uint32_t, uint64_t)> &Havoc;
   uint64_t Fuel;
   RunStatus Abort = RunStatus::CheckPassed; // sticky non-normal status
   bool Aborted = false;
 
-  explicit Machine(const std::function<int64_t(uint32_t, uint64_t)> &Havoc,
-                   uint64_t Fuel)
-      : Havoc(Havoc), Fuel(Fuel) {}
+  /// Current frame: the store of the executing function (or program body)
+  /// and its plan node. A null node marks an *unplanned* frame (inside a
+  /// recursive expansion): loops record no exits and havocs report the
+  /// sentinel site.
+  std::map<std::string, int64_t> *Store = nullptr;
+  const CallPlanNode *Node = nullptr;
+
+  Machine(const Program &Prog, const CallPlan *Plan,
+          const std::function<int64_t(uint32_t, uint64_t)> &Havoc,
+          uint64_t Fuel)
+      : Prog(Prog), Plan(Plan), Havoc(Havoc), Fuel(Fuel) {}
 
   void abort(RunStatus S) {
     if (!Aborted) {
@@ -41,8 +55,8 @@ struct Machine {
       return 0;
     switch (E->kind()) {
     case ExprKind::VarRef: {
-      auto It = Store.find(cast<VarRefExpr>(E)->name());
-      assert(It != Store.end() && "parser guarantees declared variables");
+      auto It = Store->find(cast<VarRefExpr>(E)->name());
+      assert(It != Store->end() && "parser guarantees declared variables");
       return It->second;
     }
     case ExprKind::IntLit:
@@ -63,8 +77,10 @@ struct Machine {
     }
     case ExprKind::Havoc: {
       const auto *H = cast<HavocExpr>(E);
-      uint64_t Hit = HavocHits[H->siteId()]++;
-      return Havoc ? Havoc(H->siteId(), Hit) : 0;
+      uint32_t Site =
+          Node ? Node->HavocBase + H->siteId() : kUnplannedHavocSite;
+      uint64_t Hit = HavocHits[Site]++;
+      return Havoc ? Havoc(Site, Hit) : 0;
     }
     }
     assert(false && "unhandled expression kind");
@@ -110,6 +126,62 @@ struct Machine {
     return false;
   }
 
+  void execCall(const CallStmt *C) {
+    const FunctionDef *F = Prog.function(C->callee());
+    assert(F && "calls resolved by parser validation");
+    std::vector<int64_t> ArgV;
+    ArgV.reserve(C->args().size());
+    for (const Expr *A : C->args())
+      ArgV.push_back(evalExpr(A));
+    if (Aborted)
+      return;
+
+    // Resolve the callee's plan node. Recursive callees (opaque nodes) and
+    // frames already outside the plan execute unplanned.
+    const CallPlanNode *Child = nullptr;
+    bool RecordReturn = false;
+    uint32_t ResultId = 0;
+    if (Node && Plan && C->siteId() < Node->Children.size()) {
+      const CallPlanNode &CN = Plan->Nodes[Node->Children[C->siteId()]];
+      if (CN.Opaque) {
+        RecordReturn = true;
+        ResultId = CN.CallResultId;
+      } else {
+        Child = &CN;
+      }
+    }
+    // Only unplanned entries can recurse (the expanded plan is a finite
+    // tree whose leaves are loop-free of further calls), so fuel is
+    // charged there to bound non-terminating recursion.
+    if (!Child) {
+      if (Fuel == 0) {
+        abort(RunStatus::OutOfFuel);
+        return;
+      }
+      --Fuel;
+    }
+
+    std::map<std::string, int64_t> CalleeStore;
+    for (size_t I = 0; I < F->Params.size(); ++I)
+      CalleeStore[F->Params[I]] = ArgV[I];
+    for (const std::string &L : F->Locals)
+      CalleeStore[L] = 0;
+
+    auto *SavedStore = Store;
+    const auto *SavedNode = Node;
+    Store = &CalleeStore;
+    Node = Child;
+    exec(F->Body);
+    int64_t Ret = Aborted ? 0 : evalExpr(F->Ret);
+    Store = SavedStore;
+    Node = SavedNode;
+    if (Aborted)
+      return;
+    if (RecordReturn)
+      CallReturns[ResultId] = Ret;
+    (*Store)[C->target()] = Ret;
+  }
+
   void exec(const Stmt *S) {
     if (Aborted)
       return;
@@ -118,7 +190,7 @@ struct Machine {
       const auto *A = cast<AssignStmt>(S);
       int64_t V = evalExpr(A->value());
       if (!Aborted)
-        Store[A->var()] = V;
+        (*Store)[A->var()] = V;
       return;
     }
     case StmtKind::Skip:
@@ -130,6 +202,9 @@ struct Machine {
     case StmtKind::Assume:
       if (!evalPred(cast<AssumeStmt>(S)->cond()))
         abort(RunStatus::AssumeViolated);
+      return;
+    case StmtKind::Call:
+      execCall(cast<CallStmt>(S));
       return;
     case StmtKind::If: {
       const auto *I = cast<IfStmt>(S);
@@ -149,8 +224,8 @@ struct Machine {
         --Fuel;
         exec(W->body());
       }
-      if (!Aborted)
-        LoopExits[W->loopId()] = Store;
+      if (!Aborted && Node)
+        LoopExits[Node->LoopBase + W->loopId()] = *Store;
       return;
     }
     }
@@ -162,13 +237,20 @@ struct Machine {
 
 RunResult abdiag::lang::runProgram(
     const Program &Prog, const std::vector<int64_t> &Inputs, uint64_t Fuel,
-    const std::function<int64_t(uint32_t, uint64_t)> &Havoc) {
+    const std::function<int64_t(uint32_t, uint64_t)> &Havoc,
+    const CallPlan *Plan) {
   assert(Inputs.size() == Prog.Params.size() && "wrong number of inputs");
-  Machine Mc(Havoc, Fuel);
+  Machine Mc(Prog, Plan, Havoc, Fuel);
+  // Without a plan the main body keeps its syntactic ids (identity bases);
+  // callee frames then run unplanned.
+  static const CallPlanNode IdentityRoot{};
+  std::map<std::string, int64_t> RootStore;
   for (size_t I = 0; I < Prog.Params.size(); ++I)
-    Mc.Store[Prog.Params[I]] = Inputs[I];
+    RootStore[Prog.Params[I]] = Inputs[I];
   for (const std::string &L : Prog.Locals)
-    Mc.Store[L] = 0;
+    RootStore[L] = 0;
+  Mc.Store = &RootStore;
+  Mc.Node = Plan ? &Plan->root() : &IdentityRoot;
   Mc.exec(Prog.Body);
   RunResult R;
   if (Mc.Aborted) {
@@ -177,7 +259,8 @@ RunResult abdiag::lang::runProgram(
     bool Ok = Mc.evalPred(Prog.Check);
     R.Status = Ok ? RunStatus::CheckPassed : RunStatus::CheckFailed;
   }
-  R.FinalStore = std::move(Mc.Store);
+  R.FinalStore = std::move(RootStore);
   R.LoopExitValues = std::move(Mc.LoopExits);
+  R.CallReturns = std::move(Mc.CallReturns);
   return R;
 }

@@ -16,6 +16,7 @@
 #define ABDIAG_LANG_INTERP_H
 
 #include "lang/Ast.h"
+#include "lang/CallPlan.h"
 
 #include <cstdint>
 #include <functional>
@@ -38,19 +39,33 @@ enum class RunStatus : uint8_t {
 struct RunResult {
   RunStatus Status = RunStatus::OutOfFuel;
   std::map<std::string, int64_t> FinalStore;
-  /// For each loop id, the values of all variables when the loop last
-  /// exited (i.e. the concrete counterpart of the alpha variables).
+  /// For each *global* loop id (per the run's CallPlan; identical to the
+  /// syntactic id for call-free programs), the values of the enclosing
+  /// frame's variables when the loop last exited (i.e. the concrete
+  /// counterpart of the alpha variables).
   std::map<uint32_t, std::map<std::string, int64_t>> LoopExitValues;
+  /// For each opaque plan node executed (recursive callee), the concrete
+  /// return value last produced, keyed by CallPlanNode::CallResultId —
+  /// the concrete counterpart of the analyzer's opaque call-result alphas.
+  std::map<uint32_t, int64_t> CallReturns;
 };
 
 /// Runs \p Prog on the given input values (one per parameter, in order).
-/// \p Fuel bounds the total number of loop iterations across the run.
-/// \p Havoc supplies values for havoc() sites (called with the site id and
-/// the number of times that site has been hit so far); defaults to 0.
+/// \p Fuel bounds the total number of loop iterations (plus entries into
+/// recursive calls) across the run.
+/// \p Havoc supplies values for havoc() sites (called with the *global*
+/// site id and the number of times that site has been hit so far);
+/// defaults to 0. Havoc sites in frames outside the plan (inside recursive
+/// expansions) report the sentinel id 0xFFFFFFFF.
+/// \p Plan maps function-local loop/havoc ids to global ids per call
+/// instance; when null, the main body uses its syntactic ids unchanged and
+/// every callee frame runs unplanned (executed, but with no loop-exit
+/// recording and sentinel havoc sites).
 RunResult
 runProgram(const Program &Prog, const std::vector<int64_t> &Inputs,
            uint64_t Fuel = 100000,
-           const std::function<int64_t(uint32_t, uint64_t)> &Havoc = {});
+           const std::function<int64_t(uint32_t, uint64_t)> &Havoc = {},
+           const CallPlan *Plan = nullptr);
 
 } // namespace abdiag::lang
 

@@ -4,21 +4,19 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Besides the Section 2 core, the parser supports non-recursive function
-// definitions:
+// Besides the Section 2 core, the parser supports function definitions:
 //
 //   function add(a, b) { var r; r = a + b; return r; }
 //   program main(x) { var y; y = add(x, 1); check(y > x); }
 //
-// Calls may appear as the right-hand side of an assignment and are inlined
-// at parse time: parameters and locals are renamed apart (with '$', which
-// cannot start a user identifier), loop and havoc sites get fresh ids per
-// call site, and the call becomes a block ending in an assignment of the
-// renamed return expression. The paper treats interprocedural analysis as
-// orthogonal (Section 2) and its implementation handles calls via
-// summaries; inlining preserves the semantics for non-recursive programs
-// while requiring no changes downstream. Functions must be defined before
-// use, which also rules out (direct and mutual) recursion.
+// Calls may appear as the right-hand side of an assignment and are kept as
+// first-class `CallStmt` nodes; the symbolic analysis instantiates one
+// α-abstracted summary per call site (the paper's Section 5 implementation
+// note), and `lang/Inline.h` offers the old whole-program inlining as an
+// opt-in lowering. Functions may be defined in any order and may be
+// (mutually) recursive; post-parse validation resolves every call, rejects
+// undefined callees and arity mismatches with the call's source position,
+// and marks call-graph cycles on `FunctionDef::Recursive`.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,14 +36,6 @@ using namespace abdiag::lang;
 
 namespace {
 
-/// A parsed function body, kept for inlining.
-struct FunctionDecl {
-  std::vector<std::string> Params;
-  std::vector<std::string> Locals;
-  std::vector<const Stmt *> Body;
-  const Expr *Ret = nullptr;
-};
-
 class Parser {
   std::vector<Token> Toks;
   size_t Pos = 0;
@@ -53,13 +43,10 @@ class Parser {
   Diag D;
   std::string Error;
   std::set<std::string> Declared; // current scope (function or program)
-  std::map<std::string, FunctionDecl> Functions;
-  uint32_t InlineCounter = 0;
-  /// Inside a function body, loop/havoc ids come from scratch counters:
-  /// real ids are allocated per inlined copy, so the template's own ids
-  /// must not leak into the program's counters.
-  bool InFunction = false;
-  uint32_t ScratchLoops = 0, ScratchHavocs = 0;
+  /// Function currently being parsed; null in the program body. Loop,
+  /// havoc and call-site ids are local to the enclosing function (or to
+  /// the program body), so counters live on the definition itself.
+  FunctionDef *CurF = nullptr;
 
 public:
   explicit Parser(std::string_view Src) : Toks(tokenize(Src)) {}
@@ -83,6 +70,8 @@ public:
     }
     if (!failed() && !SawProgram)
       fail("no program definition found");
+    if (!failed())
+      validateCalls();
     ParseResult R;
     if (Error.empty())
       R.Prog = std::move(P);
@@ -100,11 +89,16 @@ private:
   bool failed() const { return !Error.empty(); }
 
   void fail(const std::string &Msg) {
+    failAt(Msg + " (found " + tokKindName(cur().Kind) + ")", cur().Line,
+           cur().Col);
+  }
+
+  void failAt(const std::string &Msg, uint32_t Line, uint32_t Col) {
     if (!Error.empty())
       return;
-    D.Message = Msg + " (found " + tokKindName(cur().Kind) + ")";
-    D.Line = cur().Line;
-    D.Col = cur().Col;
+    D.Message = Msg;
+    D.Line = Line;
+    D.Col = Col;
     Error = D.render();
   }
 
@@ -171,24 +165,29 @@ private:
   void parseFunction() {
     eat(TokKind::KwFunction, "to start a function");
     Token Name = eat(TokKind::Ident, "as the function name");
-    if (Functions.count(Name.Text)) {
+    if (P.function(Name.Text)) {
       fail("duplicate function '" + Name.Text + "'");
       return;
     }
     Declared.clear();
-    InFunction = true;
-    FunctionDecl F;
+    FunctionDef F;
+    F.Name = Name.Text;
+    F.Line = Name.Line;
+    F.Col = Name.Col;
+    CurF = &F;
     parseHeader(F.Params);
     parseVarDecls(F.Locals);
+    std::vector<const Stmt *> Body;
     while (!failed() && !at(TokKind::KwReturn) && !at(TokKind::Eof))
-      F.Body.push_back(parseStmt());
+      Body.push_back(parseStmt());
+    F.Body = make<BlockStmt>(std::move(Body));
     eat(TokKind::KwReturn, "(every function ends with one return)");
     F.Ret = parseExpr();
     eat(TokKind::Semi, "after return expression");
     eat(TokKind::RBrace, "to close the function body");
-    InFunction = false;
+    CurF = nullptr;
     if (!failed())
-      Functions.emplace(Name.Text, std::move(F));
+      P.Functions.push_back(std::move(F));
   }
 
   void parseProgramDecl() {
@@ -243,7 +242,7 @@ private:
     }
     case TokKind::KwWhile: {
       ++Pos;
-      uint32_t LoopId = InFunction ? ScratchLoops++ : P.NumLoops++;
+      uint32_t LoopId = CurF ? CurF->NumLoops++ : P.NumLoops++;
       eat(TokKind::LParen, "after 'while'");
       const Pred *C = parsePred();
       eat(TokKind::RParen, "after while condition");
@@ -264,10 +263,11 @@ private:
         return make<SkipStmt>();
       }
       eat(TokKind::Assign, "in assignment");
-      // Function call as the full right-hand side?
-      if (at(TokKind::Ident) && peek().Kind == TokKind::LParen &&
-          Functions.count(cur().Text))
-        return parseCallAssign(Name.Text);
+      // Function call as the full right-hand side? Callees may be defined
+      // later in the file (forward reference), so any `ident (` here is a
+      // call; undefined callees are diagnosed by post-parse validation.
+      if (at(TokKind::Ident) && peek().Kind == TokKind::LParen)
+        return parseCallStmt(Name.Text);
       const Expr *E = parseExpr();
       eat(TokKind::Semi, "after assignment");
       return make<AssignStmt>(Name.Text, E);
@@ -287,14 +287,9 @@ private:
     return make<BlockStmt>(std::move(Stmts));
   }
 
-  //===--------------------------------------------------------------------===//
-  // Call inlining
-  //===--------------------------------------------------------------------===//
-
-  /// Parses `f(e1, ..., ek);` after `target =` and inlines the body.
-  const Stmt *parseCallAssign(const std::string &Target) {
+  /// Parses `f(e1, ..., ek);` after `target =` into a CallStmt.
+  const Stmt *parseCallStmt(const std::string &Target) {
     Token Name = eat(TokKind::Ident, "as the callee");
-    const FunctionDecl &F = Functions.at(Name.Text);
     eat(TokKind::LParen, "after callee name");
     std::vector<const Expr *> Args;
     if (!at(TokKind::RParen)) {
@@ -307,120 +302,98 @@ private:
         "after call (calls must be the entire right-hand side)");
     if (failed())
       return make<SkipStmt>();
-    if (Args.size() != F.Params.size()) {
-      fail("call to '" + Name.Text + "' with " + std::to_string(Args.size()) +
-           " argument(s), expected " + std::to_string(F.Params.size()));
-      return make<SkipStmt>();
-    }
-
-    // Rename callee variables apart: f$<n>$v ('$' cannot start a user
-    // identifier, so no collisions).
-    uint32_t Instance = ++InlineCounter;
-    std::map<std::string, std::string> Rename;
-    auto Renamed = [&](const std::string &V) {
-      return Name.Text + "$" + std::to_string(Instance) + "$" + V;
-    };
-    std::vector<const Stmt *> Stmts;
-    for (size_t I = 0; I < F.Params.size(); ++I) {
-      Rename[F.Params[I]] = Renamed(F.Params[I]);
-      P.Locals.push_back(Rename[F.Params[I]]);
-      Stmts.push_back(make<AssignStmt>(Rename[F.Params[I]], Args[I]));
-    }
-    for (const std::string &L : F.Locals) {
-      Rename[L] = Renamed(L);
-      P.Locals.push_back(Rename[L]);
-      // Locals start at zero in the callee as well.
-      Stmts.push_back(make<AssignStmt>(Rename[L], make<IntLitExpr>(0)));
-    }
-    for (const Stmt *S : F.Body)
-      Stmts.push_back(cloneStmt(S, Rename));
-    Stmts.push_back(make<AssignStmt>(Target, cloneExpr(F.Ret, Rename)));
-    return make<BlockStmt>(std::move(Stmts));
+    uint32_t SiteId = CurF ? CurF->NumCallSites++ : P.NumCallSites++;
+    return make<CallStmt>(Target, Name.Text, std::move(Args), SiteId,
+                          Name.Line, Name.Col);
   }
 
-  const Expr *cloneExpr(const Expr *E,
-                        const std::map<std::string, std::string> &Rename) {
-    switch (E->kind()) {
-    case ExprKind::VarRef: {
-      const auto &Name = cast<VarRefExpr>(E)->name();
-      auto It = Rename.find(Name);
-      return make<VarRefExpr>(It == Rename.end() ? Name : It->second);
-    }
-    case ExprKind::IntLit:
-      return make<IntLitExpr>(cast<IntLitExpr>(E)->value());
-    case ExprKind::Havoc:
-      // Each inlined copy is a fresh unknown-call site.
-      return make<HavocExpr>(P.NumHavocs++);
-    case ExprKind::Binary: {
-      const auto *B = cast<BinaryExpr>(E);
-      return make<BinaryExpr>(B->op(), cloneExpr(B->lhs(), Rename),
-                              cloneExpr(B->rhs(), Rename));
-    }
-    }
-    assert(false && "unhandled expression kind");
-    return nullptr;
-  }
+  //===--------------------------------------------------------------------===//
+  // Post-parse call validation
+  //===--------------------------------------------------------------------===//
 
-  const Pred *clonePred(const Pred *Pd,
-                        const std::map<std::string, std::string> &Rename) {
-    switch (Pd->kind()) {
-    case PredKind::BoolLit:
-      return make<BoolLitPred>(cast<BoolLitPred>(Pd)->value());
-    case PredKind::Compare: {
-      const auto *C = cast<ComparePred>(Pd);
-      return make<ComparePred>(C->op(), cloneExpr(C->lhs(), Rename),
-                               cloneExpr(C->rhs(), Rename));
-    }
-    case PredKind::Logical: {
-      const auto *L = cast<LogicalPred>(Pd);
-      return make<LogicalPred>(L->isAnd(), clonePred(L->lhs(), Rename),
-                               clonePred(L->rhs(), Rename));
-    }
-    case PredKind::Not:
-      return make<NotPred>(clonePred(cast<NotPred>(Pd)->sub(), Rename));
-    }
-    assert(false && "unhandled predicate kind");
-    return nullptr;
-  }
-
-  const Stmt *cloneStmt(const Stmt *S,
-                        const std::map<std::string, std::string> &Rename) {
+  static void collectCalls(const Stmt *S, std::vector<const CallStmt *> &Out) {
     switch (S->kind()) {
-    case StmtKind::Assign: {
-      const auto *A = cast<AssignStmt>(S);
-      auto It = Rename.find(A->var());
-      return make<AssignStmt>(It == Rename.end() ? A->var() : It->second,
-                              cloneExpr(A->value(), Rename));
-    }
-    case StmtKind::Skip:
-      return make<SkipStmt>();
-    case StmtKind::Assume:
-      return make<AssumeStmt>(clonePred(cast<AssumeStmt>(S)->cond(), Rename));
-    case StmtKind::Block: {
-      std::vector<const Stmt *> Stmts;
+    case StmtKind::Call:
+      Out.push_back(cast<CallStmt>(S));
+      return;
+    case StmtKind::Block:
       for (const Stmt *Sub : cast<BlockStmt>(S)->stmts())
-        Stmts.push_back(cloneStmt(Sub, Rename));
-      return make<BlockStmt>(std::move(Stmts));
-    }
+        collectCalls(Sub, Out);
+      return;
     case StmtKind::If: {
       const auto *I = cast<IfStmt>(S);
-      return make<IfStmt>(clonePred(I->cond(), Rename),
-                          cloneStmt(I->thenStmt(), Rename),
-                          I->elseStmt() ? cloneStmt(I->elseStmt(), Rename)
-                                        : nullptr);
+      collectCalls(I->thenStmt(), Out);
+      if (I->elseStmt())
+        collectCalls(I->elseStmt(), Out);
+      return;
     }
-    case StmtKind::While: {
-      const auto *W = cast<WhileStmt>(S);
-      // Every inlined copy is a fresh loop: fresh id, and the annotation is
-      // cloned with the same renaming.
-      return make<WhileStmt>(P.NumLoops++, clonePred(W->cond(), Rename),
-                             cloneStmt(W->body(), Rename),
-                             W->annot() ? clonePred(W->annot(), Rename)
-                                        : nullptr);
+    case StmtKind::While:
+      collectCalls(cast<WhileStmt>(S)->body(), Out);
+      return;
+    case StmtKind::Assign:
+    case StmtKind::Skip:
+    case StmtKind::Assume:
+      return;
     }
+  }
+
+  /// Resolves every call site (undefined callee / arity, diagnosed at the
+  /// call's own position) and marks call-graph cycles: `F.Recursive` holds
+  /// iff F can reach itself through one or more call edges.
+  void validateCalls() {
+    std::map<std::string, size_t> Index;
+    for (size_t I = 0; I < P.Functions.size(); ++I)
+      Index[P.Functions[I].Name] = I;
+
+    std::vector<std::set<size_t>> Callees(P.Functions.size());
+    auto Check = [&](const Stmt *Body, std::set<size_t> *Edges) {
+      std::vector<const CallStmt *> Calls;
+      collectCalls(Body, Calls);
+      for (const CallStmt *C : Calls) {
+        auto It = Index.find(C->callee());
+        if (It == Index.end()) {
+          failAt("call to undefined function '" + C->callee() + "'", C->line(),
+                 C->col());
+          return;
+        }
+        const FunctionDef &F = P.Functions[It->second];
+        if (C->args().size() != F.Params.size()) {
+          failAt("call to '" + C->callee() + "' with " +
+                     std::to_string(C->args().size()) +
+                     " argument(s), expected " +
+                     std::to_string(F.Params.size()),
+                 C->line(), C->col());
+          return;
+        }
+        if (Edges)
+          Edges->insert(It->second);
+      }
+    };
+    for (size_t I = 0; I < P.Functions.size() && !failed(); ++I)
+      Check(P.Functions[I].Body, &Callees[I]);
+    if (!failed())
+      Check(P.Body, nullptr);
+    if (failed())
+      return;
+
+    // A function is recursive iff it reaches itself in the call graph.
+    for (size_t I = 0; I < P.Functions.size(); ++I) {
+      std::set<size_t> Seen;
+      std::vector<size_t> Work(Callees[I].begin(), Callees[I].end());
+      bool Cycle = false;
+      while (!Work.empty() && !Cycle) {
+        size_t N = Work.back();
+        Work.pop_back();
+        if (N == I) {
+          Cycle = true;
+          break;
+        }
+        if (!Seen.insert(N).second)
+          continue;
+        Work.insert(Work.end(), Callees[N].begin(), Callees[N].end());
+      }
+      P.Functions[I].Recursive = Cycle;
     }
-    assert(false && "unhandled statement kind");
-    return nullptr;
   }
 
   //===--------------------------------------------------------------------===//
@@ -557,7 +530,7 @@ private:
     }
     case TokKind::Ident: {
       Token T = cur();
-      if (peek().Kind == TokKind::LParen && Functions.count(T.Text)) {
+      if (peek().Kind == TokKind::LParen) {
         fail("calls are only allowed as the right-hand side of an "
              "assignment: v = " +
              T.Text + "(...)");
@@ -574,7 +547,7 @@ private:
       ++Pos;
       eat(TokKind::LParen, "after 'havoc'");
       eat(TokKind::RParen, "after 'havoc('");
-      return make<HavocExpr>(InFunction ? ScratchHavocs++ : P.NumHavocs++);
+      return make<HavocExpr>(CurF ? CurF->NumHavocs++ : P.NumHavocs++);
     }
     case TokKind::LParen: {
       ++Pos;

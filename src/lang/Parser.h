@@ -47,11 +47,16 @@ struct ParseResult {
 ///   program := 'program' NAME '(' params ')' '{'
 ///                ('var' idents ';')* stmt* 'check' '(' pred ')' ';' '}'
 ///
-/// Statements: `v = e;`, `v = f(args);` (call, inlined at parse time),
+/// Statements: `v = e;`, `v = f(args);` (first-class call statement),
 /// `skip;`, `assume(p);`, `if (p) block [else block]`,
 /// `while (p) block ['@' '[' p' ']']`. Undeclared variables, duplicate
-/// declarations, recursive/undefined calls and a missing final check are
-/// parse errors.
+/// declarations, undefined callees, arity mismatches and a missing final
+/// check are parse errors (call errors carry the call site's line/col).
+/// Functions may be defined in any order and may be (mutually) recursive;
+/// cycles are marked on `FunctionDef::Recursive`. The symbolic analysis
+/// instantiates per-call-site summaries; `lang/Inline.h` offers the
+/// legacy whole-program inlining (which rejects recursion) as an opt-in
+/// lowering pass.
 ParseResult parseProgram(std::string_view Source);
 
 /// Convenience: parse from a file on disk.

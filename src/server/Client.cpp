@@ -109,6 +109,7 @@ bool ReplayClient::run(const std::vector<ReplayItem> &Items,
     return Items[Index].Session.empty() ? "s" + std::to_string(Index)
                                         : Items[Index].Session;
   };
+  bool NotifiedAllSubmitted = false;
   auto TopUp = [&]() -> bool {
     while (NextItem < Items.size() && InFlight.size() < Opts.MaxInFlight) {
       std::string Id = SessionId(NextItem);
@@ -121,6 +122,11 @@ bool ReplayClient::run(const std::vector<ReplayItem> &Items,
         return false;
       L.LastSend = std::chrono::steady_clock::now();
       ++NextItem;
+    }
+    if (NextItem == Items.size() && !NotifiedAllSubmitted) {
+      NotifiedAllSubmitted = true;
+      if (Opts.OnAllSubmitted)
+        Opts.OnAllSubmitted();
     }
     return true;
   };

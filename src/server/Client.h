@@ -28,6 +28,7 @@
 #include "server/Protocol.h"
 #include "support/Socket.h"
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -56,6 +57,12 @@ struct ReplayOptions {
   std::string Tenant;
   /// Record per-frame round-trip times (for the load harness).
   bool RecordRtt = false;
+  /// Invoked once, right after the last item has been submitted and before
+  /// the frame that follows it is read. The load harness uses this as a
+  /// cross-connection barrier: no connection starts answering until every
+  /// connection has submitted its whole partition, which pins the daemon's
+  /// open-session high-water mark at exactly the session count.
+  std::function<void()> OnAllSubmitted;
 };
 
 /// What one session came back with.

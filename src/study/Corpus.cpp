@@ -4,12 +4,16 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Candidate programs are rendered from four cause-specific templates, each
+// Candidate programs are rendered from six cause-specific templates, each
 // able to target either classification, braided with deterministic filler
-// (straight-line arithmetic, branches, soundly-annotated bounded loops, and
-// helper functions that exercise parse-time inlining). Certification then
-// re-runs the exact bar the hand-written suite is held to; rejected
-// candidates are resampled from the next attempt's seed.
+// (straight-line arithmetic, branches, soundly-annotated bounded loops --
+// optionally nested -- and helper functions that exercise the
+// interprocedural summary path). Certification then re-runs the exact bar
+// the hand-written suite is held to; rejected candidates are resampled from
+// the next attempt's seed. The UnknownAnswer cause adds a third bar: a
+// diagnosis dry-run against the concrete oracle must produce at least one
+// "unknown" answer and still reach the certified verdict, guaranteeing the
+// Section 5 potential-set path is exercised.
 //
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +45,10 @@ const char *study::causeName(ReportCause C) {
     return "non_linear_arithmetic";
   case ReportCause::EnvironmentFact:
     return "environment_fact";
+  case ReportCause::SummarizedCall:
+    return "summarized_call";
+  case ReportCause::UnknownAnswer:
+    return "unknown_answer";
   }
   return "unknown";
 }
@@ -55,6 +63,10 @@ const char *study::causeToken(ReportCause C) {
     return "nonlinear";
   case ReportCause::EnvironmentFact:
     return "envfact";
+  case ReportCause::SummarizedCall:
+    return "call";
+  case ReportCause::UnknownAnswer:
+    return "dontknow";
   }
   return "unknown";
 }
@@ -75,6 +87,7 @@ CauseStats &CauseStats::operator+=(const CauseStats &O) {
   RejectedTruth += O.RejectedTruth;
   RejectedNoRuns += O.RejectedNoRuns;
   RejectedParse += O.RejectedParse;
+  RejectedDryRun += O.RejectedDryRun;
   return *this;
 }
 
@@ -167,11 +180,30 @@ private:
       }
       ++LoopsUsed;
       // A bounded counting loop with a sound, *precise* postcondition so
-      // filler adds loop structure without adding new imprecision.
+      // filler adds loop structure without adding new imprecision. With
+      // MaxLoopDepth >= 2 a bounded inner loop over a second temporary may
+      // nest inside; its counter is pinned by the outer postcondition so
+      // nesting stays imprecision-free too.
       std::string Bound = num(R.range(1, 4));
-      Out = "  " + T + " = 0;\n  while (" + T + " < " + Bound + ") { " + T +
-            " = " + T + " + 1; } @ [" + T + " >= " + Bound + " && " + T +
-            " <= " + Bound + "]\n";
+      std::string Inner;
+      std::string Post =
+          T + " >= " + Bound + " && " + T + " <= " + Bound;
+      if (K.MaxLoopDepth >= 2 && R.chance(0.5)) {
+        std::string U = target();
+        if (U != T) {
+          std::string IB = num(R.range(1, 3));
+          Inner = U + " = 0; while (" + U + " < " + IB + ") { " + U + " = " +
+                  U + " + 1; } @ [" + U + " >= " + IB + " && " + U + " <= " +
+                  IB + "] ";
+          // The outer loop body runs Bound >= 1 times, so U == IB on exit.
+          Post += " && " + U + " >= " + IB + " && " + U + " <= " + IB;
+          if (std::find(Readable.begin(), Readable.end(), U) ==
+              Readable.end())
+            Readable.push_back(U);
+        }
+      }
+      Out = "  " + T + " = 0;\n  while (" + T + " < " + Bound + ") { " +
+            Inner + T + " = " + T + " + 1; } @ [" + Post + "]\n";
       break;
     }
     default: {
@@ -179,8 +211,9 @@ private:
         Out = "  " + T + " = " + linExpr() + ";\n";
         break;
       }
-      // A helper function, inlined at parse time: the call-free vs.
-      // inlined dimension of the corpus.
+      // A helper function -- analyzed once via its summary (or inlined
+      // under Options::InlineCalls): the call-free vs. interprocedural
+      // dimension of the corpus.
       std::string H = "h" + std::to_string(HelpersUsed++);
       Helpers.push_back("function " + H + "(u, w) {\n  var t;\n  t = u + " +
                         num(R.range(-2, 3)) + " * w;\n  return t + " +
@@ -213,6 +246,7 @@ std::string join(const std::vector<std::string> &Parts, const char *Sep) {
 struct Candidate {
   std::vector<std::string> Params;
   std::vector<std::string> CoreVars;
+  std::string Funcs;   ///< cause-specific function definitions (may be empty)
   std::string Assumes; ///< statements emitted before everything else
   std::string Core;    ///< the cause-specific statements
   std::string Check;   ///< the final check predicate
@@ -234,6 +268,7 @@ std::string assemble(Rng &R, const std::string &Name, const CorpusKnobs &K,
   std::string S;
   for (const std::string &H : F.helpers())
     S += H;
+  S += C.Funcs;
   S += "program " + Name + "(" + join(C.Params, ", ") + ") {\n";
   S += "  var " + join(Vars, ", ") + ";\n";
   S += C.Assumes;
@@ -364,6 +399,77 @@ Candidate emitEnvironmentFact(Rng &R, bool WantBug) {
   return C;
 }
 
+/// Summarized call: the imprecision lives in a *callee* -- an accumulator
+/// loop whose annotation keeps the counter but forgets the sum -- analyzed
+/// once via its function summary and instantiated at one or two first-class
+/// call sites. The two-call shapes relate the results of both
+/// instantiations (truth: acc(n + d) - acc(n) == Step * d).
+Candidate emitSummarizedCall(Rng &R, bool WantBug) {
+  Candidate C;
+  C.Params = {"n"};
+  C.CoreVars = {"a"};
+  int64_t Base = R.range(0, 3);
+  int64_t Step = R.range(1, 3);
+  std::string Ann = R.chance(0.5) ? "k >= 0 && k >= m" : "k >= m";
+  C.Funcs = "function acc(m) {\n  var k, s;\n  k = 0;\n  s = " + num(Base) +
+            ";\n  while (k < m) { k = k + 1; s = s + " + num(Step) +
+            "; } @ [" + Ann + "]\n  return s;\n}\n";
+  C.Assumes = "  assume(n >= 0);\n";
+  if (R.chance(0.5)) {
+    // Two instantiations of the same summary, compared against each other.
+    C.CoreVars.push_back("b");
+    int64_t D = R.range(1, 3);
+    C.Core = "  a = acc(n);\n  b = acc(n + " + num(D) + ");\n";
+    // Truth: b - a == Step * D > 0, so b >= a always holds and a >= b
+    // fails on every run.
+    C.Check = WantBug ? "a >= b" : "b >= a";
+  } else {
+    C.Core = "  a = acc(n);\n";
+    // Truth: a == Base + Step * n >= Base, with equality exactly at n == 0.
+    C.Check = "a >= " + num(WantBug ? Base + 1 : Base);
+  }
+  return C;
+}
+
+/// Unknown answerer: a loop guarded by a condition no in-box input reaches,
+/// so its loop-exit alphas are defined in *no* concrete run and every
+/// oracle query touching them comes back "unknown" (Section 5). Under the
+/// Definition 9 cost model, proof obligations price abstraction variables
+/// at 1, so the cold alphas are where the abducer looks first. The alarm
+/// variant's check reads the cold accumulator directly: the don't-know
+/// answers land in the potential sets, which steer later abductions to the
+/// decidable guard over the parameters. The bug variant routes the failure
+/// through an un-annotated havoc, so no input-only failure witness exists
+/// and the (alpha-cheap) proof obligation is asked -- and answered
+/// "unknown" -- before the havoc witness validates the bug.
+Candidate emitUnknownAnswer(Rng &R, bool WantBug) {
+  Candidate C;
+  C.Params = {"n", "m"};
+  C.CoreVars = {"j", "t"};
+  // The certification box keeps |n| + |m| <= 16, so the guard never fires
+  // concretely but stays symbolically satisfiable.
+  int64_t Thresh = R.range(20, 40);
+  C.Assumes = "  assume(n >= 0);\n  assume(m >= 0);\n";
+  std::string Cold = "  j = 0;\n  if (n + m > " + num(Thresh) +
+                     ") {\n    t = 0;\n    while (t < n) { t = t + 1; j = j "
+                     "+ 1; } @ [t >= n]\n  }\n";
+  if (WantBug) {
+    // In-box runs keep j == 0, so the check fails exactly when the havoc
+    // reading is small enough -- a condition no input-only witness can
+    // express.
+    C.CoreVars.push_back("h");
+    int64_t K = R.range(1, 3);
+    C.Core = "  h = havoc();\n" + Cold;
+    C.Check = "h + j >= " + num(K);
+  } else {
+    // j is 0 in-box (and j == n > Thresh - m >= 0 if the branch ever
+    // fired), so the check never fails.
+    C.Core = Cold;
+    C.Check = "j + " + num(R.range(0, 2)) + " >= 0";
+  }
+  return C;
+}
+
 std::string renderCandidate(Rng &R, const std::string &Name, ReportCause Cause,
                             bool WantBug, const CorpusKnobs &Knobs) {
   Candidate C;
@@ -379,6 +485,12 @@ std::string renderCandidate(Rng &R, const std::string &Name, ReportCause Cause,
     break;
   case ReportCause::EnvironmentFact:
     C = emitEnvironmentFact(R, WantBug);
+    break;
+  case ReportCause::SummarizedCall:
+    C = emitSummarizedCall(R, WantBug);
+    break;
+  case ReportCause::UnknownAnswer:
+    C = emitUnknownAnswer(R, WantBug);
     break;
   }
   return assemble(R, Name, Knobs, C);
@@ -467,6 +579,23 @@ CorpusProgram CorpusGenerator::generate(size_t Index) {
     if (Truth->anyFailingRun() != WantBug) {
       ++CS.RejectedTruth;
       continue;
+    }
+    // Certification bar 3 (UnknownAnswer only): a diagnosis dry-run against
+    // the concrete oracle must hit the Section 5 path -- at least one
+    // "unknown" answer -- and still reach the certified verdict through the
+    // potential sets.
+    if (Cause == ReportCause::UnknownAnswer) {
+      core::DiagnosisResult Dry = D.diagnose(*Truth);
+      bool SawUnknown = false;
+      for (const core::QueryRecord &Q : Dry.Transcript)
+        if (Q.Ans == core::Oracle::Answer::Unknown)
+          SawUnknown = true;
+      if (!SawUnknown ||
+          Dry.Outcome != (WantBug ? core::DiagnosisOutcome::Validated
+                                  : core::DiagnosisOutcome::Discharged)) {
+        ++CS.RejectedDryRun;
+        continue;
+      }
     }
 
     ++CS.Accepted;

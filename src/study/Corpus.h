@@ -51,9 +51,16 @@ enum class ReportCause : uint8_t {
   MissingAnnotation,   ///< un-annotated library call (havoc) flows to check
   NonLinearArithmetic, ///< product abstracted by an alpha variable
   EnvironmentFact,     ///< check depends on an environment-supplied range
+  SummarizedCall,      ///< imprecision lives in a callee analyzed via its
+                       ///< function summary (interprocedural)
+  UnknownAnswer,       ///< a cold branch's loop-exit alpha is defined in no
+                       ///< concrete run, so the oracle answers "unknown"
+                       ///< (Section 5 potential-set path); certification
+                       ///< additionally dry-runs the diagnosis and requires
+                       ///< at least one unknown answer plus the right verdict
 };
 
-inline constexpr size_t NumReportCauses = 4;
+inline constexpr size_t NumReportCauses = 6;
 
 /// Stable manifest spelling ("imprecise_invariant", ...).
 const char *causeName(ReportCause C);
@@ -70,8 +77,11 @@ struct CorpusKnobs {
   int MaxExtraLoops = 1;   ///< cap on *bounded* filler loops (soundly annotated)
   int MaxExtraVars = 4;    ///< filler temporaries beyond the template's core
   int MaxInlineDepth = 1;  ///< >0: some filler flows through helper functions
-                           ///< (inlined at parse time -- the call-free/inlined
-                           ///< dimension of the corpus)
+                           ///< (analyzed via summaries by default, or inlined
+                           ///< under Options::InlineCalls -- the call-free vs.
+                           ///< interprocedural dimension of the corpus)
+  int MaxLoopDepth = 1;    ///< >1: filler loops may nest bounded inner loops
+                           ///< to this depth (each level soundly annotated)
 };
 
 /// One accepted, certified program.
@@ -95,6 +105,9 @@ struct CauseStats {
   size_t RejectedTruth = 0;    ///< oracle ground truth != declared class
   size_t RejectedNoRuns = 0;   ///< assumes filtered out every concrete run
   size_t RejectedParse = 0;    ///< template emitted an unparsable candidate
+  size_t RejectedDryRun = 0;   ///< diagnosis dry-run missed the required
+                               ///< verdict or unknown answers (UnknownAnswer
+                               ///< cause only)
 
   double acceptanceRate() const {
     return Candidates ? static_cast<double>(Accepted) / Candidates : 0.0;

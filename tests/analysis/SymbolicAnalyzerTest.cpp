@@ -250,4 +250,90 @@ program p(n) {
   EXPECT_EQ(describeVar(R, M.vars(), Ai), "the value of i after loop 1");
 }
 
+TEST_F(AnalyzerTest, SharedCalleeAnalyzedOnceInstantiatedPerSite) {
+  // Two call sites to one callee: the summary is computed once and
+  // instantiated twice, and each instantiation gets its own loop-exit
+  // alpha (distinct global loop ids from the call plan).
+  Program P = parse(R"(
+function count(n) {
+  var k;
+  k = 0;
+  while (k < n) { k = k + 1; } @ [k >= 0]
+  return k;
+}
+program p(a, b) {
+  var x, y;
+  x = count(a);
+  y = count(b);
+  check(x + y >= 0);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  EXPECT_EQ(R.SummariesComputed, 1u);
+  EXPECT_EQ(R.SummariesInstantiated, 2u);
+  EXPECT_EQ(R.OpaqueCallResults, 0u);
+  ASSERT_EQ(R.LoopExitVars.size(), 2u);
+  std::vector<VarId> Alphas;
+  for (const auto &[Key, V] : R.LoopExitVars) {
+    EXPECT_EQ(Key.second, "k");
+    EXPECT_EQ(R.Origins.at(V).K, VarOrigin::Kind::LoopExit);
+    Alphas.push_back(V);
+  }
+  EXPECT_NE(Alphas[0], Alphas[1]);
+}
+
+TEST_F(AnalyzerTest, SummaryInstantiationExactOnLoopFreeCallee) {
+  // A loop-free callee introduces no abstraction, so summary substitution
+  // must keep the analysis exact: the success condition over concrete
+  // inputs agrees with the interpreter at every point.
+  Program P = parse(R"(
+function clamp(v) {
+  var r;
+  r = v;
+  if (r < 0) { r = 0 - r; } else { skip; }
+  return r;
+}
+program p(a, b) {
+  var x, y;
+  x = clamp(a);
+  y = clamp(b - 3);
+  check(x + y != 5);
+}
+)");
+  AnalysisResult R = analyzeProgram(P, S);
+  ASSERT_TRUE(R.Invariants->isTrue());
+  EXPECT_EQ(R.SummariesInstantiated, 2u);
+  VarId A = R.InputVars.at("a"), B = R.InputVars.at("b");
+  for (int64_t VA = -6; VA <= 6; ++VA)
+    for (int64_t VB = -4; VB <= 9; ++VB) {
+      bool Sym = evaluate(R.SuccessCondition, [&](VarId V) {
+        return V == A ? VA : (V == B ? VB : 0);
+      });
+      bool Conc = runProgram(P, {VA, VB}).Status == RunStatus::CheckPassed;
+      ASSERT_EQ(Sym, Conc) << "a=" << VA << " b=" << VB;
+    }
+}
+
+TEST_F(AnalyzerTest, RecursiveCallModeledByOpaqueCallResult) {
+  Program P = parse(R"(
+function dec(n) {
+  var r;
+  if (n <= 0) { r = 0; } else { r = dec(n - 1); }
+  return r;
+}
+program p(n) {
+  var y;
+  y = dec(n);
+  check(y >= 0);
+}
+)");
+  ASSERT_TRUE(P.Functions[0].Recursive);
+  AnalysisResult R = analyzeProgram(P, S);
+  EXPECT_EQ(R.OpaqueCallResults, 1u);
+  ASSERT_EQ(R.CallResultVars.size(), 1u);
+  VarId Alpha = R.CallResultVars.begin()->second;
+  EXPECT_EQ(R.Origins.at(Alpha).K, VarOrigin::Kind::CallResult);
+  EXPECT_EQ(R.Origins.at(Alpha).ProgVar, "dec");
+}
+
 } // namespace

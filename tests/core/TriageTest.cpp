@@ -268,4 +268,102 @@ TEST(TriageTest, ManifestIngestionMatchesCertifiedClassifications) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST(TriageTest, UnknownInjectionIsDeterministicAtJobsOne) {
+  // Injection keys on (report name, per-report query index), never on
+  // wall clock or PRNG state: two serial runs of the same corpus must be
+  // byte-equal down to the per-report unknown counts and potential lists,
+  // and a parallel run must land on the same verdicts. (Only verdicts are
+  // compared across jobs levels: with more workers, dynamic
+  // report-to-worker assignment changes which warm per-worker solver
+  // caches serve which report, which can legally reshape the query
+  // sequence of an individual report -- see bench/run_bench.sh.)
+  std::string Dir = ::testing::TempDir() + "abdiag_triage_inject";
+  std::filesystem::remove_all(Dir);
+  study::CorpusOptions GenOpts;
+  GenOpts.Seed = 61;
+  GenOpts.Count = 12;
+  GenOpts.Causes = {
+      study::ReportCause::ImpreciseInvariant,
+      study::ReportCause::MissingAnnotation,
+      study::ReportCause::NonLinearArithmetic,
+      study::ReportCause::EnvironmentFact,
+      study::ReportCause::SummarizedCall,
+      study::ReportCause::UnknownAnswer,
+  };
+  auto Progs = study::CorpusGenerator(GenOpts).generateAll();
+  ASSERT_EQ(study::writeCorpus(Dir, Progs), "");
+  std::vector<TriageRequest> Queue;
+  for (const study::CorpusProgram &P : Progs)
+    Queue.emplace_back(Dir + "/" + P.FileName, P.Name);
+
+  TriageOptions Serial;
+  Serial.Jobs = 1;
+  Serial.InjectUnknownRate = 0.25;
+  TriageOptions Parallel = Serial;
+  Parallel.Jobs = 4;
+  TriageResult A = TriageEngine(Serial).run(Queue);
+  TriageResult B = TriageEngine(Serial).run(Queue);
+  TriageResult C = TriageEngine(Parallel).run(Queue);
+
+  ASSERT_EQ(A.Reports.size(), Queue.size());
+  ASSERT_EQ(B.Reports.size(), Queue.size());
+  ASSERT_EQ(C.Reports.size(), Queue.size());
+  size_t Unknowns = 0;
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    EXPECT_EQ(A.Reports[I].Status, B.Reports[I].Status) << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].Outcome, B.Reports[I].Outcome) << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].Queries, B.Reports[I].Queries) << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].AnswersUnknown, B.Reports[I].AnswersUnknown)
+        << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].PotentialInvariants, B.Reports[I].PotentialInvariants)
+        << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].PotentialWitnesses, B.Reports[I].PotentialWitnesses)
+        << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].Status, C.Reports[I].Status) << Queue[I].Name;
+    EXPECT_EQ(A.Reports[I].Outcome, C.Reports[I].Outcome) << Queue[I].Name;
+    Unknowns += A.Reports[I].AnswersUnknown;
+  }
+  // At a 25% rate over a 12-program corpus the don't-know path must
+  // actually fire somewhere.
+  EXPECT_GT(Unknowns, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(TriageTest, InlineAndSummaryVerdictsAgreeOnCorpus) {
+  // The acceptance bar in miniature: a non-recursive generated corpus
+  // (including the interprocedural summarized_call template) triaged with
+  // Options::InlineCalls on and off must produce identical verdicts;
+  // summary mode additionally reports its interprocedural counters.
+  std::string Dir = ::testing::TempDir() + "abdiag_triage_inline_vs_summary";
+  std::filesystem::remove_all(Dir);
+  study::CorpusOptions GenOpts;
+  GenOpts.Seed = 1;
+  GenOpts.Count = 12;
+  GenOpts.Causes = {
+      study::ReportCause::ImpreciseInvariant,
+      study::ReportCause::SummarizedCall,
+  };
+  auto Progs = study::CorpusGenerator(GenOpts).generateAll();
+  ASSERT_EQ(study::writeCorpus(Dir, Progs), "");
+  std::vector<TriageRequest> Queue;
+  for (const study::CorpusProgram &P : Progs)
+    Queue.emplace_back(Dir + "/" + P.FileName, P.Name);
+
+  TriageOptions SummaryMode;
+  TriageOptions InlineMode;
+  InlineMode.Pipeline.inlineCalls(true);
+  TriageResult SR = TriageEngine(SummaryMode).run(Queue);
+  TriageResult IR = TriageEngine(InlineMode).run(Queue);
+
+  uint64_t Instantiated = 0;
+  for (size_t I = 0; I < Queue.size(); ++I) {
+    ASSERT_EQ(SR.Reports[I].Status, TriageStatus::Diagnosed) << Queue[I].Name;
+    EXPECT_EQ(SR.Reports[I].Outcome, IR.Reports[I].Outcome) << Queue[I].Name;
+    Instantiated += SR.Reports[I].SummariesInstantiated;
+    EXPECT_EQ(IR.Reports[I].SummariesInstantiated, 0u) << Queue[I].Name;
+  }
+  EXPECT_GT(Instantiated, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
 } // namespace

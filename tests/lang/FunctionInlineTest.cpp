@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "lang/AstPrinter.h"
+#include "lang/Inline.h"
 #include "lang/Interp.h"
 #include "lang/Parser.h"
 
@@ -18,10 +19,16 @@ using namespace abdiag::lang;
 
 namespace {
 
+/// Parses and lowers through the legacy inlining pass (the subject of this
+/// test file); the resulting program is call-free.
 Program parse(const char *Src) {
   ParseResult R = parseProgram(Src);
   EXPECT_TRUE(R.ok()) << R.Error;
-  return std::move(*R.Prog);
+  InlineResult I = inlineCalls(*R.Prog);
+  EXPECT_TRUE(I.ok()) << I.Error;
+  EXPECT_TRUE(I.Prog->Functions.empty());
+  EXPECT_EQ(I.Prog->NumCallSites, 0u);
+  return std::move(*I.Prog);
 }
 
 TEST(FunctionInlineTest, SimpleCall) {
@@ -156,6 +163,8 @@ program main(x) {
 }
 
 TEST(FunctionInlineTest, RecursionRejected) {
+  // Recursion parses (the summary pipeline handles it) but cannot be
+  // lowered by inlining; the failure carries the call site's position.
   ParseResult R = parseProgram(R"(
 function f(n) {
   var r;
@@ -164,7 +173,14 @@ function f(n) {
 }
 program main(x) { var y; y = f(x); check(y >= 0); }
 )");
-  EXPECT_FALSE(R.ok());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  ASSERT_EQ(R.Prog->Functions.size(), 1u);
+  EXPECT_TRUE(R.Prog->Functions[0].Recursive);
+  InlineResult I = inlineCalls(*R.Prog);
+  ASSERT_FALSE(I.ok());
+  EXPECT_NE(I.Error.find("recursive"), std::string::npos) << I.Error;
+  // Anchored at the first reachable call into the cycle: main's `y = f(x)`.
+  EXPECT_EQ(I.D.Line, 7u);
 }
 
 TEST(FunctionInlineTest, ArityMismatchRejected) {
@@ -224,6 +240,104 @@ program main(n) {
   auto O = D.makeConcreteOracle();
   core::DiagnosisResult R = D.diagnose(*O);
   EXPECT_EQ(R.Outcome, core::DiagnosisOutcome::Discharged);
+}
+
+TEST(FunctionInlineTest, RecursiveProgramDiagnosesViaSummaries) {
+  // Inlining rejects recursion; the default summary pipeline does not. The
+  // recursive result is one opaque CallResult alpha and the concrete
+  // oracle resolves it from the recorded return value, so diagnosis still
+  // reaches a decisive verdict.
+  const char *Src = R"(
+function dec(n) {
+  var r;
+  if (n <= 0) { r = 0; } else { r = dec(n - 1); }
+  return r;
+}
+program main(n) {
+  var y;
+  assume(n >= 0 && n <= 5);
+  y = dec(n);
+  check(y >= 1);
+}
+)";
+  core::ErrorDiagnoser D;
+  core::LoadResult L = D.loadSource(Src);
+  ASSERT_TRUE(L) << L.message();
+  auto O = D.makeConcreteOracle();
+  core::DiagnosisResult R = D.diagnose(*O);
+  // dec always returns 0, so the check is a real bug.
+  EXPECT_EQ(R.Outcome, core::DiagnosisOutcome::Validated);
+
+  // The discharged twin: the same recursive structure with a passing check.
+  const char *OkSrc = R"(
+function dec(n) {
+  var r;
+  if (n <= 0) { r = 0; } else { r = dec(n - 1); }
+  return r;
+}
+program main(n) {
+  var y;
+  assume(n >= 0 && n <= 5);
+  y = dec(n);
+  check(y <= 0);
+}
+)";
+  core::ErrorDiagnoser D2;
+  ASSERT_TRUE(D2.loadSource(OkSrc));
+  auto O2 = D2.makeConcreteOracle();
+  core::DiagnosisResult R2 = D2.diagnose(*O2);
+  EXPECT_EQ(R2.Outcome, core::DiagnosisOutcome::Discharged);
+}
+
+TEST(FunctionInlineTest, InlineAndSummaryModesAgree) {
+  // The same non-recursive program diagnosed under Options::InlineCalls
+  // and under the default summary pipeline must reach the same verdict:
+  // summaries are a representation change, not a semantics change.
+  const char *Cases[] = {
+      // False alarm resolved through a callee loop fact.
+      R"(
+function sum_to(n) {
+  var i, s;
+  i = 0;
+  s = 0;
+  while (i < n) { i = i + 1; s = s + i; } @ [i >= 0 && i >= n]
+  return s;
+}
+program main(n) {
+  var total;
+  assume(n >= 1);
+  total = sum_to(n);
+  check(total >= n);
+}
+)",
+      // Real bug: the second call's larger argument breaks the check.
+      R"(
+function twice(v) {
+  var r;
+  r = v + v;
+  return r;
+}
+program main(a) {
+  var x, y;
+  x = twice(a);
+  y = twice(a + 1);
+  check(x >= y);
+}
+)",
+  };
+  for (const char *Src : Cases) {
+    core::ErrorDiagnoser Summary;
+    ASSERT_TRUE(Summary.loadSource(Src));
+    auto SO = Summary.makeConcreteOracle();
+    core::DiagnosisResult SR = Summary.diagnose(*SO);
+
+    core::ErrorDiagnoser Inline{Options().inlineCalls(true)};
+    ASSERT_TRUE(Inline.loadSource(Src));
+    auto IO = Inline.makeConcreteOracle();
+    core::DiagnosisResult IR = Inline.diagnose(*IO);
+
+    EXPECT_EQ(SR.Outcome, IR.Outcome) << Src;
+  }
 }
 
 } // namespace

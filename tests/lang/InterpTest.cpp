@@ -6,6 +6,7 @@
 
 #include "lang/Interp.h"
 
+#include "lang/CallPlan.h"
 #include "lang/Parser.h"
 #include "support/Rng.h"
 
@@ -155,6 +156,80 @@ program p(n) {
 )");
   for (int64_t N = 0; N <= 8; ++N)
     EXPECT_EQ(runProgram(P, {N}).Status, RunStatus::CheckPassed) << N;
+}
+
+TEST(InterpTest, CalleeLoopExitsRecordedPerCallInstance) {
+  // The interpreter executes calls directly and snapshots callee loop
+  // exits under the *global* ids of the call plan: two call instances of
+  // the same callee record under two distinct loop ids, both of which the
+  // analyzer's summary instantiations name the same way.
+  Program P = parse(R"(
+function count(n) {
+  var k;
+  k = 0;
+  while (k < n) { k = k + 1; }
+  return k;
+}
+program p(a, b) {
+  var x, y;
+  x = count(a);
+  y = count(b);
+  check(x + y == a + b);
+}
+)");
+  CallPlan Plan = buildCallPlan(P);
+  EXPECT_EQ(Plan.NumLoops, 2u);
+  EXPECT_EQ(Plan.NumCallResults, 0u);
+  RunResult R = runProgram(P, {3, 5}, /*Fuel=*/100000, /*Havoc=*/{}, &Plan);
+  ASSERT_EQ(R.Status, RunStatus::CheckPassed);
+  ASSERT_TRUE(R.LoopExitValues.count(0));
+  ASSERT_TRUE(R.LoopExitValues.count(1));
+  EXPECT_EQ(R.LoopExitValues.at(0).at("k"), 3);
+  EXPECT_EQ(R.LoopExitValues.at(1).at("k"), 5);
+}
+
+TEST(InterpTest, RecursiveCallReturnRecordedUnderCallResultId) {
+  Program P = parse(R"(
+function fib(n) {
+  var a, b, r;
+  if (n <= 1) { r = n; } else {
+    a = fib(n - 1);
+    b = fib(n - 2);
+    r = a + b;
+  }
+  return r;
+}
+program p(n) {
+  var y;
+  assume(n >= 0 && n <= 8);
+  y = fib(n);
+  check(y >= 0);
+}
+)");
+  CallPlan Plan = buildCallPlan(P);
+  ASSERT_EQ(Plan.NumCallResults, 1u);
+  RunResult R = runProgram(P, {7}, /*Fuel=*/100000, /*Havoc=*/{}, &Plan);
+  ASSERT_EQ(R.Status, RunStatus::CheckPassed);
+  ASSERT_TRUE(R.CallReturns.count(0));
+  EXPECT_EQ(R.CallReturns.at(0), 13); // fib(7)
+}
+
+TEST(InterpTest, RecursionConsumesFuel) {
+  // Unplanned (recursive) frames charge fuel, so runaway recursion ends
+  // in OutOfFuel rather than a stack overflow.
+  Program P = parse(R"(
+function spin(n) {
+  var r;
+  r = spin(n + 1);
+  return r;
+}
+program p() {
+  var y;
+  y = spin(0);
+  check(y == 0);
+}
+)");
+  EXPECT_EQ(runProgram(P, {}, /*Fuel=*/1000).Status, RunStatus::OutOfFuel);
 }
 
 } // namespace

@@ -121,4 +121,70 @@ TEST(ParserRobustnessTest, PropertyPrintIsFixpoint) {
   }
 }
 
+/// Random well-formed *interprocedural* program: a helper function
+/// (sometimes self-recursive) called once or twice from main.
+std::string randomFunctionProgram(Rng &R) {
+  bool Recursive = R.chance(0.3);
+  std::string Body;
+  if (Recursive)
+    Body = "  if (a <= 0) { r = " + std::to_string(R.range(-3, 3)) +
+           "; } else { r = helper(a - 1); }\n";
+  else
+    Body = "  r = a + " + std::to_string(R.range(-5, 5)) + ";\n";
+  std::string Src = "function helper(a) {\n  var r;\n" + Body +
+                    "  return r;\n}\nprogram rnd(n) {\n  var x, y;\n";
+  Src += "  x = helper(n);\n";
+  if (R.chance(0.5))
+    Src += "  y = helper(x + " + std::to_string(R.range(0, 4)) + ");\n";
+  else
+    Src += "  y = x;\n";
+  Src += "  check(x + y >= " + std::to_string(R.range(-9, 9)) + ");\n}\n";
+  return Src;
+}
+
+TEST(ParserRobustnessTest, PropertyFunctionProgramsPrintFixpoint) {
+  Rng R(4321);
+  for (int Round = 0; Round < 100; ++Round) {
+    std::string Src = randomFunctionProgram(R);
+    ParseResult P1 = parseProgram(Src);
+    ASSERT_TRUE(P1.ok()) << P1.Error << "\n" << Src;
+    ASSERT_EQ(P1.Prog->Functions.size(), 1u);
+    std::string Printed1 = programToString(*P1.Prog);
+    ParseResult P2 = parseProgram(Printed1);
+    ASSERT_TRUE(P2.ok()) << P2.Error << "\n" << Printed1;
+    EXPECT_EQ(P1.Prog->Functions[0].Recursive,
+              P2.Prog->Functions[0].Recursive);
+    EXPECT_EQ(Printed1, programToString(*P2.Prog)) << "round " << Round;
+  }
+}
+
+TEST(ParserRobustnessTest, CallDiagnosticsCarryPositions) {
+  // Every rejection around calls must point at the offending source line:
+  // an IDE (or the daemon's load_error frame) anchors on Diag::Line.
+  struct Case {
+    const char *Src;
+    uint32_t Line;
+    const char *Needle;
+  } Cases[] = {
+      // Call to a function that is never defined.
+      {"program main(x) {\n  var y;\n  y = ghost(x);\n  check(y >= 0);\n}\n",
+       3, "ghost"},
+      // Wrong argument count.
+      {"function f(a, b) {\n  var r;\n  r = a + b;\n  return r;\n}\n"
+       "program main(x) {\n  var y;\n  y = f(x);\n  check(y >= 0);\n}\n",
+       8, "argument"},
+      // Calls are statements, not sub-expressions.
+      {"function f(a) {\n  var r;\n  r = a;\n  return r;\n}\n"
+       "program main(x) {\n  var y;\n  y = f(x) + 1;\n  check(y >= 0);\n}\n",
+       8, "right-hand side"},
+  };
+  for (const Case &C : Cases) {
+    ParseResult P = parseProgram(C.Src);
+    ASSERT_FALSE(P.ok()) << C.Src;
+    EXPECT_TRUE(P.D.hasPosition()) << P.Error;
+    EXPECT_EQ(P.D.Line, C.Line) << P.Error;
+    EXPECT_NE(P.Error.find(C.Needle), std::string::npos) << P.Error;
+  }
+}
+
 } // namespace

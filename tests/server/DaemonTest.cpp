@@ -14,6 +14,8 @@
 
 #include "server/Server.h"
 
+#include "core/ErrorDiagnoser.h"
+#include "core/Oracle.h"
 #include "core/Triage.h"
 #include "server/Client.h"
 #include "server/Protocol.h"
@@ -396,6 +398,52 @@ TEST_F(DaemonTest, ManyConcurrentSessionsInterleave) {
   DaemonServer::Stats St = Server->stats();
   EXPECT_EQ(St.Completed, Items.size());
   EXPECT_LE(St.PeakActive, 16u);
+}
+
+TEST_F(DaemonTest, AllUnknownAnswersMatchInProcessVerdict) {
+  // The Section 5 degradation over the wire: a client that answers "I
+  // don't know" to every ask must land on exactly the verdict the
+  // in-process diagnoser reaches under ScriptExhaustion::Unknown -- for a
+  // plain loop program and for an interprocedural one whose queries come
+  // from an instantiated callee summary.
+  const char *CallSource = R"(
+function sum_to(n) {
+  var i, s;
+  i = 0;
+  s = 0;
+  while (i < n) { i = i + 1; s = s + i; } @ [i >= 0 && i >= n]
+  return s;
+}
+program main(n) {
+  var total;
+  assume(n >= 1);
+  total = sum_to(n);
+  check(total >= n);
+}
+)";
+  // No escalation retry: the in-process twin below runs diagnose() exactly
+  // once, so the wire side must too for query counts to be comparable.
+  ServerConfig Cfg;
+  Cfg.EscalateOnInconclusive = false;
+  startServer(Cfg, "unknowns");
+  RawClient C(SocketPath);
+  const char *Sources[] = {ParkingSource, CallSource};
+  for (size_t I = 0; I < std::size(Sources); ++I) {
+    std::string Session = "u" + std::to_string(I);
+    C.submit(Session, Sources[I]);
+    for (uint64_t Q = 0; Q < 256; ++Q)
+      C.answer(Session, Q, "unknown");
+    ServerMessage R = C.waitForResult(Session);
+    EXPECT_EQ(R.Status, "diagnosed") << Sources[I];
+
+    ErrorDiagnoser D;
+    ASSERT_TRUE(D.loadSource(Sources[I]));
+    ScriptedOracle O({}, ScriptExhaustion::Unknown);
+    DiagnosisResult InProcess = D.diagnose(O);
+    EXPECT_EQ(R.Verdict, diagnosisVerdictName(InProcess.Outcome))
+        << Sources[I];
+    EXPECT_EQ(R.Queries, InProcess.Transcript.size()) << Sources[I];
+  }
 }
 
 } // namespace

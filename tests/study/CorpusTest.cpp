@@ -39,6 +39,20 @@ CorpusOptions smallOptions(uint64_t Seed = 1, size_t Count = 8) {
   return Opts;
 }
 
+/// Options cycling every cause, including the opt-in interprocedural and
+/// don't-know templates (the default list keeps the classic four so
+/// existing seeded corpora stay byte-stable).
+CorpusOptions allCauseOptions(uint64_t Seed, size_t Count) {
+  CorpusOptions Opts = smallOptions(Seed, Count);
+  Opts.Causes = {ReportCause::ImpreciseInvariant,
+                 ReportCause::MissingAnnotation,
+                 ReportCause::NonLinearArithmetic,
+                 ReportCause::EnvironmentFact,
+                 ReportCause::SummarizedCall,
+                 ReportCause::UnknownAnswer};
+  return Opts;
+}
+
 /// Re-certifies one program with a diagnoser that shares no state with the
 /// generator: the certification result must be a property of the bytes.
 void expectCertified(const CorpusProgram &P) {
@@ -89,9 +103,9 @@ TEST(CorpusDeterminismTest, PerIndexAccessMatchesGenerateAll) {
 }
 
 TEST(CorpusCoverageTest, EveryCauseAndClassificationProduced) {
-  // Causes cycle per index and classification alternates per cycle, so 16
-  // programs over 4 causes hit every (cause, classification) pair twice.
-  CorpusGenerator Gen(smallOptions(3, 16));
+  // Causes cycle per index and classification alternates per cycle, so 12
+  // programs over all 6 causes hit every (cause, classification) pair.
+  CorpusGenerator Gen(allCauseOptions(3, 2 * NumReportCauses));
   auto Progs = Gen.generateAll();
   std::set<std::pair<ReportCause, bool>> Seen;
   for (const CorpusProgram &P : Progs)
@@ -149,6 +163,28 @@ INSTANTIATE_TEST_SUITE_P(AllCauses, CorpusCertificationTest,
                            return causeName(
                                static_cast<ReportCause>(I.param));
                          });
+
+TEST(CorpusCertificationTest, UnknownAnswerProgramsHitTheDontKnowPath) {
+  // The unknown_answer template's third certification bar, re-checked from
+  // the bytes alone: an honest concrete oracle must answer "I don't know"
+  // at least once (the cold branch leaves a loop-exit alpha unrecorded)
+  // and diagnosis must still reach the certified verdict.
+  CorpusOptions Opts = smallOptions(31, 4);
+  Opts.Causes = {ReportCause::UnknownAnswer};
+  for (const CorpusProgram &P : CorpusGenerator(Opts).generateAll()) {
+    SCOPED_TRACE(P.Name);
+    ErrorDiagnoser D;
+    ASSERT_TRUE(D.loadSource(P.Source));
+    auto O = D.makeConcreteOracle();
+    DiagnosisResult R = D.diagnose(*O);
+    bool SawUnknown = false;
+    for (const QueryRecord &Q : R.Transcript)
+      SawUnknown |= Q.Ans == Oracle::Answer::Unknown;
+    EXPECT_TRUE(SawUnknown);
+    EXPECT_EQ(R.Outcome, P.IsRealBug ? DiagnosisOutcome::Validated
+                                     : DiagnosisOutcome::Discharged);
+  }
+}
 
 TEST(CorpusCertificationTest, SampledFromThousandProgramCorpus) {
   // The acceptance-criterion corpus is seed 1 x 1000 programs; spot-check

@@ -62,11 +62,22 @@ void printUsage() {
       "  --no-escalate        skip the 4x-budget retry of inconclusive "
       "reports\n"
       "\n"
+      "oracle:\n"
+      "  --inject-unknown R   override a deterministic fraction R (0..1) of\n"
+      "                       oracle answers with 'unknown', exercising the\n"
+      "                       Section 5 potential-invariant/-witness path;\n"
+      "                       selection hashes the report name and query\n"
+      "                       index, so verdicts are --jobs independent\n"
+      "\n"
       "output:\n"
       "  --stats              per-report and aggregate solver counters\n"
       "  --json               JSONL: one JSON object per report on stdout\n"
       "\n"
       "pipeline (see core/Options.h):\n"
+      "  --inline-calls       lower calls by exhaustive inlining instead of\n"
+      "                       the default function summaries (rejects\n"
+      "                       recursive programs; useful for checking that\n"
+      "                       both modes produce identical verdicts)\n"
       "  --max-iterations N   Figure 6 iteration budget (default 16)\n"
       "  --max-queries N      oracle interaction budget (default 64)\n"
       "  --msa-max-subsets N  MSA subset-search budget (default 4096)\n"
@@ -186,6 +197,13 @@ void printJsonRow(const TriageReport &R, const char *Expected) {
   Row += ",\"" + std::string(answerName(Answer::Unknown)) +
          "\":" + std::to_string(R.AnswersUnknown);
   Row += "}";
+  Row += ",\"potential_invariants\":" + std::to_string(R.PotentialInvariants);
+  Row += ",\"potential_witnesses\":" + std::to_string(R.PotentialWitnesses);
+  Row += ",\"summaries\":{";
+  Row += "\"computed\":" + std::to_string(R.SummariesComputed);
+  Row += ",\"instantiated\":" + std::to_string(R.SummariesInstantiated);
+  Row += ",\"opaque_calls\":" + std::to_string(R.OpaqueCalls);
+  Row += "}";
   Row += ",\"iterations\":" + std::to_string(R.Iterations);
   Row += std::string(",\"escalated\":") + (R.Escalated ? "true" : "false");
   Row += std::string(",\"analysis_alone\":") +
@@ -293,6 +311,24 @@ int main(int Argc, char **Argv) {
         Expected[E.Name] = E.IsRealBug;
     } else if (std::strcmp(Arg, "--strict-manifest") == 0) {
       StrictManifest = true;
+    } else if (std::strcmp(Arg, "--inject-unknown") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr,
+                     "abdiag_triage: --inject-unknown needs a rate\n");
+        return 2;
+      }
+      char *End = nullptr;
+      double Rate = std::strtod(Argv[++I], &End);
+      if (!End || *End != '\0' || Rate < 0.0 || Rate > 1.0) {
+        std::fprintf(stderr,
+                     "abdiag_triage: --inject-unknown rate must be in "
+                     "[0, 1], got '%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+      Opts.InjectUnknownRate = Rate;
+    } else if (std::strcmp(Arg, "--inline-calls") == 0) {
+      Opts.Pipeline.inlineCalls(true);
     } else if (std::strcmp(Arg, "--no-escalate") == 0) {
       Opts.EscalateOnInconclusive = false;
     } else if (std::strcmp(Arg, "--stats") == 0) {
